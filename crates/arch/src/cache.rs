@@ -1,0 +1,89 @@
+//! Cache-line utilities.
+//!
+//! Per-worker runtime state (pools, preemption flags, statistics counters) is
+//! written from signal handlers and scanned by per-process timer leaders
+//! (paper §3.2.2), so false sharing between adjacent workers' fields would
+//! directly inflate the interruption times the paper measures in Figure 4.
+//! [`CacheAligned`] pads every such field to a cache line.
+
+/// Size in bytes assumed for a destructive-interference cache line.
+///
+/// 128 covers the two-line prefetch pair on modern Intel parts (the paper's
+/// Skylake testbed) and is what crossbeam's `CachePadded` uses on x86-64.
+pub const CACHE_LINE: usize = 128;
+
+/// A value padded and aligned to a cache line to avoid false sharing.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CacheAligned<T>(pub T);
+
+impl<T> CacheAligned<T> {
+    /// Wrap `value` in a cache-line-aligned cell.
+    pub const fn new(value: T) -> Self {
+        CacheAligned(value)
+    }
+
+    /// Consume the cell, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> core::ops::Deref for CacheAligned<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> core::ops::DerefMut for CacheAligned<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+impl<T> From<T> for CacheAligned<T> {
+    fn from(value: T) -> Self {
+        CacheAligned(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn alignment_is_cache_line() {
+        assert_eq!(core::mem::align_of::<CacheAligned<u8>>(), CACHE_LINE);
+        assert_eq!(core::mem::align_of::<CacheAligned<AtomicU64>>(), CACHE_LINE);
+    }
+
+    #[test]
+    fn size_is_padded() {
+        assert_eq!(core::mem::size_of::<CacheAligned<u8>>(), CACHE_LINE);
+        // A large payload pads to the next multiple.
+        assert_eq!(
+            core::mem::size_of::<CacheAligned<[u8; 200]>>() % CACHE_LINE,
+            0
+        );
+    }
+
+    #[test]
+    fn adjacent_elements_do_not_share_lines() {
+        let v: Vec<CacheAligned<u64>> = (0..4).map(CacheAligned::new).collect();
+        for w in v.windows(2) {
+            let a = &w[0] as *const _ as usize;
+            let b = &w[1] as *const _ as usize;
+            assert!(b - a >= CACHE_LINE);
+        }
+    }
+
+    #[test]
+    fn deref_round_trip() {
+        let mut c = CacheAligned::new(41u32);
+        *c += 1;
+        assert_eq!(*c, 42);
+        assert_eq!(c.into_inner(), 42);
+    }
+}

@@ -1,0 +1,340 @@
+//! User-space machine-context save/restore for x86-64 System V.
+//!
+//! A [`Context`] records the stack pointer of a suspended computation; all
+//! callee-saved registers (`rbx`, `rbp`, `r12`–`r15`) and the resume address
+//! live *on that stack*, pushed by [`Context::switch`]. This is the classic
+//! "stack-switching" context layout used by Argobots, MassiveThreads and
+//! similar M:N runtimes: suspending costs six pushes + one store, resuming
+//! costs one load + six pops + `ret`.
+//!
+//! Two entry paths exist:
+//!
+//! * a **fresh** context built by [`Context::new`] starts executing
+//!   `entry(arg)` on its own stack the first time it is switched to;
+//! * a **suspended** context resumes right after the `Context::switch` call
+//!   (or, for preempted threads, right after the switch inside the signal
+//!   handler — returning from the handler then resumes user code).
+//!
+//! # Safety model
+//!
+//! `Context` is a raw primitive: the caller (the runtime) must guarantee that
+//! a context is resumed at most once per suspension, that the backing stack
+//! outlives the context, and that a fresh context's entry function never
+//! returns (it must switch away instead). Violations are UB. The runtime in
+//! `ult-core` upholds these invariants; they are documented on each method.
+
+use core::arch::naked_asm;
+use core::ffi::c_void;
+
+/// Signature of a fresh-context entry function.
+///
+/// The function receives the opaque argument given to [`Context::new`] and
+/// must **never return**: it must context-switch away (typically back to a
+/// scheduler) when done. If it does return, the process aborts (a guard
+/// return address pointing at [`entry_returned_abort`] is planted under it).
+pub type EntryFn = unsafe extern "C" fn(*mut c_void) -> !;
+
+/// A saved machine context (x86-64 System V).
+///
+/// The only stored field is the stack pointer; everything else lives on the
+/// stack it points to. A `Context` whose `sp` is null is *empty* — switching
+/// to it is UB, but switching *from* it (i.e. using it as a save slot) is the
+/// normal way to capture the current KLT's context.
+#[repr(C)]
+#[derive(Debug)]
+pub struct Context {
+    sp: *mut c_void,
+}
+
+// SAFETY: a Context is just a pointer-sized token handed between KLTs by the
+// runtime under its own synchronization (a suspended context is owned by
+// exactly one scheduler at a time).
+unsafe impl Send for Context {}
+unsafe impl Sync for Context {}
+
+impl Default for Context {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl Context {
+    /// An empty context usable as a save slot for the current computation.
+    pub const fn empty() -> Self {
+        Context {
+            sp: core::ptr::null_mut(),
+        }
+    }
+
+    /// Whether this context currently holds a suspended computation.
+    pub fn is_live(&self) -> bool {
+        !self.sp.is_null()
+    }
+
+    /// Forget the suspended computation (marks the context empty).
+    ///
+    /// Used after a context has been consumed by a switch that will never
+    /// return to it (e.g. a finished thread's context).
+    pub fn clear(&mut self) {
+        self.sp = core::ptr::null_mut();
+    }
+
+    /// Build a fresh context that will run `entry(arg)` on `stack_top`.
+    ///
+    /// `stack_top` must be the *high* end of a stack region of at least a few
+    /// kilobytes (the runtime uses [`crate::Stack`], which also provides a
+    /// guard page). The stack is seeded so that the first switch to the
+    /// returned context pops zeroed callee-saved registers and "returns" into
+    /// a small trampoline that moves `arg` into `rdi`, aligns the stack per
+    /// the System V ABI (rsp ≡ 8 mod 16 at function entry, with the
+    /// planted abort-guard word acting as the return address
+    /// slot) and jumps to `entry`.
+    ///
+    /// # Safety
+    ///
+    /// * `stack_top` must point one-past-the-end of writable memory with at
+    ///   least 128 bytes below it (realistically: the whole ULT stack).
+    /// * The memory must stay valid and not be used for anything else until
+    ///   the context is dropped or consumed.
+    /// * `entry` must never return.
+    pub unsafe fn new(stack_top: *mut u8, entry: EntryFn, arg: *mut c_void) -> Self {
+        // Seed layout, ascending from the final sp:
+        //   [r15][r14][r13 = entry][r12 = arg][rbx][rbp][ret -> trampoline]
+        // which is exactly what `switch`'s restore half pops.
+        let mut top = stack_top as usize;
+        top &= !15; // 16-byte align the logical stack top
+        let mut p = top as *mut usize;
+        // SAFETY: caller guarantees the region below stack_top is writable.
+        unsafe {
+            p = p.sub(1);
+            *p = entry_returned_abort as *const () as usize; // guard: entry must not return
+            p = p.sub(1);
+            *p = fresh_context_trampoline as *const () as usize; // `ret` target of first switch
+            p = p.sub(1);
+            *p = 0; // rbp
+            p = p.sub(1);
+            *p = 0; // rbx
+            p = p.sub(1);
+            *p = arg as usize; // r12
+            p = p.sub(1);
+            *p = entry as usize; // r13
+            p = p.sub(1);
+            *p = 0; // r14
+            p = p.sub(1);
+            *p = 0; // r15
+        }
+        Context {
+            sp: p as *mut c_void,
+        }
+    }
+
+    /// Suspend the current computation into `save` and resume `restore`.
+    ///
+    /// On x86-64 this pushes the callee-saved registers, stores `rsp` into
+    /// `save`, loads `rsp` from `restore`, pops and returns — the fast path
+    /// the paper quotes at "about one hundred cycles" end to end (§2.1).
+    ///
+    /// Returns (in the *saved* computation) when something later switches
+    /// back to `save`.
+    ///
+    /// # Safety
+    ///
+    /// * `restore` must hold a live suspended (or fresh) context, and no
+    ///   other KLT may concurrently resume it.
+    /// * `save` must remain at a stable address until resumed.
+    /// * It is permitted for `save` and `restore` to live in shared runtime
+    ///   structures, but the caller must provide the necessary happens-before
+    ///   edges (the runtime uses its pool/futex operations for this).
+    #[inline]
+    pub unsafe fn switch(save: *mut Context, restore: *const Context) {
+        // SAFETY: forwarded to the caller's contract.
+        unsafe { raw_switch(save, restore) }
+    }
+
+    /// Resume `restore` *without saving* the current computation.
+    ///
+    /// Used when the current context is dead (finished thread) — its stack
+    /// may be reused immediately after this call starts, so nothing may be
+    /// saved.
+    ///
+    /// # Safety
+    ///
+    /// Same as [`Context::switch`] for `restore`; additionally the current
+    /// computation must never be resumed again.
+    #[inline]
+    pub unsafe fn jump(restore: *const Context) -> ! {
+        // SAFETY: forwarded; the discard slot is a dummy.
+        unsafe {
+            let mut discard = Context::empty();
+            raw_switch(&mut discard, restore);
+            core::hint::unreachable_unchecked()
+        }
+    }
+}
+
+/// The raw switch: save callee-saved state of the caller on its stack, store
+/// rsp to `*save`, load rsp from `*restore`, restore and return.
+#[unsafe(naked)]
+unsafe extern "C" fn raw_switch(save: *mut Context, restore: *const Context) {
+    naked_asm!(
+        // save current
+        "push rbp",
+        "push rbx",
+        "push r12",
+        "push r13",
+        "push r14",
+        "push r15",
+        "mov [rdi], rsp",
+        // restore target
+        "mov rsp, [rsi]",
+        "pop r15",
+        "pop r14",
+        "pop r13",
+        "pop r12",
+        "pop rbx",
+        "pop rbp",
+        "ret",
+    )
+}
+
+/// First-activation trampoline for fresh contexts.
+///
+/// Entered via the `ret` of the first switch into the fresh context; `r12`
+/// holds `arg`, `r13` holds `entry` (seeded by [`Context::new`]). At this
+/// point rsp points at the abort-guard word, so rsp ≡ 8 mod 16 — exactly the
+/// ABI state at a function entry after `call` — and the guard word doubles as
+/// the return address should `entry` erroneously return.
+#[unsafe(naked)]
+unsafe extern "C" fn fresh_context_trampoline() {
+    naked_asm!("mov rdi, r12", "jmp r13",)
+}
+
+/// Abort shim: lands here if a fresh context's entry function returns.
+unsafe extern "C" fn entry_returned_abort(_: *mut c_void) -> ! {
+    // Not async-signal-unsafe enough to matter: we are crashing anyway.
+    eprintln!("ult-arch: fresh context entry function returned; aborting");
+    std::process::abort();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::Stack;
+
+    /// Shared cell between a test (acting as the scheduler) and one fiber.
+    struct Cell {
+        main: Context,
+        fiber: Context,
+        hits: usize,
+        rounds: usize,
+    }
+
+    unsafe extern "C" fn add_once(arg: *mut c_void) -> ! {
+        let cell = unsafe { &mut *(arg as *mut Cell) };
+        cell.hits += 7;
+        unsafe {
+            let mut dead = Context::empty();
+            Context::switch(&mut dead, &cell.main);
+        }
+        unreachable!();
+    }
+
+    unsafe extern "C" fn ping_pong(arg: *mut c_void) -> ! {
+        let cell = unsafe { &mut *(arg as *mut Cell) };
+        for _ in 0..cell.rounds {
+            cell.hits += 1;
+            unsafe { Context::switch(&mut cell.fiber, &cell.main) };
+        }
+        unsafe {
+            let mut dead = Context::empty();
+            Context::switch(&mut dead, &cell.main);
+        }
+        unreachable!();
+    }
+
+    fn new_cell() -> Box<Cell> {
+        Box::new(Cell {
+            main: Context::empty(),
+            fiber: Context::empty(),
+            hits: 0,
+            rounds: 0,
+        })
+    }
+
+    #[test]
+    fn fresh_context_runs_entry_with_arg() {
+        let mut cell = new_cell();
+        let stack = Stack::new(64 * 1024).unwrap();
+        let arg = &mut *cell as *mut Cell as *mut c_void;
+        let fresh = unsafe { Context::new(stack.top(), add_once, arg) };
+        unsafe { Context::switch(&mut cell.main, &fresh) };
+        assert_eq!(cell.hits, 7);
+    }
+
+    #[test]
+    fn repeated_switches_round_trip() {
+        let mut cell = new_cell();
+        cell.rounds = 1000;
+        let stack = Stack::new(64 * 1024).unwrap();
+        let arg = &mut *cell as *mut Cell as *mut c_void;
+        let fresh = unsafe { Context::new(stack.top(), ping_pong, arg) };
+        unsafe { Context::switch(&mut cell.main, &fresh) };
+        assert_eq!(cell.hits, 1);
+        for i in 1..1000 {
+            let fiber = &cell.fiber as *const Context;
+            unsafe { Context::switch(&mut cell.main, fiber) };
+            assert_eq!(cell.hits, i + 1);
+        }
+        // Final resume lets the fiber run its exit switch.
+        let fiber = &cell.fiber as *const Context;
+        unsafe { Context::switch(&mut cell.main, fiber) };
+        assert_eq!(cell.hits, 1000);
+    }
+
+    #[test]
+    fn empty_context_flags() {
+        let c = Context::empty();
+        assert!(!c.is_live());
+        let stack = Stack::new(32 * 1024).unwrap();
+        let mut c2 = unsafe { Context::new(stack.top(), add_once, std::ptr::null_mut()) };
+        assert!(c2.is_live());
+        c2.clear();
+        assert!(!c2.is_live());
+    }
+
+    #[test]
+    fn stack_alignment_of_fresh_context() {
+        // The seeded sp must be such that, at entry, rsp % 16 == 8 (ABI):
+        // 8 saved words above sp, with the logical top 16-aligned.
+        let stack = Stack::new(32 * 1024).unwrap();
+        let c = unsafe { Context::new(stack.top(), add_once, std::ptr::null_mut()) };
+        let sp = c.sp as usize;
+        assert_eq!((sp + 8 * 8) % 16, 0);
+    }
+
+    #[test]
+    fn many_fibers_interleaved() {
+        // Several fibers sharing one scheduler, resumed round-robin.
+        const N: usize = 8;
+        let mut cells: Vec<Box<Cell>> = (0..N).map(|_| new_cell()).collect();
+        let stacks: Vec<Stack> = (0..N).map(|_| Stack::new(64 * 1024).unwrap()).collect();
+        for (cell, stack) in cells.iter_mut().zip(&stacks) {
+            cell.rounds = 10;
+            let arg = &mut **cell as *mut Cell as *mut c_void;
+            let fresh = unsafe { Context::new(stack.top(), ping_pong, arg) };
+            unsafe { Context::switch(&mut cell.main, &fresh) };
+        }
+        for round in 1..10 {
+            for cell in cells.iter_mut() {
+                let fiber = &cell.fiber as *const Context;
+                unsafe { Context::switch(&mut cell.main, fiber) };
+                assert_eq!(cell.hits, round + 1);
+            }
+        }
+        for cell in cells.iter_mut() {
+            let fiber = &cell.fiber as *const Context;
+            unsafe { Context::switch(&mut cell.main, fiber) };
+            assert_eq!(cell.hits, 10);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # ult-arch
+//!
+//! Architecture-level building blocks for user-level threading:
+//!
+//! * [`Context`] — a saved machine context (callee-saved registers + stack
+//!   pointer) and [`Context::switch`], a ~20-instruction user-space context
+//!   switch written in naked assembly (x86-64 System V).
+//! * [`Stack`] — an `mmap`-allocated ULT stack with a `PROT_NONE` guard page.
+//! * [`CacheAligned`] — a cache-line-padded cell to prevent false sharing.
+//!
+//! The context-switch primitive is the foundation of the M:N runtime in
+//! `ult-core`: it is what makes user-level `yield`/`fork`/`join` cost on the
+//! order of a hundred cycles (paper §2.1), and it is also what the
+//! signal-yield preemption technique invokes *from inside a signal handler*
+//! (paper §3.1.1) — the handler frame simply becomes part of the suspended
+//! thread's saved stack.
+//!
+//! Only x86-64 Linux is supported, matching the paper's evaluation platforms.
+
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod context;
+pub mod stack;
+
+pub use cache::CacheAligned;
+pub use context::{Context, EntryFn};
+pub use stack::Stack;

@@ -1,0 +1,176 @@
+//! ULT stack allocation.
+//!
+//! Every user-level thread owns a dedicated stack (paper §2.1). Stacks are
+//! `mmap`ed with `MAP_STACK` and carry a `PROT_NONE` guard page at the low
+//! end so that an overflow faults loudly instead of silently corrupting the
+//! adjacent allocation. Signal handlers for preemption run *on the current
+//! ULT's stack* (paper §3.1.1), so the default size leaves headroom for a
+//! handler frame on top of user frames.
+
+use std::io;
+use std::ptr;
+
+/// Default ULT stack size (excluding the guard page).
+///
+/// Large enough for application kernels plus a nested preemption-signal
+/// handler frame; small enough that tens of thousands of ULTs fit in memory.
+pub const DEFAULT_STACK_SIZE: usize = 256 * 1024;
+
+/// Minimum usable stack size accepted by [`Stack::new`].
+pub const MIN_STACK_SIZE: usize = 16 * 1024;
+
+/// An owned, guard-paged ULT stack.
+///
+/// The usable region is `[base(), top())`, growing downwards from
+/// [`Stack::top`]. One extra page below `base()` is `PROT_NONE`.
+#[derive(Debug)]
+pub struct Stack {
+    /// Start of the mapping (the guard page).
+    mapping: *mut u8,
+    /// Total mapping length including the guard page.
+    map_len: usize,
+    /// Usable size (excludes the guard page).
+    usable: usize,
+}
+
+// SAFETY: the mapping is plain memory; ownership semantics are those of a
+// Box<[u8]>.
+unsafe impl Send for Stack {}
+unsafe impl Sync for Stack {}
+
+impl Stack {
+    /// Allocate a stack with at least `size` usable bytes (rounded up to the
+    /// page size) plus one guard page.
+    pub fn new(size: usize) -> io::Result<Stack> {
+        let page = page_size();
+        let usable = size.max(MIN_STACK_SIZE).next_multiple_of(page);
+        let map_len = usable + page;
+        // SAFETY: plain anonymous mapping.
+        let mapping = unsafe {
+            libc::mmap(
+                ptr::null_mut(),
+                map_len,
+                libc::PROT_READ | libc::PROT_WRITE,
+                libc::MAP_PRIVATE | libc::MAP_ANONYMOUS | libc::MAP_STACK,
+                -1,
+                0,
+            )
+        };
+        if mapping == libc::MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: mapping is ours; protecting the first page as a guard.
+        let rc = unsafe { libc::mprotect(mapping, page, libc::PROT_NONE) };
+        if rc != 0 {
+            let err = io::Error::last_os_error();
+            // SAFETY: unmap what we just mapped.
+            unsafe { libc::munmap(mapping, map_len) };
+            return Err(err);
+        }
+        Ok(Stack {
+            mapping: mapping as *mut u8,
+            map_len,
+            usable,
+        })
+    }
+
+    /// Allocate a stack of [`DEFAULT_STACK_SIZE`].
+    pub fn with_default_size() -> io::Result<Stack> {
+        Stack::new(DEFAULT_STACK_SIZE)
+    }
+
+    /// Lowest usable address (just above the guard page).
+    pub fn base(&self) -> *mut u8 {
+        // SAFETY: in-bounds pointer arithmetic within our mapping.
+        unsafe { self.mapping.add(self.map_len - self.usable) }
+    }
+
+    /// One-past-the-end (highest) address; stacks grow down from here.
+    pub fn top(&self) -> *mut u8 {
+        // SAFETY: one-past-the-end of our mapping is a valid pointer value.
+        unsafe { self.mapping.add(self.map_len) }
+    }
+
+    /// Usable size in bytes.
+    pub fn size(&self) -> usize {
+        self.usable
+    }
+
+    /// Whether `addr` lies within the usable stack region.
+    pub fn contains(&self, addr: usize) -> bool {
+        let base = self.base() as usize;
+        let top = self.top() as usize;
+        (base..top).contains(&addr)
+    }
+}
+
+impl Drop for Stack {
+    fn drop(&mut self) {
+        // SAFETY: we own the mapping and nothing references it any more by
+        // the runtime's stack-lifecycle invariants.
+        unsafe {
+            libc::munmap(self.mapping as *mut libc::c_void, self.map_len);
+        }
+    }
+}
+
+/// The system page size.
+pub fn page_size() -> usize {
+    // SAFETY: sysconf is always callable.
+    let n = unsafe { libc::sysconf(libc::_SC_PAGESIZE) };
+    if n <= 0 {
+        4096
+    } else {
+        n as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_requested_size() {
+        let s = Stack::new(64 * 1024).unwrap();
+        assert!(s.size() >= 64 * 1024);
+        assert_eq!(s.size() % page_size(), 0);
+    }
+
+    #[test]
+    fn rounds_small_sizes_up() {
+        let s = Stack::new(1).unwrap();
+        assert!(s.size() >= MIN_STACK_SIZE);
+    }
+
+    #[test]
+    fn top_minus_base_is_size() {
+        let s = Stack::new(128 * 1024).unwrap();
+        assert_eq!(s.top() as usize - s.base() as usize, s.size());
+    }
+
+    #[test]
+    fn memory_is_writable_top_to_bottom() {
+        let s = Stack::new(64 * 1024).unwrap();
+        let base = s.base();
+        // Touch every page.
+        for off in (0..s.size()).step_by(page_size()) {
+            unsafe { base.add(off).write_volatile(0xAB) };
+        }
+        unsafe { s.top().sub(1).write_volatile(0xCD) };
+    }
+
+    #[test]
+    fn contains_is_exact() {
+        let s = Stack::new(64 * 1024).unwrap();
+        assert!(s.contains(s.base() as usize));
+        assert!(s.contains(s.top() as usize - 1));
+        assert!(!s.contains(s.top() as usize));
+        assert!(!s.contains(s.base() as usize - 1)); // guard page
+    }
+
+    #[test]
+    fn default_size_stack() {
+        let s = Stack::with_default_size().unwrap();
+        assert_eq!(s.size(), DEFAULT_STACK_SIZE);
+    }
+}

@@ -1,0 +1,169 @@
+//! Criterion microbenchmarks for the threading primitives the paper's
+//! argument rests on (§2.1: user-level operations cost ~100 ns; §3.3 /
+//! Table 1: preemption costs microseconds).
+//!
+//! | group | what it measures |
+//! |---|---|
+//! | `yield` | ULT yield round-trip through the scheduler (the "~100 cycle" context switch, paper §2.1) |
+//! | `spawn_join` | ULT fork+join vs `std::thread` (1:1) fork+join |
+//! | `mutex` | uncontended ULT mutex lock/unlock |
+//! | `pool` | ready-pool push+pop |
+//! | `preempt` | full wall-time of a spin workload under each preemption technique (Figure 6's numerator) |
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use ult_core::{
+    Config, KltParkMode, KltPoolPolicy, Priority, Runtime, ThreadKind, TimerStrategy,
+};
+
+fn quiet_runtime(workers: usize) -> Runtime {
+    Runtime::start(Config {
+        num_workers: workers,
+        preempt_interval_ns: 0,
+        timer_strategy: TimerStrategy::None,
+        ..Config::default()
+    })
+}
+
+fn bench_yield(c: &mut Criterion) {
+    let rt = quiet_runtime(1);
+    c.bench_function("yield/ult_yield_round_trip", |b| {
+        // Drive a ULT that yields N times; measure per-yield cost.
+        b.iter_custom(|iters| {
+            let h = rt.spawn(move || {
+                let t0 = std::time::Instant::now();
+                for _ in 0..iters {
+                    ult_core::yield_now();
+                }
+                t0.elapsed()
+            });
+            h.join()
+        })
+    });
+    rt.shutdown();
+}
+
+fn bench_spawn_join(c: &mut Criterion) {
+    let rt = quiet_runtime(2);
+    let mut g = c.benchmark_group("spawn_join");
+    g.bench_function("ult", |b| {
+        b.iter(|| {
+            let h = rt.spawn(|| 1u64);
+            h.join()
+        })
+    });
+    g.bench_function("std_thread_1to1", |b| {
+        b.iter(|| {
+            let h = std::thread::spawn(|| 1u64);
+            h.join().unwrap()
+        })
+    });
+    g.finish();
+    rt.shutdown();
+}
+
+fn bench_mutex(c: &mut Criterion) {
+    let rt = quiet_runtime(1);
+    c.bench_function("mutex/uncontended_lock_unlock", |b| {
+        b.iter_batched(
+            ult_sync_mutex_setup,
+            |m| {
+                let rtb = &rt;
+                let h = rtb.spawn(move || {
+                    for _ in 0..100 {
+                        let g = m.lock();
+                        drop(g);
+                    }
+                });
+                h.join();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    rt.shutdown();
+}
+
+fn ult_sync_mutex_setup() -> Arc<ult_sync::Mutex<u64>> {
+    Arc::new(ult_sync::Mutex::new(0))
+}
+
+fn bench_pool(c: &mut Criterion) {
+    use ult_core::pool::ThreadPool;
+    let pool = ThreadPool::with_capacity(1024);
+    let rt = quiet_runtime(1);
+    // A parked thread to push/pop (we never run it; just shuffle the Arc).
+    let stop = Arc::new(AtomicBool::new(true));
+    let h = rt.spawn({
+        let stop = stop.clone();
+        move || while stop.load(Ordering::Acquire) {
+            ult_core::yield_now();
+        }
+    });
+    let t = h.ult().clone();
+    c.bench_function("pool/push_pop", |b| {
+        b.iter(|| {
+            pool.push(t.clone());
+            pool.pop().unwrap()
+        })
+    });
+    stop.store(false, Ordering::Release);
+    h.join();
+    rt.shutdown();
+}
+
+fn bench_preempt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("preempt");
+    g.sample_size(10);
+    let spin = |rt: &Runtime, kind: ThreadKind| {
+        let h = rt.spawn_with(kind, Priority::High, || {
+            // black_box inside the loop: without it LLVM closed-forms the
+            // polynomial sum and the "spin" takes nanoseconds.
+            let mut acc = 0u64;
+            for i in 0..2_000_000u64 {
+                acc = acc.wrapping_add(std::hint::black_box(i) * i);
+            }
+            std::hint::black_box(acc)
+        });
+        h.join();
+    };
+    g.bench_function("nonpreemptive_baseline", |b| {
+        let rt = quiet_runtime(1);
+        b.iter(|| spin(&rt, ThreadKind::Nonpreemptive));
+        rt.shutdown();
+    });
+    g.bench_function("signal_yield_1ms", |b| {
+        let rt = Runtime::start(Config {
+            num_workers: 1,
+            preempt_interval_ns: 1_000_000,
+            timer_strategy: TimerStrategy::PerWorkerAligned,
+            ..Config::default()
+        });
+        b.iter(|| spin(&rt, ThreadKind::SignalYield));
+        rt.shutdown();
+    });
+    g.bench_function("klt_switching_1ms", |b| {
+        let rt = Runtime::start(Config {
+            num_workers: 1,
+            preempt_interval_ns: 1_000_000,
+            timer_strategy: TimerStrategy::PerWorkerAligned,
+            klt_park_mode: KltParkMode::Futex,
+            klt_pool_policy: KltPoolPolicy::WorkerLocal,
+            spare_klts: 4,
+            ..Config::default()
+        });
+        b.iter(|| spin(&rt, ThreadKind::KltSwitching));
+        rt.shutdown();
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_yield,
+    bench_spawn_join,
+    bench_mutex,
+    bench_pool,
+    bench_preempt
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Ablation — timer coordination (paper §3.2): alignment on/off for
+//! per-worker timers, and chain vs one-to-all for per-process timers.
+//!
+//! Real-machine measurement of handler latency plus the calibrated
+//! multi-core simulation (alignment only *matters* with many cores — the
+//! kernel signal lock is uncontended on one).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use ult_core::{Config, Priority, Runtime, ThreadKind, TimerStrategy};
+use ult_simcore::{simulate_interruption, KernelParams, SimStrategy};
+
+fn handler_latency(strategy: TimerStrategy, workers: usize, millis: u64) -> (f64, u64, u64) {
+    let rt = Runtime::start(Config {
+        num_workers: workers,
+        preempt_interval_ns: 1_000_000,
+        timer_strategy: strategy,
+        stat_samples: 65_536,
+        ..Config::default()
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+    let hs: Vec<_> = (0..workers)
+        .map(|i| {
+            let stop = stop.clone();
+            rt.spawn_on(i, ThreadKind::SignalYield, Priority::High, move || {
+                while !stop.load(Ordering::Acquire) {
+                    core::hint::spin_loop();
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(std::time::Duration::from_millis(millis));
+    stop.store(true, Ordering::Release);
+    for h in hs {
+        h.join();
+    }
+    let st = rt.stats();
+    let out = (st.mean_interrupt_ns(), st.preemptions, st.suppressed_ticks);
+    rt.shutdown();
+    out
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let ms = if quick { 150 } else { 400 };
+
+    println!("# Ablation: timer coordination strategies\n");
+    println!("## measured handler latency (2 workers, 1 ms ticks)\n");
+    println!("strategy\tmean_us\tpreemptions\tsuppressed");
+    for (s, name) in [
+        (TimerStrategy::PerWorkerCreationTime, "per-worker naive"),
+        (TimerStrategy::PerWorkerAligned, "per-worker aligned"),
+        (TimerStrategy::PerProcessOneToAll, "per-process one-to-all"),
+        (TimerStrategy::PerProcessChain, "per-process chain"),
+    ] {
+        let (mean, p, sup) = handler_latency(s, 2, ms);
+        println!("{name}\t{:.3}\t{p}\t{sup}", mean / 1000.0);
+    }
+
+    println!("\n## simulated alignment benefit vs core count (the paper's effect)\n");
+    println!("workers\tnaive_us\taligned_us\tspeedup");
+    let p = KernelParams::default();
+    for n in [4usize, 16, 56, 112] {
+        let naive = simulate_interruption(SimStrategy::PerWorkerCreationTime, n, 1_000_000, 30, p);
+        let aligned = simulate_interruption(SimStrategy::PerWorkerAligned, n, 1_000_000, 30, p);
+        println!(
+            "{n}\t{:.2}\t{:.2}\t{:.1}x",
+            naive.mean_ns / 1000.0,
+            aligned.mean_ns / 1000.0,
+            naive.mean_ns / aligned.mean_ns
+        );
+    }
+
+    println!("\n## simulated chain vs one-to-all (eligible-thread scan cost)\n");
+    println!("workers\tone_to_all_us\tchain_us");
+    for n in [4usize, 16, 56, 112] {
+        let all = simulate_interruption(SimStrategy::PerProcessOneToAll, n, 1_000_000, 30, p);
+        let chain = simulate_interruption(SimStrategy::PerProcessChain, n, 1_000_000, 30, p);
+        println!(
+            "{n}\t{:.2}\t{:.2}",
+            all.mean_ns / 1000.0,
+            chain.mean_ns / 1000.0
+        );
+    }
+    println!("\n# paper: alignment turns ~100 us tail into flat ~2 us; chaining flattens");
+    println!("# per-process delivery at the cost of one pthread_kill per hop.");
+}

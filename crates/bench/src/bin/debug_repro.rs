@@ -1,0 +1,180 @@
+//! Internal debugging reproducer for the KLT-switching stress scenario.
+//! Not part of the experiment suite.
+
+use mini_blas::TeamConfig;
+use std::sync::Arc;
+use tile_cholesky::{run_ult, CholConfig, TiledMatrix};
+use ult_core::{Config, Runtime, ThreadKind, TimerStrategy};
+
+extern "C" fn segv_handler(_sig: i32, info: *mut libc::siginfo_t, ctx: *mut libc::c_void) {
+    unsafe {
+        let addr = (*info).si_addr() as usize;
+        let uc = ctx as *mut libc::ucontext_t;
+        let rsp = (*uc).uc_mcontext.gregs[libc::REG_RSP as usize] as usize;
+        let rip = (*uc).uc_mcontext.gregs[libc::REG_RIP as usize] as usize;
+        let tid = libc::syscall(libc::SYS_gettid);
+        let mut buf = [0u8; 256];
+        let mut n = 0;
+        let mut put = |s: &[u8]| {
+            for &b in s {
+                if n < buf.len() {
+                    buf[n] = b;
+                    n += 1;
+                }
+            }
+        };
+        let hex = |mut v: usize, out: &mut dyn FnMut(&[u8])| {
+            let digits = b"0123456789abcdef";
+            let mut tmp = [0u8; 16];
+            let mut i = 16;
+            if v == 0 {
+                out(b"0");
+                return;
+            }
+            while v > 0 {
+                i -= 1;
+                tmp[i] = digits[v & 15];
+                v >>= 4;
+            }
+            out(&tmp[i..]);
+        };
+        put(b"SEGV tid=");
+        hex(tid as usize, &mut put);
+        put(b" addr=0x");
+        hex(addr, &mut put);
+        put(b" rsp=0x");
+        hex(rsp, &mut put);
+        put(b" rip=0x");
+        hex(rip, &mut put);
+        put(b" rsp-addr=0x");
+        hex(rsp.wrapping_sub(addr), &mut put);
+        if let Some((id, base, top)) = ult_core::debug_registry::lookup(addr) {
+            put(b" addr-in-ult=");
+            hex(id as usize, &mut put);
+            put(b" stack=0x");
+            hex(base, &mut put);
+            put(b"..0x");
+            hex(top, &mut put);
+        }
+        if let Some((id, base, _top)) = ult_core::debug_registry::lookup(rsp) {
+            put(b" rsp-in-ult=");
+            hex(id as usize, &mut put);
+            put(b" off=0x");
+            hex(rsp - base, &mut put);
+        }
+        put(b"\n");
+        libc::write(2, buf.as_ptr() as *const libc::c_void, n);
+        // Dump the event ring.
+        let mut events = [(0u64, 0u64, 0u64); 500];
+        let k = ult_core::debug_registry::recent_events(&mut events);
+        let mut big = [0u8; 24576];
+        let mut bn = 0usize;
+        {
+            let mut bput = |s: &[u8]| {
+                for &b in s {
+                    if bn < big.len() {
+                        big[bn] = b;
+                        bn += 1;
+                    }
+                }
+            };
+            let dec = |mut v: u64, out: &mut dyn FnMut(&[u8])| {
+                let mut tmp = [0u8; 20];
+                let mut i = 20;
+                if v == 0 {
+                    out(b"0");
+                    return;
+                }
+                while v > 0 {
+                    i -= 1;
+                    tmp[i] = b'0' + (v % 10) as u8;
+                    v /= 10;
+                }
+                out(&tmp[i..]);
+            };
+            for e in events.iter().take(k) {
+                let name: &[u8] = match e.0 {
+                    1 => b"SPAWN",
+                    2 => b"RUN",
+                    3 => b"RESCAP",
+                    4 => b"PRE_SY",
+                    5 => b"PRE_KS",
+                    6 => b"CAPWOKE",
+                    7 => b"YIELD",
+                    8 => b"BLOCK",
+                    9 => b"READY",
+                    10 => b"FINISH",
+                    11 => b"FREE",
+                    12 => b"POP",
+                    13 => b"EMBODY",
+                    14 => b"SCHEDRET",
+                    15 => b"KSGRAB",
+                    _ => b"?",
+                };
+                bput(name);
+                bput(b" u");
+                dec(e.1, &mut bput);
+                bput(b" a");
+                dec(e.2, &mut bput);
+                bput(b"; ");
+            }
+            bput(b"\n");
+        }
+        libc::write(2, big.as_ptr() as *const libc::c_void, bn);
+        libc::_exit(42);
+    }
+}
+
+fn main() {
+    unsafe {
+        // Dedicated signal stack so a guard-page (stack overflow) fault can
+        // still run the handler.
+        let ss_size = 256 * 1024;
+        let ss_sp = libc::mmap(
+            std::ptr::null_mut(),
+            ss_size,
+            libc::PROT_READ | libc::PROT_WRITE,
+            libc::MAP_PRIVATE | libc::MAP_ANONYMOUS,
+            -1,
+            0,
+        );
+        let ss = libc::stack_t {
+            ss_sp,
+            ss_flags: 0,
+            ss_size,
+        };
+        libc::sigaltstack(&ss, std::ptr::null_mut());
+        let mut sa: libc::sigaction = std::mem::zeroed();
+        sa.sa_sigaction = segv_handler as *const () as usize;
+        sa.sa_flags = libc::SA_SIGINFO | libc::SA_ONSTACK;
+        libc::sigemptyset(&mut sa.sa_mask);
+        libc::sigaction(libc::SIGSEGV, &sa, std::ptr::null_mut());
+        libc::sigaction(libc::SIGBUS, &sa, std::ptr::null_mut());
+    }
+    for round in 0..50 {
+        let rt = Runtime::start(Config {
+            num_workers: 2,
+            preempt_interval_ns: 2_000_000,
+            timer_strategy: TimerStrategy::PerWorkerAligned,
+            ..Config::default()
+        });
+        let tiles = Arc::new(TiledMatrix::random_spd(6, 16, 88));
+        run_ult(
+            &rt,
+            tiles.clone(),
+            CholConfig {
+                nt: 6,
+                nb: 16,
+                team: TeamConfig::mkl_busy_wait(2, ThreadKind::KltSwitching),
+                outer_kind: ThreadKind::KltSwitching,
+            },
+        );
+        let stats = rt.stats();
+        eprintln!(
+            "round {round}: ok (preempt={} kltsw={} resume={} misses={})",
+            stats.preemptions, stats.klt_switches, stats.captive_resumes, stats.klt_misses
+        );
+        rt.shutdown();
+    }
+    println!("all rounds passed");
+}

@@ -1,0 +1,163 @@
+//! Figure 7 — Cholesky decomposition GFLOPS vs number of tiles.
+//!
+//! Series (paper legend → this harness):
+//!
+//! * "BOLT (nonpreemptive, reverse-engineered)" — ULT backend,
+//!   nonpreemptive threads, *yielding* team barrier (the authors' patched
+//!   MKL). The unpatched busy-wait barrier deadlocks — see
+//!   `examples/deadlock_demo.rs`.
+//! * "BOLT (preemptive, intvl=10ms)" / "(intvl=1ms)" — ULT backend,
+//!   KLT-switching threads, faithful busy-wait barrier, per-worker timers.
+//! * "IOMP" — 1:1 OS threads, nested (outer pool + inner scoped teams).
+//! * "IOMP (flat)" — 1:1 OS threads, outer-only (inner parallelism off,
+//!   outer width = cores).
+//!
+//! Scale substitution (DESIGN.md): the paper uses 1000×1000 tiles on 56
+//! cores; this box defaults to 48–64² tiles with small tile grids so a run
+//! completes in seconds. GFLOPS = (n³/3) / time.
+
+use mini_blas::kernels::cholesky_flops;
+use mini_blas::TeamConfig;
+use repro_bench::measure::time_secs;
+use std::sync::Arc;
+use tile_cholesky::{run_oneone, run_ult, CholConfig, TiledMatrix};
+use ult_core::{Config, Runtime, ThreadKind, TimerStrategy};
+
+fn gflops(n: usize, secs: f64) -> f64 {
+    cholesky_flops(n) / secs / 1e9
+}
+
+fn bolt_run(
+    nt: usize,
+    nb: usize,
+    team: TeamConfig,
+    outer_kind: ThreadKind,
+    interval_ns: u64,
+    workers: usize,
+) -> f64 {
+    let rt = Runtime::start(Config {
+        num_workers: workers,
+        preempt_interval_ns: interval_ns,
+        timer_strategy: if interval_ns == 0 {
+            TimerStrategy::None
+        } else {
+            TimerStrategy::PerWorkerAligned
+        },
+        spare_klts: 4,
+        ..Config::default()
+    });
+    let tiles = Arc::new(TiledMatrix::random_spd(nt, nb, nt as u64));
+    let secs = time_secs(|| {
+        run_ult(
+            &rt,
+            tiles.clone(),
+            CholConfig {
+                nt,
+                nb,
+                team,
+                outer_kind,
+            },
+        )
+    });
+    rt.shutdown();
+    gflops(nt * nb, secs)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let workers = 2usize; // scaled from 56
+    let inner = 2usize; // paper: inner = outer = 8 on 56 cores; we use 2x2
+    let nb = if quick { 32 } else { 48 };
+    let tile_grid: &[usize] = if quick { &[2, 4] } else { &[2, 4, 6, 8] };
+
+    println!("# Figure 7: Cholesky GFLOPS vs #tiles (tile {nb}x{nb}, {workers} workers)");
+    println!("series\ttiles\tgflops");
+
+    for &nt in tile_grid {
+        let n = nt * nb;
+
+        // BOLT (nonpreemptive, reverse-engineered): yielding MKL barrier.
+        let g = bolt_run(
+            nt,
+            nb,
+            TeamConfig::mkl_yielding(inner, ThreadKind::Nonpreemptive),
+            ThreadKind::Nonpreemptive,
+            0,
+            workers,
+        );
+        println!("BOLT(nonpre,reverse-eng)\t{nt}x{nt}\t{g:.3}");
+
+        // BOLT (preemptive, 10ms): faithful busy-wait MKL barrier.
+        let g = bolt_run(
+            nt,
+            nb,
+            TeamConfig::mkl_busy_wait(inner, ThreadKind::KltSwitching),
+            ThreadKind::KltSwitching,
+            10_000_000,
+            workers,
+        );
+        println!("BOLT(preemptive,10ms)\t{nt}x{nt}\t{g:.3}");
+
+        // BOLT (preemptive, 1ms).
+        let g = bolt_run(
+            nt,
+            nb,
+            TeamConfig::mkl_busy_wait(inner, ThreadKind::KltSwitching),
+            ThreadKind::KltSwitching,
+            1_000_000,
+            workers,
+        );
+        println!("BOLT(preemptive,1ms)\t{nt}x{nt}\t{g:.3}");
+
+        // BOLT (preemptive, 1ms) with the yielding barrier: isolates the
+        // preemption machinery's own overhead from the busy-wait-slice
+        // artifact (on 1 core a busy-wait team member burns a whole time
+        // slice per barrier; on the paper's 56 cores members spin only
+        // microseconds because they actually run in parallel).
+        let g = bolt_run(
+            nt,
+            nb,
+            TeamConfig::mkl_yielding(inner, ThreadKind::KltSwitching),
+            ThreadKind::KltSwitching,
+            1_000_000,
+            workers,
+        );
+        println!("BOLT(preemptive,1ms,yield-barrier)\t{nt}x{nt}\t{g:.3}");
+
+        // IOMP: nested 1:1 threads.
+        let tiles = Arc::new(TiledMatrix::random_spd(nt, nb, nt as u64));
+        let secs = time_secs(|| {
+            run_oneone(
+                tiles.clone(),
+                CholConfig {
+                    nt,
+                    nb,
+                    team: TeamConfig::mkl_busy_wait(inner, ThreadKind::Nonpreemptive),
+                    outer_kind: ThreadKind::Nonpreemptive,
+                },
+                workers,
+            )
+        });
+        println!("IOMP\t{nt}x{nt}\t{:.3}", gflops(n, secs));
+
+        // IOMP (flat): outer-only, width = cores.
+        let tiles = Arc::new(TiledMatrix::random_spd(nt, nb, nt as u64));
+        let secs = time_secs(|| {
+            run_oneone(
+                tiles.clone(),
+                CholConfig {
+                    nt,
+                    nb,
+                    team: TeamConfig::sequential(),
+                    outer_kind: ThreadKind::Nonpreemptive,
+                },
+                workers * inner,
+            )
+        });
+        println!("IOMP(flat)\t{nt}x{nt}\t{:.3}", gflops(n, secs));
+    }
+
+    println!("\n# paper shape: BOLT(preemptive) >= IOMP in almost all cases (up to +27%),");
+    println!("# larger intervals slightly better than 1ms; nonpreemptive only runs thanks");
+    println!("# to the reverse-engineered yield; flat IOMP trails once tiles are plentiful.");
+}

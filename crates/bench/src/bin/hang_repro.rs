@@ -1,0 +1,71 @@
+//! Internal debugging reproducer for the mixed-kind starvation scenario
+//! (quickstart phase 2). Not part of the experiment suite.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use ult_core::{Config, Priority, Runtime, ThreadKind, TimerStrategy};
+
+fn main() {
+    for round in 0..200 {
+        let rt = Runtime::start(Config {
+            num_workers: 2,
+            preempt_interval_ns: 1_000_000,
+            timer_strategy: TimerStrategy::PerWorkerAligned,
+            ..Config::default()
+        });
+        // Phase 1 (as in quickstart): churn 1000 short ULTs first.
+        let hs: Vec<_> = (0..1000).map(|i| rt.spawn(move || i * 2)).collect();
+        let _: u64 = hs.into_iter().map(|h| h.join()).sum();
+
+        let flag = Arc::new(AtomicBool::new(false));
+        let spins = Arc::new(AtomicU64::new(0));
+        let (f1, s1) = (flag.clone(), spins.clone());
+        let spinner = rt.spawn_with(ThreadKind::KltSwitching, Priority::High, move || {
+            while !f1.load(Ordering::Acquire) {
+                s1.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        let more: Vec<_> = (0..2)
+            .map(|_| {
+                let f = flag.clone();
+                rt.spawn_with(ThreadKind::KltSwitching, Priority::High, move || {
+                    while !f.load(Ordering::Acquire) {
+                        core::hint::spin_loop();
+                    }
+                })
+            })
+            .collect();
+        let f2 = flag.clone();
+        let setter = rt.spawn_with(ThreadKind::SignalYield, Priority::High, move || {
+            f2.store(true, Ordering::Release);
+        });
+
+        // Watchdog: if the setter hasn't run within 10 s, dump state.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !flag.load(Ordering::Acquire) {
+            if std::time::Instant::now() > deadline {
+                let st = rt.stats();
+                eprintln!("HANG in round {round}: stats = {st:?}");
+                eprintln!("{}", rt.debug_state());
+                let mut events = [(0u64, 0u64, 0u64); 300];
+                let k = ult_core::debug_registry::recent_events(&mut events);
+                for e in events.iter().take(k) {
+                    eprint!("{}:u{}a{}; ", e.0, e.1, e.2);
+                }
+                eprintln!();
+                std::process::exit(3);
+            }
+            std::thread::yield_now();
+        }
+        spinner.join();
+        setter.join();
+        for h in more {
+            h.join();
+        }
+        if round % 20 == 0 {
+            eprintln!("round {round} ok (preempt={})", rt.stats().preemptions);
+        }
+        rt.shutdown();
+    }
+    println!("all rounds passed");
+}

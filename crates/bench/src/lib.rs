@@ -1,0 +1,19 @@
+//! # repro-bench — harnesses regenerating every table and figure
+//!
+//! One binary per experiment (see DESIGN.md's experiment index):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig4_interrupt` | Figure 4 — timer interruption time vs workers |
+//! | `fig6_overhead` | Figure 6 — preemption overhead vs interval |
+//! | `table1_direct` | Table 1 — direct preemption overhead |
+//! | `fig7_chol` | Figure 7 — Cholesky GFLOPS vs tiles |
+//! | `fig8_hpgmg` | Figure 8 — thread-packing overhead (HPGMG) |
+//! | `fig9_md` | Figure 9 — in-situ analysis overhead (mini-MD) |
+//!
+//! The library part hosts shared measurement utilities.
+
+#![deny(missing_docs)]
+
+pub mod measure;
+pub mod oneone;

@@ -1,0 +1,125 @@
+//! 1:1-thread (Pthreads/IOMP-style) baselines shared by the harnesses.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A parallel-for over plain OS threads: spawn `threads` scoped threads,
+/// split `0..n` into contiguous chunks (static schedule, like
+/// `omp parallel for schedule(static)`).
+pub fn oneone_parallel_for<F>(threads: usize, n: usize, body: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for t in 1..threads {
+            let lo = (t * chunk).min(n);
+            let hi = ((t + 1) * chunk).min(n);
+            let body = &body;
+            scope.spawn(move || body(lo..hi));
+        }
+        body(0..chunk.min(n));
+    });
+}
+
+/// A stoppable OS-thread spinner pool, used by Table 1's 1:1 probe: `n`
+/// threads spin recording timestamps until stopped.
+pub struct SpinnerPool {
+    stop: Arc<AtomicBool>,
+    handles: Vec<std::thread::JoinHandle<Vec<u64>>>,
+}
+
+impl SpinnerPool {
+    /// Start `n` OS threads, each appending `ult_sys::now_ns()` readings to
+    /// its own buffer as fast as it can. Pin all of them to CPU 0 when
+    /// `pin_same_core` — forcing OS timeslice preemption between them,
+    /// which is exactly the 1:1 preemption Table 1 measures.
+    pub fn start(n: usize, pin_same_core: bool) -> SpinnerPool {
+        let stop = Arc::new(AtomicBool::new(false));
+        let handles = (0..n)
+            .map(|_| {
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    if pin_same_core {
+                        let _ = ult_sys::affinity::pin_to_cpu(ult_sys::gettid(), 0);
+                    }
+                    let mut stamps = Vec::with_capacity(1 << 20);
+                    while !stop.load(Ordering::Relaxed) {
+                        if stamps.len() < stamps.capacity() {
+                            stamps.push(ult_sys::now_ns());
+                        } else {
+                            // Keep spinning without growing.
+                            std::hint::black_box(ult_sys::now_ns());
+                        }
+                    }
+                    stamps
+                })
+            })
+            .collect();
+        SpinnerPool { stop, handles }
+    }
+
+    /// Stop and collect every thread's timestamp trace.
+    pub fn stop(self) -> Vec<Vec<u64>> {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handles
+            .into_iter()
+            .map(|h| h.join().expect("spinner panicked"))
+            .collect()
+    }
+}
+
+/// Extract preemption gaps from a timestamp trace: gaps where a thread was
+/// off-CPU longer than `threshold_ns` mark involuntary context switches;
+/// the *gap length* approximates the preemption overhead + time given to
+/// other threads; the switch-in/switch-out edges are what Table 1 medians.
+pub fn gaps(trace: &[u64], threshold_ns: u64) -> Vec<u64> {
+    trace
+        .windows(2)
+        .filter_map(|w| {
+            let d = w[1].saturating_sub(w[0]);
+            (d > threshold_ns).then_some(d)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn parallel_for_covers_range() {
+        let hits = AtomicUsize::new(0);
+        oneone_parallel_for(4, 1000, |r| {
+            hits.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn parallel_for_single_thread() {
+        let hits = AtomicUsize::new(0);
+        oneone_parallel_for(1, 10, |r| {
+            hits.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn gaps_finds_large_jumps() {
+        let trace = [0, 10, 20, 5_000, 5_010, 9_000];
+        assert_eq!(gaps(&trace, 1_000), vec![4_980, 3_990]);
+        assert!(gaps(&trace, 10_000).is_empty());
+    }
+
+    #[test]
+    fn spinner_pool_collects() {
+        let pool = SpinnerPool::start(2, false);
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let traces = pool.stop();
+        assert_eq!(traces.len(), 2);
+        assert!(traces.iter().all(|t| !t.is_empty()));
+    }
+}

@@ -1,0 +1,116 @@
+//! Blocked (right-looking) Cholesky inside a single tile.
+//!
+//! The unblocked `potrf_lower` is O(n³) with poor cache behavior past
+//! ~100×100. SLATE/MKL use a blocked factorization even within a tile; this
+//! module provides the same so the Figure 7 harness can use the paper's
+//! 1000×1000 tiles without the diagonal factor dominating.
+
+use crate::kernels::{gemm_nt, potrf_lower, syrk_ln, trsm_rlt};
+use crate::matrix::Matrix;
+
+/// In-place blocked lower Cholesky with panel width `nb`.
+///
+/// Equivalent to [`potrf_lower`] (same factor, different loop order);
+/// returns `Err(global_pivot_index)` for non-SPD inputs.
+pub fn potrf_blocked(a: &mut Matrix, nb: usize) -> Result<(), usize> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n);
+    let nb = nb.max(1);
+    if nb >= n {
+        return potrf_lower(a);
+    }
+    let mut k = 0;
+    while k < n {
+        let kb = nb.min(n - k);
+        // Factor the diagonal panel A[k..k+kb, k..k+kb].
+        let mut akk = submatrix(a, k, k, kb, kb);
+        potrf_lower(&mut akk).map_err(|j| k + j)?;
+        write_submatrix(a, k, k, &akk);
+        if k + kb < n {
+            let m = n - (k + kb);
+            // Panel solve: A[k+kb.., k..k+kb] ← · L_kk^{-T}.
+            let mut panel = submatrix(a, k + kb, k, m, kb);
+            trsm_rlt(&mut panel, &akk);
+            write_submatrix(a, k + kb, k, &panel);
+            // Trailing update: A[k+kb.., k+kb..] -= panel · panelᵀ
+            // (SYRK on the diagonal block, GEMM strictly below).
+            let mut trail = submatrix(a, k + kb, k + kb, m, m);
+            syrk_ln(&mut trail, &panel);
+            write_lower_submatrix(a, k + kb, k + kb, &trail);
+            let _ = gemm_nt; // gemm is folded into syrk_ln's full-column update
+        }
+        k += kb;
+    }
+    Ok(())
+}
+
+fn submatrix(a: &Matrix, r0: usize, c0: usize, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| a[(r0 + r, c0 + c)])
+}
+
+fn write_submatrix(a: &mut Matrix, r0: usize, c0: usize, sub: &Matrix) {
+    for c in 0..sub.cols() {
+        for r in 0..sub.rows() {
+            a[(r0 + r, c0 + c)] = sub[(r, c)];
+        }
+    }
+}
+
+/// Write back only the lower triangle (the upper holds stale input data by
+/// POTRF convention).
+fn write_lower_submatrix(a: &mut Matrix, r0: usize, c0: usize, sub: &Matrix) {
+    for c in 0..sub.cols() {
+        for r in c..sub.rows() {
+            a[(r0 + r, c0 + c)] = sub[(r, c)];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lower_equal(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+        let n = a.rows();
+        for j in 0..n {
+            for i in j..n {
+                if (a[(i, j)] - b[(i, j)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn blocked_matches_unblocked() {
+        for (n, nb) in [(16, 4), (24, 8), (33, 8), (40, 16), (20, 64)] {
+            let a0 = Matrix::random_spd(n, n as u64);
+            let mut unblocked = a0.clone();
+            potrf_lower(&mut unblocked).unwrap();
+            let mut blocked = a0.clone();
+            potrf_blocked(&mut blocked, nb).unwrap();
+            assert!(
+                lower_equal(&unblocked, &blocked, 1e-8),
+                "mismatch at n={n} nb={nb}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_rejects_indefinite() {
+        let mut a = Matrix::identity(12);
+        a[(7, 7)] = -3.0;
+        assert_eq!(potrf_blocked(&mut a, 4), Err(7));
+    }
+
+    #[test]
+    fn block_width_one_works() {
+        let a0 = Matrix::random_spd(10, 5);
+        let mut a = a0.clone();
+        potrf_blocked(&mut a, 1).unwrap();
+        let mut r = a0.clone();
+        potrf_lower(&mut r).unwrap();
+        assert!(lower_equal(&a, &r, 1e-9));
+    }
+}

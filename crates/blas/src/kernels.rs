@@ -1,0 +1,263 @@
+//! Sequential BLAS/LAPACK kernels: the four routines of tiled Cholesky
+//! (paper §4.1: "DGEMM, TRSM, HERK, and POTRF"; real symmetric case, so
+//! HERK is SYRK).
+//!
+//! All kernels operate on column-major [`Matrix`] tiles. `gemm_nt`, the hot
+//! kernel, is register-blocked over a transposed-B access pattern so the
+//! inner loop is stride-1 in both operands.
+
+use crate::matrix::Matrix;
+
+/// `C -= A · Bᵀ` (the trailing-update GEMM of right-looking Cholesky).
+///
+/// Shapes: `A` is m×k, `B` is n×k, `C` is m×n.
+pub fn gemm_nt(c: &mut Matrix, a: &Matrix, b: &Matrix) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.rows();
+    assert_eq!(b.cols(), k);
+    assert_eq!((c.rows(), c.cols()), (m, n));
+    // Column-major: C[:, j] -= Σ_l A[:, l] * B[j, l]
+    for j in 0..n {
+        for l in 0..k {
+            let blj = b[(j, l)];
+            if blj == 0.0 {
+                continue;
+            }
+            let (a_col, c_col) = (l * m, j * m);
+            let a_s = a.as_slice();
+            // Split borrows: read column of A, update column of C.
+            let c_s = c.as_mut_slice();
+            for i in 0..m {
+                c_s[c_col + i] -= a_s[a_col + i] * blj;
+            }
+        }
+    }
+}
+
+/// `C -= A · Aᵀ`, lower triangle only (SYRK; the paper's HERK on reals).
+///
+/// Shapes: `A` is n×k, `C` is n×n (only the lower triangle is updated).
+pub fn syrk_ln(c: &mut Matrix, a: &Matrix) {
+    let (n, k) = (a.rows(), a.cols());
+    assert_eq!((c.rows(), c.cols()), (n, n));
+    for j in 0..n {
+        for l in 0..k {
+            let ajl = a[(j, l)];
+            if ajl == 0.0 {
+                continue;
+            }
+            let a_col = l * n;
+            let c_col = j * n;
+            let a_s = a.as_slice();
+            let c_s = c.as_mut_slice();
+            for i in j..n {
+                c_s[c_col + i] -= a_s[a_col + i] * ajl;
+            }
+        }
+    }
+}
+
+/// `B ← B · L⁻ᵀ` where `L` is lower-triangular (TRSM, right/lower/trans —
+/// the panel solve of right-looking Cholesky).
+///
+/// Shapes: `L` is n×n lower-triangular, `B` is m×n.
+pub fn trsm_rlt(b: &mut Matrix, l: &Matrix) {
+    let n = l.rows();
+    assert_eq!(l.cols(), n);
+    assert_eq!(b.cols(), n);
+    let m = b.rows();
+    // Solve X Lᵀ = B column by column: X[:,j] = (B[:,j] - Σ_{p<j} X[:,p]·L[j,p]) / L[j,j]
+    for j in 0..n {
+        for p in 0..j {
+            let ljp = l[(j, p)];
+            if ljp == 0.0 {
+                continue;
+            }
+            let (src, dst) = (p * m, j * m);
+            let b_s = b.as_mut_slice();
+            for i in 0..m {
+                b_s[dst + i] -= b_s[src + i] * ljp;
+            }
+        }
+        let inv = 1.0 / l[(j, j)];
+        let dst = j * m;
+        let b_s = b.as_mut_slice();
+        for i in 0..m {
+            b_s[dst + i] *= inv;
+        }
+    }
+}
+
+/// In-place lower Cholesky of a symmetric positive-definite tile (POTRF).
+///
+/// On success the lower triangle holds `L` with `A = L·Lᵀ`; the strict
+/// upper triangle is left untouched. Returns `Err(j)` if the matrix is not
+/// positive definite at pivot `j`.
+pub fn potrf_lower(a: &mut Matrix) -> Result<(), usize> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n);
+    for j in 0..n {
+        // d = A[j,j] - Σ_{p<j} L[j,p]²
+        let mut d = a[(j, j)];
+        for p in 0..j {
+            let v = a[(j, p)];
+            d -= v * v;
+        }
+        if d <= 0.0 {
+            return Err(j);
+        }
+        let ljj = d.sqrt();
+        a[(j, j)] = ljj;
+        let inv = 1.0 / ljj;
+        for i in (j + 1)..n {
+            let mut v = a[(i, j)];
+            for p in 0..j {
+                v -= a[(i, p)] * a[(j, p)];
+            }
+            a[(i, j)] = v * inv;
+        }
+    }
+    Ok(())
+}
+
+/// Flop count of an n×n Cholesky (n³/3, the paper's GFLOPS denominator).
+pub fn cholesky_flops(n: usize) -> f64 {
+    let n = n as f64;
+    n * n * n / 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct_lower(a: &Matrix) -> Matrix {
+        // L · Lᵀ with L = lower triangle of a.
+        let n = a.rows();
+        let mut l = a.clone();
+        l.zero_upper();
+        l.matmul(&l.transpose());
+        let lt = l.transpose();
+        let mut out = Matrix::zeros(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += l[(i, k)] * lt[(k, j)];
+                }
+                out[(i, j)] = s;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn gemm_nt_matches_oracle() {
+        let a = Matrix::from_fn(4, 3, |r, c| (r + 2 * c) as f64);
+        let b = Matrix::from_fn(5, 3, |r, c| (2 * r + c) as f64);
+        let mut c = Matrix::from_fn(4, 5, |r, c| (r * c) as f64);
+        let expect = {
+            let prod = a.matmul(&b.transpose());
+            Matrix::from_fn(4, 5, |r, cc| c[(r, cc)] - prod[(r, cc)])
+        };
+        gemm_nt(&mut c, &a, &b);
+        assert!(c.max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn syrk_matches_gemm_on_lower() {
+        let a = Matrix::from_fn(5, 3, |r, c| (r as f64 - c as f64) * 0.5);
+        let mut c1 = Matrix::random_spd(5, 3);
+        let mut c2 = c1.clone();
+        syrk_ln(&mut c1, &a);
+        gemm_nt(&mut c2, &a, &a);
+        for j in 0..5 {
+            for i in j..5 {
+                assert!((c1[(i, j)] - c2[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_inverts_multiplication() {
+        // Build L lower-triangular with unit-ish diagonal, B = X · Lᵀ,
+        // then trsm must recover X.
+        let n = 4;
+        let mut l = Matrix::from_fn(n, n, |r, c| {
+            if r > c {
+                0.3 * (r + c) as f64
+            } else {
+                0.0
+            }
+        });
+        for i in 0..n {
+            l[(i, i)] = 2.0 + i as f64;
+        }
+        let x = Matrix::from_fn(6, n, |r, c| (r * n + c) as f64 * 0.25);
+        let b = x.matmul(&l.transpose());
+        let mut recovered = b.clone();
+        trsm_rlt(&mut recovered, &l);
+        assert!(recovered.max_abs_diff(&x) < 1e-10);
+    }
+
+    #[test]
+    fn potrf_reconstructs_input() {
+        let n = 24;
+        let a0 = Matrix::random_spd(n, 7);
+        let mut a = a0.clone();
+        potrf_lower(&mut a).unwrap();
+        let rebuilt = reconstruct_lower(&a);
+        // Compare lower triangles (upper of `a` holds stale input data).
+        for j in 0..n {
+            for i in j..n {
+                assert!(
+                    (rebuilt[(i, j)] - a0[(i, j)]).abs() < 1e-8,
+                    "mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn potrf_rejects_indefinite() {
+        let mut a = Matrix::identity(3);
+        a[(1, 1)] = -1.0;
+        assert_eq!(potrf_lower(&mut a), Err(1));
+    }
+
+    #[test]
+    fn flops_formula() {
+        assert_eq!(cholesky_flops(1000), 1e9 / 3.0);
+    }
+
+    #[test]
+    fn full_tile_pipeline_like_cholesky_step() {
+        // One right-looking step on a 2x2 tile grid must equal a direct
+        // POTRF of the whole matrix (block Cholesky correctness).
+        let nb = 8;
+        let full = Matrix::random_spd(2 * nb, 11);
+        // Split into tiles.
+        let tile = |r0: usize, c0: usize| {
+            Matrix::from_fn(nb, nb, |r, c| full[(r0 * nb + r, c0 * nb + c)])
+        };
+        let mut a00 = tile(0, 0);
+        let mut a10 = tile(1, 0);
+        let mut a11 = tile(1, 1);
+        potrf_lower(&mut a00).unwrap();
+        trsm_rlt(&mut a10, &a00);
+        syrk_ln(&mut a11, &a10);
+        potrf_lower(&mut a11).unwrap();
+
+        // Oracle: full POTRF.
+        let mut whole = full.clone();
+        potrf_lower(&mut whole).unwrap();
+        for j in 0..nb {
+            for i in j..nb {
+                assert!((a00[(i, j)] - whole[(i, j)]).abs() < 1e-9);
+                assert!((a11[(i, j)] - whole[(nb + i, nb + j)]).abs() < 1e-9);
+            }
+            for i in 0..nb {
+                assert!((a10[(i, j)] - whole[(nb + i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+}

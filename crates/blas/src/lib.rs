@@ -1,0 +1,27 @@
+//! # mini-blas — dense f64 kernels with MKL-style inner-team parallelism
+//!
+//! The paper's Cholesky study (§4.1) nests two levels of parallelism: outer
+//! OpenMP tasks over tiles, and inner OpenMP teams *inside Intel MKL*'s
+//! BLAS routines. MKL's team barrier busy-waits on a memory flag — which
+//! deadlocks on nonpreemptive M:N threads. This crate reproduces that
+//! structure from scratch:
+//!
+//! * [`matrix`] — a column-major dense matrix.
+//! * [`kernels`] — sequential GEMM / SYRK / TRSM / POTRF (the four routines
+//!   the tiled Cholesky calls).
+//! * [`team`] — the "MKL": a fork-join inner team whose members synchronize
+//!   through a [`ult_sync::SpinBarrier`], in either
+//!   [`ult_sync::SpinMode::BusyWait`] (faithful MKL, deadlock-prone on
+//!   nonpreemptive M:N) or [`ult_sync::SpinMode::Yielding`] (the authors'
+//!   reverse-engineered patch).
+//! * [`parallel`] — team-parallel versions of the four kernels.
+
+#![deny(missing_docs)]
+
+pub mod kernels;
+pub mod matrix;
+pub mod parallel;
+pub mod team;
+
+pub use matrix::Matrix;
+pub use team::{Team, TeamConfig};

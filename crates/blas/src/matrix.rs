@@ -1,0 +1,237 @@
+//! Column-major dense matrices (LAPACK layout, as in SLATE/MKL).
+
+use std::fmt;
+
+/// An owned column-major `rows × cols` matrix of f64.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity (square).
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a closure over (row, col).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for c in 0..cols {
+            for r in 0..rows {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// A random symmetric positive-definite matrix (diagonally dominated),
+    /// the standard Cholesky test input.
+    pub fn random_spd(n: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        let mut next = move || {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut a = Matrix::zeros(n, n);
+        for c in 0..n {
+            for r in 0..=c {
+                let v = next() - 0.5;
+                a[(r, c)] = v;
+                a[(c, r)] = v;
+            }
+        }
+        // Diagonal dominance ⇒ positive definite.
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Raw column-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Raw mutable column-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Column `c` as a slice.
+    pub fn col(&self, c: usize) -> &[f64] {
+        &self.data[c * self.rows..(c + 1) * self.rows]
+    }
+
+    /// Matrix product `self * other` (naive; used as a test oracle).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows);
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for j in 0..other.cols {
+            for k in 0..self.cols {
+                let b = other[(k, j)];
+                if b == 0.0 {
+                    continue;
+                }
+                for i in 0..self.rows {
+                    out[(i, j)] += self[(i, k)] * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Max absolute elementwise difference to `other`.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Zero the strictly-upper triangle (canonicalize a lower factor).
+    pub fn zero_upper(&mut self) {
+        for c in 0..self.cols {
+            for r in 0..c.min(self.rows) {
+                self[(r, c)] = 0.0;
+            }
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[c * self.rows + r]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[c * self.rows + r]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:10.4} ", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip_column_major() {
+        let mut m = Matrix::zeros(3, 2);
+        m[(2, 1)] = 7.0;
+        assert_eq!(m[(2, 1)], 7.0);
+        // Column-major: element (2,1) is at offset 1*3+2 = 5.
+        assert_eq!(m.as_slice()[5], 7.0);
+    }
+
+    #[test]
+    fn identity_matmul() {
+        let i = Matrix::identity(4);
+        let a = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f64);
+        assert_eq!(i.matmul(&a), a);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(3, 5, |r, c| (r * 10 + c) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().rows(), 5);
+    }
+
+    #[test]
+    fn spd_is_symmetric_and_dominant() {
+        let a = Matrix::random_spd(16, 42);
+        for r in 0..16 {
+            for c in 0..16 {
+                assert_eq!(a[(r, c)], a[(c, r)]);
+            }
+            let off: f64 = (0..16).filter(|&c| c != r).map(|c| a[(r, c)].abs()).sum();
+            assert!(a[(r, r)] > off, "row {r} not dominant");
+        }
+    }
+
+    #[test]
+    fn spd_is_deterministic_per_seed() {
+        assert_eq!(Matrix::random_spd(8, 1), Matrix::random_spd(8, 1));
+        assert_ne!(Matrix::random_spd(8, 1), Matrix::random_spd(8, 2));
+    }
+
+    #[test]
+    fn norms_and_diffs() {
+        let a = Matrix::identity(3);
+        let b = Matrix::zeros(3, 3);
+        assert_eq!(a.max_abs_diff(&b), 1.0);
+        assert!((a.fro_norm() - 3f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_upper_keeps_lower() {
+        let mut a = Matrix::from_fn(3, 3, |_, _| 1.0);
+        a.zero_upper();
+        assert_eq!(a[(0, 1)], 0.0);
+        assert_eq!(a[(0, 2)], 0.0);
+        assert_eq!(a[(1, 2)], 0.0);
+        assert_eq!(a[(1, 0)], 1.0);
+        assert_eq!(a[(2, 2)], 1.0);
+    }
+}

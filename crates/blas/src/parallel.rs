@@ -1,0 +1,191 @@
+//! Team-parallel BLAS kernels (the "OpenMP-parallel MKL" layer).
+//!
+//! Each routine partitions its independent dimension across the team:
+//! GEMM/SYRK over output columns, TRSM over the rows of the right-hand
+//! side. POTRF stays sequential on the (small) diagonal tile, as in
+//! practice its inner parallelism is negligible next to the updates.
+//!
+//! The team barrier at the end of each call is where the MKL busy-wait
+//! deadlock of paper §4.1 lives — see [`crate::team`].
+
+use crate::kernels;
+use crate::matrix::Matrix;
+use crate::team::Team;
+use std::cell::UnsafeCell;
+
+/// Wrapper granting disjoint-range mutable access to a tile across team
+/// members. Each member writes a disjoint set of columns/rows, so the
+/// aliasing is sound by partitioning.
+struct SharedTile<'a>(UnsafeCell<&'a mut Matrix>);
+// SAFETY: members access disjoint column/row ranges (enforced by the
+// partitioning in each routine below).
+unsafe impl Sync for SharedTile<'_> {}
+
+impl SharedTile<'_> {
+    /// Raw access for a team member (method call keeps closure capture at
+    /// whole-struct granularity, so our `Sync` impl applies).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn tile(&self) -> &mut Matrix {
+        // SAFETY: caller writes a disjoint range.
+        unsafe { &mut *self.0.get() }
+    }
+}
+
+/// Team-parallel `C -= A · Bᵀ`, partitioned over columns of `C`.
+pub fn pgemm_nt(team: &Team, c: &mut Matrix, a: &Matrix, b: &Matrix) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.rows();
+    assert_eq!(b.cols(), k);
+    assert_eq!((c.rows(), c.cols()), (m, n));
+    let shared = SharedTile(UnsafeCell::new(c));
+    team.parallel_for(n, |cols| {
+        // SAFETY: disjoint column range per member.
+        let c: &mut Matrix = unsafe { shared.tile() };
+        gemm_nt_cols(c, a, b, cols);
+    });
+}
+
+fn gemm_nt_cols(c: &mut Matrix, a: &Matrix, b: &Matrix, cols: std::ops::Range<usize>) {
+    let (m, k) = (a.rows(), a.cols());
+    for j in cols {
+        for l in 0..k {
+            let blj = b[(j, l)];
+            if blj == 0.0 {
+                continue;
+            }
+            let (a_col, c_col) = (l * m, j * m);
+            let a_s = a.as_slice();
+            let c_s = c.as_mut_slice();
+            for i in 0..m {
+                c_s[c_col + i] -= a_s[a_col + i] * blj;
+            }
+        }
+    }
+}
+
+/// Team-parallel `C -= A · Aᵀ` (lower), partitioned over columns.
+pub fn psyrk_ln(team: &Team, c: &mut Matrix, a: &Matrix) {
+    let (n, k) = (a.rows(), a.cols());
+    assert_eq!((c.rows(), c.cols()), (n, n));
+    let shared = SharedTile(UnsafeCell::new(c));
+    team.parallel_for(n, |cols| {
+        // SAFETY: disjoint column range per member.
+        let c: &mut Matrix = unsafe { shared.tile() };
+        let a_s = a.as_slice();
+        for j in cols.clone() {
+            for l in 0..k {
+                let ajl = a[(j, l)];
+                if ajl == 0.0 {
+                    continue;
+                }
+                let a_col = l * n;
+                let c_col = j * n;
+                let c_sl = c.as_mut_slice();
+                for i in j..n {
+                    c_sl[c_col + i] -= a_s[a_col + i] * ajl;
+                }
+            }
+        }
+    });
+}
+
+/// Team-parallel `B ← B · L⁻ᵀ`, partitioned over rows of `B` (row blocks
+/// of the solve are independent).
+pub fn ptrsm_rlt(team: &Team, b: &mut Matrix, l: &Matrix) {
+    let n = l.rows();
+    assert_eq!(l.cols(), n);
+    assert_eq!(b.cols(), n);
+    let m = b.rows();
+    let shared = SharedTile(UnsafeCell::new(b));
+    team.parallel_for(m, |rows| {
+        // SAFETY: disjoint row range per member.
+        let b: &mut Matrix = unsafe { shared.tile() };
+        for j in 0..n {
+            for p in 0..j {
+                let ljp = l[(j, p)];
+                if ljp == 0.0 {
+                    continue;
+                }
+                let (src, dst) = (p * m, j * m);
+                let b_s = b.as_mut_slice();
+                for i in rows.clone() {
+                    b_s[dst + i] -= b_s[src + i] * ljp;
+                }
+            }
+            let inv = 1.0 / l[(j, j)];
+            let dst = j * m;
+            let b_s = b.as_mut_slice();
+            for i in rows.clone() {
+                b_s[dst + i] *= inv;
+            }
+        }
+    });
+}
+
+/// POTRF on the diagonal tile (sequential; see module docs).
+pub fn ppotrf_lower(_team: &Team, a: &mut Matrix) -> Result<(), usize> {
+    kernels::potrf_lower(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::team::TeamConfig;
+
+    fn seq_team() -> Team {
+        Team::new(TeamConfig::sequential())
+    }
+
+    #[test]
+    fn parallel_gemm_matches_sequential_with_seq_team() {
+        let a = Matrix::from_fn(6, 4, |r, c| (r + c) as f64 * 0.5);
+        let b = Matrix::from_fn(5, 4, |r, c| (r * c) as f64 * 0.25);
+        let mut c1 = Matrix::from_fn(6, 5, |r, c| (r + c) as f64);
+        let mut c2 = c1.clone();
+        kernels::gemm_nt(&mut c1, &a, &b);
+        pgemm_nt(&seq_team(), &mut c2, &a, &b);
+        assert!(c1.max_abs_diff(&c2) < 1e-14);
+    }
+
+    #[test]
+    fn parallel_syrk_matches_sequential() {
+        let a = Matrix::from_fn(7, 3, |r, c| (r as f64 - 1.5 * c as f64) * 0.3);
+        let mut c1 = Matrix::random_spd(7, 5);
+        let mut c2 = c1.clone();
+        kernels::syrk_ln(&mut c1, &a);
+        psyrk_ln(&seq_team(), &mut c2, &a);
+        for j in 0..7 {
+            for i in j..7 {
+                assert!((c1[(i, j)] - c2[(i, j)]).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_trsm_matches_sequential() {
+        let n = 5;
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            for i in j..n {
+                l[(i, j)] = if i == j { 3.0 + j as f64 } else { 0.2 * (i + j) as f64 };
+            }
+        }
+        let mut b1 = Matrix::from_fn(8, n, |r, c| (r * n + c) as f64 * 0.1);
+        let mut b2 = b1.clone();
+        kernels::trsm_rlt(&mut b1, &l);
+        ptrsm_rlt(&seq_team(), &mut b2, &l);
+        assert!(b1.max_abs_diff(&b2) < 1e-12);
+    }
+
+    #[test]
+    fn ppotrf_delegates() {
+        let mut a = Matrix::random_spd(12, 9);
+        let oracle = {
+            let mut x = a.clone();
+            kernels::potrf_lower(&mut x).unwrap();
+            x
+        };
+        ppotrf_lower(&seq_team(), &mut a).unwrap();
+        assert!(a.max_abs_diff(&oracle) < 1e-14);
+    }
+}

@@ -1,0 +1,159 @@
+//! Inner-team fork-join parallelism — the "MKL" of this reproduction.
+//!
+//! Intel MKL's OpenMP backend runs each BLAS call on a team of threads that
+//! synchronize through a busy-wait flag barrier (paper §4.1: MKL "assumes
+//! implicit preemption during thread synchronization by having threads
+//! busy-loop on a memory flag"). [`Team::parallel_for`] reproduces that
+//! structure: the caller plus `size-1` freshly spawned ULTs each process a
+//! chunk, then meet at a [`SpinBarrier`] in the configured [`SpinMode`].
+//!
+//! * `SpinMode::BusyWait` + nonpreemptive ULTs + oversubscription ⇒
+//!   **deadlock** (the paper's headline failure).
+//! * `SpinMode::Yielding` ⇒ the authors' reverse-engineered MKL patch.
+//! * `SpinMode::BusyWait` + KLT-switching ULTs ⇒ correct under preemption.
+
+use std::ops::Range;
+use std::sync::Arc;
+use ult_core::{Priority, ThreadKind};
+use ult_sync::{SpinBarrier, SpinMode};
+
+/// Team configuration: how inner BLAS parallelism behaves.
+#[derive(Debug, Clone, Copy)]
+pub struct TeamConfig {
+    /// Team size (1 = sequential, no spawns, no barrier).
+    pub size: usize,
+    /// Barrier wait mode (the MKL-vs-patched-MKL switch).
+    pub mode: SpinMode,
+    /// Thread kind for spawned team members.
+    pub kind: ThreadKind,
+}
+
+impl TeamConfig {
+    /// Sequential execution (no inner parallelism) — the "IOMP (flat)"
+    /// inner configuration.
+    pub fn sequential() -> TeamConfig {
+        TeamConfig {
+            size: 1,
+            mode: SpinMode::Yielding,
+            kind: ThreadKind::Nonpreemptive,
+        }
+    }
+
+    /// Faithful MKL: busy-wait barrier.
+    pub fn mkl_busy_wait(size: usize, kind: ThreadKind) -> TeamConfig {
+        TeamConfig {
+            size,
+            mode: SpinMode::BusyWait,
+            kind,
+        }
+    }
+
+    /// Reverse-engineered MKL: yields in the wait loop.
+    pub fn mkl_yielding(size: usize, kind: ThreadKind) -> TeamConfig {
+        TeamConfig {
+            size,
+            mode: SpinMode::Yielding,
+            kind,
+        }
+    }
+}
+
+/// A fork-join team executor (one BLAS call = one team activation).
+pub struct Team {
+    cfg: TeamConfig,
+}
+
+impl Team {
+    /// Create a team executor.
+    pub fn new(cfg: TeamConfig) -> Team {
+        assert!(cfg.size >= 1);
+        Team { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> TeamConfig {
+        self.cfg
+    }
+
+    /// Run `body` over `0..n`, split into `cfg.size` contiguous chunks, one
+    /// per team member; the caller is member 0. All members synchronize on
+    /// the team barrier before this returns.
+    ///
+    /// Must be called from inside a ULT when `size > 1` (members are
+    /// spawned on the ambient runtime, mirroring nested OpenMP over BOLT).
+    pub fn parallel_for<F>(&self, n: usize, body: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        let size = self.cfg.size.min(n.max(1));
+        if size <= 1 {
+            body(0..n);
+            return;
+        }
+        let barrier = Arc::new(SpinBarrier::new(size, self.cfg.mode));
+        // SAFETY (scoped-spawn idiom): every member completes `body` and
+        // passes the barrier before we return — the join loop below
+        // guarantees no member outlives this frame, so extending the
+        // closure reference to 'static never lets it dangle.
+        let body_ref: &(dyn Fn(Range<usize>) + Sync) = &body;
+        let body_static: &'static (dyn Fn(Range<usize>) + Sync) =
+            unsafe { std::mem::transmute(body_ref) };
+
+        let chunk = n.div_ceil(size);
+        let mut handles = Vec::with_capacity(size - 1);
+        for member in 1..size {
+            let lo = (member * chunk).min(n);
+            let hi = ((member + 1) * chunk).min(n);
+            let b = barrier.clone();
+            handles.push(ult_core::api::spawn(
+                self.cfg.kind,
+                Priority::High,
+                move || {
+                    body_static(lo..hi);
+                    // The MKL-style team sync: busy or yielding flag wait.
+                    b.wait();
+                },
+            ));
+        }
+        // Member 0 (the caller).
+        body(0..chunk.min(n));
+        barrier.wait();
+        for h in handles {
+            h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_team_runs_whole_range() {
+        let team = Team::new(TeamConfig::sequential());
+        let mut hits = vec![false; 10];
+        let cell = std::sync::Mutex::new(&mut hits);
+        team.parallel_for(10, |r| {
+            let mut g = cell.lock().unwrap();
+            for i in r {
+                g[i] = true;
+            }
+        });
+        assert!(hits.iter().all(|&h| h));
+    }
+
+    #[test]
+    fn config_constructors() {
+        let c = TeamConfig::mkl_busy_wait(4, ThreadKind::KltSwitching);
+        assert_eq!(c.size, 4);
+        assert_eq!(c.mode, SpinMode::BusyWait);
+        let c = TeamConfig::mkl_yielding(2, ThreadKind::Nonpreemptive);
+        assert_eq!(c.mode, SpinMode::Yielding);
+    }
+
+    #[test]
+    fn zero_length_range() {
+        let team = Team::new(TeamConfig::sequential());
+        team.parallel_for(0, |r| assert!(r.is_empty()));
+    }
+}

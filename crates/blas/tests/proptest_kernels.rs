@@ -1,0 +1,121 @@
+//! Property tests: BLAS kernels agree with the naive matmul oracle on
+//! random inputs, and the block-Cholesky identity holds.
+
+use mini_blas::kernels::{gemm_nt, potrf_lower, syrk_ln, trsm_rlt};
+use mini_blas::Matrix;
+use proptest::prelude::*;
+
+fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut st = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+    Matrix::from_fn(rows, cols, move |_, _| {
+        st ^= st >> 12;
+        st ^= st << 25;
+        st ^= st >> 27;
+        (st.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gemm_matches_oracle(
+        m in 1usize..12, n in 1usize..12, k in 1usize..12, seed in 1u64..1_000_000,
+    ) {
+        let a = mat(m, k, seed);
+        let b = mat(n, k, seed ^ 0xABCD);
+        let c0 = mat(m, n, seed ^ 0x1234);
+        let mut c = c0.clone();
+        gemm_nt(&mut c, &a, &b);
+        let prod = a.matmul(&b.transpose());
+        for j in 0..n {
+            for i in 0..m {
+                let expect = c0[(i, j)] - prod[(i, j)];
+                prop_assert!((c[(i, j)] - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_equals_gemm_with_self(
+        n in 1usize..10, k in 1usize..10, seed in 1u64..1_000_000,
+    ) {
+        let a = mat(n, k, seed);
+        let c0 = mat(n, n, seed ^ 0x77);
+        let mut c_syrk = c0.clone();
+        let mut c_gemm = c0.clone();
+        syrk_ln(&mut c_syrk, &a);
+        gemm_nt(&mut c_gemm, &a, &a);
+        for j in 0..n {
+            for i in j..n {
+                prop_assert!((c_syrk[(i, j)] - c_gemm[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_solves_what_multiply_made(
+        m in 1usize..10, n in 1usize..8, seed in 1u64..1_000_000,
+    ) {
+        // L lower-triangular with a safe diagonal.
+        let mut l = mat(n, n, seed);
+        for j in 0..n {
+            for i in 0..j {
+                l[(i, j)] = 0.0;
+            }
+            l[(j, j)] = 2.0 + l[(j, j)].abs();
+        }
+        let x = mat(m, n, seed ^ 0xBEEF);
+        let b = x.matmul(&l.transpose());
+        let mut solved = b.clone();
+        trsm_rlt(&mut solved, &l);
+        prop_assert!(solved.max_abs_diff(&x) < 1e-8);
+    }
+
+    #[test]
+    fn potrf_factor_reconstructs(n in 1usize..24, seed in 1u64..1_000_000) {
+        let a0 = Matrix::random_spd(n, seed);
+        let mut a = a0.clone();
+        prop_assert!(potrf_lower(&mut a).is_ok());
+        a.zero_upper();
+        let rebuilt = a.matmul(&a.transpose());
+        for j in 0..n {
+            for i in j..n {
+                prop_assert!(
+                    (rebuilt[(i, j)] - a0[(i, j)]).abs() < 1e-7,
+                    "({},{}) {} vs {}", i, j, rebuilt[(i, j)], a0[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_factor_is_unique_vs_blocked(
+        nb in 2usize..8, seed in 1u64..1_000_000,
+    ) {
+        // 2x2 block factorization equals whole-matrix factorization.
+        let n = 2 * nb;
+        let full = Matrix::random_spd(n, seed);
+        let tile = |r0: usize, c0: usize| {
+            Matrix::from_fn(nb, nb, |r, c| full[(r0 * nb + r, c0 * nb + c)])
+        };
+        let mut a00 = tile(0, 0);
+        let mut a10 = tile(1, 0);
+        let mut a11 = tile(1, 1);
+        potrf_lower(&mut a00).unwrap();
+        trsm_rlt(&mut a10, &a00);
+        syrk_ln(&mut a11, &a10);
+        potrf_lower(&mut a11).unwrap();
+        let mut whole = full.clone();
+        potrf_lower(&mut whole).unwrap();
+        for j in 0..nb {
+            for i in j..nb {
+                prop_assert!((a00[(i, j)] - whole[(i, j)]).abs() < 1e-7);
+                prop_assert!((a11[(i, j)] - whole[(nb + i, nb + j)]).abs() < 1e-7);
+            }
+            for i in 0..nb {
+                prop_assert!((a10[(i, j)] - whole[(nb + i, j)]).abs() < 1e-7);
+            }
+        }
+    }
+}

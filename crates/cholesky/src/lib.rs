@@ -1,0 +1,30 @@
+//! # tile-cholesky — SLATE-style tiled Cholesky with nested parallelism
+//!
+//! Reproduces the application study of paper §4.1: a right-looking tiled
+//! Cholesky factorization whose **outer** parallelism is a dependency-driven
+//! task graph over tiles (POTRF → TRSM → SYRK/GEMM, as in SLATE) and whose
+//! **inner** parallelism lives inside the BLAS calls (mini-blas teams, the
+//! stand-in for OpenMP-parallel Intel MKL).
+//!
+//! The executors mirror the paper's Figure 7 series:
+//!
+//! * [`run_ult`] over nonpreemptive ULTs with a *busy-wait* team barrier —
+//!   **deadlocks** under oversubscription (the paper's headline failure;
+//!   demonstrated in `examples/deadlock_demo.rs`).
+//! * [`run_ult`] over nonpreemptive ULTs with a *yielding* barrier —
+//!   "BOLT (nonpreemptive, reverse-engineered)".
+//! * [`run_ult`] over KLT-switching ULTs with the busy-wait barrier and
+//!   per-worker timers — "BOLT (preemptive)".
+//! * [`run_oneone`] — "IOMP": 1:1 kernel threads for both levels.
+//! * Either backend with sequential inner teams and wide outer parallelism
+//!   — "IOMP (flat)".
+
+#![deny(missing_docs)]
+
+pub mod dag;
+pub mod run;
+pub mod tiled;
+
+pub use dag::{CholeskyDag, Task};
+pub use run::{run_oneone, run_ult, CholConfig};
+pub use tiled::TiledMatrix;

@@ -1,0 +1,465 @@
+//! Executors: drive the Cholesky DAG over the ULT runtime or 1:1 threads.
+
+use crate::dag::{CholeskyDag, Task};
+use crate::tiled::TiledMatrix;
+use mini_blas::{parallel, Team, TeamConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use ult_core::{Priority, Runtime, ThreadKind};
+
+/// Configuration shared by both backends.
+#[derive(Debug, Clone, Copy)]
+pub struct CholConfig {
+    /// Tiles per side.
+    pub nt: usize,
+    /// Tile dimension.
+    pub nb: usize,
+    /// Inner-team configuration (the "MKL" behavior).
+    pub team: TeamConfig,
+    /// Outer thread kind (ULT backend only).
+    pub outer_kind: ThreadKind,
+}
+
+/// Execute one task's kernel against the tiles.
+fn run_task(tiles: &TiledMatrix, team: &Team, t: Task) {
+    match t {
+        Task::Potrf(k) => {
+            let akk = tiles.tile(k, k);
+            let mut akk = akk.lock();
+            parallel::ppotrf_lower(team, &mut akk).expect("matrix not SPD");
+        }
+        Task::Trsm(i, k) => {
+            let lkk = tiles.tile(k, k);
+            let aik = tiles.tile(i, k);
+            let lkk = lkk.lock();
+            let mut aik = aik.lock();
+            parallel::ptrsm_rlt(team, &mut aik, &lkk);
+        }
+        Task::Syrk(i, k) => {
+            let aik = tiles.tile(i, k);
+            let aii = tiles.tile(i, i);
+            let aik = aik.lock();
+            let mut aii = aii.lock();
+            parallel::psyrk_ln(team, &mut aii, &aik);
+        }
+        Task::Gemm(i, j, k) => {
+            let aik = tiles.tile(i, k);
+            let ajk = tiles.tile(j, k);
+            let aij = tiles.tile(i, j);
+            let aik = aik.lock();
+            let ajk = ajk.lock();
+            let mut aij = aij.lock();
+            parallel::pgemm_nt(team, &mut aij, &aik, &ajk);
+        }
+    }
+}
+
+/// Factor `tiles` in place on the ULT runtime: outer tasks are ULTs of
+/// `cfg.outer_kind`, inner parallelism follows `cfg.team` (paper §4.1's
+/// BOLT configurations).
+pub fn run_ult(rt: &Runtime, tiles: Arc<TiledMatrix>, cfg: CholConfig) {
+    let dag = CholeskyDag::new(cfg.nt);
+
+    fn submit(
+        rt_kind: ThreadKind,
+        dag: &Arc<CholeskyDag>,
+        tiles: &Arc<TiledMatrix>,
+        team_cfg: TeamConfig,
+        t: Task,
+        in_runtime: bool,
+        rt: Option<&Runtime>,
+    ) {
+        let dag = dag.clone();
+        let tiles = tiles.clone();
+        let body = move || {
+            let team = Team::new(team_cfg);
+            run_task(&tiles, &team, t);
+            for next in dag.complete(t) {
+                submit(rt_kind, &dag, &tiles, team_cfg, next, true, None);
+            }
+        };
+        if in_runtime {
+            // Fire-and-forget: termination tracked by the DAG counter and
+            // the runtime's live-thread accounting.
+            drop(ult_core::api::spawn(rt_kind, Priority::High, body));
+        } else {
+            drop(rt.unwrap().spawn_with(rt_kind, Priority::High, body));
+        }
+    }
+
+    for root in dag.roots() {
+        submit(cfg.outer_kind, &dag, &tiles, cfg.team, root, false, Some(rt));
+    }
+    // Wait for the DAG to drain (external thread: OS-level wait).
+    while !dag.is_done() {
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    }
+}
+
+/// Factor `tiles` in place on plain kernel threads (the "IOMP" baseline):
+/// a pool of `outer_threads` OS threads drains the DAG; inner parallelism
+/// spawns scoped OS threads per BLAS call.
+pub fn run_oneone(tiles: Arc<TiledMatrix>, cfg: CholConfig, outer_threads: usize) {
+    let dag = CholeskyDag::new(cfg.nt);
+    let queue = Arc::new(OneOneQueue::new());
+    for root in dag.roots() {
+        queue.push(root);
+    }
+    let done_workers = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|scope| {
+        for _ in 0..outer_threads.max(1) {
+            let dag = dag.clone();
+            let tiles = tiles.clone();
+            let queue = queue.clone();
+            let done_workers = done_workers.clone();
+            scope.spawn(move || {
+                let team = OneOneTeam { cfg: cfg.team };
+                loop {
+                    if dag.is_done() {
+                        break;
+                    }
+                    let Some(t) = queue.pop() else {
+                        std::thread::yield_now();
+                        continue;
+                    };
+                    run_task_oneone(&tiles, &team, t);
+                    for next in dag.complete(t) {
+                        queue.push(next);
+                    }
+                }
+                done_workers.fetch_add(1, Ordering::Release);
+            });
+        }
+    });
+    assert!(dag.is_done());
+}
+
+/// Simple shared FIFO for the 1:1 backend.
+struct OneOneQueue {
+    q: std::sync::Mutex<std::collections::VecDeque<Task>>,
+}
+
+impl OneOneQueue {
+    fn new() -> OneOneQueue {
+        OneOneQueue {
+            q: std::sync::Mutex::new(std::collections::VecDeque::new()),
+        }
+    }
+    fn push(&self, t: Task) {
+        self.q.lock().unwrap().push_back(t);
+    }
+    fn pop(&self) -> Option<Task> {
+        self.q.lock().unwrap().pop_front()
+    }
+}
+
+/// Inner team for the 1:1 backend: scoped OS threads + busy barrier (OS
+/// preemption makes the busy wait safe, as with real MKL on Pthreads).
+struct OneOneTeam {
+    cfg: TeamConfig,
+}
+
+impl OneOneTeam {
+    fn parallel_for(&self, n: usize, body: &(dyn Fn(std::ops::Range<usize>) + Sync)) {
+        let size = self.cfg.size.min(n.max(1));
+        if size <= 1 {
+            body(0..n);
+            return;
+        }
+        let chunk = n.div_ceil(size);
+        std::thread::scope(|scope| {
+            for member in 1..size {
+                let lo = (member * chunk).min(n);
+                let hi = ((member + 1) * chunk).min(n);
+                scope.spawn(move || body(lo..hi));
+            }
+            body(0..chunk.min(n));
+        });
+    }
+}
+
+/// Task kernels for the 1:1 backend (same math, OneOneTeam inner loops).
+fn run_task_oneone(tiles: &TiledMatrix, team: &OneOneTeam, t: Task) {
+    use mini_blas::kernels;
+    match t {
+        Task::Potrf(k) => {
+            let akk = tiles.tile(k, k);
+            let mut akk = akk.lock();
+            kernels::potrf_lower(&mut akk).expect("matrix not SPD");
+        }
+        Task::Trsm(i, k) => {
+            let lkk = tiles.tile(k, k);
+            let aik = tiles.tile(i, k);
+            let lkk = lkk.lock();
+            let mut aik = aik.lock();
+            let l_ref: &mini_blas::Matrix = &lkk;
+            let m = aik.rows();
+            let shared = ShareMut(std::cell::UnsafeCell::new(&mut *aik));
+            team.parallel_for(m, &|rows| {
+                // SAFETY: disjoint row ranges.
+                let b = unsafe { shared.get() };
+                trsm_rows(b, l_ref, rows);
+            });
+        }
+        Task::Syrk(i, k) => {
+            let aik = tiles.tile(i, k);
+            let aii = tiles.tile(i, i);
+            let aik = aik.lock();
+            let mut aii = aii.lock();
+            let n = aii.rows();
+            let a_ref: &mini_blas::Matrix = &aik;
+            let shared = ShareMut(std::cell::UnsafeCell::new(&mut *aii));
+            team.parallel_for(n, &|cols| {
+                // SAFETY: disjoint column ranges.
+                let c = unsafe { shared.get() };
+                syrk_cols(c, a_ref, cols);
+            });
+        }
+        Task::Gemm(i, j, k) => {
+            let aik = tiles.tile(i, k);
+            let ajk = tiles.tile(j, k);
+            let aij = tiles.tile(i, j);
+            let aik = aik.lock();
+            let ajk = ajk.lock();
+            let mut aij = aij.lock();
+            let n = ajk.rows();
+            let a_ref: &mini_blas::Matrix = &aik;
+            let b_ref: &mini_blas::Matrix = &ajk;
+            let shared = ShareMut(std::cell::UnsafeCell::new(&mut *aij));
+            team.parallel_for(n, &|cols| {
+                // SAFETY: disjoint column ranges.
+                let c = unsafe { shared.get() };
+                gemm_cols(c, a_ref, b_ref, cols);
+            });
+        }
+    }
+}
+
+struct ShareMut<'a>(std::cell::UnsafeCell<&'a mut mini_blas::Matrix>);
+// SAFETY: accessors touch disjoint ranges (see call sites).
+unsafe impl Sync for ShareMut<'_> {}
+impl ShareMut<'_> {
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get(&self) -> &mut mini_blas::Matrix {
+        // SAFETY: forwarded to call sites' disjointness argument.
+        unsafe { &mut *self.0.get() }
+    }
+}
+
+fn gemm_cols(
+    c: &mut mini_blas::Matrix,
+    a: &mini_blas::Matrix,
+    b: &mini_blas::Matrix,
+    cols: std::ops::Range<usize>,
+) {
+    let (m, k) = (a.rows(), a.cols());
+    for j in cols {
+        for l in 0..k {
+            let blj = b[(j, l)];
+            if blj == 0.0 {
+                continue;
+            }
+            let (a_col, c_col) = (l * m, j * m);
+            let a_s = a.as_slice();
+            let c_s = c.as_mut_slice();
+            for i in 0..m {
+                c_s[c_col + i] -= a_s[a_col + i] * blj;
+            }
+        }
+    }
+}
+
+fn syrk_cols(c: &mut mini_blas::Matrix, a: &mini_blas::Matrix, cols: std::ops::Range<usize>) {
+    let (n, k) = (a.rows(), a.cols());
+    for j in cols {
+        for l in 0..k {
+            let ajl = a[(j, l)];
+            if ajl == 0.0 {
+                continue;
+            }
+            let a_col = l * n;
+            let c_col = j * n;
+            let a_s = a.as_slice();
+            let c_s = c.as_mut_slice();
+            for i in j..n {
+                c_s[c_col + i] -= a_s[a_col + i] * ajl;
+            }
+        }
+    }
+}
+
+fn trsm_rows(b: &mut mini_blas::Matrix, l: &mini_blas::Matrix, rows: std::ops::Range<usize>) {
+    let n = l.rows();
+    let m = b.rows();
+    for j in 0..n {
+        for p in 0..j {
+            let ljp = l[(j, p)];
+            if ljp == 0.0 {
+                continue;
+            }
+            let (src, dst) = (p * m, j * m);
+            let b_s = b.as_mut_slice();
+            for i in rows.clone() {
+                b_s[dst + i] -= b_s[src + i] * ljp;
+            }
+        }
+        let inv = 1.0 / l[(j, j)];
+        let dst = j * m;
+        let b_s = b.as_mut_slice();
+        for i in rows.clone() {
+            b_s[dst + i] *= inv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mini_blas::kernels::potrf_lower;
+    use mini_blas::Matrix;
+    use ult_core::{Config, TimerStrategy};
+    use ult_sync::SpinMode;
+
+    fn oracle(n: usize, seed: u64) -> Matrix {
+        let mut a = Matrix::random_spd(n, seed);
+        potrf_lower(&mut a).unwrap();
+        a.zero_upper();
+        a
+    }
+
+    fn check(tiles: &TiledMatrix, n: usize, seed: u64) {
+        let got = tiles.to_full_lower();
+        let want = oracle(n, seed);
+        assert!(
+            got.max_abs_diff(&want) < 1e-8,
+            "max diff = {}",
+            got.max_abs_diff(&want)
+        );
+    }
+
+    #[test]
+    fn ult_backend_sequential_teams() {
+        let rt = Runtime::start(Config {
+            num_workers: 2,
+            preempt_interval_ns: 0,
+            timer_strategy: TimerStrategy::None,
+            ..Config::default()
+        });
+        let tiles = Arc::new(TiledMatrix::random_spd(4, 8, 33));
+        run_ult(
+            &rt,
+            tiles.clone(),
+            CholConfig {
+                nt: 4,
+                nb: 8,
+                team: TeamConfig::sequential(),
+                outer_kind: ThreadKind::Nonpreemptive,
+            },
+        );
+        check(&tiles, 32, 33);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn ult_backend_yielding_teams_nonpreemptive() {
+        // The "reverse-engineered MKL" configuration.
+        let rt = Runtime::start(Config {
+            num_workers: 2,
+            preempt_interval_ns: 0,
+            timer_strategy: TimerStrategy::None,
+            ..Config::default()
+        });
+        let tiles = Arc::new(TiledMatrix::random_spd(3, 8, 44));
+        run_ult(
+            &rt,
+            tiles.clone(),
+            CholConfig {
+                nt: 3,
+                nb: 8,
+                team: TeamConfig::mkl_yielding(2, ThreadKind::Nonpreemptive),
+                outer_kind: ThreadKind::Nonpreemptive,
+            },
+        );
+        check(&tiles, 24, 44);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn ult_backend_busywait_teams_preemptive() {
+        // The paper's fix: busy-wait MKL barrier + KLT-switching preemption.
+        let rt = Runtime::start(Config {
+            num_workers: 2,
+            preempt_interval_ns: 1_000_000,
+            timer_strategy: TimerStrategy::PerWorkerAligned,
+            ..Config::default()
+        });
+        let tiles = Arc::new(TiledMatrix::random_spd(3, 8, 55));
+        run_ult(
+            &rt,
+            tiles.clone(),
+            CholConfig {
+                nt: 3,
+                nb: 8,
+                team: TeamConfig::mkl_busy_wait(2, ThreadKind::KltSwitching),
+                outer_kind: ThreadKind::KltSwitching,
+            },
+        );
+        check(&tiles, 24, 55);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn oneone_backend_nested() {
+        let tiles = Arc::new(TiledMatrix::random_spd(4, 8, 66));
+        run_oneone(
+            tiles.clone(),
+            CholConfig {
+                nt: 4,
+                nb: 8,
+                team: TeamConfig::mkl_busy_wait(2, ThreadKind::Nonpreemptive),
+                outer_kind: ThreadKind::Nonpreemptive,
+            },
+            2,
+        );
+        check(&tiles, 32, 66);
+    }
+
+    #[test]
+    fn oneone_backend_flat() {
+        let tiles = Arc::new(TiledMatrix::random_spd(5, 6, 77));
+        run_oneone(
+            tiles.clone(),
+            CholConfig {
+                nt: 5,
+                nb: 6,
+                team: TeamConfig::sequential(),
+                outer_kind: ThreadKind::Nonpreemptive,
+            },
+            3,
+        );
+        check(&tiles, 30, 77);
+    }
+
+    #[test]
+    fn larger_preemptive_factorization() {
+        let rt = Runtime::start(Config {
+            num_workers: 2,
+            preempt_interval_ns: 2_000_000,
+            timer_strategy: TimerStrategy::PerWorkerAligned,
+            ..Config::default()
+        });
+        let tiles = Arc::new(TiledMatrix::random_spd(6, 16, 88));
+        run_ult(
+            &rt,
+            tiles.clone(),
+            CholConfig {
+                nt: 6,
+                nb: 16,
+                team: TeamConfig::mkl_busy_wait(2, ThreadKind::KltSwitching),
+                outer_kind: ThreadKind::KltSwitching,
+            },
+        );
+        check(&tiles, 96, 88);
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,132 @@
+//! Tiled matrix storage (SLATE-style: each tile is its own allocation).
+
+use mini_blas::Matrix;
+use std::sync::Arc;
+use ult_sync::Mutex;
+
+/// A lower-symmetric matrix stored as an `nt × nt` grid of `nb × nb` tiles
+/// (only tiles on or below the diagonal are materialized).
+///
+/// Each tile sits behind a [`ult_sync::Mutex`] so concurrent trailing
+/// updates (SYRK/GEMM from different `k`) serialize per tile, mirroring
+/// SLATE's task-dependency semantics without over-serializing the DAG.
+pub struct TiledMatrix {
+    /// Tiles per side.
+    nt: usize,
+    /// Tile dimension.
+    nb: usize,
+    /// Row-of-tiles major storage of the lower tile triangle.
+    tiles: Vec<Arc<Mutex<Matrix>>>,
+}
+
+impl TiledMatrix {
+    /// Partition `full` (n×n with n = nt·nb) into tiles.
+    pub fn from_full(full: &Matrix, nb: usize) -> TiledMatrix {
+        let n = full.rows();
+        assert_eq!(full.cols(), n);
+        assert_eq!(n % nb, 0, "matrix size must be a multiple of nb");
+        let nt = n / nb;
+        let mut tiles = Vec::new();
+        for i in 0..nt {
+            for j in 0..=i {
+                let t = Matrix::from_fn(nb, nb, |r, c| full[(i * nb + r, j * nb + c)]);
+                tiles.push(Arc::new(Mutex::new(t)));
+            }
+        }
+        TiledMatrix { nt, nb, tiles }
+    }
+
+    /// A random SPD tiled matrix (the benchmark input).
+    pub fn random_spd(nt: usize, nb: usize, seed: u64) -> TiledMatrix {
+        let full = Matrix::random_spd(nt * nb, seed);
+        TiledMatrix::from_full(&full, nb)
+    }
+
+    /// Tiles per side.
+    pub fn nt(&self) -> usize {
+        self.nt
+    }
+
+    /// Tile dimension.
+    pub fn nb(&self) -> usize {
+        self.nb
+    }
+
+    /// Full matrix dimension.
+    pub fn n(&self) -> usize {
+        self.nt * self.nb
+    }
+
+    fn idx(&self, i: usize, j: usize) -> usize {
+        assert!(j <= i && i < self.nt, "tile ({i},{j}) out of lower triangle");
+        i * (i + 1) / 2 + j
+    }
+
+    /// Handle to tile (i, j) with j ≤ i.
+    pub fn tile(&self, i: usize, j: usize) -> Arc<Mutex<Matrix>> {
+        self.tiles[self.idx(i, j)].clone()
+    }
+
+    /// Reassemble the lower triangle into a full matrix (upper zeroed).
+    pub fn to_full_lower(&self) -> Matrix {
+        let n = self.n();
+        let mut out = Matrix::zeros(n, n);
+        for i in 0..self.nt {
+            for j in 0..=i {
+                let t = self.tile(i, j);
+                let t = t.lock();
+                for c in 0..self.nb {
+                    for r in 0..self.nb {
+                        let (gr, gc) = (i * self.nb + r, j * self.nb + c);
+                        if gr >= gc {
+                            out[(gr, gc)] = t[(r, c)];
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_round_trips() {
+        let full = Matrix::random_spd(12, 3);
+        let tm = TiledMatrix::from_full(&full, 4);
+        assert_eq!(tm.nt(), 3);
+        assert_eq!(tm.n(), 12);
+        let lower = tm.to_full_lower();
+        for c in 0..12 {
+            for r in c..12 {
+                assert_eq!(lower[(r, c)], full[(r, c)]);
+            }
+            for r in 0..c {
+                assert_eq!(lower[(r, c)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn tile_indexing_is_triangular() {
+        let tm = TiledMatrix::random_spd(4, 2, 1);
+        // 4 tiles per side ⇒ 10 lower tiles.
+        assert_eq!(tm.tiles.len(), 10);
+        // Distinct handles for distinct tiles; same handle for same tile.
+        let a = tm.tile(2, 1);
+        let b = tm.tile(2, 1);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = tm.tile(2, 2);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    #[should_panic]
+    fn upper_tile_access_panics_in_debug() {
+        let tm = TiledMatrix::random_spd(3, 2, 1);
+        let _ = tm.tile(0, 1);
+    }
+}

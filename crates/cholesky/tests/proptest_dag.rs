@@ -1,0 +1,49 @@
+//! Property tests on the Cholesky DAG: any drain order (randomized pop
+//! positions) executes every task exactly once and respects dependencies.
+
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+use tile_cholesky::{CholeskyDag, Task};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_drain_completes_exactly_once(
+        nt in 1usize..9,
+        picks in prop::collection::vec(0usize..64, 0..2000),
+    ) {
+        let dag = CholeskyDag::new(nt);
+        let mut ready = dag.roots();
+        let mut executed: Vec<Task> = Vec::new();
+        let mut seen = HashSet::new();
+        let mut pick_iter = picks.into_iter().chain(std::iter::repeat(0));
+        while !ready.is_empty() {
+            let i = pick_iter.next().unwrap() % ready.len();
+            let t = ready.swap_remove(i);
+            prop_assert!(seen.insert(t), "task {t:?} dispatched twice");
+            executed.push(t);
+            ready.extend(dag.complete(t));
+        }
+        prop_assert!(dag.is_done());
+        prop_assert_eq!(executed.len(), dag.total_tasks());
+
+        // Dependency order: POTRF(k) before TRSM(i,k); TRSM(i,k) before
+        // SYRK(i,k) and before GEMM(i,j,k)/GEMM(l,i,k); SYRKs before the
+        // diagonal POTRF; GEMMs before their TRSM.
+        let pos: HashMap<Task, usize> =
+            executed.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        for i in 0..nt {
+            for k in 0..i {
+                prop_assert!(pos[&Task::Potrf(k)] < pos[&Task::Trsm(i, k)]);
+                prop_assert!(pos[&Task::Trsm(i, k)] < pos[&Task::Syrk(i, k)]);
+                prop_assert!(pos[&Task::Syrk(i, k)] < pos[&Task::Potrf(i)]);
+                for j in (k + 1)..i {
+                    prop_assert!(pos[&Task::Trsm(i, k)] < pos[&Task::Gemm(i, j, k)]);
+                    prop_assert!(pos[&Task::Trsm(j, k)] < pos[&Task::Gemm(i, j, k)]);
+                    prop_assert!(pos[&Task::Gemm(i, j, k)] < pos[&Task::Trsm(i, j)]);
+                }
+            }
+        }
+    }
+}

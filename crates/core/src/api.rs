@@ -1,0 +1,250 @@
+//! Context-sensitive thread operations: yield, block, ready, current.
+//!
+//! These are the "explicit scheduling points" of the M:N model (paper §2.2)
+//! — `yield_now` plus the block/ready pair that `ult-sync` builds mutexes,
+//! condvars, barriers and channels from. All of them are user-space context
+//! switches costing on the order of a hundred cycles.
+
+use crate::thread::{Ult, UltState};
+use crate::worker::{SwitchReason, Worker};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use ult_arch::Context;
+
+/// The worker owning the calling KLT, if any.
+///
+/// The returned reference is a *snapshot*: a KLT-switching preemption can
+/// migrate the calling ULT to a different worker at any instruction, so
+/// code that mutates worker state must use [`pin_current_worker`] instead.
+#[inline]
+pub(crate) fn current_worker() -> Option<&'static Worker> {
+    let klt = crate::klt::current_klt()?;
+    let wp = klt.worker.load(Ordering::Acquire);
+    // SAFETY: workers are owned by the runtime for its entire life.
+    unsafe { wp.as_ref() }
+}
+
+/// Resolve the current worker **and** disable preemption on it, atomically
+/// with respect to KLT-switching migration.
+///
+/// The naive sequence `let w = current_worker(); w.preempt_disable();` is
+/// racy: a preemption between the two statements migrates this ULT to
+/// another worker, and the disable lands on a stale worker while the
+/// runtime path continues to mutate it — corrupting the other worker's
+/// scheduler state. The loop here disables first, then re-verifies that
+/// the KLT still embodies that exact worker; once verified, the disable
+/// blocks further migration (the handler defers while the counter is
+/// non-zero). A transient increment on a stale worker's counter merely
+/// defers one tick there, which is benign.
+///
+/// On success, preemption is left DISABLED; the caller must re-enable
+/// (directly or via the ULT prologue on its resume path).
+#[inline]
+pub(crate) fn pin_current_worker() -> Option<&'static Worker> {
+    loop {
+        let klt = crate::klt::current_klt()?;
+        let wp = klt.worker.load(Ordering::Acquire);
+        // SAFETY: workers live as long as the runtime.
+        let w = unsafe { wp.as_ref() }?;
+        w.preempt_disable();
+        if klt.worker.load(Ordering::Acquire) == wp
+            && w.current_klt.load(Ordering::Acquire)
+                == klt as *const crate::klt::Klt as *mut crate::klt::Klt
+        {
+            return Some(w);
+        }
+        w.preempt_enable();
+        core::hint::spin_loop();
+    }
+}
+
+/// Whether the calling context is inside a ULT.
+pub fn in_ult() -> bool {
+    current_worker()
+        .map(|w| !w.current.load(Ordering::Acquire).is_null())
+        .unwrap_or(false)
+}
+
+/// Id of the current ULT, if inside one.
+pub fn current_thread_id() -> Option<u64> {
+    current_worker().and_then(|w| w.current_ult().map(|t| t.id))
+}
+
+/// Kind of the current ULT, if inside one.
+pub fn current_thread_kind() -> Option<crate::thread::ThreadKind> {
+    current_worker().and_then(|w| w.current_ult().map(|t| t.kind))
+}
+
+/// Rank of the worker executing the caller, if inside the runtime.
+pub fn current_worker_rank() -> Option<usize> {
+    current_worker().map(|w| w.rank)
+}
+
+/// One raw cooperative yield: suspend the current ULT, re-enqueue it, run
+/// the scheduler. No pending-tick recheck (callers use [`yield_now`]).
+pub(crate) fn yield_core() {
+    let Some(w) = pin_current_worker() else {
+        std::thread::yield_now();
+        return;
+    };
+    let cur = w.current.load(Ordering::Acquire);
+    if cur.is_null() {
+        w.preempt_enable();
+        return; // scheduler context: nothing to yield
+    }
+    // SAFETY: the running ULT is kept alive by its scheduler's Arc binding.
+    let t: &Ult = unsafe { &*cur };
+    w.set_reason(SwitchReason::Yielded);
+    // SAFETY: scheduler context is suspended at its switch into us.
+    unsafe {
+        Context::switch(t.ctx.get(), w.sched_ctx.get());
+    }
+    // Resumed — possibly on a different worker.
+    let w2 = current_worker().expect("resumed outside a worker");
+    w2.preempt_enable();
+}
+
+/// Drain deferred preemption ticks by yielding until none are pending.
+/// Called on every ULT-side resume path.
+pub(crate) fn ult_prologue_finish() {
+    loop {
+        let Some(w) = current_worker() else { return };
+        if !w.preempt_pending.swap(false, Ordering::AcqRel) {
+            return;
+        }
+        yield_core();
+    }
+}
+
+/// Explicitly yield the current thread (the cooperative scheduling point of
+/// traditional M:N threads, paper §2.2). A no-op outside the runtime (falls
+/// back to `std::thread::yield_now`).
+pub fn yield_now() {
+    yield_core();
+    ult_prologue_finish();
+}
+
+/// Block the current ULT after registering it with a wait container.
+///
+/// `register` receives the current thread and returns `true` to proceed
+/// with blocking or `false` to abort (e.g. the awaited condition already
+/// holds). The registered `Arc<Ult>` must later be handed to [`make_ready`]
+/// exactly once to reschedule the thread.
+///
+/// # Panics
+/// Panics if called outside a ULT.
+pub fn block_current<F>(register: F)
+where
+    F: FnOnce(&Arc<Ult>) -> bool,
+{
+    let w = pin_current_worker().expect("block_current outside the runtime");
+    let cur = w.current.load(Ordering::Acquire);
+    assert!(!cur.is_null(), "block_current outside a ULT");
+    // SAFETY: the running ULT is Arc-managed; mint a reference for the wait
+    // container (pure refcount increment).
+    let t = unsafe {
+        Arc::increment_strong_count(cur as *const Ult);
+        Arc::from_raw(cur as *const Ult)
+    };
+    // `transit` tells make_ready to wait until our context save completes
+    // (the scheduler clears it after regaining control).
+    t.transit.store(true, Ordering::Release);
+    if !register(&t) {
+        t.transit.store(false, Ordering::Release);
+        w.ult_prologue();
+        return;
+    }
+    t.set_state(UltState::Blocked);
+    w.set_reason(SwitchReason::Blocked);
+    // SAFETY: scheduler context suspended at its switch into us.
+    unsafe {
+        Context::switch(t.ctx.get(), w.sched_ctx.get());
+    }
+    // Resumed — possibly on a different worker.
+    let w2 = current_worker().expect("resumed outside a worker");
+    w2.ult_prologue();
+}
+
+/// Reschedule a thread previously parked via [`block_current`].
+///
+/// Callable from ULTs, from runtime-external threads, and from schedulers.
+/// Not async-signal-safe (pool routing may touch parking locks upstream);
+/// preemption handlers use the internal captive path instead.
+pub fn make_ready(t: &Arc<Ult>) {
+    // Wait for the blocker's context save to complete (nanoseconds: the
+    // save is the very next instruction sequence after registration).
+    while t.transit.load(Ordering::Acquire) {
+        core::hint::spin_loop();
+    }
+    crate::debug_registry::event(crate::debug_registry::ev::READY, t.id, 0);
+    t.set_state(UltState::Ready);
+    // SAFETY: the runtime pointer is valid while any of its ULTs live.
+    let rt = unsafe { &*t.runtime_ptr() };
+    match pin_current_worker() {
+        Some(cw) if std::ptr::eq(cw.runtime(), rt) => {
+            crate::sched::on_ready(rt, cw, t.clone(), true);
+            cw.preempt_enable();
+        }
+        Some(cw) => {
+            // A worker of a *different* runtime: treat as external.
+            cw.preempt_enable();
+            let home = &rt.workers[t.home_pool % rt.workers.len()];
+            crate::sched::on_ready(rt, home, t.clone(), true);
+        }
+        None => {
+            let home = &rt.workers[t.home_pool % rt.workers.len()];
+            crate::sched::on_ready(rt, home, t.clone(), true);
+        }
+    }
+}
+
+/// Park the current ULT until `target` finishes (one round; the caller
+/// re-checks in a loop to absorb spurious wakeups).
+pub(crate) fn block_on_join(target: &Arc<Ult>) {
+    block_current(|me| target.register_joiner(me));
+}
+
+/// Spawn a new ULT on the ambient runtime (the one executing the caller).
+///
+/// This is how nested parallelism works in the application kernels: an
+/// outer task (itself a ULT) forks inner ULTs without threading a runtime
+/// handle through every layer — the same shape as a nested OpenMP parallel
+/// region over BOLT (paper §4.1).
+///
+/// # Panics
+/// Panics when called outside a runtime worker.
+pub fn spawn<T, F>(
+    kind: crate::thread::ThreadKind,
+    priority: crate::thread::Priority,
+    f: F,
+) -> crate::thread::JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let w = current_worker().expect("ambient spawn outside the runtime");
+    let rt = w.runtime();
+    // SAFETY: RuntimeInner lives in an Arc owned by the Runtime handle,
+    // which outlives all workers' activity; mint a temporary strong ref.
+    let rt = unsafe {
+        Arc::increment_strong_count(rt as *const crate::runtime::RuntimeInner);
+        Arc::from_raw(rt as *const crate::runtime::RuntimeInner)
+    };
+    let stack = rt.config.stack_size;
+    rt.spawn_ult(kind, priority, None, stack, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outside_runtime_contexts() {
+        assert!(!in_ult());
+        assert!(current_thread_id().is_none());
+        assert!(current_worker_rank().is_none());
+        assert!(current_thread_kind().is_none());
+        // yield_now outside the runtime degrades to an OS yield.
+        yield_now();
+    }
+}

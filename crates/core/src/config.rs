@@ -1,0 +1,146 @@
+//! Runtime configuration.
+
+use crate::preempt::timer::TimerStrategy;
+
+/// How a parked KLT waits during KLT-switching suspension (paper §3.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KltParkMode {
+    /// Portable, unoptimized path: signal-paced wait in the style of
+    /// `sigsuspend`/`pthread_kill`, costing an extra signal round trip per
+    /// resume. Kept to reproduce the "KLT-switching (naive)" series of
+    /// Figure 6.
+    SigsuspendStyle,
+    /// Optimized path: futex wait/wake (Linux-specific, as in the paper).
+    Futex,
+}
+
+/// Where released/needed KLTs are cached (paper §3.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KltPoolPolicy {
+    /// Only the global pool: reproduces "KLT-switching (futex)" in Figure 6.
+    GlobalOnly,
+    /// Worker-local pools backed by the global pool: the fully optimized
+    /// configuration ("KLT-switching (futex, local pool)").
+    WorkerLocal,
+}
+
+/// Scheduling policy selection (paper §4.1–§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// BOLT-style random work stealing: local FIFO first, then steal from a
+    /// random victim (paper §4.1).
+    WorkStealing,
+    /// Algorithm 1: the thread-packing scheduler with private/shared pool
+    /// partitioning by the current active-worker count (paper §4.2).
+    Packing,
+    /// Two-level priority: high-priority FIFO drained before the
+    /// low-priority LIFO (paper §4.3, simulation vs analysis threads).
+    Priority,
+}
+
+/// Configuration for [`crate::Runtime`].
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of workers ("N" of M:N). Defaults to the number of CPUs.
+    pub num_workers: usize,
+    /// Preemption tick interval in nanoseconds (0 disables all timers).
+    pub preempt_interval_ns: u64,
+    /// Which timer coordination strategy drives preemption (paper §3.2).
+    pub timer_strategy: TimerStrategy,
+    /// KLT park/resume mechanism (paper §3.3.1).
+    pub klt_park_mode: KltParkMode,
+    /// KLT caching policy (paper §3.3.2).
+    pub klt_pool_policy: KltPoolPolicy,
+    /// Scheduler policy.
+    pub sched_policy: SchedPolicy,
+    /// Default ULT stack size in bytes.
+    pub stack_size: usize,
+    /// Initial capacity (in ULTs) reserved in every pool; pools grow outside
+    /// signal handlers as needed.
+    pub initial_pool_capacity: usize,
+    /// Pin each worker's KLT to core `rank % num_cpus` (paper §4).
+    pub pin_workers: bool,
+    /// Number of KLTs to pre-create in the global pool (KLT-switching warms
+    /// up faster when the creator is ahead of demand).
+    pub spare_klts: usize,
+    /// Per-worker capacity of interruption-time sample buffers (Figure 4 /
+    /// Table 1 instrumentation; 0 disables sampling).
+    pub stat_samples: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            num_workers: crate::sys_cpus(),
+            preempt_interval_ns: 1_000_000, // 1 ms, the paper's default tick
+            timer_strategy: TimerStrategy::PerWorkerAligned,
+            klt_park_mode: KltParkMode::Futex,
+            klt_pool_policy: KltPoolPolicy::WorkerLocal,
+            sched_policy: SchedPolicy::WorkStealing,
+            stack_size: ult_arch::stack::DEFAULT_STACK_SIZE,
+            initial_pool_capacity: 1024,
+            pin_workers: false,
+            spare_klts: 2,
+            stat_samples: 0,
+        }
+    }
+}
+
+impl Config {
+    /// Validate and normalize the configuration.
+    pub fn validated(mut self) -> Result<Config, String> {
+        if self.num_workers == 0 {
+            return Err("num_workers must be >= 1".into());
+        }
+        if self.num_workers > 4096 {
+            return Err("num_workers too large (max 4096)".into());
+        }
+        if self.stack_size < ult_arch::stack::MIN_STACK_SIZE {
+            self.stack_size = ult_arch::stack::MIN_STACK_SIZE;
+        }
+        if self.initial_pool_capacity < 64 {
+            self.initial_pool_capacity = 64;
+        }
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        let c = Config::default().validated().unwrap();
+        assert!(c.num_workers >= 1);
+        assert_eq!(c.preempt_interval_ns, 1_000_000);
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let c = Config {
+            num_workers: 0,
+            ..Config::default()
+        };
+        assert!(c.validated().is_err());
+    }
+
+    #[test]
+    fn tiny_stack_normalized() {
+        let c = Config {
+            stack_size: 1,
+            ..Config::default()
+        };
+        let c = c.validated().unwrap();
+        assert!(c.stack_size >= ult_arch::stack::MIN_STACK_SIZE);
+    }
+
+    #[test]
+    fn huge_worker_count_rejected() {
+        let c = Config {
+            num_workers: 1 << 20,
+            ..Config::default()
+        };
+        assert!(c.validated().is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! # ult-core — lightweight preemptive user-level threads
+//!
+//! A from-scratch Rust implementation of the M:N user-level threading
+//! runtime with implicit preemption from *"Lightweight Preemptive
+//! User-Level Threads"* (Shiina, Iwasaki, Taura, Balaji — PPoPP 2021).
+//!
+//! ## Model
+//!
+//! "M" user-level threads ([`thread::Ult`], spawned via [`Runtime::spawn`])
+//! are multiplexed onto "N" workers, each embodied by a kernel-level thread
+//! (KLT). Context switching, scheduling and synchronization happen in user
+//! space (~100 ns), but — unlike plain M:N runtimes — threads can also be
+//! **implicitly preempted**, restoring the 1:1-thread property that a thread
+//! which never yields still cannot starve the others:
+//!
+//! * **Signal-yield** ([`ThreadKind::SignalYield`], paper §3.1.1): a timer
+//!   signal interrupts the thread and the handler context-switches to the
+//!   scheduler. Cheap, but requires the thread function to be
+//!   KLT-independent (no thread-local state, no glibc-malloc-style caches).
+//! * **KLT-switching** ([`ThreadKind::KltSwitching`], paper §3.1.2): the
+//!   handler parks the *whole KLT* captive and remaps the worker onto a
+//!   pooled KLT, so KLT-local state is never observed by another thread.
+//!   Slightly more expensive; safe for arbitrary code.
+//! * **Nonpreemptive** ([`ThreadKind::Nonpreemptive`]): the traditional M:N
+//!   thread; cheapest, scheduled only at explicit yields.
+//!
+//! All three kinds coexist in one runtime (paper §3.4). Preemption timers
+//! come in four coordination flavors ([`TimerStrategy`], paper §3.2):
+//! per-worker (naive or phase-aligned) and per-process (one-to-all or
+//! chained forwarding).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ult_core::{Config, Runtime, ThreadKind, Priority};
+//!
+//! let rt = Runtime::start(Config { num_workers: 2, ..Config::default() });
+//! let h = rt.spawn_with(ThreadKind::SignalYield, Priority::High, || {
+//!     let mut acc = 0u64;
+//!     for i in 0..1_000 { acc += i; }
+//!     acc
+//! });
+//! assert_eq!(h.join(), 499_500);
+//! rt.shutdown();
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod api;
+pub mod config;
+pub mod debug_registry;
+pub(crate) mod klt;
+pub mod pool;
+pub mod preempt;
+pub(crate) mod runtime;
+pub(crate) mod sched;
+pub mod stats;
+pub mod thread;
+pub mod tls;
+pub(crate) mod worker;
+
+pub use api::{
+    block_current, current_thread_id, current_thread_kind, current_worker_rank, in_ult,
+    make_ready, yield_now,
+};
+pub use config::{Config, KltParkMode, KltPoolPolicy, SchedPolicy};
+pub use preempt::timer::TimerStrategy;
+pub use runtime::Runtime;
+pub use stats::RuntimeStats;
+pub use thread::{JoinHandle, Priority, ThreadKind, Ult, UltState};
+
+/// Number of CPUs available to this process.
+pub fn sys_cpus() -> usize {
+    ult_sys::affinity::num_cpus()
+}

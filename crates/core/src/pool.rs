@@ -1,0 +1,352 @@
+//! Ready-thread pools.
+//!
+//! Each worker owns one (or, for the priority scheduler, two) [`ThreadPool`]s
+//! holding ready ULTs. Pools support FIFO push/pop (the BOLT default
+//! scheduler's local queue, paper §4.1), LIFO pop (the analysis-thread queue
+//! of §4.3 keeps locality by draining newest-first), and stealing from the
+//! FIFO end.
+//!
+//! # Signal-handler safety
+//!
+//! The KLT-switching signal handler pushes the preempted ULT into a pool
+//! *from inside the handler* (paper Fig. 2c happens logically in the
+//! scheduler, but the publish itself is done by the handler before the KLT
+//! parks). The interrupted frame may be inside `malloc`, so the handler must
+//! not allocate: pools therefore use a raw spinlock (no parking, no lazy
+//! thread data) and **never grow inside `push`** — capacity is reserved
+//! ahead of time by the spawn path ([`ThreadPool::reserve`]), which runs in
+//! normal context. `push` panics if the reservation invariant is violated.
+
+use crate::thread::Ult;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A minimal test-and-set spinlock.
+///
+/// Used instead of `parking_lot`/`std` mutexes wherever a signal handler may
+/// take the lock: parking mutexes may allocate lazy per-thread data on first
+/// contention, which is not async-signal-safe.
+pub struct SpinLock {
+    locked: AtomicBool,
+}
+
+impl Default for SpinLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpinLock {
+    /// New, unlocked.
+    pub const fn new() -> Self {
+        SpinLock {
+            locked: AtomicBool::new(false),
+        }
+    }
+
+    /// Acquire, spinning. Async-signal-safe provided the lock is never held
+    /// across a point where the *same KLT* can re-enter (the runtime's
+    /// preempt-disable discipline guarantees this).
+    #[inline]
+    pub fn lock(&self) {
+        loop {
+            if !self.locked.swap(true, Ordering::Acquire) {
+                return;
+            }
+            while self.locked.load(Ordering::Relaxed) {
+                core::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Try to acquire without spinning.
+    #[inline]
+    pub fn try_lock(&self) -> bool {
+        !self.locked.swap(true, Ordering::Acquire)
+    }
+
+    /// Release.
+    #[inline]
+    pub fn unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+    }
+
+    /// Run `f` under the lock.
+    #[inline]
+    pub fn with<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.lock();
+        let r = f();
+        self.unlock();
+        r
+    }
+}
+
+/// A spin-locked deque of ready ULTs with reserved capacity.
+pub struct ThreadPool {
+    lock: SpinLock,
+    // UnsafeCell to allow mutation under our own lock.
+    deque: std::cell::UnsafeCell<VecDeque<Arc<Ult>>>,
+    /// Capacity reserved so far (never shrinks); `push` asserts against it.
+    reserved: AtomicUsize,
+    /// Quick emptiness hint readable without the lock (steal scans).
+    len_hint: AtomicUsize,
+}
+
+// SAFETY: deque is only touched under `lock`.
+unsafe impl Send for ThreadPool {}
+unsafe impl Sync for ThreadPool {}
+
+impl ThreadPool {
+    /// Create a pool with `capacity` slots pre-allocated.
+    pub fn with_capacity(capacity: usize) -> ThreadPool {
+        ThreadPool {
+            lock: SpinLock::new(),
+            deque: std::cell::UnsafeCell::new(VecDeque::with_capacity(capacity)),
+            reserved: AtomicUsize::new(capacity),
+            len_hint: AtomicUsize::new(0),
+        }
+    }
+
+    /// Ensure at least `capacity` total slots exist. **Not**
+    /// async-signal-safe (may allocate); called from spawn paths only.
+    pub fn reserve(&self, capacity: usize) {
+        if self.reserved.load(Ordering::Acquire) >= capacity {
+            return;
+        }
+        self.lock.lock();
+        // SAFETY: under lock.
+        let dq = unsafe { &mut *self.deque.get() };
+        if dq.capacity() < capacity {
+            dq.reserve(capacity - dq.len());
+        }
+        self.reserved
+            .fetch_max(dq.capacity(), Ordering::AcqRel);
+        self.lock.unlock();
+    }
+
+    /// Push to the FIFO tail. Async-signal-safe given prior [`reserve`]:
+    /// panics (rather than allocating) if the reservation was insufficient.
+    ///
+    /// [`reserve`]: ThreadPool::reserve
+    pub fn push(&self, t: Arc<Ult>) {
+        debug_assert!(
+            !t.in_pool.swap(true, std::sync::atomic::Ordering::AcqRel),
+            "ULT {} double-enqueued (push)",
+            t.id
+        );
+        self.lock.lock();
+        // SAFETY: under lock.
+        let dq = unsafe { &mut *self.deque.get() };
+        assert!(
+            dq.len() < dq.capacity(),
+            "ThreadPool capacity exhausted ({}) — reserve() invariant violated",
+            dq.capacity()
+        );
+        dq.push_back(t);
+        self.len_hint.store(dq.len(), Ordering::Release);
+        self.lock.unlock();
+    }
+
+    /// Push to the LIFO head (newest-first pop order for locality-sensitive
+    /// queues, paper §4.3).
+    pub fn push_front(&self, t: Arc<Ult>) {
+        debug_assert!(
+            !t.in_pool.swap(true, std::sync::atomic::Ordering::AcqRel),
+            "ULT {} double-enqueued (push_front)",
+            t.id
+        );
+        self.lock.lock();
+        // SAFETY: under lock.
+        let dq = unsafe { &mut *self.deque.get() };
+        assert!(
+            dq.len() < dq.capacity(),
+            "ThreadPool capacity exhausted ({})",
+            dq.capacity()
+        );
+        dq.push_front(t);
+        self.len_hint.store(dq.len(), Ordering::Release);
+        self.lock.unlock();
+    }
+
+    /// Pop from the head (FIFO order wrt [`ThreadPool::push`]).
+    pub fn pop(&self) -> Option<Arc<Ult>> {
+        if self.len_hint.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        self.lock.lock();
+        // SAFETY: under lock.
+        let dq = unsafe { &mut *self.deque.get() };
+        let t = dq.pop_front();
+        self.len_hint.store(dq.len(), Ordering::Release);
+        self.lock.unlock();
+        if let Some(ref t) = t {
+            t.in_pool.store(false, Ordering::Release);
+            crate::debug_registry::event(crate::debug_registry::ev::POP, t.id, 0);
+        }
+        t
+    }
+
+    /// Pop from the tail — steal path (takes the oldest from the victim's
+    /// perspective... the *other* end from its owner's pops).
+    pub fn steal(&self) -> Option<Arc<Ult>> {
+        if self.len_hint.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        self.lock.lock();
+        // SAFETY: under lock.
+        let dq = unsafe { &mut *self.deque.get() };
+        let t = dq.pop_back();
+        self.len_hint.store(dq.len(), Ordering::Release);
+        self.lock.unlock();
+        if let Some(ref t) = t {
+            t.in_pool.store(false, Ordering::Release);
+        }
+        t
+    }
+
+    /// Approximate length (exact between operations).
+    pub fn len(&self) -> usize {
+        self.len_hint.load(Ordering::Acquire)
+    }
+
+    /// Whether the pool is (approximately) empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thread::{Priority, ThreadKind};
+    use ult_arch::Stack;
+
+    fn mk(id: u64) -> Arc<Ult> {
+        Ult::new(
+            id,
+            ThreadKind::Nonpreemptive,
+            Priority::High,
+            0,
+            Stack::new(32 * 1024).unwrap(),
+            Box::new(|| {}),
+        )
+    }
+
+    #[test]
+    fn fifo_order() {
+        let p = ThreadPool::with_capacity(8);
+        for i in 0..5 {
+            p.push(mk(i));
+        }
+        for i in 0..5 {
+            assert_eq!(p.pop().unwrap().id, i);
+        }
+        assert!(p.pop().is_none());
+    }
+
+    #[test]
+    fn lifo_order_with_push_front() {
+        let p = ThreadPool::with_capacity(8);
+        for i in 0..5 {
+            p.push_front(mk(i));
+        }
+        for i in (0..5).rev() {
+            assert_eq!(p.pop().unwrap().id, i);
+        }
+    }
+
+    #[test]
+    fn steal_takes_opposite_end() {
+        let p = ThreadPool::with_capacity(8);
+        for i in 0..4 {
+            p.push(mk(i));
+        }
+        assert_eq!(p.steal().unwrap().id, 3);
+        assert_eq!(p.pop().unwrap().id, 0);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn len_tracks_operations() {
+        let p = ThreadPool::with_capacity(4);
+        assert!(p.is_empty());
+        p.push(mk(1));
+        assert_eq!(p.len(), 1);
+        p.push(mk(2));
+        assert_eq!(p.len(), 2);
+        p.pop();
+        assert_eq!(p.len(), 1);
+        p.steal();
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn reserve_grows() {
+        let p = ThreadPool::with_capacity(2);
+        p.reserve(100);
+        for i in 0..100 {
+            p.push(mk(i));
+        }
+        assert_eq!(p.len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity exhausted")]
+    fn push_past_capacity_panics() {
+        let p = ThreadPool::with_capacity(1);
+        // VecDeque may round capacity up; fill to the real cap then overflow.
+        let mut i = 0;
+        loop {
+            p.push(mk(i));
+            i += 1;
+            assert!(i < 10_000, "capacity never exhausted?");
+        }
+    }
+
+    #[test]
+    fn spinlock_mutual_exclusion() {
+        struct Shared(SpinLock, std::cell::UnsafeCell<u64>);
+        // SAFETY: the cell is only touched under the spinlock.
+        unsafe impl Send for Shared {}
+        unsafe impl Sync for Shared {}
+        let shared = Arc::new(Shared(SpinLock::new(), std::cell::UnsafeCell::new(0u64)));
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let s = shared.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    s.0.with(|| unsafe { *s.1.get() += 1 });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(unsafe { *shared.1.get() }, 40_000);
+    }
+
+    #[test]
+    fn concurrent_push_pop_no_loss() {
+        let p = Arc::new(ThreadPool::with_capacity(10_000));
+        let total = Arc::new(AtomicUsize::new(0));
+        let mut handles = vec![];
+        for t in 0..4 {
+            let p = p.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000 {
+                    p.push(mk((t * 1000 + i) as u64));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut popped = 0;
+        while p.pop().is_some() {
+            popped += 1;
+        }
+        total.fetch_add(popped, Ordering::SeqCst);
+        assert_eq!(total.load(Ordering::SeqCst), 4000);
+    }
+}

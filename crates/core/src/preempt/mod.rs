@@ -1,0 +1,294 @@
+//! Implicit preemption: the signal handler implementing signal-yield
+//! (paper §3.1.1) and KLT-switching (paper §3.1.2), plus the timer
+//! strategies (§3.2) in [`timer`].
+//!
+//! # Async-signal-safety inventory
+//!
+//! Everything reachable from [`preempt_handler`] is restricted to: atomics,
+//! futex wait/wake, `tgkill`, `clock_gettime`, spinlock-guarded pops of
+//! pre-allocated structures, a capacity-reserved pool push, and the context
+//! switch itself. In particular there is **no** allocation (the interrupted
+//! frame may be inside `malloc` — the exact KLT-dependence hazard the paper
+//! describes) and no parking-lot locks (their lazy thread data allocates).
+
+pub mod timer;
+
+use crate::klt::{current_klt, Klt};
+use crate::thread::{Ult, UltState};
+use crate::worker::{SwitchReason, Worker};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use ult_arch::Context;
+use ult_sys::clock::now_ns;
+use ult_sys::signal::{send_signal, unblock_signal};
+
+/// Preemption tick: plain (no forwarding).
+pub(crate) fn preempt_signum() -> i32 {
+    libc::SIGRTMIN()
+}
+
+/// Chained tick: preempt, then forward to at most one next eligible worker
+/// (paper §3.2.2, "chained signals").
+pub(crate) fn chain_signum() -> i32 {
+    libc::SIGRTMIN() + 2
+}
+
+/// One-to-all leader tick: forward to every eligible worker, then preempt
+/// self (paper §3.2.2, "one-to-all").
+pub(crate) fn one_to_all_signum() -> i32 {
+    libc::SIGRTMIN() + 3
+}
+
+/// Install the preemption handlers process-wide. Idempotent.
+pub(crate) fn install_handlers() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        ult_sys::signal::install_handler(preempt_signum(), preempt_handler)
+            .expect("install preempt handler");
+        ult_sys::signal::install_handler(chain_signum(), preempt_handler)
+            .expect("install chain handler");
+        ult_sys::signal::install_handler(one_to_all_signum(), preempt_handler)
+            .expect("install one-to-all handler");
+        // The wake signal only needs to interrupt sigtimedwait; ignore it so
+        // stray deliveries are harmless.
+        ult_sys::signal::ignore_signal(ult_sys::signal::wake_signum())
+            .expect("ignore wake signal");
+    });
+}
+
+/// The preemption signal handler (all three tick signals).
+pub(crate) extern "C" fn preempt_handler(sig: i32) {
+    let t_enter = now_ns();
+    let Some(klt) = current_klt() else {
+        // Signal landed on a non-runtime thread (possible for per-process
+        // SIGEV_SIGNAL before routing settles); drop it.
+        return;
+    };
+    let wp = klt.worker.load(Ordering::Acquire);
+    if wp.is_null() {
+        return; // pooled or freshly released KLT: stale tick
+    }
+    // SAFETY: workers are owned by the runtime for its whole life.
+    let w: &Worker = unsafe { &*wp };
+    // Stale-tick guard: only the KLT currently embodying the worker may
+    // preempt it (a captive KLT keeps receiving old per-worker timer ticks
+    // until the scheduler rebinds the timer).
+    if w.current_klt.load(Ordering::Acquire) != klt as *const Klt as *mut Klt {
+        w.stats.stale_ticks.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let rt = w.runtime();
+
+    // Per-process strategies: forward before preempting self, so the chain
+    // proceeds concurrently with our own (possibly expensive) switch.
+    if sig == one_to_all_signum() {
+        forward_one_to_all(rt, w);
+    } else if sig == chain_signum() {
+        forward_chain(rt, w);
+    }
+
+    maybe_preempt(rt, w, klt, sig, t_enter);
+}
+
+/// Leader of the one-to-all per-process timer: signal every worker whose
+/// running thread is preemptive (paper §3.2.2).
+fn forward_one_to_all(rt: &crate::runtime::RuntimeInner, me: &Worker) {
+    for other in rt.workers.iter() {
+        if other.rank == me.rank {
+            continue;
+        }
+        send_tick_if_eligible(other, preempt_signum());
+    }
+}
+
+/// Chained signals: forward to at most one next worker (strictly increasing
+/// rank, so one lap terminates; paper Figure 5b).
+fn forward_chain(rt: &crate::runtime::RuntimeInner, me: &Worker) {
+    for other in rt.workers.iter().skip(me.rank + 1) {
+        if send_tick_if_eligible(other, chain_signum()) {
+            return;
+        }
+    }
+}
+
+/// Send `sig` to `other`'s current KLT if its running thread is preemptive.
+/// Reads only the `current_kind` mirror — never dereferences the remote
+/// `current` pointer (the remote thread may finish and be freed
+/// concurrently).
+fn send_tick_if_eligible(other: &Worker, sig: i32) -> bool {
+    if !other.stats.current_kind_preemptive() {
+        return false;
+    }
+    let kp = other.current_klt.load(Ordering::Acquire);
+    if kp.is_null() {
+        return false;
+    }
+    // SAFETY: KLTs are registry-kept for the runtime's life.
+    let k: &Klt = unsafe { &*kp };
+    let tid = k.tid();
+    tid != 0 && send_signal(tid, sig)
+}
+
+/// Decide and perform the preemption of the current ULT, if any.
+fn maybe_preempt(
+    rt: &crate::runtime::RuntimeInner,
+    w: &Worker,
+    klt: &Klt,
+    sig: i32,
+    t_enter: u64,
+) {
+    if w.preempt_disabled.0.load(Ordering::Acquire) != 0 {
+        // Critical section: defer. The ULT prologue converts the pending
+        // flag into a voluntary yield.
+        if w.stats.current_kind_preemptive() {
+            w.preempt_pending.store(true, Ordering::Release);
+            w.stats.deferred_ticks.fetch_add(1, Ordering::Relaxed);
+        }
+        return;
+    }
+    let cur = w.current.load(Ordering::Acquire);
+    if cur.is_null() {
+        return; // in scheduler limbo (shouldn't happen with disabled==0)
+    }
+    // SAFETY: a running ULT is kept alive by the scheduler's Arc binding.
+    let t: &Ult = unsafe { &*cur };
+
+    // Echo suppression: bursts of queued stale ticks (accumulated while a
+    // captive KLT had the signal masked) must not re-preempt immediately.
+    let now = now_ns();
+    let last = w.last_preempt_ns.load(Ordering::Acquire);
+    let interval = rt.config.preempt_interval_ns.max(1);
+    if now.saturating_sub(last) < interval / 2 {
+        w.stats.suppressed_ticks.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+
+    match t.kind {
+        crate::thread::ThreadKind::Nonpreemptive => {}
+        crate::thread::ThreadKind::SignalYield => {
+            signal_yield_preempt(w, t, sig, t_enter, now);
+        }
+        crate::thread::ThreadKind::KltSwitching => {
+            klt_switch_preempt(rt, w, klt, t, sig, t_enter, now);
+        }
+    }
+}
+
+/// Signal-yield (paper §3.1.1): context switch to the scheduler from inside
+/// the handler; the handler frame is captured as part of the ULT's stack.
+fn signal_yield_preempt(w: &Worker, t: &Ult, sig: i32, t_enter: u64, now: u64) {
+    crate::debug_registry::event(crate::debug_registry::ev::PREEMPT_SY, t.id, w.rank as u64);
+    w.preempt_disable(); // scheduler baseline
+    w.last_preempt_ns.store(now, Ordering::Release);
+    // Unblock before switching so the next thread on this worker can be
+    // preempted even though this handler invocation is still "live" (the
+    // paper's fix for the one-pending-handler-per-worker limit).
+    unblock_signal(sig);
+    w.set_reason(SwitchReason::PreemptedSaved);
+    w.stats.record_interrupt(now_ns() - t_enter);
+    // SAFETY: scheduler ctx is suspended at its switch into us; our save
+    // slot is the ULT's context, published to the scheduler via the switch.
+    unsafe {
+        Context::switch(t.ctx.get(), w.sched_ctx.get());
+    }
+    // ---- resumed, possibly on a different worker ----
+    let w2 = crate::api::current_worker().expect("resumed outside a worker");
+    w2.ult_prologue();
+    // returning from the handler resumes the interrupted user code
+}
+
+/// KLT-switching (paper §3.1.2, Figures 2–3): park this KLT captive and
+/// remap the worker to a pooled (or newly requested) KLT.
+#[allow(clippy::too_many_arguments)]
+fn klt_switch_preempt(
+    rt: &crate::runtime::RuntimeInner,
+    w: &Worker,
+    klt: &Klt,
+    t: &Ult,
+    sig: i32,
+    t_enter: u64,
+    now: u64,
+) {
+    // Acquire a replacement KLT: worker-local pool, then global pool
+    // (paper §3.3.2). All pops are async-signal-safe.
+    let k2 = if rt.config.klt_pool_policy == crate::config::KltPoolPolicy::WorkerLocal {
+        w.local_klts.pop()
+    } else {
+        None
+    }
+    .or_else(|| rt.global_klts.pop());
+
+    let Some(k2) = k2 else {
+        // No KLT available: request one from the creator and return — we
+        // retry at the next tick, exactly as the paper describes (§3.1.2);
+        // worst case degenerates towards 1:1, never livelocks.
+        rt.creator.request();
+        w.stats.klt_misses.fetch_add(1, Ordering::Relaxed);
+        return;
+    };
+
+    crate::debug_registry::event(crate::debug_registry::ev::KSGRAB, t.id, k2.id as u64);
+    w.preempt_disable(); // scheduler baseline for when k2 resumes it
+    w.last_preempt_ns.store(now, Ordering::Release);
+    unblock_signal(sig);
+
+    // Mark the thread captive and bind our KLT to it (paper Fig. 2b: the
+    // preempted thread "associates the previous KLT with itself").
+    t.set_state(UltState::Captive);
+    t.captive_klt
+        .store(klt as *const Klt as *mut Klt, Ordering::Release);
+    w.current.store(std::ptr::null_mut(), Ordering::Release);
+    w.stats.set_current_kind(None);
+    w.stats.preemptions.fetch_add(1, Ordering::Relaxed);
+    w.stats.klt_switches.fetch_add(1, Ordering::Relaxed);
+
+    // Remap the worker to the replacement KLT and let it run the scheduler.
+    w.timer_rebind.store(true, Ordering::Release);
+    k2.assigned_worker
+        .store(w as *const Worker as *mut Worker, Ordering::Release);
+    w.current_klt
+        .store(Arc::as_ptr(&k2) as *mut Klt, Ordering::Release);
+    // Drop our own embodiment BEFORE publishing the thread: the resumer
+    // writes klt.worker and must not race our clear.
+    klt.worker.store(std::ptr::null_mut(), Ordering::Release);
+
+    // Publish the captive thread for rescheduling (paper Fig. 2c). The pool
+    // push is allocation-free (capacity reserved at spawn).
+    //
+    // ORDER IS LOAD-BEARING: the push must happen BEFORE `k2` is woken.
+    // The scheduler context we interrupted holds the (possibly only)
+    // `Arc<Ult>` of this thread and drops it on its reason-`None` resume;
+    // if `k2` resumed it before this mint+push, the refcount would hit
+    // zero and the ULT — whose stack this very handler is running on —
+    // would be freed mid-preemption.
+    // SAFETY: `t` is Arc-managed; we mint a new strong reference for the
+    // pool (pure atomic increment, async-signal-safe).
+    let t_arc = unsafe {
+        Arc::increment_strong_count(t as *const Ult);
+        Arc::from_raw(t as *const Ult)
+    };
+    crate::sched::on_preempted(rt, w, t_arc);
+
+    // Now it is safe to hand the worker's scheduler to the new KLT.
+    k2.unpark_home();
+
+    w.stats.record_interrupt(now_ns() - t_enter);
+
+    crate::debug_registry::event(crate::debug_registry::ev::PREEMPT_KS, t.id, klt.id as u64);
+    // Park captive, holding the ULT's registers and KLT-local state
+    // (paper Fig. 2b). Woken by a scheduler's resume (Fig. 3b).
+    klt.park_captive();
+    crate::debug_registry::event(crate::debug_registry::ev::CAPTIVE_WOKE, t.id, klt.id as u64);
+
+    // ---- resumed: we are now the KLT of whichever worker resumed t ----
+    let w3p = klt.worker.load(Ordering::Acquire);
+    assert!(!w3p.is_null(), "captive resumed without a worker (stale token?)");
+    // SAFETY: workers live as long as the runtime.
+    let w3: &Worker = unsafe { &*w3p };
+    w3.stats
+        .set_current_kind(Some(crate::thread::ThreadKind::KltSwitching));
+    w3.ult_prologue();
+    // returning from the handler resumes the interrupted user code on the
+    // SAME KLT — KLT-local data was never exposed to another thread.
+}

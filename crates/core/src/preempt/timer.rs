@@ -1,0 +1,178 @@
+//! Preemption-timer strategies (paper §3.2).
+//!
+//! | Strategy | Timers | Coordination | Paper series (Fig. 4) |
+//! |---|---|---|---|
+//! | [`TimerStrategy::PerWorkerCreationTime`] | one per worker | none — all phases coincide | "Per-worker (creation-time)" |
+//! | [`TimerStrategy::PerWorkerAligned`] | one per worker | phases staggered by `i·T/N` | "Per-worker (aligned)" |
+//! | [`TimerStrategy::PerProcessOneToAll`] | one (leader) | leader signals every eligible worker | "Per-process (one-to-all)" |
+//! | [`TimerStrategy::PerProcessChain`] | one (leader) | each worker forwards to at most one next | "Per-process (chain)" |
+//!
+//! Per-worker timers use Linux's `SIGEV_THREAD_ID` (not POSIX — the paper's
+//! portability caveat, §3.2.1). Under KLT-switching the embodiment of a
+//! worker changes, so its timer is **re-targeted** ("rebound") to the new
+//! KLT by the scheduler after each switch; stale ticks hitting the old KLT
+//! in the window are dropped by the handler's embodiment check.
+
+use crate::runtime::RuntimeInner;
+use crate::worker::Worker;
+use parking_lot::Mutex;
+use ult_sys::tid::Tid;
+use ult_sys::timer::{aligned_phase_ns, IntervalTimer};
+
+/// Timer-coordination strategy (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerStrategy {
+    /// No implicit preemption (traditional nonpreemptive M:N threads).
+    None,
+    /// One timer per worker, all armed with identical phase — the naive
+    /// scheme whose signal contention Figure 4 quantifies.
+    PerWorkerCreationTime,
+    /// One timer per worker with aligned (staggered) phases (Fig. 5a).
+    PerWorkerAligned,
+    /// One process timer; the leader signals all eligible workers at once.
+    PerProcessOneToAll,
+    /// One process timer; workers forward the tick one-by-one (Fig. 5b).
+    PerProcessChain,
+}
+
+impl TimerStrategy {
+    /// Whether each worker owns a timer (vs only the leader).
+    pub fn is_per_worker(self) -> bool {
+        matches!(
+            self,
+            TimerStrategy::PerWorkerCreationTime | TimerStrategy::PerWorkerAligned
+        )
+    }
+
+    /// Whether a single leader timer drives all workers.
+    pub fn is_per_process(self) -> bool {
+        matches!(
+            self,
+            TimerStrategy::PerProcessOneToAll | TimerStrategy::PerProcessChain
+        )
+    }
+}
+
+/// Per-runtime timer state: one slot per worker (only the leader slot is
+/// used by per-process strategies).
+pub(crate) struct TimerSet {
+    slots: Vec<Mutex<Option<IntervalTimer>>>,
+}
+
+impl TimerSet {
+    pub(crate) fn new(n_workers: usize) -> TimerSet {
+        TimerSet {
+            slots: (0..n_workers).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Arm (or re-arm) worker `w`'s timer targeting KLT `tid`, according to
+    /// the runtime's strategy. Called from scheduler/home-loop context only
+    /// (never from a signal handler — `timer_create` is not
+    /// async-signal-safe, which is exactly why rebinds are deferred to the
+    /// scheduler via the `timer_rebind` flag).
+    pub(crate) fn bind_worker(&self, rt: &RuntimeInner, w: &Worker, tid: Tid) {
+        let interval = rt.config.preempt_interval_ns;
+        if interval == 0 || tid == 0 {
+            return;
+        }
+        let strategy = rt.config.timer_strategy;
+        let n = rt.workers.len();
+        let (signum, phase) = match strategy {
+            TimerStrategy::None => return,
+            TimerStrategy::PerWorkerCreationTime => {
+                // Deliberately un-staggered: every worker's first expiry is
+                // one full interval after arming; since all workers arm at
+                // startup within microseconds of each other, the expirations
+                // coincide — the contention-prone naive scheme.
+                (crate::preempt::preempt_signum(), interval)
+            }
+            TimerStrategy::PerWorkerAligned => (
+                crate::preempt::preempt_signum(),
+                aligned_phase_ns(w.rank, n, interval),
+            ),
+            TimerStrategy::PerProcessOneToAll => {
+                if w.rank != 0 {
+                    return;
+                }
+                (crate::preempt::one_to_all_signum(), interval)
+            }
+            TimerStrategy::PerProcessChain => {
+                if w.rank != 0 {
+                    return;
+                }
+                (crate::preempt::chain_signum(), interval)
+            }
+        };
+        let timer = IntervalTimer::per_thread(tid, signum, interval, phase)
+            .expect("timer_create for worker");
+        *self.slots[w.rank].lock() = Some(timer);
+    }
+
+    /// Re-target worker `w`'s timer to its *current* KLT.
+    pub(crate) fn rebind_worker(&self, rt: &RuntimeInner, w: &Worker) {
+        let kp = w
+            .current_klt
+            .load(std::sync::atomic::Ordering::Acquire);
+        if kp.is_null() {
+            return;
+        }
+        // SAFETY: KLTs are registry-kept for the runtime's life.
+        let tid = unsafe { (*kp).tid() };
+        self.rebind_worker_to(rt, w, tid);
+    }
+
+    /// Re-target worker `w`'s timer to an explicit KLT tid.
+    pub(crate) fn rebind_worker_to(&self, rt: &RuntimeInner, w: &Worker, tid: Tid) {
+        if rt.config.preempt_interval_ns == 0 || tid == 0 {
+            return;
+        }
+        let strategy = rt.config.timer_strategy;
+        if strategy == TimerStrategy::None {
+            return;
+        }
+        if strategy.is_per_process() && w.rank != 0 {
+            return; // only the leader owns a timer
+        }
+        // Drop the old timer and create a fresh one aimed at the new KLT.
+        // (SIGEV_THREAD_ID is fixed at creation; re-targeting requires
+        // re-creation.)
+        *self.slots[w.rank].lock() = None;
+        self.bind_worker(rt, w, tid);
+    }
+
+    /// Whether worker `rank` currently has an armed timer (diagnostic).
+    pub(crate) fn is_armed(&self, rank: usize) -> bool {
+        self.slots[rank].lock().is_some()
+    }
+
+    /// Disarm everything (shutdown).
+    pub(crate) fn disarm_all(&self) {
+        for s in &self.slots {
+            *s.lock() = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_classification() {
+        assert!(TimerStrategy::PerWorkerAligned.is_per_worker());
+        assert!(TimerStrategy::PerWorkerCreationTime.is_per_worker());
+        assert!(!TimerStrategy::PerWorkerAligned.is_per_process());
+        assert!(TimerStrategy::PerProcessChain.is_per_process());
+        assert!(TimerStrategy::PerProcessOneToAll.is_per_process());
+        assert!(!TimerStrategy::None.is_per_worker());
+        assert!(!TimerStrategy::None.is_per_process());
+    }
+
+    #[test]
+    fn timer_set_shape() {
+        let ts = TimerSet::new(8);
+        assert_eq!(ts.slots.len(), 8);
+        ts.disarm_all(); // no-op on empty slots
+    }
+}

@@ -1,0 +1,621 @@
+//! The runtime: startup, KLT home loops, the KLT creator, spawn and
+//! shutdown.
+//!
+//! The threading model is the paper's (§2.1): on initialization the runtime
+//! creates as many workers as configured, each with one KLT and one
+//! scheduler context. KLT-switching (§3.1.2) adds a global KLT pool,
+//! worker-local KLT pools (§3.3.2) and a dedicated KLT-creator thread
+//! (because `pthread_create` is not async-signal-safe).
+
+use crate::config::{Config, KltPoolPolicy};
+use crate::klt::{bind_current_klt, unbind_current_klt, Directive, Klt, KltCreator, KltPool};
+use crate::preempt::timer::TimerSet;
+use crate::stats::RuntimeStats;
+use crate::thread::{JoinHandle, Priority, ResultCell, ThreadKind, Ult};
+use crate::worker::Worker;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use ult_arch::{Context, Stack};
+
+/// Shared runtime state (everything the schedulers and handlers touch).
+pub(crate) struct RuntimeInner {
+    /// The validated configuration.
+    pub config: Config,
+    /// All workers, indexed by rank.
+    pub workers: Box<[Arc<Worker>]>,
+    /// Global idle-KLT pool (paper §3.1.2).
+    pub global_klts: KltPool,
+    /// The KLT-creator request mailbox.
+    pub creator: KltCreator,
+    /// Preemption timers.
+    pub timers: TimerSet,
+    /// Runtime is shutting down.
+    pub shutdown: AtomicBool,
+    /// Number of currently active workers (thread packing, §4.2).
+    pub active_workers: AtomicUsize,
+    /// Live (spawned, not yet finished) ULTs.
+    pub live_ults: AtomicUsize,
+    /// Monotonic ULT id source.
+    pub next_ult_id: AtomicU64,
+    /// High-water mark for per-pool capacity reservations.
+    pool_reserve_mark: AtomicUsize,
+    /// Round-robin cursor for external spawns.
+    spawn_rr: AtomicUsize,
+    /// Recycled ULT stacks (default size only): `mmap` + guard-page
+    /// `mprotect` per spawn costs ~10 µs; reuse brings ULT creation to the
+    /// microsecond range the paper's runtimes exhibit.
+    stack_cache: Mutex<Vec<Stack>>,
+    /// All KLTs ever created (kept alive for raw-pointer safety).
+    pub klt_registry: Mutex<Vec<Arc<Klt>>>,
+    /// OS join handles for all KLT threads + the creator.
+    thread_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl RuntimeInner {
+    /// Reserve pool capacity so signal handlers can always push without
+    /// allocating (see `pool.rs` module docs).
+    pub(crate) fn ensure_pool_capacity(&self, live: usize) {
+        let needed = live + 16;
+        let mark = self.pool_reserve_mark.load(Ordering::Acquire);
+        if needed <= mark {
+            return;
+        }
+        let new_mark = needed
+            .next_power_of_two()
+            .max(self.config.initial_pool_capacity);
+        for w in self.workers.iter() {
+            w.pool.reserve(new_mark);
+            w.lo_pool.reserve(new_mark);
+        }
+        self.pool_reserve_mark.fetch_max(new_mark, Ordering::AcqRel);
+    }
+
+    /// Wake one idle active worker (after making work available).
+    ///
+    /// Callers must have already published the work (pool push). The
+    /// SeqCst fence pairs with the one in `idle_wait`: without it, this
+    /// side can read a stale `idle == false` while the worker reads a
+    /// stale empty pool — a lost wakeup that strands queued work forever.
+    pub(crate) fn wake_one_idle(&self) {
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let active = self.active_workers.load(Ordering::Acquire);
+        for w in self.workers.iter().take(active) {
+            if w.idle.load(Ordering::SeqCst) {
+                w.unpark();
+                return;
+            }
+        }
+    }
+
+    /// Register a brand-new KLT and start its home-loop thread.
+    pub(crate) fn start_klt(
+        self: &Arc<Self>,
+        first_worker: Option<usize>,
+    ) -> Arc<Klt> {
+        let mut reg = self.klt_registry.lock();
+        let id = reg.len();
+        let klt = Klt::new(id, self.config.klt_park_mode);
+        reg.push(klt.clone());
+        drop(reg);
+        let rt = self.clone();
+        let k = klt.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("ult-klt-{id}"))
+            .spawn(move || klt_main(rt, k, first_worker))
+            .expect("spawn KLT");
+        self.thread_handles.lock().push(handle);
+        klt
+    }
+
+    /// Return an idle KLT to the pools: the preferring worker's local pool
+    /// first (paper §3.3.2), overflowing to the global pool.
+    pub(crate) fn release_klt(&self, klt: &Arc<Klt>, prefer_rank: usize) {
+        if self.config.klt_pool_policy == KltPoolPolicy::WorkerLocal
+            && prefer_rank < self.workers.len()
+        {
+            match self.workers[prefer_rank].local_klts.push(klt.clone()) {
+                Ok(()) => return,
+                Err(_) => {} // local pool full; overflow
+            }
+        }
+        let _ = self.global_klts.push(klt.clone());
+    }
+
+    /// Cache capacity for recycled stacks (bounds idle memory).
+    const STACK_CACHE_MAX: usize = 128;
+
+    /// A ULT finished: wake joiners, decrement live count.
+    pub(crate) fn on_finish(&self, t: &Arc<Ult>) {
+        // Reclaim the stack first: the thread's context is dead and the
+        // default-size stack can serve the next spawn without an mmap.
+        if let Some(stack) = t.take_stack() {
+            if stack.size() == self.config.stack_size {
+                let mut cache = self.stack_cache.lock();
+                if cache.len() < Self::STACK_CACHE_MAX {
+                    cache.push(stack);
+                }
+            }
+        }
+        // Order is load-bearing: mark Finished first so that late joiner
+        // registrations observe it and skip blocking; then drain the
+        // registrants that got in before.
+        t.finish();
+        let joiners = t.take_joiners();
+        for j in joiners {
+            crate::api::make_ready(&j);
+        }
+        if let Some(w) = crate::api::current_worker() {
+            w.stats.completed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.live_ults.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Core spawn path shared by all public spawn flavors.
+    pub(crate) fn spawn_ult<T, F>(
+        self: &Arc<Self>,
+        kind: ThreadKind,
+        priority: Priority,
+        home_pool: Option<usize>,
+        stack_size: usize,
+        f: F,
+    ) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        assert!(
+            !self.shutdown.load(Ordering::Acquire),
+            "spawn on a shut-down runtime"
+        );
+        let live = self.live_ults.fetch_add(1, Ordering::AcqRel) + 1;
+        self.ensure_pool_capacity(live);
+
+        let home = home_pool.unwrap_or_else(|| {
+            // Prefer the spawner's own worker (BOLT pushes to the local
+            // queue); external spawns round-robin across workers. A stale
+            // read is fine — this is only a placement hint.
+            match crate::api::current_worker() {
+                Some(w) => w.rank,
+                None => self.spawn_rr.fetch_add(1, Ordering::Relaxed) % self.workers.len(),
+            }
+        });
+        let id = self.next_ult_id.fetch_add(1, Ordering::Relaxed);
+        let result = Arc::new(ResultCell(std::cell::UnsafeCell::new(None)));
+        let r2 = result.clone();
+        let wrapper = move || {
+            let v = f();
+            // SAFETY: single writer (this ULT), read only after Finished.
+            unsafe {
+                *r2.0.get() = Some(v);
+            }
+        };
+        let stack = if stack_size == self.config.stack_size {
+            self.stack_cache.lock().pop()
+        } else {
+            None
+        }
+        .unwrap_or_else(|| Stack::new(stack_size).expect("ULT stack allocation"));
+        crate::debug_registry::register(id, stack.base() as usize, stack.top() as usize);
+        crate::debug_registry::event(crate::debug_registry::ev::SPAWN, id, home as u64);
+        let ult = Ult::new(id, kind, priority, home, stack, Box::new(wrapper));
+        ult.set_runtime(Arc::as_ptr(self));
+        ult.set_state(crate::thread::UltState::Ready);
+
+        // Route to a pool. When called from inside a worker, on_ready uses
+        // that worker's local queue under a migration pin; externally, the
+        // home worker's.
+        match crate::api::pin_current_worker() {
+            Some(cw) if std::ptr::eq(cw.runtime(), &**self) => {
+                crate::sched::on_ready(self, cw, ult.clone(), true);
+                cw.preempt_enable();
+            }
+            Some(cw) => {
+                cw.preempt_enable();
+                let w = &self.workers[home % self.workers.len()];
+                crate::sched::on_ready(self, w, ult.clone(), true);
+            }
+            None => {
+                let w = &self.workers[home % self.workers.len()];
+                crate::sched::on_ready(self, w, ult.clone(), true);
+            }
+        }
+        JoinHandle { ult, result }
+    }
+}
+
+/// Home loop of every KLT (see `klt.rs` module docs).
+fn klt_main(rt: Arc<RuntimeInner>, klt: Arc<Klt>, first_worker: Option<usize>) {
+    // Per-KLT alternate signal stack: the preemption handlers do NOT use
+    // SA_ONSTACK (signal-yield requires the handler frame on the ULT
+    // stack), but crash handlers (SIGSEGV diagnostics in harnesses) do, and
+    // without an altstack a guard-page fault dies silently.
+    install_altstack();
+    bind_current_klt(&klt);
+    match first_worker {
+        Some(rank) => {
+            // Initial embodiment: pre-assign and fall through the first park.
+            klt.assigned_worker.store(
+                Arc::as_ptr(&rt.workers[rank]) as *mut Worker,
+                Ordering::Release,
+            );
+            klt.unpark_home();
+        }
+        None => {
+            // Creator-spawned spare: advertise in the pools.
+            rt.release_klt(&klt, usize::MAX);
+        }
+    }
+
+    loop {
+        klt.park_home();
+        if klt.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let wp = klt
+            .assigned_worker
+            .swap(std::ptr::null_mut(), Ordering::AcqRel);
+        if wp.is_null() {
+            continue; // spurious wake
+        }
+        // SAFETY: workers live as long as the runtime.
+        let w: &Worker = unsafe { &*wp };
+
+        crate::debug_registry::event(
+            crate::debug_registry::ev::EMBODY,
+            klt.id as u64,
+            w.rank as u64,
+        );
+        // Embody the worker (idempotent with the handler's pre-set).
+        klt.worker.store(wp, Ordering::Release);
+        w.current_klt
+            .store(Arc::as_ptr(&klt) as *mut Klt, Ordering::Release);
+        if rt.config.pin_workers {
+            let _ = ult_sys::affinity::pin_to_cpu(klt.tid(), w.rank);
+        }
+        // The worker's preemption timer follows it onto this KLT.
+        rt.timers.rebind_worker_to(&rt, w, klt.tid());
+        w.timer_rebind.store(false, Ordering::Release);
+
+        // Run the worker's scheduler context until it hands back control.
+        // SAFETY: the scheduler context is exclusively ours now.
+        unsafe {
+            Context::switch(klt.home_ctx.get(), w.sched_ctx.get());
+        }
+
+        let (directive, captive) = klt.take_directive();
+        match directive {
+            Directive::WakeCaptiveThenRelease => {
+                let prefer = klt.release_to.swap(usize::MAX, Ordering::AcqRel);
+                klt.worker.store(std::ptr::null_mut(), Ordering::Release);
+                // SAFETY: captive KLTs are registry-kept.
+                let captive: &Klt = unsafe { &*captive };
+                crate::debug_registry::event(16, captive.id as u64, klt.id as u64);
+                captive.unpark_captive();
+                rt.release_klt(&klt, prefer);
+            }
+            Directive::Exit => {
+                klt.worker.store(std::ptr::null_mut(), Ordering::Release);
+                break;
+            }
+            Directive::None => {
+                klt.worker.store(std::ptr::null_mut(), Ordering::Release);
+            }
+        }
+    }
+    unbind_current_klt();
+}
+
+/// Register a leaked 64 KiB alternate signal stack for the calling thread.
+fn install_altstack() {
+    let size = 64 * 1024;
+    let mem: Box<[u8]> = vec![0u8; size].into_boxed_slice();
+    let sp = Box::leak(mem).as_mut_ptr();
+    // SAFETY: plain sigaltstack registration with leaked, thread-owned
+    // memory.
+    unsafe {
+        let ss = libc::stack_t {
+            ss_sp: sp as *mut libc::c_void,
+            ss_flags: 0,
+            ss_size: size,
+        };
+        libc::sigaltstack(&ss, std::ptr::null_mut());
+    }
+}
+
+/// The KLT-creator thread body (paper §3.1.2).
+fn creator_main(rt: Arc<RuntimeInner>) {
+    loop {
+        rt.creator.wake.park();
+        if rt.creator.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        loop {
+            let pending = rt.creator.pending.load(Ordering::Acquire);
+            if pending == 0 {
+                break;
+            }
+            if rt
+                .creator
+                .pending
+                .compare_exchange(pending, pending - 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            rt.start_klt(None);
+            rt.creator.created.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Handle to a running M:N runtime.
+///
+/// Dropping the handle shuts the runtime down (waiting for all spawned ULTs
+/// to finish first).
+pub struct Runtime {
+    inner: Arc<RuntimeInner>,
+    shut: AtomicBool,
+}
+
+impl Runtime {
+    /// Start a runtime with `config`.
+    pub fn start(config: Config) -> Runtime {
+        let config = config.validated().expect("invalid Config");
+        crate::preempt::install_handlers();
+
+        let n = config.num_workers;
+        let local_cap = match config.klt_pool_policy {
+            KltPoolPolicy::GlobalOnly => 0,
+            KltPoolPolicy::WorkerLocal => 4,
+        };
+        let workers: Box<[Arc<Worker>]> = (0..n)
+            .map(|rank| {
+                Worker::new(
+                    rank,
+                    config.initial_pool_capacity,
+                    config.stat_samples,
+                    local_cap,
+                )
+            })
+            .collect();
+
+        let inner = Arc::new(RuntimeInner {
+            timers: TimerSet::new(n),
+            global_klts: KltPool::new(usize::MAX),
+            creator: KltCreator::new(),
+            shutdown: AtomicBool::new(false),
+            active_workers: AtomicUsize::new(n),
+            live_ults: AtomicUsize::new(0),
+            next_ult_id: AtomicU64::new(1),
+            pool_reserve_mark: AtomicUsize::new(config.initial_pool_capacity),
+            spawn_rr: AtomicUsize::new(0),
+            stack_cache: Mutex::new(Vec::new()),
+            klt_registry: Mutex::new(Vec::new()),
+            thread_handles: Mutex::new(Vec::new()),
+            workers,
+            config,
+        });
+        for w in inner.workers.iter() {
+            w.rt.store(
+                Arc::as_ptr(&inner) as *mut RuntimeInner,
+                Ordering::Release,
+            );
+        }
+
+        // The creator thread.
+        {
+            let rt = inner.clone();
+            let handle = std::thread::Builder::new()
+                .name("ult-klt-creator".into())
+                .spawn(move || creator_main(rt))
+                .expect("spawn creator");
+            inner.thread_handles.lock().push(handle);
+        }
+
+        // One initial KLT per worker, plus warm spares for KLT-switching.
+        for rank in 0..inner.workers.len() {
+            inner.start_klt(Some(rank));
+        }
+        for _ in 0..inner.config.spare_klts {
+            inner.start_klt(None);
+        }
+
+        Runtime {
+            inner,
+            shut: AtomicBool::new(false),
+        }
+    }
+
+    /// Start with the default configuration.
+    pub fn start_default() -> Runtime {
+        Runtime::start(Config::default())
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.inner.workers.len()
+    }
+
+    /// Spawn with explicit kind/priority on the default placement.
+    pub fn spawn_with<T, F>(&self, kind: ThreadKind, priority: Priority, f: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.inner
+            .spawn_ult(kind, priority, None, self.inner.config.stack_size, f)
+    }
+
+    /// Spawn a nonpreemptive thread (the cheapest kind; paper §3.4).
+    pub fn spawn<T, F>(&self, f: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.spawn_with(ThreadKind::Nonpreemptive, Priority::High, f)
+    }
+
+    /// Spawn pinned to a specific worker's pool (`rank % num_workers`).
+    pub fn spawn_on<T, F>(
+        &self,
+        rank: usize,
+        kind: ThreadKind,
+        priority: Priority,
+        f: F,
+    ) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let rank = rank % self.inner.workers.len();
+        self.inner
+            .spawn_ult(kind, priority, Some(rank), self.inner.config.stack_size, f)
+    }
+
+    /// Thread packing (paper §4.2): reduce or restore the number of active
+    /// workers. Suspended workers park at their next scheduling boundary
+    /// (bounded by the preemption interval when threads are preemptive);
+    /// their queued threads are drained by the remaining active workers via
+    /// the Packing scheduler.
+    pub fn set_active_workers(&self, n: usize) {
+        let n = n.clamp(1, self.inner.workers.len());
+        self.inner.active_workers.store(n, Ordering::Release);
+        // Wake everyone: activated workers must resume; active ones must
+        // notice the repartitioned pools.
+        for w in self.inner.workers.iter() {
+            w.unpark();
+        }
+    }
+
+    /// Currently active workers.
+    pub fn active_workers(&self) -> usize {
+        self.inner.active_workers.load(Ordering::Acquire)
+    }
+
+    /// Aggregate statistics snapshot.
+    pub fn stats(&self) -> RuntimeStats {
+        let mut s = RuntimeStats::default();
+        for w in self.inner.workers.iter() {
+            s.preemptions += w.stats.preemptions.load(Ordering::Relaxed);
+            s.klt_switches += w.stats.klt_switches.load(Ordering::Relaxed);
+            s.captive_resumes += w.stats.captive_resumes.load(Ordering::Relaxed);
+            s.deferred_ticks += w.stats.deferred_ticks.load(Ordering::Relaxed);
+            s.stale_ticks += w.stats.stale_ticks.load(Ordering::Relaxed);
+            s.suppressed_ticks += w.stats.suppressed_ticks.load(Ordering::Relaxed);
+            s.klt_misses += w.stats.klt_misses.load(Ordering::Relaxed);
+            s.completed += w.stats.completed.load(Ordering::Relaxed);
+            s.steals += w.stats.steals.load(Ordering::Relaxed);
+            s.interrupt_samples_ns
+                .extend(w.stats.interrupt_ns.snapshot());
+        }
+        s.klts_created = self.inner.creator.created.load(Ordering::Relaxed) as u64;
+        s
+    }
+
+    /// Diagnostic snapshot of per-worker scheduler state (for debugging
+    /// harnesses; not a stable API).
+    #[doc(hidden)]
+    pub fn debug_state(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for w in self.inner.workers.iter() {
+            let cur = w.current.load(Ordering::Acquire);
+            let cur_id = if cur.is_null() {
+                0
+            } else {
+                // SAFETY: running ULTs are kept alive by their scheduler.
+                unsafe { (*cur).id }
+            };
+            let kp = w.current_klt.load(Ordering::Acquire);
+            let klt_id = if kp.is_null() {
+                usize::MAX
+            } else {
+                // SAFETY: KLTs are registry-kept.
+                unsafe { (*kp).id }
+            };
+            let _ = writeln!(
+                out,
+                "worker {}: idle={} pool={} lo={} current=u{} klt={} disabled={}                  timer_armed={} preempt={} stale={} suppressed={} misses={}",
+                w.rank,
+                w.idle.load(Ordering::Acquire),
+                w.pool.len(),
+                w.lo_pool.len(),
+                cur_id,
+                klt_id,
+                w.preempt_disabled.0.load(Ordering::Acquire),
+                self.inner.timers.is_armed(w.rank),
+                w.stats.preemptions.load(Ordering::Relaxed),
+                w.stats.stale_ticks.load(Ordering::Relaxed),
+                w.stats.suppressed_ticks.load(Ordering::Relaxed),
+                w.stats.klt_misses.load(Ordering::Relaxed),
+            );
+        }
+        out
+    }
+
+    /// Number of ULTs spawned and not yet finished.
+    pub fn live_threads(&self) -> usize {
+        self.inner.live_ults.load(Ordering::Acquire)
+    }
+
+    /// Shut down: waits for all spawned ULTs to finish, then stops all KLTs.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        if self.shut.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let rt = &self.inner;
+        // Reactivate everything so queued work can drain.
+        rt.active_workers
+            .store(rt.workers.len(), Ordering::Release);
+        for w in rt.workers.iter() {
+            w.unpark();
+        }
+        // Wait for ULTs to finish.
+        while rt.live_ults.load(Ordering::Acquire) > 0 {
+            for w in rt.workers.iter() {
+                w.unpark();
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        // Stop timers before tearing down KLTs (no more ticks).
+        rt.timers.disarm_all();
+        // Signal shutdown and wake everything.
+        rt.shutdown.store(true, Ordering::Release);
+        rt.creator.shutdown.store(true, Ordering::Release);
+        rt.creator.wake.unpark();
+        for k in rt.klt_registry.lock().iter() {
+            k.shutdown.store(true, Ordering::Release);
+            k.unpark_home();
+        }
+        for w in rt.workers.iter() {
+            w.unpark();
+        }
+        // Join all OS threads (KLTs + creator). New KLTs cannot appear: the
+        // creator exited and handlers only request, never create.
+        let handles: Vec<_> = std::mem::take(&mut *rt.thread_handles.lock());
+        for h in handles {
+            // Workers may need repeated wakes if a park raced the flag.
+            while !h.is_finished() {
+                for w in rt.workers.iter() {
+                    w.unpark();
+                }
+                for k in rt.klt_registry.lock().iter() {
+                    k.unpark_home();
+                }
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}

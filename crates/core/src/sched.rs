@@ -1,0 +1,209 @@
+//! Scheduling policies.
+//!
+//! Three policies from the paper's evaluation:
+//!
+//! * [`SchedPolicy::WorkStealing`] — BOLT's default scheduler (§4.1): local
+//!   FIFO first, then steal from a random victim; preempted threads go to
+//!   the local FIFO.
+//! * [`SchedPolicy::Packing`] — Algorithm 1 (§4.2): pools are partitioned
+//!   into private (strided by rank over the first
+//!   `N_active·⌊N_total/N_active⌋` pools) and shared (the rest); each
+//!   worker alternates one private thread and one shared thread, so shared
+//!   threads are time-sliced round-robin at the preemption interval.
+//! * [`SchedPolicy::Priority`] — two-level priority (§4.3): high-priority
+//!   FIFO drained before the low-priority LIFO; preempted low-priority
+//!   threads return to the LIFO head for locality.
+
+use crate::config::SchedPolicy;
+use crate::runtime::RuntimeInner;
+use crate::thread::{Priority, Ult};
+use crate::worker::Worker;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Pick the next thread for worker `w`, or `None` if no work is visible.
+pub(crate) fn pick(rt: &RuntimeInner, w: &Worker) -> Option<Arc<Ult>> {
+    match rt.config.sched_policy {
+        SchedPolicy::WorkStealing => pick_work_stealing(rt, w),
+        SchedPolicy::Packing => pick_packing(rt, w),
+        SchedPolicy::Priority => pick_priority(rt, w),
+    }
+}
+
+/// Route a thread that became ready (spawn, yield, unblock).
+///
+/// Wake policy (load-bearing): the owner of the pool that received the
+/// push is ALWAYS unparked, unconditionally. Waking "some idle worker"
+/// based on idle-flag scans loses wakeups — two quick pushes can both
+/// pick the same stale-flagged worker while the pool owner sleeps forever
+/// with work queued (its busy peers never steal because their own pools
+/// never drain). Unconditional unparks are tokens: a non-parked owner
+/// absorbs them with one extra scheduler-loop iteration.
+pub(crate) fn on_ready(rt: &RuntimeInner, w: &Worker, t: Arc<Ult>, wake: bool) {
+    match rt.config.sched_policy {
+        SchedPolicy::WorkStealing => {
+            w.pool.push(t);
+            if wake {
+                w.unpark();
+                rt.wake_one_idle();
+            }
+        }
+        SchedPolicy::Packing => {
+            let home = t.home_pool;
+            rt.workers[home].pool.push(t);
+            if wake {
+                // Under packing the pool owner may be suspended; every
+                // ACTIVE worker that could scan this pool must get a shot.
+                rt.workers[home].unpark();
+                let active = rt.active_workers.load(Ordering::Acquire);
+                for ww in rt.workers.iter().take(active) {
+                    ww.unpark();
+                }
+            }
+        }
+        SchedPolicy::Priority => {
+            match t.priority {
+                Priority::High => w.pool.push(t),
+                Priority::Low => w.lo_pool.push_front(t),
+            }
+            if wake {
+                w.unpark();
+                rt.wake_one_idle();
+            }
+        }
+    }
+}
+
+/// Route a preempted thread. Async-signal-safe (pool pushes + futex wakes
+/// only). The wake matters for KLT-switching: the handler pushes while the
+/// worker's scheduler runs concurrently on the replacement KLT and may have
+/// just idle-parked — without the unpark the push would be a lost wakeup.
+pub(crate) fn on_preempted(rt: &RuntimeInner, w: &Worker, t: Arc<Ult>) {
+    match rt.config.sched_policy {
+        // BOLT default: "upon preemption, the scheduler pushes the
+        // preempted thread into its local FIFO queue" (§4.1).
+        SchedPolicy::WorkStealing => {
+            w.pool.push(t);
+            w.unpark();
+        }
+        // Packing: return to the home pool so the round-robin slicing over
+        // shared pools advances to the next worker (§4.2).
+        SchedPolicy::Packing => {
+            let home = &rt.workers[t.home_pool];
+            home.pool.push(t);
+            home.unpark();
+            w.unpark();
+        }
+        // Priority: LIFO head "in order not to hurt data locality during
+        // preemption" (§4.3).
+        SchedPolicy::Priority => {
+            match t.priority {
+                Priority::High => w.pool.push(t),
+                Priority::Low => w.lo_pool.push_front(t),
+            }
+            w.unpark();
+        }
+    }
+}
+
+/// Whether any pool this worker could draw from has work (idle re-check).
+pub(crate) fn has_any_work(rt: &RuntimeInner, w: &Worker) -> bool {
+    if !w.pool.is_empty() || !w.lo_pool.is_empty() {
+        return true;
+    }
+    rt.workers
+        .iter()
+        .any(|o| !o.pool.is_empty() || !o.lo_pool.is_empty())
+}
+
+fn pick_work_stealing(rt: &RuntimeInner, w: &Worker) -> Option<Arc<Ult>> {
+    if let Some(t) = w.pool.pop() {
+        return Some(t);
+    }
+    // A few random steal attempts (paper cites Blumofe–Leiserson stealing).
+    let n = rt.workers.len();
+    if n > 1 {
+        for _ in 0..2 * n {
+            let v = w.next_victim(n);
+            if v == w.rank {
+                continue;
+            }
+            if let Some(t) = rt.workers[v].pool.steal() {
+                w.stats.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(t);
+            }
+        }
+    }
+    None
+}
+
+/// Algorithm 1 of the paper, restructured around a per-call alternation bit
+/// (the scheduler loop calls `pick` once per thread executed, so alternating
+/// which class we try first reproduces the paper's
+/// one-private-then-one-shared cadence).
+fn pick_packing(rt: &RuntimeInner, w: &Worker) -> Option<Arc<Ult>> {
+    let n_total = rt.workers.len();
+    let n_active = rt.active_workers.load(Ordering::Acquire).clamp(1, n_total);
+    // N_private = N_active * floor(N_total / N_active)  (Algorithm 1 line 6)
+    let n_private = n_active * (n_total / n_active);
+
+    let shared_first = w.pack_toggle();
+    if shared_first {
+        pick_packing_shared(rt, n_private, n_total)
+            .or_else(|| pick_packing_private(rt, w, n_private, n_active))
+    } else {
+        pick_packing_private(rt, w, n_private, n_active)
+            .or_else(|| pick_packing_shared(rt, n_private, n_total))
+    }
+}
+
+/// Algorithm 1 lines 7–10: private pools, strided by the active count.
+fn pick_packing_private(
+    rt: &RuntimeInner,
+    w: &Worker,
+    n_private: usize,
+    n_active: usize,
+) -> Option<Arc<Ult>> {
+    let mut i = w.rank;
+    while i < n_private {
+        if let Some(t) = rt.workers[i].pool.pop() {
+            return Some(t);
+        }
+        i += n_active;
+    }
+    None
+}
+
+/// Algorithm 1 lines 11–14: shared pools, drained in index order by all
+/// active workers (round-robin emerges from the per-tick alternation).
+fn pick_packing_shared(rt: &RuntimeInner, n_private: usize, n_total: usize) -> Option<Arc<Ult>> {
+    for i in n_private..n_total {
+        if let Some(t) = rt.workers[i].pool.pop() {
+            return Some(t);
+        }
+    }
+    None
+}
+
+fn pick_priority(rt: &RuntimeInner, w: &Worker) -> Option<Arc<Ult>> {
+    // High-priority: local FIFO then steal — simulation threads must never
+    // wait behind analysis threads (§4.3).
+    if let Some(t) = w.pool.pop() {
+        return Some(t);
+    }
+    let n = rt.workers.len();
+    if n > 1 {
+        for _ in 0..n {
+            let v = w.next_victim(n);
+            if v != w.rank {
+                if let Some(t) = rt.workers[v].pool.steal() {
+                    w.stats.steals.fetch_add(1, Ordering::Relaxed);
+                    return Some(t);
+                }
+            }
+        }
+    }
+    // Low-priority: local LIFO only (locality; analysis threads are pinned
+    // to their worker's queue as in the paper's LAMMPS setup).
+    w.lo_pool.pop()
+}

@@ -1,0 +1,239 @@
+//! Runtime statistics and instrumentation.
+//!
+//! The paper's microbenchmark figures are driven by exactly this data:
+//!
+//! * **Figure 4** — average time for an OS timer interruption: the
+//!   [`WorkerStats::record_interrupt`] samples (time spent in the preemption
+//!   handler, from entry to the context switch or return).
+//! * **Figure 6** — relative overhead of preemptive execution: preemption /
+//!   KLT-switch / miss counters plus wall-clock comparisons by the harness.
+//! * **Table 1** — direct preemption overhead: sampled via the timestamp
+//!   probes in the bench crate, plus the counters here.
+//!
+//! All writers are signal handlers or schedulers, so everything is atomics
+//! over pre-allocated memory.
+
+use crate::thread::ThreadKind;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+
+/// Fixed-capacity ring of u64 samples, written from signal handlers.
+pub struct SampleRing {
+    buf: Box<[AtomicU64]>,
+    next: AtomicUsize,
+}
+
+impl SampleRing {
+    /// Ring with room for `cap` samples (0 disables recording).
+    pub fn new(cap: usize) -> SampleRing {
+        SampleRing {
+            buf: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Record one sample. Async-signal-safe; lossy once the ring wraps.
+    #[inline]
+    pub fn push(&self, v: u64) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        self.buf[i % self.buf.len()].store(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded so far (may exceed capacity; the ring
+    /// keeps the most recent `cap`).
+    pub fn count(&self) -> usize {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot the recorded samples (at most `cap`).
+    pub fn snapshot(&self) -> Vec<u64> {
+        let n = self.count().min(self.buf.len());
+        self.buf[..n]
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// Mirror of the running thread's kind, readable by other workers' signal
+/// handlers without dereferencing the (possibly dying) `current` pointer.
+const KIND_NONE: u8 = 0;
+const KIND_NONPREEMPTIVE: u8 = 1;
+const KIND_SIGNAL_YIELD: u8 = 2;
+const KIND_KLT_SWITCHING: u8 = 3;
+
+/// Per-worker statistics.
+pub struct WorkerStats {
+    /// Mirror of the current thread's kind (see constants above).
+    current_kind: AtomicU8,
+    /// Completed preemptions (both techniques).
+    pub preemptions: AtomicU64,
+    /// Preemptions performed via KLT-switching.
+    pub klt_switches: AtomicU64,
+    /// Captive resumes performed by this worker's scheduler.
+    pub captive_resumes: AtomicU64,
+    /// Ticks deferred because the runtime had preemption disabled.
+    pub deferred_ticks: AtomicU64,
+    /// Ticks dropped because this KLT no longer embodies the worker.
+    pub stale_ticks: AtomicU64,
+    /// Ticks suppressed by the echo filter after a recent preemption.
+    pub suppressed_ticks: AtomicU64,
+    /// KLT-switching attempts aborted for lack of a pooled KLT.
+    pub klt_misses: AtomicU64,
+    /// Threads run to completion on this worker.
+    pub completed: AtomicU64,
+    /// Threads stolen from other workers' pools.
+    pub steals: AtomicU64,
+    /// Interruption-time samples (handler entry → switch/return), ns.
+    pub interrupt_ns: SampleRing,
+}
+
+impl WorkerStats {
+    /// New stats block; `samples` sizes the interruption ring.
+    pub fn new(samples: usize) -> WorkerStats {
+        WorkerStats {
+            current_kind: AtomicU8::new(KIND_NONE),
+            preemptions: AtomicU64::new(0),
+            klt_switches: AtomicU64::new(0),
+            captive_resumes: AtomicU64::new(0),
+            deferred_ticks: AtomicU64::new(0),
+            stale_ticks: AtomicU64::new(0),
+            suppressed_ticks: AtomicU64::new(0),
+            klt_misses: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            interrupt_ns: SampleRing::new(samples),
+        }
+    }
+
+    /// Update the kind mirror when `current` changes.
+    #[inline]
+    pub fn set_current_kind(&self, kind: Option<ThreadKind>) {
+        let v = match kind {
+            None => KIND_NONE,
+            Some(ThreadKind::Nonpreemptive) => KIND_NONPREEMPTIVE,
+            Some(ThreadKind::SignalYield) => KIND_SIGNAL_YIELD,
+            Some(ThreadKind::KltSwitching) => KIND_KLT_SWITCHING,
+        };
+        self.current_kind.store(v, Ordering::Release);
+    }
+
+    /// Whether the running thread (if any) is preemptive — the eligibility
+    /// test of the per-process timer scans (paper §3.2.2).
+    #[inline]
+    pub fn current_kind_preemptive(&self) -> bool {
+        matches!(
+            self.current_kind.load(Ordering::Acquire),
+            KIND_SIGNAL_YIELD | KIND_KLT_SWITCHING
+        )
+    }
+
+    /// Record one interruption-time sample.
+    #[inline]
+    pub fn record_interrupt(&self, ns: u64) {
+        self.interrupt_ns.push(ns);
+    }
+}
+
+/// Aggregated snapshot across all workers (public API).
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeStats {
+    /// Completed preemptions (both techniques).
+    pub preemptions: u64,
+    /// KLT-switching preemptions.
+    pub klt_switches: u64,
+    /// Captive resumes.
+    pub captive_resumes: u64,
+    /// Ticks deferred in critical sections.
+    pub deferred_ticks: u64,
+    /// Stale ticks dropped.
+    pub stale_ticks: u64,
+    /// Echo-suppressed ticks.
+    pub suppressed_ticks: u64,
+    /// KLT pool misses (creator requests issued from handlers).
+    pub klt_misses: u64,
+    /// Threads completed.
+    pub completed: u64,
+    /// Steal operations.
+    pub steals: u64,
+    /// KLTs created on demand by the creator thread.
+    pub klts_created: u64,
+    /// All interruption samples (ns), concatenated across workers.
+    pub interrupt_samples_ns: Vec<u64>,
+}
+
+impl RuntimeStats {
+    /// Mean of the interruption samples in nanoseconds.
+    pub fn mean_interrupt_ns(&self) -> f64 {
+        if self.interrupt_samples_ns.is_empty() {
+            return 0.0;
+        }
+        self.interrupt_samples_ns.iter().sum::<u64>() as f64
+            / self.interrupt_samples_ns.len() as f64
+    }
+
+    /// Median of the interruption samples in nanoseconds.
+    pub fn median_interrupt_ns(&self) -> f64 {
+        if self.interrupt_samples_ns.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.interrupt_samples_ns.clone();
+        v.sort_unstable();
+        v[v.len() / 2] as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_records_and_wraps() {
+        let r = SampleRing::new(4);
+        for i in 0..6 {
+            r.push(i);
+        }
+        assert_eq!(r.count(), 6);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 4);
+        // Slots 0..4 hold the wrapped values {4,5,2,3}.
+        assert!(snap.contains(&4) && snap.contains(&5));
+    }
+
+    #[test]
+    fn zero_capacity_ring_is_noop() {
+        let r = SampleRing::new(0);
+        r.push(1);
+        assert_eq!(r.count(), 0);
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn kind_mirror() {
+        let s = WorkerStats::new(0);
+        assert!(!s.current_kind_preemptive());
+        s.set_current_kind(Some(ThreadKind::Nonpreemptive));
+        assert!(!s.current_kind_preemptive());
+        s.set_current_kind(Some(ThreadKind::SignalYield));
+        assert!(s.current_kind_preemptive());
+        s.set_current_kind(Some(ThreadKind::KltSwitching));
+        assert!(s.current_kind_preemptive());
+        s.set_current_kind(None);
+        assert!(!s.current_kind_preemptive());
+    }
+
+    #[test]
+    fn stats_mean_median() {
+        let st = RuntimeStats {
+            interrupt_samples_ns: vec![100, 200, 300, 400, 1000],
+            ..Default::default()
+        };
+        assert_eq!(st.mean_interrupt_ns(), 400.0);
+        assert_eq!(st.median_interrupt_ns(), 300.0);
+        let empty = RuntimeStats::default();
+        assert_eq!(empty.mean_interrupt_ns(), 0.0);
+        assert_eq!(empty.median_interrupt_ns(), 0.0);
+    }
+}

@@ -1,0 +1,429 @@
+//! User-level threads (ULTs) and join handles.
+//!
+//! A [`Ult`] is the paper's "thread": a stackful user-level thread whose
+//! context switch, scheduling and synchronization happen in user space
+//! (paper §2.1). Three kinds coexist in one process (paper §3.4):
+//! [`ThreadKind::Nonpreemptive`], [`ThreadKind::SignalYield`] and
+//! [`ThreadKind::KltSwitching`].
+
+use crate::klt::Klt;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU8, Ordering};
+use std::sync::Arc;
+use ult_arch::{Context, Stack};
+use ult_sys::futex::{futex_wait, futex_wake};
+
+/// The three coexisting thread kinds of the paper (§3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadKind {
+    /// Traditional M:N thread: cheapest; scheduled only at explicit yield
+    /// points; recommended when the function yields on its own.
+    Nonpreemptive,
+    /// Preemptible by context-switching out of the timer-signal handler
+    /// (paper §3.1.1). Requires the thread function to be KLT-independent
+    /// (no KLT-local state such as glibc-malloc arena caches).
+    SignalYield,
+    /// Preemptible by suspending the whole KLT and remapping the worker to
+    /// another KLT (paper §3.1.2). Safe for KLT-dependent functions; the
+    /// recommended default when the function's internals are unknown.
+    KltSwitching,
+}
+
+impl ThreadKind {
+    /// Whether this kind participates in implicit preemption.
+    pub fn is_preemptive(self) -> bool {
+        !matches!(self, ThreadKind::Nonpreemptive)
+    }
+}
+
+/// Scheduling class used by the priority scheduler (paper §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Priority {
+    /// Drained first, FIFO (the paper's simulation threads).
+    High,
+    /// Drained only when no high-priority work exists, LIFO for locality
+    /// (the paper's analysis threads).
+    Low,
+}
+
+/// Life-cycle states of a ULT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum UltState {
+    /// Created; context not yet seeded.
+    New = 0,
+    /// In a pool, runnable via a saved (or fresh) context.
+    Ready = 1,
+    /// Currently executing on some worker.
+    Running = 2,
+    /// Preempted by KLT-switching: its KLT is parked captive inside the
+    /// signal handler; resuming means waking that KLT (paper Fig. 3).
+    Captive = 3,
+    /// Blocked on a synchronization primitive; owned by that primitive.
+    Blocked = 4,
+    /// Completed; join is ready.
+    Finished = 5,
+}
+
+impl UltState {
+    fn from_u8(v: u8) -> UltState {
+        match v {
+            0 => UltState::New,
+            1 => UltState::Ready,
+            2 => UltState::Running,
+            3 => UltState::Captive,
+            4 => UltState::Blocked,
+            5 => UltState::Finished,
+            _ => unreachable!("invalid UltState {v}"),
+        }
+    }
+}
+
+/// A user-level thread.
+///
+/// Shared via `Arc`; mutation of the context/stack is confined to the
+/// runtime's ownership protocol: exactly one worker "owns" a non-Finished
+/// ULT at any time (it is either in exactly one pool, running on exactly one
+/// worker, captive on exactly one KLT, or owned by one sync primitive).
+pub struct Ult {
+    /// Monotonic id, for diagnostics and deterministic tests.
+    pub id: u64,
+    /// The thread kind (fixed at spawn).
+    pub kind: ThreadKind,
+    /// Scheduling class for the priority scheduler.
+    pub priority: Priority,
+    /// Home pool index hint (the pool it is pushed to when made ready).
+    pub home_pool: usize,
+    /// Saved machine context (valid when state is Ready-with-started or the
+    /// thread is suspended at a yield/preemption point).
+    pub(crate) ctx: UnsafeCell<Context>,
+    /// The ULT's stack; present from spawn until reclaimed at finish (the
+    /// runtime recycles stacks through a cache — `mmap` per spawn would
+    /// triple ULT creation cost).
+    pub(crate) stack: UnsafeCell<Option<Stack>>,
+    /// Entry closure; taken exactly once at first activation.
+    pub(crate) entry: UnsafeCell<Option<Box<dyn FnOnce() + Send + 'static>>>,
+    /// Life-cycle state.
+    state: AtomicU8,
+    /// Whether the fresh context has been seeded/activated at least once.
+    pub(crate) started: AtomicBool,
+    /// For `Captive` state: the KLT parked inside the signal handler,
+    /// holding this ULT's register state (paper Fig. 2b).
+    pub(crate) captive_klt: AtomicPtr<Klt>,
+    /// Join/completion notification (futex for external joiners; ULT
+    /// joiners are parked through `ult-sync` built on `block_current`).
+    join_futex: AtomicU32,
+    /// Owning runtime (raw; valid while the ULT lives).
+    rt: AtomicPtr<crate::runtime::RuntimeInner>,
+    /// Set while the thread is between wait-registration and context save;
+    /// `make_ready` spins on it to avoid resuming a half-saved context.
+    pub(crate) transit: AtomicBool,
+    /// Diagnostic: thread currently sits in some ready pool (detects
+    /// double-enqueue bugs; checked in debug builds).
+    pub(crate) in_pool: AtomicBool,
+    /// ULTs parked on this thread's completion.
+    joiners_lock: crate::pool::SpinLock,
+    joiners: UnsafeCell<Vec<Arc<Ult>>>,
+    /// ULT-local storage (see [`crate::tls::UltLocal`]); touched only by
+    /// the thread itself with preemption pinned off.
+    locals: UnsafeCell<crate::tls::LocalMap>,
+}
+
+// SAFETY: Ult is shared across KLTs, but the UnsafeCell fields are accessed
+// only by the single owner defined by the state machine above (enforced by
+// the runtime), and state transitions use atomics.
+unsafe impl Send for Ult {}
+unsafe impl Sync for Ult {}
+
+impl Drop for Ult {
+    fn drop(&mut self) {
+        crate::debug_registry::event(crate::debug_registry::ev::FREE, self.id, 0);
+    }
+}
+
+impl std::fmt::Debug for Ult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ult")
+            .field("id", &self.id)
+            .field("kind", &self.kind)
+            .field("state", &self.state())
+            .finish()
+    }
+}
+
+impl Ult {
+    /// Create a new ULT around `entry`. The context is seeded lazily on
+    /// first activation (by the scheduler) so that creation stays cheap.
+    pub(crate) fn new(
+        id: u64,
+        kind: ThreadKind,
+        priority: Priority,
+        home_pool: usize,
+        stack: Stack,
+        entry: Box<dyn FnOnce() + Send + 'static>,
+    ) -> Arc<Ult> {
+        Arc::new(Ult {
+            id,
+            kind,
+            priority,
+            home_pool,
+            ctx: UnsafeCell::new(Context::empty()),
+            stack: UnsafeCell::new(Some(stack)),
+            entry: UnsafeCell::new(Some(entry)),
+            state: AtomicU8::new(UltState::New as u8),
+            started: AtomicBool::new(false),
+            captive_klt: AtomicPtr::new(std::ptr::null_mut()),
+            join_futex: AtomicU32::new(0),
+            rt: AtomicPtr::new(std::ptr::null_mut()),
+            transit: AtomicBool::new(false),
+            in_pool: AtomicBool::new(false),
+            joiners_lock: crate::pool::SpinLock::new(),
+            joiners: UnsafeCell::new(Vec::new()),
+            locals: UnsafeCell::new(crate::tls::LocalMap::new()),
+        })
+    }
+
+    /// Record the owning runtime (spawn path).
+    pub(crate) fn set_runtime(&self, rt: *const crate::runtime::RuntimeInner) {
+        self.rt.store(rt as *mut _, Ordering::Release);
+    }
+
+    /// The owning runtime pointer.
+    pub(crate) fn runtime_ptr(&self) -> *const crate::runtime::RuntimeInner {
+        self.rt.load(Ordering::Acquire)
+    }
+
+    /// Register `j` to be woken when this thread finishes. Returns `false`
+    /// (without registering) if already finished — the caller must then not
+    /// block.
+    pub(crate) fn register_joiner(&self, j: &Arc<Ult>) -> bool {
+        self.joiners_lock.lock();
+        if self.is_finished() {
+            self.joiners_lock.unlock();
+            return false;
+        }
+        // SAFETY: under joiners_lock.
+        unsafe { (*self.joiners.get()).push(j.clone()) };
+        self.joiners_lock.unlock();
+        true
+    }
+
+    /// Top of the ULT stack (valid from spawn until finish).
+    pub(crate) fn stack_top(&self) -> *mut u8 {
+        // SAFETY: present until on_finish reclaims it; callers are the
+        // owning scheduler pre-finish.
+        unsafe {
+            (*self.stack.get())
+                .as_ref()
+                .expect("ULT stack already reclaimed")
+                .top()
+        }
+    }
+
+    /// Reclaim the stack after the thread finished (runtime internal; the
+    /// thread's context is dead, so nothing references the stack).
+    pub(crate) fn take_stack(&self) -> Option<Stack> {
+        // SAFETY: called exactly once by on_finish in scheduler context.
+        unsafe { (*self.stack.get()).take() }
+    }
+
+    /// Access this thread's ULT-local slot for `key` (see `tls.rs`).
+    /// Caller must be the running thread itself with preemption pinned.
+    pub(crate) fn with_local<T: Send + 'static, R>(
+        &self,
+        key: usize,
+        init: fn() -> T,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> R {
+        // SAFETY: single-accessor contract (the running ULT, pinned).
+        let map = unsafe { &mut *self.locals.get() };
+        f(map.get_or_insert(key, init))
+    }
+
+    /// Whether this thread has an initialized local for `key`.
+    pub(crate) fn has_local(&self, key: usize) -> bool {
+        // SAFETY: as above.
+        unsafe { (*self.locals.get()).contains(key) }
+    }
+
+    /// Whether the saved context is live (diagnostic).
+    pub(crate) fn ctx_live(&self) -> bool {
+        // SAFETY: read-only peek; the scheduler owns the context here.
+        unsafe { (*self.ctx.get()).is_live() }
+    }
+
+    /// Take all registered joiners (finish path; runs after `finish()` so
+    /// late registrants observe Finished and skip blocking).
+    pub(crate) fn take_joiners(&self) -> Vec<Arc<Ult>> {
+        self.joiners_lock.lock();
+        // SAFETY: under joiners_lock.
+        let v = unsafe { std::mem::take(&mut *self.joiners.get()) };
+        self.joiners_lock.unlock();
+        v
+    }
+
+    /// Construct a bare ULT for data-structure tests (never scheduled).
+    #[doc(hidden)]
+    pub fn test_ult(id: u64) -> Arc<Ult> {
+        Ult::new(
+            id,
+            ThreadKind::Nonpreemptive,
+            Priority::High,
+            0,
+            Stack::new(ult_arch::stack::MIN_STACK_SIZE).expect("test stack"),
+            Box::new(|| {}),
+        )
+    }
+
+    /// Current life-cycle state.
+    pub fn state(&self) -> UltState {
+        UltState::from_u8(self.state.load(Ordering::Acquire))
+    }
+
+    /// Transition state (runtime internal).
+    pub(crate) fn set_state(&self, s: UltState) {
+        self.state.store(s as u8, Ordering::Release);
+    }
+
+    /// Whether the thread has completed.
+    pub fn is_finished(&self) -> bool {
+        self.state() == UltState::Finished
+    }
+
+    /// Mark finished and wake external joiners. Runtime internal.
+    pub(crate) fn finish(&self) {
+        self.set_state(UltState::Finished);
+        self.join_futex.store(1, Ordering::Release);
+        futex_wake(&self.join_futex, i32::MAX);
+    }
+
+    /// Block the calling **KLT** (not ULT) until this thread finishes.
+    ///
+    /// This is the external-joiner path used from outside the runtime (e.g.
+    /// the main thread waiting for a batch). ULTs must use
+    /// [`crate::join`] / `JoinHandle::join`, which parks the ULT instead.
+    pub fn wait_finished_external(&self) {
+        while self.join_futex.load(Ordering::Acquire) == 0 {
+            futex_wait(&self.join_futex, 0);
+        }
+    }
+
+    /// Spin (with OS yields) until finished — used by tests.
+    pub fn wait_finished_spin(&self) {
+        while !self.is_finished() {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Owned handle to a spawned ULT, carrying its return value.
+///
+/// Unlike `std::thread::JoinHandle`, joining from inside another ULT parks
+/// the joining ULT (a user-level block, ~100 ns), not the KLT.
+pub struct JoinHandle<T> {
+    pub(crate) ult: Arc<Ult>,
+    pub(crate) result: Arc<ResultCell<T>>,
+}
+
+/// Shared result slot between the spawned closure and the join handle.
+pub(crate) struct ResultCell<T>(pub(crate) UnsafeCell<Option<T>>);
+
+// SAFETY: written exactly once by the spawned ULT before `finish()`
+// (release), read after observing Finished (acquire).
+unsafe impl<T: Send> Send for ResultCell<T> {}
+unsafe impl<T: Send> Sync for ResultCell<T> {}
+
+impl<T> JoinHandle<T> {
+    /// The underlying ULT (for state inspection).
+    pub fn ult(&self) -> &Arc<Ult> {
+        &self.ult
+    }
+
+    /// Whether the thread has completed.
+    pub fn is_finished(&self) -> bool {
+        self.ult.is_finished()
+    }
+
+    /// Wait for completion and take the result.
+    ///
+    /// Context-sensitive: called from inside a ULT it parks the ULT
+    /// (scheduler continues with other work); called from a plain KLT (e.g.
+    /// the program's main thread) it futex-waits.
+    pub fn join(self) -> T {
+        if crate::api::in_ult() {
+            while !self.ult.is_finished() {
+                crate::api::block_on_join(&self.ult);
+            }
+        } else {
+            self.ult.wait_finished_external();
+        }
+        // SAFETY: Finished was observed with Acquire; writer stored the
+        // result before the Release store in finish().
+        unsafe { (*self.result.0.get()).take().expect("result written") }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_ult(kind: ThreadKind) -> Arc<Ult> {
+        Ult::new(
+            1,
+            kind,
+            Priority::High,
+            0,
+            Stack::new(32 * 1024).unwrap(),
+            Box::new(|| {}),
+        )
+    }
+
+    #[test]
+    fn kinds_preemptiveness() {
+        assert!(!ThreadKind::Nonpreemptive.is_preemptive());
+        assert!(ThreadKind::SignalYield.is_preemptive());
+        assert!(ThreadKind::KltSwitching.is_preemptive());
+    }
+
+    #[test]
+    fn new_ult_initial_state() {
+        let t = dummy_ult(ThreadKind::Nonpreemptive);
+        assert_eq!(t.state(), UltState::New);
+        assert!(!t.is_finished());
+    }
+
+    #[test]
+    fn state_round_trip() {
+        let t = dummy_ult(ThreadKind::SignalYield);
+        for s in [
+            UltState::Ready,
+            UltState::Running,
+            UltState::Captive,
+            UltState::Blocked,
+            UltState::Finished,
+        ] {
+            t.set_state(s);
+            assert_eq!(t.state(), s);
+        }
+    }
+
+    #[test]
+    fn finish_wakes_external_joiner() {
+        let t = dummy_ult(ThreadKind::KltSwitching);
+        let t2 = t.clone();
+        let h = std::thread::spawn(move || {
+            t2.wait_finished_external();
+            assert!(t2.is_finished());
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        t.finish();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn finish_before_wait_does_not_block() {
+        let t = dummy_ult(ThreadKind::Nonpreemptive);
+        t.finish();
+        t.wait_finished_external();
+    }
+}

@@ -1,0 +1,171 @@
+//! ULT-local storage.
+//!
+//! The paper's §3.5.2 distinguishes *KLT-local* storage (`thread_local!`,
+//! the `fs`-register TLS block) — which migrates OUT from under a
+//! signal-yield thread — from state that should follow the *user-level*
+//! thread. [`UltLocal`] provides the latter: one value per (key, ULT),
+//! stored on the ULT itself, surviving yields, blocks and preemptions of
+//! any kind, and dropped with the thread.
+//!
+//! ```
+//! use ult_core::{Config, Runtime, TimerStrategy};
+//! use ult_core::tls::UltLocal;
+//!
+//! static COUNTER: UltLocal<u64> = UltLocal::new(|| 0);
+//!
+//! let rt = Runtime::start(Config {
+//!     num_workers: 1,
+//!     preempt_interval_ns: 0,
+//!     timer_strategy: TimerStrategy::None,
+//!     ..Config::default()
+//! });
+//! let h = rt.spawn(|| {
+//!     COUNTER.with(|c| *c += 41);
+//!     ult_core::yield_now(); // survives scheduling points
+//!     COUNTER.with(|c| *c += 1);
+//!     COUNTER.with(|c| *c)
+//! });
+//! assert_eq!(h.join(), 42);
+//! rt.shutdown();
+//! ```
+
+use std::any::Any;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global key allocator for [`UltLocal`] instances.
+static NEXT_KEY: AtomicUsize = AtomicUsize::new(1);
+
+/// A ULT-local value: each user-level thread observes its own copy,
+/// initialized on first access by the provided constructor.
+///
+/// Unlike `thread_local!`, the storage belongs to the ULT (not the kernel
+/// thread), so it is preserved across preemption and migration — including
+/// signal-yield preemption, where KLT-local storage is exactly what breaks
+/// (paper §3.1.1).
+pub struct UltLocal<T: Send + 'static> {
+    key: AtomicUsize,
+    init: fn() -> T,
+}
+
+impl<T: Send + 'static> UltLocal<T> {
+    /// Define a ULT-local slot with an initializer (usable in `static`s).
+    pub const fn new(init: fn() -> T) -> UltLocal<T> {
+        UltLocal {
+            key: AtomicUsize::new(0),
+            init,
+        }
+    }
+
+    fn key(&self) -> usize {
+        let k = self.key.load(Ordering::Acquire);
+        if k != 0 {
+            return k;
+        }
+        let fresh = NEXT_KEY.fetch_add(1, Ordering::Relaxed);
+        match self
+            .key
+            .compare_exchange(0, fresh, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => fresh,
+            Err(existing) => existing,
+        }
+    }
+
+    /// Access the calling ULT's copy, initializing it on first use.
+    ///
+    /// # Panics
+    /// Panics when called outside a ULT (there is no thread to attach the
+    /// value to).
+    pub fn with<R>(&'static self, f: impl FnOnce(&mut T) -> R) -> R {
+        let w = crate::api::pin_current_worker().expect("UltLocal::with outside the runtime");
+        let cur = w.current.load(Ordering::Acquire);
+        assert!(!cur.is_null(), "UltLocal::with outside a ULT");
+        // SAFETY: the running ULT is kept alive by its scheduler's binding;
+        // preemption is pinned off, so `cur` stays ours for the access.
+        let t = unsafe { &*cur };
+        let key = self.key();
+        let r = t.with_local(key, self.init, f);
+        w.preempt_enable();
+        r
+    }
+
+    /// Whether the calling ULT has an initialized copy (does not create one).
+    pub fn is_set(&'static self) -> bool {
+        let Some(w) = crate::api::pin_current_worker() else {
+            return false;
+        };
+        let cur = w.current.load(Ordering::Acquire);
+        if cur.is_null() {
+            w.preempt_enable();
+            return false;
+        }
+        // SAFETY: as in `with`.
+        let t = unsafe { &*cur };
+        let set = t.has_local(self.key());
+        w.preempt_enable();
+        set
+    }
+}
+
+/// Storage side, attached to each `Ult` (see `thread.rs`).
+pub(crate) struct LocalMap {
+    entries: Vec<(usize, Box<dyn Any + Send>)>,
+}
+
+impl LocalMap {
+    pub(crate) fn new() -> LocalMap {
+        LocalMap {
+            entries: Vec::new(),
+        }
+    }
+
+    pub(crate) fn get_or_insert<T: Send + 'static>(
+        &mut self,
+        key: usize,
+        init: fn() -> T,
+    ) -> &mut T {
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
+            return self.entries[i]
+                .1
+                .downcast_mut::<T>()
+                .expect("UltLocal key/type mismatch");
+        }
+        self.entries.push((key, Box::new(init())));
+        self.entries
+            .last_mut()
+            .unwrap()
+            .1
+            .downcast_mut::<T>()
+            .unwrap()
+    }
+
+    pub(crate) fn contains(&self, key: usize) -> bool {
+        self.entries.iter().any(|(k, _)| *k == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_unique_and_stable() {
+        static A: UltLocal<u32> = UltLocal::new(|| 0);
+        static B: UltLocal<u32> = UltLocal::new(|| 0);
+        let ka1 = A.key();
+        let kb = B.key();
+        let ka2 = A.key();
+        assert_eq!(ka1, ka2);
+        assert_ne!(ka1, kb);
+    }
+
+    #[test]
+    fn local_map_get_or_insert() {
+        let mut m = LocalMap::new();
+        *m.get_or_insert(1, || 10u32) += 5;
+        assert_eq!(*m.get_or_insert(1, || 99u32), 15);
+        assert_eq!(*m.get_or_insert(2, || 7u64), 7);
+        assert!(m.contains(1));
+        assert!(!m.contains(3));
+    }
+}

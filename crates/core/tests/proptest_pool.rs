@@ -1,0 +1,86 @@
+//! Property tests: the ready pool behaves like a double-ended queue model
+//! under arbitrary operation sequences (no thread lost, no duplicate, exact
+//! ordering).
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use ult_core::pool::ThreadPool;
+use ult_core::thread::Ult;
+
+#[derive(Debug, Clone)]
+enum Op {
+    PushBack(u64),
+    PushFront(u64),
+    Pop,
+    Steal,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..1000).prop_map(Op::PushBack),
+        (0u64..1000).prop_map(Op::PushFront),
+        Just(Op::Pop),
+        Just(Op::Steal),
+    ]
+}
+
+fn mk(id: u64) -> Arc<Ult> {
+    Ult::test_ult(id)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pool_matches_deque_model(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let pool = ThreadPool::with_capacity(512);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut next_unique = 10_000u64;
+        for op in ops {
+            match op {
+                Op::PushBack(_) => {
+                    // Unique ids avoid double-enqueue tripwires on one Arc.
+                    next_unique += 1;
+                    pool.push(mk(next_unique));
+                    model.push_back(next_unique);
+                }
+                Op::PushFront(_) => {
+                    next_unique += 1;
+                    pool.push_front(mk(next_unique));
+                    model.push_front(next_unique);
+                }
+                Op::Pop => {
+                    prop_assert_eq!(pool.pop().map(|t| t.id), model.pop_front());
+                }
+                Op::Steal => {
+                    prop_assert_eq!(pool.steal().map(|t| t.id), model.pop_back());
+                }
+            }
+            prop_assert_eq!(pool.len(), model.len());
+        }
+        // Drain and compare the remainder exactly.
+        while let Some(t) = pool.pop() {
+            prop_assert_eq!(Some(t.id), model.pop_front());
+        }
+        prop_assert!(model.is_empty());
+    }
+
+    #[test]
+    fn sample_ring_never_exceeds_capacity(
+        cap in 0usize..64,
+        values in prop::collection::vec(0u64..u64::MAX, 0..256),
+    ) {
+        let ring = ult_core::stats::SampleRing::new(cap);
+        for &v in &values {
+            ring.push(v);
+        }
+        let snap = ring.snapshot();
+        prop_assert!(snap.len() <= cap);
+        prop_assert_eq!(ring.count(), if cap == 0 { 0 } else { values.len() });
+        // Every snapshot value must be one of the pushed values.
+        for s in snap {
+            prop_assert!(values.contains(&s));
+        }
+    }
+}

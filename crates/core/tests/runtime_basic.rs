@@ -1,0 +1,232 @@
+//! Basic runtime behavior: spawn/join, yields, cross-kind coexistence.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use ult_core::{Config, Priority, Runtime, ThreadKind, TimerStrategy};
+
+fn cfg(workers: usize) -> Config {
+    Config {
+        num_workers: workers,
+        preempt_interval_ns: 0, // no timers in the basic tests
+        timer_strategy: TimerStrategy::None,
+        ..Config::default()
+    }
+}
+
+#[test]
+fn start_and_shutdown_empty() {
+    let rt = Runtime::start(cfg(1));
+    assert_eq!(rt.num_workers(), 1);
+    rt.shutdown();
+}
+
+#[test]
+fn start_and_shutdown_many_workers() {
+    let rt = Runtime::start(cfg(8));
+    assert_eq!(rt.num_workers(), 8);
+    rt.shutdown();
+}
+
+#[test]
+fn spawn_one_thread_and_join() {
+    let rt = Runtime::start(cfg(1));
+    let h = rt.spawn(|| 21 * 2);
+    assert_eq!(h.join(), 42);
+    rt.shutdown();
+}
+
+#[test]
+fn spawn_returns_complex_value() {
+    let rt = Runtime::start(cfg(2));
+    let h = rt.spawn(|| vec![String::from("a"), String::from("b")]);
+    assert_eq!(h.join(), vec!["a".to_string(), "b".to_string()]);
+    rt.shutdown();
+}
+
+#[test]
+fn spawn_many_threads() {
+    let rt = Runtime::start(cfg(4));
+    let counter = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..500)
+        .map(|_| {
+            let c = counter.clone();
+            rt.spawn(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join();
+    }
+    assert_eq!(counter.load(Ordering::Relaxed), 500);
+    rt.shutdown();
+}
+
+#[test]
+fn yield_now_interleaves_threads() {
+    // Two threads on ONE worker must interleave via explicit yields.
+    let rt = Runtime::start(cfg(1));
+    let log = Arc::new(parking_lot_free_log::Log::new());
+    let l1 = log.clone();
+    let l2 = log.clone();
+    let h1 = rt.spawn(move || {
+        for _ in 0..5 {
+            l1.push(1);
+            ult_core::yield_now();
+        }
+    });
+    let h2 = rt.spawn(move || {
+        for _ in 0..5 {
+            l2.push(2);
+            ult_core::yield_now();
+        }
+    });
+    h1.join();
+    h2.join();
+    let seq = log.snapshot();
+    assert_eq!(seq.len(), 10);
+    // With FIFO scheduling on one worker the two threads alternate.
+    let switches = seq.windows(2).filter(|w| w[0] != w[1]).count();
+    assert!(switches >= 5, "expected interleaving, got {seq:?}");
+    rt.shutdown();
+}
+
+#[test]
+fn nested_spawn_from_ult() {
+    let rt = Runtime::start(cfg(2));
+    let h = rt.spawn(|| {
+        // Spawning from inside a ULT uses the ambient runtime context.
+        assert!(ult_core::in_ult());
+        let rank = ult_core::current_worker_rank().unwrap();
+        assert!(rank < 2);
+        7
+    });
+    assert_eq!(h.join(), 7);
+    rt.shutdown();
+}
+
+#[test]
+fn join_from_inside_ult() {
+    let rt = Runtime::start(cfg(2));
+    let rt2 = std::sync::Arc::new(rt);
+    // An outer ULT joins an inner ULT: the outer parks as a user-level
+    // block, not a KLT block.
+    let rtc = rt2.clone();
+    let h = rt2.spawn(move || {
+        let inner = rtc.spawn(|| 5usize);
+        inner.join() + 1
+    });
+    assert_eq!(h.join(), 6);
+    match std::sync::Arc::try_unwrap(rt2) {
+        Ok(rt) => rt.shutdown(),
+        Err(_) => panic!("runtime still referenced"),
+    }
+}
+
+#[test]
+fn all_three_kinds_coexist() {
+    let rt = Runtime::start(Config {
+        num_workers: 2,
+        preempt_interval_ns: 1_000_000,
+        timer_strategy: TimerStrategy::PerWorkerAligned,
+        ..Config::default()
+    });
+    let c = Arc::new(AtomicUsize::new(0));
+    let mk = |_kind| {
+        let c = c.clone();
+        move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    };
+    let h1 = rt.spawn_with(ThreadKind::Nonpreemptive, Priority::High, mk(0));
+    let h2 = rt.spawn_with(ThreadKind::SignalYield, Priority::High, mk(1));
+    let h3 = rt.spawn_with(ThreadKind::KltSwitching, Priority::High, mk(2));
+    h1.join();
+    h2.join();
+    h3.join();
+    assert_eq!(c.load(Ordering::Relaxed), 3);
+    rt.shutdown();
+}
+
+#[test]
+fn spawn_on_specific_worker() {
+    let rt = Runtime::start(cfg(4));
+    for rank in 0..4 {
+        let h = rt.spawn_on(rank, ThreadKind::Nonpreemptive, Priority::High, move || {
+            // The thread starts on its home worker (it may migrate only at
+            // yields, and we don't yield).
+            ult_core::current_worker_rank()
+        });
+        let seen = h.join();
+        assert!(seen.is_some());
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn live_threads_accounting() {
+    let rt = Runtime::start(cfg(2));
+    assert_eq!(rt.live_threads(), 0);
+    let h = rt.spawn(|| std::thread::sleep(std::time::Duration::from_millis(20)));
+    h.join();
+    assert_eq!(rt.live_threads(), 0);
+    rt.shutdown();
+}
+
+#[test]
+fn drop_runtime_waits_for_threads() {
+    let counter = Arc::new(AtomicUsize::new(0));
+    {
+        let rt = Runtime::start(cfg(2));
+        for _ in 0..50 {
+            let c = counter.clone();
+            // spawn-and-forget; Drop must wait for completion
+            let _ = rt.spawn(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        // rt dropped here
+    }
+    assert_eq!(counter.load(Ordering::Relaxed), 50);
+}
+
+#[test]
+fn two_runtimes_coexist() {
+    let rt1 = Runtime::start(cfg(1));
+    let rt2 = Runtime::start(cfg(2));
+    let h1 = rt1.spawn(|| 1);
+    let h2 = rt2.spawn(|| 2);
+    assert_eq!(h1.join() + h2.join(), 3);
+    rt1.shutdown();
+    rt2.shutdown();
+}
+
+/// Tiny lock-free append log used by the interleaving test.
+mod parking_lot_free_log {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    pub struct Log {
+        buf: Vec<AtomicUsize>,
+        len: AtomicUsize,
+    }
+
+    impl Log {
+        pub fn new() -> std::sync::Arc<Log> {
+            std::sync::Arc::new(Log {
+                buf: (0..1024).map(|_| AtomicUsize::new(0)).collect(),
+                len: AtomicUsize::new(0),
+            })
+        }
+        pub fn push(&self, v: usize) {
+            let i = self.len.fetch_add(1, Ordering::Relaxed);
+            self.buf[i].store(v, Ordering::Relaxed);
+        }
+        pub fn snapshot(&self) -> Vec<usize> {
+            let n = self.len.load(Ordering::Relaxed);
+            self.buf[..n]
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect()
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! ULT-local storage behavior, including the paper's §3.5.2 contrast with
+//! KLT-local (`thread_local!`) storage under preemption.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use ult_core::tls::UltLocal;
+use ult_core::{Config, Priority, Runtime, ThreadKind, TimerStrategy};
+
+static SLOT: UltLocal<u64> = UltLocal::new(|| 100);
+
+fn quiet(workers: usize) -> Runtime {
+    Runtime::start(Config {
+        num_workers: workers,
+        preempt_interval_ns: 0,
+        timer_strategy: TimerStrategy::None,
+        ..Config::default()
+    })
+}
+
+#[test]
+fn initialized_lazily_per_thread() {
+    let rt = quiet(2);
+    let h1 = rt.spawn(|| {
+        assert!(!SLOT.is_set());
+        SLOT.with(|v| *v += 1);
+        assert!(SLOT.is_set());
+        SLOT.with(|v| *v)
+    });
+    let h2 = rt.spawn(|| {
+        SLOT.with(|v| *v += 5);
+        SLOT.with(|v| *v)
+    });
+    // Each thread saw its own fresh copy of 100.
+    assert_eq!(h1.join(), 101);
+    assert_eq!(h2.join(), 105);
+    rt.shutdown();
+}
+
+#[test]
+fn survives_yields_and_blocks() {
+    let rt = quiet(2);
+    let rt = Arc::new(rt);
+    let rtc = rt.clone();
+    let h = rtc.spawn(move || {
+        SLOT.with(|v| *v = 7);
+        ult_core::yield_now();
+        SLOT.with(|v| *v += 1);
+        // Block on a join (migration possible), then read again.
+        let inner = ult_core::api::spawn(ThreadKind::Nonpreemptive, Priority::High, || 0u8);
+        inner.join();
+        SLOT.with(|v| *v)
+    });
+    assert_eq!(h.join(), 8);
+    drop(rtc);
+    match Arc::try_unwrap(rt) {
+        Ok(rt) => rt.shutdown(),
+        Err(_) => panic!("still referenced"),
+    }
+}
+
+#[test]
+fn survives_signal_yield_preemption_where_thread_local_may_not() {
+    // The §3.5.2 story: under signal-yield a thread may migrate KLTs, so
+    // `thread_local!` values can change identity mid-thread; UltLocal must
+    // not. We verify UltLocal stability under heavy preemption.
+    static PREEMPT_SLOT: UltLocal<u64> = UltLocal::new(|| 0);
+    let rt = Runtime::start(Config {
+        num_workers: 2,
+        preempt_interval_ns: 500_000,
+        timer_strategy: TimerStrategy::PerWorkerAligned,
+        ..Config::default()
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for id in 1..=3u64 {
+        let stop = stop.clone();
+        handles.push(rt.spawn_with(ThreadKind::SignalYield, Priority::High, move || {
+            PREEMPT_SLOT.with(|v| *v = id * 1000);
+            let mut checks = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let seen = PREEMPT_SLOT.with(|v| *v);
+                assert_eq!(seen, id * 1000, "ULT-local corrupted for thread {id}");
+                PREEMPT_SLOT.with(|v| *v = id * 1000);
+                checks += 1;
+            }
+            checks
+        }));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(60));
+    stop.store(true, Ordering::Release);
+    let total: u64 = handles.into_iter().map(|h| h.join()).sum();
+    assert!(total > 0);
+    assert!(rt.stats().preemptions > 0, "no preemption exercised the slot");
+    rt.shutdown();
+}
+
+#[test]
+fn distinct_statics_do_not_alias() {
+    static A: UltLocal<String> = UltLocal::new(String::new);
+    static B: UltLocal<Vec<u8>> = UltLocal::new(Vec::new);
+    let rt = quiet(1);
+    let h = rt.spawn(|| {
+        A.with(|s| s.push_str("hello"));
+        B.with(|v| v.extend_from_slice(b"world"));
+        (A.with(|s| s.clone()), B.with(|v| v.clone()))
+    });
+    let (a, b) = h.join();
+    assert_eq!(a, "hello");
+    assert_eq!(b, b"world");
+    rt.shutdown();
+}

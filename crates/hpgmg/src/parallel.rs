@@ -1,0 +1,119 @@
+//! Bulk-synchronous parallel-for used by every multigrid phase.
+//!
+//! HPGMG's OpenMP structure is `#pragma omp parallel for` over boxes with
+//! an implicit barrier after each phase. Over BOLT (the paper's setup) each
+//! parallel region becomes a batch of ULTs; over Pthreads/IOMP it is a team
+//! of kernel threads. [`ParallelFor`] provides all three:
+//!
+//! * [`ParallelFor::Serial`] — reference execution for tests.
+//! * [`ParallelFor::Ult`] — fork-join ULTs per phase, thread `t` pinned to
+//!   pool `t` (`spawn_on`), which is precisely the layout Algorithm 1's
+//!   private/shared pool partition assumes under thread packing (§4.2).
+//! * [`ParallelFor::OneOne`] — scoped OS threads (the IOMP baseline).
+
+use std::ops::Range;
+use ult_core::{Priority, ThreadKind};
+
+/// A phase executor (see module docs).
+#[derive(Debug, Clone, Copy)]
+pub enum ParallelFor {
+    /// Single-threaded reference.
+    Serial,
+    /// Fork-join ULTs on the ambient runtime; must be invoked from a ULT.
+    Ult {
+        /// ULT kind for the phase workers.
+        kind: ThreadKind,
+        /// Number of phase workers (the paper's fixed 28 threads).
+        nthreads: usize,
+    },
+    /// Scoped OS threads.
+    OneOne {
+        /// Team size.
+        nthreads: usize,
+    },
+}
+
+impl ParallelFor {
+    /// Execute `body` over `0..n` in contiguous chunks, one per worker;
+    /// returns after all chunks complete (the phase barrier).
+    pub fn run<F>(&self, n: usize, body: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        match *self {
+            ParallelFor::Serial => body(0..n),
+            ParallelFor::Ult { kind, nthreads } => {
+                let t = nthreads.clamp(1, n.max(1));
+                if t == 1 {
+                    body(0..n);
+                    return;
+                }
+                let chunk = n.div_ceil(t);
+                // SAFETY (scoped idiom): all spawned ULTs are joined below,
+                // so the extended closure reference cannot dangle.
+                let body_ref: &(dyn Fn(Range<usize>) + Sync) = &body;
+                let body_static: &'static (dyn Fn(Range<usize>) + Sync) =
+                    unsafe { std::mem::transmute(body_ref) };
+                let handles: Vec<_> = (1..t)
+                    .map(|m| {
+                        let lo = (m * chunk).min(n);
+                        let hi = ((m + 1) * chunk).min(n);
+                        ult_core::api::spawn(kind, Priority::High, move || body_static(lo..hi))
+                    })
+                    .collect();
+                body(0..chunk.min(n));
+                for h in handles {
+                    h.join();
+                }
+            }
+            ParallelFor::OneOne { nthreads } => {
+                let t = nthreads.clamp(1, n.max(1));
+                let chunk = n.div_ceil(t);
+                std::thread::scope(|scope| {
+                    for m in 1..t {
+                        let lo = (m * chunk).min(n);
+                        let hi = ((m + 1) * chunk).min(n);
+                        let body = &body;
+                        scope.spawn(move || body(lo..hi));
+                    }
+                    body(0..chunk.min(n));
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn serial_covers_range() {
+        let count = AtomicUsize::new(0);
+        ParallelFor::Serial.run(17, |r| {
+            count.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 17);
+    }
+
+    #[test]
+    fn oneone_covers_range_disjointly() {
+        let seen: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        ParallelFor::OneOne { nthreads: 4 }.run(100, |r| {
+            for i in r {
+                seen[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(seen.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let count = AtomicUsize::new(0);
+        ParallelFor::OneOne { nthreads: 16 }.run(3, |r| {
+            count.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 3);
+    }
+}

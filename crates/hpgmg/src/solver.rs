@@ -1,0 +1,260 @@
+//! The multigrid solver: V-cycles and the full-multigrid (F-cycle) driver.
+
+use crate::level::Level;
+use crate::parallel::ParallelFor;
+use std::cell::UnsafeCell;
+
+/// A geometric multigrid hierarchy for `-∇²u = f` on the unit cube.
+pub struct Multigrid {
+    /// Levels, finest first. Each is half the resolution of the previous.
+    pub levels: Vec<Level>,
+    /// Pre-/post-smoothing sweeps per V-cycle leg.
+    pub smooth_sweeps: usize,
+    /// Smoothing sweeps at the coarsest level (cheap "direct" solve).
+    pub coarse_sweeps: usize,
+}
+
+/// Disjoint-box mutable sharing for phase bodies (each box touches only
+/// its own cells; see `Level::box_ranges`).
+struct Shared<'a, T: ?Sized>(UnsafeCell<&'a mut T>);
+// SAFETY: phase bodies write disjoint box regions.
+unsafe impl<T: ?Sized> Sync for Shared<'_, T> {}
+impl<T: ?Sized> Shared<'_, T> {
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get(&self) -> &mut T {
+        // SAFETY: forwarded to call sites' disjointness argument.
+        unsafe { &mut *self.0.get() }
+    }
+}
+
+impl Multigrid {
+    /// Build a hierarchy with finest grid `n³` (n a power of two ≥ 4),
+    /// coarsening by 2 down to 2³, with `boxes_per_side³` boxes on every
+    /// level that can support them.
+    pub fn new(n: usize, boxes_per_side: usize) -> Multigrid {
+        assert!(n.is_power_of_two() && n >= 4);
+        let mut levels = Vec::new();
+        let mut dim = n;
+        while dim >= 2 {
+            let bps = boxes_per_side.min(dim / 2).max(1);
+            let bps = if dim % bps == 0 { bps } else { 1 };
+            levels.push(Level::new(dim, bps));
+            if dim == 2 {
+                break;
+            }
+            dim /= 2;
+        }
+        Multigrid {
+            levels,
+            smooth_sweeps: 2,
+            coarse_sweeps: 32,
+        }
+    }
+
+    /// Number of levels.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Set the right-hand side on the finest level.
+    pub fn set_rhs(&mut self, rhs: impl FnMut(f64, f64, f64) -> f64) {
+        self.levels[0].set_rhs(rhs);
+    }
+
+    /// `sweeps` weighted-Jacobi iterations on level `l` (bulk-synchronous:
+    /// one parallel-for over boxes + swap per sweep).
+    fn smooth(&mut self, l: usize, sweeps: usize, pf: &ParallelFor) {
+        for _ in 0..sweeps {
+            let level = &mut self.levels[l];
+            let nb = level.num_boxes();
+            {
+                // Split borrow: read-only level view + writable tmp.
+                let (lvl_ro, tmp) = {
+                    let p: *mut Level = level;
+                    // SAFETY: jacobi_box reads u/f and writes only `out`
+                    // (which we alias to tmp); box regions are disjoint.
+                    unsafe { (&*p, &mut (*p).tmp) }
+                };
+                let tmp_len = tmp.len();
+                let shared = Shared(UnsafeCell::new(&mut tmp[..tmp_len]));
+                pf.run(nb, |boxes| {
+                    // SAFETY: disjoint boxes.
+                    let out = unsafe { shared.get() };
+                    for b in boxes {
+                        lvl_ro.jacobi_box(b, out);
+                    }
+                });
+            }
+            let lvl = &mut self.levels[l];
+            std::mem::swap(&mut lvl.u, &mut lvl.tmp);
+        }
+    }
+
+    /// Compute the residual on level `l` into its `tmp` array.
+    fn residual_to_tmp(&mut self, l: usize, pf: &ParallelFor) {
+        let level = &mut self.levels[l];
+        let nb = level.num_boxes();
+        let (lvl_ro, tmp) = {
+            let p: *mut Level = level;
+            // SAFETY: residual_box reads u/f, writes only out; disjoint.
+            unsafe { (&*p, &mut (*p).tmp) }
+        };
+        let tmp_len = tmp.len();
+        let shared = Shared(UnsafeCell::new(&mut tmp[..tmp_len]));
+        pf.run(nb, |boxes| {
+            // SAFETY: disjoint boxes.
+            let out = unsafe { shared.get() };
+            for b in boxes {
+                lvl_ro.residual_box(b, out);
+            }
+        });
+    }
+
+    /// One V-cycle starting at level `l`.
+    pub fn vcycle(&mut self, l: usize, pf: &ParallelFor) {
+        if l + 1 == self.levels.len() {
+            self.smooth(l, self.coarse_sweeps, pf);
+            return;
+        }
+        self.smooth(l, self.smooth_sweeps, pf);
+        self.residual_to_tmp(l, pf);
+        // Restrict residual to the coarse RHS; zero the coarse guess.
+        {
+            let (fine_part, coarse_part) = self.levels.split_at_mut(l + 1);
+            let fine = &fine_part[l];
+            let coarse = &mut coarse_part[0];
+            coarse.clear_u();
+            let nb = coarse.num_boxes();
+            let shared = Shared(UnsafeCell::new(&mut *coarse));
+            pf.run(nb, |boxes| {
+                // SAFETY: disjoint coarse boxes.
+                let c = unsafe { shared.get() };
+                for b in boxes {
+                    c.restrict_box_from(fine, b);
+                }
+            });
+        }
+        self.vcycle(l + 1, pf);
+        // Prolong the coarse correction back up.
+        {
+            let (fine_part, coarse_part) = self.levels.split_at_mut(l + 1);
+            let fine = &mut fine_part[l];
+            let coarse = &coarse_part[0];
+            let nb = coarse.num_boxes();
+            let shared = Shared(UnsafeCell::new(&mut *fine));
+            pf.run(nb, |boxes| {
+                // SAFETY: coarse boxes map to disjoint fine regions.
+                let f = unsafe { shared.get() };
+                for b in boxes {
+                    coarse.prolong_box_into(f, b);
+                }
+            });
+        }
+        self.smooth(l, self.smooth_sweeps, pf);
+    }
+
+    /// Solve with repeated V-cycles until the finest residual max-norm
+    /// drops below `tol` (relative to the initial residual) or `max_cycles`
+    /// is hit. Returns (cycles used, final relative residual).
+    pub fn solve(&mut self, tol: f64, max_cycles: usize, pf: &ParallelFor) -> (usize, f64) {
+        let r0 = self.levels[0].residual_max_norm().max(f64::MIN_POSITIVE);
+        for c in 1..=max_cycles {
+            self.vcycle(0, pf);
+            let r = self.levels[0].residual_max_norm() / r0;
+            if r < tol {
+                return (c, r);
+            }
+        }
+        let r = self.levels[0].residual_max_norm() / r0;
+        (max_cycles, r)
+    }
+
+    /// Residual max-norm on the finest level.
+    pub fn residual_norm(&self) -> f64 {
+        self.levels[0].residual_max_norm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn problem(n: usize) -> Multigrid {
+        let mut mg = Multigrid::new(n, 2);
+        mg.set_rhs(|x, y, z| {
+            let g = |t: f64| t * (1.0 - t);
+            2.0 * (g(y) * g(z) + g(x) * g(z) + g(x) * g(y))
+        });
+        mg
+    }
+
+    #[test]
+    fn hierarchy_shape() {
+        let mg = Multigrid::new(32, 2);
+        let dims: Vec<usize> = mg.levels.iter().map(|l| l.n).collect();
+        assert_eq!(dims, vec![32, 16, 8, 4, 2]);
+        // Finest level has 8 boxes (2 per side), as in the paper's setup.
+        assert_eq!(mg.levels[0].num_boxes(), 8);
+    }
+
+    #[test]
+    fn vcycle_converges_serial() {
+        let mut mg = problem(16);
+        let (cycles, rel) = mg.solve(1e-8, 30, &ParallelFor::Serial);
+        assert!(rel < 1e-8, "rel residual {rel} after {cycles} cycles");
+        assert!(cycles < 30);
+    }
+
+    #[test]
+    fn vcycle_convergence_rate_is_h_independent() {
+        // Multigrid's defining property: cycles to tolerance roughly
+        // constant across resolutions.
+        let cycles_for = |n: usize| problem(n).solve(1e-6, 60, &ParallelFor::Serial).0;
+        let c8 = cycles_for(8);
+        let c16 = cycles_for(16);
+        let c32 = cycles_for(32);
+        assert!(c16 <= c8 + 12, "c8={c8} c16={c16}");
+        assert!(c32 <= c16 + 12, "c16={c16} c32={c32}");
+    }
+
+    #[test]
+    fn solution_matches_manufactured_answer() {
+        // With f = -∇²(g(x)g(y)g(z)) the converged u approximates g³.
+        let mut mg = problem(16);
+        mg.solve(1e-9, 60, &ParallelFor::Serial);
+        let l = &mg.levels[0];
+        let g = |t: f64| t * (1.0 - t);
+        let mut max_err: f64 = 0.0;
+        for k in 0..l.n {
+            for j in 0..l.n {
+                for i in 0..l.n {
+                    let (x, y, z) = (
+                        (i as f64 + 0.5) * l.h,
+                        (j as f64 + 0.5) * l.h,
+                        (k as f64 + 0.5) * l.h,
+                    );
+                    let exact = g(x) * g(y) * g(z);
+                    max_err = max_err.max((l.u[l.idx(i, j, k)] - exact).abs());
+                }
+            }
+        }
+        // Discretization error at n=16 is O(h²) ≈ 4e-3; allow headroom.
+        assert!(max_err < 2e-2, "max err {max_err}");
+    }
+
+    #[test]
+    fn oneone_parallel_matches_serial() {
+        let mut a = problem(16);
+        let mut b = problem(16);
+        a.solve(1e-8, 20, &ParallelFor::Serial);
+        b.solve(1e-8, 20, &ParallelFor::OneOne { nthreads: 4 });
+        let (la, lb) = (&a.levels[0], &b.levels[0]);
+        let max_diff = la
+            .u
+            .iter()
+            .zip(&lb.u)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_diff < 1e-12, "parallel diverged: {max_diff}");
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests on the multigrid solver: V-cycles are contractions for
+//! arbitrary right-hand sides, and parallel execution is bit-identical to
+//! serial.
+
+use mini_hpgmg::{Multigrid, ParallelFor};
+use proptest::prelude::*;
+
+fn mg_with_random_rhs(n: usize, seed: u64) -> Multigrid {
+    let mut mg = Multigrid::new(n, 2);
+    let mut st = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+    mg.set_rhs(move |_, _, _| {
+        st ^= st >> 12;
+        st ^= st << 25;
+        st ^= st >> 27;
+        (st.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    });
+    mg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn vcycle_contracts_residual_for_any_rhs(seed in 1u64..1_000_000) {
+        let mut mg = mg_with_random_rhs(16, seed);
+        let r0 = mg.residual_norm();
+        mg.vcycle(0, &ParallelFor::Serial);
+        let r1 = mg.residual_norm();
+        mg.vcycle(0, &ParallelFor::Serial);
+        let r2 = mg.residual_norm();
+        prop_assert!(r1 < r0, "first V-cycle did not contract: {r0} -> {r1}");
+        prop_assert!(r2 < r1, "second V-cycle did not contract: {r1} -> {r2}");
+        // Healthy MG contraction factor for Poisson is way below 0.5.
+        prop_assert!(r2 / r0 < 0.25, "contraction too weak: {}", r2 / r0);
+    }
+
+    #[test]
+    fn parallel_execution_is_deterministic(seed in 1u64..1_000_000, threads in 2usize..6) {
+        let mut a = mg_with_random_rhs(8, seed);
+        let mut b = mg_with_random_rhs(8, seed);
+        for _ in 0..3 {
+            a.vcycle(0, &ParallelFor::Serial);
+            b.vcycle(0, &ParallelFor::OneOne { nthreads: threads });
+        }
+        let (la, lb) = (&a.levels[0], &b.levels[0]);
+        for (x, y) in la.u.iter().zip(&lb.u) {
+            prop_assert!((x - y).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn solution_is_linear_in_rhs(seed in 1u64..1_000_000) {
+        // Solve for f and for 2f: converged solutions scale by 2 (linearity
+        // of both the PDE and the solver's fixed point).
+        let mut a = mg_with_random_rhs(8, seed);
+        let mut b = mg_with_random_rhs(8, seed);
+        for v in &mut b.levels[0].f {
+            *v *= 2.0;
+        }
+        a.solve(1e-10, 60, &ParallelFor::Serial);
+        b.solve(1e-10, 60, &ParallelFor::Serial);
+        let scale_err = a.levels[0]
+            .u
+            .iter()
+            .zip(&b.levels[0].u)
+            .map(|(x, y)| (2.0 * x - y).abs())
+            .fold(0.0f64, f64::max);
+        let norm = a.levels[0].u.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        prop_assert!(scale_err < 1e-6 * norm.max(1e-12), "nonlinear: {scale_err}");
+    }
+}

@@ -1,0 +1,177 @@
+//! In-situ analysis: snapshot + radial distribution histogram.
+//!
+//! Mirrors the paper's §4.3 pipeline: "The analysis code copies all atoms
+//! to a separate buffer and performs analysis on this buffer in parallel,
+//! while the simulation is going on, by spawning dedicated analysis
+//! threads."
+
+use crate::sim::System;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A frozen copy of the atom positions (the analysis buffer).
+#[derive(Clone)]
+pub struct Snapshot {
+    /// Positions (xyz interleaved).
+    pub pos: Vec<f64>,
+    /// Box side length.
+    pub box_len: f64,
+    /// Simulation step at capture time.
+    pub step: usize,
+}
+
+impl Snapshot {
+    /// Capture the current state of `sys`.
+    pub fn capture(sys: &System, step: usize) -> Snapshot {
+        Snapshot {
+            pos: sys.pos.clone(),
+            box_len: sys.box_len,
+            step,
+        }
+    }
+
+    /// Number of atoms.
+    pub fn n_atoms(&self) -> usize {
+        self.pos.len() / 3
+    }
+}
+
+/// Atomic histogram accumulating pair distances (shared by the analysis
+/// threads of one snapshot).
+pub struct AtomicHistogram {
+    /// Bin counters.
+    pub bins: Vec<AtomicU64>,
+    /// Upper distance bound.
+    pub r_max: f64,
+}
+
+impl AtomicHistogram {
+    /// New zeroed histogram.
+    pub fn new(n_bins: usize, r_max: f64) -> Arc<AtomicHistogram> {
+        Arc::new(AtomicHistogram {
+            bins: (0..n_bins).map(|_| AtomicU64::new(0)).collect(),
+            r_max,
+        })
+    }
+
+    /// Total counted pairs.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// Accumulate the pair-distance histogram for atoms `range` of `snap`
+/// (each atom pairs against all later atoms — disjoint work per chunk,
+/// atomic bin increments).
+pub fn rdf_histogram(snap: &Snapshot, hist: &AtomicHistogram, range: std::ops::Range<usize>) {
+    let n = snap.n_atoms();
+    let l = snap.box_len;
+    let half = l / 2.0;
+    let n_bins = hist.bins.len();
+    let scale = n_bins as f64 / hist.r_max;
+    let min_image = |mut d: f64| {
+        if d > half {
+            d -= l;
+        } else if d < -half {
+            d += l;
+        }
+        d
+    };
+    for i in range {
+        for j in (i + 1)..n {
+            let dx = min_image(snap.pos[3 * i] - snap.pos[3 * j]);
+            let dy = min_image(snap.pos[3 * i + 1] - snap.pos[3 * j + 1]);
+            let dz = min_image(snap.pos[3 * i + 2] - snap.pos[3 * j + 2]);
+            let r = (dx * dx + dy * dy + dz * dz).sqrt();
+            if r < hist.r_max {
+                let bin = ((r * scale) as usize).min(n_bins - 1);
+                hist.bins[bin].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::LjParams;
+
+    #[test]
+    fn snapshot_freezes_state() {
+        let mut sys = System::fcc(2, LjParams::default(), 1);
+        let snap = Snapshot::capture(&sys, 42);
+        assert_eq!(snap.step, 42);
+        assert_eq!(snap.n_atoms(), sys.n_atoms());
+        // Mutating the system leaves the snapshot untouched.
+        let before = snap.pos[0];
+        sys.pos[0] += 1.0;
+        assert_eq!(snap.pos[0], before);
+    }
+
+    #[test]
+    fn histogram_counts_all_pairs_within_rmax() {
+        let sys = System::fcc(2, LjParams::default(), 1);
+        let snap = Snapshot::capture(&sys, 0);
+        // r_max = half box ⇒ most pairs counted; exact count equals the
+        // brute-force tally.
+        let hist = AtomicHistogram::new(50, snap.box_len / 2.0);
+        rdf_histogram(&snap, &hist, 0..snap.n_atoms());
+        // Brute force oracle.
+        let mut oracle = 0u64;
+        let n = snap.n_atoms();
+        let l = snap.box_len;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let mi = |mut d: f64| {
+                    if d > l / 2.0 {
+                        d -= l;
+                    } else if d < -l / 2.0 {
+                        d += l;
+                    }
+                    d
+                };
+                let dx = mi(snap.pos[3 * i] - snap.pos[3 * j]);
+                let dy = mi(snap.pos[3 * i + 1] - snap.pos[3 * j + 1]);
+                let dz = mi(snap.pos[3 * i + 2] - snap.pos[3 * j + 2]);
+                if (dx * dx + dy * dy + dz * dz).sqrt() < l / 2.0 {
+                    oracle += 1;
+                }
+            }
+        }
+        assert_eq!(hist.total(), oracle);
+    }
+
+    #[test]
+    fn chunked_histogram_equals_whole() {
+        let sys = System::fcc(2, LjParams::default(), 3);
+        let snap = Snapshot::capture(&sys, 0);
+        let whole = AtomicHistogram::new(32, 2.0);
+        rdf_histogram(&snap, &whole, 0..snap.n_atoms());
+        let parts = AtomicHistogram::new(32, 2.0);
+        let n = snap.n_atoms();
+        rdf_histogram(&snap, &parts, 0..n / 3);
+        rdf_histogram(&snap, &parts, n / 3..2 * n / 3);
+        rdf_histogram(&snap, &parts, 2 * n / 3..n);
+        for (a, b) in whole.bins.iter().zip(&parts.bins) {
+            assert_eq!(a.load(Ordering::Relaxed), b.load(Ordering::Relaxed));
+        }
+    }
+
+    #[test]
+    fn fcc_first_shell_peak_exists() {
+        // The FCC nearest-neighbor distance a/√2 must dominate the histogram.
+        let sys = System::fcc(3, LjParams::default(), 1);
+        let snap = Snapshot::capture(&sys, 0);
+        let hist = AtomicHistogram::new(100, 3.0);
+        rdf_histogram(&snap, &hist, 0..snap.n_atoms());
+        let a = snap.box_len / 3.0;
+        let nn = a / 2f64.sqrt();
+        let peak_bin = ((nn / 3.0) * 100.0) as usize;
+        let peak = hist.bins[peak_bin.saturating_sub(1)..=(peak_bin + 1).min(99)]
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .max()
+            .unwrap();
+        assert!(peak > 0, "no counts at the FCC nearest-neighbor distance");
+    }
+}

@@ -1,0 +1,33 @@
+//! # mini-md — Lennard-Jones molecular dynamics with in-situ analysis
+//!
+//! Reproduces the application substrate of paper §4.3: a LAMMPS-style
+//! molecular dynamics simulation ("we calculate the 3D Lennard-Jones
+//! potential for 100 time steps") whose shared-memory parallelism spawns
+//! simulation threads per parallel region (the paper's Argobots backend for
+//! Kokkos), plus **in-situ analysis**: every `interval` steps the atom
+//! state is copied to a buffer and analyzed concurrently by dedicated
+//! low-priority threads.
+//!
+//! The scheduling structure under study:
+//!
+//! * simulation threads: high priority, nonpreemptive (they always finish a
+//!   region and join);
+//! * analysis threads: low priority, **signal-yield preemptive**, pushed to
+//!   per-worker LIFO queues — so they soak up idle cycles (the sequential
+//!   integration/communication phases) but vacate a worker within one
+//!   preemption tick when simulation work appears.
+//!
+//! Scale substitution (DESIGN.md): the paper sweeps 10⁷–5.6·10⁷ atoms on
+//! 4×56 cores; this reproduction defaults to 10³–10⁵ atoms on one core.
+//! The priority/preemption interplay — what Figure 9 measures — is
+//! preserved.
+
+#![deny(missing_docs)]
+
+pub mod analysis;
+pub mod exec;
+pub mod sim;
+
+pub use analysis::{rdf_histogram, Snapshot};
+pub use exec::SimExec;
+pub use sim::{LjParams, System};

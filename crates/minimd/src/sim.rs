@@ -1,0 +1,363 @@
+//! The Lennard-Jones simulation: FCC lattice, cell lists, velocity Verlet.
+//!
+//! Reduced units (ε = σ = m = 1), cutoff 2.5σ, periodic box — the standard
+//! "LJ melt" configuration LAMMPS ships as its benchmark and the paper runs
+//! for 100 steps (§4.3).
+
+use crate::exec::SimExec;
+use std::cell::UnsafeCell;
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LjParams {
+    /// Reduced density ρ* (LAMMPS melt default 0.8442).
+    pub density: f64,
+    /// Cutoff radius (2.5σ).
+    pub cutoff: f64,
+    /// Timestep (LAMMPS melt default 0.005).
+    pub dt: f64,
+    /// Initial temperature (LAMMPS melt default 1.44).
+    pub temperature: f64,
+}
+
+impl Default for LjParams {
+    fn default() -> Self {
+        LjParams {
+            density: 0.8442,
+            cutoff: 2.5,
+            dt: 0.005,
+            temperature: 1.44,
+        }
+    }
+}
+
+/// Atom state + cell list for an N-atom periodic LJ system.
+pub struct System {
+    /// Positions (xyz interleaved).
+    pub pos: Vec<f64>,
+    /// Velocities.
+    pub vel: Vec<f64>,
+    /// Forces.
+    pub force: Vec<f64>,
+    /// Cubic box side length.
+    pub box_len: f64,
+    /// Parameters.
+    pub params: LjParams,
+    /// Cells per side of the cell grid.
+    cells_per_side: usize,
+    /// Cell list: atom indices per cell.
+    cells: Vec<Vec<u32>>,
+}
+
+/// Disjoint-chunk force sharing.
+struct ShareForces<'a>(UnsafeCell<&'a mut [f64]>);
+// SAFETY: each simulation thread writes only its own atoms' force entries.
+unsafe impl Sync for ShareForces<'_> {}
+impl ShareForces<'_> {
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get(&self) -> &mut [f64] {
+        // SAFETY: forwarded (disjoint atom ranges).
+        unsafe { &mut *self.0.get() }
+    }
+}
+
+impl System {
+    /// Build an FCC lattice with `cells_per_side³ · 4` atoms at the
+    /// configured density, with small deterministic velocity perturbations
+    /// scaled to the configured temperature.
+    pub fn fcc(lattice_cells: usize, params: LjParams, seed: u64) -> System {
+        let n_atoms = 4 * lattice_cells.pow(3);
+        let box_len = (n_atoms as f64 / params.density).cbrt();
+        let a = box_len / lattice_cells as f64;
+        let offsets = [
+            (0.0, 0.0, 0.0),
+            (0.5, 0.5, 0.0),
+            (0.5, 0.0, 0.5),
+            (0.0, 0.5, 0.5),
+        ];
+        let mut pos = Vec::with_capacity(3 * n_atoms);
+        for cz in 0..lattice_cells {
+            for cy in 0..lattice_cells {
+                for cx in 0..lattice_cells {
+                    for (ox, oy, oz) in offsets {
+                        pos.push((cx as f64 + ox) * a);
+                        pos.push((cy as f64 + oy) * a);
+                        pos.push((cz as f64 + oz) * a);
+                    }
+                }
+            }
+        }
+        // Deterministic Maxwell-ish velocities (xorshift uniform sum), with
+        // net momentum removed.
+        let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).max(1);
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x9E3779B97F4A7C15) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let scale = (3.0 * params.temperature).sqrt() * 2.0;
+        let mut vel: Vec<f64> = (0..3 * n_atoms).map(|_| next() * scale).collect();
+        for d in 0..3 {
+            let mean: f64 = vel.iter().skip(d).step_by(3).sum::<f64>() / n_atoms as f64;
+            vel.iter_mut().skip(d).step_by(3).for_each(|v| *v -= mean);
+        }
+        let cells_per_side = ((box_len / params.cutoff).floor() as usize).max(1);
+        let mut sys = System {
+            force: vec![0.0; 3 * n_atoms],
+            pos,
+            vel,
+            box_len,
+            params,
+            cells_per_side,
+            cells: vec![Vec::new(); cells_per_side.pow(3)],
+        };
+        sys.rebuild_cells();
+        sys
+    }
+
+    /// Number of atoms.
+    pub fn n_atoms(&self) -> usize {
+        self.pos.len() / 3
+    }
+
+    /// Rebin atoms into the cell list.
+    pub fn rebuild_cells(&mut self) {
+        for c in &mut self.cells {
+            c.clear();
+        }
+        let cps = self.cells_per_side;
+        let inv = cps as f64 / self.box_len;
+        for i in 0..self.n_atoms() {
+            let cx = ((self.pos[3 * i] * inv) as usize).min(cps - 1);
+            let cy = ((self.pos[3 * i + 1] * inv) as usize).min(cps - 1);
+            let cz = ((self.pos[3 * i + 2] * inv) as usize).min(cps - 1);
+            self.cells[(cz * cps + cy) * cps + cx].push(i as u32);
+        }
+    }
+
+    /// Minimum-image displacement component.
+    #[inline]
+    fn min_image(&self, mut d: f64) -> f64 {
+        let l = self.box_len;
+        if d > l / 2.0 {
+            d -= l;
+        } else if d < -l / 2.0 {
+            d += l;
+        }
+        d
+    }
+
+    /// Accumulate the LJ force on atom `i` from all neighbors (full
+    /// neighbor loop — both directions computed, so parallel chunks write
+    /// disjoint force entries without reductions).
+    fn force_on(&self, i: usize) -> (f64, f64, f64) {
+        let cps = self.cells_per_side;
+        let inv = cps as f64 / self.box_len;
+        let rc2 = self.params.cutoff * self.params.cutoff;
+        let (xi, yi, zi) = (self.pos[3 * i], self.pos[3 * i + 1], self.pos[3 * i + 2]);
+        let cx = ((xi * inv) as isize).min(cps as isize - 1);
+        let cy = ((yi * inv) as isize).min(cps as isize - 1);
+        let cz = ((zi * inv) as isize).min(cps as isize - 1);
+        let (mut fx, mut fy, mut fz) = (0.0, 0.0, 0.0);
+        let scan = if cps >= 3 {
+            (-1..=1).collect::<Vec<isize>>()
+        } else {
+            // Tiny cell grids: every cell is a neighbor; scan each once.
+            (0..cps as isize).collect()
+        };
+        for dz in &scan {
+            for dy in &scan {
+                for dx in &scan {
+                    let (nx, ny, nz) = if cps >= 3 {
+                        (
+                            (cx + dx).rem_euclid(cps as isize) as usize,
+                            (cy + dy).rem_euclid(cps as isize) as usize,
+                            (cz + dz).rem_euclid(cps as isize) as usize,
+                        )
+                    } else {
+                        (*dx as usize, *dy as usize, *dz as usize)
+                    };
+                    for &j in &self.cells[(nz * cps + ny) * cps + nx] {
+                        let j = j as usize;
+                        if j == i {
+                            continue;
+                        }
+                        let ddx = self.min_image(xi - self.pos[3 * j]);
+                        let ddy = self.min_image(yi - self.pos[3 * j + 1]);
+                        let ddz = self.min_image(zi - self.pos[3 * j + 2]);
+                        let r2 = ddx * ddx + ddy * ddy + ddz * ddz;
+                        if r2 < rc2 && r2 > 1e-12 {
+                            let inv2 = 1.0 / r2;
+                            let inv6 = inv2 * inv2 * inv2;
+                            // f/r = 24ε(2(σ/r)¹² - (σ/r)⁶)/r²
+                            let fr = 24.0 * inv2 * inv6 * (2.0 * inv6 - 1.0);
+                            fx += fr * ddx;
+                            fy += fr * ddy;
+                            fz += fr * ddz;
+                        }
+                    }
+                }
+            }
+        }
+        (fx, fy, fz)
+    }
+
+    /// Compute all forces using `exec` for the parallel region (the
+    /// simulation's per-step fork-join).
+    pub fn compute_forces(&mut self, exec: &SimExec) {
+        let n = self.n_atoms();
+        let forces = {
+            // SAFETY: each chunk writes only its own atoms' entries, and
+            // force_on never reads `self.force` — the aliasing is between
+            // writes to `force` and reads of pos/cells only.
+            let ptr = self.force.as_mut_ptr();
+            let len = self.force.len();
+            unsafe { std::slice::from_raw_parts_mut(ptr, len) }
+        };
+        let this: &System = self;
+        let shared = ShareForces(UnsafeCell::new(forces));
+        exec.run(n, |atoms| {
+            // SAFETY: disjoint atom ranges.
+            let f = unsafe { shared.get() };
+            for i in atoms {
+                let (fx, fy, fz) = this.force_on(i);
+                f[3 * i] = fx;
+                f[3 * i + 1] = fy;
+                f[3 * i + 2] = fz;
+            }
+        });
+    }
+
+    /// One velocity-Verlet step (forces must be current on entry). The
+    /// position/velocity updates are the "sequential portion" the paper's
+    /// analysis threads exploit.
+    pub fn verlet_step(&mut self, exec: &SimExec) {
+        let dt = self.params.dt;
+        let n = self.n_atoms();
+        // Kick + drift (sequential: cheap, memory-bound).
+        for i in 0..3 * n {
+            self.vel[i] += 0.5 * dt * self.force[i];
+            self.pos[i] += dt * self.vel[i];
+        }
+        // Wrap periodic coordinates.
+        let l = self.box_len;
+        for p in &mut self.pos {
+            if *p < 0.0 {
+                *p += l;
+            } else if *p >= l {
+                *p -= l;
+            }
+        }
+        self.rebuild_cells();
+        // New forces (the parallel region).
+        self.compute_forces(exec);
+        // Second kick.
+        for i in 0..3 * n {
+            self.vel[i] += 0.5 * dt * self.force[i];
+        }
+    }
+
+    /// Total kinetic energy.
+    pub fn kinetic_energy(&self) -> f64 {
+        0.5 * self.vel.iter().map(|v| v * v).sum::<f64>()
+    }
+
+    /// Total LJ potential energy (truncated, unshifted).
+    pub fn potential_energy(&self) -> f64 {
+        let n = self.n_atoms();
+        let rc2 = self.params.cutoff * self.params.cutoff;
+        let mut e = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = self.min_image(self.pos[3 * i] - self.pos[3 * j]);
+                let dy = self.min_image(self.pos[3 * i + 1] - self.pos[3 * j + 1]);
+                let dz = self.min_image(self.pos[3 * i + 2] - self.pos[3 * j + 2]);
+                let r2 = dx * dx + dy * dy + dz * dz;
+                if r2 < rc2 {
+                    let inv6 = 1.0 / (r2 * r2 * r2);
+                    e += 4.0 * inv6 * (inv6 - 1.0);
+                }
+            }
+        }
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fcc_atom_count_and_box() {
+        let s = System::fcc(3, LjParams::default(), 1);
+        assert_eq!(s.n_atoms(), 4 * 27);
+        let expected = (s.n_atoms() as f64 / 0.8442).cbrt();
+        assert!((s.box_len - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn net_momentum_is_zero() {
+        let s = System::fcc(3, LjParams::default(), 7);
+        for d in 0..3 {
+            let p: f64 = s.vel.iter().skip(d).step_by(3).sum();
+            assert!(p.abs() < 1e-9, "net momentum in dim {d}: {p}");
+        }
+    }
+
+    #[test]
+    fn forces_sum_to_zero() {
+        // Newton's third law: total force on the periodic system is ~0.
+        let mut s = System::fcc(3, LjParams::default(), 3);
+        s.compute_forces(&SimExec::Serial);
+        for d in 0..3 {
+            let f: f64 = s.force.iter().skip(d).step_by(3).sum();
+            assert!(f.abs() < 1e-7, "net force dim {d}: {f}");
+        }
+    }
+
+    #[test]
+    fn lattice_forces_are_tiny() {
+        // A perfect FCC lattice is an equilibrium of the LJ crystal: the
+        // per-atom force should vanish by symmetry.
+        let mut s = System::fcc(3, LjParams::default(), 3);
+        s.compute_forces(&SimExec::Serial);
+        let max = s.force.iter().fold(0.0f64, |m, &f| m.max(f.abs()));
+        assert!(max < 1e-8, "max |f| on lattice = {max}");
+    }
+
+    #[test]
+    fn energy_roughly_conserved_over_100_steps() {
+        let mut s = System::fcc(3, LjParams::default(), 5);
+        s.compute_forces(&SimExec::Serial);
+        let e0 = s.kinetic_energy() + s.potential_energy();
+        for _ in 0..100 {
+            s.verlet_step(&SimExec::Serial);
+        }
+        let e1 = s.kinetic_energy() + s.potential_energy();
+        let drift = ((e1 - e0) / e0.abs()).abs();
+        assert!(drift < 0.05, "energy drift {drift} (e0={e0}, e1={e1})");
+    }
+
+    #[test]
+    fn parallel_forces_match_serial() {
+        let mut a = System::fcc(3, LjParams::default(), 9);
+        let mut b = System::fcc(3, LjParams::default(), 9);
+        a.compute_forces(&SimExec::Serial);
+        b.compute_forces(&SimExec::OneOne { nthreads: 4 });
+        let max = a
+            .force
+            .iter()
+            .zip(&b.force)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max < 1e-12);
+    }
+
+    #[test]
+    fn cells_cover_all_atoms() {
+        let s = System::fcc(4, LjParams::default(), 2);
+        let total: usize = s.cells.iter().map(|c| c.len()).sum();
+        assert_eq!(total, s.n_atoms());
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests on the MD substrate: physical invariants hold for
+//! arbitrary seeds/sizes, and chunked analysis equals whole analysis.
+
+use mini_md::analysis::AtomicHistogram;
+use mini_md::{rdf_histogram, LjParams, SimExec, Snapshot, System};
+use proptest::prelude::*;
+use std::sync::atomic::Ordering;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn momentum_is_conserved_by_integration(seed in 1u64..1_000_000) {
+        let mut sys = System::fcc(2, LjParams::default(), seed);
+        sys.compute_forces(&SimExec::Serial);
+        for _ in 0..20 {
+            sys.verlet_step(&SimExec::Serial);
+        }
+        for d in 0..3 {
+            let p: f64 = sys.vel.iter().skip(d).step_by(3).sum();
+            prop_assert!(p.abs() < 1e-6, "momentum dim {d} drifted: {p}");
+        }
+    }
+
+    #[test]
+    fn forces_are_independent_of_chunking(
+        seed in 1u64..1_000_000, threads in 2usize..6,
+    ) {
+        let mut a = System::fcc(2, LjParams::default(), seed);
+        let mut b = System::fcc(2, LjParams::default(), seed);
+        a.compute_forces(&SimExec::Serial);
+        b.compute_forces(&SimExec::OneOne { nthreads: threads });
+        let max = a.force.iter().zip(&b.force)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f64, f64::max);
+        prop_assert!(max < 1e-12);
+    }
+
+    #[test]
+    fn rdf_split_points_do_not_matter(
+        seed in 1u64..1_000_000,
+        cut1 in 0usize..32,
+        cut2 in 0usize..32,
+    ) {
+        let sys = System::fcc(2, LjParams::default(), seed);
+        let snap = Snapshot::capture(&sys, 0);
+        let n = snap.n_atoms();
+        let (a, b) = (cut1.min(n), cut2.min(n));
+        let (lo, hi) = (a.min(b), a.max(b));
+        let whole = AtomicHistogram::new(24, 2.5);
+        rdf_histogram(&snap, &whole, 0..n);
+        let parts = AtomicHistogram::new(24, 2.5);
+        rdf_histogram(&snap, &parts, 0..lo);
+        rdf_histogram(&snap, &parts, lo..hi);
+        rdf_histogram(&snap, &parts, hi..n);
+        for (x, y) in whole.bins.iter().zip(&parts.bins) {
+            prop_assert_eq!(x.load(Ordering::Relaxed), y.load(Ordering::Relaxed));
+        }
+    }
+
+    #[test]
+    fn energy_drift_is_bounded(seed in 1u64..100_000) {
+        let mut sys = System::fcc(2, LjParams::default(), seed);
+        sys.compute_forces(&SimExec::Serial);
+        let e0 = sys.kinetic_energy() + sys.potential_energy();
+        for _ in 0..50 {
+            sys.verlet_step(&SimExec::Serial);
+        }
+        let e1 = sys.kinetic_energy() + sys.potential_energy();
+        prop_assert!(((e1 - e0) / e0.abs()).abs() < 0.08, "drift {e0} -> {e1}");
+    }
+}

@@ -1,0 +1,34 @@
+//! # ult-simcore — discrete-event simulation of preemption timers
+//!
+//! The paper's Figure 4 (timer-interruption time vs. worker count) and the
+//! multi-core shape of Figure 6 (preemption overhead vs. tick interval) are
+//! driven by *contention between concurrent signal deliveries on distinct
+//! cores* — a phenomenon that physically cannot occur on the single-core
+//! machine this reproduction runs on. This crate substitutes a calibrated
+//! discrete-event simulator (documented in DESIGN.md's substitution table):
+//!
+//! * [`engine`] — a minimal event-queue simulator.
+//! * [`signal`] — the kernel model: per-process signal-delivery lock
+//!   (serialized, the paper's §3.2.1 contention source), delivery latency,
+//!   handler cost, `pthread_kill` send cost.
+//! * [`timers`] — the four timer strategies of paper §3.2 driving the
+//!   signal model; reproduces every Figure 4 series.
+//! * [`overhead`] — the Figure 6 model: compute-bound workers preempted
+//!   every T, with per-technique preemption costs (signal-yield,
+//!   KLT-switching naive / futex / futex+local-pool) calibrated from real
+//!   single-core measurements.
+//!
+//! Cost constants default to values measured on the reproduction machine by
+//! `repro-bench` (see EXPERIMENTS.md) and can be overridden.
+
+#![deny(missing_docs)]
+
+pub mod engine;
+pub mod overhead;
+pub mod signal;
+pub mod timers;
+
+pub use engine::{EventQueue, SimTime};
+pub use overhead::{OverheadParams, Technique};
+pub use signal::{KernelParams, SignalSim};
+pub use timers::{simulate_interruption, InterruptStats, SimStrategy};

@@ -1,0 +1,73 @@
+//! Property tests on the discrete-event model: conservation and shape
+//! invariants hold for arbitrary parameters.
+
+use proptest::prelude::*;
+use ult_simcore::engine::EventQueue;
+use ult_simcore::signal::{run_deliveries, KernelParams};
+use ult_simcore::timers::{simulate_interruption, SimStrategy};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn event_queue_pops_sorted(times in prop::collection::vec(0u64..1_000_000, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut last = 0;
+        let mut count = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    #[test]
+    fn every_delivery_costs_at_least_the_floor(
+        lock in 1u64..5_000, handler in 1u64..5_000, send in 1u64..2_000,
+        raises in prop::collection::vec((0u64..100_000, 0usize..8), 1..100),
+    ) {
+        let p = KernelParams { lock_ns: lock, handler_ns: handler, send_ns: send };
+        let times = run_deliveries(8, p, raises.clone());
+        prop_assert_eq!(times.len(), raises.len());
+        for t in times {
+            // No delivery can beat the uncontended price.
+            prop_assert!(t >= lock + handler);
+        }
+    }
+
+    #[test]
+    fn aligned_is_never_slower_than_creation_time(
+        n in 1usize..64, interval in 100_000u64..10_000_000,
+    ) {
+        let p = KernelParams::default();
+        let naive = simulate_interruption(SimStrategy::PerWorkerCreationTime, n, interval, 5, p);
+        let aligned = simulate_interruption(SimStrategy::PerWorkerAligned, n, interval, 5, p);
+        // The paper's Figure 4 ordering, as an invariant over all configs:
+        prop_assert!(aligned.mean_ns <= naive.mean_ns + 1.0);
+    }
+
+    #[test]
+    fn chain_beats_one_to_all_at_scale(n in 16usize..112, interval in 500_000u64..5_000_000) {
+        let p = KernelParams::default();
+        let chain = simulate_interruption(SimStrategy::PerProcessChain, n, interval, 5, p);
+        let all = simulate_interruption(SimStrategy::PerProcessOneToAll, n, interval, 5, p);
+        prop_assert!(chain.mean_ns < all.mean_ns);
+    }
+
+    #[test]
+    fn overhead_monotone_in_interval(
+        short in 50_000u64..500_000, factor in 2u64..20,
+    ) {
+        use ult_simcore::overhead::{relative_overhead, OverheadParams, Technique};
+        let p = OverheadParams::default();
+        for t in Technique::ALL {
+            let hi = relative_overhead(t, short, &p);
+            let lo = relative_overhead(t, short * factor, &p);
+            prop_assert!(hi > lo);
+        }
+    }
+}

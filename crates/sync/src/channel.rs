@@ -1,0 +1,238 @@
+//! A bounded MPMC channel blocking at ULT granularity.
+//!
+//! Built from [`crate::Mutex`] + [`crate::Condvar`]; used by the in-situ
+//! analysis pipeline of the mini-MD study (simulation hands snapshots to
+//! analysis threads) and generally useful for producer/consumer ULTs.
+
+use crate::condvar::Condvar;
+use crate::mutex::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+struct Inner<T> {
+    queue: Mutex<ChannelState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+struct ChannelState<T> {
+    buf: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+/// Sending half (clonable).
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Receiving half (clonable).
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders are gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Create a bounded channel with room for `capacity` in-flight items.
+pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity >= 1);
+    let inner = Arc::new(Inner {
+        queue: Mutex::new(ChannelState {
+            buf: VecDeque::with_capacity(capacity),
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        capacity,
+    });
+    (
+        Sender {
+            inner: inner.clone(),
+        },
+        Receiver { inner },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Send, parking the ULT while the channel is full.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.inner.queue.lock();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if st.buf.len() < self.inner.capacity {
+                st.buf.push_back(value);
+                drop(st);
+                self.inner.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self.inner.not_full.wait(st);
+        }
+    }
+
+    /// Non-blocking send; returns the value back if full/closed.
+    pub fn try_send(&self, value: T) -> Result<(), T> {
+        let mut st = self.inner.queue.lock();
+        if st.receivers == 0 || st.buf.len() >= self.inner.capacity {
+            return Err(value);
+        }
+        st.buf.push_back(value);
+        drop(st);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receive, parking the ULT while the channel is empty.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.inner.queue.lock();
+        loop {
+            if let Some(v) = st.buf.pop_front() {
+                drop(st);
+                self.inner.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self.inner.not_empty.wait(st);
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<T> {
+        let mut st = self.inner.queue.lock();
+        let v = st.buf.pop_front();
+        if v.is_some() {
+            drop(st);
+            self.inner.not_full.notify_one();
+        }
+        v
+    }
+
+    /// Number of queued items (racy diagnostic).
+    pub fn len(&self) -> usize {
+        self.inner.queue.lock().buf.len()
+    }
+
+    /// Whether the queue is currently empty (racy diagnostic).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.queue.lock().senders += 1;
+        Sender {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.inner.queue.lock().receivers += 1;
+        Receiver {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.inner.queue.lock();
+        st.senders -= 1;
+        let last = st.senders == 0;
+        drop(st);
+        if last {
+            self.inner.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.inner.queue.lock();
+        st.receivers -= 1;
+        let last = st.receivers == 0;
+        drop(st);
+        if last {
+            self.inner.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_in_order() {
+        let (tx, rx) = channel(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn try_send_full() {
+        let (tx, rx) = channel(1);
+        assert!(tx.try_send(1).is_ok());
+        assert_eq!(tx.try_send(2), Err(2));
+        assert_eq!(rx.try_recv(), Some(1));
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn recv_fails_after_senders_drop() {
+        let (tx, rx) = channel::<i32>(2);
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_after_receivers_drop() {
+        let (tx, rx) = channel::<i32>(2);
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+    }
+
+    #[test]
+    fn cross_thread_producer_consumer() {
+        let (tx, rx) = channel(8);
+        let h = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut sum = 0;
+        for _ in 0..100 {
+            sum += rx.recv().unwrap();
+        }
+        h.join().unwrap();
+        assert_eq!(sum, 4950);
+    }
+
+    #[test]
+    fn len_tracks() {
+        let (tx, rx) = channel(4);
+        assert!(rx.is_empty());
+        tx.send(1).unwrap();
+        assert_eq!(rx.len(), 1);
+    }
+}

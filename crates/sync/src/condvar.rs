@@ -1,0 +1,135 @@
+//! A ULT-blocking condition variable paired with [`crate::Mutex`].
+
+use crate::mutex::{Mutex, MutexGuard};
+use crate::waitlist::WaitList;
+use std::cell::UnsafeCell;
+use ult_core::pool::SpinLock;
+
+/// Condition variable: `wait` releases the mutex and parks the ULT;
+/// `notify_one`/`notify_all` reschedule waiters. Callable from outside the
+/// runtime too (falls back to an epoch-watch spin with OS yields).
+pub struct Condvar {
+    lock: SpinLock,
+    waiters: UnsafeCell<WaitList>,
+    /// Bumped on every notify; non-ULT waiters watch it.
+    epoch: std::sync::atomic::AtomicUsize,
+}
+
+// SAFETY: waiters only touched under `lock`.
+unsafe impl Send for Condvar {}
+unsafe impl Sync for Condvar {}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    /// New condition variable with no waiters.
+    pub fn new() -> Condvar {
+        Condvar {
+            lock: SpinLock::new(),
+            waiters: UnsafeCell::new(WaitList::new()),
+            epoch: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Atomically release `guard`, park the calling ULT, and re-acquire the
+    /// mutex before returning. Spurious wakeups are possible (as with every
+    /// condvar); callers loop on their predicate.
+    pub fn wait<'a, T: ?Sized>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let mutex: &'a Mutex<T> = MutexGuard::mutex(&guard);
+        if ult_core::in_ult() {
+            ult_core::block_current(|me| {
+                self.lock.lock();
+                // SAFETY: under lock.
+                unsafe { (*self.waiters.get()).push(me.clone()) };
+                self.lock.unlock();
+                // Release the mutex only after registration: a notifier
+                // running between unlock and park would otherwise miss us.
+                drop(guard);
+                true
+            });
+        } else {
+            // Outside the runtime: watch the notify epoch with OS yields.
+            use std::sync::atomic::Ordering;
+            let e = self.epoch.load(Ordering::Acquire);
+            drop(guard);
+            while self.epoch.load(Ordering::Acquire) == e {
+                std::thread::yield_now();
+            }
+        }
+        mutex.lock()
+    }
+
+    /// Wait until `pred` holds.
+    pub fn wait_while<'a, T: ?Sized, F>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        mut pred: F,
+    ) -> MutexGuard<'a, T>
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        while pred(&mut *guard) {
+            guard = self.wait(guard);
+        }
+        guard
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        use std::sync::atomic::Ordering;
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        self.lock.lock();
+        // SAFETY: under lock.
+        let t = unsafe { (*self.waiters.get()).pop() };
+        self.lock.unlock();
+        if let Some(t) = t {
+            ult_core::make_ready(&t);
+        }
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        use std::sync::atomic::Ordering;
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        self.lock.lock();
+        // SAFETY: under lock.
+        let all = unsafe { (*self.waiters.get()).drain() };
+        self.lock.unlock();
+        for t in all {
+            ult_core::make_ready(&t);
+        }
+    }
+
+    /// Number of parked waiters (diagnostic; racy by nature).
+    pub fn waiter_count(&self) -> usize {
+        self.lock.lock();
+        // SAFETY: under lock.
+        let n = unsafe { (*self.waiters.get()).len() };
+        self.lock.unlock();
+        n
+    }
+}
+
+impl<'a, T: ?Sized> MutexGuard<'a, T> {
+    /// The mutex this guard locks (used by [`Condvar::wait`]).
+    pub fn mutex(guard: &MutexGuard<'a, T>) -> &'a Mutex<T> {
+        guard.lock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn notify_without_waiters_is_noop() {
+        let cv = Condvar::new();
+        cv.notify_one();
+        cv.notify_all();
+        assert_eq!(cv.waiter_count(), 0);
+    }
+}

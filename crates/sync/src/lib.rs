@@ -1,0 +1,84 @@
+//! # ult-sync — ULT-aware synchronization primitives
+//!
+//! Mutex, condition variable, barrier, semaphore, once-cell and channels
+//! whose *blocking parks the user-level thread*, not the kernel thread: a
+//! blocked ULT costs one ~100 ns context switch and its worker immediately
+//! runs other ULTs (paper §2.1 counts fork/join/yield and synchronization
+//! among the operations M:N threads make cheap).
+//!
+//! Two barrier flavors matter for the paper's evaluation:
+//!
+//! * [`Barrier`] — blocking; the well-behaved citizen.
+//! * [`SpinBarrier`] — busy-waits on a memory flag *without yielding*,
+//!   modeling Intel MKL's team synchronization. On nonpreemptive M:N
+//!   threads an oversubscribed [`SpinBarrier`] deadlocks; with preemptive
+//!   threads it merely wastes a time slice (paper §4.1). It also offers a
+//!   yielding mode reproducing the authors' reverse-engineered MKL patch.
+
+#![deny(missing_docs)]
+
+pub mod barrier;
+pub mod channel;
+pub mod condvar;
+pub mod mutex;
+pub mod once;
+pub mod rwlock;
+pub mod semaphore;
+pub mod waitgroup;
+
+pub use barrier::{Barrier, SpinBarrier, SpinMode};
+pub use channel::{channel, Receiver, Sender};
+pub use condvar::Condvar;
+pub use mutex::{Mutex, MutexGuard};
+pub use once::Once;
+pub use rwlock::{ReadGuard, RwLock, WriteGuard};
+pub use semaphore::Semaphore;
+pub use waitgroup::WaitGroup;
+
+pub(crate) mod waitlist {
+    //! A small FIFO wait list shared by all primitives.
+
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+    use ult_core::thread::Ult;
+
+    /// FIFO list of parked ULTs, protected by the caller's lock.
+    #[derive(Default)]
+    pub struct WaitList {
+        queue: VecDeque<Arc<Ult>>,
+    }
+
+    impl WaitList {
+        /// Empty list.
+        pub fn new() -> WaitList {
+            WaitList {
+                queue: VecDeque::new(),
+            }
+        }
+
+        /// Register a waiter.
+        pub fn push(&mut self, t: Arc<Ult>) {
+            self.queue.push_back(t);
+        }
+
+        /// Pop the oldest waiter.
+        pub fn pop(&mut self) -> Option<Arc<Ult>> {
+            self.queue.pop_front()
+        }
+
+        /// Take everything (broadcast).
+        pub fn drain(&mut self) -> Vec<Arc<Ult>> {
+            self.queue.drain(..).collect()
+        }
+
+        /// Number of waiters.
+        pub fn len(&self) -> usize {
+            self.queue.len()
+        }
+
+        /// Whether no one is waiting.
+        pub fn is_empty(&self) -> bool {
+            self.queue.is_empty()
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! One-time initialization.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+const INCOMPLETE: u8 = 0;
+const RUNNING: u8 = 1;
+const COMPLETE: u8 = 2;
+
+/// Run a closure exactly once across all ULTs/KLTs; other callers wait
+/// (yielding their ULT) until it completes.
+pub struct Once {
+    state: AtomicU8,
+}
+
+impl Default for Once {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Once {
+    /// New, not-yet-run.
+    pub const fn new() -> Once {
+        Once {
+            state: AtomicU8::new(INCOMPLETE),
+        }
+    }
+
+    /// Run `f` if nobody has; otherwise wait for the winner to finish.
+    pub fn call_once<F: FnOnce()>(&self, f: F) {
+        if self.state.load(Ordering::Acquire) == COMPLETE {
+            return;
+        }
+        match self.state.compare_exchange(
+            INCOMPLETE,
+            RUNNING,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => {
+                f();
+                self.state.store(COMPLETE, Ordering::Release);
+            }
+            Err(_) => {
+                // Someone else is running (or done): wait cooperatively.
+                while self.state.load(Ordering::Acquire) != COMPLETE {
+                    ult_core::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Whether the closure has completed.
+    pub fn is_completed(&self) -> bool {
+        self.state.load(Ordering::Acquire) == COMPLETE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_exactly_once() {
+        let once = Once::new();
+        let count = AtomicUsize::new(0);
+        for _ in 0..5 {
+            once.call_once(|| {
+                count.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+        assert!(once.is_completed());
+    }
+
+    #[test]
+    fn concurrent_once_across_threads() {
+        let once = std::sync::Arc::new(Once::new());
+        let count = std::sync::Arc::new(AtomicUsize::new(0));
+        let mut handles = vec![];
+        for _ in 0..8 {
+            let o = once.clone();
+            let c = count.clone();
+            handles.push(std::thread::spawn(move || {
+                o.call_once(|| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+}

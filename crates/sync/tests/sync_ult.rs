@@ -1,0 +1,300 @@
+//! ULT-context tests for the sync primitives: blocking must park the ULT
+//! (worker continues with other threads), wake-ups must reschedule it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use ult_core::{Config, Runtime, TimerStrategy};
+use ult_sync::{channel, Barrier, Condvar, Mutex, Semaphore, SpinBarrier, SpinMode, WaitGroup};
+
+fn rt(workers: usize) -> Runtime {
+    Runtime::start(Config {
+        num_workers: workers,
+        preempt_interval_ns: 0,
+        timer_strategy: TimerStrategy::None,
+        ..Config::default()
+    })
+}
+
+#[test]
+fn mutex_mutual_exclusion_many_ults() {
+    let r = rt(4);
+    let m = Arc::new(Mutex::new(0u64));
+    let handles: Vec<_> = (0..32)
+        .map(|_| {
+            let m = m.clone();
+            r.spawn(move || {
+                for _ in 0..100 {
+                    let mut g = m.lock();
+                    let v = *g;
+                    // A yield inside the critical section stresses
+                    // cross-worker handoff of the lock owner.
+                    ult_core::yield_now();
+                    *g = v + 1;
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join();
+    }
+    assert_eq!(*m.lock(), 3200);
+    r.shutdown();
+}
+
+#[test]
+fn mutex_blocks_ult_not_worker() {
+    // One worker: A takes the lock and yields; B blocks on the lock; C must
+    // still run (the worker is not blocked); A releases; B completes.
+    let r = rt(1);
+    let m = Arc::new(Mutex::new(()));
+    let c_ran = Arc::new(AtomicUsize::new(0));
+    let m1 = m.clone();
+    let a = r.spawn(move || {
+        let g = m1.lock();
+        for _ in 0..10 {
+            ult_core::yield_now();
+        }
+        drop(g);
+    });
+    let m2 = m.clone();
+    let b = r.spawn(move || {
+        let _g = m2.lock();
+    });
+    let cr = c_ran.clone();
+    let c = r.spawn(move || {
+        cr.store(1, Ordering::SeqCst);
+    });
+    c.join();
+    assert_eq!(c_ran.load(Ordering::SeqCst), 1);
+    a.join();
+    b.join();
+    r.shutdown();
+}
+
+#[test]
+fn condvar_signaling_between_ults() {
+    let r = rt(2);
+    let m = Arc::new(Mutex::new(false));
+    let cv = Arc::new(Condvar::new());
+    let m1 = m.clone();
+    let cv1 = cv.clone();
+    let waiter = r.spawn(move || {
+        let mut g = m1.lock();
+        while !*g {
+            g = cv1.wait(g);
+        }
+        42
+    });
+    let m2 = m.clone();
+    let cv2 = cv.clone();
+    let signaler = r.spawn(move || {
+        // Let the waiter park first (scheduling-dependent but bounded).
+        for _ in 0..20 {
+            ult_core::yield_now();
+        }
+        *m2.lock() = true;
+        cv2.notify_one();
+    });
+    assert_eq!(waiter.join(), 42);
+    signaler.join();
+    r.shutdown();
+}
+
+#[test]
+fn condvar_notify_all_releases_everyone() {
+    let r = rt(2);
+    let m = Arc::new(Mutex::new(0usize));
+    let cv = Arc::new(Condvar::new());
+    let released = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let m = m.clone();
+            let cv = cv.clone();
+            let rel = released.clone();
+            r.spawn(move || {
+                let mut g = m.lock();
+                while *g == 0 {
+                    g = cv.wait(g);
+                }
+                rel.fetch_add(1, Ordering::SeqCst);
+            })
+        })
+        .collect();
+    let m2 = m.clone();
+    let cv2 = cv.clone();
+    r.spawn(move || {
+        for _ in 0..50 {
+            ult_core::yield_now();
+        }
+        *m2.lock() = 1;
+        cv2.notify_all();
+    })
+    .join();
+    for h in handles {
+        h.join();
+    }
+    assert_eq!(released.load(Ordering::SeqCst), 8);
+    r.shutdown();
+}
+
+#[test]
+fn barrier_synchronizes_ults_across_workers() {
+    let r = rt(4);
+    let b = Arc::new(Barrier::new(8));
+    let phase_counts = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let b = b.clone();
+            let pc = phase_counts.clone();
+            r.spawn(move || {
+                for _ in 0..5 {
+                    pc.fetch_add(1, Ordering::SeqCst);
+                    b.wait();
+                    // After the barrier, all 8 increments of this phase are
+                    // visible: the count is a multiple of 8.
+                    assert_eq!(pc.load(Ordering::SeqCst) % 8, 0);
+                    b.wait();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join();
+    }
+    r.shutdown();
+}
+
+#[test]
+fn spin_barrier_yielding_mode_on_one_worker() {
+    // 4 parties on ONE worker would deadlock in BusyWait mode without
+    // preemption; Yielding mode (the "reverse-engineered MKL" fix) works.
+    let r = rt(1);
+    let b = Arc::new(SpinBarrier::new(4, SpinMode::Yielding));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let b = b.clone();
+            r.spawn(move || {
+                for _ in 0..10 {
+                    b.wait();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join();
+    }
+    r.shutdown();
+}
+
+#[test]
+fn semaphore_bounds_concurrency() {
+    let r = rt(4);
+    let s = Arc::new(Semaphore::new(2));
+    let inside = Arc::new(AtomicUsize::new(0));
+    let max_seen = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..16)
+        .map(|_| {
+            let s = s.clone();
+            let inside = inside.clone();
+            let max_seen = max_seen.clone();
+            r.spawn(move || {
+                s.acquire();
+                let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                max_seen.fetch_max(now, Ordering::SeqCst);
+                ult_core::yield_now();
+                inside.fetch_sub(1, Ordering::SeqCst);
+                s.release();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join();
+    }
+    assert!(max_seen.load(Ordering::SeqCst) <= 2);
+    r.shutdown();
+}
+
+#[test]
+fn channel_pipeline_between_ults() {
+    let r = rt(2);
+    let (tx, rx) = channel::<usize>(4);
+    let producer = r.spawn(move || {
+        for i in 0..200 {
+            tx.send(i).unwrap();
+        }
+    });
+    let consumer = r.spawn(move || {
+        let mut sum = 0;
+        for _ in 0..200 {
+            sum += rx.recv().unwrap();
+        }
+        sum
+    });
+    producer.join();
+    assert_eq!(consumer.join(), 199 * 200 / 2);
+    r.shutdown();
+}
+
+#[test]
+fn waitgroup_fork_join() {
+    let r = rt(4);
+    let wg = Arc::new(WaitGroup::new());
+    let sum = Arc::new(AtomicUsize::new(0));
+    wg.add(64);
+    for i in 0..64 {
+        let wg = wg.clone();
+        let sum = sum.clone();
+        let _ = r.spawn(move || {
+            sum.fetch_add(i, Ordering::SeqCst);
+            wg.done();
+        });
+    }
+    let wg2 = wg.clone();
+    let joiner = r.spawn(move || {
+        wg2.wait();
+    });
+    joiner.join();
+    assert_eq!(sum.load(Ordering::SeqCst), 63 * 64 / 2);
+    r.shutdown();
+}
+
+#[test]
+fn preemptive_threads_with_sync_primitives() {
+    // Preemption + blocking primitives must compose: preemptible threads
+    // hammer a mutex while timers fire.
+    let r = Runtime::start(Config {
+        num_workers: 2,
+        preempt_interval_ns: 1_000_000,
+        timer_strategy: TimerStrategy::PerWorkerAligned,
+        ..Config::default()
+    });
+    let m = Arc::new(Mutex::new(0u64));
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let m = m.clone();
+            r.spawn_with(
+                ult_core::ThreadKind::KltSwitching,
+                ult_core::Priority::High,
+                move || {
+                    for _ in 0..50 {
+                        let mut g = m.lock();
+                        *g += 1;
+                        drop(g);
+                        // Some CPU burn between acquisitions so preemptions
+                        // actually land inside this loop.
+                        let mut acc = 0u64;
+                        for i in 0..20_000u64 {
+                            acc = acc.wrapping_add(i * i);
+                        }
+                        std::hint::black_box(acc);
+                    }
+                },
+            )
+        })
+        .collect();
+    for h in handles {
+        h.join();
+    }
+    assert_eq!(*m.lock(), 400);
+    r.shutdown();
+}

@@ -1,0 +1,101 @@
+//! CPU affinity control.
+//!
+//! The paper pins every worker to a core ("In all experiments workers in
+//! Argobots were pinned to cores", §4) and notes that resetting a migrated
+//! KLT's affinity is one of the costs the worker-local KLT pool avoids
+//! (§3.3.2). Thread-packing (§4.2) compares against `taskset`-style dynamic
+//! affinity masks for the 1:1 baseline.
+
+use crate::tid::Tid;
+use std::io;
+
+/// Pin kernel thread `tid` to CPU `cpu` (modulo the number of online CPUs).
+pub fn pin_to_cpu(tid: Tid, cpu: usize) -> io::Result<()> {
+    let n = num_cpus().max(1);
+    let cpu = cpu % n;
+    // SAFETY: cpu_set_t zeroed then one bit set; sched_setaffinity validates.
+    unsafe {
+        let mut set: libc::cpu_set_t = std::mem::zeroed();
+        libc::CPU_ZERO(&mut set);
+        libc::CPU_SET(cpu, &mut set);
+        if libc::sched_setaffinity(tid, std::mem::size_of::<libc::cpu_set_t>(), &set) != 0 {
+            return Err(io::Error::last_os_error());
+        }
+    }
+    Ok(())
+}
+
+/// Restrict `tid` to the CPU set `{0, …, n_cpus-1}` (a `taskset`-style mask,
+/// used by the 1:1 thread-packing baseline of Figure 8).
+pub fn pin_to_first_cpus(tid: Tid, n_cpus: usize) -> io::Result<()> {
+    let total = num_cpus().max(1);
+    let n_cpus = n_cpus.clamp(1, total);
+    // SAFETY: as above.
+    unsafe {
+        let mut set: libc::cpu_set_t = std::mem::zeroed();
+        libc::CPU_ZERO(&mut set);
+        for c in 0..n_cpus {
+            libc::CPU_SET(c, &mut set);
+        }
+        if libc::sched_setaffinity(tid, std::mem::size_of::<libc::cpu_set_t>(), &set) != 0 {
+            return Err(io::Error::last_os_error());
+        }
+    }
+    Ok(())
+}
+
+/// Clear any affinity restriction (allow all online CPUs).
+pub fn unpin(tid: Tid) -> io::Result<()> {
+    let total = num_cpus().max(1);
+    pin_to_first_cpus(tid, total)
+}
+
+/// Number of CPUs currently available to this process.
+pub fn num_cpus() -> usize {
+    // SAFETY: sysconf is always callable.
+    let n = unsafe { libc::sysconf(libc::_SC_NPROCESSORS_ONLN) };
+    if n <= 0 {
+        1
+    } else {
+        n as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tid::gettid;
+
+    #[test]
+    fn num_cpus_positive() {
+        assert!(num_cpus() >= 1);
+    }
+
+    #[test]
+    fn pin_self_to_cpu_zero() {
+        pin_to_cpu(gettid(), 0).unwrap();
+        // Verify via sched_getaffinity.
+        unsafe {
+            let mut set: libc::cpu_set_t = std::mem::zeroed();
+            assert_eq!(
+                libc::sched_getaffinity(gettid(), std::mem::size_of::<libc::cpu_set_t>(), &mut set),
+                0
+            );
+            assert!(libc::CPU_ISSET(0, &set));
+        }
+        unpin(gettid()).unwrap();
+    }
+
+    #[test]
+    fn pin_wraps_modulo_cpu_count() {
+        // cpu index far beyond the machine must not error (wraps).
+        pin_to_cpu(gettid(), num_cpus() * 7 + 3).unwrap();
+        unpin(gettid()).unwrap();
+    }
+
+    #[test]
+    fn taskset_style_mask() {
+        pin_to_first_cpus(gettid(), 1).unwrap();
+        unpin(gettid()).unwrap();
+    }
+}

@@ -1,0 +1,209 @@
+//! 32-bit Linux futex wait/wake.
+//!
+//! The paper's optimized KLT-switching (§3.3.1) replaces
+//! `sigsuspend`/`pthread_kill` suspend-resume with a futex: the preempted
+//! KLT parks on a word *inside the signal handler* and the resuming
+//! scheduler wakes it with `FUTEX_WAKE`. Both operations are raw syscalls
+//! with no library state, hence async-signal-safe.
+//!
+//! [`Futex`] is a minimal one-word parking primitive with two observable
+//! states per generation: parked and released. It also supports the
+//! "sigsuspend-style" slow path ([`Futex::wait_sigsuspend_style`]) used to
+//! quantify the unoptimized variant in Figure 6.
+
+use core::sync::atomic::{AtomicU32, Ordering};
+
+/// Raw `futex(2)` syscall wrapper: wait while `*addr == expected`.
+///
+/// Returns `Ok(())` both on a real wake and on a spurious
+/// `EAGAIN`/`EINTR` — callers must re-check their predicate.
+#[inline]
+pub fn futex_wait(addr: &AtomicU32, expected: u32) {
+    // SAFETY: addr is a valid, live atomic word; FUTEX_WAIT with a null
+    // timeout blocks until woken or EINTR/EAGAIN.
+    unsafe {
+        libc::syscall(
+            libc::SYS_futex,
+            addr.as_ptr(),
+            libc::FUTEX_WAIT | libc::FUTEX_PRIVATE_FLAG,
+            expected,
+            core::ptr::null::<libc::timespec>(),
+        );
+    }
+}
+
+/// Raw `futex(2)` wake: wake up to `n` waiters parked on `addr`.
+/// Returns the number of threads woken.
+#[inline]
+pub fn futex_wake(addr: &AtomicU32, n: i32) -> i32 {
+    // SAFETY: addr is a valid atomic word.
+    unsafe {
+        libc::syscall(
+            libc::SYS_futex,
+            addr.as_ptr(),
+            libc::FUTEX_WAKE | libc::FUTEX_PRIVATE_FLAG,
+            n,
+        ) as i32
+    }
+}
+
+/// A one-word parking lot for a single KLT.
+///
+/// Protocol: the parker calls [`Futex::park`]; the releaser calls
+/// [`Futex::unpark`]. Tokens are counted, so an `unpark` that races ahead of
+/// the `park` is not lost (exactly the semantics the KLT-switching handler
+/// needs: the resume may be issued before the preempted KLT finishes
+/// publishing itself).
+#[derive(Debug, Default)]
+pub struct Futex {
+    /// Number of release tokens not yet consumed.
+    word: AtomicU32,
+}
+
+impl Futex {
+    /// New futex with no pending tokens.
+    pub const fn new() -> Self {
+        Futex {
+            word: AtomicU32::new(0),
+        }
+    }
+
+    /// Block until a token is available, then consume it.
+    /// Async-signal-safe. Spurious futex wakes are absorbed by the loop.
+    pub fn park(&self) {
+        loop {
+            let cur = self.word.load(Ordering::Acquire);
+            if cur > 0 {
+                if self
+                    .word
+                    .compare_exchange(cur, cur - 1, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    return;
+                }
+                continue;
+            }
+            futex_wait(&self.word, 0);
+        }
+    }
+
+    /// Deposit one token and wake a parked KLT if any. Async-signal-safe.
+    pub fn unpark(&self) {
+        self.word.fetch_add(1, Ordering::Release);
+        futex_wake(&self.word, 1);
+    }
+
+    /// Non-blocking attempt to consume a token.
+    pub fn try_park(&self) -> bool {
+        let cur = self.word.load(Ordering::Acquire);
+        cur > 0
+            && self
+                .word
+                .compare_exchange(cur, cur - 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+    }
+
+    /// Park via the portable-but-slow route the paper's unoptimized
+    /// KLT-switching uses (§3.3.1): spin-then-`sigsuspend`-like wait that
+    /// costs an extra signal round trip. We model it faithfully as a
+    /// `sigtimedwait`-paced poll: each poll round blocks in the kernel
+    /// waiting for (and consuming) a wake signal rather than a futex wake.
+    ///
+    /// `wake_sig` must be a signal number reserved for this purpose and the
+    /// releaser must pair it with [`Futex::unpark_with_signal`].
+    pub fn wait_sigsuspend_style(&self, wake_sig: i32) {
+        loop {
+            if self.try_park() {
+                return;
+            }
+            // Wait for the wake signal with a coarse timeout so a lost
+            // signal cannot hang the KLT forever.
+            let mut set: libc::sigset_t = unsafe { core::mem::zeroed() };
+            unsafe {
+                libc::sigemptyset(&mut set);
+                libc::sigaddset(&mut set, wake_sig);
+                let ts = libc::timespec {
+                    tv_sec: 0,
+                    tv_nsec: 1_000_000, // 1 ms poll guard
+                };
+                libc::sigtimedwait(&set, core::ptr::null_mut(), &ts);
+            }
+        }
+    }
+
+    /// Release for [`Futex::wait_sigsuspend_style`]: deposit a token and
+    /// deliver `wake_sig` to `tid` via `tgkill`.
+    pub fn unpark_with_signal(&self, tid: crate::tid::Tid, wake_sig: i32) {
+        self.word.fetch_add(1, Ordering::Release);
+        crate::signal::send_signal(tid, wake_sig);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn unpark_before_park_is_not_lost() {
+        let f = Futex::new();
+        f.unpark();
+        // Must return immediately.
+        f.park();
+    }
+
+    #[test]
+    fn try_park_consumes_exactly_one_token() {
+        let f = Futex::new();
+        assert!(!f.try_park());
+        f.unpark();
+        f.unpark();
+        assert!(f.try_park());
+        assert!(f.try_park());
+        assert!(!f.try_park());
+    }
+
+    #[test]
+    fn park_blocks_until_unpark() {
+        let f = Arc::new(Futex::new());
+        let f2 = f.clone();
+        let started = Arc::new(AtomicU32::new(0));
+        let s2 = started.clone();
+        let h = std::thread::spawn(move || {
+            s2.store(1, Ordering::SeqCst);
+            f2.park();
+            s2.store(2, Ordering::SeqCst);
+        });
+        while started.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(started.load(Ordering::SeqCst), 1, "park returned early");
+        f.unpark();
+        h.join().unwrap();
+        assert_eq!(started.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn many_park_unpark_round_trips() {
+        let f = Arc::new(Futex::new());
+        let f2 = f.clone();
+        let h = std::thread::spawn(move || {
+            for _ in 0..1000 {
+                f2.park();
+            }
+        });
+        for _ in 0..1000 {
+            f.unpark();
+        }
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn raw_wake_returns_waiter_count() {
+        let w = AtomicU32::new(1);
+        // No waiters: wake returns 0.
+        assert_eq!(futex_wake(&w, 1), 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # ult-sys
+//!
+//! Thin, safe(-ish) wrappers over the POSIX/Linux interfaces that the
+//! preemption techniques of the paper are built from:
+//!
+//! * [`signal`] — `sigaction` installation, per-thread signal masks, and
+//!   directed delivery via `tgkill` (the transport of both the per-process
+//!   one-to-all and chained timers, paper §3.2.2).
+//! * [`timer`] — POSIX interval timers (`timer_create`) with Linux's
+//!   `SIGEV_THREAD_ID` extension for per-worker timers (paper §3.2.1).
+//! * [`futex`] — 32-bit futex wait/wake, the async-signal-safe KLT
+//!   suspend/resume primitive of optimized KLT-switching (paper §3.3.1).
+//! * [`tid`] — kernel thread ids.
+//! * [`clock`] — monotonic nanosecond clock (async-signal-safe), used for
+//!   all interruption-time statistics.
+//! * [`affinity`] — CPU pinning of workers (the paper pins workers to cores).
+//!
+//! Everything here is usable from a signal handler unless documented
+//! otherwise; that constraint is what forces futex/tgkill rather than
+//! condvars/`pthread_create` in the preemption paths (paper §3.1.2).
+
+#![deny(missing_docs)]
+
+pub mod affinity;
+pub mod clock;
+pub mod futex;
+pub mod signal;
+pub mod tid;
+pub mod timer;
+
+pub use clock::now_ns;
+pub use futex::Futex;
+pub use signal::{block_signal, install_handler, preempt_signum, send_signal, unblock_signal};
+pub use tid::{gettid, Tid};
+pub use timer::IntervalTimer;

@@ -1,0 +1,67 @@
+//! The paper's headline failure and its fix, §4.1: an MKL-style busy-wait
+//! team barrier deadlocks on nonpreemptive M:N threads under
+//! oversubscription — and runs fine once threads are preemptive.
+//!
+//! Run `cargo run --release -p repro-examples --bin deadlock_demo -- preemptive`
+//! (finishes) vs `-- nonpreemptive` (prints a warning, then deadlocks; kill
+//! it with Ctrl-C or a timeout). The integration suite drives both modes in
+//! subprocesses.
+
+use mini_blas::TeamConfig;
+use std::sync::Arc;
+use tile_cholesky::{run_ult, CholConfig, TiledMatrix};
+use ult_core::{Config, Runtime, ThreadKind, TimerStrategy};
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "preemptive".into());
+    let preemptive = match mode.as_str() {
+        "preemptive" => true,
+        "nonpreemptive" => false,
+        other => {
+            eprintln!("usage: deadlock_demo [preemptive|nonpreemptive] (got {other})");
+            std::process::exit(2);
+        }
+    };
+
+    // One worker + inner teams of 2 guarantees oversubscription: a team
+    // member and its partner share the worker, and the busy-wait barrier
+    // never yields.
+    let rt = Runtime::start(Config {
+        num_workers: 1,
+        preempt_interval_ns: if preemptive { 1_000_000 } else { 0 },
+        timer_strategy: if preemptive {
+            TimerStrategy::PerWorkerAligned
+        } else {
+            TimerStrategy::None
+        },
+        ..Config::default()
+    });
+    let kind = if preemptive {
+        ThreadKind::KltSwitching
+    } else {
+        ThreadKind::Nonpreemptive
+    };
+    if !preemptive {
+        println!(
+            "nonpreemptive + busy-wait barrier on 1 worker: this WILL deadlock \
+             (the paper's MKL scenario). Kill me with a timeout."
+        );
+    }
+    let tiles = Arc::new(TiledMatrix::random_spd(3, 16, 1));
+    run_ult(
+        &rt,
+        tiles,
+        CholConfig {
+            nt: 3,
+            nb: 16,
+            team: TeamConfig::mkl_busy_wait(2, kind),
+            outer_kind: kind,
+        },
+    );
+    let stats = rt.stats();
+    println!(
+        "factorization completed; preemptions = {}, KLT switches = {}",
+        stats.preemptions, stats.klt_switches
+    );
+    rt.shutdown();
+}

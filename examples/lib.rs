@@ -1,0 +1,1 @@
+//! Example binaries live as `examples/*.rs` cargo examples of this package.

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper into results/.
+# Pass --quick for a fast smoke pass (smaller sweeps, fewer repetitions).
+set -euo pipefail
+cd "$(dirname "$0")"
+MODE="${1:-}"
+
+cargo build --workspace --release
+
+mkdir -p results
+run() {
+    local name="$1"; shift
+    echo "== $name"
+    ./target/release/"$name" $MODE | tee "results/$name.txt"
+}
+
+run fig4_interrupt      # Figure 4
+run fig6_overhead       # Figure 6
+run table1_direct       # Table 1
+run fig7_chol           # Figure 7
+run fig8_hpgmg          # Figure 8
+run fig9_md             # Figure 9
+run ablation_timer      # §3.2 ablation
+run ablation_klt        # §3.3 ablation
+
+echo "== criterion microbenches"
+cargo bench -p repro-bench | tee results/microbench.txt
+
+echo "All experiment outputs are in results/."

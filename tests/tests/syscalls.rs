@@ -1,0 +1,100 @@
+//! Paper §3.5.1 — "System Calls and Signals": with `SA_RESTART` set on the
+//! preemption signal, restartable blocking system calls complete correctly
+//! under a barrage of timer ticks; preemptive threads can do real I/O.
+
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use ult_core::{Config, Priority, Runtime, ThreadKind, TimerStrategy};
+
+fn noisy_runtime(workers: usize) -> Runtime {
+    Runtime::start(Config {
+        num_workers: workers,
+        preempt_interval_ns: 500_000, // aggressive 0.5 ms ticks
+        timer_strategy: TimerStrategy::PerWorkerAligned,
+        ..Config::default()
+    })
+}
+
+#[test]
+fn nanosleep_survives_preemption_ticks() {
+    // A sleeping thread is hit by ~40 ticks; SA_RESTART must make the
+    // sleep return only after the full duration.
+    let rt = noisy_runtime(1);
+    // Keep a preemptive spinner around so ticks keep flowing.
+    let stop = Arc::new(AtomicBool::new(false));
+    let s = stop.clone();
+    let spinner = rt.spawn_with(ThreadKind::SignalYield, Priority::High, move || {
+        while !s.load(Ordering::Acquire) {
+            core::hint::spin_loop();
+        }
+    });
+    let h = rt.spawn_with(ThreadKind::SignalYield, Priority::High, || {
+        let t0 = std::time::Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        t0.elapsed()
+    });
+    let slept = h.join();
+    stop.store(true, Ordering::Release);
+    spinner.join();
+    assert!(
+        slept >= std::time::Duration::from_millis(19),
+        "sleep cut short by signals: {slept:?}"
+    );
+    rt.shutdown();
+}
+
+#[test]
+fn pipe_io_under_preemption() {
+    // Reader and writer ULTs exchange data through a real OS pipe while
+    // ticks interrupt them; every byte must arrive exactly once.
+    let rt = noisy_runtime(2);
+    let (mut reader, mut writer) = os_pipe();
+    let n_bytes = 64 * 1024;
+
+    let w = rt.spawn_with(ThreadKind::KltSwitching, Priority::High, move || {
+        let chunk = vec![0xABu8; 4096];
+        let mut sent = 0;
+        while sent < n_bytes {
+            let k = writer.write(&chunk).expect("pipe write");
+            sent += k;
+            // Burn some CPU so preemptions land mid-stream.
+            let mut acc = 0u64;
+            for i in 0..50_000u64 {
+                acc = acc.wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+        }
+        sent
+    });
+    let r = rt.spawn_with(ThreadKind::KltSwitching, Priority::High, move || {
+        let mut buf = vec![0u8; 4096];
+        let mut got = 0usize;
+        while got < n_bytes {
+            let k = reader.read(&mut buf).expect("pipe read");
+            if k == 0 {
+                break;
+            }
+            assert!(buf[..k].iter().all(|&b| b == 0xAB));
+            got += k;
+        }
+        got
+    });
+    assert_eq!(w.join(), n_bytes);
+    assert_eq!(r.join(), n_bytes);
+    rt.shutdown();
+}
+
+/// A raw OS pipe wrapped in File halves.
+fn os_pipe() -> (std::fs::File, std::fs::File) {
+    use std::os::fd::FromRawFd;
+    let mut fds = [0i32; 2];
+    // SAFETY: plain pipe(2); fds are owned by the returned Files.
+    unsafe {
+        assert_eq!(libc::pipe(fds.as_mut_ptr()), 0);
+        (
+            std::fs::File::from_raw_fd(fds[0]),
+            std::fs::File::from_raw_fd(fds[1]),
+        )
+    }
+}
