@@ -146,6 +146,7 @@ impl Context {
     ///   structures, but the caller must provide the necessary happens-before
     ///   edges (the runtime uses its pool/futex operations for this).
     #[inline]
+    // sigsafe
     pub unsafe fn switch(save: *mut Context, restore: *const Context) {
         // SAFETY: forwarded to the caller's contract.
         unsafe { raw_switch(save, restore) }
@@ -175,6 +176,7 @@ impl Context {
 /// The raw switch: save callee-saved state of the caller on its stack, store
 /// rsp to `*save`, load rsp from `*restore`, restore and return.
 #[unsafe(naked)]
+// sigsafe
 unsafe extern "C" fn raw_switch(save: *mut Context, restore: *const Context) {
     naked_asm!(
         // save current

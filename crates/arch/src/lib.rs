@@ -18,6 +18,7 @@
 //! Only x86-64 Linux is supported, matching the paper's evaluation platforms.
 
 #![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod cache;
 pub mod context;

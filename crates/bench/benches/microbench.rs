@@ -13,9 +13,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use ult_core::{
-    Config, KltParkMode, KltPoolPolicy, Priority, Runtime, ThreadKind, TimerStrategy,
-};
+use ult_core::{Config, KltParkMode, KltPoolPolicy, Priority, Runtime, ThreadKind, TimerStrategy};
 
 fn quiet_runtime(workers: usize) -> Runtime {
     Runtime::start(Config {
@@ -96,8 +94,10 @@ fn bench_pool(c: &mut Criterion) {
     let stop = Arc::new(AtomicBool::new(true));
     let h = rt.spawn({
         let stop = stop.clone();
-        move || while stop.load(Ordering::Acquire) {
-            ult_core::yield_now();
+        move || {
+            while stop.load(Ordering::Acquire) {
+                ult_core::yield_now();
+            }
         }
     });
     let t = h.ult().clone();

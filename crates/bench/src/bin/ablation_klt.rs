@@ -8,16 +8,9 @@
 
 use repro_bench::measure::time_secs;
 use std::sync::Arc;
-use ult_core::{
-    Config, KltParkMode, KltPoolPolicy, Priority, Runtime, ThreadKind, TimerStrategy,
-};
+use ult_core::{Config, KltParkMode, KltPoolPolicy, Priority, Runtime, ThreadKind, TimerStrategy};
 
-fn run(
-    park: KltParkMode,
-    pool: KltPoolPolicy,
-    interval_us: u64,
-    units: u64,
-) -> (f64, u64, u64) {
+fn run(park: KltParkMode, pool: KltPoolPolicy, interval_us: u64, units: u64) -> (f64, u64, u64) {
     let rt = Arc::new(Runtime::start(Config {
         num_workers: 2,
         preempt_interval_ns: interval_us * 1000,

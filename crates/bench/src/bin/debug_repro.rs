@@ -7,6 +7,7 @@ use tile_cholesky::{run_ult, CholConfig, TiledMatrix};
 use ult_core::{Config, Runtime, ThreadKind, TimerStrategy};
 
 extern "C" fn segv_handler(_sig: i32, info: *mut libc::siginfo_t, ctx: *mut libc::c_void) {
+    // SAFETY: SA_SIGINFO handler — the kernel passes valid siginfo/ucontext pointers.
     unsafe {
         let addr = (*info).si_addr() as usize;
         let uc = ctx as *mut libc::ucontext_t;
@@ -126,6 +127,7 @@ extern "C" fn segv_handler(_sig: i32, info: *mut libc::siginfo_t, ctx: *mut libc
 }
 
 fn main() {
+    // SAFETY: single-threaded startup; every pointer handed to libc here is live for the call.
     unsafe {
         // Dedicated signal stack so a guard-page (stack overflow) fault can
         // still run the handler.

@@ -73,11 +73,7 @@ fn main() {
     ] {
         for &w in worker_counts {
             let (mean, sd, n) = measure(strategy, w, if quick { 150 } else { 400 });
-            println!(
-                "{name}\t{w}\t{:.3}\t{:.3}\t{n}",
-                mean / 1000.0,
-                sd / 1000.0
-            );
+            println!("{name}\t{w}\t{:.3}\t{:.3}\t{n}", mean / 1000.0, sd / 1000.0);
         }
     }
 
@@ -97,5 +93,7 @@ fn main() {
         }
     }
     println!("\n# expected shape: creation-time grows ~linearly to ~100us at 112;");
-    println!("# aligned flat ~2us; one-to-all linear but lower; chain flat, slightly above aligned.");
+    println!(
+        "# aligned flat ~2us; one-to-all linear but lower; chain flat, slightly above aligned."
+    );
 }

@@ -12,9 +12,7 @@
 
 use repro_bench::measure::time_secs;
 use std::sync::Arc;
-use ult_core::{
-    Config, KltParkMode, KltPoolPolicy, Priority, Runtime, ThreadKind, TimerStrategy,
-};
+use ult_core::{Config, KltParkMode, KltPoolPolicy, Priority, Runtime, ThreadKind, TimerStrategy};
 use ult_simcore::overhead::{figure6_sweep, OverheadParams};
 
 /// Burn a deterministic amount of CPU (~`units` × ~1 µs each).
@@ -58,9 +56,7 @@ fn run_workload(
     let rt = Arc::new(rt);
     let secs = time_secs(|| {
         let handles: Vec<_> = (0..workers * threads_per_worker)
-            .map(|i| {
-                rt.spawn_on(i % workers, kind, Priority::High, move || burn(units))
-            })
+            .map(|i| rt.spawn_on(i % workers, kind, Priority::High, move || burn(units)))
             .collect();
         for h in handles {
             h.join();

@@ -39,10 +39,7 @@ fn solve_on_runtime(rt: &Arc<Runtime>, n: usize, nthreads: usize, kind: ThreadKi
     })
 }
 
-fn packed_runtime(
-    n_total: usize,
-    interval_ns: u64,
-) -> Arc<Runtime> {
+fn packed_runtime(n_total: usize, interval_ns: u64) -> Arc<Runtime> {
     Arc::new(Runtime::start(Config {
         num_workers: n_total,
         preempt_interval_ns: interval_ns,

@@ -13,8 +13,8 @@
 //!   low-priority signal-yield ULTs in per-worker LIFO queues, per-process
 //!   chained timer at 1 ms, simulation threads nonpreemptive.
 
-use mini_md::{rdf_histogram, LjParams, SimExec, Snapshot, System};
 use mini_md::analysis::AtomicHistogram;
+use mini_md::{rdf_histogram, LjParams, SimExec, Snapshot, System};
 use repro_bench::measure::time_secs;
 use std::sync::Arc;
 use ult_core::{Config, Priority, Runtime, SchedPolicy, ThreadKind, TimerStrategy};
@@ -52,6 +52,7 @@ fn pthreads_with_analysis(lattice: usize, threads: usize, interval: usize, nice:
                     analysis_handles.push(std::thread::spawn(move || {
                         if nice {
                             // +10 niceness: allowed without privileges.
+                            // SAFETY: plain setpriority syscall on our own tid; no memory is passed.
                             unsafe {
                                 libc::setpriority(
                                     libc::PRIO_PROCESS,
@@ -139,8 +140,10 @@ fn main() {
     let lattices: &[usize] = if quick { &[3, 4] } else { &[3, 4, 5, 6] };
 
     for interval in [1usize, 2] {
-        println!("# Figure 9{}: in-situ analysis overhead, analysis interval = {interval}",
-            if interval == 1 { "a" } else { "b" });
+        println!(
+            "# Figure 9{}: in-situ analysis overhead, analysis interval = {interval}",
+            if interval == 1 { "a" } else { "b" }
+        );
         println!("series\tatoms\toverhead_pct\tsim_only_s");
         for &lat in lattices {
             let atoms = 4 * lat.pow(3);

@@ -11,7 +11,7 @@ pub fn time_secs<F: FnOnce()>(f: F) -> f64 {
 
 /// Run `f` `reps` times, returning (mean, stddev) of seconds.
 pub fn time_stats<F: FnMut()>(reps: usize, mut f: F) -> (f64, f64) {
-    let samples: Vec<f64> = (0..reps).map(|_| time_secs(|| f())).collect();
+    let samples: Vec<f64> = (0..reps).map(|_| time_secs(&mut f)).collect();
     mean_stddev(&samples)
 }
 

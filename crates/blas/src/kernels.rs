@@ -182,13 +182,7 @@ mod tests {
         // Build L lower-triangular with unit-ish diagonal, B = X · Lᵀ,
         // then trsm must recover X.
         let n = 4;
-        let mut l = Matrix::from_fn(n, n, |r, c| {
-            if r > c {
-                0.3 * (r + c) as f64
-            } else {
-                0.0
-            }
-        });
+        let mut l = Matrix::from_fn(n, n, |r, c| if r > c { 0.3 * (r + c) as f64 } else { 0.0 });
         for i in 0..n {
             l[(i, i)] = 2.0 + i as f64;
         }
@@ -236,9 +230,8 @@ mod tests {
         let nb = 8;
         let full = Matrix::random_spd(2 * nb, 11);
         // Split into tiles.
-        let tile = |r0: usize, c0: usize| {
-            Matrix::from_fn(nb, nb, |r, c| full[(r0 * nb + r, c0 * nb + c)])
-        };
+        let tile =
+            |r0: usize, c0: usize| Matrix::from_fn(nb, nb, |r, c| full[(r0 * nb + r, c0 * nb + c)]);
         let mut a00 = tile(0, 0);
         let mut a10 = tile(1, 0);
         let mut a11 = tile(1, 1);

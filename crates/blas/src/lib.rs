@@ -15,13 +15,17 @@
 //!   nonpreemptive M:N) or [`ult_sync::SpinMode::Yielding`] (the authors'
 //!   reverse-engineered patch).
 //! * [`parallel`] — team-parallel versions of the four kernels.
+//! * [`raw`] — raw shared slice views for the kernels' disjoint-write
+//!   partitioning (no aliasing `&mut`).
 
 #![deny(missing_docs)]
 
 pub mod kernels;
 pub mod matrix;
 pub mod parallel;
+pub mod raw;
 pub mod team;
 
 pub use matrix::Matrix;
+pub use raw::RawParts;
 pub use team::{Team, TeamConfig};

@@ -10,26 +10,8 @@
 
 use crate::kernels;
 use crate::matrix::Matrix;
+use crate::raw::RawParts;
 use crate::team::Team;
-use std::cell::UnsafeCell;
-
-/// Wrapper granting disjoint-range mutable access to a tile across team
-/// members. Each member writes a disjoint set of columns/rows, so the
-/// aliasing is sound by partitioning.
-struct SharedTile<'a>(UnsafeCell<&'a mut Matrix>);
-// SAFETY: members access disjoint column/row ranges (enforced by the
-// partitioning in each routine below).
-unsafe impl Sync for SharedTile<'_> {}
-
-impl SharedTile<'_> {
-    /// Raw access for a team member (method call keeps closure capture at
-    /// whole-struct granularity, so our `Sync` impl applies).
-    #[allow(clippy::mut_from_ref)]
-    unsafe fn tile(&self) -> &mut Matrix {
-        // SAFETY: caller writes a disjoint range.
-        unsafe { &mut *self.0.get() }
-    }
-}
 
 /// Team-parallel `C -= A · Bᵀ`, partitioned over columns of `C`.
 pub fn pgemm_nt(team: &Team, c: &mut Matrix, a: &Matrix, b: &Matrix) {
@@ -37,27 +19,29 @@ pub fn pgemm_nt(team: &Team, c: &mut Matrix, a: &Matrix, b: &Matrix) {
     let n = b.rows();
     assert_eq!(b.cols(), k);
     assert_eq!((c.rows(), c.cols()), (m, n));
-    let shared = SharedTile(UnsafeCell::new(c));
+    let shared = RawParts::new(c.as_mut_slice());
     team.parallel_for(n, |cols| {
-        // SAFETY: disjoint column range per member.
-        let c: &mut Matrix = unsafe { shared.tile() };
-        gemm_nt_cols(c, a, b, cols);
+        // SAFETY: C is column-major, so a member's columns `cols` are the
+        // contiguous range below, disjoint from every other member's.
+        let c_block = unsafe { shared.slice_mut(cols.start * m..cols.end * m) };
+        gemm_nt_cols(c_block, a, b, cols);
     });
 }
 
-fn gemm_nt_cols(c: &mut Matrix, a: &Matrix, b: &Matrix, cols: std::ops::Range<usize>) {
+/// `cols` of `C -= A · Bᵀ`, writing into `c_block` = those columns'
+/// contiguous storage.
+fn gemm_nt_cols(c_block: &mut [f64], a: &Matrix, b: &Matrix, cols: std::ops::Range<usize>) {
     let (m, k) = (a.rows(), a.cols());
-    for j in cols {
+    for (jl, j) in cols.enumerate() {
         for l in 0..k {
             let blj = b[(j, l)];
             if blj == 0.0 {
                 continue;
             }
-            let (a_col, c_col) = (l * m, j * m);
+            let (a_col, c_col) = (l * m, jl * m);
             let a_s = a.as_slice();
-            let c_s = c.as_mut_slice();
             for i in 0..m {
-                c_s[c_col + i] -= a_s[a_col + i] * blj;
+                c_block[c_col + i] -= a_s[a_col + i] * blj;
             }
         }
     }
@@ -67,22 +51,22 @@ fn gemm_nt_cols(c: &mut Matrix, a: &Matrix, b: &Matrix, cols: std::ops::Range<us
 pub fn psyrk_ln(team: &Team, c: &mut Matrix, a: &Matrix) {
     let (n, k) = (a.rows(), a.cols());
     assert_eq!((c.rows(), c.cols()), (n, n));
-    let shared = SharedTile(UnsafeCell::new(c));
+    let shared = RawParts::new(c.as_mut_slice());
     team.parallel_for(n, |cols| {
-        // SAFETY: disjoint column range per member.
-        let c: &mut Matrix = unsafe { shared.tile() };
+        // SAFETY: a member's columns are the contiguous block below,
+        // disjoint from every other member's.
+        let c_block = unsafe { shared.slice_mut(cols.start * n..cols.end * n) };
         let a_s = a.as_slice();
-        for j in cols.clone() {
+        for (jl, j) in cols.enumerate() {
             for l in 0..k {
                 let ajl = a[(j, l)];
                 if ajl == 0.0 {
                     continue;
                 }
                 let a_col = l * n;
-                let c_col = j * n;
-                let c_sl = c.as_mut_slice();
+                let c_col = jl * n;
                 for i in j..n {
-                    c_sl[c_col + i] -= a_s[a_col + i] * ajl;
+                    c_block[c_col + i] -= a_s[a_col + i] * ajl;
                 }
             }
         }
@@ -96,27 +80,31 @@ pub fn ptrsm_rlt(team: &Team, b: &mut Matrix, l: &Matrix) {
     assert_eq!(l.cols(), n);
     assert_eq!(b.cols(), n);
     let m = b.rows();
-    let shared = SharedTile(UnsafeCell::new(b));
+    let shared = RawParts::new(b.as_mut_slice());
     team.parallel_for(m, |rows| {
-        // SAFETY: disjoint row range per member.
-        let b: &mut Matrix = unsafe { shared.tile() };
+        // A member only ever touches its own rows, in every column: the
+        // per-column segments below. Columns are processed left to right
+        // and column p < j is finished (and only read) when column j is
+        // written, so the member's read and write segments never overlap.
         for j in 0..n {
             for p in 0..j {
                 let ljp = l[(j, p)];
                 if ljp == 0.0 {
                     continue;
                 }
-                let (src, dst) = (p * m, j * m);
-                let b_s = b.as_mut_slice();
-                for i in rows.clone() {
-                    b_s[dst + i] -= b_s[src + i] * ljp;
+                // SAFETY: both segments cover only this member's rows;
+                // src (column p) and dst (column j) are disjoint (p < j).
+                let src = unsafe { shared.slice(p * m + rows.start..p * m + rows.end) };
+                let dst = unsafe { shared.slice_mut(j * m + rows.start..j * m + rows.end) };
+                for i in 0..dst.len() {
+                    dst[i] -= src[i] * ljp;
                 }
             }
             let inv = 1.0 / l[(j, j)];
-            let dst = j * m;
-            let b_s = b.as_mut_slice();
-            for i in rows.clone() {
-                b_s[dst + i] *= inv;
+            // SAFETY: this member's rows of column j; no other reference.
+            let dst = unsafe { shared.slice_mut(j * m + rows.start..j * m + rows.end) };
+            for v in dst {
+                *v *= inv;
             }
         }
     });
@@ -167,7 +155,11 @@ mod tests {
         let mut l = Matrix::zeros(n, n);
         for j in 0..n {
             for i in j..n {
-                l[(i, j)] = if i == j { 3.0 + j as f64 } else { 0.2 * (i + j) as f64 };
+                l[(i, j)] = if i == j {
+                    3.0 + j as f64
+                } else {
+                    0.2 * (i + j) as f64
+                };
             }
         }
         let mut b1 = Matrix::from_fn(8, n, |r, c| (r * n + c) as f64 * 0.1);

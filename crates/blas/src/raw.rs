@@ -1,0 +1,120 @@
+//! Raw shared views for fork-join phase bodies with disjoint writes.
+//!
+//! The team kernels partition an output tile across members (columns for
+//! GEMM/SYRK, rows for TRSM). The obvious implementation hands every
+//! member a `&mut` to the whole tile and relies on the writes being
+//! disjoint — but two live `&mut` references to the same object are
+//! undefined behaviour *regardless* of which elements each one touches.
+//!
+//! [`RawParts`] fixes that shape: it captures only a raw pointer, and
+//! each member derives references strictly to the sub-ranges it owns.
+//! Overlapping `&mut` references are never materialized, so the
+//! disjointness argument each call site must make is exactly the
+//! soundness condition, not an approximation of it.
+
+use std::ops::Range;
+
+/// Shared raw view of a mutable `f64` slice, partitioned by the caller.
+///
+/// Constructed from an exclusive borrow; while the view is in use, all
+/// access to the underlying storage must go through it (the constructor's
+/// borrow is released immediately, so this is a discipline the phase body
+/// must uphold, stated at each unsafe accessor).
+pub struct RawParts {
+    ptr: *mut f64,
+    len: usize,
+}
+
+// SAFETY: the accessors require callers to access disjoint ranges, so
+// cross-thread sharing of the view itself is sound.
+unsafe impl Sync for RawParts {}
+
+impl RawParts {
+    /// Capture a raw view of `s`. The borrow ends when this returns; the
+    /// caller promises all access until the view is dropped goes through
+    /// the view's accessors.
+    pub fn new(s: &mut [f64]) -> RawParts {
+        RawParts {
+            ptr: s.as_mut_ptr(),
+            len: s.len(),
+        }
+    }
+
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Exclusive access to `range`.
+    ///
+    /// # Safety
+    ///
+    /// `range` must be in bounds, and for the lifetime of the returned
+    /// slice no other reference (from this or any other thread) may
+    /// overlap it.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    pub unsafe fn slice_mut(&self, range: Range<usize>) -> &mut [f64] {
+        debug_assert!(range.start <= range.end && range.end <= self.len);
+        // SAFETY: in-bounds per the caller; exclusivity is the caller's
+        // stated obligation.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.len()) }
+    }
+
+    /// Shared access to `range`.
+    ///
+    /// # Safety
+    ///
+    /// `range` must be in bounds, and for the lifetime of the returned
+    /// slice no exclusive reference may overlap it.
+    #[inline]
+    pub unsafe fn slice(&self, range: Range<usize>) -> &[f64] {
+        debug_assert!(range.start <= range.end && range.end <= self.len);
+        // SAFETY: as above, with the weaker no-overlapping-writer rule.
+        unsafe { std::slice::from_raw_parts(self.ptr.add(range.start), range.len()) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_parallel_writes_land() {
+        let mut v = vec![0.0f64; 64];
+        let parts = RawParts::new(&mut v);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let parts = &parts;
+                s.spawn(move || {
+                    // SAFETY: each thread owns the disjoint range
+                    // [16t, 16(t+1)).
+                    let chunk = unsafe { parts.slice_mut(16 * t..16 * (t + 1)) };
+                    for (i, x) in chunk.iter_mut().enumerate() {
+                        *x = (16 * t + i) as f64;
+                    }
+                });
+            }
+        });
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i as f64);
+        }
+    }
+
+    #[test]
+    fn shared_and_exclusive_ranges_coexist() {
+        let mut v: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let parts = RawParts::new(&mut v);
+        // SAFETY: [0,4) is only read, [4,8) only written; disjoint.
+        let (src, dst) = unsafe { (parts.slice(0..4), parts.slice_mut(4..8)) };
+        for i in 0..4 {
+            dst[i] = src[i] * 2.0;
+        }
+        assert_eq!(v[4..], [0.0, 2.0, 4.0, 6.0]);
+    }
+}

@@ -97,6 +97,7 @@ impl Team {
         // closure reference to 'static never lets it dangle.
         let body_ref: &(dyn Fn(Range<usize>) + Sync) = &body;
         let body_static: &'static (dyn Fn(Range<usize>) + Sync) =
+            // SAFETY: lifetime extension only — the join loop below ends every borrow before return.
             unsafe { std::mem::transmute(body_ref) };
 
         let chunk = n.div_ceil(size);

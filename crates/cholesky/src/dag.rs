@@ -176,7 +176,12 @@ mod tests {
             assert!(executed.insert(t), "task {t:?} executed twice");
             ready.extend(dag.complete(t));
         }
-        assert!(dag.is_done(), "{}/{}", dag.completed_tasks(), dag.total_tasks());
+        assert!(
+            dag.is_done(),
+            "{}/{}",
+            dag.completed_tasks(),
+            dag.total_tasks()
+        );
         assert_eq!(executed.len(), dag.total_tasks());
     }
 

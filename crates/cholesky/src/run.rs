@@ -88,7 +88,15 @@ pub fn run_ult(rt: &Runtime, tiles: Arc<TiledMatrix>, cfg: CholConfig) {
     }
 
     for root in dag.roots() {
-        submit(cfg.outer_kind, &dag, &tiles, cfg.team, root, false, Some(rt));
+        submit(
+            cfg.outer_kind,
+            &dag,
+            &tiles,
+            cfg.team,
+            root,
+            false,
+            Some(rt),
+        );
     }
     // Wait for the DAG to drain (external thread: OS-level wait).
     while !dag.is_done() {
@@ -194,11 +202,9 @@ fn run_task_oneone(tiles: &TiledMatrix, team: &OneOneTeam, t: Task) {
             let mut aik = aik.lock();
             let l_ref: &mini_blas::Matrix = &lkk;
             let m = aik.rows();
-            let shared = ShareMut(std::cell::UnsafeCell::new(&mut *aik));
+            let shared = mini_blas::RawParts::new(aik.as_mut_slice());
             team.parallel_for(m, &|rows| {
-                // SAFETY: disjoint row ranges.
-                let b = unsafe { shared.get() };
-                trsm_rows(b, l_ref, rows);
+                trsm_rows(&shared, m, l_ref, rows);
             });
         }
         Task::Syrk(i, k) => {
@@ -208,11 +214,12 @@ fn run_task_oneone(tiles: &TiledMatrix, team: &OneOneTeam, t: Task) {
             let mut aii = aii.lock();
             let n = aii.rows();
             let a_ref: &mini_blas::Matrix = &aik;
-            let shared = ShareMut(std::cell::UnsafeCell::new(&mut *aii));
+            let shared = mini_blas::RawParts::new(aii.as_mut_slice());
             team.parallel_for(n, &|cols| {
-                // SAFETY: disjoint column ranges.
-                let c = unsafe { shared.get() };
-                syrk_cols(c, a_ref, cols);
+                // SAFETY: the tile is column-major; a member's columns are
+                // the contiguous block below, disjoint across members.
+                let c_block = unsafe { shared.slice_mut(cols.start * n..cols.end * n) };
+                syrk_cols(c_block, a_ref, cols);
             });
         }
         Task::Gemm(i, j, k) => {
@@ -225,89 +232,88 @@ fn run_task_oneone(tiles: &TiledMatrix, team: &OneOneTeam, t: Task) {
             let n = ajk.rows();
             let a_ref: &mini_blas::Matrix = &aik;
             let b_ref: &mini_blas::Matrix = &ajk;
-            let shared = ShareMut(std::cell::UnsafeCell::new(&mut *aij));
+            let m = aij.rows();
+            let shared = mini_blas::RawParts::new(aij.as_mut_slice());
             team.parallel_for(n, &|cols| {
-                // SAFETY: disjoint column ranges.
-                let c = unsafe { shared.get() };
-                gemm_cols(c, a_ref, b_ref, cols);
+                // SAFETY: contiguous per-member column block (column-major).
+                let c_block = unsafe { shared.slice_mut(cols.start * m..cols.end * m) };
+                gemm_cols(c_block, a_ref, b_ref, cols);
             });
         }
     }
 }
 
-struct ShareMut<'a>(std::cell::UnsafeCell<&'a mut mini_blas::Matrix>);
-// SAFETY: accessors touch disjoint ranges (see call sites).
-unsafe impl Sync for ShareMut<'_> {}
-impl ShareMut<'_> {
-    #[allow(clippy::mut_from_ref)]
-    unsafe fn get(&self) -> &mut mini_blas::Matrix {
-        // SAFETY: forwarded to call sites' disjointness argument.
-        unsafe { &mut *self.0.get() }
-    }
-}
-
+/// Columns `cols` of `C -= A · Bᵀ`; `c_block` is those columns' storage.
 fn gemm_cols(
-    c: &mut mini_blas::Matrix,
+    c_block: &mut [f64],
     a: &mini_blas::Matrix,
     b: &mini_blas::Matrix,
     cols: std::ops::Range<usize>,
 ) {
     let (m, k) = (a.rows(), a.cols());
-    for j in cols {
+    for (jl, j) in cols.enumerate() {
         for l in 0..k {
             let blj = b[(j, l)];
             if blj == 0.0 {
                 continue;
             }
-            let (a_col, c_col) = (l * m, j * m);
+            let (a_col, c_col) = (l * m, jl * m);
             let a_s = a.as_slice();
-            let c_s = c.as_mut_slice();
             for i in 0..m {
-                c_s[c_col + i] -= a_s[a_col + i] * blj;
+                c_block[c_col + i] -= a_s[a_col + i] * blj;
             }
         }
     }
 }
 
-fn syrk_cols(c: &mut mini_blas::Matrix, a: &mini_blas::Matrix, cols: std::ops::Range<usize>) {
+/// Columns `cols` of `C -= A · Aᵀ` (lower); `c_block` is their storage.
+fn syrk_cols(c_block: &mut [f64], a: &mini_blas::Matrix, cols: std::ops::Range<usize>) {
     let (n, k) = (a.rows(), a.cols());
-    for j in cols {
+    for (jl, j) in cols.enumerate() {
         for l in 0..k {
             let ajl = a[(j, l)];
             if ajl == 0.0 {
                 continue;
             }
             let a_col = l * n;
-            let c_col = j * n;
+            let c_col = jl * n;
             let a_s = a.as_slice();
-            let c_s = c.as_mut_slice();
             for i in j..n {
-                c_s[c_col + i] -= a_s[a_col + i] * ajl;
+                c_block[c_col + i] -= a_s[a_col + i] * ajl;
             }
         }
     }
 }
 
-fn trsm_rows(b: &mut mini_blas::Matrix, l: &mini_blas::Matrix, rows: std::ops::Range<usize>) {
+/// Rows `rows` of `B ← B · L⁻ᵀ`. A member touches only its own rows in
+/// every column; column p < j is complete (and only read) by the time
+/// column j is written, so read and write segments never overlap.
+fn trsm_rows(
+    shared: &mini_blas::RawParts,
+    m: usize,
+    l: &mini_blas::Matrix,
+    rows: std::ops::Range<usize>,
+) {
     let n = l.rows();
-    let m = b.rows();
     for j in 0..n {
         for p in 0..j {
             let ljp = l[(j, p)];
             if ljp == 0.0 {
                 continue;
             }
-            let (src, dst) = (p * m, j * m);
-            let b_s = b.as_mut_slice();
-            for i in rows.clone() {
-                b_s[dst + i] -= b_s[src + i] * ljp;
+            // SAFETY: both segments cover only this member's rows; src
+            // (column p) and dst (column j) are disjoint since p < j.
+            let src = unsafe { shared.slice(p * m + rows.start..p * m + rows.end) };
+            let dst = unsafe { shared.slice_mut(j * m + rows.start..j * m + rows.end) };
+            for i in 0..dst.len() {
+                dst[i] -= src[i] * ljp;
             }
         }
         let inv = 1.0 / l[(j, j)];
-        let dst = j * m;
-        let b_s = b.as_mut_slice();
-        for i in rows.clone() {
-            b_s[dst + i] *= inv;
+        // SAFETY: this member's rows of column j; no other reference.
+        let dst = unsafe { shared.slice_mut(j * m + rows.start..j * m + rows.end) };
+        for v in dst {
+            *v *= inv;
         }
     }
 }
@@ -318,7 +324,6 @@ mod tests {
     use mini_blas::kernels::potrf_lower;
     use mini_blas::Matrix;
     use ult_core::{Config, TimerStrategy};
-    use ult_sync::SpinMode;
 
     fn oracle(n: usize, seed: u64) -> Matrix {
         let mut a = Matrix::random_spd(n, seed);

@@ -58,7 +58,10 @@ impl TiledMatrix {
     }
 
     fn idx(&self, i: usize, j: usize) -> usize {
-        assert!(j <= i && i < self.nt, "tile ({i},{j}) out of lower triangle");
+        assert!(
+            j <= i && i < self.nt,
+            "tile ({i},{j}) out of lower triangle"
+        );
         i * (i + 1) / 2 + j
     }
 

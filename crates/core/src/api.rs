@@ -17,6 +17,7 @@ use ult_arch::Context;
 /// migrate the calling ULT to a different worker at any instruction, so
 /// code that mutates worker state must use [`pin_current_worker`] instead.
 #[inline]
+// sigsafe
 pub(crate) fn current_worker() -> Option<&'static Worker> {
     let klt = crate::klt::current_klt()?;
     let wp = klt.worker.load(Ordering::Acquire);
@@ -40,6 +41,7 @@ pub(crate) fn current_worker() -> Option<&'static Worker> {
 /// On success, preemption is left DISABLED; the caller must re-enable
 /// (directly or via the ULT prologue on its resume path).
 #[inline]
+// sigsafe
 pub(crate) fn pin_current_worker() -> Option<&'static Worker> {
     loop {
         let klt = crate::klt::current_klt()?;
@@ -48,8 +50,7 @@ pub(crate) fn pin_current_worker() -> Option<&'static Worker> {
         let w = unsafe { wp.as_ref() }?;
         w.preempt_disable();
         if klt.worker.load(Ordering::Acquire) == wp
-            && w.current_klt.load(Ordering::Acquire)
-                == klt as *const crate::klt::Klt as *mut crate::klt::Klt
+            && std::ptr::eq(w.current_klt.load(Ordering::Acquire), klt)
         {
             return Some(w);
         }
@@ -82,6 +83,7 @@ pub fn current_worker_rank() -> Option<usize> {
 
 /// One raw cooperative yield: suspend the current ULT, re-enqueue it, run
 /// the scheduler. No pending-tick recheck (callers use [`yield_now`]).
+// sigsafe
 pub(crate) fn yield_core() {
     let Some(w) = pin_current_worker() else {
         std::thread::yield_now();
@@ -100,12 +102,14 @@ pub(crate) fn yield_core() {
         Context::switch(t.ctx.get(), w.sched_ctx.get());
     }
     // Resumed — possibly on a different worker.
+    // sigsafe-allow: resuming outside a worker is a protocol violation; failing loud beats silent corruption
     let w2 = current_worker().expect("resumed outside a worker");
     w2.preempt_enable();
 }
 
 /// Drain deferred preemption ticks by yielding until none are pending.
 /// Called on every ULT-side resume path.
+// sigsafe
 pub(crate) fn ult_prologue_finish() {
     loop {
         let Some(w) = current_worker() else { return };

@@ -99,6 +99,7 @@ static ENEXT: AtomicUsize = AtomicUsize::new(0);
 /// Record a diagnostic event (code, ult id, auxiliary value). Async-signal-
 /// safe; lossy ring.
 #[inline]
+// sigsafe
 pub fn event(code: u64, ult: u64, aux: u64) {
     let i = ENEXT.fetch_add(1, Ordering::Relaxed) % EN;
     EVENTS[i].store(

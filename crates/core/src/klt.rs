@@ -50,6 +50,7 @@ thread_local! {
 /// standard stackful-coroutine/TLS hazard; the paper's §3.5.2 discussion of
 /// `fs`-register maintenance is the same issue seen from the C side.
 #[inline(never)]
+// sigsafe
 pub(crate) fn current_klt() -> Option<&'static Klt> {
     let p = CURRENT_KLT.with(|c| c.get());
     // SAFETY: Klt objects are kept alive by the runtime registry until
@@ -137,6 +138,7 @@ impl Klt {
 
     /// The kernel tid (0 until the thread has started).
     #[inline]
+    // sigsafe
     pub fn tid(&self) -> Tid {
         self.tid.load(Ordering::Acquire)
     }
@@ -151,7 +153,9 @@ impl Klt {
     /// Take the directive (home loop side).
     pub(crate) fn take_directive(&self) -> (Directive, *const Klt) {
         let d = Directive::from_u8(self.directive.swap(Directive::None as u8, Ordering::AcqRel));
-        let k = self.directive_klt.swap(std::ptr::null_mut(), Ordering::Relaxed);
+        let k = self
+            .directive_klt
+            .swap(std::ptr::null_mut(), Ordering::Relaxed);
         (d, k as *const Klt)
     }
 
@@ -164,6 +168,7 @@ impl Klt {
     }
 
     /// Unpark the home loop.
+    // sigsafe
     pub(crate) fn unpark_home(&self) {
         match self.park_mode {
             KltParkMode::Futex => self.home_park.unpark(),
@@ -174,22 +179,22 @@ impl Klt {
     }
 
     /// Park captive (inside the preemption signal handler). Async-signal-safe.
+    // sigsafe
     pub(crate) fn park_captive(&self) {
         match self.park_mode {
             KltParkMode::Futex => self.captive_park.park(),
-            KltParkMode::SigsuspendStyle => {
-                self.captive_park.wait_sigsuspend_style(wake_signum())
-            }
+            KltParkMode::SigsuspendStyle => self.captive_park.wait_sigsuspend_style(wake_signum()),
         }
     }
 
     /// Wake a captive KLT so its preempted ULT resumes (paper Fig. 3b).
+    // sigsafe
     pub(crate) fn unpark_captive(&self) {
         match self.park_mode {
             KltParkMode::Futex => self.captive_park.unpark(),
-            KltParkMode::SigsuspendStyle => {
-                self.captive_park.unpark_with_signal(self.tid(), wake_signum())
-            }
+            KltParkMode::SigsuspendStyle => self
+                .captive_park
+                .unpark_with_signal(self.tid(), wake_signum()),
         }
     }
 }
@@ -216,13 +221,14 @@ impl KltPool {
     pub(crate) fn new(max: usize) -> KltPool {
         KltPool {
             lock: SpinLock::new(),
-            stack: UnsafeCell::new(Vec::with_capacity(max.min(1024).max(8))),
+            stack: UnsafeCell::new(Vec::with_capacity(max.clamp(8, 1024))),
             len_hint: AtomicUsize::new(0),
             max,
         }
     }
 
     /// Pop an idle KLT. Async-signal-safe.
+    // sigsafe
     pub(crate) fn pop(&self) -> Option<Arc<Klt>> {
         if self.len_hint.load(Ordering::Acquire) == 0 {
             return None;
@@ -298,6 +304,7 @@ impl KltCreator {
     }
 
     /// Request one new KLT. Async-signal-safe (atomic + futex wake).
+    // sigsafe
     pub(crate) fn request(&self) {
         self.pending.fetch_add(1, Ordering::Release);
         self.wake.unpark();

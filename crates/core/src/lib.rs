@@ -45,6 +45,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod api;
 pub mod config;
@@ -54,14 +55,15 @@ pub mod pool;
 pub mod preempt;
 pub(crate) mod runtime;
 pub(crate) mod sched;
+pub mod sigsafe;
 pub mod stats;
 pub mod thread;
 pub mod tls;
 pub(crate) mod worker;
 
 pub use api::{
-    block_current, current_thread_id, current_thread_kind, current_worker_rank, in_ult,
-    make_ready, yield_now,
+    block_current, current_thread_id, current_thread_kind, current_worker_rank, in_ult, make_ready,
+    yield_now,
 };
 pub use config::{Config, KltParkMode, KltPoolPolicy, SchedPolicy};
 pub use preempt::timer::TimerStrategy;

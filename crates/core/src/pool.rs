@@ -49,6 +49,7 @@ impl SpinLock {
     /// across a point where the *same KLT* can re-enter (the runtime's
     /// preempt-disable discipline guarantees this).
     #[inline]
+    // sigsafe
     pub fn lock(&self) {
         loop {
             if !self.locked.swap(true, Ordering::Acquire) {
@@ -62,18 +63,21 @@ impl SpinLock {
 
     /// Try to acquire without spinning.
     #[inline]
+    // sigsafe
     pub fn try_lock(&self) -> bool {
         !self.locked.swap(true, Ordering::Acquire)
     }
 
     /// Release.
     #[inline]
+    // sigsafe
     pub fn unlock(&self) {
         self.locked.store(false, Ordering::Release);
     }
 
     /// Run `f` under the lock.
     #[inline]
+    // sigsafe
     pub fn with<R>(&self, f: impl FnOnce() -> R) -> R {
         self.lock();
         let r = f();
@@ -120,8 +124,7 @@ impl ThreadPool {
         if dq.capacity() < capacity {
             dq.reserve(capacity - dq.len());
         }
-        self.reserved
-            .fetch_max(dq.capacity(), Ordering::AcqRel);
+        self.reserved.fetch_max(dq.capacity(), Ordering::AcqRel);
         self.lock.unlock();
     }
 
@@ -129,6 +132,7 @@ impl ThreadPool {
     /// panics (rather than allocating) if the reservation was insufficient.
     ///
     /// [`reserve`]: ThreadPool::reserve
+    // sigsafe
     pub fn push(&self, t: Arc<Ult>) {
         debug_assert!(
             !t.in_pool.swap(true, std::sync::atomic::Ordering::AcqRel),
@@ -138,11 +142,13 @@ impl ThreadPool {
         self.lock.lock();
         // SAFETY: under lock.
         let dq = unsafe { &mut *self.deque.get() };
+        // sigsafe-allow: capacity invariant; violation means reserve() was bypassed and we must abort
         assert!(
             dq.len() < dq.capacity(),
             "ThreadPool capacity exhausted ({}) — reserve() invariant violated",
             dq.capacity()
         );
+        // sigsafe-allow: capacity reserved up front (asserted above), push_back cannot reallocate
         dq.push_back(t);
         self.len_hint.store(dq.len(), Ordering::Release);
         self.lock.unlock();
@@ -150,6 +156,7 @@ impl ThreadPool {
 
     /// Push to the LIFO head (newest-first pop order for locality-sensitive
     /// queues, paper §4.3).
+    // sigsafe
     pub fn push_front(&self, t: Arc<Ult>) {
         debug_assert!(
             !t.in_pool.swap(true, std::sync::atomic::Ordering::AcqRel),
@@ -159,6 +166,7 @@ impl ThreadPool {
         self.lock.lock();
         // SAFETY: under lock.
         let dq = unsafe { &mut *self.deque.get() };
+        // sigsafe-allow: capacity invariant; violation means reserve() was bypassed and we must abort
         assert!(
             dq.len() < dq.capacity(),
             "ThreadPool capacity exhausted ({})",
@@ -170,6 +178,7 @@ impl ThreadPool {
     }
 
     /// Pop from the head (FIFO order wrt [`ThreadPool::push`]).
+    // sigsafe
     pub fn pop(&self) -> Option<Arc<Ult>> {
         if self.len_hint.load(Ordering::Acquire) == 0 {
             return None;

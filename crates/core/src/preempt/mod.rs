@@ -23,18 +23,21 @@ use ult_sys::clock::now_ns;
 use ult_sys::signal::{send_signal, unblock_signal};
 
 /// Preemption tick: plain (no forwarding).
+// sigsafe
 pub(crate) fn preempt_signum() -> i32 {
     libc::SIGRTMIN()
 }
 
 /// Chained tick: preempt, then forward to at most one next eligible worker
 /// (paper §3.2.2, "chained signals").
+// sigsafe
 pub(crate) fn chain_signum() -> i32 {
     libc::SIGRTMIN() + 2
 }
 
 /// One-to-all leader tick: forward to every eligible worker, then preempt
 /// self (paper §3.2.2, "one-to-all").
+// sigsafe
 pub(crate) fn one_to_all_signum() -> i32 {
     libc::SIGRTMIN() + 3
 }
@@ -52,13 +55,20 @@ pub(crate) fn install_handlers() {
             .expect("install one-to-all handler");
         // The wake signal only needs to interrupt sigtimedwait; ignore it so
         // stray deliveries are harmless.
-        ult_sys::signal::ignore_signal(ult_sys::signal::wake_signum())
-            .expect("ignore wake signal");
+        ult_sys::signal::ignore_signal(ult_sys::signal::wake_signum()).expect("ignore wake signal");
     });
 }
 
 /// The preemption signal handler (all three tick signals).
+// sigsafe
 pub(crate) extern "C" fn preempt_handler(sig: i32) {
+    // Dynamic safety net: mark this KLT in-handler so the debug-build
+    // allocator guard can catch any allocation the static analysis missed.
+    // The scope drop covers every early return; the two non-returning
+    // paths (signal-yield switch, captive park) clear it explicitly.
+    let _in_handler = crate::sigsafe::HandlerScope::enter();
+    #[cfg(debug_assertions)]
+    crate::sigsafe::maybe_inject_alloc();
     let t_enter = now_ns();
     let Some(klt) = current_klt() else {
         // Signal landed on a non-runtime thread (possible for per-process
@@ -74,7 +84,7 @@ pub(crate) extern "C" fn preempt_handler(sig: i32) {
     // Stale-tick guard: only the KLT currently embodying the worker may
     // preempt it (a captive KLT keeps receiving old per-worker timer ticks
     // until the scheduler rebinds the timer).
-    if w.current_klt.load(Ordering::Acquire) != klt as *const Klt as *mut Klt {
+    if !std::ptr::eq(w.current_klt.load(Ordering::Acquire), klt) {
         w.stats.stale_ticks.fetch_add(1, Ordering::Relaxed);
         return;
     }
@@ -93,6 +103,7 @@ pub(crate) extern "C" fn preempt_handler(sig: i32) {
 
 /// Leader of the one-to-all per-process timer: signal every worker whose
 /// running thread is preemptive (paper §3.2.2).
+// sigsafe
 fn forward_one_to_all(rt: &crate::runtime::RuntimeInner, me: &Worker) {
     for other in rt.workers.iter() {
         if other.rank == me.rank {
@@ -104,6 +115,7 @@ fn forward_one_to_all(rt: &crate::runtime::RuntimeInner, me: &Worker) {
 
 /// Chained signals: forward to at most one next worker (strictly increasing
 /// rank, so one lap terminates; paper Figure 5b).
+// sigsafe
 fn forward_chain(rt: &crate::runtime::RuntimeInner, me: &Worker) {
     for other in rt.workers.iter().skip(me.rank + 1) {
         if send_tick_if_eligible(other, chain_signum()) {
@@ -116,6 +128,7 @@ fn forward_chain(rt: &crate::runtime::RuntimeInner, me: &Worker) {
 /// Reads only the `current_kind` mirror — never dereferences the remote
 /// `current` pointer (the remote thread may finish and be freed
 /// concurrently).
+// sigsafe
 fn send_tick_if_eligible(other: &Worker, sig: i32) -> bool {
     if !other.stats.current_kind_preemptive() {
         return false;
@@ -131,13 +144,8 @@ fn send_tick_if_eligible(other: &Worker, sig: i32) -> bool {
 }
 
 /// Decide and perform the preemption of the current ULT, if any.
-fn maybe_preempt(
-    rt: &crate::runtime::RuntimeInner,
-    w: &Worker,
-    klt: &Klt,
-    sig: i32,
-    t_enter: u64,
-) {
+// sigsafe
+fn maybe_preempt(rt: &crate::runtime::RuntimeInner, w: &Worker, klt: &Klt, sig: i32, t_enter: u64) {
     if w.preempt_disabled.0.load(Ordering::Acquire) != 0 {
         // Critical section: defer. The ULT prologue converts the pending
         // flag into a voluntary yield.
@@ -177,6 +185,7 @@ fn maybe_preempt(
 
 /// Signal-yield (paper §3.1.1): context switch to the scheduler from inside
 /// the handler; the handler frame is captured as part of the ULT's stack.
+// sigsafe
 fn signal_yield_preempt(w: &Worker, t: &Ult, sig: i32, t_enter: u64, now: u64) {
     crate::debug_registry::event(crate::debug_registry::ev::PREEMPT_SY, t.id, w.rank as u64);
     w.preempt_disable(); // scheduler baseline
@@ -187,12 +196,17 @@ fn signal_yield_preempt(w: &Worker, t: &Ult, sig: i32, t_enter: u64, now: u64) {
     unblock_signal(sig);
     w.set_reason(SwitchReason::PreemptedSaved);
     w.stats.record_interrupt(now_ns() - t_enter);
+    // Leaving the handler frame: the scheduler we switch into runs on this
+    // same KLT and is free to allocate. The suspended frame's eventual
+    // `HandlerScope` drop (after resume, possibly on another KLT) saturates.
+    crate::sigsafe::exit_handler();
     // SAFETY: scheduler ctx is suspended at its switch into us; our save
     // slot is the ULT's context, published to the scheduler via the switch.
     unsafe {
         Context::switch(t.ctx.get(), w.sched_ctx.get());
     }
     // ---- resumed, possibly on a different worker ----
+    // sigsafe-allow: resuming outside a worker is a protocol violation; failing loud beats silent corruption
     let w2 = crate::api::current_worker().expect("resumed outside a worker");
     w2.ult_prologue();
     // returning from the handler resumes the interrupted user code
@@ -201,6 +215,7 @@ fn signal_yield_preempt(w: &Worker, t: &Ult, sig: i32, t_enter: u64, now: u64) {
 /// KLT-switching (paper §3.1.2, Figures 2–3): park this KLT captive and
 /// remap the worker to a pooled (or newly requested) KLT.
 #[allow(clippy::too_many_arguments)]
+// sigsafe
 fn klt_switch_preempt(
     rt: &crate::runtime::RuntimeInner,
     w: &Worker,
@@ -276,6 +291,10 @@ fn klt_switch_preempt(
     w.stats.record_interrupt(now_ns() - t_enter);
 
     crate::debug_registry::event(crate::debug_registry::ev::PREEMPT_KS, t.id, klt.id as u64);
+    // The captive park below is this KLT's last handler-critical act; once
+    // woken it only runs the resumed ULT's epilogue. Clear the in-handler
+    // flag now — the `HandlerScope` drop at handler return saturates.
+    crate::sigsafe::exit_handler();
     // Park captive, holding the ULT's registers and KLT-local state
     // (paper Fig. 2b). Woken by a scheduler's resume (Fig. 3b).
     klt.park_captive();
@@ -283,7 +302,11 @@ fn klt_switch_preempt(
 
     // ---- resumed: we are now the KLT of whichever worker resumed t ----
     let w3p = klt.worker.load(Ordering::Acquire);
-    assert!(!w3p.is_null(), "captive resumed without a worker (stale token?)");
+    // sigsafe-allow: a stale resume token is unrecoverable state corruption; abort immediately
+    assert!(
+        !w3p.is_null(),
+        "captive resumed without a worker (stale token?)"
+    );
     // SAFETY: workers live as long as the runtime.
     let w3: &Worker = unsafe { &*w3p };
     w3.stats

@@ -111,9 +111,7 @@ impl TimerSet {
 
     /// Re-target worker `w`'s timer to its *current* KLT.
     pub(crate) fn rebind_worker(&self, rt: &RuntimeInner, w: &Worker) {
-        let kp = w
-            .current_klt
-            .load(std::sync::atomic::Ordering::Acquire);
+        let kp = w.current_klt.load(std::sync::atomic::Ordering::Acquire);
         if kp.is_null() {
             return;
         }

@@ -89,10 +89,7 @@ impl RuntimeInner {
     }
 
     /// Register a brand-new KLT and start its home-loop thread.
-    pub(crate) fn start_klt(
-        self: &Arc<Self>,
-        first_worker: Option<usize>,
-    ) -> Arc<Klt> {
+    pub(crate) fn start_klt(self: &Arc<Self>, first_worker: Option<usize>) -> Arc<Klt> {
         let mut reg = self.klt_registry.lock();
         let id = reg.len();
         let klt = Klt::new(id, self.config.klt_park_mode);
@@ -114,9 +111,13 @@ impl RuntimeInner {
         if self.config.klt_pool_policy == KltPoolPolicy::WorkerLocal
             && prefer_rank < self.workers.len()
         {
-            match self.workers[prefer_rank].local_klts.push(klt.clone()) {
-                Ok(()) => return,
-                Err(_) => {} // local pool full; overflow
+            // Err means the local pool is full; overflow to the global pool.
+            if self.workers[prefer_rank]
+                .local_klts
+                .push(klt.clone())
+                .is_ok()
+            {
+                return;
             }
         }
         let _ = self.global_klts.push(klt.clone());
@@ -397,10 +398,7 @@ impl Runtime {
             config,
         });
         for w in inner.workers.iter() {
-            w.rt.store(
-                Arc::as_ptr(&inner) as *mut RuntimeInner,
-                Ordering::Release,
-            );
+            w.rt.store(Arc::as_ptr(&inner) as *mut RuntimeInner, Ordering::Release);
         }
 
         // The creator thread.
@@ -570,8 +568,7 @@ impl Runtime {
         }
         let rt = &self.inner;
         // Reactivate everything so queued work can drain.
-        rt.active_workers
-            .store(rt.workers.len(), Ordering::Release);
+        rt.active_workers.store(rt.workers.len(), Ordering::Release);
         for w in rt.workers.iter() {
             w.unpark();
         }

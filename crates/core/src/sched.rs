@@ -78,6 +78,7 @@ pub(crate) fn on_ready(rt: &RuntimeInner, w: &Worker, t: Arc<Ult>, wake: bool) {
 /// only). The wake matters for KLT-switching: the handler pushes while the
 /// worker's scheduler runs concurrently on the replacement KLT and may have
 /// just idle-parked — without the unpark the push would be a lost wakeup.
+// sigsafe
 pub(crate) fn on_preempted(rt: &RuntimeInner, w: &Worker, t: Arc<Ult>) {
     match rt.config.sched_policy {
         // BOLT default: "upon preemption, the scheduler pushes the

@@ -1,0 +1,194 @@
+//! Dynamic async-signal-safety enforcement.
+//!
+//! The static analyzer (`ult-lint`, binary `sigsafe`) proves at lint time
+//! that nothing reachable from the preemption handler allocates; this
+//! module is the run-time backstop for what a name-based, macro-blind
+//! analysis cannot see (trait dispatch, function pointers, closures stored
+//! in data structures).
+//!
+//! Two pieces:
+//!
+//! * a per-KLT **handler depth** — a `const`-initialized thread-local
+//!   counter (access never allocates, so it is itself async-signal-safe)
+//!   incremented at handler entry and decremented at exit. The two
+//!   handler paths that *leave* the handler frame without returning
+//!   (signal-yield's context switch, KLT-switching's captive park) clear
+//!   it explicitly first; the eventual `HandlerScope` drop on the resumed
+//!   frame is saturating, so the double-exit is harmless.
+//! * in **debug builds only**, a `#[global_allocator]` wrapper around
+//!   [`std::alloc::System`] that panics when an allocation happens while
+//!   the current KLT's depth is nonzero. Release builds compile the
+//!   wrapper out entirely and pay only the thread-local counter bumps.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// In-handler depth of the current KLT. Plain `Cell` (not atomic):
+    /// only the owning KLT and signal handlers running *on* it touch it,
+    /// and a signal handler cannot interleave inside a `Cell` access.
+    static HANDLER_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Enter the preemption handler on this KLT.
+#[inline]
+// sigsafe
+pub fn enter_handler() {
+    HANDLER_DEPTH.set(HANDLER_DEPTH.get() + 1);
+}
+
+/// Leave the preemption handler on this KLT. Saturating: handler frames
+/// migrate KLTs under signal-yield (the frame is part of the ULT stack),
+/// so the epilogue of a migrated frame may run on a KLT whose depth was
+/// never raised.
+#[inline]
+// sigsafe
+pub fn exit_handler() {
+    HANDLER_DEPTH.set(HANDLER_DEPTH.get().saturating_sub(1));
+}
+
+/// Is the current KLT inside the preemption signal handler?
+#[inline]
+// sigsafe
+pub fn in_signal_handler() -> bool {
+    HANDLER_DEPTH.get() != 0
+}
+
+/// RAII scope for the handler body: raises the depth for this KLT and
+/// lowers it (saturating) when dropped, covering every early return.
+pub struct HandlerScope(());
+
+impl HandlerScope {
+    #[inline]
+    // sigsafe
+    pub(crate) fn enter() -> HandlerScope {
+        enter_handler();
+        HandlerScope(())
+    }
+}
+
+impl Drop for HandlerScope {
+    #[inline]
+    fn drop(&mut self) {
+        exit_handler();
+    }
+}
+
+/// Test hook: when set, the preemption handler performs a deliberate heap
+/// allocation so the guard's abort behaviour can be exercised end-to-end
+/// from a subprocess test. Debug builds only.
+#[cfg(debug_assertions)]
+pub static INJECT_ALLOC_IN_HANDLER: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+/// Deliberately violate the no-alloc rule inside the handler (test hook).
+#[cfg(debug_assertions)]
+// sigsafe
+pub(crate) fn maybe_inject_alloc() {
+    if INJECT_ALLOC_IN_HANDLER.load(std::sync::atomic::Ordering::Relaxed) {
+        // sigsafe-allow: deliberate violation so the guard's own subprocess test can trip it
+        let v: Vec<u8> = Vec::with_capacity(64);
+        std::hint::black_box(&v);
+    }
+}
+
+#[cfg(debug_assertions)]
+mod guard_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    thread_local! {
+        /// Reentrancy latch: the panic machinery itself allocates (the
+        /// boxed payload); while the guard is mid-panic, allocation must
+        /// pass through or the process double-faults instead of unwinding.
+        static GUARD_BUSY: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Allocator wrapper: delegates to [`System`], panicking on any
+    /// allocation performed while the current KLT is inside the
+    /// preemption handler. Deallocation is deliberately *not* checked:
+    /// the unwind triggered by the panic frees temporaries, and flagging
+    /// those frees would turn the diagnostic into a panic-in-drop abort
+    /// with no message.
+    pub struct GuardAlloc;
+
+    fn check_alloc() {
+        if !super::in_signal_handler() || GUARD_BUSY.get() {
+            return;
+        }
+        GUARD_BUSY.set(true);
+        struct Reset;
+        impl Drop for Reset {
+            fn drop(&mut self) {
+                GUARD_BUSY.set(false);
+            }
+        }
+        let _reset = Reset;
+        panic!(
+            "ult-core sigsafe guard: heap allocation inside the preemption \
+             signal handler (async-signal-unsafe; the interrupted frame may \
+             itself be inside malloc)"
+        );
+    }
+
+    unsafe impl GlobalAlloc for GuardAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            check_alloc();
+            // SAFETY: forwarded verbatim to the System allocator.
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            check_alloc();
+            // SAFETY: forwarded verbatim to the System allocator.
+            unsafe { System.alloc_zeroed(layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            check_alloc();
+            // SAFETY: forwarded verbatim to the System allocator.
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            // SAFETY: forwarded verbatim to the System allocator.
+            unsafe { System.dealloc(ptr, layout) }
+        }
+    }
+}
+
+/// Debug builds route every allocation through the guard. Release builds
+/// have no `#[global_allocator]` here and use the default System allocator
+/// directly — zero overhead.
+#[cfg(debug_assertions)]
+#[global_allocator]
+static GUARD_ALLOCATOR: guard_alloc::GuardAlloc = guard_alloc::GuardAlloc;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_tracks_and_saturates() {
+        assert!(!in_signal_handler());
+        enter_handler();
+        assert!(in_signal_handler());
+        enter_handler();
+        exit_handler();
+        assert!(in_signal_handler());
+        exit_handler();
+        assert!(!in_signal_handler());
+        // Saturating: a migrated handler frame's epilogue may run on a KLT
+        // that never entered.
+        exit_handler();
+        assert!(!in_signal_handler());
+    }
+
+    #[test]
+    fn scope_clears_on_drop() {
+        {
+            let _s = HandlerScope::enter();
+            assert!(in_signal_handler());
+        }
+        assert!(!in_signal_handler());
+    }
+}

@@ -33,6 +33,7 @@ impl SampleRing {
 
     /// Record one sample. Async-signal-safe; lossy once the ring wraps.
     #[inline]
+    // sigsafe
     pub fn push(&self, v: u64) {
         if self.buf.is_empty() {
             return;
@@ -110,6 +111,7 @@ impl WorkerStats {
 
     /// Update the kind mirror when `current` changes.
     #[inline]
+    // sigsafe
     pub fn set_current_kind(&self, kind: Option<ThreadKind>) {
         let v = match kind {
             None => KIND_NONE,
@@ -123,6 +125,7 @@ impl WorkerStats {
     /// Whether the running thread (if any) is preemptive — the eligibility
     /// test of the per-process timer scans (paper §3.2.2).
     #[inline]
+    // sigsafe
     pub fn current_kind_preemptive(&self) -> bool {
         matches!(
             self.current_kind.load(Ordering::Acquire),
@@ -132,6 +135,7 @@ impl WorkerStats {
 
     /// Record one interruption-time sample.
     #[inline]
+    // sigsafe
     pub fn record_interrupt(&self, ns: u64) {
         self.interrupt_ns.push(ns);
     }

@@ -281,6 +281,7 @@ impl Ult {
     }
 
     /// Transition state (runtime internal).
+    // sigsafe
     pub(crate) fn set_state(&self, s: UltState) {
         self.state.store(s as u8, Ordering::Release);
     }

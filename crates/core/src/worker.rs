@@ -161,6 +161,7 @@ impl Worker {
 
     /// The owning runtime.
     #[inline]
+    // sigsafe
     pub(crate) fn runtime(&self) -> &RuntimeInner {
         // SAFETY: set once before any scheduling happens; the runtime
         // outlives all workers' activity.
@@ -176,6 +177,7 @@ impl Worker {
     }
 
     #[inline]
+    // sigsafe
     pub(crate) fn set_reason(&self, r: SwitchReason) {
         self.switch_reason.store(r as u8, Ordering::Release);
     }
@@ -190,12 +192,15 @@ impl Worker {
 
     /// Enter a runtime critical section (defers preemption).
     #[inline]
+    // sigsafe
     pub(crate) fn preempt_disable(&self) {
-        self.preempt_disabled.0.fetch_add(1, Ordering::AcqRel);
+        let prev = self.preempt_disabled.0.fetch_add(1, Ordering::AcqRel);
+        debug_assert!(prev < u32::MAX, "preempt_disable overflow");
     }
 
     /// Leave a runtime critical section.
     #[inline]
+    // sigsafe
     pub(crate) fn preempt_enable(&self) {
         let prev = self.preempt_disabled.0.fetch_sub(1, Ordering::AcqRel);
         debug_assert!(prev >= 1, "preempt_enable underflow");
@@ -205,6 +210,7 @@ impl Worker {
     /// ticks that were deferred while the runtime had preemption disabled
     /// (they become voluntary yields at this first safe point).
     #[inline]
+    // sigsafe
     pub(crate) fn ult_prologue(&self) {
         self.preempt_enable();
         crate::api::ult_prologue_finish();
@@ -228,6 +234,7 @@ impl Worker {
     }
 
     /// Wake this worker if it is parked (idle, packing or shutdown).
+    // sigsafe
     pub(crate) fn unpark(&self) {
         self.wake.unpark();
     }
@@ -281,10 +288,7 @@ fn scheduler_loop(w: &Worker) -> ! {
 fn idle_wait(rt: &RuntimeInner, w: &Worker) {
     // Bounded spin first: work often arrives within microseconds.
     for _ in 0..256 {
-        if !w.pool.is_empty()
-            || !w.lo_pool.is_empty()
-            || rt.shutdown.load(Ordering::Acquire)
-        {
+        if !w.pool.is_empty() || !w.lo_pool.is_empty() || rt.shutdown.load(Ordering::Acquire) {
             return;
         }
         core::hint::spin_loop();
@@ -308,7 +312,10 @@ fn idle_wait(rt: &RuntimeInner, w: &Worker) {
 /// preempted threads, else the normal context-switch path.
 fn run_thread(rt: &RuntimeInner, w: &Worker, t: Arc<Ult>) {
     debug_assert!(
-        matches!(t.state(), UltState::Ready | UltState::Captive | UltState::New),
+        matches!(
+            t.state(),
+            UltState::Ready | UltState::Captive | UltState::New
+        ),
         "dispatching ULT {} in state {:?}",
         t.id,
         t.state()
@@ -375,6 +382,18 @@ fn normal_run(rt: &RuntimeInner, w: &Worker, t: Arc<Ult>) {
 /// `None`; the handler already republished the thread and cleared
 /// `current`).
 fn handle_return(rt: &RuntimeInner, w: &Worker, t: Arc<Ult>) {
+    debug_assert_eq!(
+        w.preempt_disabled.0.load(Ordering::Relaxed),
+        1,
+        "scheduler context regained control with preempt_disabled != 1 \
+         (a suspension path skipped its increment or a resume path \
+         double-decremented)"
+    );
+    debug_assert!(
+        !crate::sigsafe::in_signal_handler(),
+        "scheduler context running with the in-handler flag still set \
+         (a handler exit path failed to clear it)"
+    );
     let reason = w.take_reason();
     crate::debug_registry::event(
         crate::debug_registry::ev::SCHEDRET,
@@ -418,10 +437,12 @@ fn handle_return(rt: &RuntimeInner, w: &Worker, t: Arc<Ult>) {
 /// handing this worker over to it (paper Fig. 3).
 fn resume_captive(rt: &RuntimeInner, w: &Worker, t: Arc<Ult>) {
     debug_assert_eq!(w.preempt_disabled.0.load(Ordering::Relaxed), 1);
-    crate::debug_registry::event(crate::debug_registry::ev::RESUME_CAPTIVE, t.id, w.rank as u64);
-    let captive = t
-        .captive_klt
-        .swap(std::ptr::null_mut(), Ordering::AcqRel);
+    crate::debug_registry::event(
+        crate::debug_registry::ev::RESUME_CAPTIVE,
+        t.id,
+        w.rank as u64,
+    );
+    let captive = t.captive_klt.swap(std::ptr::null_mut(), Ordering::AcqRel);
     assert!(!captive.is_null(), "captive thread without captive KLT");
     // SAFETY: captive KLTs are registry-kept alive.
     let captive: &Klt = unsafe { &*captive };
@@ -442,7 +463,9 @@ fn resume_captive(rt: &RuntimeInner, w: &Worker, t: Arc<Ult>) {
         .store(ult_sys::clock::now_ns(), Ordering::Release);
     // Re-point the worker at the captive KLT. The captive will decrement
     // the disable count (currently 1) in its handler continuation.
-    captive.worker.store(w as *const Worker as *mut Worker, Ordering::Release);
+    captive
+        .worker
+        .store(w as *const Worker as *mut Worker, Ordering::Release);
     w.current_klt
         .store(captive as *const Klt as *mut Klt, Ordering::Release);
     // The worker's timer must follow it onto the captive KLT.

@@ -42,9 +42,14 @@ fn work_completes_with_suspended_workers() {
     let handles: Vec<_> = (0..32)
         .map(|i| {
             let c = count.clone();
-            rt.spawn_on(i % 4, ThreadKind::Nonpreemptive, Priority::High, move || {
-                c.fetch_add(1, Ordering::SeqCst);
-            })
+            rt.spawn_on(
+                i % 4,
+                ThreadKind::Nonpreemptive,
+                Priority::High,
+                move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                },
+            )
         })
         .collect();
     for h in handles {
@@ -94,8 +99,7 @@ fn preemption_slices_shared_pool_spinners_round_robin() {
     // private scan. See sched.rs docs.)
     let rt = packing_rt(4, 1000);
     rt.set_active_workers(3);
-    let progress: Arc<Vec<AtomicUsize>> =
-        Arc::new((0..4).map(|_| AtomicUsize::new(0)).collect());
+    let progress: Arc<Vec<AtomicUsize>> = Arc::new((0..4).map(|_| AtomicUsize::new(0)).collect());
     let stop = Arc::new(AtomicUsize::new(0));
     let handles: Vec<_> = (0..4)
         .map(|i| {

@@ -10,9 +10,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use ult_core::{
-    Config, KltParkMode, KltPoolPolicy, Priority, Runtime, ThreadKind, TimerStrategy,
-};
+use ult_core::{Config, KltParkMode, KltPoolPolicy, Priority, Runtime, ThreadKind, TimerStrategy};
 
 fn preemptive_cfg(workers: usize, interval_us: u64, strategy: TimerStrategy) -> Config {
     Config {
@@ -101,7 +99,11 @@ fn klt_switching_with_sigsuspend_style_park() {
 
 #[test]
 fn per_worker_creation_time_strategy() {
-    let rt = Runtime::start(preemptive_cfg(2, 1000, TimerStrategy::PerWorkerCreationTime));
+    let rt = Runtime::start(preemptive_cfg(
+        2,
+        1000,
+        TimerStrategy::PerWorkerCreationTime,
+    ));
     busy_wait_n(&rt, ThreadKind::SignalYield, 2);
     assert!(rt.stats().preemptions >= 1);
     rt.shutdown();
@@ -245,7 +247,11 @@ fn preemption_interval_controls_rate() {
     // Halving the interval should roughly double preemption count over the
     // same wall time. We assert only a loose monotonic relation (CI noise).
     let count_preemptions = |interval_us: u64| {
-        let rt = Runtime::start(preemptive_cfg(1, interval_us, TimerStrategy::PerWorkerAligned));
+        let rt = Runtime::start(preemptive_cfg(
+            1,
+            interval_us,
+            TimerStrategy::PerWorkerAligned,
+        ));
         let stop = Arc::new(AtomicBool::new(false));
         let s = stop.clone();
         let h = rt.spawn_with(ThreadKind::SignalYield, Priority::High, move || {

@@ -10,16 +10,16 @@ use ult_core::thread::Ult;
 
 #[derive(Debug, Clone)]
 enum Op {
-    PushBack(u64),
-    PushFront(u64),
+    PushBack,
+    PushFront,
     Pop,
     Steal,
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u64..1000).prop_map(Op::PushBack),
-        (0u64..1000).prop_map(Op::PushFront),
+        Just(Op::PushBack),
+        Just(Op::PushFront),
         Just(Op::Pop),
         Just(Op::Steal),
     ]
@@ -39,13 +39,13 @@ proptest! {
         let mut next_unique = 10_000u64;
         for op in ops {
             match op {
-                Op::PushBack(_) => {
+                Op::PushBack => {
                     // Unique ids avoid double-enqueue tripwires on one Arc.
                     next_unique += 1;
                     pool.push(mk(next_unique));
                     model.push_back(next_unique);
                 }
-                Op::PushFront(_) => {
+                Op::PushFront => {
                     next_unique += 1;
                     pool.push_front(mk(next_unique));
                     model.push_front(next_unique);

@@ -1,0 +1,134 @@
+//! The dynamic in-handler allocation guard (debug builds).
+//!
+//! Three angles:
+//! * allocating while the in-handler flag is raised panics (direct);
+//! * normal preemption of an *allocating* ULT never trips the guard —
+//!   the handler clears the flag before handing control to code that is
+//!   allowed to allocate (no false positives);
+//! * with the debug-only injection hook enabled, a real preemption
+//!   handler that allocates takes the whole process down (subprocess).
+//!
+//! Everything here is `#[cfg(debug_assertions)]`: release builds compile
+//! the guard allocator out entirely.
+
+#![cfg(debug_assertions)]
+
+use std::sync::atomic::Ordering;
+use ult_core::{Config, Priority, Runtime, ThreadKind, TimerStrategy};
+
+fn preemptive_cfg(workers: usize, interval_us: u64) -> Config {
+    Config {
+        num_workers: workers,
+        preempt_interval_ns: interval_us * 1000,
+        timer_strategy: TimerStrategy::PerWorkerAligned,
+        stat_samples: 4096,
+        ..Config::default()
+    }
+}
+
+#[test]
+fn alloc_under_raised_flag_panics() {
+    ult_core::sigsafe::enter_handler();
+    let result = std::panic::catch_unwind(|| {
+        let v: Vec<u8> = Vec::with_capacity(32);
+        std::hint::black_box(&v);
+    });
+    ult_core::sigsafe::exit_handler();
+    let err = result.expect_err("allocation under the in-handler flag must panic");
+    let msg = err
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| err.downcast_ref::<&str>().copied())
+        .unwrap_or("");
+    assert!(
+        msg.contains("sigsafe guard"),
+        "unexpected panic message: {msg:?}"
+    );
+    // The guard must reset its reentrancy latch: allocation works again.
+    let v: Vec<u8> = Vec::with_capacity(32);
+    std::hint::black_box(&v);
+}
+
+#[test]
+fn flag_cleared_after_catch() {
+    assert!(!ult_core::sigsafe::in_signal_handler());
+}
+
+/// Preempting a ULT that allocates in a tight loop must never trip the
+/// guard: the handler raises the flag only around its own body and clears
+/// it before switching to allocation-friendly contexts.
+#[test]
+fn preempting_allocating_ult_does_not_trip_guard() {
+    for kind in [ThreadKind::SignalYield, ThreadKind::KltSwitching] {
+        let rt = Runtime::start(preemptive_cfg(1, 500));
+        let h = rt.spawn_with(kind, Priority::High, move || {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_millis(60);
+            let mut sink = 0usize;
+            while std::time::Instant::now() < deadline {
+                // Heap traffic with NO explicit yield: every preemption
+                // lands somewhere inside this allocation churn.
+                let v: Vec<u64> = (0..64).collect();
+                sink = sink.wrapping_add(v.iter().sum::<u64>() as usize);
+                std::hint::black_box(sink);
+            }
+        });
+        h.join();
+        let stats = rt.stats();
+        rt.shutdown();
+        assert!(
+            stats.preemptions >= 1,
+            "no preemption happened under {kind:?}: {stats:?}"
+        );
+    }
+}
+
+/// Child body for the subprocess test: enable the injection hook so the
+/// real handler performs a deliberate allocation, then arrange to be
+/// preempted. The guard must abort the process (panic unwinding out of an
+/// `extern "C"` handler aborts), so reaching the end cleanly is the
+/// FAILURE case, reported via exit code 0.
+#[test]
+#[ignore = "child half of guard_aborts_process_when_real_handler_allocates"]
+fn guard_trips_in_real_handler_child() {
+    if std::env::var_os("ULT_SIGSAFE_INJECT").is_none() {
+        return; // only meaningful when driven by the parent test below
+    }
+    ult_core::sigsafe::INJECT_ALLOC_IN_HANDLER.store(true, Ordering::SeqCst);
+    let rt = Runtime::start(preemptive_cfg(1, 500));
+    let h = rt.spawn_with(ThreadKind::SignalYield, Priority::High, || {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        while std::time::Instant::now() < deadline {
+            core::hint::spin_loop();
+        }
+    });
+    h.join();
+    rt.shutdown();
+    // Still alive: the guard failed to fire. Exit 0 = parent assertion fails.
+}
+
+#[test]
+fn guard_aborts_process_when_real_handler_allocates() {
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = std::process::Command::new(exe)
+        .args([
+            "--exact",
+            "guard_trips_in_real_handler_child",
+            "--ignored",
+            "--nocapture",
+            "--test-threads=1",
+        ])
+        .env("ULT_SIGSAFE_INJECT", "1")
+        .output()
+        .expect("spawn child test process");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !out.status.success(),
+        "child survived an in-handler allocation; the guard did not fire.\n\
+         stdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("sigsafe guard"),
+        "child died but not from the sigsafe guard.\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+}

@@ -37,7 +37,11 @@ fn spin_preempt_run(strategy: TimerStrategy, kind: ThreadKind, millis: u64) -> u
 
 #[test]
 fn aligned_timer_sustains_signal_yield_preemption() {
-    let p = spin_preempt_run(TimerStrategy::PerWorkerAligned, ThreadKind::SignalYield, 150);
+    let p = spin_preempt_run(
+        TimerStrategy::PerWorkerAligned,
+        ThreadKind::SignalYield,
+        150,
+    );
     // 150 ms at 1 ms ticks over 2 workers: expect dozens; require a floor
     // that proves sustained (not one-shot) delivery.
     assert!(p >= 20, "only {p} preemptions in 150 ms");
@@ -47,7 +51,11 @@ fn aligned_timer_sustains_signal_yield_preemption() {
 fn aligned_timer_sustains_klt_switching_preemption() {
     // KLT-switching rebinds the timer on every switch — the regression
     // surface: ticks must keep flowing across dozens of rebind cycles.
-    let p = spin_preempt_run(TimerStrategy::PerWorkerAligned, ThreadKind::KltSwitching, 300);
+    let p = spin_preempt_run(
+        TimerStrategy::PerWorkerAligned,
+        ThreadKind::KltSwitching,
+        300,
+    );
     assert!(p >= 20, "only {p} KLT-switch preemptions in 300 ms");
 }
 

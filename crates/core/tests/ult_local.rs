@@ -74,23 +74,28 @@ fn survives_signal_yield_preemption_where_thread_local_may_not() {
     let mut handles = Vec::new();
     for id in 1..=3u64 {
         let stop = stop.clone();
-        handles.push(rt.spawn_with(ThreadKind::SignalYield, Priority::High, move || {
-            PREEMPT_SLOT.with(|v| *v = id * 1000);
-            let mut checks = 0u64;
-            while !stop.load(Ordering::Acquire) {
-                let seen = PREEMPT_SLOT.with(|v| *v);
-                assert_eq!(seen, id * 1000, "ULT-local corrupted for thread {id}");
+        handles.push(
+            rt.spawn_with(ThreadKind::SignalYield, Priority::High, move || {
                 PREEMPT_SLOT.with(|v| *v = id * 1000);
-                checks += 1;
-            }
-            checks
-        }));
+                let mut checks = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let seen = PREEMPT_SLOT.with(|v| *v);
+                    assert_eq!(seen, id * 1000, "ULT-local corrupted for thread {id}");
+                    PREEMPT_SLOT.with(|v| *v = id * 1000);
+                    checks += 1;
+                }
+                checks
+            }),
+        );
     }
     std::thread::sleep(std::time::Duration::from_millis(60));
     stop.store(true, Ordering::Release);
     let total: u64 = handles.into_iter().map(|h| h.join()).sum();
     assert!(total > 0);
-    assert!(rt.stats().preemptions > 0, "no preemption exercised the slot");
+    assert!(
+        rt.stats().preemptions > 0,
+        "no preemption exercised the slot"
+    );
     rt.shutdown();
 }
 

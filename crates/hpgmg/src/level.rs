@@ -8,6 +8,55 @@
 
 use std::ops::Range;
 
+/// Shared raw write view of a flat grid array, for phase bodies that
+/// write disjoint per-box cell sets (boxes are scattered in the flat
+/// index space, so disjointness is per-cell, not per-range). All writes
+/// go through raw pointers: a `&mut` to the whole array is never
+/// materialized, so concurrent box bodies cannot alias exclusive
+/// references no matter how the boxes interleave.
+pub struct BoxWriter {
+    ptr: *mut f64,
+    len: usize,
+}
+
+// SAFETY: writers require per-cell disjointness from their callers (see
+// `set`/`add`); sharing the view itself is then sound.
+unsafe impl Sync for BoxWriter {}
+
+impl BoxWriter {
+    /// Capture a raw view of `s`. The borrow ends on return; until the
+    /// view is dropped all access to the array must go through it.
+    pub fn new(s: &mut [f64]) -> BoxWriter {
+        BoxWriter {
+            ptr: s.as_mut_ptr(),
+            len: s.len(),
+        }
+    }
+
+    /// `cell ← v`.
+    ///
+    /// # Safety
+    /// `cell` is in bounds and no other thread accesses it concurrently.
+    #[inline]
+    pub unsafe fn set(&self, cell: usize, v: f64) {
+        debug_assert!(cell < self.len);
+        // SAFETY: in-bounds per the caller; exclusivity is their stated
+        // obligation — no reference to the cell exists while we write.
+        unsafe { *self.ptr.add(cell) = v }
+    }
+
+    /// `cell ← cell + v`.
+    ///
+    /// # Safety
+    /// As for [`BoxWriter::set`].
+    #[inline]
+    pub unsafe fn add(&self, cell: usize, v: f64) {
+        debug_assert!(cell < self.len);
+        // SAFETY: as in `set`.
+        unsafe { *self.ptr.add(cell) += v }
+    }
+}
+
 /// A cubic grid level with solution, right-hand side, and scratch arrays.
 pub struct Level {
     /// Cells per side.
@@ -29,7 +78,7 @@ impl Level {
     /// `boxes_per_side³` boxes (`n % boxes_per_side == 0`).
     pub fn new(n: usize, boxes_per_side: usize) -> Level {
         assert!(n >= 2);
-        assert!(boxes_per_side >= 1 && n % boxes_per_side == 0);
+        assert!(boxes_per_side >= 1 && n.is_multiple_of(boxes_per_side));
         Level {
             n,
             h: 1.0 / n as f64,
@@ -103,7 +152,7 @@ impl Level {
     /// One weighted-Jacobi sweep over box `b`: reads `self.u`, writes the
     /// updated values into `out[b's cells]`. ω = 2/3 (the standard choice
     /// for the 7-point Laplacian).
-    pub fn jacobi_box(&self, b: usize, out: &mut [f64]) {
+    pub fn jacobi_box(&self, b: usize, out: &BoxWriter) {
         const OMEGA: f64 = 2.0 / 3.0;
         let diag = 6.0 / (self.h * self.h);
         let (xr, yr, zr) = self.box_ranges(b);
@@ -111,20 +160,25 @@ impl Level {
             for j in yr.clone() {
                 for i in xr.clone() {
                     let r = self.f[self.idx(i, j, k)] - self.apply_at(&self.u, i, j, k);
-                    out[self.idx(i, j, k)] = self.u[self.idx(i, j, k)] + OMEGA * r / diag;
+                    let v = self.u[self.idx(i, j, k)] + OMEGA * r / diag;
+                    // SAFETY: cell (i,j,k) belongs to box b alone, and the
+                    // caller runs each box in exactly one phase body.
+                    unsafe { out.set(self.idx(i, j, k), v) }
                 }
             }
         }
     }
 
     /// Residual `f - A·u` over box `b`, written into `out`.
-    pub fn residual_box(&self, b: usize, out: &mut [f64]) {
+    pub fn residual_box(&self, b: usize, out: &BoxWriter) {
         let (xr, yr, zr) = self.box_ranges(b);
         for k in zr {
             for j in yr.clone() {
                 for i in xr.clone() {
-                    out[self.idx(i, j, k)] =
-                        self.f[self.idx(i, j, k)] - self.apply_at(&self.u, i, j, k);
+                    let v = self.f[self.idx(i, j, k)] - self.apply_at(&self.u, i, j, k);
+                    // SAFETY: cell (i,j,k) belongs to box b alone (one
+                    // phase body per box).
+                    unsafe { out.set(self.idx(i, j, k), v) }
                 }
             }
         }
@@ -147,7 +201,7 @@ impl Level {
     /// Restrict `fine.tmp` (holding a residual) into this level's `f`
     /// (8-cell average — piecewise-constant FV restriction), for the box
     /// `b` of THIS (coarse) level.
-    pub fn restrict_box_from(&mut self, fine: &Level, b: usize) {
+    pub fn restrict_box_from(&self, fine: &Level, b: usize, out_f: &BoxWriter) {
         assert_eq!(fine.n, self.n * 2);
         let (xr, yr, zr) = self.box_ranges(b);
         for k in zr {
@@ -161,8 +215,8 @@ impl Level {
                             }
                         }
                     }
-                    let at = self.idx(i, j, k);
-                    self.f[at] = s / 8.0;
+                    // SAFETY: coarse cell (i,j,k) belongs to box b alone.
+                    unsafe { out_f.set(self.idx(i, j, k), s / 8.0) }
                 }
             }
         }
@@ -173,7 +227,7 @@ impl Level {
     /// the COARSE level. HPGMG-FV pairs piecewise-constant restriction with
     /// linear interpolation — piecewise-constant prolongation would break
     /// the transfer-accuracy condition and degrade V-cycle convergence.
-    pub fn prolong_box_into(&self, fine: &mut Level, b: usize) {
+    pub fn prolong_box_into(&self, fine: &Level, b: usize, out_u: &BoxWriter) {
         assert_eq!(fine.n, self.n * 2);
         let (xr, yr, zr) = self.box_ranges(b);
         for k in zr {
@@ -193,18 +247,19 @@ impl Level {
                                 for (wz, oz) in [(0.75, 0), (0.25, sz)] {
                                     for (wy, oy) in [(0.75, 0), (0.25, sy)] {
                                         for (wx, ox) in [(0.75, 0), (0.25, sx)] {
-                                            v += wx * wy * wz
-                                                * self.u_ghost(
-                                                    &self.u,
-                                                    ci + ox,
-                                                    cj + oy,
-                                                    ck + oz,
-                                                );
+                                            v += wx
+                                                * wy
+                                                * wz
+                                                * self.u_ghost(&self.u, ci + ox, cj + oy, ck + oz);
                                         }
                                     }
                                 }
                                 let at = fine.idx(2 * i + dx, 2 * j + dy, 2 * k + dz);
-                                fine.u[at] += v;
+                                // SAFETY: fine cell `at` is a child of
+                                // coarse cell (i,j,k), which belongs to
+                                // coarse box b alone — children of
+                                // distinct coarse cells are disjoint.
+                                unsafe { out_u.add(at, v) }
                             }
                         }
                     }
@@ -294,8 +349,9 @@ mod tests {
         let r0 = l.residual_max_norm();
         for _ in 0..10 {
             let mut out = l.tmp.clone();
+            let w = BoxWriter::new(&mut out);
             for b in 0..l.num_boxes() {
-                l.jacobi_box(b, &mut out);
+                l.jacobi_box(b, &w);
             }
             l.u.copy_from_slice(&out);
         }
@@ -307,7 +363,9 @@ mod tests {
         let mut fine = Level::new(8, 1);
         fine.tmp.iter_mut().for_each(|v| *v = 8.0);
         let mut coarse = Level::new(4, 1);
-        coarse.restrict_box_from(&fine, 0);
+        let mut f_out = vec![0.0; coarse.f.len()];
+        coarse.restrict_box_from(&fine, 0, &BoxWriter::new(&mut f_out));
+        coarse.f.copy_from_slice(&f_out);
         assert!(coarse.f.iter().all(|&v| (v - 8.0).abs() < 1e-12));
     }
 
@@ -318,7 +376,9 @@ mod tests {
         let mut coarse = Level::new(4, 1);
         coarse.u.iter_mut().for_each(|v| *v = 2.5);
         let mut fine = Level::new(8, 1);
-        coarse.prolong_box_into(&mut fine, 0);
+        let mut u_out = vec![0.0; fine.u.len()];
+        coarse.prolong_box_into(&fine, 0, &BoxWriter::new(&mut u_out));
+        fine.u.copy_from_slice(&u_out);
         for k in 2..6 {
             for j in 2..6 {
                 for i in 2..6 {
@@ -342,7 +402,9 @@ mod tests {
             }
         }
         let mut fine = Level::new(8, 1);
-        coarse.prolong_box_into(&mut fine, 0);
+        let mut u_out = vec![0.0; fine.u.len()];
+        coarse.prolong_box_into(&fine, 0, &BoxWriter::new(&mut u_out));
+        fine.u.copy_from_slice(&u_out);
         for k in 2..6 {
             for j in 2..6 {
                 for i in 2..6 {

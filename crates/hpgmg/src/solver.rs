@@ -1,8 +1,7 @@
 //! The multigrid solver: V-cycles and the full-multigrid (F-cycle) driver.
 
-use crate::level::Level;
+use crate::level::{BoxWriter, Level};
 use crate::parallel::ParallelFor;
-use std::cell::UnsafeCell;
 
 /// A geometric multigrid hierarchy for `-∇²u = f` on the unit cube.
 pub struct Multigrid {
@@ -12,19 +11,6 @@ pub struct Multigrid {
     pub smooth_sweeps: usize,
     /// Smoothing sweeps at the coarsest level (cheap "direct" solve).
     pub coarse_sweeps: usize,
-}
-
-/// Disjoint-box mutable sharing for phase bodies (each box touches only
-/// its own cells; see `Level::box_ranges`).
-struct Shared<'a, T: ?Sized>(UnsafeCell<&'a mut T>);
-// SAFETY: phase bodies write disjoint box regions.
-unsafe impl<T: ?Sized> Sync for Shared<'_, T> {}
-impl<T: ?Sized> Shared<'_, T> {
-    #[allow(clippy::mut_from_ref)]
-    unsafe fn get(&self) -> &mut T {
-        // SAFETY: forwarded to call sites' disjointness argument.
-        unsafe { &mut *self.0.get() }
-    }
 }
 
 impl Multigrid {
@@ -37,7 +23,7 @@ impl Multigrid {
         let mut dim = n;
         while dim >= 2 {
             let bps = boxes_per_side.min(dim / 2).max(1);
-            let bps = if dim % bps == 0 { bps } else { 1 };
+            let bps = if dim.is_multiple_of(bps) { bps } else { 1 };
             levels.push(Level::new(dim, bps));
             if dim == 2 {
                 break;
@@ -68,20 +54,18 @@ impl Multigrid {
             let level = &mut self.levels[l];
             let nb = level.num_boxes();
             {
-                // Split borrow: read-only level view + writable tmp.
-                let (lvl_ro, tmp) = {
+                // Split borrow: read-only level view + raw write view of
+                // tmp. jacobi_box reads u/f and writes only through the
+                // writer, so the shared view never observes the writes.
+                let (lvl_ro, out) = {
                     let p: *mut Level = level;
-                    // SAFETY: jacobi_box reads u/f and writes only `out`
-                    // (which we alias to tmp); box regions are disjoint.
-                    unsafe { (&*p, &mut (*p).tmp) }
+                    // SAFETY: the reborrows cover disjoint state (tmp is
+                    // only accessed through the writer).
+                    unsafe { (&*p, BoxWriter::new(&mut (*p).tmp)) }
                 };
-                let tmp_len = tmp.len();
-                let shared = Shared(UnsafeCell::new(&mut tmp[..tmp_len]));
                 pf.run(nb, |boxes| {
-                    // SAFETY: disjoint boxes.
-                    let out = unsafe { shared.get() };
                     for b in boxes {
-                        lvl_ro.jacobi_box(b, out);
+                        lvl_ro.jacobi_box(b, &out);
                     }
                 });
             }
@@ -94,18 +78,15 @@ impl Multigrid {
     fn residual_to_tmp(&mut self, l: usize, pf: &ParallelFor) {
         let level = &mut self.levels[l];
         let nb = level.num_boxes();
-        let (lvl_ro, tmp) = {
+        let (lvl_ro, out) = {
             let p: *mut Level = level;
-            // SAFETY: residual_box reads u/f, writes only out; disjoint.
-            unsafe { (&*p, &mut (*p).tmp) }
+            // SAFETY: residual_box reads u/f and writes only through the
+            // writer over tmp — disjoint state.
+            unsafe { (&*p, BoxWriter::new(&mut (*p).tmp)) }
         };
-        let tmp_len = tmp.len();
-        let shared = Shared(UnsafeCell::new(&mut tmp[..tmp_len]));
         pf.run(nb, |boxes| {
-            // SAFETY: disjoint boxes.
-            let out = unsafe { shared.get() };
             for b in boxes {
-                lvl_ro.residual_box(b, out);
+                lvl_ro.residual_box(b, &out);
             }
         });
     }
@@ -125,12 +106,16 @@ impl Multigrid {
             let coarse = &mut coarse_part[0];
             coarse.clear_u();
             let nb = coarse.num_boxes();
-            let shared = Shared(UnsafeCell::new(&mut *coarse));
+            // Split borrow: restrict reads coarse geometry + fine.tmp and
+            // writes only coarse.f, through the writer.
+            let (coarse_ro, out_f) = {
+                let p: *mut Level = coarse;
+                // SAFETY: disjoint state (f only via the writer).
+                unsafe { (&*p, BoxWriter::new(&mut (*p).f)) }
+            };
             pf.run(nb, |boxes| {
-                // SAFETY: disjoint coarse boxes.
-                let c = unsafe { shared.get() };
                 for b in boxes {
-                    c.restrict_box_from(fine, b);
+                    coarse_ro.restrict_box_from(fine, b, &out_f);
                 }
             });
         }
@@ -141,12 +126,16 @@ impl Multigrid {
             let fine = &mut fine_part[l];
             let coarse = &coarse_part[0];
             let nb = coarse.num_boxes();
-            let shared = Shared(UnsafeCell::new(&mut *fine));
+            // Split borrow: prolongation reads coarse.u + fine geometry
+            // and accumulates only into fine.u, through the writer.
+            let (fine_ro, out_u) = {
+                let p: *mut Level = fine;
+                // SAFETY: disjoint state (u only via the writer).
+                unsafe { (&*p, BoxWriter::new(&mut (*p).u)) }
+            };
             pf.run(nb, |boxes| {
-                // SAFETY: coarse boxes map to disjoint fine regions.
-                let f = unsafe { shared.get() };
                 for b in boxes {
-                    coarse.prolong_box_into(f, b);
+                    coarse.prolong_box_into(fine_ro, b, &out_u);
                 }
             });
         }
@@ -249,12 +238,11 @@ mod tests {
         a.solve(1e-8, 20, &ParallelFor::Serial);
         b.solve(1e-8, 20, &ParallelFor::OneOne { nthreads: 4 });
         let (la, lb) = (&a.levels[0], &b.levels[0]);
-        let max_diff = la
-            .u
-            .iter()
-            .zip(&lb.u)
-            .map(|(x, y)| (x - y).abs())
-            .fold(0.0f64, f64::max);
+        let max_diff =
+            la.u.iter()
+                .zip(&lb.u)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0f64, f64::max);
         assert!(max_diff < 1e-12, "parallel diverged: {max_diff}");
     }
 }

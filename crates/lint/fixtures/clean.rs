@@ -1,0 +1,35 @@
+//! Clean fixture: an annotated handler plus helpers that use only
+//! async-signal-safe operations. The analyzer must report zero
+//! diagnostics for this file.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static FLAG: AtomicU32 = AtomicU32::new(0);
+
+fn install_handler(_f: extern "C" fn(i32)) {}
+
+// sigsafe
+extern "C" fn good_handler(_sig: i32) {
+    FLAG.store(1, Ordering::Release);
+    helper();
+}
+
+// sigsafe: pure atomics + a justified raw read
+fn helper() {
+    let v = FLAG.load(Ordering::Acquire);
+    FLAG.store(v.wrapping_add(1), Ordering::Release);
+    // SAFETY: FLAG is a static with a stable address; a volatile read of
+    // its storage is always valid.
+    let _raw = unsafe { core::ptr::read_volatile(&FLAG as *const AtomicU32 as *const u32) };
+}
+
+// sigsafe
+fn waived() {
+    // sigsafe-allow: invariant violation must fail loud even mid-handler
+    assert!(FLAG.load(Ordering::Acquire) < u32::MAX);
+}
+
+pub fn register() {
+    install_handler(good_handler);
+    waived();
+}

@@ -1,0 +1,53 @@
+//! Seeded-violation fixture: every denylist category appears exactly
+//! once. `tests/fixtures.rs` asserts the exact `(line, category)` pairs
+//! below — keep its expectations in sync when editing this file.
+
+use std::sync::Mutex;
+
+static LOCKED: Mutex<u32> = Mutex::new(0);
+
+fn install_handler(_f: extern "C" fn(i32)) {}
+
+/// Registered as a handler but never annotated `// sigsafe`: [handler].
+extern "C" fn bad_handler(_sig: i32) {}
+
+pub fn register() {
+    install_handler(bad_handler);
+}
+
+// sigsafe
+fn allocates() {
+    let _s = String::new();
+}
+
+// sigsafe
+fn panics() {
+    panic!("boom");
+}
+
+// sigsafe
+fn locks() {
+    let _g = LOCKED.lock();
+}
+
+// sigsafe
+fn prints() {
+    println!("not in a handler, please");
+}
+
+// sigsafe
+fn blocks() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+// sigsafe
+fn escapes() {
+    unannotated_helper();
+}
+
+fn unannotated_helper() {}
+
+fn raw_poke() {
+    let x = 0u32;
+    let _v = unsafe { core::ptr::read_volatile(&x) };
+}

@@ -1,0 +1,101 @@
+//! `sigsafe`: scan the workspace for async-signal-safety violations.
+//!
+//! Usage:
+//! ```text
+//! sigsafe [--root <dir>] [--list] [FILE...]
+//! ```
+//!
+//! With no file arguments, scans every `crates/*/src/**/*.rs` under the
+//! workspace root (found by walking up from the current directory),
+//! excluding `fixtures/` directories. Prints one `file:line: [category]
+//! message` diagnostic per violation and exits nonzero if any were found.
+//!
+//! `--list` additionally prints the annotated sigsafe set, which is the
+//! audited surface a reviewer must re-check when the preemption handler
+//! changes.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut list = false;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--list" => list = true,
+            "--help" | "-h" => {
+                eprintln!("usage: sigsafe [--root <dir>] [--list] [FILE...]");
+                return ExitCode::SUCCESS;
+            }
+            _ if a.starts_with('-') => {
+                eprintln!("sigsafe: unknown option `{a}`");
+                eprintln!("usage: sigsafe [--root <dir>] [--list] [FILE...]");
+                return ExitCode::FAILURE;
+            }
+            _ => files.push(PathBuf::from(a)),
+        }
+    }
+
+    // A typo'd path must not scan as an empty (violation-free) file.
+    for f in &files {
+        if !f.is_file() {
+            eprintln!("sigsafe: cannot read `{}`", f.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if files.is_empty() {
+        let cwd = std::env::current_dir().expect("cwd");
+        let root = match root.or_else(|| ult_lint::find_workspace_root(&cwd)) {
+            Some(r) => r,
+            None => {
+                eprintln!("sigsafe: no workspace root found above {}", cwd.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        files = ult_lint::workspace_sources(&root);
+        if files.is_empty() {
+            eprintln!("sigsafe: no sources under {}", root.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if list {
+        let scans: Vec<_> = files
+            .iter()
+            .filter_map(|p| {
+                let src = std::fs::read_to_string(p).ok()?;
+                Some(ult_lint::scan_file(p, &src))
+            })
+            .collect();
+        println!("sigsafe-annotated functions:");
+        for f in &scans {
+            for d in &f.fns {
+                if d.sigsafe {
+                    println!("  {}:{}: {}", f.path.display(), d.line, d.name);
+                }
+            }
+        }
+        let diags = ult_lint::analyze(&scans);
+        report(&diags, files.len())
+    } else {
+        let diags = ult_lint::run(&files);
+        report(&diags, files.len())
+    }
+}
+
+fn report(diags: &[ult_lint::Diagnostic], nfiles: usize) -> ExitCode {
+    for d in diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        eprintln!("sigsafe: OK ({nfiles} files, 0 violations)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("sigsafe: {} violation(s) in {nfiles} files", diags.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,1228 @@
+//! `ult-lint`: a dependency-free async-signal-safety checker for the ULT
+//! runtime.
+//!
+//! Preemption delivers a real-time signal at an *arbitrary instruction* of a
+//! running ULT (paper §3.1): the interrupted frame may be halfway through
+//! `malloc`, holding a parking-lot queue lock, or mid-unwind. Everything the
+//! preemption handler can reach must therefore be restricted to the
+//! async-signal-safe core: atomics, futex wait/wake, `tgkill`,
+//! `clock_gettime`, spinlock-guarded pops of pre-allocated structures, a
+//! capacity-reserved pool push, and the context switch itself. The type
+//! system cannot express that property, so this crate enforces it the way
+//! the Linux kernel's `objtool` validates `noinstr` sections: a
+//! source-level, call-graph closure check.
+//!
+//! # Model
+//!
+//! * A hand-rolled lexer (no `syn`, no proc-macro machinery) tokenizes every
+//!   workspace source file, indexing function definitions and the calls each
+//!   body makes (path calls, method calls, macro invocations).
+//! * **Roots** are the signal-handler entry points (any function passed to
+//!   `install_handler`) plus every function annotated with a `// sigsafe`
+//!   comment on the line above its definition.
+//! * The annotated set must be **transitively closed**: an annotated
+//!   function may only call (a) other annotated workspace functions, (b)
+//!   allowlisted leaf operations (atomics, `Cell`/`UnsafeCell` accessors,
+//!   arithmetic helpers, raw `libc` syscall wrappers), or (c) external calls
+//!   that match no denylist entry. Any call that resolves to a workspace
+//!   function with no `// sigsafe`-annotated definition is an **escape**
+//!   violation; any call matching the denylist (allocation, panicking,
+//!   locking, I/O, blocking) is flagged with its category.
+//! * `// sigsafe-allow: <reason>` on (or directly above) a line waives
+//!   diagnostics for that line — used for the few audited sites where a
+//!   denylisted construct is deliberate (e.g. the fail-loud reservation
+//!   assert in `ThreadPool::push`).
+//! * Independently of the sigsafe closure, every `unsafe {` block in scanned
+//!   code must carry a `SAFETY:` comment within the four preceding lines.
+//!
+//! # Known limitations (by design — this is a linter, not a verifier)
+//!
+//! Calls are resolved **by name**, not by type: a method call `x.push(..)`
+//! is accepted if *any* workspace function named `push` is annotated
+//! `// sigsafe`. This admits false negatives when an unsafe API shares a
+//! name with an audited one; the dynamic in-handler allocation guard in
+//! `ult-core` (`sigsafe` module) exists precisely to catch what this
+//! name-level analysis cannot. Macros are checked at the invocation site
+//! only (their expansion is not traversed).
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+// ---------------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------------
+
+/// Violation categories, mirroring the denylist structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Heap allocation (or an operation that may allocate).
+    Alloc,
+    /// Panicking construct (`panic!`, `unwrap`, `expect`, `assert!` family).
+    Panic,
+    /// Parking or poisoning lock (`parking_lot`, `std::sync::Mutex`, …).
+    Lock,
+    /// I/O (`println!`, `std::fs`, …).
+    Io,
+    /// Blocking call (`sleep`, `join`, `recv`, …).
+    Blocking,
+    /// Call escaping the annotated set into unaudited workspace code.
+    Escape,
+    /// Signal-handler entry point lacking a `// sigsafe` annotation.
+    Handler,
+    /// `unsafe {` block without a nearby `SAFETY:` comment.
+    Safety,
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Category::Alloc => "alloc",
+            Category::Panic => "panic",
+            Category::Lock => "lock",
+            Category::Io => "io",
+            Category::Blocking => "blocking",
+            Category::Escape => "escape",
+            Category::Handler => "handler",
+            Category::Safety => "safety",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One reported violation, printed as `file:line: [category] message`.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Source file the violation is in.
+    pub file: PathBuf,
+    /// 1-based line of the offending call or block.
+    pub line: u32,
+    /// Violation category.
+    pub category: Category,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.category,
+            self.message
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Punct(char),
+    /// Any literal (string, char, number) — opaque, breaks ident runs.
+    Lit,
+    /// A `// sigsafe` annotation comment; attaches to the next `fn`.
+    Mark,
+}
+
+#[derive(Debug, Clone)]
+struct Sp {
+    tok: Tok,
+    line: u32,
+}
+
+struct Lexed {
+    toks: Vec<Sp>,
+    /// Lines carrying a `// sigsafe-allow: <reason>` waiver.
+    allow: HashMap<u32, String>,
+    /// Lines of comments that contain `SAFETY`.
+    safety: HashSet<u32>,
+}
+
+fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut allow = HashMap::new();
+    let mut safety = HashSet::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                // Line comment: scan to EOL, interpret markers.
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+                let body = src[start..j].trim();
+                if body.contains("SAFETY") {
+                    safety.insert(line);
+                }
+                // Doc comments (`///`, `//!`) never carry markers.
+                if !body.starts_with('/') && !body.starts_with('!') {
+                    if let Some(rest) = body.strip_prefix("sigsafe-allow") {
+                        let reason = rest.trim_start_matches(':').trim().to_string();
+                        allow.insert(line, reason);
+                    } else if body == "sigsafe" || body.starts_with("sigsafe:") {
+                        toks.push(Sp {
+                            tok: Tok::Mark,
+                            line,
+                        });
+                    }
+                }
+                i = j;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Block comment (nesting, as in Rust).
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j + 1 < b.len() && depth > 0 {
+                    if b[j] == b'/' && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        if b[j] == b'\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            b'"' => {
+                i = skip_string(b, i, &mut line);
+                toks.push(Sp {
+                    tok: Tok::Lit,
+                    line,
+                });
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a lifetime is `'` + ident with no
+                // closing quote.
+                if i + 1 < b.len() && b[i + 1] == b'\\' {
+                    // Escaped char literal.
+                    let mut j = i + 2;
+                    while j < b.len() && b[j] != b'\'' {
+                        j += 1;
+                    }
+                    i = j + 1;
+                    toks.push(Sp {
+                        tok: Tok::Lit,
+                        line,
+                    });
+                } else {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                        j += 1;
+                    }
+                    if j < b.len() && b[j] == b'\'' && j > i + 1 {
+                        // 'x' style char literal.
+                        i = j + 1;
+                        toks.push(Sp {
+                            tok: Tok::Lit,
+                            line,
+                        });
+                    } else {
+                        // Lifetime: skip the quote; the ident lexes next but
+                        // can never be followed by `(`, so it is inert.
+                        i += 1;
+                    }
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let id = &src[start..i];
+                // Raw / byte string prefixes: r"..", r#".."#, b"..", br"..".
+                if (id == "r" || id == "b" || id == "br")
+                    && i < b.len()
+                    && (b[i] == b'"' || b[i] == b'#')
+                {
+                    i = skip_raw_string(b, i, &mut line);
+                    toks.push(Sp {
+                        tok: Tok::Lit,
+                        line,
+                    });
+                } else {
+                    toks.push(Sp {
+                        tok: Tok::Ident(id.to_string()),
+                        line,
+                    });
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                {
+                    // Tuple indexing (`x.0.load`) must not swallow the method
+                    // that follows: stop a numeric token at `.` + non-digit.
+                    if b[i] == b'.' && (i + 1 >= b.len() || !b[i + 1].is_ascii_digit()) {
+                        break;
+                    }
+                    i += 1;
+                }
+                toks.push(Sp {
+                    tok: Tok::Lit,
+                    line,
+                });
+            }
+            _ => {
+                toks.push(Sp {
+                    tok: Tok::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    Lexed {
+        toks,
+        allow,
+        safety,
+    }
+}
+
+fn skip_string(b: &[u8], start: usize, line: &mut u32) -> usize {
+    let mut j = start + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+fn skip_raw_string(b: &[u8], start: usize, line: &mut u32) -> usize {
+    // At `start`: either `"` or one-or-more `#` then `"`.
+    let mut hashes = 0;
+    let mut j = start;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'"' {
+        return j; // not actually a raw string; resume normally
+    }
+    j += 1;
+    while j < b.len() {
+        if b[j] == b'\n' {
+            *line += 1;
+        }
+        if b[j] == b'"' {
+            let mut k = 0;
+            while k < hashes && j + 1 + k < b.len() && b[j + 1 + k] == b'#' {
+                k += 1;
+            }
+            if k == hashes {
+                return j + 1 + hashes;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+// ---------------------------------------------------------------------------
+// Parser: function definitions, calls, roots, unsafe blocks
+// ---------------------------------------------------------------------------
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Path segments (`["Context", "switch"]`; one segment for bare calls
+    /// and method calls).
+    pub path: Vec<String>,
+    /// 1-based source line.
+    pub line: u32,
+    /// `x.name(..)` method-call syntax.
+    pub method: bool,
+    /// `name!(..)` macro invocation.
+    pub mac: bool,
+}
+
+impl CallSite {
+    fn name(&self) -> &str {
+        self.path.last().map(String::as_str).unwrap_or("")
+    }
+    fn joined(&self) -> String {
+        self.path.join("::")
+    }
+}
+
+/// A function definition found in a scanned file.
+#[derive(Debug)]
+pub struct FnDef {
+    /// Bare function name (no path, no generics).
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Whether a `// sigsafe` annotation precedes the definition.
+    pub sigsafe: bool,
+    /// Calls made in the body.
+    pub calls: Vec<CallSite>,
+}
+
+/// Per-file scan result.
+pub struct FileScan {
+    /// Path as given to [`scan_file`].
+    pub path: PathBuf,
+    /// All function definitions with bodies (test modules excluded).
+    pub fns: Vec<FnDef>,
+    /// `// sigsafe-allow` waivers by line.
+    pub allow: HashMap<u32, String>,
+    /// Function names passed to `install_handler(..)` — handler roots.
+    pub handler_roots: Vec<(String, u32)>,
+    /// Lines of `unsafe {` blocks with no nearby `SAFETY:` comment.
+    pub unsafe_without_safety: Vec<u32>,
+}
+
+const KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "in", "as", "let", "mut", "ref", "move", "loop",
+    "break", "continue", "else", "unsafe", "fn", "pub", "impl", "where", "use", "mod", "struct",
+    "enum", "trait", "type", "const", "static", "crate", "self", "Self", "super", "dyn", "async",
+    "await", "extern", "true", "false", "box",
+];
+
+/// Scan one source file into its function/call model.
+pub fn scan_file(path: &Path, src: &str) -> FileScan {
+    let Lexed {
+        toks,
+        allow,
+        safety,
+    } = lex(src);
+    let mut fns: Vec<FnDef> = Vec::new();
+    let mut handler_roots = Vec::new();
+    let mut unsafe_without_safety = Vec::new();
+
+    // Stack of (fn index, brace depth of the body's opening `{`).
+    let mut fn_stack: Vec<(usize, i32)> = Vec::new();
+    let mut depth: i32 = 0;
+    let mut pending_sigsafe = false;
+    let mut i = 0usize;
+
+    fn ident(s: &Sp) -> Option<&str> {
+        match &s.tok {
+            Tok::Ident(id) => Some(id.as_str()),
+            _ => None,
+        }
+    }
+    let punct = |s: &Sp, c: char| matches!(s.tok, Tok::Punct(p) if p == c);
+
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Mark => {
+                pending_sigsafe = true;
+                i += 1;
+            }
+            Tok::Punct('#') => {
+                // Attribute: `#[...]` or `#![...]`. Skip it, but detect
+                // test-only items (`#[cfg(test)]`, `#[test]`) so test modules
+                // and functions never enter the index (their helper fns and
+                // handlers would pollute name resolution).
+                let mut j = i + 1;
+                if j < toks.len() && punct(&toks[j], '!') {
+                    j += 1;
+                }
+                let mut is_test = false;
+                if j < toks.len() && punct(&toks[j], '[') {
+                    let mut bdepth = 1;
+                    let mut saw_not = false;
+                    j += 1;
+                    while j < toks.len() && bdepth > 0 {
+                        match &toks[j].tok {
+                            Tok::Punct('[') => bdepth += 1,
+                            Tok::Punct(']') => bdepth -= 1,
+                            Tok::Ident(id) if id == "not" => saw_not = true,
+                            Tok::Ident(id) if id == "test" && !saw_not => is_test = true,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+                i = j;
+                if is_test {
+                    i = skip_item(&toks, i);
+                    pending_sigsafe = false;
+                }
+            }
+            Tok::Punct('{') => {
+                depth += 1;
+                i += 1;
+            }
+            Tok::Punct('}') => {
+                depth -= 1;
+                while let Some(&(_, d)) = fn_stack.last() {
+                    if depth < d {
+                        fn_stack.pop();
+                    } else {
+                        break;
+                    }
+                }
+                i += 1;
+            }
+            Tok::Ident(id) if id == "unsafe" => {
+                // `unsafe {` block: demand a SAFETY comment on the same line
+                // or within the four preceding lines. (`unsafe fn` /
+                // `unsafe impl` / `unsafe extern` are not blocks.)
+                if i + 1 < toks.len() && punct(&toks[i + 1], '{') {
+                    let l = toks[i].line;
+                    let covered = (l.saturating_sub(4)..=l).any(|k| safety.contains(&k));
+                    if !covered {
+                        unsafe_without_safety.push(l);
+                    }
+                }
+                i += 1;
+            }
+            Tok::Ident(id) if id == "fn" => {
+                let sigsafe = std::mem::take(&mut pending_sigsafe);
+                // `fn(` is a function-pointer type, not a definition.
+                let Some(name) = toks.get(i + 1).and_then(ident) else {
+                    i += 1;
+                    continue;
+                };
+                let line = toks[i].line;
+                // Find the body `{` (or `;` for a bodyless declaration),
+                // ignoring nested parens/brackets in the signature.
+                let mut j = i + 2;
+                let mut pdepth = 0;
+                let mut has_body = false;
+                while j < toks.len() {
+                    match &toks[j].tok {
+                        Tok::Punct('(') | Tok::Punct('[') => pdepth += 1,
+                        Tok::Punct(')') | Tok::Punct(']') => pdepth -= 1,
+                        Tok::Punct('{') if pdepth == 0 => {
+                            has_body = true;
+                            break;
+                        }
+                        Tok::Punct(';') if pdepth == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if has_body {
+                    fns.push(FnDef {
+                        name: name.to_string(),
+                        line,
+                        sigsafe,
+                        calls: Vec::new(),
+                    });
+                    depth += 1; // consume the body `{`
+                    fn_stack.push((fns.len() - 1, depth));
+                    i = j + 1;
+                } else {
+                    i = j + 1;
+                }
+            }
+            Tok::Ident(id) if !KEYWORDS.contains(&id.as_str()) => {
+                // Possible call: collect `A::B::name`, then look for `(`/`!`.
+                let method = i > 0 && punct(&toks[i - 1], '.');
+                let call_line = toks[i].line;
+                let mut path = vec![id.clone()];
+                let mut j = i + 1;
+                loop {
+                    if j + 1 < toks.len() && punct(&toks[j], ':') && punct(&toks[j + 1], ':') {
+                        if let Some(seg) = toks.get(j + 2).and_then(ident) {
+                            path.push(seg.to_string());
+                            j += 3;
+                            continue;
+                        }
+                        if j + 2 < toks.len() && punct(&toks[j + 2], '<') {
+                            // Turbofish `::<..>`: skip the balanced angles.
+                            let mut adepth = 1;
+                            let mut k = j + 3;
+                            let mut prev_dash = false;
+                            while k < toks.len() && adepth > 0 {
+                                match &toks[k].tok {
+                                    Tok::Punct('<') => adepth += 1,
+                                    Tok::Punct('>') if !prev_dash => adepth -= 1,
+                                    _ => {}
+                                }
+                                prev_dash = matches!(toks[k].tok, Tok::Punct('-'));
+                                k += 1;
+                            }
+                            j = k;
+                            continue;
+                        }
+                    }
+                    break;
+                }
+                let (is_call, mac) = match toks.get(j).map(|s| &s.tok) {
+                    Some(Tok::Punct('(')) => (true, false),
+                    Some(Tok::Punct('!')) => {
+                        // Macro unless this is `!=`.
+                        let ne = matches!(toks.get(j + 1).map(|s| &s.tok), Some(Tok::Punct('=')));
+                        (!ne, !ne)
+                    }
+                    _ => (false, false),
+                };
+                if is_call {
+                    if let Some(&(fi, _)) = fn_stack.last() {
+                        fns[fi].calls.push(CallSite {
+                            path: path.clone(),
+                            line: call_line,
+                            method,
+                            mac,
+                        });
+                    }
+                    // Handler-root extraction: bare fn idents among the
+                    // arguments of `install_handler(..)`.
+                    if !mac && path.last().map(String::as_str) == Some("install_handler") {
+                        let mut pdepth = 0;
+                        let mut k = j;
+                        while k < toks.len() {
+                            match &toks[k].tok {
+                                Tok::Punct('(') => pdepth += 1,
+                                Tok::Punct(')') => {
+                                    pdepth -= 1;
+                                    if pdepth == 0 {
+                                        break;
+                                    }
+                                }
+                                Tok::Ident(arg)
+                                    if pdepth == 1 && !KEYWORDS.contains(&arg.as_str()) =>
+                                {
+                                    // A bare ident not itself called.
+                                    let next = toks.get(k + 1).map(|s| &s.tok);
+                                    if !matches!(
+                                        next,
+                                        Some(Tok::Punct('(')) | Some(Tok::Punct(':'))
+                                    ) {
+                                        handler_roots.push((arg.clone(), toks[k].line));
+                                    }
+                                }
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                    }
+                }
+                i = j;
+            }
+            _ => i += 1,
+        }
+    }
+
+    FileScan {
+        path: path.to_path_buf(),
+        fns,
+        allow,
+        handler_roots,
+        unsafe_without_safety,
+    }
+}
+
+/// Skip one item after a test attribute: to the end of a balanced `{..}`
+/// body or a terminating `;`, whichever comes first at item level.
+fn skip_item(toks: &[Sp], mut i: usize) -> usize {
+    // Skip any further attributes first.
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct('#') => {
+                i += 1;
+                if matches!(toks.get(i).map(|s| &s.tok), Some(Tok::Punct('!'))) {
+                    i += 1;
+                }
+                if matches!(toks.get(i).map(|s| &s.tok), Some(Tok::Punct('['))) {
+                    let mut d = 1;
+                    i += 1;
+                    while i < toks.len() && d > 0 {
+                        match &toks[i].tok {
+                            Tok::Punct('[') => d += 1,
+                            Tok::Punct(']') => d -= 1,
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            Tok::Punct('{') => {
+                let mut d = 1;
+                i += 1;
+                while i < toks.len() && d > 0 {
+                    match &toks[i].tok {
+                        Tok::Punct('{') => d += 1,
+                        Tok::Punct('}') => d -= 1,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                return i;
+            }
+            Tok::Punct(';') => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+/// Macros that must never run on the handler path.
+const MACRO_DENY: &[(&str, Category)] = &[
+    ("panic", Category::Panic),
+    ("assert", Category::Panic),
+    ("assert_eq", Category::Panic),
+    ("assert_ne", Category::Panic),
+    ("unreachable", Category::Panic),
+    ("todo", Category::Panic),
+    ("unimplemented", Category::Panic),
+    ("format", Category::Alloc),
+    ("vec", Category::Alloc),
+    ("println", Category::Io),
+    ("eprintln", Category::Io),
+    ("print", Category::Io),
+    ("eprint", Category::Io),
+    ("dbg", Category::Io),
+    ("write", Category::Io),
+    ("writeln", Category::Io),
+];
+
+/// Macros explicitly allowed (`debug_assert!` compiles out of release and is
+/// accepted as a development aid on the handler path).
+const MACRO_ALLOW: &[&str] = &[
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+    "matches",
+    "cfg",
+    "stringify",
+    "line",
+    "file",
+    "column",
+    "concat",
+    "env",
+    "compile_error",
+];
+
+/// Leading path segments whose subtree is denied outright.
+const PATH_DENY: &[(&[&str], Category)] = &[
+    (&["Box"], Category::Alloc),
+    (&["Vec"], Category::Alloc),
+    (&["String"], Category::Alloc),
+    (&["Rc"], Category::Alloc),
+    (&["CString"], Category::Alloc),
+    (&["VecDeque"], Category::Alloc),
+    (&["HashMap"], Category::Alloc),
+    (&["BTreeMap"], Category::Alloc),
+    (&["Arc", "new"], Category::Alloc),
+    (&["std", "fs"], Category::Io),
+    (&["std", "thread", "sleep"], Category::Blocking),
+];
+
+/// Path *segments* that mark a parking/poisoning lock type anywhere in a
+/// qualified call (`parking_lot::Mutex::new`, `sync::Mutex::new`, …).
+const LOCK_SEGMENTS: &[&str] = &["parking_lot", "Mutex", "RwLock", "Condvar"];
+
+/// Method names accepted without resolution: atomic operations and
+/// `Cell`/`UnsafeCell`/pointer/`Option` leaves that can never allocate,
+/// block, or panic. Checked *before* workspace resolution so that an
+/// unrelated workspace function of the same name cannot hijack them.
+const METHOD_ALLOW: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "get",
+    "set",
+    "replace",
+    "take",
+    "as_ptr",
+    "as_mut_ptr",
+    "as_ref",
+    "as_mut",
+    "is_null",
+    "is_none",
+    "is_some",
+    "is_ok",
+    "is_err",
+    "is_empty",
+    "len",
+    "iter",
+    "iter_mut",
+    "enumerate",
+    "skip",
+    "rev",
+    "map",
+    "max",
+    "min",
+    "clamp",
+    "saturating_add",
+    "saturating_sub",
+    "saturating_mul",
+    "wrapping_add",
+    "wrapping_sub",
+    "wrapping_mul",
+    "unwrap_or",
+    "unwrap_or_default",
+    "and_then",
+    "or_else",
+    "filter",
+    "cmp",
+    "eq",
+    "ne",
+];
+
+/// Bare calls accepted without resolution (std prelude free functions).
+const BARE_ALLOW: &[&str] = &["drop"];
+
+/// Names denied when the call does not resolve to an annotated workspace
+/// function (method or bare form).
+const NAME_DENY: &[(&str, Category)] = &[
+    ("unwrap", Category::Panic),
+    ("expect", Category::Panic),
+    ("unwrap_err", Category::Panic),
+    ("lock", Category::Lock),
+    ("try_lock", Category::Lock),
+    ("read", Category::Lock),
+    ("write", Category::Lock),
+    ("wait", Category::Blocking),
+    ("sleep", Category::Blocking),
+    ("park_timeout", Category::Blocking),
+    ("join", Category::Blocking),
+    ("recv", Category::Blocking),
+    ("to_string", Category::Alloc),
+    ("to_owned", Category::Alloc),
+    ("to_vec", Category::Alloc),
+    ("clone", Category::Alloc),
+    ("collect", Category::Alloc),
+    ("push", Category::Alloc),
+    ("push_back", Category::Alloc),
+    ("push_front", Category::Alloc),
+    ("insert", Category::Alloc),
+    ("reserve", Category::Alloc),
+    ("extend", Category::Alloc),
+    ("with_capacity", Category::Alloc),
+];
+
+/// Path heads resolved outside the workspace (never escape violations).
+const EXTERNAL_HEADS: &[&str] = &["std", "core", "alloc", "libc"];
+
+// ---------------------------------------------------------------------------
+// Analysis
+// ---------------------------------------------------------------------------
+
+/// Analyze a set of scanned files and return all diagnostics, sorted by
+/// file and line.
+pub fn analyze(files: &[FileScan]) -> Vec<Diagnostic> {
+    // Index: function name -> [(file idx, fn idx)].
+    let mut index: HashMap<&str, Vec<(usize, usize)>> = HashMap::new();
+    for (fi, f) in files.iter().enumerate() {
+        for (di, d) in f.fns.iter().enumerate() {
+            index.entry(&d.name).or_default().push((fi, di));
+        }
+    }
+    let any_sigsafe =
+        |defs: &[(usize, usize)]| defs.iter().any(|&(fi, di)| files[fi].fns[di].sigsafe);
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut push_diag = |f: &FileScan, line: u32, category: Category, message: String| {
+        // `// sigsafe-allow` on the line itself or the line above waives.
+        if f.allow.contains_key(&line) || (line > 1 && f.allow.contains_key(&(line - 1))) {
+            return;
+        }
+        diags.push(Diagnostic {
+            file: f.path.clone(),
+            line,
+            category,
+            message,
+        });
+    };
+
+    // Roots: handler entry points must be annotated.
+    let mut work: Vec<(usize, usize)> = Vec::new();
+    let mut visited: HashSet<(usize, usize)> = HashSet::new();
+    for f in files {
+        for (name, line) in &f.handler_roots {
+            match index.get(name.as_str()) {
+                Some(defs) => {
+                    if !any_sigsafe(defs) {
+                        push_diag(
+                            f,
+                            *line,
+                            Category::Handler,
+                            format!("signal handler `{name}` is not annotated `// sigsafe`"),
+                        );
+                    }
+                    for &d in defs {
+                        if visited.insert(d) {
+                            work.push(d);
+                        }
+                    }
+                }
+                None => push_diag(
+                    f,
+                    *line,
+                    Category::Handler,
+                    format!("signal handler `{name}` not found in the scanned sources"),
+                ),
+            }
+        }
+    }
+    // Plus every annotated function.
+    for (fi, f) in files.iter().enumerate() {
+        for (di, d) in f.fns.iter().enumerate() {
+            if d.sigsafe && visited.insert((fi, di)) {
+                work.push((fi, di));
+            }
+        }
+    }
+
+    // Transitive check: every visited function's calls must be safe; calls
+    // resolving into the workspace must land on annotated definitions.
+    while let Some((fi, di)) = work.pop() {
+        let f = &files[fi];
+        let d = &f.fns[di];
+        for call in &d.calls {
+            let name = call.name();
+            if call.mac {
+                if MACRO_ALLOW.contains(&name) {
+                    continue;
+                }
+                if let Some(&(_, cat)) = MACRO_DENY.iter().find(|(m, _)| *m == name) {
+                    push_diag(
+                        f,
+                        call.line,
+                        cat,
+                        format!("`{name}!` in handler-reachable fn `{}`", d.name),
+                    );
+                }
+                continue;
+            }
+
+            // Qualified-path rules first.
+            if call.path.len() > 1 {
+                if call
+                    .path
+                    .iter()
+                    .any(|s| LOCK_SEGMENTS.contains(&s.as_str()))
+                {
+                    push_diag(
+                        f,
+                        call.line,
+                        Category::Lock,
+                        format!("`{}` in handler-reachable fn `{}`", call.joined(), d.name),
+                    );
+                    continue;
+                }
+                if let Some(&(_, cat)) = PATH_DENY.iter().find(|(p, _)| {
+                    call.path.len() >= p.len() && p.iter().zip(&call.path).all(|(a, b)| a == b)
+                }) {
+                    push_diag(
+                        f,
+                        call.line,
+                        cat,
+                        format!("`{}` in handler-reachable fn `{}`", call.joined(), d.name),
+                    );
+                    continue;
+                }
+                if EXTERNAL_HEADS.contains(&call.path[0].as_str()) {
+                    continue; // std/core/alloc/libc leaf: audited externally
+                }
+            }
+
+            if call.method && METHOD_ALLOW.contains(&name) {
+                continue;
+            }
+            if !call.method && call.path.len() == 1 && BARE_ALLOW.contains(&name) {
+                continue;
+            }
+
+            // Workspace resolution by name.
+            if let Some(defs) = index.get(name) {
+                if any_sigsafe(defs) {
+                    // Trusted annotated implementation exists; traverse the
+                    // annotated definitions (already in `visited`).
+                    continue;
+                }
+                let (tfi, tdi) = defs[0];
+                push_diag(
+                    f,
+                    call.line,
+                    Category::Escape,
+                    format!(
+                        "handler-reachable fn `{}` calls `{}`, defined without `// sigsafe` at {}:{}",
+                        d.name,
+                        name,
+                        files[tfi].path.display(),
+                        files[tfi].fns[tdi].line
+                    ),
+                );
+                // Traverse anyway when unambiguous, to surface root causes.
+                if defs.len() == 1 && visited.insert(defs[0]) {
+                    work.push(defs[0]);
+                }
+                continue;
+            }
+
+            // Unresolved external: denylist by name, else allow.
+            if let Some(&(_, cat)) = NAME_DENY.iter().find(|(n, _)| *n == name) {
+                push_diag(
+                    f,
+                    call.line,
+                    cat,
+                    format!("`.{name}(..)` in handler-reachable fn `{}`", d.name),
+                );
+            }
+        }
+    }
+
+    // File-level rule: unsafe blocks need SAFETY comments.
+    for f in files {
+        for &line in &f.unsafe_without_safety {
+            push_diag(
+                f,
+                line,
+                Category::Safety,
+                "`unsafe` block without a `SAFETY:` comment".to_string(),
+            );
+        }
+    }
+
+    diags.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    diags
+}
+
+// ---------------------------------------------------------------------------
+// Workspace scanning
+// ---------------------------------------------------------------------------
+
+/// Locate the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(s) = std::fs::read_to_string(&manifest) {
+            if s.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Collect every `crates/*/src/**/*.rs` under `root`, excluding fixture
+/// directories (the lint's own seeded-violation corpus).
+pub fn workspace_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    let Ok(entries) = std::fs::read_dir(&crates) else {
+        return out;
+    };
+    for e in entries.flatten() {
+        let src = e.path().join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut out);
+        }
+    }
+    out.sort();
+    out
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            if p.file_name().is_some_and(|n| n == "fixtures") {
+                continue;
+            }
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Scan and analyze a list of files (used by the CLI and the fixture tests).
+pub fn run(paths: &[PathBuf]) -> Vec<Diagnostic> {
+    let scans: Vec<FileScan> = paths
+        .iter()
+        .filter_map(|p| {
+            let src = std::fs::read_to_string(p).ok()?;
+            Some(scan_file(p, &src))
+        })
+        .collect();
+    analyze(&scans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> FileScan {
+        scan_file(Path::new("mem.rs"), src)
+    }
+
+    #[test]
+    fn lexer_skips_strings_comments_lifetimes() {
+        let f = scan(
+            "// sigsafe\nfn a() { let s = \"Box::new(0) // not code\"; b::<'static, i32>(s); }\nfn b() {}\n",
+        );
+        assert_eq!(f.fns.len(), 2);
+        assert!(f.fns[0].sigsafe);
+        let calls: Vec<_> = f.fns[0]
+            .calls
+            .iter()
+            .map(|c| c.name().to_string())
+            .collect();
+        assert_eq!(calls, vec!["b"]);
+    }
+
+    #[test]
+    fn method_and_path_calls_are_distinguished() {
+        let f = scan("fn a() { x.m(); P::q(); bare(); mac!(z); }");
+        let c = &f.fns[0].calls;
+        assert_eq!(c.len(), 4);
+        assert!(c[0].method && c[0].name() == "m");
+        assert!(!c[1].method && c[1].joined() == "P::q");
+        assert!(!c[2].method && c[2].name() == "bare");
+        assert!(c[3].mac && c[3].name() == "mac");
+    }
+
+    #[test]
+    fn sigsafe_annotation_attaches_to_next_fn_only() {
+        let f = scan("// sigsafe\nfn a() {}\nfn b() {}");
+        assert!(f.fns[0].sigsafe);
+        assert!(!f.fns[1].sigsafe);
+    }
+
+    #[test]
+    fn doc_comments_do_not_annotate() {
+        let f = scan("/// sigsafe\nfn a() {}\n//! sigsafe\nfn b() {}");
+        assert!(!f.fns[0].sigsafe);
+        assert!(!f.fns[1].sigsafe);
+    }
+
+    #[test]
+    fn cfg_test_modules_are_skipped() {
+        let f =
+            scan("fn real() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { x.unwrap(); }\n}\n");
+        assert_eq!(f.fns.len(), 1);
+        assert_eq!(f.fns[0].name, "real");
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_skipped() {
+        let f = scan("#[cfg(not(test))]\nfn real() {}\n");
+        assert_eq!(f.fns.len(), 1);
+    }
+
+    #[test]
+    fn handler_roots_extracted_from_install_handler() {
+        let f = scan(
+            "fn setup() { install_handler(signum(), my_handler).unwrap(); }\nfn my_handler() {}",
+        );
+        assert_eq!(f.handler_roots.len(), 1);
+        assert_eq!(f.handler_roots[0].0, "my_handler");
+    }
+
+    #[test]
+    fn unannotated_handler_is_flagged() {
+        let f = scan("fn setup() { install_handler(7, h); }\nfn h() {}");
+        let d = analyze(&[f]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].category, Category::Handler);
+    }
+
+    #[test]
+    fn escape_reports_callee_definition_site() {
+        let f = scan("// sigsafe\nfn a() { helper(); }\nfn helper() {}");
+        let d = analyze(&[f]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].category, Category::Escape);
+        assert_eq!(d[0].line, 2);
+        assert!(d[0].message.contains("mem.rs:3"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn annotated_callee_resolves_clean() {
+        let f = scan("// sigsafe\nfn a() { helper(); }\n// sigsafe\nfn helper() { x.load(o); }");
+        assert!(analyze(&[f]).is_empty());
+    }
+
+    #[test]
+    fn sigsafe_allow_waives_same_and_next_line() {
+        let f = scan(
+            "// sigsafe\nfn a() {\n    x.unwrap(); // sigsafe-allow: audited\n    // sigsafe-allow: audited\n    y.unwrap();\n    z.unwrap();\n}",
+        );
+        let d = analyze(&[f]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 6);
+    }
+
+    #[test]
+    fn unsafe_block_without_safety_comment_flagged() {
+        let f = scan("fn a() {\n    unsafe { w(); }\n}\nfn b() {\n    // SAFETY: fine.\n    unsafe { w(); }\n}\nfn w() {}");
+        let d = analyze(&[f]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].category, Category::Safety);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn tuple_index_does_not_swallow_method() {
+        let f = scan("// sigsafe\nfn a() { s.0.fetch_add(1, o); }");
+        assert_eq!(f.fns[0].calls[0].name(), "fetch_add");
+        assert!(analyze(&[f]).is_empty());
+    }
+
+    #[test]
+    fn turbofish_call_is_recorded() {
+        let f = scan("// sigsafe\nfn a() { q::<u32>(1); }\nfn q() {}");
+        let d = analyze(&[f]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].category, Category::Escape);
+    }
+
+    #[test]
+    fn ne_operator_is_not_a_macro() {
+        let f = scan("fn a() { if x != y { } }");
+        assert!(f.fns[0].calls.is_empty());
+    }
+
+    #[test]
+    fn nested_fn_calls_attributed_to_inner() {
+        let f = scan("// sigsafe\nfn outer() {\n    fn inner() { v.unwrap(); }\n    ok();\n}\n// sigsafe\nfn ok() {}");
+        // inner is not sigsafe: outer's call graph is outer -> ok only; the
+        // unwrap belongs to inner, which is unreachable from roots.
+        let d = analyze(&[f]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -1,0 +1,71 @@
+//! Integration tests: the analyzer against the seeded fixtures and the
+//! real workspace tree.
+//!
+//! The violation fixture encodes one diagnostic per category at a fixed
+//! line; the expectations here pin both, so an analyzer regression that
+//! drops a category or drifts a line fails loudly.
+
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+#[test]
+fn clean_fixture_has_no_diagnostics() {
+    let diags = ult_lint::run(&[fixture("clean.rs")]);
+    assert!(diags.is_empty(), "unexpected diagnostics: {diags:#?}");
+}
+
+#[test]
+fn violations_fixture_flags_every_category_at_exact_lines() {
+    let diags = ult_lint::run(&[fixture("violations.rs")]);
+    let got: Vec<(u32, String)> = diags
+        .iter()
+        .map(|d| (d.line, d.category.to_string()))
+        .collect();
+    let want: Vec<(u32, String)> = [
+        (15, "handler"),
+        (20, "alloc"),
+        (25, "panic"),
+        (30, "lock"),
+        (35, "io"),
+        (40, "blocking"),
+        (45, "escape"),
+        (52, "safety"),
+    ]
+    .iter()
+    .map(|(l, c)| (*l, c.to_string()))
+    .collect();
+    assert_eq!(got, want, "diagnostics: {diags:#?}");
+}
+
+#[test]
+fn escape_diagnostic_names_the_definition_site() {
+    let diags = ult_lint::run(&[fixture("violations.rs")]);
+    let esc = diags
+        .iter()
+        .find(|d| d.category.to_string() == "escape")
+        .expect("escape diagnostic present");
+    assert!(
+        esc.message.contains("unannotated_helper") && esc.message.contains(":48"),
+        "escape message should point at the callee definition: {}",
+        esc.message
+    );
+}
+
+#[test]
+fn real_tree_passes() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = ult_lint::find_workspace_root(manifest).expect("workspace root");
+    let files = ult_lint::workspace_sources(&root);
+    assert!(files.len() > 20, "workspace scan found too few files");
+    let diags = ult_lint::run(&files);
+    assert!(
+        diags.is_empty(),
+        "the real tree must be sigsafe-clean; run `cargo run -p ult-lint --bin sigsafe` \
+         and fix or waive these:\n{diags:#?}"
+    );
+}

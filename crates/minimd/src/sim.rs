@@ -5,7 +5,6 @@
 //! for 100 steps (§4.3).
 
 use crate::exec::SimExec;
-use std::cell::UnsafeCell;
 
 /// Simulation parameters.
 #[derive(Debug, Clone, Copy)]
@@ -49,15 +48,35 @@ pub struct System {
     cells: Vec<Vec<u32>>,
 }
 
-/// Disjoint-chunk force sharing.
-struct ShareForces<'a>(UnsafeCell<&'a mut [f64]>);
-// SAFETY: each simulation thread writes only its own atoms' force entries.
-unsafe impl Sync for ShareForces<'_> {}
-impl ShareForces<'_> {
+/// Disjoint-chunk force sharing: a raw view of the force array from which
+/// each simulation thread derives a `&mut` strictly over its own atoms'
+/// contiguous entries. Handing every thread a `&mut` to the WHOLE array
+/// (the previous design) aliases exclusive references — undefined
+/// behaviour even with disjoint writes.
+struct ShareForces {
+    ptr: *mut f64,
+    len: usize,
+}
+// SAFETY: chunk() hands out disjoint ranges only (caller obligation).
+unsafe impl Sync for ShareForces {}
+impl ShareForces {
+    fn new(s: &mut [f64]) -> ShareForces {
+        ShareForces {
+            ptr: s.as_mut_ptr(),
+            len: s.len(),
+        }
+    }
+
+    /// The force entries of atoms `[atoms.start, atoms.end)`.
+    ///
+    /// # Safety
+    /// Ranges passed by concurrent callers must be disjoint, and nothing
+    /// else may touch the force array while the view is live.
     #[allow(clippy::mut_from_ref)]
-    unsafe fn get(&self) -> &mut [f64] {
-        // SAFETY: forwarded (disjoint atom ranges).
-        unsafe { &mut *self.0.get() }
+    unsafe fn chunk(&self, atoms: std::ops::Range<usize>) -> &mut [f64] {
+        debug_assert!(3 * atoms.end <= self.len);
+        // SAFETY: in-bounds (3 entries per atom); disjointness per above.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(3 * atoms.start), 3 * atoms.len()) }
     }
 }
 
@@ -207,24 +226,20 @@ impl System {
     /// simulation's per-step fork-join).
     pub fn compute_forces(&mut self, exec: &SimExec) {
         let n = self.n_atoms();
-        let forces = {
-            // SAFETY: each chunk writes only its own atoms' entries, and
-            // force_on never reads `self.force` — the aliasing is between
-            // writes to `force` and reads of pos/cells only.
-            let ptr = self.force.as_mut_ptr();
-            let len = self.force.len();
-            unsafe { std::slice::from_raw_parts_mut(ptr, len) }
-        };
+        // Split borrow: force_on reads only pos/cells/params, never
+        // `self.force`, so the raw force view and the shared `&System`
+        // cover disjoint state.
+        let shared = ShareForces::new(&mut self.force);
         let this: &System = self;
-        let shared = ShareForces(UnsafeCell::new(forces));
         exec.run(n, |atoms| {
-            // SAFETY: disjoint atom ranges.
-            let f = unsafe { shared.get() };
-            for i in atoms {
+            // SAFETY: exec partitions [0, n) into disjoint atom ranges;
+            // each chunk's view covers exactly its own entries.
+            let f = unsafe { shared.chunk(atoms.clone()) };
+            for (il, i) in atoms.enumerate() {
                 let (fx, fy, fz) = this.force_on(i);
-                f[3 * i] = fx;
-                f[3 * i + 1] = fy;
-                f[3 * i + 2] = fz;
+                f[3 * il] = fx;
+                f[3 * il + 1] = fy;
+                f[3 * il + 2] = fz;
             }
         });
     }

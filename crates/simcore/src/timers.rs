@@ -184,7 +184,10 @@ mod tests {
         let all = run(SimStrategy::PerProcessOneToAll, 112);
         let one = run(SimStrategy::PerProcessOneToAll, 1);
         assert!(all > 3.0 * one, "one-to-all should grow: {one} → {all}");
-        assert!(all < naive, "one-to-all ({all}) below creation-time ({naive})");
+        assert!(
+            all < naive,
+            "one-to-all ({all}) below creation-time ({naive})"
+        );
     }
 
     #[test]

@@ -31,12 +31,10 @@ impl Once {
         if self.state.load(Ordering::Acquire) == COMPLETE {
             return;
         }
-        match self.state.compare_exchange(
-            INCOMPLETE,
-            RUNNING,
-            Ordering::AcqRel,
-            Ordering::Acquire,
-        ) {
+        match self
+            .state
+            .compare_exchange(INCOMPLETE, RUNNING, Ordering::AcqRel, Ordering::Acquire)
+        {
             Ok(_) => {
                 f();
                 self.state.store(COMPLETE, Ordering::Release);

@@ -97,18 +97,19 @@ impl<T: ?Sized> RwLock<T> {
                 ult_core::block_current(|me| {
                     self.lock.lock();
                     // Re-check under the registration lock.
+                    // SAFETY: write_waiters is only accessed under self.lock, held here.
                     let writer_q = unsafe { !(*self.write_waiters.get()).is_empty() };
                     let cur = self.state.load(Ordering::Acquire);
-                    if !writer_q && cur >= 0 {
-                        if self
+                    if !writer_q
+                        && cur >= 0
+                        && self
                             .state
                             .compare_exchange(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
                             .is_ok()
-                        {
-                            self.lock.unlock();
-                            acquired = true;
-                            return false;
-                        }
+                    {
+                        self.lock.unlock();
+                        acquired = true;
+                        return false;
                     }
                     // SAFETY: under lock.
                     unsafe { (*self.read_waiters.get()).push(me.clone()) };

@@ -30,12 +30,10 @@ impl Semaphore {
     pub fn try_acquire(&self) -> bool {
         let mut cur = self.permits.load(Ordering::Acquire);
         while cur > 0 {
-            match self.permits.compare_exchange(
-                cur,
-                cur - 1,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
+            match self
+                .permits
+                .compare_exchange(cur, cur - 1, Ordering::AcqRel, Ordering::Acquire)
+            {
                 Ok(_) => return true,
                 Err(c) => cur = c,
             }

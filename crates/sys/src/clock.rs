@@ -8,6 +8,7 @@
 
 /// Current monotonic time in nanoseconds. Async-signal-safe.
 #[inline]
+// sigsafe
 pub fn now_ns() -> u64 {
     let mut ts = libc::timespec {
         tv_sec: 0,
@@ -25,6 +26,7 @@ pub fn now_ns() -> u64 {
 /// Used by microbenchmarks that must occupy the core exactly like the
 /// paper's compute-intensive loop (Figure 6) — an OS sleep would invite the
 /// kernel to deschedule the KLT and distort preemption statistics.
+// sigsafe
 pub fn spin_for_ns(ns: u64) {
     let end = now_ns() + ns;
     while now_ns() < end {

@@ -18,6 +18,7 @@ use core::sync::atomic::{AtomicU32, Ordering};
 /// Returns `Ok(())` both on a real wake and on a spurious
 /// `EAGAIN`/`EINTR` — callers must re-check their predicate.
 #[inline]
+// sigsafe
 pub fn futex_wait(addr: &AtomicU32, expected: u32) {
     // SAFETY: addr is a valid, live atomic word; FUTEX_WAIT with a null
     // timeout blocks until woken or EINTR/EAGAIN.
@@ -35,6 +36,7 @@ pub fn futex_wait(addr: &AtomicU32, expected: u32) {
 /// Raw `futex(2)` wake: wake up to `n` waiters parked on `addr`.
 /// Returns the number of threads woken.
 #[inline]
+// sigsafe
 pub fn futex_wake(addr: &AtomicU32, n: i32) -> i32 {
     // SAFETY: addr is a valid atomic word.
     unsafe {
@@ -70,6 +72,7 @@ impl Futex {
 
     /// Block until a token is available, then consume it.
     /// Async-signal-safe. Spurious futex wakes are absorbed by the loop.
+    // sigsafe
     pub fn park(&self) {
         loop {
             let cur = self.word.load(Ordering::Acquire);
@@ -88,12 +91,14 @@ impl Futex {
     }
 
     /// Deposit one token and wake a parked KLT if any. Async-signal-safe.
+    // sigsafe
     pub fn unpark(&self) {
         self.word.fetch_add(1, Ordering::Release);
         futex_wake(&self.word, 1);
     }
 
     /// Non-blocking attempt to consume a token.
+    // sigsafe
     pub fn try_park(&self) -> bool {
         let cur = self.word.load(Ordering::Acquire);
         cur > 0
@@ -111,6 +116,7 @@ impl Futex {
     ///
     /// `wake_sig` must be a signal number reserved for this purpose and the
     /// releaser must pair it with [`Futex::unpark_with_signal`].
+    // sigsafe
     pub fn wait_sigsuspend_style(&self, wake_sig: i32) {
         loop {
             if self.try_park() {
@@ -118,7 +124,9 @@ impl Futex {
             }
             // Wait for the wake signal with a coarse timeout so a lost
             // signal cannot hang the KLT forever.
+            // SAFETY: sigset_t is a plain bitmask; all-zeroes is a valid empty set.
             let mut set: libc::sigset_t = unsafe { core::mem::zeroed() };
+            // SAFETY: `set` is a valid out-pointer for sigemptyset/sigaddset/sigtimedwait.
             unsafe {
                 libc::sigemptyset(&mut set);
                 libc::sigaddset(&mut set, wake_sig);
@@ -133,6 +141,7 @@ impl Futex {
 
     /// Release for [`Futex::wait_sigsuspend_style`]: deposit a token and
     /// deliver `wake_sig` to `tid` via `tgkill`.
+    // sigsafe
     pub fn unpark_with_signal(&self, tid: crate::tid::Tid, wake_sig: i32) {
         self.word.fetch_add(1, Ordering::Release);
         crate::signal::send_signal(tid, wake_sig);

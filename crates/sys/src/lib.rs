@@ -20,6 +20,7 @@
 //! condvars/`pthread_create` in the preemption paths (paper §3.1.2).
 
 #![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod affinity;
 pub mod clock;

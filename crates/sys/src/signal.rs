@@ -22,11 +22,13 @@ use std::mem::MaybeUninit;
 /// A real-time signal is used (as in the Go runtime and the paper's
 /// implementation) because RT signals are queued rather than collapsed and
 /// do not collide with application uses of the classic signals.
+// sigsafe
 pub fn preempt_signum() -> i32 {
     libc::SIGRTMIN()
 }
 
 /// A second RT signal used by the sigsuspend-style (unoptimized) KLT park.
+// sigsafe
 pub fn wake_signum() -> i32 {
     libc::SIGRTMIN() + 1
 }
@@ -73,17 +75,20 @@ pub fn ignore_signal(signum: i32) -> io::Result<()> {
 /// worker even though this handler invocation never "returns" in the POSIX
 /// sense until its thread is rescheduled (paper §3.1.1).
 #[inline]
+// sigsafe
 pub fn unblock_signal(signum: i32) {
     set_mask(libc::SIG_UNBLOCK, signum)
 }
 
 /// Block `signum` for the calling thread. Async-signal-safe.
 #[inline]
+// sigsafe
 pub fn block_signal(signum: i32) {
     set_mask(libc::SIG_BLOCK, signum)
 }
 
 #[inline]
+// sigsafe
 fn set_mask(how: i32, signum: i32) {
     // SAFETY: pthread_sigmask with a locally built set; async-signal-safe.
     unsafe {
@@ -97,6 +102,7 @@ fn set_mask(how: i32, signum: i32) {
 /// Send `signum` to kernel thread `tid` in this process (`tgkill`).
 /// Async-signal-safe. Returns false if the thread no longer exists.
 #[inline]
+// sigsafe
 pub fn send_signal(tid: Tid, signum: i32) -> bool {
     // SAFETY: tgkill is a raw syscall; stale tids yield ESRCH, reported as
     // false.
@@ -106,6 +112,7 @@ pub fn send_signal(tid: Tid, signum: i32) -> bool {
 /// Send `signum` to the calling thread (used by tests and the timer-only
 /// baseline of Figure 6).
 #[inline]
+// sigsafe
 pub fn raise_signal(signum: i32) {
     // SAFETY: raise is async-signal-safe.
     unsafe {
@@ -163,7 +170,7 @@ mod tests {
     #[test]
     fn send_to_dead_tid_fails() {
         // A tid that certainly doesn't exist in this tiny test process.
-        assert!(!send_signal(999_999_9, test_sig()));
+        assert!(!send_signal(9_999_999, test_sig()));
     }
 
     #[test]

@@ -71,6 +71,7 @@ impl IntervalTimer {
 
     /// (Re-)arm: first expiry after `phase_ns` (or one interval if 0), then
     /// every `interval_ns`.
+    // sigsafe
     pub fn arm(&self, interval_ns: u64, phase_ns: u64) -> io::Result<()> {
         let first = if phase_ns == 0 { interval_ns } else { phase_ns };
         let its = libc::itimerspec {
@@ -85,6 +86,7 @@ impl IntervalTimer {
     }
 
     /// Disarm without deleting.
+    // sigsafe
     pub fn disarm(&self) -> io::Result<()> {
         let its = libc::itimerspec {
             it_interval: ns_to_timespec(0),
@@ -106,6 +108,7 @@ impl IntervalTimer {
     /// pending (`timer_getoverrun`). A persistently high overrun count means
     /// the interval is shorter than the handler cost — the regime the paper
     /// flags at the far-left of Figure 6.
+    // sigsafe
     pub fn overrun(&self) -> i32 {
         // SAFETY: live handle.
         unsafe { libc::timer_getoverrun(self.timer) }
@@ -121,6 +124,7 @@ impl Drop for IntervalTimer {
     }
 }
 
+// sigsafe
 fn ns_to_timespec(ns: u64) -> libc::timespec {
     libc::timespec {
         tv_sec: (ns / 1_000_000_000) as libc::time_t,

@@ -13,7 +13,9 @@ use tile_cholesky::{run_ult, CholConfig, TiledMatrix};
 use ult_core::{Config, Runtime, ThreadKind, TimerStrategy};
 
 fn main() {
-    let mode = std::env::args().nth(1).unwrap_or_else(|| "preemptive".into());
+    let mode = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "preemptive".into());
     let preemptive = match mode.as_str() {
         "preemptive" => true,
         "nonpreemptive" => false,

@@ -20,9 +20,7 @@ fn main() {
     println!("runtime up: {} workers", rt.num_workers());
 
     // 1. Plain user-level threads: spawn/join costs ~100 ns each.
-    let handles: Vec<_> = (0..1000)
-        .map(|i| rt.spawn(move || i * 2))
-        .collect();
+    let handles: Vec<_> = (0..1000).map(|i| rt.spawn(move || i * 2)).collect();
     let sum: u64 = handles.into_iter().map(|h| h.join()).sum();
     println!("1000 nonpreemptive ULTs joined, sum = {sum}");
 
@@ -54,7 +52,11 @@ fn main() {
     let setter = rt.spawn_with(ThreadKind::SignalYield, Priority::High, move || {
         f2.store(true, Ordering::Release);
     });
-    println!("{} (after {} spin iterations)", spinner.join(), spins.load(Ordering::Relaxed));
+    println!(
+        "{} (after {} spin iterations)",
+        spinner.join(),
+        spins.load(Ordering::Relaxed)
+    );
     setter.join();
     for h in more {
         h.join();

@@ -5,6 +5,11 @@ set -euo pipefail
 cd "$(dirname "$0")"
 MODE="${1:-}"
 
+echo "== lint gates"
+cargo run -p ult-lint --bin sigsafe
+cargo clippy --workspace -- -D warnings
+cargo fmt --check
+
 cargo build --workspace --release
 
 mkdir -p results

@@ -30,23 +30,25 @@ fn klt_local_state_preserved_by_klt_switching() {
     for id in 1..=3u64 {
         let stop = stop.clone();
         let corrupted = corrupted.clone();
-        handles.push(rt.spawn_with(ThreadKind::KltSwitching, Priority::High, move || {
-            // Each thread writes its id into KLT-local storage, then keeps
-            // verifying it across many preemption points. With
-            // KLT-switching the thread resumes on the SAME kernel thread,
-            // so the value must persist (with signal-yield it could see
-            // another thread's value — the glibc-malloc hazard).
-            KLT_LOCAL.with(|c| c.set(id));
-            while !stop.load(Ordering::Acquire) {
-                let seen = KLT_LOCAL.with(|c| c.get());
-                if seen != id {
-                    corrupted.store(true, Ordering::Release);
-                    break;
-                }
-                // Re-assert our value like malloc caches would.
+        handles.push(
+            rt.spawn_with(ThreadKind::KltSwitching, Priority::High, move || {
+                // Each thread writes its id into KLT-local storage, then keeps
+                // verifying it across many preemption points. With
+                // KLT-switching the thread resumes on the SAME kernel thread,
+                // so the value must persist (with signal-yield it could see
+                // another thread's value — the glibc-malloc hazard).
                 KLT_LOCAL.with(|c| c.set(id));
-            }
-        }));
+                while !stop.load(Ordering::Acquire) {
+                    let seen = KLT_LOCAL.with(|c| c.get());
+                    if seen != id {
+                        corrupted.store(true, Ordering::Release);
+                        break;
+                    }
+                    // Re-assert our value like malloc caches would.
+                    KLT_LOCAL.with(|c| c.set(id));
+                }
+            }),
+        );
     }
     std::thread::sleep(std::time::Duration::from_millis(50));
     stop.store(true, Ordering::Release);
@@ -137,9 +139,11 @@ fn priority_scheduler_prefers_high_priority_work() {
     let mut lows = Vec::new();
     for i in 0..3 {
         let o = order.clone();
-        lows.push(rt.spawn_with(ThreadKind::SignalYield, Priority::Low, move || {
-            o.lock().unwrap().push(if i == 0 { "low0" } else { "low" });
-        }));
+        lows.push(
+            rt.spawn_with(ThreadKind::SignalYield, Priority::Low, move || {
+                o.lock().unwrap().push(if i == 0 { "low0" } else { "low" });
+            }),
+        );
     }
     let o = order.clone();
     let high = rt.spawn_with(ThreadKind::Nonpreemptive, Priority::High, move || {

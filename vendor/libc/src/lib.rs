@@ -1,0 +1,293 @@
+//! Minimal local stand-in for the crates.io `libc` crate.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. This stub declares exactly the surface the workspace uses, with
+//! struct layouts and constants taken from glibc on x86_64-unknown-linux-gnu
+//! (the only target this repository supports — see `ult-arch`). Everything
+//! here links directly against the system C library, so behaviour is
+//! identical to the real crate for the declared items.
+#![allow(non_camel_case_types, non_snake_case, non_upper_case_globals)]
+#![allow(clippy::missing_safety_doc)]
+
+pub use core::ffi::c_void;
+
+pub type c_char = i8;
+pub type c_int = i32;
+pub type c_uint = u32;
+pub type c_long = i64;
+pub type c_ulong = u64;
+pub type size_t = usize;
+pub type ssize_t = isize;
+pub type pid_t = i32;
+pub type id_t = u32;
+pub type uid_t = u32;
+pub type time_t = i64;
+pub type clockid_t = i32;
+pub type sighandler_t = size_t;
+pub type timer_t = *mut c_void;
+pub type greg_t = i64;
+
+// ---------------------------------------------------------------------------
+// Constants (x86_64 linux-gnu values)
+// ---------------------------------------------------------------------------
+
+pub const CLOCK_MONOTONIC: clockid_t = 1;
+
+pub const FUTEX_WAIT: c_int = 0;
+pub const FUTEX_WAKE: c_int = 1;
+pub const FUTEX_PRIVATE_FLAG: c_int = 128;
+
+pub const PROT_NONE: c_int = 0;
+pub const PROT_READ: c_int = 1;
+pub const PROT_WRITE: c_int = 2;
+pub const MAP_PRIVATE: c_int = 0x0002;
+pub const MAP_ANONYMOUS: c_int = 0x0020;
+pub const MAP_STACK: c_int = 0x020000;
+pub const MAP_FAILED: *mut c_void = !0 as *mut c_void;
+
+pub const PRIO_PROCESS: c_int = 0;
+
+pub const SIGBUS: c_int = 7;
+pub const SIGSEGV: c_int = 11;
+
+pub const SIG_BLOCK: c_int = 0;
+pub const SIG_UNBLOCK: c_int = 1;
+pub const SIG_SETMASK: c_int = 2;
+pub const SIG_IGN: sighandler_t = 1;
+
+pub const SA_SIGINFO: c_int = 0x0000_0004;
+pub const SA_ONSTACK: c_int = 0x0800_0000;
+pub const SA_RESTART: c_int = 0x1000_0000;
+
+pub const SIGEV_SIGNAL: c_int = 0;
+pub const SIGEV_THREAD_ID: c_int = 4;
+
+pub const SYS_gettid: c_long = 186;
+pub const SYS_futex: c_long = 202;
+pub const SYS_tgkill: c_long = 234;
+
+pub const _SC_PAGESIZE: c_int = 30;
+pub const _SC_NPROCESSORS_ONLN: c_int = 84;
+
+pub const REG_RSP: c_int = 15;
+pub const REG_RIP: c_int = 16;
+
+// ---------------------------------------------------------------------------
+// Structs (glibc x86_64 layouts)
+// ---------------------------------------------------------------------------
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct timespec {
+    pub tv_sec: time_t,
+    pub tv_nsec: c_long,
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct itimerspec {
+    pub it_interval: timespec,
+    pub it_value: timespec,
+}
+
+/// glibc `sigset_t`: 1024 bits.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sigset_t {
+    __val: [c_ulong; 16],
+}
+
+#[repr(C)]
+pub struct sigaction {
+    pub sa_sigaction: sighandler_t,
+    pub sa_mask: sigset_t,
+    pub sa_flags: c_int,
+    pub sa_restorer: Option<extern "C" fn()>,
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct stack_t {
+    pub ss_sp: *mut c_void,
+    pub ss_flags: c_int,
+    pub ss_size: size_t,
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub union sigval {
+    pub sival_int: c_int,
+    pub sival_ptr: *mut c_void,
+}
+
+/// Kernel/glibc `sigevent` (64 bytes). `sigev_notify_thread_id` is the
+/// `_sigev_un._tid` union member used with `SIGEV_THREAD_ID`.
+#[repr(C)]
+pub struct sigevent {
+    pub sigev_value: sigval,
+    pub sigev_signo: c_int,
+    pub sigev_notify: c_int,
+    pub sigev_notify_thread_id: pid_t,
+    __pad: [c_int; 11],
+}
+
+/// glibc `siginfo_t` (128 bytes). Fields beyond the fixed header are
+/// accessed through accessor methods, as in the real crate.
+#[repr(C)]
+pub struct siginfo_t {
+    pub si_signo: c_int,
+    pub si_errno: c_int,
+    pub si_code: c_int,
+    __pad0: c_int,
+    __fields: [u64; 14],
+}
+
+impl siginfo_t {
+    /// Faulting address for SIGSEGV/SIGBUS (`_sifields._sigfault.si_addr`,
+    /// the first union word at byte offset 16).
+    pub unsafe fn si_addr(&self) -> *mut c_void {
+        self.__fields[0] as *mut c_void
+    }
+}
+
+#[repr(C)]
+pub struct mcontext_t {
+    pub gregs: [greg_t; 23],
+    fpregs: *mut c_void,
+    __reserved1: [c_ulong; 8],
+}
+
+#[repr(C)]
+pub struct ucontext_t {
+    pub uc_flags: c_ulong,
+    pub uc_link: *mut ucontext_t,
+    pub uc_stack: stack_t,
+    pub uc_mcontext: mcontext_t,
+    pub uc_sigmask: sigset_t,
+    __fpregs_mem: [u64; 64],
+    __ssp: [u64; 4],
+}
+
+/// glibc `cpu_set_t`: 1024 bits.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct cpu_set_t {
+    bits: [c_ulong; 16],
+}
+
+pub fn CPU_ZERO(set: &mut cpu_set_t) {
+    set.bits = [0; 16];
+}
+
+pub fn CPU_SET(cpu: usize, set: &mut cpu_set_t) {
+    if cpu < 1024 {
+        set.bits[cpu / 64] |= 1 << (cpu % 64);
+    }
+}
+
+pub fn CPU_ISSET(cpu: usize, set: &cpu_set_t) -> bool {
+    cpu < 1024 && set.bits[cpu / 64] & (1 << (cpu % 64)) != 0
+}
+
+// ---------------------------------------------------------------------------
+// Functions (provided by the system C library)
+// ---------------------------------------------------------------------------
+
+pub fn SIGRTMIN() -> c_int {
+    // SAFETY: trivial glibc accessor, always callable.
+    unsafe { __libc_current_sigrtmin() }
+}
+
+pub fn SIGRTMAX() -> c_int {
+    // SAFETY: trivial glibc accessor, always callable.
+    unsafe { __libc_current_sigrtmax() }
+}
+
+extern "C" {
+    fn __libc_current_sigrtmin() -> c_int;
+    fn __libc_current_sigrtmax() -> c_int;
+
+    pub fn syscall(num: c_long, ...) -> c_long;
+
+    pub fn getpid() -> pid_t;
+    pub fn raise(sig: c_int) -> c_int;
+    pub fn _exit(status: c_int) -> !;
+    pub fn pipe(fds: *mut c_int) -> c_int;
+    pub fn write(fd: c_int, buf: *const c_void, count: size_t) -> ssize_t;
+
+    pub fn sysconf(name: c_int) -> c_long;
+
+    pub fn clock_gettime(clk_id: clockid_t, tp: *mut timespec) -> c_int;
+
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: i64,
+    ) -> *mut c_void;
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+    pub fn mprotect(addr: *mut c_void, len: size_t, prot: c_int) -> c_int;
+
+    pub fn sigaction(signum: c_int, act: *const sigaction, oldact: *mut sigaction) -> c_int;
+    pub fn sigemptyset(set: *mut sigset_t) -> c_int;
+    pub fn sigaddset(set: *mut sigset_t, signum: c_int) -> c_int;
+    pub fn pthread_sigmask(how: c_int, set: *const sigset_t, oldset: *mut sigset_t) -> c_int;
+    pub fn sigaltstack(ss: *const stack_t, old_ss: *mut stack_t) -> c_int;
+    pub fn sigtimedwait(
+        set: *const sigset_t,
+        info: *mut siginfo_t,
+        timeout: *const timespec,
+    ) -> c_int;
+
+    pub fn timer_create(clockid: clockid_t, sevp: *mut sigevent, timerid: *mut timer_t) -> c_int;
+    pub fn timer_delete(timerid: timer_t) -> c_int;
+    pub fn timer_settime(
+        timerid: timer_t,
+        flags: c_int,
+        new_value: *const itimerspec,
+        old_value: *mut itimerspec,
+    ) -> c_int;
+    pub fn timer_getoverrun(timerid: timer_t) -> c_int;
+
+    pub fn setpriority(which: c_int, who: id_t, prio: c_int) -> c_int;
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *const cpu_set_t) -> c_int;
+    pub fn sched_getaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *mut cpu_set_t) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Layout checks against the glibc headers this stub mirrors.
+    #[test]
+    fn struct_sizes_match_glibc() {
+        assert_eq!(core::mem::size_of::<sigset_t>(), 128);
+        assert_eq!(core::mem::size_of::<sigaction>(), 152);
+        assert_eq!(core::mem::size_of::<sigevent>(), 64);
+        assert_eq!(core::mem::size_of::<siginfo_t>(), 128);
+        assert_eq!(core::mem::size_of::<stack_t>(), 24);
+        assert_eq!(core::mem::size_of::<cpu_set_t>(), 128);
+        assert_eq!(core::mem::size_of::<ucontext_t>(), 968);
+        assert_eq!(core::mem::offset_of!(ucontext_t, uc_mcontext), 40);
+    }
+
+    #[test]
+    fn sigrt_range_sane() {
+        assert!(SIGRTMIN() >= 32);
+        assert!(SIGRTMAX() >= SIGRTMIN() + 8);
+    }
+
+    #[test]
+    fn clock_and_sysconf_work() {
+        let mut ts = timespec {
+            tv_sec: 0,
+            tv_nsec: 0,
+        };
+        // SAFETY: valid out-pointer.
+        assert_eq!(unsafe { clock_gettime(CLOCK_MONOTONIC, &mut ts) }, 0);
+        // SAFETY: plain sysconf query.
+        assert!(unsafe { sysconf(_SC_PAGESIZE) } >= 4096);
+    }
+}

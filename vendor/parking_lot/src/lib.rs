@@ -1,0 +1,147 @@
+//! Minimal local stand-in for the crates.io `parking_lot` crate.
+//!
+//! The build environment has no network access, so this wraps `std::sync`
+//! primitives behind `parking_lot`'s poison-free API surface (the subset the
+//! workspace uses). Poisoning is deliberately ignored — `parking_lot` has no
+//! poisoning, and the runtime's own discipline (no panics while holding
+//! these locks on the preemption path) is enforced by `ult-lint`.
+
+use std::sync;
+
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    pub fn notify_one(&self) -> bool {
+        self.0.notify_one();
+        true
+    }
+
+    pub fn notify_all(&self) -> usize {
+        self.0.notify_all();
+        0
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // parking_lot waits in place on a `&mut` guard; emulate by moving
+        // the std guard through `wait` and writing it back.
+        replace_with(guard, |g| {
+            self.0.wait(g).unwrap_or_else(sync::PoisonError::into_inner)
+        });
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+/// Move `*slot` through `f` and store the result back. `f` must not panic;
+/// both callers only pass `Condvar::wait`, which does not (poison is mapped
+/// to the inner guard above).
+fn replace_with<T>(slot: &mut T, f: impl FnOnce(T) -> T) {
+    // SAFETY: `slot` is exclusively borrowed; the value is read out, mapped,
+    // and written back before any other access. `f` (Condvar::wait with
+    // poison recovery) never unwinds, so no double-drop window exists.
+    unsafe {
+        let v = std::ptr::read(slot);
+        let v = f(v);
+        std::ptr::write(slot, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_basic() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn condvar_wakes() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            *p2.0.lock() = true;
+            p2.1.notify_one();
+        });
+        let mut done = pair.0.lock();
+        while !*done {
+            pair.1.wait(&mut done);
+        }
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,331 @@
+//! Minimal local stand-in for the crates.io `proptest` crate.
+//!
+//! The build environment has no network access, so this reimplements the
+//! subset of the API the workspace's property tests use: the [`proptest!`]
+//! macro, integer-range / tuple / `Just` / `prop_map` / `prop_oneof!` /
+//! `collection::vec` strategies, and the `prop_assert*` macros. Sampling is
+//! deterministic (seeded per test from the test name) and there is **no
+//! shrinking** — on failure the generated inputs are printed instead.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of values for property tests. Unlike real proptest there
+    /// is no value tree: `generate` directly samples one value.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64;
+                    lo + (rng.next_u64() % span.wrapping_add(1).max(1)) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (built by `prop_oneof!`).
+    pub struct OneOf<T>(pub Vec<BoxedStrategy<T>>);
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+            let idx = (rng.next_u64() % self.0.len() as u64) as usize;
+            self.0[idx].generate(rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// `Vec` strategy: length uniform in `size`, elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-test configuration; only `cases` is honoured.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// SplitMix64: tiny, deterministic, good enough for test sampling.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Deterministic seed derived from the test name, so every run of a
+        /// given test explores the same inputs (reproducible CI).
+        pub fn deterministic(name: &str) -> Self {
+            let mut seed = 0x9E37_79B9_7F4A_7C15u64;
+            for b in name.bytes() {
+                seed = (seed ^ b as u64).wrapping_mul(0x100_0000_01B3);
+            }
+            TestRng { state: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of real proptest's `prelude::prop` module path.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines `#[test]` functions that run their body over many generated
+/// inputs. Supported grammar (the subset the workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_test(x in 0u64..10, v in prop::collection::vec(0usize..4, 0..20)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                // No shrinking: print the failing inputs instead.
+                let rendered = format!(
+                    concat!("case {}:", $(" ", stringify!($arg), " = {:?}",)+),
+                    case $(, &$arg)+
+                );
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    move || $body
+                ));
+                if let Err(payload) = outcome {
+                    eprintln!("proptest {} failed on {}", stringify!($name), rendered);
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice between heterogeneous strategy expressions yielding the
+/// same value type (all arms are boxed; weights are not supported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic("bounds");
+        for _ in 0..1000 {
+            let v = (3u64..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let u = (0usize..1).generate(&mut rng);
+            assert_eq!(u, 0);
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_compose() {
+        let mut rng = crate::test_runner::TestRng::deterministic("compose");
+        let strat = prop::collection::vec((0u64..5, 1usize..3), 2..10);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..10).contains(&v.len()));
+            for (a, b) in v {
+                assert!(a < 5);
+                assert!((1..3).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_hit_all_arms() {
+        let strat = prop_oneof![(0u64..1).prop_map(|_| 1u8), Just(2u8)];
+        let mut rng = crate::test_runner::TestRng::deterministic("arms");
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_generates_and_runs(x in 1u64..100, v in prop::collection::vec(0usize..4, 0..6)) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert!(v.len() < 6);
+            prop_assert_eq!(v.iter().filter(|&&e| e >= 4).count(), 0);
+        }
+    }
+}
