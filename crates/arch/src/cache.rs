@@ -5,6 +5,11 @@
 //! (paper §3.2.2), so false sharing between adjacent workers' fields would
 //! directly inflate the interruption times the paper measures in Figure 4.
 //! [`CacheAligned`] pads every such field to a cache line.
+//!
+//! The ready-pool deque (ult-core `pool.rs`) additionally separates its
+//! `top` (thief-CAS'd), `bottom` (owner-stored) and inbox head onto
+//! distinct lines: the owner's push fast path must not take coherence
+//! misses from steal traffic on an adjacent index.
 
 /// Size in bytes assumed for a destructive-interference cache line.
 ///

@@ -38,6 +38,18 @@ pub(crate) fn current_worker() -> Option<&'static Worker> {
 /// non-zero). A transient increment on a stale worker's counter merely
 /// defers one tick there, which is benign.
 ///
+/// Two distinct migrations must be caught by the re-verification:
+///
+/// * **KLT-switching** remaps the worker to another KLT — `klt.worker`
+///   and `w.current_klt` change, so the binding checks fail and we retry.
+/// * **Signal-yield** moves the *ULT* to another KLT while the original
+///   KLT keeps embodying its worker — every binding stays self-consistent,
+///   so the only tell is that the calling code is no longer executing on
+///   the KLT it sampled. Hence the fresh `current_klt()` re-read below:
+///   if the preemption fired between the first read and the disable, the
+///   resumed code observes a different KLT and retries (the disable landed
+///   on the stale worker, deferring one tick there — benign).
+///
 /// On success, preemption is left DISABLED; the caller must re-enable
 /// (directly or via the ULT prologue on its resume path).
 #[inline]
@@ -49,7 +61,8 @@ pub(crate) fn pin_current_worker() -> Option<&'static Worker> {
         // SAFETY: workers live as long as the runtime.
         let w = unsafe { wp.as_ref() }?;
         w.preempt_disable();
-        if klt.worker.load(Ordering::Acquire) == wp
+        if crate::klt::current_klt().is_some_and(|now| std::ptr::eq(now, klt))
+            && klt.worker.load(Ordering::Acquire) == wp
             && std::ptr::eq(w.current_klt.load(Ordering::Acquire), klt)
         {
             return Some(w);
@@ -186,18 +199,18 @@ pub fn make_ready(t: &Arc<Ult>) {
     let rt = unsafe { &*t.runtime_ptr() };
     match pin_current_worker() {
         Some(cw) if std::ptr::eq(cw.runtime(), rt) => {
-            crate::sched::on_ready(rt, cw, t.clone(), true);
+            crate::sched::on_ready(rt, cw, t.clone(), true, true);
             cw.preempt_enable();
         }
         Some(cw) => {
             // A worker of a *different* runtime: treat as external.
             cw.preempt_enable();
             let home = &rt.workers[t.home_pool % rt.workers.len()];
-            crate::sched::on_ready(rt, home, t.clone(), true);
+            crate::sched::on_ready(rt, home, t.clone(), true, false);
         }
         None => {
             let home = &rt.workers[t.home_pool % rt.workers.len()];
-            crate::sched::on_ready(rt, home, t.clone(), true);
+            crate::sched::on_ready(rt, home, t.clone(), true, false);
         }
     }
 }

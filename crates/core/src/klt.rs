@@ -19,6 +19,12 @@
 //! simply returns from the handler and retries at the next tick, exactly as
 //! the paper describes (worst case the system degenerates towards 1:1, never
 //! livelocks).
+//!
+//! The KLT pool deliberately stays a spin-locked stack: KLT churn is
+//! orders of magnitude rarer than ULT scheduling (one event per preemption
+//! at most, vs. one pool operation per spawn/yield/steal), so it is not a
+//! scalability hot path — unlike the ready pools, which are lock-free
+//! Chase–Lev deques (`pool.rs`).
 
 use crate::config::KltParkMode;
 use crate::pool::SpinLock;

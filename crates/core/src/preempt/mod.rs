@@ -6,10 +6,17 @@
 //!
 //! Everything reachable from [`preempt_handler`] is restricted to: atomics,
 //! futex wait/wake, `tgkill`, `clock_gettime`, spinlock-guarded pops of
-//! pre-allocated structures, a capacity-reserved pool push, and the context
-//! switch itself. In particular there is **no** allocation (the interrupted
-//! frame may be inside `malloc` — the exact KLT-dependence hazard the paper
-//! describes) and no parking-lot locks (their lazy thread data allocates).
+//! pre-allocated structures (the KLT pool), the ready-pool publish, and the
+//! context switch itself. The ready-pool publish is the Chase–Lev owner
+//! push — one slot store plus one release store of `bottom`, no lock and no
+//! CAS — or, for a non-home pool, a single-CAS push onto the pool's
+//! intrusive inbox; deque growth in handler context only swaps in a buffer
+//! pre-staged by spawn-side `reserve()` (see `pool.rs`). In particular
+//! there is **no** allocation (the interrupted frame may be inside `malloc`
+//! — the exact KLT-dependence hazard the paper describes) and no
+//! parking-lot locks (their lazy thread data allocates). The closure is
+//! checked statically by `ult-lint` (`// sigsafe` annotations) and
+//! dynamically by the debug allocator guard (`sigsafe.rs`).
 
 pub mod timer;
 

@@ -42,9 +42,13 @@ pub(crate) struct RuntimeInner {
     pool_reserve_mark: AtomicUsize,
     /// Round-robin cursor for external spawns.
     spawn_rr: AtomicUsize,
-    /// Recycled ULT stacks (default size only): `mmap` + guard-page
-    /// `mprotect` per spawn costs ~10 µs; reuse brings ULT creation to the
-    /// microsecond range the paper's runtimes exhibit.
+    /// Global overflow for recycled ULT stacks (default size only): an
+    /// `mmap` plus guard-page `mprotect` per spawn costs ~10 µs; reuse
+    /// brings ULT creation to the microsecond range the paper's runtimes
+    /// exhibit.
+    /// The fast path is the per-worker `Worker::stack_cache` free lists
+    /// (no lock, owner-only); this mutex-guarded pool only serves spawns
+    /// from outside the runtime and worker-cache overflow.
     stack_cache: Mutex<Vec<Stack>>,
     /// All KLTs ever created (kept alive for raw-pointer safety).
     pub klt_registry: Mutex<Vec<Arc<Klt>>>,
@@ -123,19 +127,55 @@ impl RuntimeInner {
         let _ = self.global_klts.push(klt.clone());
     }
 
-    /// Cache capacity for recycled stacks (bounds idle memory).
+    /// Global stack-overflow cache capacity (bounds idle memory).
     const STACK_CACHE_MAX: usize = 128;
+    /// Per-worker stack free-list capacity.
+    const WORKER_STACK_CACHE_MAX: usize = 32;
+    /// Per-worker finished-descriptor slab capacity.
+    const WORKER_ULT_CACHE_MAX: usize = 32;
 
-    /// A ULT finished: wake joiners, decrement live count.
+    /// Return a reclaimed default-size stack to the caches: the worker-local
+    /// free list when an owner context is available, overflowing globally.
+    fn cache_stack(&self, w: Option<&Worker>, stack: Stack) {
+        if let Some(w) = w {
+            // SAFETY: owner access — `w` is the caller's own worker with
+            // preemption disabled (scheduler context or pinned ULT).
+            let cache = unsafe { &mut *w.stack_cache.get() };
+            if cache.len() < Self::WORKER_STACK_CACHE_MAX {
+                cache.push(stack);
+                return;
+            }
+        }
+        let mut cache = self.stack_cache.lock();
+        if cache.len() < Self::STACK_CACHE_MAX {
+            cache.push(stack);
+        }
+    }
+
+    /// Take a recycled default-size stack: worker-local first (no lock),
+    /// then the global overflow pool.
+    fn take_cached_stack(&self, w: Option<&Worker>) -> Option<Stack> {
+        if let Some(w) = w {
+            // SAFETY: owner access, as in `cache_stack`.
+            let cache = unsafe { &mut *w.stack_cache.get() };
+            if let Some(s) = cache.pop() {
+                return Some(s);
+            }
+        }
+        self.stack_cache.lock().pop()
+    }
+
+    /// A ULT finished: wake joiners, decrement live count, recycle its
+    /// stack and (once its JoinHandle is gone) its descriptor.
     pub(crate) fn on_finish(&self, t: &Arc<Ult>) {
+        // The caller is this runtime's scheduler context, so the resolved
+        // worker is an owner context for the recycling caches.
+        let w = crate::api::current_worker();
         // Reclaim the stack first: the thread's context is dead and the
         // default-size stack can serve the next spawn without an mmap.
         if let Some(stack) = t.take_stack() {
             if stack.size() == self.config.stack_size {
-                let mut cache = self.stack_cache.lock();
-                if cache.len() < Self::STACK_CACHE_MAX {
-                    cache.push(stack);
-                }
+                self.cache_stack(w, stack);
             }
         }
         // Order is load-bearing: mark Finished first so that late joiner
@@ -146,10 +186,30 @@ impl RuntimeInner {
         for j in joiners {
             crate::api::make_ready(&j);
         }
-        if let Some(w) = crate::api::current_worker() {
+        if let Some(w) = w {
             w.stats.completed.fetch_add(1, Ordering::Relaxed);
+            // Park the descriptor for reuse. It usually still has >1 strong
+            // ref here (the JoinHandle); the spawn path skips non-unique
+            // entries and claims it once the handle is dropped.
+            // SAFETY: owner access, as in `cache_stack`.
+            let cache = unsafe { &mut *w.ult_cache.get() };
+            if cache.len() < Self::WORKER_ULT_CACHE_MAX {
+                cache.push(t.clone());
+            }
         }
         self.live_ults.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Claim a uniquely-owned descriptor from `w`'s slab, if any.
+    fn take_recyclable_ult(w: &Worker) -> Option<Arc<Ult>> {
+        // SAFETY: owner access — the spawn path holds a pin on `w`.
+        let cache = unsafe { &mut *w.ult_cache.get() };
+        // Newest-first: recently finished descriptors are the likeliest to
+        // have shed their JoinHandle and the hottest in cache.
+        (0..cache.len())
+            .rev()
+            .find(|&i| Arc::strong_count(&cache[i]) == 1)
+            .map(|i| cache.swap_remove(i))
     }
 
     /// Core spawn path shared by all public spawn flavors.
@@ -171,16 +231,6 @@ impl RuntimeInner {
         );
         let live = self.live_ults.fetch_add(1, Ordering::AcqRel) + 1;
         self.ensure_pool_capacity(live);
-
-        let home = home_pool.unwrap_or_else(|| {
-            // Prefer the spawner's own worker (BOLT pushes to the local
-            // queue); external spawns round-robin across workers. A stale
-            // read is fine — this is only a placement hint.
-            match crate::api::current_worker() {
-                Some(w) => w.rank,
-                None => self.spawn_rr.fetch_add(1, Ordering::Relaxed) % self.workers.len(),
-            }
-        });
         let id = self.next_ult_id.fetch_add(1, Ordering::Relaxed);
         let result = Arc::new(ResultCell(std::cell::UnsafeCell::new(None)));
         let r2 = result.clone();
@@ -191,34 +241,59 @@ impl RuntimeInner {
                 *r2.0.get() = Some(v);
             }
         };
+
+        // Fast lane: pin the spawner's worker ONCE, up front. The pin (a)
+        // fixes the placement hint, (b) licenses lock-free access to the
+        // worker's stack/descriptor free lists, and (c) licenses the
+        // CAS-free owner push in on_ready — one atomic increment replacing
+        // the seed's global-mutex stack pop plus per-spawn allocations.
+        let mut pinned: Option<&Worker> = None;
+        if let Some(cw) = crate::api::pin_current_worker() {
+            if std::ptr::eq(cw.runtime(), &**self) {
+                pinned = Some(cw);
+            } else {
+                // A worker of a different runtime: treat as external.
+                cw.preempt_enable();
+            }
+        }
+        let home = home_pool.unwrap_or_else(|| match pinned {
+            Some(w) => w.rank,
+            None => self.spawn_rr.fetch_add(1, Ordering::Relaxed) % self.workers.len(),
+        });
         let stack = if stack_size == self.config.stack_size {
-            self.stack_cache.lock().pop()
+            self.take_cached_stack(pinned)
         } else {
             None
         }
         .unwrap_or_else(|| Stack::new(stack_size).expect("ULT stack allocation"));
         crate::debug_registry::register(id, stack.base() as usize, stack.top() as usize);
         crate::debug_registry::event(crate::debug_registry::ev::SPAWN, id, home as u64);
-        let ult = Ult::new(id, kind, priority, home, stack, Box::new(wrapper));
+
+        // Recycle a finished descriptor when one is free: reuses the
+        // `Arc<Ult>` allocation and the joiner/locals capacities.
+        let ult = match pinned.and_then(Self::take_recyclable_ult) {
+            Some(mut slot) => {
+                let inner = Arc::get_mut(&mut slot)
+                    .expect("recyclable descriptor with unique strong count");
+                Ult::reset_for_spawn(inner, id, kind, priority, home, stack, Box::new(wrapper));
+                slot
+            }
+            None => Ult::new(id, kind, priority, home, stack, Box::new(wrapper)),
+        };
         ult.set_runtime(Arc::as_ptr(self));
         ult.set_state(crate::thread::UltState::Ready);
 
         // Route to a pool. When called from inside a worker, on_ready uses
-        // that worker's local queue under a migration pin; externally, the
-        // home worker's.
-        match crate::api::pin_current_worker() {
-            Some(cw) if std::ptr::eq(cw.runtime(), &**self) => {
-                crate::sched::on_ready(self, cw, ult.clone(), true);
-                cw.preempt_enable();
-            }
+        // that worker's local queue under the migration pin (owner push);
+        // externally, the home worker's remote inbox.
+        match pinned {
             Some(cw) => {
+                crate::sched::on_ready(self, cw, ult.clone(), true, true);
                 cw.preempt_enable();
-                let w = &self.workers[home % self.workers.len()];
-                crate::sched::on_ready(self, w, ult.clone(), true);
             }
             None => {
                 let w = &self.workers[home % self.workers.len()];
-                crate::sched::on_ready(self, w, ult.clone(), true);
+                crate::sched::on_ready(self, w, ult.clone(), true, false);
             }
         }
         JoinHandle { ult, result }
@@ -504,6 +579,7 @@ impl Runtime {
             s.klt_misses += w.stats.klt_misses.load(Ordering::Relaxed);
             s.completed += w.stats.completed.load(Ordering::Relaxed);
             s.steals += w.stats.steals.load(Ordering::Relaxed);
+            s.unparks += w.stats.unparks.load(Ordering::Relaxed);
             s.interrupt_samples_ns
                 .extend(w.stats.interrupt_ns.snapshot());
         }

@@ -32,6 +32,11 @@ pub(crate) fn pick(rt: &RuntimeInner, w: &Worker) -> Option<Arc<Ult>> {
 
 /// Route a thread that became ready (spawn, yield, unblock).
 ///
+/// `local` asserts that `w` is the calling thread's own pinned worker (the
+/// caller is its scheduler context or a ULT pinned on it), which licenses
+/// the deque's CAS-free owner push; otherwise the push goes through the
+/// pool's lock-free remote inbox.
+///
 /// Wake policy (load-bearing): the owner of the pool that received the
 /// push is ALWAYS unparked, unconditionally. Waking "some idle worker"
 /// based on idle-flag scans loses wakeups — two quick pushes can both
@@ -39,10 +44,14 @@ pub(crate) fn pick(rt: &RuntimeInner, w: &Worker) -> Option<Arc<Ult>> {
 /// with work queued (its busy peers never steal because their own pools
 /// never drain). Unconditional unparks are tokens: a non-parked owner
 /// absorbs them with one extra scheduler-loop iteration.
-pub(crate) fn on_ready(rt: &RuntimeInner, w: &Worker, t: Arc<Ult>, wake: bool) {
+pub(crate) fn on_ready(rt: &RuntimeInner, w: &Worker, t: Arc<Ult>, wake: bool, local: bool) {
     match rt.config.sched_policy {
         SchedPolicy::WorkStealing => {
-            w.pool.push(t);
+            if local {
+                w.pool.push(t);
+            } else {
+                w.pool.push_remote(t);
+            }
             if wake {
                 w.unpark();
                 rt.wake_one_idle();
@@ -50,21 +59,47 @@ pub(crate) fn on_ready(rt: &RuntimeInner, w: &Worker, t: Arc<Ult>, wake: bool) {
         }
         SchedPolicy::Packing => {
             let home = t.home_pool;
-            rt.workers[home].pool.push(t);
+            let hw = &rt.workers[home];
+            if local && home == w.rank {
+                hw.pool.push(t);
+            } else {
+                hw.pool.push_remote(t);
+            }
             if wake {
-                // Under packing the pool owner may be suspended; every
-                // ACTIVE worker that could scan this pool must get a shot.
-                rt.workers[home].unpark();
-                let active = rt.active_workers.load(Ordering::Acquire);
-                for ww in rt.workers.iter().take(active) {
-                    ww.unpark();
-                }
+                // The pool owner may be packing-suspended, so additionally
+                // wake the one active worker whose scan stride covers this
+                // pool (private pools are strided by `rank % n_active`;
+                // shared pools are scanned by every active worker, so the
+                // strided pick is valid for them too). This replaces the
+                // old unpark-everyone storm, which cost one futex syscall
+                // per active worker per ready event.
+                hw.unpark();
+                let active = rt
+                    .active_workers
+                    .load(Ordering::Acquire)
+                    .clamp(1, rt.workers.len());
+                rt.workers[home % active].unpark();
             }
         }
         SchedPolicy::Priority => {
             match t.priority {
-                Priority::High => w.pool.push(t),
-                Priority::Low => w.lo_pool.push_front(t),
+                Priority::High => {
+                    if local {
+                        w.pool.push(t);
+                    } else {
+                        w.pool.push_remote(t);
+                    }
+                }
+                // The LIFO pool is popped newest-first (`pop_lifo`), so a
+                // plain bottom push lands the thread at the next-up slot —
+                // the locality head position of the paper's §4.3.
+                Priority::Low => {
+                    if local {
+                        w.lo_pool.push(t);
+                    } else {
+                        w.lo_pool.push_remote(t);
+                    }
+                }
             }
             if wake {
                 w.unpark();
@@ -74,10 +109,15 @@ pub(crate) fn on_ready(rt: &RuntimeInner, w: &Worker, t: Arc<Ult>, wake: bool) {
     }
 }
 
-/// Route a preempted thread. Async-signal-safe (pool pushes + futex wakes
-/// only). The wake matters for KLT-switching: the handler pushes while the
-/// worker's scheduler runs concurrently on the replacement KLT and may have
-/// just idle-parked — without the unpark the push would be a lost wakeup.
+/// Route a preempted thread. Async-signal-safe: only the deque's CAS-free
+/// owner push / the inbox's single-CAS remote push plus futex wakes — no
+/// locks, no allocation (the ring was pre-grown by `reserve`). The caller
+/// is either `w`'s signal handler or its scheduler context, both of which
+/// hold owner rights on `w`'s own pools; pools of *other* workers (the
+/// Packing home route) must go through the remote inbox. The wake matters
+/// for KLT-switching: the handler pushes while the worker's scheduler runs
+/// concurrently on the replacement KLT and may have just idle-parked —
+/// without the unpark the push would be a lost wakeup.
 // sigsafe
 pub(crate) fn on_preempted(rt: &RuntimeInner, w: &Worker, t: Arc<Ult>) {
     match rt.config.sched_policy {
@@ -90,17 +130,22 @@ pub(crate) fn on_preempted(rt: &RuntimeInner, w: &Worker, t: Arc<Ult>) {
         // Packing: return to the home pool so the round-robin slicing over
         // shared pools advances to the next worker (§4.2).
         SchedPolicy::Packing => {
-            let home = &rt.workers[t.home_pool];
-            home.pool.push(t);
-            home.unpark();
+            let home = t.home_pool;
+            let hw = &rt.workers[home];
+            if home == w.rank {
+                hw.pool.push(t);
+            } else {
+                hw.pool.push_remote(t);
+            }
+            hw.unpark();
             w.unpark();
         }
-        // Priority: LIFO head "in order not to hurt data locality during
-        // preemption" (§4.3).
+        // Priority: newest-first slot of the LIFO pool "in order not to
+        // hurt data locality during preemption" (§4.3).
         SchedPolicy::Priority => {
             match t.priority {
                 Priority::High => w.pool.push(t),
-                Priority::Low => w.lo_pool.push_front(t),
+                Priority::Low => w.lo_pool.push(t),
             }
             w.unpark();
         }
@@ -150,11 +195,23 @@ fn pick_packing(rt: &RuntimeInner, w: &Worker) -> Option<Arc<Ult>> {
 
     let shared_first = w.pack_toggle();
     if shared_first {
-        pick_packing_shared(rt, n_private, n_total)
+        pick_packing_shared(rt, w, n_private, n_total)
             .or_else(|| pick_packing_private(rt, w, n_private, n_active))
     } else {
         pick_packing_private(rt, w, n_private, n_active)
-            .or_else(|| pick_packing_shared(rt, n_private, n_total))
+            .or_else(|| pick_packing_shared(rt, w, n_private, n_total))
+    }
+}
+
+/// Take from pool `i` on behalf of worker `w`: the owner pop (which may
+/// drain the pool's remote inbox) is only legal on `w`'s own pool; every
+/// other pool — including a suspended worker's — is a steal.
+#[inline]
+fn take_from(rt: &RuntimeInner, w: &Worker, i: usize) -> Option<Arc<Ult>> {
+    if i == w.rank {
+        rt.workers[i].pool.pop()
+    } else {
+        rt.workers[i].pool.steal()
     }
 }
 
@@ -167,7 +224,7 @@ fn pick_packing_private(
 ) -> Option<Arc<Ult>> {
     let mut i = w.rank;
     while i < n_private {
-        if let Some(t) = rt.workers[i].pool.pop() {
+        if let Some(t) = take_from(rt, w, i) {
             return Some(t);
         }
         i += n_active;
@@ -177,9 +234,14 @@ fn pick_packing_private(
 
 /// Algorithm 1 lines 11–14: shared pools, drained in index order by all
 /// active workers (round-robin emerges from the per-tick alternation).
-fn pick_packing_shared(rt: &RuntimeInner, n_private: usize, n_total: usize) -> Option<Arc<Ult>> {
+fn pick_packing_shared(
+    rt: &RuntimeInner,
+    w: &Worker,
+    n_private: usize,
+    n_total: usize,
+) -> Option<Arc<Ult>> {
     for i in n_private..n_total {
-        if let Some(t) = rt.workers[i].pool.pop() {
+        if let Some(t) = take_from(rt, w, i) {
             return Some(t);
         }
     }
@@ -206,5 +268,5 @@ fn pick_priority(rt: &RuntimeInner, w: &Worker) -> Option<Arc<Ult>> {
     }
     // Low-priority: local LIFO only (locality; analysis threads are pinned
     // to their worker's queue as in the paper's LAMMPS setup).
-    w.lo_pool.pop()
+    w.lo_pool.pop_lifo()
 }

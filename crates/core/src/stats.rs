@@ -87,6 +87,10 @@ pub struct WorkerStats {
     pub completed: AtomicU64,
     /// Threads stolen from other workers' pools.
     pub steals: AtomicU64,
+    /// Futex unparks issued to this worker (wake-storm regression metric:
+    /// the Packing scheduler used to unpark *every* active worker per
+    /// ready event).
+    pub unparks: AtomicU64,
     /// Interruption-time samples (handler entry → switch/return), ns.
     pub interrupt_ns: SampleRing,
 }
@@ -105,6 +109,7 @@ impl WorkerStats {
             klt_misses: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             steals: AtomicU64::new(0),
+            unparks: AtomicU64::new(0),
             interrupt_ns: SampleRing::new(samples),
         }
     }
@@ -162,6 +167,8 @@ pub struct RuntimeStats {
     pub completed: u64,
     /// Steal operations.
     pub steals: u64,
+    /// Worker unparks issued (wake-storm regression metric).
+    pub unparks: u64,
     /// KLTs created on demand by the creator thread.
     pub klts_created: u64,
     /// All interruption samples (ns), concatenated across workers.

@@ -121,6 +121,10 @@ pub struct Ult {
     /// Diagnostic: thread currently sits in some ready pool (detects
     /// double-enqueue bugs; checked in debug builds).
     pub(crate) in_pool: AtomicBool,
+    /// Intrusive link for the ready pool's remote-push inbox (see
+    /// `pool.rs`): owned by the inbox between a `push_remote` and the
+    /// claim that removes the thread; null otherwise.
+    pub(crate) pool_next: AtomicPtr<Ult>,
     /// ULTs parked on this thread's completion.
     joiners_lock: crate::pool::SpinLock,
     joiners: UnsafeCell<Vec<Arc<Ult>>>,
@@ -177,10 +181,49 @@ impl Ult {
             rt: AtomicPtr::new(std::ptr::null_mut()),
             transit: AtomicBool::new(false),
             in_pool: AtomicBool::new(false),
+            pool_next: AtomicPtr::new(std::ptr::null_mut()),
             joiners_lock: crate::pool::SpinLock::new(),
             joiners: UnsafeCell::new(Vec::new()),
             locals: UnsafeCell::new(crate::tls::LocalMap::new()),
         })
+    }
+
+    /// Re-seed a uniquely-owned, finished descriptor for a new spawn (the
+    /// descriptor-recycling path: spawn reuses the `Arc<Ult>` allocation,
+    /// the joiner `Vec`'s capacity and the locals map's capacity instead of
+    /// allocating a fresh descriptor per thread).
+    ///
+    /// The caller proves exclusive ownership by going through
+    /// `Arc::get_mut`, which is what makes the plain-field writes sound.
+    pub(crate) fn reset_for_spawn(
+        this: &mut Ult,
+        id: u64,
+        kind: ThreadKind,
+        priority: Priority,
+        home_pool: usize,
+        stack: Stack,
+        entry: Box<dyn FnOnce() + Send + 'static>,
+    ) {
+        debug_assert_eq!(this.state(), UltState::Finished, "recycling a live ULT");
+        this.id = id;
+        this.kind = kind;
+        this.priority = priority;
+        this.home_pool = home_pool;
+        *this.ctx.get_mut() = Context::empty();
+        *this.stack.get_mut() = Some(stack);
+        *this.entry.get_mut() = Some(entry);
+        this.state.store(UltState::New as u8, Ordering::Release);
+        this.started.store(false, Ordering::Release);
+        this.captive_klt
+            .store(std::ptr::null_mut(), Ordering::Release);
+        this.join_futex.store(0, Ordering::Release);
+        this.rt.store(std::ptr::null_mut(), Ordering::Release);
+        this.transit.store(false, Ordering::Release);
+        this.in_pool.store(false, Ordering::Release);
+        this.pool_next
+            .store(std::ptr::null_mut(), Ordering::Release);
+        debug_assert!(this.joiners.get_mut().is_empty(), "recycling with joiners");
+        this.locals.get_mut().clear();
     }
 
     /// Record the owning runtime (spawn path).

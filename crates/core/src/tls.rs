@@ -142,6 +142,11 @@ impl LocalMap {
     pub(crate) fn contains(&self, key: usize) -> bool {
         self.entries.iter().any(|(k, _)| *k == key)
     }
+
+    /// Drop all locals, keeping the allocation (descriptor recycling).
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+    }
 }
 
 #[cfg(test)]

@@ -113,10 +113,20 @@ pub(crate) struct Worker {
     /// Alternation bit of the packing scheduler (Algorithm 1 runs one
     /// private thread then one shared thread per loop iteration).
     pack_phase: AtomicBool,
+    /// Per-worker free list of recycled default-size ULT stacks. Owner
+    /// access only (scheduler context or a pinned ULT on this worker, both
+    /// of which hold `preempt_disabled >= 1`); overflows to the runtime's
+    /// global mutex-guarded cache.
+    pub(crate) stack_cache: UnsafeCell<Vec<Stack>>,
+    /// Per-worker slab of finished ULT descriptors awaiting reuse by the
+    /// spawn fast lane. Same owner-only access rule as `stack_cache`.
+    pub(crate) ult_cache: UnsafeCell<Vec<Arc<Ult>>>,
 }
 
-// SAFETY: sched_ctx/sched_stack are confined to the embodying KLT; the rest
-// is atomic.
+// SAFETY: sched_ctx/sched_stack are confined to the embodying KLT; the
+// recycling caches are confined to owner contexts (scheduler context or a
+// ULT pinned on this worker — mutually exclusive by the preempt-disable
+// protocol); the rest is atomic.
 unsafe impl Send for Worker {}
 unsafe impl Sync for Worker {}
 
@@ -148,6 +158,8 @@ impl Worker {
             stats: WorkerStats::new(stat_samples),
             steal_seed: AtomicU64::new(0x9E3779B97F4A7C15 ^ (rank as u64 + 1)),
             pack_phase: AtomicBool::new(false),
+            stack_cache: UnsafeCell::new(Vec::new()),
+            ult_cache: UnsafeCell::new(Vec::new()),
         });
         // Seed the scheduler context.
         let arg = Arc::as_ptr(&w) as *mut core::ffi::c_void;
@@ -236,6 +248,7 @@ impl Worker {
     /// Wake this worker if it is parked (idle, packing or shutdown).
     // sigsafe
     pub(crate) fn unpark(&self) {
+        self.stats.unparks.fetch_add(1, Ordering::Relaxed);
         self.wake.unpark();
     }
 }
@@ -412,7 +425,7 @@ fn handle_return(rt: &RuntimeInner, w: &Worker, t: Arc<Ult>) {
         SwitchReason::Yielded => {
             crate::debug_registry::event(crate::debug_registry::ev::YIELD, t.id, w.rank as u64);
             t.set_state(UltState::Ready);
-            crate::sched::on_ready(rt, w, t, false);
+            crate::sched::on_ready(rt, w, t, false, true);
         }
         SwitchReason::PreemptedSaved => {
             w.stats.preemptions.fetch_add(1, Ordering::Relaxed);

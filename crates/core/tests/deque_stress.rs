@@ -1,0 +1,262 @@
+//! Multi-thread stress tests for the Chase–Lev ready deque.
+//!
+//! The unit tests in `pool.rs` pin the sequential semantics (FIFO pop, LIFO
+//! pop, steal order, inbox merge). These tests attack the *concurrent*
+//! claims: the last-element race between the owner and stealers, and
+//! conservation (no element lost, none delivered twice) under sustained
+//! mixed push/pop/steal/remote-push traffic.
+//!
+//! Ownership discipline mirrors the runtime: exactly one thread plays the
+//! owner (push / pop / pop_lifo); any number of threads steal; any thread
+//! may push_remote.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use ult_core::pool::ThreadPool;
+use ult_core::thread::Ult;
+
+/// Per-id claim ledger: `claim(id)` panics if the same element is ever
+/// delivered twice, and the final count proves nothing was lost.
+struct Ledger {
+    seen: Vec<AtomicBool>,
+    claimed: AtomicUsize,
+}
+
+impl Ledger {
+    fn new(n: usize) -> Arc<Ledger> {
+        Arc::new(Ledger {
+            seen: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            claimed: AtomicUsize::new(0),
+        })
+    }
+
+    fn claim(&self, id: u64) {
+        let dup = self.seen[id as usize].swap(true, Ordering::AcqRel);
+        assert!(!dup, "element {id} delivered twice");
+        self.claimed.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn count(&self) -> usize {
+        self.claimed.load(Ordering::Acquire)
+    }
+}
+
+/// One element at a time, owner pop racing stealers for it: the canonical
+/// Chase–Lev last-element race, hammered with real contention. Exactly one
+/// side may win each round.
+#[test]
+fn last_element_pop_vs_steal() {
+    const ROUNDS: usize = 10_000;
+    const STEALERS: usize = 3;
+    let pool = Arc::new(ThreadPool::with_capacity(64));
+    let ledger = Ledger::new(ROUNDS);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let stealers: Vec<_> = (0..STEALERS)
+        .map(|_| {
+            let (pool, ledger, stop) = (pool.clone(), ledger.clone(), stop.clone());
+            thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    if let Some(t) = pool.steal() {
+                        ledger.claim(t.id);
+                    }
+                    std::hint::spin_loop();
+                }
+            })
+        })
+        .collect();
+
+    // Owner: push one, then race the stealers to claim it; never advance to
+    // the next round until the current element has been delivered somewhere.
+    for id in 0..ROUNDS {
+        pool.push(Ult::test_ult(id as u64));
+        while ledger.count() < id + 1 {
+            if let Some(t) = pool.pop() {
+                ledger.claim(t.id);
+            }
+            std::hint::spin_loop();
+        }
+    }
+    stop.store(true, Ordering::Release);
+    for s in stealers {
+        s.join().unwrap();
+    }
+    assert_eq!(ledger.count(), ROUNDS);
+    assert!(pool.is_empty());
+}
+
+/// Same last-element race but against the owner's LIFO end (`pop_lifo`
+/// decrements bottom speculatively and must CAS the top for the final
+/// element — the subtlest path in the deque).
+#[test]
+fn last_element_pop_lifo_vs_steal() {
+    const ROUNDS: usize = 10_000;
+    const STEALERS: usize = 3;
+    let pool = Arc::new(ThreadPool::with_capacity(64));
+    let ledger = Ledger::new(ROUNDS);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let stealers: Vec<_> = (0..STEALERS)
+        .map(|_| {
+            let (pool, ledger, stop) = (pool.clone(), ledger.clone(), stop.clone());
+            thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    if let Some(t) = pool.steal() {
+                        ledger.claim(t.id);
+                    }
+                    std::hint::spin_loop();
+                }
+            })
+        })
+        .collect();
+
+    for id in 0..ROUNDS {
+        pool.push(Ult::test_ult(id as u64));
+        while ledger.count() < id + 1 {
+            if let Some(t) = pool.pop_lifo() {
+                ledger.claim(t.id);
+            }
+            std::hint::spin_loop();
+        }
+    }
+    stop.store(true, Ordering::Release);
+    for s in stealers {
+        s.join().unwrap();
+    }
+    assert_eq!(ledger.count(), ROUNDS);
+    assert!(pool.is_empty());
+}
+
+/// Sustained mixed traffic: the owner interleaves batched pushes with pops,
+/// remote threads inject through the inbox, stealers drain from the other
+/// side. Every element must be delivered exactly once, across deque growth
+/// and inbox merges.
+#[test]
+fn conservation_under_mixed_traffic() {
+    const OWNER_PUSHES: usize = 12_000;
+    const REMOTE_PUSHERS: usize = 2;
+    const REMOTE_EACH: usize = 6_000;
+    const STEALERS: usize = 2;
+    const TOTAL: usize = OWNER_PUSHES + REMOTE_PUSHERS * REMOTE_EACH;
+
+    // Small initial capacity on purpose: the run must cross an epoch-swap
+    // growth while stealers hold stale buffer references.
+    let pool = Arc::new(ThreadPool::with_capacity(8));
+    pool.reserve(TOTAL + 1);
+    let ledger = Ledger::new(TOTAL);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let stealers: Vec<_> = (0..STEALERS)
+        .map(|_| {
+            let (pool, ledger, stop) = (pool.clone(), ledger.clone(), stop.clone());
+            thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    if let Some(t) = pool.steal() {
+                        ledger.claim(t.id);
+                    }
+                    std::hint::spin_loop();
+                }
+            })
+        })
+        .collect();
+
+    let pushers: Vec<_> = (0..REMOTE_PUSHERS)
+        .map(|p| {
+            let pool = pool.clone();
+            thread::spawn(move || {
+                let base = (OWNER_PUSHES + p * REMOTE_EACH) as u64;
+                for i in 0..REMOTE_EACH {
+                    pool.push_remote(Ult::test_ult(base + i as u64));
+                }
+            })
+        })
+        .collect();
+
+    // Owner: bursts of pushes with interleaved pops (mixing FIFO and LIFO
+    // ends) so the deque repeatedly fills, drains and wraps.
+    let mut id = 0u64;
+    while (id as usize) < OWNER_PUSHES {
+        for _ in 0..7 {
+            if (id as usize) >= OWNER_PUSHES {
+                break;
+            }
+            pool.push(Ult::test_ult(id));
+            id += 1;
+        }
+        for k in 0..3 {
+            let got = if k % 2 == 0 {
+                pool.pop()
+            } else {
+                pool.pop_lifo()
+            };
+            if let Some(t) = got {
+                ledger.claim(t.id);
+            }
+        }
+    }
+    for p in pushers {
+        p.join().unwrap();
+    }
+    // Drain the remainder as the owner while stealers keep racing.
+    while ledger.count() < TOTAL {
+        if let Some(t) = pool.pop() {
+            ledger.claim(t.id);
+        }
+        std::hint::spin_loop();
+    }
+    stop.store(true, Ordering::Release);
+    for s in stealers {
+        s.join().unwrap();
+    }
+    assert_eq!(ledger.count(), TOTAL);
+    assert!(pool.is_empty());
+    assert_eq!(pool.len(), 0);
+}
+
+/// Stealers must reach work that only exists in the inbox (no owner around
+/// to drain it): remote pushers and stealers only, no owner ops at all.
+#[test]
+fn steal_drains_inbox_without_owner() {
+    const PUSHERS: usize = 3;
+    const EACH: usize = 4_000;
+    const TOTAL: usize = PUSHERS * EACH;
+    let pool = Arc::new(ThreadPool::with_capacity(4));
+    let ledger = Ledger::new(TOTAL);
+    let done = Arc::new(AtomicUsize::new(0));
+
+    let pushers: Vec<_> = (0..PUSHERS)
+        .map(|p| {
+            let (pool, done) = (pool.clone(), done.clone());
+            thread::spawn(move || {
+                let base = (p * EACH) as u64;
+                for i in 0..EACH {
+                    pool.push_remote(Ult::test_ult(base + i as u64));
+                }
+                done.fetch_add(1, Ordering::AcqRel);
+            })
+        })
+        .collect();
+
+    let stealers: Vec<_> = (0..3)
+        .map(|_| {
+            let (pool, ledger, done) = (pool.clone(), ledger.clone(), done.clone());
+            thread::spawn(move || loop {
+                if let Some(t) = pool.steal() {
+                    ledger.claim(t.id);
+                } else if done.load(Ordering::Acquire) == PUSHERS && pool.is_empty() {
+                    break;
+                }
+                std::hint::spin_loop();
+            })
+        })
+        .collect();
+
+    for p in pushers {
+        p.join().unwrap();
+    }
+    for s in stealers {
+        s.join().unwrap();
+    }
+    assert_eq!(ledger.count(), TOTAL);
+}

@@ -126,6 +126,37 @@ fn preemption_slices_shared_pool_spinners_round_robin() {
 }
 
 #[test]
+fn ready_events_unpark_two_workers_not_the_fleet() {
+    // Regression test for the packing wake storm: `on_ready` used to unpark
+    // EVERY active worker per ready event, so readying K threads on an
+    // 8-worker runtime cost >= 8K futex wakes. The fixed path unparks at
+    // most the home-pool owner plus the one active worker responsible for
+    // that pool under Algorithm 1's stride — a constant per event,
+    // independent of fleet size.
+    let rt = packing_rt(8, 0);
+    // Warm-up: let workers finish startup and reach their parked steady
+    // state so the measured window contains only ready-event wakes.
+    for _ in 0..3 {
+        rt.spawn_on(0, ThreadKind::Nonpreemptive, Priority::High, || {})
+            .join();
+    }
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    let base = rt.stats().unparks;
+    const K: usize = 200;
+    for i in 0..K {
+        rt.spawn_on(i % 8, ThreadKind::Nonpreemptive, Priority::High, || {})
+            .join();
+    }
+    let grew = rt.stats().unparks - base;
+    assert!(
+        grew <= (3 * K + 50) as u64,
+        "unpark storm: {grew} unparks for {K} ready events (old behaviour: >= {})",
+        8 * K
+    );
+    rt.shutdown();
+}
+
+#[test]
 fn divisor_vs_nondivisor_balance() {
     // Algorithm 1's private-pool stride: with n_active dividing N_total,
     // pools partition exactly; otherwise the remainder pools are shared.

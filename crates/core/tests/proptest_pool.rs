@@ -1,6 +1,11 @@
-//! Property tests: the ready pool behaves like a double-ended queue model
-//! under arbitrary operation sequences (no thread lost, no duplicate, exact
-//! ordering).
+//! Property tests: the ready pool (Chase–Lev deque + remote inbox) behaves
+//! like a two-queue reference model under arbitrary operation sequences
+//! (no thread lost, no duplicate, exact ordering).
+//!
+//! Model: `deque` mirrors the ring (push = back, FIFO pop = front, LIFO
+//! pop = back), `inbox` mirrors the remote stack in arrival order. Owner
+//! pops first drain the whole inbox to the deque's back; a steal claims
+//! the deque front, falling back to the oldest inbox entry.
 
 use proptest::prelude::*;
 use std::collections::VecDeque;
@@ -10,17 +15,19 @@ use ult_core::thread::Ult;
 
 #[derive(Debug, Clone)]
 enum Op {
-    PushBack,
-    PushFront,
+    Push,
+    PushRemote,
     Pop,
+    PopLifo,
     Steal,
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        Just(Op::PushBack),
-        Just(Op::PushFront),
+        Just(Op::Push),
+        Just(Op::PushRemote),
         Just(Op::Pop),
+        Just(Op::PopLifo),
         Just(Op::Steal),
     ]
 }
@@ -33,37 +40,49 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
-    fn pool_matches_deque_model(ops in prop::collection::vec(op_strategy(), 1..200)) {
+    fn pool_matches_two_queue_model(ops in prop::collection::vec(op_strategy(), 1..200)) {
         let pool = ThreadPool::with_capacity(512);
-        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut deque: VecDeque<u64> = VecDeque::new();
+        let mut inbox: VecDeque<u64> = VecDeque::new();
         let mut next_unique = 10_000u64;
         for op in ops {
             match op {
-                Op::PushBack => {
+                Op::Push => {
                     // Unique ids avoid double-enqueue tripwires on one Arc.
                     next_unique += 1;
                     pool.push(mk(next_unique));
-                    model.push_back(next_unique);
+                    deque.push_back(next_unique);
                 }
-                Op::PushFront => {
+                Op::PushRemote => {
                     next_unique += 1;
-                    pool.push_front(mk(next_unique));
-                    model.push_front(next_unique);
+                    pool.push_remote(mk(next_unique));
+                    inbox.push_back(next_unique);
                 }
                 Op::Pop => {
-                    prop_assert_eq!(pool.pop().map(|t| t.id), model.pop_front());
+                    deque.extend(inbox.drain(..));
+                    prop_assert_eq!(pool.pop().map(|t| t.id), deque.pop_front());
+                }
+                Op::PopLifo => {
+                    deque.extend(inbox.drain(..));
+                    prop_assert_eq!(pool.pop_lifo().map(|t| t.id), deque.pop_back());
                 }
                 Op::Steal => {
-                    prop_assert_eq!(pool.steal().map(|t| t.id), model.pop_back());
+                    let expect = if !deque.is_empty() {
+                        deque.pop_front()
+                    } else {
+                        inbox.pop_front()
+                    };
+                    prop_assert_eq!(pool.steal().map(|t| t.id), expect);
                 }
             }
-            prop_assert_eq!(pool.len(), model.len());
+            prop_assert_eq!(pool.len(), deque.len() + inbox.len());
         }
         // Drain and compare the remainder exactly.
+        deque.extend(inbox.drain(..));
         while let Some(t) = pool.pop() {
-            prop_assert_eq!(Some(t.id), model.pop_front());
+            prop_assert_eq!(Some(t.id), deque.pop_front());
         }
-        prop_assert!(model.is_empty());
+        prop_assert!(deque.is_empty());
     }
 
     #[test]

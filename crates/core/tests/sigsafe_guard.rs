@@ -106,6 +106,131 @@ fn guard_trips_in_real_handler_child() {
     // Still alive: the guard failed to fire. Exit 0 = parent assertion fails.
 }
 
+/// Child body for the spawn-storm test: sustained preemption of spinner
+/// ULTs (every tick drives the handler's ready-pool push) concurrent with
+/// a spawn/join storm from both external and ambient (in-ULT) contexts —
+/// exercising the deque growth, inbox and recycling paths under load. The
+/// guard allocator is live the whole time: ANY allocation inside a handler
+/// frame (e.g. a deque push that grows) aborts the process. Exiting 0 with
+/// preemptions recorded is the PASS case.
+#[test]
+#[ignore = "child half of spawn_storm_handler_pushes_never_allocate"]
+fn spawn_storm_child() {
+    if std::env::var_os("ULT_SIGSAFE_STORM").is_none() {
+        return; // only meaningful when driven by the parent test below
+    }
+    let rt = Runtime::start(preemptive_cfg(2, 300));
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    // Long-lived spinners: preempted over and over, so the signal handler
+    // repeatedly pushes them back into (possibly contended) ready pools.
+    let spinners: Vec<_> = (0..2)
+        .map(|_| {
+            let stop = stop.clone();
+            rt.spawn_with(ThreadKind::SignalYield, Priority::High, move || {
+                while !stop.load(Ordering::Acquire) {
+                    core::hint::spin_loop();
+                }
+            })
+        })
+        .collect();
+    // Ambient generator: spawns from inside a ULT (the pinned fast lane,
+    // descriptor/stack recycling, owner-side deque pushes).
+    let gen = rt.spawn_with(ThreadKind::Nonpreemptive, Priority::High, || {
+        let mut inner = 0u64;
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(300);
+        while std::time::Instant::now() < deadline {
+            let hs: Vec<_> = (0..16)
+                .map(|_| {
+                    ult_core::api::spawn(ThreadKind::SignalYield, Priority::High, || {
+                        let mut acc = 0u64;
+                        for k in 0..5_000u64 {
+                            acc = acc.wrapping_add(k);
+                        }
+                        std::hint::black_box(acc);
+                    })
+                })
+                .collect();
+            inner += hs.len() as u64;
+            for h in hs {
+                h.join();
+            }
+        }
+        inner
+    });
+    // External storm in parallel: remote-push (inbox) spawn routing.
+    let mut external = 0u64;
+    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(300);
+    while std::time::Instant::now() < deadline {
+        let hs: Vec<_> = (0..16)
+            .map(|_| {
+                rt.spawn_with(ThreadKind::SignalYield, Priority::High, || {
+                    let mut acc = 0u64;
+                    for k in 0..5_000u64 {
+                        acc = acc.wrapping_add(k);
+                    }
+                    std::hint::black_box(acc);
+                })
+            })
+            .collect();
+        external += hs.len() as u64;
+        for h in hs {
+            h.join();
+        }
+    }
+    let inner = gen.join();
+    stop.store(true, Ordering::Release);
+    for s in spinners {
+        s.join();
+    }
+    let stats = rt.stats();
+    rt.shutdown();
+    println!(
+        "STORM_OK spawned={} preemptions={}",
+        external + inner,
+        stats.preemptions
+    );
+}
+
+/// Parent half: the storm child must terminate cleanly (the guard never
+/// fired — no handler-frame allocation anywhere in the push/recycle paths)
+/// while having actually been preempted throughout.
+#[test]
+fn spawn_storm_handler_pushes_never_allocate() {
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = std::process::Command::new(exe)
+        .args([
+            "--exact",
+            "spawn_storm_child",
+            "--ignored",
+            "--nocapture",
+            "--test-threads=1",
+        ])
+        .env("ULT_SIGSAFE_STORM", "1")
+        .output()
+        .expect("spawn child test process");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "spawn storm child died — an in-handler allocation (or other abort) \
+         occurred.\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    let line = stdout
+        .lines()
+        .find(|l| l.contains("STORM_OK"))
+        .unwrap_or_else(|| panic!("no STORM_OK line.\nstdout:\n{stdout}\nstderr:\n{stderr}"));
+    let preemptions: u64 = line
+        .split("preemptions=")
+        .nth(1)
+        .and_then(|s| s.trim().parse().ok())
+        .expect("parse preemptions");
+    assert!(
+        preemptions > 0,
+        "storm ran without a single preemption; the handler push path was \
+         never exercised: {line}"
+    );
+}
+
 #[test]
 fn guard_aborts_process_when_real_handler_allocates() {
     let exe = std::env::current_exe().expect("test binary path");

@@ -13,6 +13,10 @@ cargo fmt --check
 cargo build --workspace --release
 
 mkdir -p results
+
+echo "== perf smoke: spawn/join hot paths vs committed baseline (2x tripwire)"
+./target/release/bench_spawn --quick --out results/BENCH_spawn.json \
+    --check results/BENCH_spawn_baseline.json
 run() {
     local name="$1"; shift
     echo "== $name"
