@@ -214,11 +214,19 @@ impl ThreadPool {
     }
 
     /// Ensure at least `capacity` total slots exist or are staged. **Not**
-    /// async-signal-safe (allocates); called from spawn paths only.
+    /// async-signal-safe (allocates); called from spawn paths only. Safe to
+    /// call concurrently from any number of threads.
     ///
     /// The allocation happens entirely outside any lock or owner-critical
     /// section: a fresh buffer is built here and CAS-published into the
     /// `pending` slot, where the owner picks it up without allocating.
+    ///
+    /// Reclamation rule (load-bearing): once a buffer pointer has been
+    /// published in `pending`, it is **never freed before the pool drops** —
+    /// the owner that swaps it out either installs it as `buf` or retires
+    /// it, and a `reserve` that displaces it via CAS retires it too. Racing
+    /// `reserve` callers may therefore dereference a pointer they loaded
+    /// from `pending` even after it was displaced.
     pub fn reserve(&self, capacity: usize) {
         if self.reserved.load(Ordering::Acquire) >= capacity {
             return;
@@ -230,13 +238,14 @@ impl ThreadPool {
             let cur_cap = if cur.is_null() {
                 0
             } else {
-                // SAFETY: `pending` entries are only freed by the thread that
-                // removed them (CAS or swap winners), so `cur` is alive here.
+                // SAFETY: published `pending` entries stay allocated until
+                // the pool drops (see the reclamation rule above), so `cur`
+                // is alive here even if it was concurrently displaced.
                 unsafe { (*cur).cap() }
             };
             if cur_cap >= cap {
                 // Someone staged an equal/larger buffer concurrently.
-                // SAFETY: `fresh` is ours and unpublished.
+                // SAFETY: `fresh` is ours and was never published.
                 drop(unsafe { Box::from_raw(fresh) });
                 break;
             }
@@ -246,11 +255,12 @@ impl ThreadPool {
                 .is_ok()
             {
                 if !cur.is_null() {
-                    // We replaced a smaller staged buffer that no one else
-                    // can reach anymore (the owner takes `pending` with a
-                    // swap, which would have made this CAS fail).
-                    // SAFETY: exclusively ours per the CAS above.
-                    drop(unsafe { Box::from_raw(cur) });
+                    // We displaced a smaller staged buffer. Another
+                    // `reserve` racing this CAS may still hold (and
+                    // dereference) `cur`, so freeing it here would be a
+                    // use-after-free — retire it instead; it is reclaimed
+                    // at pool drop.
+                    self.retire(cur);
                 }
                 break;
             }
@@ -334,14 +344,26 @@ impl ThreadPool {
         new
     }
 
-    /// Park a replaced generation on the retired list (owner only; freed at
-    /// drop — stealers may still hold pointers into it).
+    /// Park a replaced generation on the retired list (freed at drop —
+    /// stealers and racing `reserve` callers may still hold pointers into
+    /// it). Thread-safe: the owner retires displaced ring generations while
+    /// `reserve` callers concurrently retire displaced staged buffers, so
+    /// the list is CAS-linked.
     // sigsafe
     fn retire(&self, buf: *mut Buffer) {
-        let head = self.retired.load(Ordering::Relaxed);
-        // SAFETY: `buf` is exclusively ours until the store below.
-        unsafe { (*buf).retired_next.store(head, Ordering::Relaxed) };
-        self.retired.store(buf, Ordering::Release);
+        loop {
+            let head = self.retired.load(Ordering::Relaxed);
+            // SAFETY: `buf` is exclusively ours until the CAS publishes it.
+            unsafe { (*buf).retired_next.store(head, Ordering::Relaxed) };
+            if self
+                .retired
+                .compare_exchange_weak(head, buf, Ordering::Release, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+            core::hint::spin_loop();
+        }
     }
 
     /// Push from a non-owner thread: a single CAS onto the intrusive inbox.
@@ -744,6 +766,52 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(unsafe { *shared.1.get() }, 40_000);
+    }
+
+    #[test]
+    fn concurrent_reserve_races_are_safe() {
+        // Regression test for a use-after-free: two reserve() callers could
+        // load the same staged `pending` buffer, the CAS winner freed it,
+        // and the loser dereferenced it on its retry. Displaced staged
+        // buffers are now retired (kept alive until drop) instead of freed.
+        for _ in 0..20 {
+            let p = Arc::new(ThreadPool::with_capacity(2));
+            let go = Arc::new(AtomicUsize::new(0));
+            let mut handles = vec![];
+            for t in 0..4 {
+                let p = p.clone();
+                let go = go.clone();
+                handles.push(std::thread::spawn(move || {
+                    while go.load(Ordering::Acquire) == 0 {
+                        std::hint::spin_loop();
+                    }
+                    // Escalating sizes from racing threads force repeated
+                    // displacement of smaller staged buffers.
+                    for i in 0..12 {
+                        p.reserve(1 << ((i + t) % 12));
+                    }
+                }));
+            }
+            go.store(1, Ordering::Release);
+            // Concurrent owner traffic; bounded window (never outgrows the
+            // initial ring, so no staged capacity is required mid-race).
+            for i in 0..512 {
+                p.push(mk(i));
+                p.pop();
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            // Growth now consumes a surviving staged buffer via
+            // grow_owner's pending swap.
+            for i in 0..100 {
+                p.push(mk(i));
+            }
+            for i in 0..100 {
+                assert_eq!(p.pop().unwrap().id, i);
+            }
+            assert!(p.is_empty());
+        }
     }
 
     #[test]

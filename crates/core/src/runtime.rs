@@ -205,10 +205,15 @@ impl RuntimeInner {
         // SAFETY: owner access — the spawn path holds a pin on `w`.
         let cache = unsafe { &mut *w.ult_cache.get() };
         // Newest-first: recently finished descriptors are the likeliest to
-        // have shed their JoinHandle and the hottest in cache.
+        // have shed their JoinHandle and the hottest in cache. The weak
+        // check matters for `Arc::get_mut` at the use site: a descriptor
+        // with a `Weak<Ult>` outstanding is not uniquely ours even at
+        // strong count 1 (and both counts are stable here — with the slab
+        // holding the only strong ref, nobody can clone or downgrade it
+        // concurrently).
         (0..cache.len())
             .rev()
-            .find(|&i| Arc::strong_count(&cache[i]) == 1)
+            .find(|&i| Arc::strong_count(&cache[i]) == 1 && Arc::weak_count(&cache[i]) == 0)
             .map(|i| cache.swap_remove(i))
     }
 
@@ -241,6 +246,9 @@ impl RuntimeInner {
                 *r2.0.get() = Some(v);
             }
         };
+        // Box the entry before taking any pin: this allocation happens on
+        // every path and must not sit inside a preemption-off window.
+        let entry: Box<dyn FnOnce() + Send + 'static> = Box::new(wrapper);
 
         // Fast lane: pin the spawner's worker ONCE, up front. The pin (a)
         // fixes the placement hint, (b) licenses lock-free access to the
@@ -260,29 +268,58 @@ impl RuntimeInner {
             Some(w) => w.rank,
             None => self.spawn_rr.fetch_add(1, Ordering::Relaxed) % self.workers.len(),
         });
+        // Owner-cache accesses (these are what the pin licenses): a
+        // recycled stack and a recycled descriptor.
         let stack = if stack_size == self.config.stack_size {
             self.take_cached_stack(pinned)
         } else {
             None
+        };
+        let slot = pinned.and_then(Self::take_recyclable_ult);
+        if stack.is_none() || slot.is_none() {
+            // Cache miss: something must be allocated (Stack::new is an
+            // mmap + guard-page mprotect, ~10 µs). Release the pin first so
+            // the allocations don't hold preemption off and inflate the
+            // worker's preemption-latency tail; re-pin for the final push.
+            if let Some(cw) = pinned.take() {
+                cw.preempt_enable();
+            }
         }
-        .unwrap_or_else(|| Stack::new(stack_size).expect("ULT stack allocation"));
+        let stack = stack.unwrap_or_else(|| Stack::new(stack_size).expect("ULT stack allocation"));
         crate::debug_registry::register(id, stack.base() as usize, stack.top() as usize);
         crate::debug_registry::event(crate::debug_registry::ev::SPAWN, id, home as u64);
 
         // Recycle a finished descriptor when one is free: reuses the
         // `Arc<Ult>` allocation and the joiner/locals capacities.
-        let ult = match pinned.and_then(Self::take_recyclable_ult) {
-            Some(mut slot) => {
-                let inner = Arc::get_mut(&mut slot)
-                    .expect("recyclable descriptor with unique strong count");
-                Ult::reset_for_spawn(inner, id, kind, priority, home, stack, Box::new(wrapper));
-                slot
-            }
-            None => Ult::new(id, kind, priority, home, stack, Box::new(wrapper)),
+        let ult = match slot {
+            Some(mut slot) => match Arc::get_mut(&mut slot) {
+                Some(inner) => {
+                    Ult::reset_for_spawn(inner, id, kind, priority, home, stack, entry);
+                    slot
+                }
+                // Not uniquely ours after all (a Weak<Ult> slipped past the
+                // slab check): discard the slot and allocate fresh rather
+                // than panicking.
+                None => Ult::new(id, kind, priority, home, stack, entry),
+            },
+            None => Ult::new(id, kind, priority, home, stack, entry),
         };
         ult.set_runtime(Arc::as_ptr(self));
         ult.set_state(crate::thread::UltState::Ready);
 
+        // Re-pin if the miss path released the pin. The ULT may have been
+        // preempted and migrated meanwhile, so re-resolve the current
+        // worker (`home` stays what was hinted above — it is placement
+        // policy, not an ownership claim).
+        if pinned.is_none() {
+            if let Some(cw) = crate::api::pin_current_worker() {
+                if std::ptr::eq(cw.runtime(), &**self) {
+                    pinned = Some(cw);
+                } else {
+                    cw.preempt_enable();
+                }
+            }
+        }
         // Route to a pool. When called from inside a worker, on_ready uses
         // that worker's local queue under the migration pin (owner push);
         // externally, the home worker's remote inbox.

@@ -79,6 +79,18 @@ pub(crate) fn on_ready(rt: &RuntimeInner, w: &Worker, t: Arc<Ult>, wake: bool, l
                     .load(Ordering::Acquire)
                     .clamp(1, rt.workers.len());
                 rt.workers[home % active].unpark();
+                if home >= active {
+                    // Backstop: the stride owner above came from a single
+                    // racy `active_workers` load. If a set_active_workers()
+                    // repartition raced this push, the home owner AND the
+                    // stale stride pick can both be packing-suspended,
+                    // stranding the push until the next event. Only
+                    // possible when the home owner itself may be suspended
+                    // (home >= active); wake_one_idle's SeqCst fence pairs
+                    // with idle_wait, so a current active worker is
+                    // guaranteed to rescan the pools.
+                    rt.wake_one_idle();
+                }
             }
         }
         SchedPolicy::Priority => {
