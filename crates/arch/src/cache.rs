@@ -24,6 +24,7 @@ pub struct CacheAligned<T>(pub T);
 
 impl<T> CacheAligned<T> {
     /// Wrap `value` in a cache-line-aligned cell.
+    // sigsafe
     pub const fn new(value: T) -> Self {
         CacheAligned(value)
     }

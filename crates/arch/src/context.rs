@@ -152,6 +152,68 @@ impl Context {
         unsafe { raw_switch(save, restore) }
     }
 
+    /// Preemptive switch out of a signal handler: suspend the *interrupted*
+    /// computation into `save` and resume `restore`, reusing the kernel's
+    /// signal frame as the saved register set instead of saving a second
+    /// one.
+    ///
+    /// The cooperative [`Context::switch`] must spill the callee-saved
+    /// registers because the compiler assumes they survive the call. A
+    /// preemption is different: the kernel already wrote *every* register —
+    /// callee- and caller-saved, plus FP/SSE state and the signal mask —
+    /// into the `ucontext_t` on the interrupted thread's stack before
+    /// running the handler. Saving the handler's own callee-saved registers
+    /// on top of that is pure double-bookkeeping. This path instead plants
+    /// a 7-word mini-frame below the handler frame whose `ret` target is a
+    /// trampoline that (a) calls `resume_hook` and (b) performs the
+    /// `rt_sigreturn` the abandoned handler invocation still owes the
+    /// kernel. `rt_sigreturn` then restores the complete interrupted state
+    /// — including the signal mask, which is why the handler needs no
+    /// `sigprocmask` syscall of its own (install the handler with
+    /// `SA_NODEFER` so the mask was never modified to begin with).
+    ///
+    /// `save` afterwards holds a context resumable by the ordinary
+    /// [`Context::switch`]/[`Context::jump`]: the generic restore pops the
+    /// mini-frame and "returns" into the trampoline with `uc` and
+    /// `resume_hook` in callee-saved registers.
+    ///
+    /// `resume_hook` runs on the interrupted thread's stack, just below the
+    /// (still intact, frozen) signal frame, right before the `rt_sigreturn`
+    /// — the place for the runtime to re-enable preemption and drain
+    /// deferred work. It may itself context-switch: the trampoline state is
+    /// a valid suspended context and `uc`/`resume_hook` live in
+    /// callee-saved registers.
+    ///
+    /// # Safety
+    ///
+    /// * Must be called from a signal handler invocation delivered on the
+    ///   stack of the computation being saved (no `SA_ONSTACK`), with `uc`
+    ///   the `ucontext_t*` passed to that handler (`SA_SIGINFO` third
+    ///   argument).
+    /// * The handler must have been installed with `SA_NODEFER` (or the
+    ///   caller otherwise guarantees the thread's signal mask needs no
+    ///   handler-exit fixup beyond what `rt_sigreturn` restores).
+    /// * `restore` must hold a live suspended (or fresh) context, and no
+    ///   other KLT may concurrently resume it.
+    /// * The saved computation's stack — including the signal frame and the
+    ///   region below it — must stay frozen until `save` is resumed.
+    /// * The handler frame is abandoned: no drop-relevant locals of the
+    ///   calling handler may be live at the call site.
+    #[inline]
+    // sigsafe
+    pub unsafe fn switch_preempt(
+        save: *mut Context,
+        restore: *const Context,
+        uc: *mut c_void,
+        resume_hook: unsafe extern "C" fn(),
+    ) -> ! {
+        // SAFETY: forwarded to the caller's contract.
+        unsafe {
+            raw_switch_preempt(save, restore, uc, resume_hook as *const c_void);
+            core::hint::unreachable_unchecked()
+        }
+    }
+
     /// Resume `restore` *without saving* the current computation.
     ///
     /// Used when the current context is dead (finished thread) — its stack
@@ -196,6 +258,66 @@ unsafe extern "C" fn raw_switch(save: *mut Context, restore: *const Context) {
         "pop rbx",
         "pop rbp",
         "ret",
+    )
+}
+
+/// The preemptive switch: fabricate a mini-frame that resumes via
+/// [`sigreturn_trampoline`], publish it as the saved context, and jump to
+/// the target **without saving any registers** — the kernel's signal frame
+/// (reachable from `uc`) already holds the interrupted computation's
+/// complete state.
+///
+/// Mini-frame layout (ascending, matching `raw_switch`'s restore pops):
+/// `[r15][r14][r13 = uc][r12 = resume_hook][rbx][rbp][ret → trampoline]`.
+/// The r15/r14/rbx/rbp slots are left uninitialized on purpose: the
+/// trampoline uses only r12/r13, and `rt_sigreturn` rewrites every register
+/// from the signal frame anyway.
+#[unsafe(naked)]
+// sigsafe
+unsafe extern "C" fn raw_switch_preempt(
+    save: *mut Context,
+    restore: *const Context,
+    uc: *mut c_void,
+    resume_hook: *const c_void,
+) {
+    naked_asm!(
+        // rdi = save, rsi = restore, rdx = uc, rcx = resume_hook
+        "lea r8, [rsp - 64]",  // mini-frame below our return address
+        "mov [r8 + 16], rdx",  // r13 slot = uc
+        "mov [r8 + 24], rcx",  // r12 slot = resume_hook
+        "lea rax, [rip + {tramp}]",
+        "mov [r8 + 48], rax",  // ret slot = trampoline
+        "mov [rdi], r8",       // publish: save->sp = mini-frame
+        // restore target (identical to raw_switch's second half)
+        "mov rsp, [rsi]",
+        "pop r15",
+        "pop r14",
+        "pop r13",
+        "pop r12",
+        "pop rbx",
+        "pop rbp",
+        "ret",
+        tramp = sym sigreturn_trampoline,
+    )
+}
+
+/// Resume path of a preempted context: entered via the generic restore's
+/// `ret` with `r13 = ucontext_t*` and `r12 = resume_hook` (seeded by
+/// [`raw_switch_preempt`]). Runs the hook on the dead region below the
+/// signal frame, then points `rsp` at the `ucontext_t` and issues
+/// `rt_sigreturn` — the kernel expects `rsp == &frame.uc` (the x86-64
+/// `rt_sigframe` puts one word, `pretcode`, below it) and restores the
+/// complete interrupted register state, FP state and signal mask.
+#[unsafe(naked)]
+// sigsafe
+unsafe extern "C" fn sigreturn_trampoline() {
+    naked_asm!(
+        "and rsp, -16", // dead stack region; align for the call ABI
+        "call r12",     // resume_hook() — may itself context-switch
+        "mov rsp, r13", // rsp = &ucontext (== signal frame + 8)
+        "mov eax, 15",  // __NR_rt_sigreturn (x86-64)
+        "syscall",
+        "ud2", // rt_sigreturn does not return
     )
 }
 
@@ -312,6 +434,95 @@ mod tests {
         let c = unsafe { Context::new(stack.top(), add_once, std::ptr::null_mut()) };
         let sp = c.sp as usize;
         assert_eq!((sp + 8 * 8) % 16, 0);
+    }
+
+    mod preempt {
+        use super::super::*;
+        use crate::stack::Stack;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        /// Contexts shared between "scheduler" (the test) and the handler.
+        struct Shared {
+            main: UnsafeContext,
+            fiber: UnsafeContext,
+        }
+        struct UnsafeContext(core::cell::UnsafeCell<Context>);
+        // SAFETY: test synchronizes through strictly alternating switches.
+        unsafe impl Sync for UnsafeContext {}
+
+        static SHARED: Shared = Shared {
+            main: UnsafeContext(core::cell::UnsafeCell::new(Context::empty())),
+            fiber: UnsafeContext(core::cell::UnsafeCell::new(Context::empty())),
+        };
+        static PROGRESS: AtomicUsize = AtomicUsize::new(0);
+        static HOOK_RUNS: AtomicUsize = AtomicUsize::new(0);
+
+        fn test_sig() -> i32 {
+            libc::SIGRTMIN() + 8
+        }
+
+        extern "C" fn preempting_handler(_sig: i32, _info: *mut libc::siginfo_t, uc: *mut c_void) {
+            // SAFETY: delivered on the fiber's stack (no SA_ONSTACK) with
+            // SA_NODEFER; main ctx is live (the test is suspended in it).
+            unsafe {
+                Context::switch_preempt(SHARED.fiber.0.get(), SHARED.main.0.get(), uc, resume_hook);
+            }
+        }
+
+        unsafe extern "C" fn resume_hook() {
+            HOOK_RUNS.fetch_add(1, Ordering::SeqCst);
+        }
+
+        unsafe extern "C" fn fiber_entry(_arg: *mut c_void) -> ! {
+            // Local state proves registers survive the preemption round
+            // trip through the kernel signal frame.
+            let mut acc: u64 = 0x1234;
+            for round in 1..=3u64 {
+                PROGRESS.fetch_add(1, Ordering::SeqCst);
+                // SAFETY: raise is synchronous: the handler (and its
+                // switch_preempt back to main) runs before this returns.
+                unsafe { libc::raise(test_sig()) };
+                acc = acc.wrapping_mul(31).wrapping_add(round);
+            }
+            assert_eq!(
+                acc,
+                ((0x1234u64 * 31 + 1) * 31 + 2) * 31 + 3,
+                "fiber-local state corrupted across preemptions"
+            );
+            PROGRESS.fetch_add(100, Ordering::SeqCst);
+            unsafe { Context::jump(SHARED.main.0.get()) }
+        }
+
+        /// raise → handler → switch_preempt to main → resume fiber (hook +
+        /// rt_sigreturn) → fiber continues where interrupted; three rounds.
+        #[test]
+        fn switch_preempt_round_trips_through_sigreturn() {
+            // SAFETY: installing a SA_SIGINFO|SA_NODEFER handler.
+            unsafe {
+                let mut sa: libc::sigaction = std::mem::MaybeUninit::zeroed().assume_init();
+                sa.sa_sigaction = preempting_handler as *const () as usize;
+                sa.sa_flags = libc::SA_SIGINFO | libc::SA_RESTART | libc::SA_NODEFER;
+                libc::sigemptyset(&mut sa.sa_mask);
+                assert_eq!(libc::sigaction(test_sig(), &sa, std::ptr::null_mut()), 0);
+            }
+            let stack = Stack::new(256 * 1024).unwrap();
+            // SAFETY: fresh fiber on its own stack; strict alternation.
+            unsafe {
+                *SHARED.fiber.0.get() =
+                    Context::new(stack.top(), fiber_entry, std::ptr::null_mut());
+                for round in 1..=3usize {
+                    Context::switch(SHARED.main.0.get(), SHARED.fiber.0.get());
+                    // Back here via the handler's switch_preempt.
+                    assert_eq!(PROGRESS.load(Ordering::SeqCst), round);
+                    assert_eq!(HOOK_RUNS.load(Ordering::SeqCst), round - 1);
+                }
+                // Final resume: hook fires, sigreturn lands after raise(),
+                // the loop finishes and the fiber jumps home.
+                Context::switch(SHARED.main.0.get(), SHARED.fiber.0.get());
+                assert_eq!(PROGRESS.load(Ordering::SeqCst), 103);
+                assert_eq!(HOOK_RUNS.load(Ordering::SeqCst), 3);
+            }
+        }
     }
 
     #[test]

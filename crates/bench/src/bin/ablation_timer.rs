@@ -19,14 +19,21 @@ fn handler_latency(strategy: TimerStrategy, workers: usize, millis: u64) -> (f64
         ..Config::default()
     });
     let stop = Arc::new(AtomicBool::new(false));
-    let hs: Vec<_> = (0..workers)
+    // Two spinners per worker, else tick elision disarms the sole-runnable
+    // worker's timer and no interruptions are recorded.
+    let hs: Vec<_> = (0..2 * workers)
         .map(|i| {
             let stop = stop.clone();
-            rt.spawn_on(i, ThreadKind::SignalYield, Priority::High, move || {
-                while !stop.load(Ordering::Acquire) {
-                    core::hint::spin_loop();
-                }
-            })
+            rt.spawn_on(
+                i % workers,
+                ThreadKind::SignalYield,
+                Priority::High,
+                move || {
+                    while !stop.load(Ordering::Acquire) {
+                        core::hint::spin_loop();
+                    }
+                },
+            )
         })
         .collect();
     std::thread::sleep(std::time::Duration::from_millis(millis));

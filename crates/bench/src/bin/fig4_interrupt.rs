@@ -18,7 +18,7 @@ use std::sync::Arc;
 use ult_core::{Config, Priority, Runtime, ThreadKind, TimerStrategy};
 use ult_simcore::{simulate_interruption, KernelParams, SimStrategy};
 
-fn measure(strategy: TimerStrategy, workers: usize, millis: u64) -> (f64, f64, usize) {
+fn measure(strategy: TimerStrategy, workers: usize, millis: u64) -> (f64, f64, usize, u64) {
     let rt = Runtime::start(Config {
         num_workers: workers,
         preempt_interval_ns: 1_000_000,
@@ -27,14 +27,22 @@ fn measure(strategy: TimerStrategy, workers: usize, millis: u64) -> (f64, f64, u
         ..Config::default()
     });
     let stop = Arc::new(AtomicBool::new(false));
-    let spinners: Vec<_> = (0..workers)
+    // Two spinners per worker: with only one runnable ULT a worker's tick is
+    // elided (there is nothing to timeslice to), so a sole spinner would
+    // record no interruptions at all.
+    let spinners: Vec<_> = (0..2 * workers)
         .map(|i| {
             let stop = stop.clone();
-            rt.spawn_on(i, ThreadKind::SignalYield, Priority::High, move || {
-                while !stop.load(Ordering::Acquire) {
-                    core::hint::spin_loop();
-                }
-            })
+            rt.spawn_on(
+                i % workers,
+                ThreadKind::SignalYield,
+                Priority::High,
+                move || {
+                    while !stop.load(Ordering::Acquire) {
+                        core::hint::spin_loop();
+                    }
+                },
+            )
         })
         .collect();
     std::thread::sleep(std::time::Duration::from_millis(millis));
@@ -55,15 +63,16 @@ fn measure(strategy: TimerStrategy, workers: usize, millis: u64) -> (f64, f64, u
         v.sqrt()
     };
     let n = samples.len();
+    let overruns = stats.timer_overruns;
     rt.shutdown();
-    (mean, sd, n)
+    (mean, sd, n, overruns)
 }
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     println!("# Figure 4: average OS timer interruption time, 1 ms interval");
     println!("\n## measured on this machine (real signals, real handlers)\n");
-    println!("strategy\tworkers\tmean_us\tstddev_us\tsamples");
+    println!("strategy\tworkers\tmean_us\tstddev_us\tsamples\toverruns");
     let worker_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
     for &(strategy, name) in &[
         (TimerStrategy::PerWorkerCreationTime, "per-worker(creation)"),
@@ -72,8 +81,12 @@ fn main() {
         (TimerStrategy::PerProcessChain, "per-process(chain)"),
     ] {
         for &w in worker_counts {
-            let (mean, sd, n) = measure(strategy, w, if quick { 150 } else { 400 });
-            println!("{name}\t{w}\t{:.3}\t{:.3}\t{n}", mean / 1000.0, sd / 1000.0);
+            let (mean, sd, n, overruns) = measure(strategy, w, if quick { 150 } else { 400 });
+            println!(
+                "{name}\t{w}\t{:.3}\t{:.3}\t{n}\t{overruns}",
+                mean / 1000.0,
+                sd / 1000.0
+            );
         }
     }
 

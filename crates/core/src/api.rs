@@ -126,6 +126,12 @@ pub(crate) fn yield_core() {
 pub(crate) fn ult_prologue_finish() {
     loop {
         let Some(w) = current_worker() else { return };
+        // Load before swap: pending ticks are rare, and the plain load
+        // keeps the cache line shared on the (hot) nothing-pending resume
+        // path instead of taking it exclusive on every yield.
+        if !w.preempt_pending.load(Ordering::Acquire) {
+            return;
+        }
         if !w.preempt_pending.swap(false, Ordering::AcqRel) {
             return;
         }

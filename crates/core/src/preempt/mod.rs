@@ -2,32 +2,59 @@
 //! (paper §3.1.1) and KLT-switching (paper §3.1.2), plus the timer
 //! strategies (§3.2) in [`timer`].
 //!
+//! # The preemption fast path
+//!
+//! The handler is layered so that the cheap, common outcomes pay the least:
+//!
+//! 1. **Nested-delivery drop** — the handlers are installed `SA_NODEFER`
+//!    (no mask manipulation ⇒ no `sigprocmask` syscall on any path), so a
+//!    second tick can land while one is being handled; the per-KLT depth
+//!    flag drops it (one thread-local read).
+//! 2. **Embodiment check** — stale ticks aimed at a KLT that no longer
+//!    embodies its worker are dropped (chain ticks are re-forwarded first so
+//!    a stale receiver never breaks the chain).
+//! 3. **Handler self-filtering** — a cached per-worker deadline compared
+//!    against `CLOCK_MONOTONIC_COARSE` (vDSO cached timestamp: a couple of
+//!    loads, no syscall, no `rdtsc`) bounces definitely-early ticks without
+//!    reading the precise clock or touching scheduler state.
+//! 4. **The preemption itself** — signal-yield switches away with the
+//!    minimal preemptive switch ([`ult_arch::Context::switch_preempt`]),
+//!    reusing the signal frame's kernel-saved register image instead of
+//!    saving a second register set, and resuming via `rt_sigreturn`.
+//!
+//! Workers with ≤1 runnable ULT have their timers elided entirely (see
+//! [`crate::worker`]'s tick-elision state machine), so idle and single-ULT
+//! workers take **zero** signals rather than cheap ones.
+//!
 //! # Async-signal-safety inventory
 //!
 //! Everything reachable from [`preempt_handler`] is restricted to: atomics,
-//! futex wait/wake, `tgkill`, `clock_gettime`, spinlock-guarded pops of
-//! pre-allocated structures (the KLT pool), the ready-pool publish, and the
-//! context switch itself. The ready-pool publish is the Chase–Lev owner
-//! push — one slot store plus one release store of `bottom`, no lock and no
-//! CAS — or, for a non-home pool, a single-CAS push onto the pool's
-//! intrusive inbox; deque growth in handler context only swaps in a buffer
-//! pre-staged by spawn-side `reserve()` (see `pool.rs`). In particular
-//! there is **no** allocation (the interrupted frame may be inside `malloc`
-//! — the exact KLT-dependence hazard the paper describes) and no
-//! parking-lot locks (their lazy thread data allocates). The closure is
-//! checked statically by `ult-lint` (`// sigsafe` annotations) and
-//! dynamically by the debug allocator guard (`sigsafe.rs`).
+//! futex wait/wake, `tgkill`, `clock_gettime` (precise and coarse),
+//! `timer_settime`/`timer_getoverrun` on published raw handles,
+//! spinlock-guarded pops of pre-allocated structures (the KLT pool), the
+//! ready-pool publish, and the context switch itself. The ready-pool publish
+//! is the Chase–Lev owner push — one slot store plus one release store of
+//! `bottom`, no lock and no CAS — or, for a non-home pool, a single-CAS push
+//! onto the pool's intrusive inbox; deque growth in handler context only
+//! swaps in a buffer pre-staged by spawn-side `reserve()` (see `pool.rs`).
+//! In particular there is **no** allocation (the interrupted frame may be
+//! inside `malloc` — the exact KLT-dependence hazard the paper describes),
+//! no `timer_create` (not on the POSIX safe list; handlers only re-arm
+//! published handles) and no parking-lot locks (their lazy thread data
+//! allocates). The closure is checked statically by `ult-lint` (`// sigsafe`
+//! annotations) and dynamically by the debug allocator guard (`sigsafe.rs`).
 
 pub mod timer;
 
 use crate::klt::{current_klt, Klt};
+use crate::runtime::RuntimeInner;
 use crate::thread::{Ult, UltState};
 use crate::worker::{SwitchReason, Worker};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use ult_arch::Context;
-use ult_sys::clock::now_ns;
-use ult_sys::signal::{send_signal, unblock_signal};
+use ult_sys::clock::{now_coarse_ns, now_ns};
+use ult_sys::signal::send_signal;
 
 /// Preemption tick: plain (no forwarding).
 // sigsafe
@@ -54,11 +81,11 @@ pub(crate) fn install_handlers() {
     use std::sync::Once;
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
-        ult_sys::signal::install_handler(preempt_signum(), preempt_handler)
+        ult_sys::signal::install_handler_info(preempt_signum(), preempt_handler)
             .expect("install preempt handler");
-        ult_sys::signal::install_handler(chain_signum(), preempt_handler)
+        ult_sys::signal::install_handler_info(chain_signum(), preempt_handler)
             .expect("install chain handler");
-        ult_sys::signal::install_handler(one_to_all_signum(), preempt_handler)
+        ult_sys::signal::install_handler_info(one_to_all_signum(), preempt_handler)
             .expect("install one-to-all handler");
         // The wake signal only needs to interrupt sigtimedwait; ignore it so
         // stray deliveries are harmless.
@@ -67,8 +94,26 @@ pub(crate) fn install_handlers() {
 }
 
 /// The preemption signal handler (all three tick signals).
+///
+/// Installed `SA_SIGINFO | SA_RESTART | SA_NODEFER`: the third argument is
+/// the kernel-saved `ucontext_t` that the signal-yield path hands to
+/// [`Context::switch_preempt`], and the signal is never added to the
+/// thread's mask — so no path needs a `sigprocmask` syscall.
 // sigsafe
-pub(crate) extern "C" fn preempt_handler(sig: i32) {
+pub(crate) extern "C" fn preempt_handler(
+    sig: i32,
+    _info: *mut libc::siginfo_t,
+    uc: *mut libc::c_void,
+) {
+    // Nested delivery (SA_NODEFER leaves the tick unmasked): the
+    // interrupted invocation is already mid-decision on this KLT, and a
+    // second decision taken over its half-read state could preempt from the
+    // wrong KLT. Drop the tick — the outer invocation *is* the preemption.
+    // (Also closes the same hazard for cross-signal nesting among the three
+    // tick signals, which was never masked.)
+    if crate::sigsafe::in_signal_handler() {
+        return;
+    }
     // Dynamic safety net: mark this KLT in-handler so the debug-build
     // allocator guard can catch any allocation the static analysis missed.
     // The scope drop covers every early return; the two non-returning
@@ -76,7 +121,6 @@ pub(crate) extern "C" fn preempt_handler(sig: i32) {
     let _in_handler = crate::sigsafe::HandlerScope::enter();
     #[cfg(debug_assertions)]
     crate::sigsafe::maybe_inject_alloc();
-    let t_enter = now_ns();
     let Some(klt) = current_klt() else {
         // Signal landed on a non-runtime thread (possible for per-process
         // SIGEV_SIGNAL before routing settles); drop it.
@@ -88,71 +132,155 @@ pub(crate) extern "C" fn preempt_handler(sig: i32) {
     }
     // SAFETY: workers are owned by the runtime for its whole life.
     let w: &Worker = unsafe { &*wp };
+    let rt = w.runtime();
     // Stale-tick guard: only the KLT currently embodying the worker may
     // preempt it (a captive KLT keeps receiving old per-worker timer ticks
     // until the scheduler rebinds the timer).
     if !std::ptr::eq(w.current_klt.load(Ordering::Acquire), klt) {
         w.stats.stale_ticks.fetch_add(1, Ordering::Relaxed);
+        // A stale receiver must not swallow a chain tick: re-forward so the
+        // chain survives the receiver having been preempted/rebound between
+        // eligibility check and delivery.
+        if sig == chain_signum() {
+            forward_chain(rt, w);
+        }
         return;
     }
-    let rt = w.runtime();
+    w.stats.timer_ticks.fetch_add(1, Ordering::Relaxed);
 
-    // Per-process strategies: forward before preempting self, so the chain
-    // proceeds concurrently with our own (possibly expensive) switch.
+    // Elided-timer nudge: a pusher saw this worker elided and queued work
+    // for it; re-arm the periodic timer from the safety of the owner KLT
+    // (per-worker strategies only — see `rearm_from_handler`).
+    if w.tick_elided.load(Ordering::SeqCst) {
+        w.rearm_from_handler(rt);
+    }
+
+    // Per-process strategies: forward before (possibly) preempting self, so
+    // the chain proceeds concurrently with our own switch — and regardless
+    // of whether the filter below drops our local share of the tick.
     if sig == one_to_all_signum() {
         forward_one_to_all(rt, w);
     } else if sig == chain_signum() {
         forward_chain(rt, w);
     }
 
-    maybe_preempt(rt, w, klt, sig, t_enter);
+    // Handler self-filtering: a definitely-early tick (echo of a fresh
+    // timeslice, pre-deadline nudge) bounces off the cached deadline with a
+    // coarse vDSO clock read — no syscall, no scheduler-state access. The
+    // coarse clock lags real time by at most its resolution; the slack
+    // (2× resolution, precomputed) makes the early verdict sound. Deadline
+    // 0 means the interval is too small for the coarse clock to judge and
+    // the precise echo filter in `maybe_preempt` decides alone.
+    let deadline = w.preempt_deadline_ns.load(Ordering::Acquire);
+    if deadline != 0 && now_coarse_ns().saturating_add(rt.coarse_slack_ns) < deadline {
+        w.stats.filtered_ticks.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+
+    let t_enter = now_ns();
+    maybe_preempt(rt, w, klt, t_enter, uc);
 }
 
 /// Leader of the one-to-all per-process timer: signal every worker whose
-/// running thread is preemptive (paper §3.2.2).
+/// running thread is preemptive (paper §3.2.2). Failed sends (a worker's
+/// KLT exited or is being rebound) are counted, not fatal.
 // sigsafe
-fn forward_one_to_all(rt: &crate::runtime::RuntimeInner, me: &Worker) {
+fn forward_one_to_all(rt: &RuntimeInner, me: &Worker) {
     for other in rt.workers.iter() {
         if other.rank == me.rank {
             continue;
         }
-        send_tick_if_eligible(other, preempt_signum());
-    }
-}
-
-/// Chained signals: forward to at most one next worker (strictly increasing
-/// rank, so one lap terminates; paper Figure 5b).
-// sigsafe
-fn forward_chain(rt: &crate::runtime::RuntimeInner, me: &Worker) {
-    for other in rt.workers.iter().skip(me.rank + 1) {
-        if send_tick_if_eligible(other, chain_signum()) {
-            return;
+        if try_send_tick(other, preempt_signum()) == SendOutcome::Failed {
+            me.stats.forward_skips.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
 
-/// Send `sig` to `other`'s current KLT if its running thread is preemptive.
-/// Reads only the `current_kind` mirror — never dereferences the remote
-/// `current` pointer (the remote thread may finish and be freed
-/// concurrently).
+/// Chained signals: forward to at most one next worker (strictly increasing
+/// rank, so one lap terminates; paper Figure 5b). A *failed* send — the
+/// target's KLT exited or is mid-rebind between our eligibility check and
+/// the `tgkill` — must not end the chain early: skip to the next eligible
+/// worker and count the skip.
 // sigsafe
-fn send_tick_if_eligible(other: &Worker, sig: i32) -> bool {
+fn forward_chain(rt: &RuntimeInner, me: &Worker) {
+    let (sent_to, skips) = chain_walk(me.rank, rt.workers.len(), &mut |rank| {
+        try_send_tick(&rt.workers[rank], chain_signum())
+    });
+    let _ = sent_to;
+    if skips > 0 {
+        me.stats.forward_skips.fetch_add(skips, Ordering::Relaxed);
+    }
+}
+
+/// The chain-walk decision procedure, extracted pure for unit testing:
+/// starting after `from`, try each rank until one accepts the tick
+/// (`Sent`); `Failed` outcomes are skipped over and counted; `Ineligible`
+/// outcomes are passed over silently. Returns the accepting rank (if any)
+/// and the number of failed sends skipped.
+// sigsafe
+fn chain_walk(
+    from: usize,
+    n: usize,
+    attempt: &mut dyn FnMut(usize) -> SendOutcome,
+) -> (Option<usize>, u64) {
+    let mut skips = 0u64;
+    for rank in from + 1..n {
+        match attempt(rank) {
+            SendOutcome::Sent => return (Some(rank), skips),
+            SendOutcome::Ineligible => {}
+            SendOutcome::Failed => skips += 1,
+        }
+    }
+    (None, skips)
+}
+
+/// Outcome of attempting to forward a tick to a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SendOutcome {
+    /// The tick was delivered to the worker's current KLT.
+    Sent,
+    /// The worker doesn't want ticks right now (nonpreemptive or no
+    /// occupant, or its tick is elided — ≤1 runnable means nothing to
+    /// timeslice to).
+    Ineligible,
+    /// `tgkill` failed: the target KLT exited between the eligibility check
+    /// and the send.
+    Failed,
+}
+
+/// Try to send `sig` to `other`'s current KLT if its running thread is
+/// preemptive and its tick is not elided. Reads only the `current_kind`
+/// mirror — never dereferences the remote `current` pointer (the remote
+/// thread may finish and be freed concurrently).
+// sigsafe
+fn try_send_tick(other: &Worker, sig: i32) -> SendOutcome {
+    if other.tick_elided.load(Ordering::SeqCst) {
+        return SendOutcome::Ineligible;
+    }
     if !other.stats.current_kind_preemptive() {
-        return false;
+        return SendOutcome::Ineligible;
     }
     let kp = other.current_klt.load(Ordering::Acquire);
     if kp.is_null() {
-        return false;
+        return SendOutcome::Ineligible;
     }
     // SAFETY: KLTs are registry-kept for the runtime's life.
     let k: &Klt = unsafe { &*kp };
     let tid = k.tid();
-    tid != 0 && send_signal(tid, sig)
+    if tid == 0 {
+        return SendOutcome::Ineligible;
+    }
+    if send_signal(tid, sig) {
+        SendOutcome::Sent
+    } else {
+        SendOutcome::Failed
+    }
 }
 
 /// Decide and perform the preemption of the current ULT, if any.
+/// `t_enter` doubles as "now" for the echo filter (read once).
 // sigsafe
-fn maybe_preempt(rt: &crate::runtime::RuntimeInner, w: &Worker, klt: &Klt, sig: i32, t_enter: u64) {
+fn maybe_preempt(rt: &RuntimeInner, w: &Worker, klt: &Klt, t_enter: u64, uc: *mut libc::c_void) {
     if w.preempt_disabled.0.load(Ordering::Acquire) != 0 {
         // Critical section: defer. The ULT prologue converts the pending
         // flag into a voluntary yield.
@@ -169,9 +297,11 @@ fn maybe_preempt(rt: &crate::runtime::RuntimeInner, w: &Worker, klt: &Klt, sig: 
     // SAFETY: a running ULT is kept alive by the scheduler's Arc binding.
     let t: &Ult = unsafe { &*cur };
 
-    // Echo suppression: bursts of queued stale ticks (accumulated while a
-    // captive KLT had the signal masked) must not re-preempt immediately.
-    let now = now_ns();
+    // Echo suppression (precise): bursts of queued stale ticks (accumulated
+    // while a captive KLT had them pending) must not re-preempt
+    // immediately. The coarse filter upstream already dropped the bulk;
+    // this decides the ties inside the coarse clock's error band.
+    let now = t_enter;
     let last = w.last_preempt_ns.load(Ordering::Acquire);
     let interval = rt.config.preempt_interval_ns.max(1);
     if now.saturating_sub(last) < interval / 2 {
@@ -179,59 +309,88 @@ fn maybe_preempt(rt: &crate::runtime::RuntimeInner, w: &Worker, klt: &Klt, sig: 
         return;
     }
 
+    // This tick will act: account expirations the kernel merged while the
+    // signal was pending (`timer_getoverrun`), so overload (interval ≪
+    // handler cost) is measured rather than silently absorbed. Skipped when
+    // no timer handle is published (e.g. `TimerStrategy::None` with raised
+    // ticks).
+    let h = rt.timers.raw_handle(w.rank);
+    if h != 0 {
+        let ov = ult_sys::timer::overrun_raw(h as libc::timer_t);
+        if ov > 0 {
+            w.stats.timer_overruns.fetch_add(ov, Ordering::Relaxed);
+        }
+    }
+
     match t.kind {
         crate::thread::ThreadKind::Nonpreemptive => {}
         crate::thread::ThreadKind::SignalYield => {
-            signal_yield_preempt(w, t, sig, t_enter, now);
+            signal_yield_preempt(rt, w, t, t_enter, now, uc);
         }
         crate::thread::ThreadKind::KltSwitching => {
-            klt_switch_preempt(rt, w, klt, t, sig, t_enter, now);
+            klt_switch_preempt(rt, w, klt, t, t_enter, now);
         }
     }
 }
 
 /// Signal-yield (paper §3.1.1): context switch to the scheduler from inside
 /// the handler; the handler frame is captured as part of the ULT's stack.
+///
+/// Uses the *preemptive* half of the split context switch: the kernel
+/// already saved the complete interrupted register state into the signal
+/// frame (`uc`), so instead of saving a second full register set this path
+/// records only a resume recipe — jump to a trampoline that runs
+/// [`preempt_resume_hook`] and then `rt_sigreturn`s through `uc`, which
+/// atomically restores the interrupted registers and signal mask. Never
+/// returns: the suspended Rust frames below are abandoned, which is sound
+/// because no live local on this path owns a resource (checked here: all
+/// locals are plain references/integers).
 // sigsafe
-fn signal_yield_preempt(w: &Worker, t: &Ult, sig: i32, t_enter: u64, now: u64) {
+fn signal_yield_preempt(
+    rt: &RuntimeInner,
+    w: &Worker,
+    t: &Ult,
+    t_enter: u64,
+    now: u64,
+    uc: *mut libc::c_void,
+) -> ! {
     crate::debug_registry::event(crate::debug_registry::ev::PREEMPT_SY, t.id, w.rank as u64);
     w.preempt_disable(); // scheduler baseline
-    w.last_preempt_ns.store(now, Ordering::Release);
-    // Unblock before switching so the next thread on this worker can be
-    // preempted even though this handler invocation is still "live" (the
-    // paper's fix for the one-pending-handler-per-worker limit).
-    unblock_signal(sig);
+    w.publish_timeslice(rt, now);
     w.set_reason(SwitchReason::PreemptedSaved);
     w.stats.record_interrupt(now_ns() - t_enter);
     // Leaving the handler frame: the scheduler we switch into runs on this
-    // same KLT and is free to allocate. The suspended frame's eventual
-    // `HandlerScope` drop (after resume, possibly on another KLT) saturates.
+    // same KLT and is free to allocate. (With SA_NODEFER there is no mask
+    // to restore and the abandoned handler frame is never returned
+    // through, so the depth must be cleared explicitly.)
     crate::sigsafe::exit_handler();
+    // The handlers are installed without SA_ONSTACK and with SA_NODEFER,
+    // exactly as `switch_preempt` requires.
     // SAFETY: scheduler ctx is suspended at its switch into us; our save
-    // slot is the ULT's context, published to the scheduler via the switch.
+    // slot is the ULT's context, published to the scheduler via the switch;
+    // `uc` is the live kernel signal frame on this ULT's stack, which stays
+    // frozen (stack and all) until a scheduler restores the saved context.
     unsafe {
-        Context::switch(t.ctx.get(), w.sched_ctx.get());
+        Context::switch_preempt(t.ctx.get(), w.sched_ctx.get(), uc, preempt_resume_hook);
     }
-    // ---- resumed, possibly on a different worker ----
+}
+
+/// Runs on the preempted ULT's stack when a scheduler restores it, just
+/// before `rt_sigreturn` resumes the interrupted user code: the preemptive
+/// switch's analogue of the epilogue after `Context::switch` in the
+/// cooperative paths. Possibly on a different worker than the preemption —
+/// preempted threads migrate.
+// sigsafe
+unsafe extern "C" fn preempt_resume_hook() {
     // sigsafe-allow: resuming outside a worker is a protocol violation; failing loud beats silent corruption
-    let w2 = crate::api::current_worker().expect("resumed outside a worker");
-    w2.ult_prologue();
-    // returning from the handler resumes the interrupted user code
+    let w = crate::api::current_worker().expect("resumed outside a worker");
+    w.ult_prologue();
 }
 
 /// KLT-switching (paper §3.1.2, Figures 2–3): park this KLT captive and
 /// remap the worker to a pooled (or newly requested) KLT.
-#[allow(clippy::too_many_arguments)]
 // sigsafe
-fn klt_switch_preempt(
-    rt: &crate::runtime::RuntimeInner,
-    w: &Worker,
-    klt: &Klt,
-    t: &Ult,
-    sig: i32,
-    t_enter: u64,
-    now: u64,
-) {
+fn klt_switch_preempt(rt: &RuntimeInner, w: &Worker, klt: &Klt, t: &Ult, t_enter: u64, now: u64) {
     // Acquire a replacement KLT: worker-local pool, then global pool
     // (paper §3.3.2). All pops are async-signal-safe.
     let k2 = if rt.config.klt_pool_policy == crate::config::KltPoolPolicy::WorkerLocal {
@@ -252,8 +411,7 @@ fn klt_switch_preempt(
 
     crate::debug_registry::event(crate::debug_registry::ev::KSGRAB, t.id, k2.id as u64);
     w.preempt_disable(); // scheduler baseline for when k2 resumes it
-    w.last_preempt_ns.store(now, Ordering::Release);
-    unblock_signal(sig);
+    w.publish_timeslice(rt, now);
 
     // Mark the thread captive and bind our KLT to it (paper Fig. 2b: the
     // preempted thread "associates the previous KLT with itself").
@@ -320,5 +478,49 @@ fn klt_switch_preempt(
         .set_current_kind(Some(crate::thread::ThreadKind::KltSwitching));
     w3.ult_prologue();
     // returning from the handler resumes the interrupted user code on the
-    // SAME KLT — KLT-local data was never exposed to another thread.
+    // SAME KLT — KLT-local data was never exposed to another thread; the
+    // kernel's sigreturn restores the (never-modified) mask.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_walk_skips_failed_sends() {
+        // Worker 2's KLT "died" between eligibility and tgkill; the chain
+        // must hop over it and land on worker 4.
+        let outcomes = [
+            SendOutcome::Ineligible, // 0 (never asked; from=0 starts at 1)
+            SendOutcome::Ineligible, // 1
+            SendOutcome::Failed,     // 2  <- killed mid-chain
+            SendOutcome::Ineligible, // 3
+            SendOutcome::Sent,       // 4
+            SendOutcome::Sent,       // 5 (must never be asked)
+        ];
+        let mut asked = Vec::new();
+        let (sent, skips) = chain_walk(0, outcomes.len(), &mut |rank| {
+            asked.push(rank);
+            outcomes[rank]
+        });
+        assert_eq!(sent, Some(4));
+        assert_eq!(skips, 1);
+        assert_eq!(asked, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn chain_walk_all_dead_ends() {
+        // Every downstream worker is gone: the chain ends, all failures
+        // counted, no panic, no wraparound.
+        let (sent, skips) = chain_walk(1, 4, &mut |_| SendOutcome::Failed);
+        assert_eq!(sent, None);
+        assert_eq!(skips, 2);
+    }
+
+    #[test]
+    fn chain_walk_from_last_rank_is_empty() {
+        let (sent, skips) = chain_walk(3, 4, &mut |_| panic!("must not send"));
+        assert_eq!(sent, None);
+        assert_eq!(skips, 0);
+    }
 }

@@ -16,6 +16,7 @@
 use crate::runtime::RuntimeInner;
 use crate::worker::Worker;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use ult_sys::tid::Tid;
 use ult_sys::timer::{aligned_phase_ns, IntervalTimer};
 
@@ -37,6 +38,7 @@ pub enum TimerStrategy {
 
 impl TimerStrategy {
     /// Whether each worker owns a timer (vs only the leader).
+    // sigsafe
     pub fn is_per_worker(self) -> bool {
         matches!(
             self,
@@ -57,13 +59,27 @@ impl TimerStrategy {
 /// used by per-process strategies).
 pub(crate) struct TimerSet {
     slots: Vec<Mutex<Option<IntervalTimer>>>,
+    /// Published raw `timer_t` handles (`0` = none), one per worker. Signal
+    /// handlers may *re-arm* or query a published handle lock-free
+    /// (`timer_settime`/`timer_getoverrun` are async-signal-safe;
+    /// `timer_create` is not). The slot is cleared *before* the backing
+    /// timer is deleted, so the worst race is arming a just-deleted handle —
+    /// which `arm_raw` ignores by design.
+    handles: Vec<AtomicUsize>,
 }
 
 impl TimerSet {
     pub(crate) fn new(n_workers: usize) -> TimerSet {
         TimerSet {
             slots: (0..n_workers).map(|_| Mutex::new(None)).collect(),
+            handles: (0..n_workers).map(|_| AtomicUsize::new(0)).collect(),
         }
+    }
+
+    /// The published raw timer handle for worker `rank` (0 = none).
+    // sigsafe
+    pub(crate) fn raw_handle(&self, rank: usize) -> usize {
+        self.handles[rank].load(Ordering::Acquire)
     }
 
     /// Arm (or re-arm) worker `w`'s timer targeting KLT `tid`, according to
@@ -106,7 +122,9 @@ impl TimerSet {
         };
         let timer = IntervalTimer::per_thread(tid, signum, interval, phase)
             .expect("timer_create for worker");
+        let raw = timer.raw_handle() as usize;
         *self.slots[w.rank].lock() = Some(timer);
+        self.handles[w.rank].store(raw, Ordering::Release);
     }
 
     /// Re-target worker `w`'s timer to its *current* KLT.
@@ -134,9 +152,37 @@ impl TimerSet {
         }
         // Drop the old timer and create a fresh one aimed at the new KLT.
         // (SIGEV_THREAD_ID is fixed at creation; re-targeting requires
-        // re-creation.)
+        // re-creation.) Unpublish the raw handle *first* so no handler arms
+        // a handle mid-deletion.
+        self.handles[w.rank].store(0, Ordering::Release);
         *self.slots[w.rank].lock() = None;
         self.bind_worker(rt, w, tid);
+    }
+
+    /// Stop worker `w`'s periodic tick (tick elision: ≤1 runnable ULT means
+    /// there is nothing to timeslice *to*). Per-worker strategies disarm the
+    /// existing timer in place (`timer_settime 0`, keeping it created so the
+    /// handler can re-arm it by raw handle); per-process strategies change
+    /// nothing here — the caller's `tick_elided` flag already removes the
+    /// worker from forwarding eligibility, and the leader's timer must keep
+    /// running to drive the *other* workers' chains. Scheduler context only.
+    pub(crate) fn elide_worker(&self, rt: &RuntimeInner, w: &Worker) {
+        if rt.config.timer_strategy.is_per_worker() {
+            if let Some(t) = self.slots[w.rank].lock().as_ref() {
+                let _ = t.disarm();
+            }
+        }
+    }
+
+    /// Restore worker `w`'s periodic tick after elision (work arrived).
+    /// Scheduler context only — signal handlers re-arm via
+    /// [`TimerSet::raw_handle`] + `ult_sys::timer::arm_raw` instead.
+    pub(crate) fn rearm_worker(&self, rt: &RuntimeInner, w: &Worker) {
+        if rt.config.timer_strategy.is_per_worker() {
+            if let Some(t) = self.slots[w.rank].lock().as_ref() {
+                let _ = t.arm(t.interval_ns(), 0);
+            }
+        }
     }
 
     /// Whether worker `rank` currently has an armed timer (diagnostic).
@@ -146,7 +192,8 @@ impl TimerSet {
 
     /// Disarm everything (shutdown).
     pub(crate) fn disarm_all(&self) {
-        for s in &self.slots {
+        for (s, h) in self.slots.iter().zip(&self.handles) {
+            h.store(0, Ordering::Release);
             *s.lock() = None;
         }
     }

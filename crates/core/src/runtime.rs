@@ -30,6 +30,14 @@ pub(crate) struct RuntimeInner {
     pub creator: KltCreator,
     /// Preemption timers.
     pub timers: TimerSet,
+    /// Whether tick elision is in play (`preempt_interval_ns > 0` and a real
+    /// timer strategy). Precomputed so hot paths pay one bool load.
+    pub tick_elision: bool,
+    /// Slack added to `now_coarse_ns()` reads in the handler's deadline
+    /// filter: 2× the coarse clock's resolution, so
+    /// `coarse_now + slack < deadline` soundly implies the tick is early.
+    /// Precomputed at startup (`clock_getres` is not a hot-path call).
+    pub coarse_slack_ns: u64,
     /// Runtime is shutting down.
     pub shutdown: AtomicBool,
     /// Number of currently active workers (thread packing, §4.2).
@@ -493,8 +501,16 @@ impl Runtime {
             })
             .collect();
 
+        // Warm the coarse-clock resolution cache while no handler can run;
+        // afterwards `coarse_resolution_ns()` is a single atomic load.
+        let coarse_slack_ns = 2 * ult_sys::coarse_resolution_ns();
+        let tick_elision = config.preempt_interval_ns > 0
+            && config.timer_strategy != crate::preempt::timer::TimerStrategy::None;
+
         let inner = Arc::new(RuntimeInner {
             timers: TimerSet::new(n),
+            tick_elision,
+            coarse_slack_ns,
             global_klts: KltPool::new(usize::MAX),
             creator: KltCreator::new(),
             shutdown: AtomicBool::new(false),
@@ -614,6 +630,12 @@ impl Runtime {
             s.stale_ticks += w.stats.stale_ticks.load(Ordering::Relaxed);
             s.suppressed_ticks += w.stats.suppressed_ticks.load(Ordering::Relaxed);
             s.klt_misses += w.stats.klt_misses.load(Ordering::Relaxed);
+            s.timer_ticks += w.stats.timer_ticks.load(Ordering::Relaxed);
+            s.filtered_ticks += w.stats.filtered_ticks.load(Ordering::Relaxed);
+            s.tick_elisions += w.stats.tick_elisions.load(Ordering::Relaxed);
+            s.tick_rearms += w.stats.tick_rearms.load(Ordering::Relaxed);
+            s.timer_overruns += w.stats.timer_overruns.load(Ordering::Relaxed);
+            s.forward_skips += w.stats.forward_skips.load(Ordering::Relaxed);
             s.completed += w.stats.completed.load(Ordering::Relaxed);
             s.steals += w.stats.steals.load(Ordering::Relaxed);
             s.unparks += w.stats.unparks.load(Ordering::Relaxed);
@@ -647,7 +669,7 @@ impl Runtime {
             };
             let _ = writeln!(
                 out,
-                "worker {}: idle={} pool={} lo={} current=u{} klt={} disabled={}                  timer_armed={} preempt={} stale={} suppressed={} misses={}",
+                "worker {}: idle={} pool={} lo={} current=u{} klt={} disabled={}                  timer_armed={} preempt={} stale={} suppressed={} misses={}                  ticks={} filtered={} elided={} rearmed={} overruns={}",
                 w.rank,
                 w.idle.load(Ordering::Acquire),
                 w.pool.len(),
@@ -660,6 +682,11 @@ impl Runtime {
                 w.stats.stale_ticks.load(Ordering::Relaxed),
                 w.stats.suppressed_ticks.load(Ordering::Relaxed),
                 w.stats.klt_misses.load(Ordering::Relaxed),
+                w.stats.timer_ticks.load(Ordering::Relaxed),
+                w.stats.filtered_ticks.load(Ordering::Relaxed),
+                w.stats.tick_elisions.load(Ordering::Relaxed),
+                w.stats.tick_rearms.load(Ordering::Relaxed),
+                w.stats.timer_overruns.load(Ordering::Relaxed),
             );
         }
         out

@@ -55,17 +55,20 @@ pub(crate) fn on_ready(rt: &RuntimeInner, w: &Worker, t: Arc<Ult>, wake: bool, l
             if wake {
                 w.unpark();
                 rt.wake_one_idle();
+                rearm_on_push(rt, w, local);
             }
         }
         SchedPolicy::Packing => {
             let home = t.home_pool;
             let hw = &rt.workers[home];
-            if local && home == w.rank {
+            let self_push = local && home == w.rank;
+            if self_push {
                 hw.pool.push(t);
             } else {
                 hw.pool.push_remote(t);
             }
             if wake {
+                rearm_on_push(rt, hw, self_push);
                 // The pool owner may be packing-suspended, so additionally
                 // wake the one active worker whose scan stride covers this
                 // pool (private pools are strided by `rank % n_active`;
@@ -116,8 +119,80 @@ pub(crate) fn on_ready(rt: &RuntimeInner, w: &Worker, t: Arc<Ult>, wake: bool, l
             if wake {
                 w.unpark();
                 rt.wake_one_idle();
+                rearm_on_push(rt, w, local);
             }
         }
+    }
+}
+
+/// Tick-elision pusher hook: after publishing work to `target`'s pool and
+/// waking it, restore its periodic preemption tick if it was elided. This
+/// is the pusher half of the Dekker pairing with `worker::try_elide` (push,
+/// fence, read flag — vs — flag store, fence, read pools): one of the two
+/// sides always observes the other.
+///
+/// Not called on the scheduler's own yield re-enqueue (`wake == false`) —
+/// that path dispatches again immediately and the dispatch-time state
+/// machine re-arms there.
+fn rearm_on_push(rt: &RuntimeInner, target: &Worker, is_self: bool) {
+    if !rt.tick_elision {
+        return;
+    }
+    std::sync::atomic::fence(Ordering::SeqCst);
+    if !target.tick_elided.load(Ordering::SeqCst) {
+        return;
+    }
+    if !rt.config.timer_strategy.is_per_worker() {
+        // Per-process: the leader timer never stopped; clearing the flag
+        // restores this worker's forwarding eligibility.
+        target.tick_elided.store(false, Ordering::SeqCst);
+        target.stats.tick_rearms.fetch_add(1, Ordering::Relaxed);
+    } else if is_self {
+        // Our own worker (pinned spawner / own scheduler): re-arm directly.
+        target.tick_elided.store(false, Ordering::SeqCst);
+        rt.timers.rearm_worker(rt, target);
+        target.stats.tick_rearms.fetch_add(1, Ordering::Relaxed);
+    } else {
+        nudge_elided(target);
+    }
+}
+
+/// Handler-context variant of [`rearm_on_push`] for cross-worker pushes
+/// from `on_preempted` (which may run inside the preemption handler, where
+/// the timer mutex is off-limits): per-worker strategies get a signal
+/// nudge, per-process strategies a plain flag clear.
+// sigsafe
+fn rearm_on_remote_push(rt: &RuntimeInner, target: &Worker) {
+    if !rt.tick_elision {
+        return;
+    }
+    std::sync::atomic::fence(Ordering::SeqCst);
+    if !target.tick_elided.load(Ordering::SeqCst) {
+        return;
+    }
+    if rt.config.timer_strategy.is_per_worker() {
+        nudge_elided(target);
+    } else {
+        target.tick_elided.store(false, Ordering::SeqCst);
+        target.stats.tick_rearms.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Ask a remote elided worker to re-arm: a plain preemption tick sent to
+/// its embodying KLT; the handler re-arms from the owner side (and may
+/// preempt the running ULT right away — wanted, work just arrived). If the
+/// worker is idle-parked instead, the unpark accompanying the push wakes it
+/// and its next dispatch re-arms.
+// sigsafe
+fn nudge_elided(target: &Worker) {
+    let kp = target.current_klt.load(Ordering::Acquire);
+    if kp.is_null() {
+        return;
+    }
+    // SAFETY: KLTs are registry-kept for the runtime's life.
+    let tid = unsafe { &*kp }.tid();
+    if tid != 0 {
+        ult_sys::signal::send_signal(tid, crate::preempt::preempt_signum());
     }
 }
 
@@ -148,6 +223,7 @@ pub(crate) fn on_preempted(rt: &RuntimeInner, w: &Worker, t: Arc<Ult>) {
                 hw.pool.push(t);
             } else {
                 hw.pool.push_remote(t);
+                rearm_on_remote_push(rt, hw);
             }
             hw.unpark();
             w.unpark();

@@ -83,6 +83,22 @@ pub struct WorkerStats {
     pub suppressed_ticks: AtomicU64,
     /// KLT-switching attempts aborted for lack of a pooled KLT.
     pub klt_misses: AtomicU64,
+    /// Preemption ticks (timer signals) whose handler ran on this worker.
+    pub timer_ticks: AtomicU64,
+    /// Ticks dismissed by the coarse-clock deadline filter before touching
+    /// any scheduler state (the cheap "too early" exit).
+    pub filtered_ticks: AtomicU64,
+    /// Times this worker's periodic tick was elided (timer disarmed / taken
+    /// out of forwarding eligibility) because it had ≤1 runnable ULT.
+    pub tick_elisions: AtomicU64,
+    /// Times an elided tick was re-armed (work arrived: spawn/ready/steal).
+    pub tick_rearms: AtomicU64,
+    /// Timer expirations the kernel coalesced (`timer_getoverrun`): ticks
+    /// that were generated but never delivered as distinct signals.
+    pub timer_overruns: AtomicU64,
+    /// Chain/one-to-all forwards that skipped a worker because the signal
+    /// send failed (stale tid: target KLT exited or was rebinding).
+    pub forward_skips: AtomicU64,
     /// Threads run to completion on this worker.
     pub completed: AtomicU64,
     /// Threads stolen from other workers' pools.
@@ -107,6 +123,12 @@ impl WorkerStats {
             stale_ticks: AtomicU64::new(0),
             suppressed_ticks: AtomicU64::new(0),
             klt_misses: AtomicU64::new(0),
+            timer_ticks: AtomicU64::new(0),
+            filtered_ticks: AtomicU64::new(0),
+            tick_elisions: AtomicU64::new(0),
+            tick_rearms: AtomicU64::new(0),
+            timer_overruns: AtomicU64::new(0),
+            forward_skips: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             steals: AtomicU64::new(0),
             unparks: AtomicU64::new(0),
@@ -163,6 +185,18 @@ pub struct RuntimeStats {
     pub suppressed_ticks: u64,
     /// KLT pool misses (creator requests issued from handlers).
     pub klt_misses: u64,
+    /// Preemption ticks whose handler ran on some worker.
+    pub timer_ticks: u64,
+    /// Ticks dismissed by the coarse-clock deadline filter.
+    pub filtered_ticks: u64,
+    /// Periodic ticks elided (timer disarmed with ≤1 runnable ULT).
+    pub tick_elisions: u64,
+    /// Elided ticks re-armed after work arrived.
+    pub tick_rearms: u64,
+    /// Kernel-coalesced timer expirations (`timer_getoverrun`).
+    pub timer_overruns: u64,
+    /// Forwarding sends skipped over stale/exited worker KLTs.
+    pub forward_skips: u64,
     /// Threads completed.
     pub completed: u64,
     /// Steal operations.

@@ -32,7 +32,7 @@ use crate::klt::{Directive, Klt};
 use crate::pool::ThreadPool;
 use crate::runtime::RuntimeInner;
 use crate::stats::WorkerStats;
-use crate::thread::{Ult, UltState};
+use crate::thread::{ThreadKind, Ult, UltState};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
@@ -106,6 +106,21 @@ pub(crate) struct Worker {
     /// Monotonic ns timestamp of the last preemption (echo suppression for
     /// stale ticks pending across a captive park).
     pub last_preempt_ns: AtomicU64,
+    /// Tick elision (≤1 runnable ULT ⇒ nothing to timeslice to): when set,
+    /// this worker's periodic timer is disarmed (per-worker strategies) and
+    /// the worker is skipped by chain/one-to-all forwarding (per-process
+    /// strategies). Cleared by the push paths / the handler when work
+    /// arrives. Dekker-paired with the pushers: the elider stores `true`,
+    /// fences, then re-reads the pools; the pusher pushes, fences, then
+    /// reads this flag.
+    pub tick_elided: AtomicBool,
+    /// Cached absolute deadline (monotonic ns) before which a preemption
+    /// tick is certainly premature — `dispatch_time + interval/2`, i.e. the
+    /// echo-suppression horizon. `0` disables the filter (interval too small
+    /// for the coarse clock to judge). Read by the handler via
+    /// `CLOCK_MONOTONIC_COARSE` so spurious ticks bounce off without a
+    /// precise clock read or any scheduler-state access.
+    pub preempt_deadline_ns: AtomicU64,
     /// Per-worker statistics (interruption samples, counts).
     pub stats: WorkerStats,
     /// RNG state for steal-victim selection (xorshift; scheduler-only).
@@ -155,6 +170,8 @@ impl Worker {
             idle: AtomicBool::new(false),
             timer_rebind: AtomicBool::new(false),
             last_preempt_ns: AtomicU64::new(0),
+            tick_elided: AtomicBool::new(false),
+            preempt_deadline_ns: AtomicU64::new(0),
             stats: WorkerStats::new(stat_samples),
             steal_seed: AtomicU64::new(0x9E3779B97F4A7C15 ^ (rank as u64 + 1)),
             pack_phase: AtomicBool::new(false),
@@ -251,6 +268,98 @@ impl Worker {
         self.stats.unparks.fetch_add(1, Ordering::Relaxed);
         self.wake.unpark();
     }
+
+    /// Start a fresh timeslice at `now`: record the echo-suppression
+    /// timestamp and publish the cached "any tick before this is premature"
+    /// deadline for the handler's coarse-clock filter. The deadline is the
+    /// echo horizon (`now + interval/2`); it is published as 0 (filter off)
+    /// when the horizon is inside the coarse clock's error band — the
+    /// precise echo filter in `maybe_preempt` stays authoritative there.
+    #[inline]
+    // sigsafe
+    pub(crate) fn publish_timeslice(&self, rt: &RuntimeInner, now: u64) {
+        self.last_preempt_ns.store(now, Ordering::Release);
+        let horizon = rt.config.preempt_interval_ns / 2;
+        let deadline = if horizon > rt.coarse_slack_ns {
+            now.saturating_add(horizon)
+        } else {
+            0
+        };
+        self.preempt_deadline_ns.store(deadline, Ordering::Release);
+    }
+
+    /// Handler-side rearm after elision: a tick (nudge) reached this worker
+    /// while its timer was elided, meaning a pusher saw queued work. Re-arm
+    /// the periodic timer via the published raw handle (per-worker
+    /// strategies only — per-process pushers clear the flag directly and the
+    /// leader timer never stopped).
+    // sigsafe
+    pub(crate) fn rearm_from_handler(&self, rt: &RuntimeInner) {
+        if !rt.config.timer_strategy.is_per_worker() {
+            return;
+        }
+        // An idle or nonpreemptive occupant re-arms at its next dispatch
+        // instead; arming here would tick a worker with nothing to preempt.
+        if !self.stats.current_kind_preemptive() {
+            return;
+        }
+        self.tick_elided.store(false, Ordering::SeqCst);
+        let h = rt.timers.raw_handle(self.rank);
+        if h != 0 {
+            ult_sys::timer::arm_raw(h as libc::timer_t, rt.config.preempt_interval_ns);
+        }
+        self.stats.tick_rearms.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Try to take worker `w`'s periodic tick out of service: nothing is
+/// runnable beyond what it is about to run (or it is going idle). The
+/// store-fence-recheck sequence is the elider half of the Dekker pairing
+/// with `rearm_on_push`.
+fn try_elide(rt: &RuntimeInner, w: &Worker) {
+    if w.tick_elided.load(Ordering::SeqCst) {
+        return;
+    }
+    w.tick_elided.store(true, Ordering::SeqCst);
+    std::sync::atomic::fence(Ordering::SeqCst);
+    if crate::sched::has_any_work(rt, w) {
+        // Work raced in between the pick and the flag store; keep ticking.
+        w.tick_elided.store(false, Ordering::SeqCst);
+        return;
+    }
+    rt.timers.elide_worker(rt, w);
+    w.stats.tick_elisions.fetch_add(1, Ordering::Relaxed);
+    // A handler on this KLT may have re-armed between our flag store and
+    // the disarm (nudge from a remote pusher); honor it.
+    if !w.tick_elided.load(Ordering::SeqCst) {
+        rt.timers.rearm_worker(rt, w);
+        w.stats.tick_rearms.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Tick-elision state machine, run at every dispatch right before switching
+/// into `t`: a worker keeps its timer armed only while it runs a preemptive
+/// ULT *and* other runnable work exists for a preemption to switch to.
+fn update_tick_state(rt: &RuntimeInner, w: &Worker, t: &Ult) {
+    if !rt.tick_elision {
+        return;
+    }
+    let preemptive = t.kind != ThreadKind::Nonpreemptive;
+    if preemptive && crate::sched::has_any_work(rt, w) {
+        if w.tick_elided.swap(false, Ordering::SeqCst) {
+            rt.timers.rearm_worker(rt, w);
+            w.stats.tick_rearms.fetch_add(1, Ordering::Relaxed);
+        }
+    } else if preemptive {
+        try_elide(rt, w);
+    } else if !w.tick_elided.load(Ordering::SeqCst) {
+        // Nonpreemptive occupant: ticks are useless no matter the queue —
+        // the handler could never preempt it. No Dekker re-check needed;
+        // the next dispatch re-arms if work is waiting.
+        w.tick_elided.store(true, Ordering::SeqCst);
+        rt.timers.elide_worker(rt, w);
+        w.stats.tick_elisions.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Entry point of every worker's scheduler context.
@@ -317,6 +426,11 @@ fn idle_wait(rt: &RuntimeInner, w: &Worker) {
         w.idle.store(false, Ordering::Release);
         return;
     }
+    // An idle worker takes zero timer signals: elide its tick before
+    // parking (re-armed at the next dispatch).
+    if rt.tick_elision {
+        try_elide(rt, w);
+    }
     w.wake.park();
     w.idle.store(false, Ordering::Release);
 }
@@ -370,9 +484,10 @@ fn normal_run(rt: &RuntimeInner, w: &Worker, t: Arc<Ult>) {
     // previous occupant was suspended (without this, the RT-signal backlog
     // accumulated during a long captivity re-preempts immediately on every
     // resume, nesting one ~11 KB signal frame per round until the ULT
-    // stack's guard page is hit).
-    w.last_preempt_ns
-        .store(ult_sys::clock::now_ns(), Ordering::Release);
+    // stack's guard page is hit). Also publishes the handler's cached
+    // early-tick deadline.
+    w.publish_timeslice(rt, ult_sys::clock::now_ns());
+    update_tick_state(rt, w, &t);
 
     // Consume the saved context (leave the slot empty): a second restore of
     // the same suspension would replay arbitrary user code — consuming turns
@@ -472,8 +587,8 @@ fn resume_captive(rt: &RuntimeInner, w: &Worker, t: Arc<Ult>) {
     // queued many stale ticks at the captive KLT; they deliver as soon as
     // the handler's sigreturn unmasks, and must be absorbed by the echo
     // filter rather than re-preempting instantly.
-    w.last_preempt_ns
-        .store(ult_sys::clock::now_ns(), Ordering::Release);
+    w.publish_timeslice(rt, ult_sys::clock::now_ns());
+    update_tick_state(rt, w, &t);
     // Re-point the worker at the captive KLT. The captive will decrement
     // the disable count (currently 1) in its handler continuation.
     captive

@@ -1,0 +1,193 @@
+//! Preemption latency and tick elision (the PR-3 fast path).
+//!
+//! Three properties, per timer strategy where they apply:
+//!
+//! 1. **Elision**: a worker whose sole runnable is a spinner — or a worker
+//!    with no work at all — takes ~zero timer signals (a non-elided 1 ms
+//!    timer would deliver ~1000 over the measurement window).
+//! 2. **Latency**: the moment a second ULT arrives, the elided timer is
+//!    re-armed and the busy spinner is preempted within 10× the tick
+//!    interval — elision must not cost responsiveness.
+//! 3. **Deferral**: ticks never preempt while preemption is disabled;
+//!    they are deferred and acted on at re-enable.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use ult_core::tls::UltLocal;
+use ult_core::{Config, Priority, Runtime, ThreadKind, TimerStrategy};
+
+const INTERVAL_NS: u64 = 2_000_000; // 2 ms ticks → 20 ms latency bound
+
+fn start(strategy: TimerStrategy, workers: usize) -> Runtime {
+    Runtime::start(Config {
+        num_workers: workers,
+        preempt_interval_ns: INTERVAL_NS,
+        timer_strategy: strategy,
+        ..Config::default()
+    })
+}
+
+/// A sole spinner on a per-worker-timer runtime must have its tick elided:
+/// almost no timer signals over a full second that would otherwise carry
+/// ~500 of them.
+fn sole_spinner_is_elided(strategy: TimerStrategy) {
+    let rt = start(strategy, 1);
+    let stop = Arc::new(AtomicBool::new(false));
+    let h = {
+        let stop = stop.clone();
+        rt.spawn_with(ThreadKind::SignalYield, Priority::High, move || {
+            while !stop.load(Ordering::Acquire) {
+                core::hint::spin_loop();
+            }
+        })
+    };
+    std::thread::sleep(Duration::from_millis(1000));
+    stop.store(true, Ordering::Release);
+    h.join();
+    let st = rt.stats();
+    rt.shutdown();
+    assert!(st.tick_elisions >= 1, "worker never elided its tick");
+    assert!(
+        st.timer_ticks <= 20,
+        "sole spinner took {} timer ticks in 1 s (expected ~0; non-elided would be ~500)",
+        st.timer_ticks
+    );
+}
+
+#[test]
+fn sole_spinner_elided_creation_time() {
+    sole_spinner_is_elided(TimerStrategy::PerWorkerCreationTime);
+}
+
+#[test]
+fn sole_spinner_elided_aligned() {
+    sole_spinner_is_elided(TimerStrategy::PerWorkerAligned);
+}
+
+/// Workers with no work at all park with their timers disarmed.
+#[test]
+fn parked_workers_take_no_ticks() {
+    let rt = start(TimerStrategy::PerWorkerAligned, 2);
+    std::thread::sleep(Duration::from_millis(1000));
+    let st = rt.stats();
+    rt.shutdown();
+    assert!(
+        st.timer_ticks <= 20,
+        "idle runtime took {} timer ticks in 1 s (non-elided would be ~1000)",
+        st.timer_ticks
+    );
+}
+
+/// Once a second ULT arrives on a busy (elided) worker, preemption must
+/// fire within 10× the tick interval — the re-arm edge of the elision
+/// state machine, under every strategy.
+fn second_ult_preempted_within_bound(strategy: TimerStrategy) {
+    let rt = start(strategy, 1);
+    let stop = Arc::new(AtomicBool::new(false));
+    let spinner = {
+        let stop = stop.clone();
+        rt.spawn_with(ThreadKind::SignalYield, Priority::High, move || {
+            while !stop.load(Ordering::Acquire) {
+                core::hint::spin_loop();
+            }
+        })
+    };
+    // Let the worker settle into the elided state (sole spinner).
+    std::thread::sleep(Duration::from_millis(50));
+
+    let latency_ns = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+    let second = {
+        let latency_ns = latency_ns.clone();
+        rt.spawn_on(0, ThreadKind::SignalYield, Priority::High, move || {
+            latency_ns.store(t0.elapsed().as_nanos() as u64, Ordering::Release);
+        })
+    };
+    second.join();
+    stop.store(true, Ordering::Release);
+    spinner.join();
+    rt.shutdown();
+
+    let lat = latency_ns.load(Ordering::Acquire);
+    assert!(
+        lat <= 10 * INTERVAL_NS,
+        "{strategy:?}: second ULT waited {:.1} ms behind the spinner \
+         (bound: {:.1} ms = 10 ticks)",
+        lat as f64 / 1e6,
+        (10 * INTERVAL_NS) as f64 / 1e6
+    );
+}
+
+#[test]
+fn preempts_within_bound_creation_time() {
+    second_ult_preempted_within_bound(TimerStrategy::PerWorkerCreationTime);
+}
+
+#[test]
+fn preempts_within_bound_aligned() {
+    second_ult_preempted_within_bound(TimerStrategy::PerWorkerAligned);
+}
+
+#[test]
+fn preempts_within_bound_one_to_all() {
+    second_ult_preempted_within_bound(TimerStrategy::PerProcessOneToAll);
+}
+
+#[test]
+fn preempts_within_bound_chain() {
+    second_ult_preempted_within_bound(TimerStrategy::PerProcessChain);
+}
+
+/// Preemption never fires while preemption is disabled: a ULT spinning
+/// inside a `UltLocal::with` closure (which pins the worker) is never
+/// descheduled mid-closure — a queued competitor on the same sole worker
+/// must not run until the closure exits — and the ticks that arrived
+/// meanwhile show up as deferrals.
+#[test]
+fn no_preemption_while_disabled() {
+    static SLOT: UltLocal<u64> = UltLocal::new(|| 0);
+    let rt = start(TimerStrategy::PerWorkerAligned, 1);
+    let in_critical = Arc::new(AtomicBool::new(false));
+    let violated = Arc::new(AtomicBool::new(false));
+
+    let a = {
+        let in_critical = in_critical.clone();
+        rt.spawn_with(ThreadKind::SignalYield, Priority::High, move || {
+            SLOT.with(|v| {
+                in_critical.store(true, Ordering::SeqCst);
+                // Spin ~10 tick intervals with preemption pinned off.
+                let end = Instant::now() + Duration::from_millis(20);
+                while Instant::now() < end {
+                    core::hint::spin_loop();
+                }
+                in_critical.store(false, Ordering::SeqCst);
+                *v += 1;
+            });
+        })
+    };
+    // A competitor queued behind the critical section on the same worker:
+    // it can only run if the handler wrongly preempts mid-closure.
+    let b = {
+        let in_critical = in_critical.clone();
+        let violated = violated.clone();
+        rt.spawn_on(0, ThreadKind::SignalYield, Priority::High, move || {
+            if in_critical.load(Ordering::SeqCst) {
+                violated.store(true, Ordering::SeqCst);
+            }
+        })
+    };
+    a.join();
+    b.join();
+    let st = rt.stats();
+    rt.shutdown();
+    assert!(
+        !violated.load(Ordering::SeqCst),
+        "competitor ran while the critical section held preemption disabled"
+    );
+    assert!(
+        st.deferred_ticks >= 1,
+        "no ticks were deferred during a 20 ms pinned spin ({} timer ticks seen)",
+        st.timer_ticks
+    );
+}

@@ -253,15 +253,23 @@ fn preemption_interval_controls_rate() {
             TimerStrategy::PerWorkerAligned,
         ));
         let stop = Arc::new(AtomicBool::new(false));
-        let s = stop.clone();
-        let h = rt.spawn_with(ThreadKind::SignalYield, Priority::High, move || {
-            while !s.load(Ordering::Acquire) {
-                core::hint::spin_loop();
-            }
-        });
+        // Two spinners: a sole runnable would have its tick elided (nothing
+        // to timeslice to); sustained preemption needs contention.
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let s = stop.clone();
+                rt.spawn_with(ThreadKind::SignalYield, Priority::High, move || {
+                    while !s.load(Ordering::Acquire) {
+                        core::hint::spin_loop();
+                    }
+                })
+            })
+            .collect();
         std::thread::sleep(std::time::Duration::from_millis(100));
         stop.store(true, Ordering::Release);
-        h.join();
+        for h in handles {
+            h.join();
+        }
         let p = rt.stats().preemptions;
         rt.shutdown();
         p

@@ -61,6 +61,15 @@ fn flag_cleared_after_catch() {
 fn preempting_allocating_ult_does_not_trip_guard() {
     for kind in [ThreadKind::SignalYield, ThreadKind::KltSwitching] {
         let rt = Runtime::start(preemptive_cfg(1, 500));
+        // A sole runnable has its tick elided; the allocating ULT needs a
+        // companion so the worker keeps taking preemption signals.
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let s = stop.clone();
+        let spin = rt.spawn_with(kind, Priority::High, move || {
+            while !s.load(Ordering::Acquire) {
+                core::hint::spin_loop();
+            }
+        });
         let h = rt.spawn_with(kind, Priority::High, move || {
             let deadline = std::time::Instant::now() + std::time::Duration::from_millis(60);
             let mut sink = 0usize;
@@ -73,6 +82,8 @@ fn preempting_allocating_ult_does_not_trip_guard() {
             }
         });
         h.join();
+        stop.store(true, Ordering::Release);
+        spin.join();
         let stats = rt.stats();
         rt.shutdown();
         assert!(
@@ -95,13 +106,21 @@ fn guard_trips_in_real_handler_child() {
     }
     ult_core::sigsafe::INJECT_ALLOC_IN_HANDLER.store(true, Ordering::SeqCst);
     let rt = Runtime::start(preemptive_cfg(1, 500));
-    let h = rt.spawn_with(ThreadKind::SignalYield, Priority::High, || {
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
-        while std::time::Instant::now() < deadline {
-            core::hint::spin_loop();
-        }
-    });
-    h.join();
+    // Two spinners: a sole runnable would have its tick elided and the
+    // injection hook would never run.
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            rt.spawn_with(ThreadKind::SignalYield, Priority::High, || {
+                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+                while std::time::Instant::now() < deadline {
+                    core::hint::spin_loop();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join();
+    }
     rt.shutdown();
     // Still alive: the guard failed to fire. Exit 0 = parent assertion fails.
 }

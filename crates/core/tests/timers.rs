@@ -15,10 +15,13 @@ fn spin_preempt_run(strategy: TimerStrategy, kind: ThreadKind, millis: u64) -> u
         ..Config::default()
     });
     let stop = Arc::new(AtomicBool::new(false));
-    let handles: Vec<_> = (0..2)
+    // Two spinners per worker: a worker with a sole runnable has its tick
+    // elided (nothing to timeslice to); sustained delivery needs real
+    // timeslicing pressure on every worker.
+    let handles: Vec<_> = (0..4)
         .map(|i| {
             let stop = stop.clone();
-            rt.spawn_on(i, kind, Priority::High, move || {
+            rt.spawn_on(i % 2, kind, Priority::High, move || {
                 while !stop.load(Ordering::Acquire) {
                     core::hint::spin_loop();
                 }

@@ -1,0 +1,42 @@
+//! Fast-path fixture: the coarse-clock + cached-deadline filter pattern of
+//! the preemption handler, installed through the `SA_SIGINFO` variant
+//! (`install_handler_info`). The annotated filter prelude is clean; the one
+//! violation is the handler reaching the *unannotated* deadline recompute
+//! helper (which calls `clock_getres` — fine at startup, not in a handler).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DEADLINE_NS: AtomicU64 = AtomicU64::new(0);
+static SLACK_NS: AtomicU64 = AtomicU64::new(0);
+static FILTERED: AtomicU64 = AtomicU64::new(0);
+
+fn install_handler_info(_f: extern "C" fn(i32, usize, usize)) {}
+
+// sigsafe: vDSO cached-timestamp read, no syscall
+fn now_coarse_ns() -> u64 {
+    7
+}
+
+fn recompute_deadline_slack() -> u64 {
+    // Models clock_getres + arithmetic: startup-only work.
+    std::thread::yield_now();
+    2
+}
+
+// sigsafe
+extern "C" fn tick_handler(_sig: i32, _info: usize, _uc: usize) {
+    let deadline = DEADLINE_NS.load(Ordering::Acquire);
+    let slack = SLACK_NS.load(Ordering::Acquire);
+    if deadline != 0 && now_coarse_ns().saturating_add(slack) < deadline {
+        FILTERED.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    // VIOLATION (escape): recomputing the slack belongs at startup, not in
+    // the handler.
+    SLACK_NS.store(recompute_deadline_slack(), Ordering::Release);
+}
+
+pub fn register() {
+    SLACK_NS.store(recompute_deadline_slack(), Ordering::Release);
+    install_handler_info(tick_handler);
+}

@@ -587,8 +587,14 @@ pub fn scan_file(path: &Path, src: &str) -> FileScan {
                         });
                     }
                     // Handler-root extraction: bare fn idents among the
-                    // arguments of `install_handler(..)`.
-                    if !mac && path.last().map(String::as_str) == Some("install_handler") {
+                    // arguments of `install_handler(..)` /
+                    // `install_handler_info(..)` (the SA_SIGINFO variant).
+                    if !mac
+                        && matches!(
+                            path.last().map(String::as_str),
+                            Some("install_handler") | Some("install_handler_info")
+                        )
+                    {
                         let mut pdepth = 0;
                         let mut k = j;
                         while k < toks.len() {
@@ -1151,6 +1157,16 @@ mod tests {
         );
         assert_eq!(f.handler_roots.len(), 1);
         assert_eq!(f.handler_roots[0].0, "my_handler");
+    }
+
+    #[test]
+    fn handler_roots_extracted_from_install_handler_info() {
+        let f = scan(
+            "fn setup() { install_handler_info(signum(), sig_handler).unwrap(); }\n\
+             fn sig_handler() {}",
+        );
+        assert_eq!(f.handler_roots.len(), 1);
+        assert_eq!(f.handler_roots[0].0, "sig_handler");
     }
 
     #[test]

@@ -56,6 +56,29 @@ fn escape_diagnostic_names_the_definition_site() {
     );
 }
 
+/// The handler-self-filtering pattern: an `install_handler_info`-installed
+/// root whose annotated coarse-clock + cached-deadline prelude is clean,
+/// with exactly one escape — the handler reaching the unannotated
+/// deadline-slack recompute helper (startup-only work).
+#[test]
+fn fast_path_fixture_flags_only_the_recompute_escape() {
+    let diags = ult_lint::run(&[fixture("fast_path.rs")]);
+    let got: Vec<(u32, String)> = diags
+        .iter()
+        .map(|d| (d.line, d.category.to_string()))
+        .collect();
+    assert_eq!(
+        got,
+        vec![(36, "escape".to_string())],
+        "diagnostics: {diags:#?}"
+    );
+    assert!(
+        diags[0].message.contains("recompute_deadline_slack"),
+        "escape should name the recompute helper: {}",
+        diags[0].message
+    );
+}
+
 #[test]
 fn real_tree_passes() {
     let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));

@@ -21,6 +21,54 @@ pub fn now_ns() -> u64 {
     ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64
 }
 
+/// Current `CLOCK_MONOTONIC_COARSE` time in nanoseconds. Async-signal-safe.
+///
+/// The coarse clock reads a timestamp the kernel caches at every scheduler
+/// tick, so the vDSO path is a couple of loads — no `rdtsc`, no syscall —
+/// at the price of a resolution of one kernel tick (1–10 ms, see
+/// [`coarse_resolution_ns`]). That trade is exactly right for the
+/// preemption handler's "is this tick definitely too early?" filter: a
+/// coarse read plus the resolution as slack gives a sound lower bound on
+/// the real time without paying a precise clock read on every tick.
+#[inline]
+// sigsafe
+pub fn now_coarse_ns() -> u64 {
+    let mut ts = libc::timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
+    // SAFETY: ts is a valid out-pointer; CLOCK_MONOTONIC_COARSE exists on
+    // every Linux since 2.6.32.
+    unsafe {
+        libc::clock_gettime(libc::CLOCK_MONOTONIC_COARSE, &mut ts);
+    }
+    ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64
+}
+
+/// Resolution of [`now_coarse_ns`] in nanoseconds (one kernel tick —
+/// `1e9 / CONFIG_HZ`), cached after the first call. Async-signal-safe once
+/// warmed (the runtime queries it at startup, before any handler can run).
+// sigsafe
+pub fn coarse_resolution_ns() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static RES: AtomicU64 = AtomicU64::new(0);
+    let cached = RES.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let mut ts = libc::timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
+    // SAFETY: ts is a valid out-pointer; clock_getres is a plain syscall.
+    unsafe {
+        libc::clock_getres(libc::CLOCK_MONOTONIC_COARSE, &mut ts);
+    }
+    let res = (ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64).max(1);
+    RES.store(res, Ordering::Relaxed);
+    res
+}
+
 /// Busy-sleep for `ns` nanoseconds without yielding to the OS.
 ///
 /// Used by microbenchmarks that must occupy the core exactly like the

@@ -29,8 +29,11 @@ pub mod signal;
 pub mod tid;
 pub mod timer;
 
-pub use clock::now_ns;
+pub use clock::{coarse_resolution_ns, now_coarse_ns, now_ns};
 pub use futex::Futex;
-pub use signal::{block_signal, install_handler, preempt_signum, send_signal, unblock_signal};
+pub use signal::{
+    block_signal, install_handler, install_handler_info, preempt_signum, send_signal,
+    unblock_signal,
+};
 pub use tid::{gettid, Tid};
 pub use timer::IntervalTimer;

@@ -53,6 +53,41 @@ pub fn install_handler(signum: i32, handler: extern "C" fn(i32)) -> io::Result<(
     Ok(())
 }
 
+/// Three-argument signal handler type (`SA_SIGINFO` convention). The third
+/// argument is the `ucontext_t*` holding the complete interrupted register
+/// state the kernel saved on the interrupted thread's stack.
+pub type SigInfoHandler = extern "C" fn(i32, *mut libc::siginfo_t, *mut libc::c_void);
+
+/// Install a three-argument `handler` for `signum` with
+/// `SA_SIGINFO | SA_RESTART | SA_NODEFER`.
+///
+/// Like [`install_handler`], deliberately **not** `SA_ONSTACK`: the handler
+/// frame must live on the ULT's stack so a signal-yield switch carries it
+/// along (paper §3.1.1). Two deliberate differences:
+///
+/// * `SA_SIGINFO` hands the handler the kernel-saved `ucontext_t`, letting
+///   the preemptive context-switch path *reuse* that register image instead
+///   of saving a second one of its own.
+/// * `SA_NODEFER` stops the kernel from adding `signum` to the thread's
+///   mask during delivery, so the handler never needs the
+///   `pthread_sigmask(SIG_UNBLOCK)` syscall before switching away — the
+///   mask was never modified, and a plain `rt_sigreturn` (or nothing at
+///   all, on the switch-away path) leaves it correct.
+pub fn install_handler_info(signum: i32, handler: SigInfoHandler) -> io::Result<()> {
+    // SAFETY: constructing a plain sigaction; handler pointer is valid for
+    // the life of the program.
+    unsafe {
+        let mut sa: libc::sigaction = MaybeUninit::zeroed().assume_init();
+        sa.sa_sigaction = handler as usize;
+        sa.sa_flags = libc::SA_SIGINFO | libc::SA_RESTART | libc::SA_NODEFER;
+        libc::sigemptyset(&mut sa.sa_mask);
+        if libc::sigaction(signum, &sa, std::ptr::null_mut()) != 0 {
+            return Err(io::Error::last_os_error());
+        }
+    }
+    Ok(())
+}
+
 /// Ignore `signum` process-wide (used for the wake signal whose only job is
 /// to knock a thread out of `sigtimedwait`).
 pub fn ignore_signal(signum: i32) -> io::Result<()> {

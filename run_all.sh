@@ -17,6 +17,10 @@ mkdir -p results
 echo "== perf smoke: spawn/join hot paths vs committed baseline (2x tripwire)"
 ./target/release/bench_spawn --quick --out results/BENCH_spawn.json \
     --check results/BENCH_spawn_baseline.json
+
+echo "== perf smoke: preemption fast path vs committed baseline (2x tripwire)"
+./target/release/bench_preempt --quick --out results/BENCH_preempt.json \
+    --check results/BENCH_preempt_baseline.json
 run() {
     local name="$1"; shift
     echo "== $name"

@@ -32,6 +32,7 @@ pub type greg_t = i64;
 // ---------------------------------------------------------------------------
 
 pub const CLOCK_MONOTONIC: clockid_t = 1;
+pub const CLOCK_MONOTONIC_COARSE: clockid_t = 6;
 
 pub const FUTEX_WAIT: c_int = 0;
 pub const FUTEX_WAKE: c_int = 1;
@@ -58,6 +59,7 @@ pub const SIG_IGN: sighandler_t = 1;
 pub const SA_SIGINFO: c_int = 0x0000_0004;
 pub const SA_ONSTACK: c_int = 0x0800_0000;
 pub const SA_RESTART: c_int = 0x1000_0000;
+pub const SA_NODEFER: c_int = 0x4000_0000;
 
 pub const SIGEV_SIGNAL: c_int = 0;
 pub const SIGEV_THREAD_ID: c_int = 4;
@@ -218,6 +220,7 @@ extern "C" {
     pub fn sysconf(name: c_int) -> c_long;
 
     pub fn clock_gettime(clk_id: clockid_t, tp: *mut timespec) -> c_int;
+    pub fn clock_getres(clk_id: clockid_t, res: *mut timespec) -> c_int;
 
     pub fn mmap(
         addr: *mut c_void,
