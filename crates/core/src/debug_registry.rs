@@ -10,9 +10,9 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 const N: usize = 1 << 14;
 
 struct Entry {
-    id: AtomicU64,
-    base: AtomicUsize,
-    top: AtomicUsize,
+    id: AtomicU64, // ordering: relaxed debug telemetry; lossy ring, torn entries acceptable
+    base: AtomicUsize, // ordering: relaxed debug telemetry; lossy ring, torn entries acceptable
+    top: AtomicUsize, // ordering: relaxed debug telemetry; lossy ring, torn entries acceptable
 }
 
 static ENTRIES: [Entry; N] = {
@@ -24,7 +24,7 @@ static ENTRIES: [Entry; N] = {
     };
     [Z; N]
 };
-static NEXT: AtomicUsize = AtomicUsize::new(0);
+static NEXT: AtomicUsize = AtomicUsize::new(0); // ordering: counter
 
 /// Record a ULT's stack range.
 pub fn register(id: u64, base: usize, top: usize) {
@@ -89,12 +89,13 @@ pub mod ev {
 }
 
 const EN: usize = 4096;
+// ordering: relaxed debug telemetry; lossy ring, torn entries acceptable
 static EVENTS: [AtomicU64; EN] = {
     #[allow(clippy::declare_interior_mutable_const)]
     const Z: AtomicU64 = AtomicU64::new(0);
     [Z; EN]
 };
-static ENEXT: AtomicUsize = AtomicUsize::new(0);
+static ENEXT: AtomicUsize = AtomicUsize::new(0); // ordering: counter
 
 /// Record a diagnostic event (code, ult id, auxiliary value). Async-signal-
 /// safe; lossy ring.

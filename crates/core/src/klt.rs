@@ -94,11 +94,11 @@ pub(crate) struct Klt {
     /// Dense id (index into the registry).
     pub id: usize,
     /// Kernel tid, set by the thread itself before first park.
-    pub tid: AtomicI32,
+    pub tid: AtomicI32, // ordering: acqrel published before first park, read for tgkill
     /// The worker this KLT currently embodies (null when pooled/captive).
-    pub worker: AtomicPtr<Worker>,
+    pub worker: AtomicPtr<Worker>, // ordering: acqrel
     /// Worker to embody on the next home-loop wake.
-    pub assigned_worker: AtomicPtr<Worker>,
+    pub assigned_worker: AtomicPtr<Worker>, // ordering: acqrel
     /// Park point of the home loop.
     pub home_park: Futex,
     /// Park point used while captive inside a preemption signal handler.
@@ -106,14 +106,15 @@ pub(crate) struct Klt {
     /// Saved home-loop context while the KLT executes a scheduler context.
     pub home_ctx: UnsafeCell<Context>,
     /// Directive from the scheduler context (see [`Directive`]).
-    directive: AtomicU8,
+    directive: AtomicU8, // ordering: acqrel handed across the park/wake futex
     /// Captive KLT referenced by `WakeCaptiveThenRelease`.
+    // ordering: relaxed payload of the `directive` flag pair: written before its release store, read after its acquire swap
     directive_klt: AtomicPtr<Klt>,
     /// Preferred worker rank whose local pool should receive this KLT on
     /// release (usize::MAX = none / global pool).
-    pub release_to: AtomicUsize,
+    pub release_to: AtomicUsize, // ordering: acqrel
     /// Shutdown flag for the home loop.
-    pub shutdown: AtomicBool,
+    pub shutdown: AtomicBool, // ordering: acqrel
     /// Park mechanism (futex vs sigsuspend-style; paper §3.3.1).
     pub park_mode: KltParkMode,
 }
@@ -213,7 +214,7 @@ impl Klt {
 pub(crate) struct KltPool {
     lock: SpinLock,
     stack: UnsafeCell<Vec<Arc<Klt>>>,
-    len_hint: AtomicUsize,
+    len_hint: AtomicUsize, // ordering: acqrel lock-free emptiness peek; exact value only under the lock
     /// Optional capacity bound (worker-local pools are bounded so surplus
     /// KLTs overflow to the global pool).
     max: usize,
@@ -290,13 +291,13 @@ impl KltPool {
 /// them (via the runtime's registration hook) into the global KLT pool.
 pub(crate) struct KltCreator {
     /// Outstanding creation requests.
-    pub pending: AtomicUsize,
+    pub pending: AtomicUsize, // ordering: acqrel
     /// Creator wakeup.
     pub wake: Futex,
     /// Shutdown flag.
-    pub shutdown: AtomicBool,
+    pub shutdown: AtomicBool, // ordering: acqrel
     /// Count of KLTs created by the creator (stats; Figure 6 analysis).
-    pub created: AtomicUsize,
+    pub created: AtomicUsize, // ordering: counter
 }
 
 impl KltCreator {

@@ -56,7 +56,7 @@ use ult_arch::CacheAligned;
 /// contention, which is not async-signal-safe. (The ready pools themselves
 /// no longer use it; the KLT pools and joiner lists still do.)
 pub struct SpinLock {
-    locked: AtomicBool,
+    locked: AtomicBool, // ordering: acqrel swap-acquire to lock, release store to unlock
 }
 
 impl Default for SpinLock {
@@ -83,6 +83,7 @@ impl SpinLock {
             if !self.locked.swap(true, Ordering::Acquire) {
                 return;
             }
+            // ordering-ok: spin-wait peek; the Acquire swap above revalidates before entry
             while self.locked.load(Ordering::Relaxed) {
                 core::hint::spin_loop();
             }
@@ -121,10 +122,12 @@ impl SpinLock {
 /// stealer that read a stale generation still reads the correct element,
 /// and its top-CAS validates the claim.
 struct Buffer {
+    // ordering: relaxed slot contents are published by bottom/top/buf, never by the slot atomic itself
     slots: Box<[AtomicPtr<Ult>]>,
     mask: usize,
     /// Intrusive chain of retired generations (kept alive for stealers
     /// holding stale pointers; freed when the pool drops).
+    // ordering: relaxed intrusive link written while the node is private; the retired-head CAS publishes it
     retired_next: AtomicPtr<Buffer>,
 }
 
@@ -169,27 +172,30 @@ impl Buffer {
 /// See the module docs for the ownership discipline and ordering argument.
 pub struct ThreadPool {
     /// Steal end (oldest element). Advanced by CAS from any thread.
+    // ordering: acqrel claim CAS is SeqCst (Le et al. Chase-Lev protocol)
     top: CacheAligned<AtomicIsize>,
     /// Owner end (next free slot). Written only by the owner.
+    // ordering: acqrel release publish in push; owner-private accesses relaxed
     bottom: CacheAligned<AtomicIsize>,
     /// Current ring generation.
-    buf: AtomicPtr<Buffer>,
+    buf: AtomicPtr<Buffer>, // ordering: acqrel release publish after the live-window copy
     /// Staged larger generation, installed by [`reserve`](Self::reserve) in
     /// spawn context and swapped in — allocation-free — by the owner when a
     /// push finds the ring full.
-    pending: AtomicPtr<Buffer>,
+    pending: AtomicPtr<Buffer>, // ordering: acqrel
     /// Retired generations (intrusive list through `Buffer::retired_next`).
-    retired: AtomicPtr<Buffer>,
+    retired: AtomicPtr<Buffer>, // ordering: acqrel release CAS publishes retired nodes
     /// Largest capacity ever staged or installed (monotonic; `reserve`
     /// early-exits against it).
-    reserved: AtomicUsize,
+    reserved: AtomicUsize, // ordering: acqrel
     /// Remote-push inbox head (intrusive Treiber stack through
     /// `Ult::pool_next`, newest first).
+    // ordering: acqrel release CAS publishes the pushed node, acquire swap takes the chain
     inbox_head: CacheAligned<AtomicPtr<Ult>>,
     /// Approximate inbox population. Never understates while items exist:
     /// producers increment before linking, consumers decrement after the
     /// items are visible elsewhere (or handed out).
-    inbox_count: AtomicUsize,
+    inbox_count: AtomicUsize, // ordering: acqrel
 }
 
 // SAFETY: slots hold raw pointers managed under the owner/stealer protocol
@@ -287,8 +293,10 @@ impl ThreadPool {
     /// Bottom-push a raw descriptor pointer (owner only).
     // sigsafe
     fn push_raw_bottom(&self, p: *mut Ult) {
+        // ordering-ok: owner-exclusive; only the owner writes bottom
         let b = self.bottom.0.load(Ordering::Relaxed);
         let t = self.top.0.load(Ordering::Acquire);
+        // ordering-ok: owner-exclusive; only the owner replaces buf
         let mut buf = self.buf.load(Ordering::Relaxed);
         // SAFETY: only the owner replaces `buf`, and that is us.
         if b - t >= unsafe { (*buf).cap() } as isize {
@@ -352,6 +360,7 @@ impl ThreadPool {
     // sigsafe
     fn retire(&self, buf: *mut Buffer) {
         loop {
+            // ordering-ok: head is revalidated by the release CAS; the node stays private until it succeeds
             let head = self.retired.load(Ordering::Relaxed);
             // SAFETY: `buf` is exclusively ours until the CAS publishes it.
             unsafe { (*buf).retired_next.store(head, Ordering::Relaxed) };
@@ -385,6 +394,7 @@ impl ThreadPool {
     // sigsafe
     fn inbox_push_raw(&self, p: *mut Ult) {
         loop {
+            // ordering-ok: head is revalidated by the release CAS below
             let h = self.inbox_head.0.load(Ordering::Relaxed);
             // SAFETY: `p` is unpublished until the CAS succeeds.
             unsafe { (*p).pool_next.store(h, Ordering::Relaxed) };
@@ -426,8 +436,10 @@ impl ThreadPool {
         while !rev.is_null() {
             // SAFETY: as above.
             let next = unsafe { (*rev).pool_next.load(Ordering::Relaxed) };
+            // ordering-ok: owner-exclusive; only the owner writes bottom
             let b = self.bottom.0.load(Ordering::Relaxed);
             let t = self.top.0.load(Ordering::Acquire);
+            // ordering-ok: owner-exclusive; only the owner replaces buf
             let buf = self.buf.load(Ordering::Relaxed);
             // SAFETY: owner-exclusive current generation.
             if b - t >= unsafe { (*buf).cap() } as isize {
@@ -518,6 +530,7 @@ impl ThreadPool {
     /// priority scheduler's analysis queue (owner only). CAS-free except
     /// when racing a stealer for the last element.
     fn take_bottom(&self) -> Option<Arc<Ult>> {
+        // ordering-ok: owner-exclusive read; the SeqCst fence below orders the reservation (Le et al. take)
         let b = self.bottom.0.load(Ordering::Relaxed) - 1;
         let buf = self.buf.load(Ordering::Relaxed);
         self.bottom.0.store(b, Ordering::Relaxed);
@@ -525,6 +538,7 @@ impl ThreadPool {
         let t = self.top.0.load(Ordering::Relaxed);
         if t > b {
             // Empty: undo the reservation.
+            // ordering-ok: owner-exclusive undo (Le et al.); stealers synchronize via top only
             self.bottom.0.store(b + 1, Ordering::Relaxed);
             return None;
         }
@@ -538,6 +552,7 @@ impl ThreadPool {
                 .0
                 .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
                 .is_ok();
+            // ordering-ok: owner-exclusive restore (Le et al.); the claim itself is the SeqCst top CAS
             self.bottom.0.store(b + 1, Ordering::Relaxed);
             if !won {
                 return None;
@@ -601,11 +616,14 @@ impl Drop for ThreadPool {
         // …then free all ring generations: current, staged, retired.
         // SAFETY: drop has exclusive access; no stealer can be live.
         unsafe {
+            // ordering-ok: &mut self at drop; no concurrent access remains
             drop(Box::from_raw(self.buf.load(Ordering::Relaxed)));
+            // ordering-ok: &mut self at drop; no concurrent access remains
             let pending = self.pending.load(Ordering::Relaxed);
             if !pending.is_null() {
                 drop(Box::from_raw(pending));
             }
+            // ordering-ok: &mut self at drop; no concurrent access remains
             let mut r = self.retired.load(Ordering::Relaxed);
             while !r.is_null() {
                 let next = (*r).retired_next.load(Ordering::Relaxed);

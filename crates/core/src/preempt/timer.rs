@@ -65,7 +65,7 @@ pub(crate) struct TimerSet {
     /// `timer_create` is not). The slot is cleared *before* the backing
     /// timer is deleted, so the worst race is arming a just-deleted handle —
     /// which `arm_raw` ignores by design.
-    handles: Vec<AtomicUsize>,
+    handles: Vec<AtomicUsize>, // ordering: acqrel handle published before arming, cleared before deletion
 }
 
 impl TimerSet {

@@ -39,17 +39,17 @@ pub(crate) struct RuntimeInner {
     /// Precomputed at startup (`clock_getres` is not a hot-path call).
     pub coarse_slack_ns: u64,
     /// Runtime is shutting down.
-    pub shutdown: AtomicBool,
+    pub shutdown: AtomicBool, // ordering: acqrel
     /// Number of currently active workers (thread packing, §4.2).
-    pub active_workers: AtomicUsize,
+    pub active_workers: AtomicUsize, // ordering: acqrel
     /// Live (spawned, not yet finished) ULTs.
-    pub live_ults: AtomicUsize,
+    pub live_ults: AtomicUsize, // ordering: acqrel gates shutdown
     /// Monotonic ULT id source.
-    pub next_ult_id: AtomicU64,
+    pub next_ult_id: AtomicU64, // ordering: counter
     /// High-water mark for per-pool capacity reservations.
-    pool_reserve_mark: AtomicUsize,
+    pool_reserve_mark: AtomicUsize, // ordering: acqrel
     /// Round-robin cursor for external spawns.
-    spawn_rr: AtomicUsize,
+    spawn_rr: AtomicUsize, // ordering: counter
     /// Global overflow for recycled ULT stacks (default size only): an
     /// `mmap` plus guard-page `mprotect` per spawn costs ~10 µs; reuse
     /// brings ULT creation to the microsecond range the paper's runtimes
@@ -476,7 +476,7 @@ fn creator_main(rt: Arc<RuntimeInner>) {
 /// to finish first).
 pub struct Runtime {
     inner: Arc<RuntimeInner>,
-    shut: AtomicBool,
+    shut: AtomicBool, // ordering: acqrel idempotent-shutdown latch
 }
 
 impl Runtime {

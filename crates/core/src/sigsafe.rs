@@ -77,6 +77,7 @@ impl Drop for HandlerScope {
 /// allocation so the guard's abort behaviour can be exercised end-to-end
 /// from a subprocess test. Debug builds only.
 #[cfg(debug_assertions)]
+// ordering: relaxed test-only injection flag; no data is published through it
 pub static INJECT_ALLOC_IN_HANDLER: std::sync::atomic::AtomicBool =
     std::sync::atomic::AtomicBool::new(false);
 

@@ -18,8 +18,9 @@ use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 
 /// Fixed-capacity ring of u64 samples, written from signal handlers.
 pub struct SampleRing {
+    // ordering: relaxed lossy sample slots; a racing snapshot may read a stale sample, never a torn one
     buf: Box<[AtomicU64]>,
-    next: AtomicUsize,
+    next: AtomicUsize, // ordering: counter
 }
 
 impl SampleRing {
@@ -68,45 +69,45 @@ const KIND_KLT_SWITCHING: u8 = 3;
 /// Per-worker statistics.
 pub struct WorkerStats {
     /// Mirror of the current thread's kind (see constants above).
-    current_kind: AtomicU8,
+    current_kind: AtomicU8, // ordering: acqrel kind mirror read by other workers' handlers
     /// Completed preemptions (both techniques).
-    pub preemptions: AtomicU64,
+    pub preemptions: AtomicU64, // ordering: counter
     /// Preemptions performed via KLT-switching.
-    pub klt_switches: AtomicU64,
+    pub klt_switches: AtomicU64, // ordering: counter
     /// Captive resumes performed by this worker's scheduler.
-    pub captive_resumes: AtomicU64,
+    pub captive_resumes: AtomicU64, // ordering: counter
     /// Ticks deferred because the runtime had preemption disabled.
-    pub deferred_ticks: AtomicU64,
+    pub deferred_ticks: AtomicU64, // ordering: counter
     /// Ticks dropped because this KLT no longer embodies the worker.
-    pub stale_ticks: AtomicU64,
+    pub stale_ticks: AtomicU64, // ordering: counter
     /// Ticks suppressed by the echo filter after a recent preemption.
-    pub suppressed_ticks: AtomicU64,
+    pub suppressed_ticks: AtomicU64, // ordering: counter
     /// KLT-switching attempts aborted for lack of a pooled KLT.
-    pub klt_misses: AtomicU64,
+    pub klt_misses: AtomicU64, // ordering: counter
     /// Preemption ticks (timer signals) whose handler ran on this worker.
-    pub timer_ticks: AtomicU64,
+    pub timer_ticks: AtomicU64, // ordering: counter
     /// Ticks dismissed by the coarse-clock deadline filter before touching
     /// any scheduler state (the cheap "too early" exit).
-    pub filtered_ticks: AtomicU64,
+    pub filtered_ticks: AtomicU64, // ordering: counter
     /// Times this worker's periodic tick was elided (timer disarmed / taken
     /// out of forwarding eligibility) because it had ≤1 runnable ULT.
-    pub tick_elisions: AtomicU64,
+    pub tick_elisions: AtomicU64, // ordering: counter
     /// Times an elided tick was re-armed (work arrived: spawn/ready/steal).
-    pub tick_rearms: AtomicU64,
+    pub tick_rearms: AtomicU64, // ordering: counter
     /// Timer expirations the kernel coalesced (`timer_getoverrun`): ticks
     /// that were generated but never delivered as distinct signals.
-    pub timer_overruns: AtomicU64,
+    pub timer_overruns: AtomicU64, // ordering: counter
     /// Chain/one-to-all forwards that skipped a worker because the signal
     /// send failed (stale tid: target KLT exited or was rebinding).
-    pub forward_skips: AtomicU64,
+    pub forward_skips: AtomicU64, // ordering: counter
     /// Threads run to completion on this worker.
-    pub completed: AtomicU64,
+    pub completed: AtomicU64, // ordering: counter
     /// Threads stolen from other workers' pools.
-    pub steals: AtomicU64,
+    pub steals: AtomicU64, // ordering: counter
     /// Futex unparks issued to this worker (wake-storm regression metric:
     /// the Packing scheduler used to unpark *every* active worker per
     /// ready event).
-    pub unparks: AtomicU64,
+    pub unparks: AtomicU64, // ordering: counter
     /// Interruption-time samples (handler entry → switch/return), ns.
     pub interrupt_ns: SampleRing,
 }

@@ -104,26 +104,27 @@ pub struct Ult {
     /// Entry closure; taken exactly once at first activation.
     pub(crate) entry: UnsafeCell<Option<Box<dyn FnOnce() + Send + 'static>>>,
     /// Life-cycle state.
-    state: AtomicU8,
+    state: AtomicU8, // ordering: acqrel
     /// Whether the fresh context has been seeded/activated at least once.
-    pub(crate) started: AtomicBool,
+    pub(crate) started: AtomicBool, // ordering: acqrel
     /// For `Captive` state: the KLT parked inside the signal handler,
     /// holding this ULT's register state (paper Fig. 2b).
-    pub(crate) captive_klt: AtomicPtr<Klt>,
+    pub(crate) captive_klt: AtomicPtr<Klt>, // ordering: acqrel
     /// Join/completion notification (futex for external joiners; ULT
     /// joiners are parked through `ult-sync` built on `block_current`).
-    join_futex: AtomicU32,
+    join_futex: AtomicU32, // ordering: acqrel futex word
     /// Owning runtime (raw; valid while the ULT lives).
-    rt: AtomicPtr<crate::runtime::RuntimeInner>,
+    rt: AtomicPtr<crate::runtime::RuntimeInner>, // ordering: acqrel
     /// Set while the thread is between wait-registration and context save;
     /// `make_ready` spins on it to avoid resuming a half-saved context.
-    pub(crate) transit: AtomicBool,
+    pub(crate) transit: AtomicBool, // ordering: acqrel make_ready spins until the context save is published
     /// Diagnostic: thread currently sits in some ready pool (detects
     /// double-enqueue bugs; checked in debug builds).
-    pub(crate) in_pool: AtomicBool,
+    pub(crate) in_pool: AtomicBool, // ordering: acqrel double-enqueue diagnostic
     /// Intrusive link for the ready pool's remote-push inbox (see
     /// `pool.rs`): owned by the inbox between a `push_remote` and the
     /// claim that removes the thread; null otherwise.
+    // ordering: relaxed intrusive link written while unpublished; the inbox-head CAS publishes it
     pub(crate) pool_next: AtomicPtr<Ult>,
     /// ULTs parked on this thread's completion.
     joiners_lock: crate::pool::SpinLock,

@@ -33,7 +33,7 @@ use std::any::Any;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Global key allocator for [`UltLocal`] instances.
-static NEXT_KEY: AtomicUsize = AtomicUsize::new(1);
+static NEXT_KEY: AtomicUsize = AtomicUsize::new(1); // ordering: counter
 
 /// A ULT-local value: each user-level thread observes its own copy,
 /// initialized on first access by the provided constructor.
@@ -43,7 +43,7 @@ static NEXT_KEY: AtomicUsize = AtomicUsize::new(1);
 /// signal-yield preemption, where KLT-local storage is exactly what breaks
 /// (paper §3.1.1).
 pub struct UltLocal<T: Send + 'static> {
-    key: AtomicUsize,
+    key: AtomicUsize, // ordering: acqrel lazy key allocation CAS
     init: fn() -> T,
 }
 

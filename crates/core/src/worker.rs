@@ -75,21 +75,22 @@ pub(crate) struct Worker {
     /// Rank in `[0, n_workers)`.
     pub rank: usize,
     /// Owning runtime (set once at startup; stable for the runtime's life).
-    pub rt: AtomicPtr<RuntimeInner>,
+    pub rt: AtomicPtr<RuntimeInner>, // ordering: acqrel set once at startup
     /// Scheduler context (suspended while a ULT runs).
     pub sched_ctx: UnsafeCell<Context>,
     /// Stack backing the scheduler context.
     pub sched_stack: Stack,
     /// ULT currently running on this worker (null while in scheduler).
-    pub current: AtomicPtr<Ult>,
+    pub current: AtomicPtr<Ult>, // ordering: acqrel
     /// KLT currently embodying this worker.
-    pub current_klt: AtomicPtr<Klt>,
+    pub current_klt: AtomicPtr<Klt>, // ordering: acqrel
     /// Preempt-disable depth (see module docs).
+    // ordering: relaxed same-KLT pin depth; the handler runs on the thread it guards, so program order suffices
     pub preempt_disabled: CacheAligned<AtomicU32>,
     /// A tick arrived while disabled; the prologue turns it into a yield.
-    pub preempt_pending: AtomicBool,
+    pub preempt_pending: AtomicBool, // ordering: acqrel
     /// Why the last ULT→scheduler switch happened.
-    switch_reason: AtomicU8,
+    switch_reason: AtomicU8, // ordering: acqrel handed across the context switch
     /// The worker's primary (high-priority / local) pool.
     pub pool: Arc<ThreadPool>,
     /// Low-priority LIFO pool (priority scheduler, paper §4.3).
@@ -99,12 +100,13 @@ pub(crate) struct Worker {
     /// Idle / packing / shutdown wakeup.
     pub wake: Futex,
     /// Set while parked idle (lets push paths find sleepers to wake).
-    pub idle: AtomicBool,
+    pub idle: AtomicBool, // ordering: acqrel
     /// The worker's preemption timer needs re-targeting to the current KLT
     /// (set by the KLT-switching handler; consumed by the scheduler loop).
-    pub timer_rebind: AtomicBool,
+    pub timer_rebind: AtomicBool, // ordering: acqrel
     /// Monotonic ns timestamp of the last preemption (echo suppression for
     /// stale ticks pending across a captive park).
+    // ordering: relaxed echo-suppression heuristic; a stale read only misfilters one tick
     pub last_preempt_ns: AtomicU64,
     /// Tick elision (≤1 runnable ULT ⇒ nothing to timeslice to): when set,
     /// this worker's periodic timer is disarmed (per-worker strategies) and
@@ -113,21 +115,22 @@ pub(crate) struct Worker {
     /// arrives. Dekker-paired with the pushers: the elider stores `true`,
     /// fences, then re-reads the pools; the pusher pushes, fences, then
     /// reads this flag.
-    pub tick_elided: AtomicBool,
+    pub tick_elided: AtomicBool, // ordering: seqcst Dekker pairing against the push paths
     /// Cached absolute deadline (monotonic ns) before which a preemption
     /// tick is certainly premature — `dispatch_time + interval/2`, i.e. the
     /// echo-suppression horizon. `0` disables the filter (interval too small
     /// for the coarse clock to judge). Read by the handler via
     /// `CLOCK_MONOTONIC_COARSE` so spurious ticks bounce off without a
     /// precise clock read or any scheduler-state access.
+    // ordering: relaxed same-KLT deadline cache; a stale cross-KLT read only misclassifies one tick
     pub preempt_deadline_ns: AtomicU64,
     /// Per-worker statistics (interruption samples, counts).
     pub stats: WorkerStats,
     /// RNG state for steal-victim selection (xorshift; scheduler-only).
-    steal_seed: AtomicU64,
+    steal_seed: AtomicU64, // ordering: relaxed scheduler-private RNG state
     /// Alternation bit of the packing scheduler (Algorithm 1 runs one
     /// private thread then one shared thread per loop iteration).
-    pack_phase: AtomicBool,
+    pack_phase: AtomicBool, // ordering: relaxed scheduler-private alternation bit
     /// Per-worker free list of recycled default-size ULT stacks. Owner
     /// access only (scheduler context or a pinned ULT on this worker, both
     /// of which hold `preempt_disabled >= 1`); overflows to the runtime's

@@ -1,0 +1,43 @@
+//! Clean ordering fixture: every protocol used correctly, plus both
+//! escape hatches (fence-adjacent relaxed, `// ordering-ok` waiver).
+//! `tests/ordering.rs` asserts zero diagnostics even under
+//! `--enforce-all-ordering`.
+//!
+//! NOT compiled.
+
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+struct Pool {
+    // ordering: acqrel publishes the buffer written before the store
+    head: AtomicUsize,
+    // ordering: seqcst Dekker idle flag paired with the push-side fence
+    idle: AtomicBool,
+    // ordering: counter
+    spawned: AtomicU64,
+    // ordering: relaxed lossy sample slots; torn reads acceptable
+    slot: AtomicUsize,
+}
+
+fn g(p: &Pool, dyn_order: Ordering) {
+    p.head.store(1, Ordering::Release);
+    let _ = p.head.load(Ordering::Acquire);
+    let _ = p
+        .head
+        .compare_exchange(1, 2, Ordering::AcqRel, Ordering::Relaxed);
+
+    // Fence-split half of the Dekker protocol: relaxed store is accepted
+    // because a fence sits within two lines.
+    p.idle.store(true, Ordering::Relaxed);
+    fence(Ordering::SeqCst);
+    let _ = p.idle.load(Ordering::SeqCst);
+
+    // Site waiver: the pairing lives in the caller.
+    // ordering-ok: audited handoff; the caller's CAS revalidates
+    p.idle.store(false, Ordering::Relaxed);
+
+    p.spawned.fetch_add(1, Ordering::Relaxed);
+    p.slot.store(7, Ordering::Relaxed);
+
+    // Dynamic ordering argument: out of the lint's scope.
+    p.head.store(0, dyn_order);
+}

@@ -1,0 +1,33 @@
+//! Seeded ordering-contract violations: one per diagnostic class at
+//! pinned lines. `tests/ordering.rs` asserts the exact `(line, category)`
+//! pairs — keep them in sync when editing this file.
+//!
+//! NOT compiled.
+
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicU32, AtomicUsize, Ordering};
+
+struct Deque {
+    /// No contract at all: [contract] (under `--enforce-all-ordering`).
+    bottom: AtomicIsize,
+    /// Unknown protocol name: [contract].
+    // ordering: sloppy
+    mode: AtomicU32,
+    /// `relaxed` without the mandatory reason: [contract].
+    // ordering: relaxed
+    hint: AtomicUsize,
+    /// Correct contracts, violated at the access sites below.
+    // ordering: acqrel claim edge for the buffer swap
+    top: AtomicIsize,
+    // ordering: seqcst Dekker idle flag
+    idle: AtomicBool,
+}
+
+fn f(d: &Deque) {
+    /* relaxed publication, no adjacent fence: [ordering] */
+    d.top.store(1, Ordering::Relaxed);
+
+    let _ = d.top.load(Ordering::Acquire);
+
+    /* Acquire load of a Dekker flag needs SeqCst: [ordering] */
+    let _ = d.idle.load(Ordering::Acquire);
+}

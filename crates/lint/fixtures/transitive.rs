@@ -1,0 +1,37 @@
+//! Seeded transitive signal-safety violation that the annotation-local
+//! closure check provably misses: the handler reaches `Box::new` through
+//! an unannotated same-name twin of an annotated helper.
+//! `tests/callgraph.rs` asserts `analyze` returns nothing here while the
+//! call-graph pass flags the escape.
+//!
+//! NOT compiled — the duplicate `helper` definition is deliberate (in the
+//! real tree the twins live in different modules; the scanner resolves by
+//! bare name, so one file reproduces the blind spot).
+
+fn setup() {
+    install_handler(signum(), handler);
+}
+
+// sigsafe
+fn handler() {
+    helper();
+}
+
+/// The audited twin: annotated, clean. The closure check resolves the
+/// handler's `helper()` call against *any* annotated definition of the
+/// name, so this function alone makes the call "safe" in its eyes.
+// sigsafe
+fn helper() {
+    noop();
+}
+
+/// The unsafe twin: same name, never annotated, allocates. The handler →
+/// helper → `Box::new` path through this definition is invisible to the
+/// annotation-local pass and flagged by the call-graph pass.
+fn helper() {
+    let b = Box::new([0u8; 64]);
+    drop(b);
+}
+
+// sigsafe
+fn noop() {}

@@ -1,14 +1,40 @@
-//! `sigsafe`: scan the workspace for async-signal-safety violations.
+//! `sigsafe`: the `ult-verify` static-analysis front end.
 //!
 //! Usage:
 //! ```text
-//! sigsafe [--root <dir>] [--list] [FILE...]
+//! sigsafe [--root <dir>] [--list] [--json] [--pass <name>]...
+//!         [--waivers <file>] [--enforce-all-ordering] [FILE...]
 //! ```
+//!
+//! Runs three passes (all by default; `--pass closure|callgraph|ordering`
+//! selects a subset):
+//!
+//! * **closure** — the annotation-local check: every call from a
+//!   `// sigsafe` function must target the audited set or a denylist-free
+//!   external.
+//! * **callgraph** — whole-program traversal from every installed handler
+//!   root; flags transitively reachable unannotated or denylisted code.
+//!   Waivers come from `--waivers` or `crates/lint/callgraph_waivers.txt`
+//!   under the workspace root when present.
+//! * **ordering** — atomics ordering-contract lint: every atomic field in
+//!   `crates/core` must declare `// ordering: <protocol>` and every access
+//!   site must satisfy it. `--enforce-all-ordering` extends the
+//!   missing-contract requirement to all scanned files (used by fixtures).
 //!
 //! With no file arguments, scans every `crates/*/src/**/*.rs` under the
 //! workspace root (found by walking up from the current directory),
-//! excluding `fixtures/` directories. Prints one `file:line: [category]
-//! message` diagnostic per violation and exits nonzero if any were found.
+//! excluding `fixtures/` directories.
+//!
+//! Exit-code contract (stable, for CI):
+//! * `0` — clean: no diagnostics.
+//! * `1` — findings: one or more diagnostics printed.
+//! * `2` — internal error: bad usage, unreadable input, malformed waiver
+//!   file.
+//!
+//! `--json` prints diagnostics as a JSON array on stdout (one object per
+//! diagnostic with `file`, `line`, `category`, `message`) instead of the
+//! human `file:line: [category] message` lines. The summary always goes
+//! to stderr.
 //!
 //! `--list` additionally prints the annotated sigsafe set, which is the
 //! audited surface a reviewer must re-check when the preemption handler
@@ -17,60 +43,101 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use ult_lint::{callgraph, ordering, Diagnostic};
+
+const USAGE: &str = "usage: sigsafe [--root <dir>] [--list] [--json] [--pass <name>]... \
+                     [--waivers <file>] [--enforce-all-ordering] [FILE...]";
+
+const EXIT_FINDINGS: u8 = 1;
+const EXIT_INTERNAL: u8 = 2;
+
 fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("sigsafe: {msg}");
+            ExitCode::from(EXIT_INTERNAL)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
     let mut root: Option<PathBuf> = None;
     let mut list = false;
+    let mut json = false;
+    let mut enforce_all_ordering = false;
+    let mut passes: Vec<String> = Vec::new();
+    let mut waivers_path: Option<PathBuf> = None;
     let mut files: Vec<PathBuf> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--root" => root = args.next().map(PathBuf::from),
             "--list" => list = true,
+            "--json" => json = true,
+            "--enforce-all-ordering" => enforce_all_ordering = true,
+            "--pass" => {
+                let p = args.next().ok_or("--pass needs an argument")?;
+                match p.as_str() {
+                    "closure" | "callgraph" | "ordering" => passes.push(p),
+                    _ => return Err(format!("unknown pass `{p}` (closure|callgraph|ordering)")),
+                }
+            }
+            "--waivers" => {
+                waivers_path = Some(PathBuf::from(
+                    args.next().ok_or("--waivers needs an argument")?,
+                ))
+            }
             "--help" | "-h" => {
-                eprintln!("usage: sigsafe [--root <dir>] [--list] [FILE...]");
-                return ExitCode::SUCCESS;
+                eprintln!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
             }
             _ if a.starts_with('-') => {
-                eprintln!("sigsafe: unknown option `{a}`");
-                eprintln!("usage: sigsafe [--root <dir>] [--list] [FILE...]");
-                return ExitCode::FAILURE;
+                return Err(format!("unknown option `{a}`\n{USAGE}"));
             }
             _ => files.push(PathBuf::from(a)),
         }
     }
+    if passes.is_empty() {
+        passes = vec!["closure".into(), "callgraph".into(), "ordering".into()];
+    }
+    let enabled = |p: &str| passes.iter().any(|q| q == p);
 
     // A typo'd path must not scan as an empty (violation-free) file.
     for f in &files {
         if !f.is_file() {
-            eprintln!("sigsafe: cannot read `{}`", f.display());
-            return ExitCode::FAILURE;
+            return Err(format!("cannot read `{}`", f.display()));
         }
     }
 
+    let explicit = !files.is_empty();
+    let mut root_dir: Option<PathBuf> = None;
     if files.is_empty() {
-        let cwd = std::env::current_dir().expect("cwd");
-        let root = match root.or_else(|| ult_lint::find_workspace_root(&cwd)) {
-            Some(r) => r,
-            None => {
-                eprintln!("sigsafe: no workspace root found above {}", cwd.display());
-                return ExitCode::FAILURE;
-            }
-        };
-        files = ult_lint::workspace_sources(&root);
+        let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+        let r = root
+            .or_else(|| ult_lint::find_workspace_root(&cwd))
+            .ok_or_else(|| format!("no workspace root found above {}", cwd.display()))?;
+        files = ult_lint::workspace_sources(&r);
         if files.is_empty() {
-            eprintln!("sigsafe: no sources under {}", root.display());
-            return ExitCode::FAILURE;
+            return Err(format!("no sources under {}", r.display()));
         }
+        root_dir = Some(r);
     }
+
+    // Read each file once; feed the scans to closure/callgraph and the raw
+    // sources to the ordering lint.
+    let mut sources: Vec<(PathBuf, String)> = Vec::new();
+    for p in &files {
+        let src = std::fs::read_to_string(p)
+            .map_err(|e| format!("cannot read `{}`: {e}", p.display()))?;
+        sources.push((p.clone(), src));
+    }
+    let scans: Vec<_> = sources
+        .iter()
+        .map(|(p, s)| ult_lint::scan_file(p, s))
+        .collect();
 
     if list {
-        let scans: Vec<_> = files
-            .iter()
-            .filter_map(|p| {
-                let src = std::fs::read_to_string(p).ok()?;
-                Some(ult_lint::scan_file(p, &src))
-            })
-            .collect();
         println!("sigsafe-annotated functions:");
         for f in &scans {
             for d in &f.fns {
@@ -79,23 +146,86 @@ fn main() -> ExitCode {
                 }
             }
         }
-        let diags = ult_lint::analyze(&scans);
-        report(&diags, files.len())
+    }
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    if enabled("closure") {
+        diags.extend(ult_lint::analyze(&scans));
+    }
+    if enabled("callgraph") {
+        let waivers = match &waivers_path {
+            Some(p) => callgraph::load_waivers(p)?,
+            None => {
+                // Default waiver file only applies to full-workspace runs;
+                // explicit FILE invocations (fixture tests) get none.
+                let default = root_dir
+                    .as_deref()
+                    .map(|r| r.join("crates/lint/callgraph_waivers.txt"));
+                match default {
+                    Some(p) if !explicit && p.is_file() => callgraph::load_waivers(&p)?,
+                    _ => callgraph::Waivers::empty(),
+                }
+            }
+        };
+        diags.extend(callgraph::check(&scans, &waivers));
+    }
+    if enabled("ordering") {
+        diags.extend(ordering::check(&sources, enforce_all_ordering));
+    }
+    diags.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+
+    if json {
+        println!("{}", to_json(&diags));
     } else {
-        let diags = ult_lint::run(&files);
-        report(&diags, files.len())
+        for d in &diags {
+            println!("{d}");
+        }
+    }
+    let nfiles = files.len();
+    if diags.is_empty() {
+        eprintln!("sigsafe: OK ({nfiles} files, 0 violations)");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!("sigsafe: {} violation(s) in {nfiles} files", diags.len());
+        Ok(ExitCode::from(EXIT_FINDINGS))
     }
 }
 
-fn report(diags: &[ult_lint::Diagnostic], nfiles: usize) -> ExitCode {
-    for d in diags {
-        println!("{d}");
+fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"file\": {}, \"line\": {}, \"category\": {}, \"message\": {}}}",
+            json_str(&d.file.display().to_string()),
+            d.line,
+            json_str(&d.category.to_string()),
+            json_str(&d.message)
+        ));
     }
-    if diags.is_empty() {
-        eprintln!("sigsafe: OK ({nfiles} files, 0 violations)");
-        ExitCode::SUCCESS
-    } else {
-        eprintln!("sigsafe: {} violation(s) in {nfiles} files", diags.len());
-        ExitCode::FAILURE
+    if !diags.is_empty() {
+        out.push('\n');
     }
+    out.push(']');
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }

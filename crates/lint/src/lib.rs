@@ -35,19 +35,48 @@
 //! * Independently of the sigsafe closure, every `unsafe {` block in scanned
 //!   code must carry a `SAFETY:` comment within the four preceding lines.
 //!
+//! # Passes
+//!
+//! Three passes share the lexer/scanner in this file:
+//!
+//! 1. The **annotation closure check** ([`analyze`]): the original pass.
+//!    Roots plus every `// sigsafe` function must form a transitively safe
+//!    set.
+//! 2. The **call-graph pass** ([`callgraph`]): breadth-first traversal from
+//!    the installed handler roots through *all* name-resolved callees (not
+//!    just annotated ones), reporting the full call path of each finding.
+//!    Unlike the closure check, it descends into same-crate unannotated
+//!    twins of an annotated name — the false-negative class the closure
+//!    check documents — and supports a waiver file with a pinned budget so
+//!    it can gate CI.
+//! 3. The **atomics ordering lint** ([`ordering`]): every atomic field
+//!    declares a `// ordering: <protocol>` contract; each load/store/RMW
+//!    site is checked against the declared protocol.
+//!
 //! # Known limitations (by design — this is a linter, not a verifier)
 //!
 //! Calls are resolved **by name**, not by type: a method call `x.push(..)`
-//! is accepted if *any* workspace function named `push` is annotated
-//! `// sigsafe`. This admits false negatives when an unsafe API shares a
-//! name with an audited one; the dynamic in-handler allocation guard in
-//! `ult-core` (`sigsafe` module) exists precisely to catch what this
-//! name-level analysis cannot. Macros are checked at the invocation site
-//! only (their expansion is not traversed).
+//! is accepted by the closure check if *any* workspace function named
+//! `push` is annotated `// sigsafe` (the call-graph pass narrows this by
+//! also walking same-crate unannotated definitions of the name). The
+//! dynamic in-handler allocation guard in `ult-core` (`sigsafe` module)
+//! exists precisely to catch what name-level analysis cannot.
+//!
+//! Macro handling: bodies of workspace `macro_rules!` definitions (outer
+//! `{ .. }` delimiter) are scanned and traversed when a handler-reachable
+//! function invokes the macro, and the token arguments of any macro
+//! invocation are scanned in the caller's context. What remains invisible:
+//! expansions of *external* macros, `macro_rules!` with `(..)`/`[..]`
+//! outer delimiters, code synthesized from fragment pasting, and calls
+//! made through function pointers or `Fn` trait objects (`(f)()`,
+//! `table[i]()`), which have no name to resolve.
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+pub mod callgraph;
+pub mod ordering;
 
 // ---------------------------------------------------------------------------
 // Diagnostics
@@ -72,6 +101,12 @@ pub enum Category {
     Handler,
     /// `unsafe {` block without a nearby `SAFETY:` comment.
     Safety,
+    /// Atomic field with a missing or malformed `// ordering:` contract.
+    Contract,
+    /// Atomic access site violating its field's declared ordering contract.
+    Ordering,
+    /// Call-graph waiver-file problem (stale entry, budget exceeded).
+    Waiver,
 }
 
 impl fmt::Display for Category {
@@ -85,6 +120,9 @@ impl fmt::Display for Category {
             Category::Escape => "escape",
             Category::Handler => "handler",
             Category::Safety => "safety",
+            Category::Contract => "contract",
+            Category::Ordering => "ordering",
+            Category::Waiver => "waiver",
         };
         f.write_str(s)
     }
@@ -121,7 +159,7 @@ impl fmt::Display for Diagnostic {
 // ---------------------------------------------------------------------------
 
 #[derive(Debug, Clone, PartialEq)]
-enum Tok {
+pub(crate) enum Tok {
     Ident(String),
     Punct(char),
     /// Any literal (string, char, number) — opaque, breaks ident runs.
@@ -131,24 +169,30 @@ enum Tok {
 }
 
 #[derive(Debug, Clone)]
-struct Sp {
-    tok: Tok,
-    line: u32,
+pub(crate) struct Sp {
+    pub(crate) tok: Tok,
+    pub(crate) line: u32,
 }
 
-struct Lexed {
-    toks: Vec<Sp>,
+pub(crate) struct Lexed {
+    pub(crate) toks: Vec<Sp>,
     /// Lines carrying a `// sigsafe-allow: <reason>` waiver.
-    allow: HashMap<u32, String>,
+    pub(crate) allow: HashMap<u32, String>,
     /// Lines of comments that contain `SAFETY`.
-    safety: HashSet<u32>,
+    pub(crate) safety: HashSet<u32>,
+    /// `// ordering: <protocol> [reason]` contract comments, by line.
+    pub(crate) ordering: HashMap<u32, String>,
+    /// `// ordering-ok: <reason>` site waivers, by line.
+    pub(crate) ordering_ok: HashMap<u32, String>,
 }
 
-fn lex(src: &str) -> Lexed {
+pub(crate) fn lex(src: &str) -> Lexed {
     let b = src.as_bytes();
     let mut toks = Vec::new();
     let mut allow = HashMap::new();
     let mut safety = HashSet::new();
+    let mut ordering = HashMap::new();
+    let mut ordering_ok = HashMap::new();
     let mut i = 0usize;
     let mut line = 1u32;
     while i < b.len() {
@@ -175,6 +219,11 @@ fn lex(src: &str) -> Lexed {
                     if let Some(rest) = body.strip_prefix("sigsafe-allow") {
                         let reason = rest.trim_start_matches(':').trim().to_string();
                         allow.insert(line, reason);
+                    } else if let Some(rest) = body.strip_prefix("ordering-ok") {
+                        let reason = rest.trim_start_matches(':').trim().to_string();
+                        ordering_ok.insert(line, reason);
+                    } else if let Some(rest) = body.strip_prefix("ordering:") {
+                        ordering.insert(line, rest.trim().to_string());
                     } else if body == "sigsafe" || body.starts_with("sigsafe:") {
                         toks.push(Sp {
                             tok: Tok::Mark,
@@ -295,6 +344,8 @@ fn lex(src: &str) -> Lexed {
         toks,
         allow,
         safety,
+        ordering,
+        ordering_ok,
     }
 }
 
@@ -354,8 +405,12 @@ pub struct CallSite {
     /// Path segments (`["Context", "switch"]`; one segment for bare calls
     /// and method calls).
     pub path: Vec<String>,
-    /// 1-based source line.
+    /// 1-based source line of the first path segment.
     pub line: u32,
+    /// 1-based source line of the *last* path segment — differs from
+    /// `line` for qualified paths split across lines. Diagnostics report
+    /// this line, and `// sigsafe-allow` waivers on either line apply.
+    pub name_line: u32,
     /// `x.name(..)` method-call syntax.
     pub method: bool,
     /// `name!(..)` macro invocation.
@@ -390,6 +445,11 @@ pub struct FileScan {
     pub path: PathBuf,
     /// All function definitions with bodies (test modules excluded).
     pub fns: Vec<FnDef>,
+    /// `macro_rules!` definitions with `{ .. }` outer delimiters; the
+    /// calls in their transcriber arms, scanned as if a function body.
+    /// Kept separate from `fns` so a macro cannot satisfy name resolution
+    /// for a function call.
+    pub macros: Vec<FnDef>,
     /// `// sigsafe-allow` waivers by line.
     pub allow: HashMap<u32, String>,
     /// Function names passed to `install_handler(..)` — handler roots.
@@ -411,13 +471,16 @@ pub fn scan_file(path: &Path, src: &str) -> FileScan {
         toks,
         allow,
         safety,
+        ..
     } = lex(src);
     let mut fns: Vec<FnDef> = Vec::new();
+    let mut macros: Vec<FnDef> = Vec::new();
     let mut handler_roots = Vec::new();
     let mut unsafe_without_safety = Vec::new();
 
-    // Stack of (fn index, brace depth of the body's opening `{`).
-    let mut fn_stack: Vec<(usize, i32)> = Vec::new();
+    // Stack of (is_macro, def index, brace depth of the body's opening
+    // `{`). Macro frames index `macros`; fn frames index `fns`.
+    let mut fn_stack: Vec<(bool, usize, i32)> = Vec::new();
     let mut depth: i32 = 0;
     let mut pending_sigsafe = false;
     let mut i = 0usize;
@@ -473,7 +536,7 @@ pub fn scan_file(path: &Path, src: &str) -> FileScan {
             }
             Tok::Punct('}') => {
                 depth -= 1;
-                while let Some(&(_, d)) = fn_stack.last() {
+                while let Some(&(_, _, d)) = fn_stack.last() {
                     if depth < d {
                         fn_stack.pop();
                     } else {
@@ -529,22 +592,49 @@ pub fn scan_file(path: &Path, src: &str) -> FileScan {
                         calls: Vec::new(),
                     });
                     depth += 1; // consume the body `{`
-                    fn_stack.push((fns.len() - 1, depth));
+                    fn_stack.push((false, fns.len() - 1, depth));
                     i = j + 1;
                 } else {
                     i = j + 1;
                 }
             }
+            Tok::Ident(id) if id == "macro_rules" => {
+                // `macro_rules! name { .. }`: scan the body (patterns are
+                // inert — a `$x:expr` fragment never parses as a call; the
+                // transcriber arms contain real code). Other outer
+                // delimiters are not traversed (see module docs).
+                pending_sigsafe = false;
+                let bang = toks.get(i + 1).is_some_and(|s| punct(s, '!'));
+                let name = toks.get(i + 2).and_then(ident);
+                let brace = toks.get(i + 3).is_some_and(|s| punct(s, '{'));
+                if bang && brace {
+                    if let Some(name) = name {
+                        macros.push(FnDef {
+                            name: name.to_string(),
+                            line: toks[i].line,
+                            sigsafe: false,
+                            calls: Vec::new(),
+                        });
+                        depth += 1; // consume the body `{`
+                        fn_stack.push((true, macros.len() - 1, depth));
+                        i += 4;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
             Tok::Ident(id) if !KEYWORDS.contains(&id.as_str()) => {
                 // Possible call: collect `A::B::name`, then look for `(`/`!`.
                 let method = i > 0 && punct(&toks[i - 1], '.');
                 let call_line = toks[i].line;
+                let mut name_line = toks[i].line;
                 let mut path = vec![id.clone()];
                 let mut j = i + 1;
                 loop {
                     if j + 1 < toks.len() && punct(&toks[j], ':') && punct(&toks[j + 1], ':') {
                         if let Some(seg) = toks.get(j + 2).and_then(ident) {
                             path.push(seg.to_string());
+                            name_line = toks[j + 2].line;
                             j += 3;
                             continue;
                         }
@@ -578,13 +668,19 @@ pub fn scan_file(path: &Path, src: &str) -> FileScan {
                     _ => (false, false),
                 };
                 if is_call {
-                    if let Some(&(fi, _)) = fn_stack.last() {
-                        fns[fi].calls.push(CallSite {
+                    if let Some(&(is_macro, fi, _)) = fn_stack.last() {
+                        let site = CallSite {
                             path: path.clone(),
                             line: call_line,
+                            name_line,
                             method,
                             mac,
-                        });
+                        };
+                        if is_macro {
+                            macros[fi].calls.push(site);
+                        } else {
+                            fns[fi].calls.push(site);
+                        }
                     }
                     // Handler-root extraction: bare fn idents among the
                     // arguments of `install_handler(..)` /
@@ -633,6 +729,7 @@ pub fn scan_file(path: &Path, src: &str) -> FileScan {
     FileScan {
         path: path.to_path_buf(),
         fns,
+        macros,
         allow,
         handler_roots,
         unsafe_without_safety,
@@ -852,6 +949,15 @@ pub fn analyze(files: &[FileScan]) -> Vec<Diagnostic> {
     let any_sigsafe =
         |defs: &[(usize, usize)]| defs.iter().any(|&(fi, di)| files[fi].fns[di].sigsafe);
 
+    // Index: macro name -> [(file idx, macro idx)]. Kept separate so a
+    // macro cannot satisfy resolution of a function call or vice versa.
+    let mut mac_index: HashMap<&str, Vec<(usize, usize)>> = HashMap::new();
+    for (fi, f) in files.iter().enumerate() {
+        for (mi, m) in f.macros.iter().enumerate() {
+            mac_index.entry(&m.name).or_default().push((fi, mi));
+        }
+    }
+
     let mut diags: Vec<Diagnostic> = Vec::new();
     let mut push_diag = |f: &FileScan, line: u32, category: Category, message: String| {
         // `// sigsafe-allow` on the line itself or the line above waives.
@@ -865,10 +971,17 @@ pub fn analyze(files: &[FileScan]) -> Vec<Diagnostic> {
             message,
         });
     };
+    // A multi-line qualified call is waived by `// sigsafe-allow` on (or
+    // above) either the first or the last path-segment line.
+    let call_waived = |f: &FileScan, call: &CallSite| {
+        [call.line, call.name_line]
+            .iter()
+            .any(|&l| f.allow.contains_key(&l) || (l > 1 && f.allow.contains_key(&(l - 1))))
+    };
 
-    // Roots: handler entry points must be annotated.
-    let mut work: Vec<(usize, usize)> = Vec::new();
-    let mut visited: HashSet<(usize, usize)> = HashSet::new();
+    // Work items: (is_macro, file idx, def idx).
+    let mut work: Vec<(bool, usize, usize)> = Vec::new();
+    let mut visited: HashSet<(bool, usize, usize)> = HashSet::new();
     for f in files {
         for (name, line) in &f.handler_roots {
             match index.get(name.as_str()) {
@@ -881,9 +994,9 @@ pub fn analyze(files: &[FileScan]) -> Vec<Diagnostic> {
                             format!("signal handler `{name}` is not annotated `// sigsafe`"),
                         );
                     }
-                    for &d in defs {
-                        if visited.insert(d) {
-                            work.push(d);
+                    for &(fi, di) in defs {
+                        if visited.insert((false, fi, di)) {
+                            work.push((false, fi, di));
                         }
                     }
                 }
@@ -899,19 +1012,23 @@ pub fn analyze(files: &[FileScan]) -> Vec<Diagnostic> {
     // Plus every annotated function.
     for (fi, f) in files.iter().enumerate() {
         for (di, d) in f.fns.iter().enumerate() {
-            if d.sigsafe && visited.insert((fi, di)) {
-                work.push((fi, di));
+            if d.sigsafe && visited.insert((false, fi, di)) {
+                work.push((false, fi, di));
             }
         }
     }
 
     // Transitive check: every visited function's calls must be safe; calls
     // resolving into the workspace must land on annotated definitions.
-    while let Some((fi, di)) = work.pop() {
+    while let Some((is_macro, fi, di)) = work.pop() {
         let f = &files[fi];
-        let d = &f.fns[di];
+        let d = if is_macro { &f.macros[di] } else { &f.fns[di] };
+        let kind = if is_macro { "macro" } else { "fn" };
         for call in &d.calls {
             let name = call.name();
+            if call_waived(f, call) {
+                continue;
+            }
             if call.mac {
                 if MACRO_ALLOW.contains(&name) {
                     continue;
@@ -919,10 +1036,20 @@ pub fn analyze(files: &[FileScan]) -> Vec<Diagnostic> {
                 if let Some(&(_, cat)) = MACRO_DENY.iter().find(|(m, _)| *m == name) {
                     push_diag(
                         f,
-                        call.line,
+                        call.name_line,
                         cat,
-                        format!("`{name}!` in handler-reachable fn `{}`", d.name),
+                        format!("`{name}!` in handler-reachable {kind} `{}`", d.name),
                     );
+                    continue;
+                }
+                // A workspace `macro_rules!` expands inline at the caller:
+                // traverse its transcriber body like a callee.
+                if let Some(defs) = mac_index.get(name) {
+                    for &(mfi, mdi) in defs {
+                        if visited.insert((true, mfi, mdi)) {
+                            work.push((true, mfi, mdi));
+                        }
+                    }
                 }
                 continue;
             }
@@ -936,9 +1063,13 @@ pub fn analyze(files: &[FileScan]) -> Vec<Diagnostic> {
                 {
                     push_diag(
                         f,
-                        call.line,
+                        call.name_line,
                         Category::Lock,
-                        format!("`{}` in handler-reachable fn `{}`", call.joined(), d.name),
+                        format!(
+                            "`{}` in handler-reachable {kind} `{}`",
+                            call.joined(),
+                            d.name
+                        ),
                     );
                     continue;
                 }
@@ -947,9 +1078,13 @@ pub fn analyze(files: &[FileScan]) -> Vec<Diagnostic> {
                 }) {
                     push_diag(
                         f,
-                        call.line,
+                        call.name_line,
                         cat,
-                        format!("`{}` in handler-reachable fn `{}`", call.joined(), d.name),
+                        format!(
+                            "`{}` in handler-reachable {kind} `{}`",
+                            call.joined(),
+                            d.name
+                        ),
                     );
                     continue;
                 }
@@ -975,10 +1110,10 @@ pub fn analyze(files: &[FileScan]) -> Vec<Diagnostic> {
                 let (tfi, tdi) = defs[0];
                 push_diag(
                     f,
-                    call.line,
+                    call.name_line,
                     Category::Escape,
                     format!(
-                        "handler-reachable fn `{}` calls `{}`, defined without `// sigsafe` at {}:{}",
+                        "handler-reachable {kind} `{}` calls `{}`, defined without `// sigsafe` at {}:{}",
                         d.name,
                         name,
                         files[tfi].path.display(),
@@ -986,8 +1121,11 @@ pub fn analyze(files: &[FileScan]) -> Vec<Diagnostic> {
                     ),
                 );
                 // Traverse anyway when unambiguous, to surface root causes.
-                if defs.len() == 1 && visited.insert(defs[0]) {
-                    work.push(defs[0]);
+                if defs.len() == 1 {
+                    let (tfi, tdi) = defs[0];
+                    if visited.insert((false, tfi, tdi)) {
+                        work.push((false, tfi, tdi));
+                    }
                 }
                 continue;
             }
@@ -996,9 +1134,9 @@ pub fn analyze(files: &[FileScan]) -> Vec<Diagnostic> {
             if let Some(&(_, cat)) = NAME_DENY.iter().find(|(n, _)| *n == name) {
                 push_diag(
                     f,
-                    call.line,
+                    call.name_line,
                     cat,
-                    format!("`.{name}(..)` in handler-reachable fn `{}`", d.name),
+                    format!("`.{name}(..)` in handler-reachable {kind} `{}`", d.name),
                 );
             }
         }

@@ -1,0 +1,769 @@
+//! Atomics ordering-contract lint (pass 2 of `ult-verify`).
+//!
+//! Every atomic **field or static** must carry an ordering contract — a
+//! `// ordering: <protocol> [note]` comment on the declaration line or the
+//! line above. The lint then checks every `load`/`store`/RMW site against
+//! the declared protocol. Protocols:
+//!
+//! * `counter` — monotonic statistic or ID source; no ordering carries
+//!   data, every access ordering is accepted. The contract is the claim
+//!   that nothing synchronizes through this cell.
+//! * `acqrel` — release/acquire publication: stores must be `Release` (or
+//!   `SeqCst`), loads `Acquire` (or `SeqCst`), RMWs anything non-relaxed.
+//!   A `Relaxed` access is accepted only when a `fence(..)` call sits
+//!   within two lines of the site (the fence-based half of the protocol)
+//!   or the site carries an `// ordering-ok: <reason>` waiver.
+//! * `seqcst` — Dekker-style flag that needs a total store order: every
+//!   access must be `SeqCst`, with the same fence-adjacency / waiver
+//!   escape hatch for deliberately split `Relaxed` + `fence(SeqCst)`
+//!   sequences.
+//! * `relaxed <reason>` — explicitly unordered (lossy debug rings, hint
+//!   counters); the reason is mandatory and every access is accepted.
+//!
+//! Scope: a *missing* contract is an error only for declarations in
+//! `crates/core` (or everywhere with [`check`]'s `enforce_all`), but any
+//! declared contract is enforced at its access sites wherever it lives.
+//! Sites resolve to contracts by field name — same-file declarations take
+//! priority, then the union across files; a site is accepted if **any**
+//! matching contract permits it (the name-collision limitation shared
+//! with the sigsafe pass). Sites whose ordering argument is a variable
+//! rather than a literal `Ordering::*` path, and receivers with no
+//! resolvable field name (call results, fn-pointer tables), are skipped.
+//!
+//! Failure ordering of `compare_exchange`/`fetch_update` is not checked —
+//! only the success ordering publishes.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use crate::{lex, skip_item, Category, Diagnostic, Sp, Tok, KEYWORDS};
+
+/// Atomic type names that open a declaration or constructor.
+const ATOMIC_TYPES: &[&str] = &[
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "AtomicPtr",
+];
+
+/// Atomic access methods whose ordering arguments are checked.
+const ATOMIC_OPS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_nand",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+];
+
+const ORDER_NAMES: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Declared ordering protocol of one atomic field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Statistic/ID counter: nothing synchronizes through it.
+    Counter,
+    /// Release/acquire publication (fence-split relaxed accepted).
+    AcqRel,
+    /// Dekker flag: total store order required.
+    SeqCst,
+    /// Explicitly unordered, with a mandatory reason.
+    Relaxed,
+}
+
+impl Protocol {
+    fn name(self) -> &'static str {
+        match self {
+            Protocol::Counter => "counter",
+            Protocol::AcqRel => "acqrel",
+            Protocol::SeqCst => "seqcst",
+            Protocol::Relaxed => "relaxed",
+        }
+    }
+}
+
+/// One atomic field/static declaration found in a scanned file.
+#[derive(Debug)]
+struct Decl {
+    name: String,
+    file: usize,
+    line: u32,
+    /// Parsed contract; `None` when the declaration has no `// ordering:`
+    /// comment at all (parse *errors* are reported eagerly instead).
+    proto: Option<Protocol>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    Load,
+    Store,
+    Rmw,
+}
+
+/// One atomic access site.
+#[derive(Debug)]
+struct Site {
+    field: String,
+    file: usize,
+    line: u32,
+    op: &'static str,
+    kind: OpKind,
+    /// Literal `Ordering::*` names found in the argument list, in order.
+    /// For CAS/`fetch_update` only the first (success) entry is checked.
+    orders: Vec<&'static str>,
+}
+
+struct FileFacts {
+    path: PathBuf,
+    decls: Vec<Decl>,
+    sites: Vec<Site>,
+    /// Lines containing a `fence(..)` call.
+    fences: Vec<u32>,
+    /// `// ordering-ok: <reason>` waivers by line.
+    ordering_ok: HashMap<u32, String>,
+    /// Eager diagnostics (malformed contracts).
+    diags: Vec<Diagnostic>,
+}
+
+/// Check a set of already-read sources. `enforce_all` demands a contract
+/// on every atomic declaration; otherwise only `crates/core` declarations
+/// must carry one.
+pub fn check(files: &[(PathBuf, String)], enforce_all: bool) -> Vec<Diagnostic> {
+    // The model crate deliberately mirrors the runtime's protocol field
+    // names (`top`, `bottom`, …) so its ports read like the real code;
+    // the cross-file name union would check its sites against core's
+    // contracts. Its protocols are verified by the model checker itself,
+    // so this pass skips it entirely.
+    let facts: Vec<FileFacts> = files
+        .iter()
+        .filter(|(p, _)| !is_model_path(p))
+        .enumerate()
+        .map(|(fi, (p, src))| scan(fi, p, src))
+        .collect();
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for f in &facts {
+        diags.extend(f.diags.iter().cloned());
+    }
+
+    // Contract registry: name -> declarations (across all files).
+    let mut by_name: HashMap<&str, Vec<&Decl>> = HashMap::new();
+    for f in &facts {
+        for d in &f.decls {
+            by_name.entry(&d.name).or_default().push(d);
+        }
+    }
+
+    // Missing contracts.
+    for f in &facts {
+        let enforced = enforce_all || is_core_path(&f.path);
+        if !enforced {
+            continue;
+        }
+        for d in &f.decls {
+            if d.proto.is_none() {
+                diags.push(Diagnostic {
+                    file: f.path.clone(),
+                    line: d.line,
+                    category: Category::Contract,
+                    message: format!(
+                        "atomic `{}` has no `// ordering: <counter|acqrel|seqcst|relaxed>` \
+                         contract",
+                        d.name
+                    ),
+                });
+            }
+        }
+    }
+
+    // Site checks.
+    for f in &facts {
+        for s in &f.sites {
+            let Some(cands) = by_name.get(s.field.as_str()) else {
+                continue; // no contract anywhere: out of scope
+            };
+            let same_file: Vec<&&Decl> = cands.iter().filter(|d| d.file == s.file).collect();
+            let protos: Vec<Protocol> = if same_file.is_empty() {
+                cands.iter().filter_map(|d| d.proto).collect()
+            } else {
+                same_file.iter().filter_map(|d| d.proto).collect()
+            };
+            if protos.is_empty() {
+                continue; // only uncontracted declarations (already reported)
+            }
+            if f.ordering_ok.contains_key(&s.line)
+                || (s.line > 1 && f.ordering_ok.contains_key(&(s.line - 1)))
+            {
+                continue;
+            }
+            let checked: &[&str] = match s.kind {
+                OpKind::Rmw if s.op.starts_with("compare_exchange") || s.op == "fetch_update" => {
+                    if s.orders.is_empty() {
+                        &[]
+                    } else {
+                        &s.orders[..1]
+                    }
+                }
+                _ => &s.orders,
+            };
+            if checked.is_empty() {
+                continue; // dynamic ordering argument: out of scope
+            }
+            let fence_near = f
+                .fences
+                .iter()
+                .any(|&l| l.abs_diff(s.line) <= 2 && l != s.line);
+            let ok = protos
+                .iter()
+                .any(|&p| checked.iter().all(|&o| permits(p, s.kind, o, fence_near)));
+            if !ok {
+                let names: Vec<&str> = protos.iter().map(|p| p.name()).collect();
+                diags.push(Diagnostic {
+                    file: f.path.clone(),
+                    line: s.line,
+                    category: Category::Ordering,
+                    message: format!(
+                        "`{}.{}({})` violates the `{}` contract of `{}`{}",
+                        s.field,
+                        s.op,
+                        checked.join(", "),
+                        names.join("|"),
+                        s.field,
+                        if checked.contains(&"Relaxed") {
+                            " (no adjacent fence; add one within 2 lines, strengthen the \
+                             ordering, or waive with `// ordering-ok: <reason>`)"
+                        } else {
+                            ""
+                        }
+                    ),
+                });
+            }
+        }
+    }
+
+    diags.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    diags
+}
+
+/// Read and check files from disk (CLI entry point).
+pub fn check_paths(paths: &[PathBuf], enforce_all: bool) -> Vec<Diagnostic> {
+    let files: Vec<(PathBuf, String)> = paths
+        .iter()
+        .filter_map(|p| Some((p.clone(), std::fs::read_to_string(p).ok()?)))
+        .collect();
+    check(&files, enforce_all)
+}
+
+fn is_core_path(p: &Path) -> bool {
+    let s = p.to_string_lossy().replace('\\', "/");
+    s.contains("crates/core/")
+}
+
+fn is_model_path(p: &Path) -> bool {
+    let s = p.to_string_lossy().replace('\\', "/");
+    s.contains("crates/model/")
+}
+
+/// Does `proto` permit ordering `o` for an access of `kind`?
+fn permits(proto: Protocol, kind: OpKind, o: &str, fence_near: bool) -> bool {
+    match proto {
+        Protocol::Counter | Protocol::Relaxed => true,
+        Protocol::AcqRel => match o {
+            "SeqCst" => true,
+            "Acquire" => kind != OpKind::Store,
+            "Release" => kind != OpKind::Load,
+            "AcqRel" => kind == OpKind::Rmw,
+            "Relaxed" => fence_near,
+            _ => false,
+        },
+        Protocol::SeqCst => match o {
+            "SeqCst" => true,
+            "Relaxed" => fence_near,
+            _ => false,
+        },
+    }
+}
+
+fn parse_contract(text: &str) -> Result<Protocol, String> {
+    let mut it = text.split_whitespace();
+    let head = it.next().unwrap_or("");
+    let rest = it.next();
+    match head {
+        "counter" => Ok(Protocol::Counter),
+        "acqrel" => Ok(Protocol::AcqRel),
+        "seqcst" => Ok(Protocol::SeqCst),
+        "relaxed" => {
+            if rest.is_none() {
+                Err("`relaxed` contract requires a reason, e.g. \
+                     `// ordering: relaxed lossy debug ring`"
+                    .to_string())
+            } else {
+                Ok(Protocol::Relaxed)
+            }
+        }
+        "" => Err("empty `// ordering:` contract".to_string()),
+        other => Err(format!(
+            "unknown ordering protocol `{other}` (expected counter|acqrel|seqcst|relaxed)"
+        )),
+    }
+}
+
+/// Token-level scan of one file for declarations, access sites, fences.
+fn scan(file_idx: usize, path: &Path, src: &str) -> FileFacts {
+    let lexed = lex(src);
+    let toks = &lexed.toks;
+    let mut facts = FileFacts {
+        path: path.to_path_buf(),
+        decls: Vec::new(),
+        sites: Vec::new(),
+        fences: Vec::new(),
+        ordering_ok: lexed.ordering_ok,
+        diags: Vec::new(),
+    };
+
+    let punct = |s: &Sp, c: char| matches!(s.tok, Tok::Punct(p) if p == c);
+
+    // Brace-kind stack: `true` when the brace opens a struct/union body
+    // (field declarations live directly inside those).
+    let mut braces: Vec<bool> = Vec::new();
+    let mut pending_struct = false;
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct('#') => {
+                // Attribute: skip, and drop test-only items entirely (same
+                // policy as the sigsafe scanner — test atomics are not part
+                // of the audited surface).
+                let mut j = i + 1;
+                if j < toks.len() && punct(&toks[j], '!') {
+                    j += 1;
+                }
+                let mut is_test = false;
+                if j < toks.len() && punct(&toks[j], '[') {
+                    let mut bdepth = 1;
+                    let mut saw_not = false;
+                    j += 1;
+                    while j < toks.len() && bdepth > 0 {
+                        match &toks[j].tok {
+                            Tok::Punct('[') => bdepth += 1,
+                            Tok::Punct(']') => bdepth -= 1,
+                            Tok::Ident(id) if id == "not" => saw_not = true,
+                            Tok::Ident(id) if id == "test" && !saw_not => is_test = true,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+                i = j;
+                if is_test {
+                    i = skip_item(toks, i);
+                }
+            }
+            Tok::Punct('{') => {
+                braces.push(std::mem::take(&mut pending_struct));
+                i += 1;
+            }
+            Tok::Punct('}') => {
+                braces.pop();
+                i += 1;
+            }
+            Tok::Punct(';') => {
+                pending_struct = false;
+                i += 1;
+            }
+            Tok::Ident(id) if id == "struct" || id == "union" => {
+                pending_struct = true;
+                i += 1;
+            }
+            Tok::Ident(id) if id == "fence" => {
+                if toks.get(i + 1).is_some_and(|s| punct(s, '(')) {
+                    facts.fences.push(toks[i].line);
+                }
+                i += 1;
+            }
+            Tok::Ident(id) if ATOMIC_TYPES.contains(&id.as_str()) => {
+                // Constructor / path prefix (`AtomicUsize::new`)?
+                let is_path = toks.get(i + 1).is_some_and(|s| punct(s, ':'))
+                    && toks.get(i + 2).is_some_and(|s| punct(s, ':'));
+                if !is_path {
+                    if let Some((name, name_line)) =
+                        decl_name(toks, i, braces.last().copied().unwrap_or(false))
+                    {
+                        let contract = [name_line, name_line.saturating_sub(1), toks[i].line]
+                            .iter()
+                            .find_map(|l| lexed.ordering.get(l));
+                        let proto = match contract {
+                            None => None,
+                            Some(text) => match parse_contract(text) {
+                                Ok(p) => Some(p),
+                                Err(msg) => {
+                                    facts.diags.push(Diagnostic {
+                                        file: path.to_path_buf(),
+                                        line: name_line,
+                                        category: Category::Contract,
+                                        message: format!("atomic `{name}`: {msg}"),
+                                    });
+                                    Some(Protocol::Relaxed) // don't cascade
+                                }
+                            },
+                        };
+                        facts.decls.push(Decl {
+                            name,
+                            file: file_idx,
+                            line: name_line,
+                            proto,
+                        });
+                    }
+                }
+                i += 1;
+            }
+            Tok::Ident(id)
+                if ATOMIC_OPS.contains(&id.as_str())
+                    && i > 0
+                    && punct(&toks[i - 1], '.')
+                    && toks.get(i + 1).is_some_and(|s| punct(s, '(')) =>
+            {
+                let op = ATOMIC_OPS.iter().find(|&&o| o == id.as_str()).unwrap();
+                if let Some(field) = receiver_name(toks, i - 1) {
+                    let kind = match *op {
+                        "load" => OpKind::Load,
+                        "store" => OpKind::Store,
+                        _ => OpKind::Rmw,
+                    };
+                    // Collect literal Ordering::* names in the argument
+                    // list (bounded at 2: success + failure for CAS; a
+                    // `fetch_update` closure may contain nested sites,
+                    // which are scanned on their own).
+                    let mut orders: Vec<&'static str> = Vec::new();
+                    let mut depth = 0i32;
+                    let mut j = i + 1;
+                    while j < toks.len() {
+                        match &toks[j].tok {
+                            Tok::Punct('(') => depth += 1,
+                            Tok::Punct(')') => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            Tok::Ident(a) if orders.len() < 2 => {
+                                if let Some(&o) = ORDER_NAMES.iter().find(|&&n| n == a.as_str()) {
+                                    orders.push(o);
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    facts.sites.push(Site {
+                        field,
+                        file: file_idx,
+                        line: toks[i].line,
+                        op,
+                        kind,
+                        orders,
+                    });
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    facts
+}
+
+/// Walk backward from an atomic type token to the declared name, accepting
+/// only struct fields and statics. Returns `(name, name_line)`.
+fn decl_name(toks: &[Sp], at: usize, in_struct: bool) -> Option<(String, u32)> {
+    let mut p = at.checked_sub(1)?;
+    loop {
+        match &toks[p].tok {
+            // Type-position tokens between the name's `:` and the atomic:
+            // wrappers (`CacheAligned<`, `Box<[`), references, path
+            // segments (`std`, `sync`, `atomic`).
+            Tok::Punct('<') | Tok::Punct('[') | Tok::Punct('(') | Tok::Punct('&') => {
+                p = p.checked_sub(1)?;
+            }
+            Tok::Ident(_) => {
+                p = p.checked_sub(1)?;
+            }
+            Tok::Punct(':') => {
+                if p > 0 && matches!(toks[p - 1].tok, Tok::Punct(':')) {
+                    p = p.checked_sub(2)?;
+                } else {
+                    break; // the declaration's `name :`
+                }
+            }
+            _ => return None,
+        }
+    }
+    let name_sp = toks.get(p.checked_sub(1)?)?;
+    let Tok::Ident(name) = &name_sp.tok else {
+        return None;
+    };
+    if KEYWORDS.contains(&name.as_str()) {
+        return None;
+    }
+    // What precedes the name decides the declaration kind.
+    let before = p.checked_sub(2).map(|q| &toks[q].tok);
+    let is_static = matches!(before, Some(Tok::Ident(k)) if k == "static")
+        || (matches!(before, Some(Tok::Ident(k)) if k == "mut")
+            && p >= 3
+            && matches!(&toks[p - 3].tok, Tok::Ident(k) if k == "static"));
+    let is_local_or_param = matches!(
+        before,
+        Some(Tok::Ident(k)) if k == "let" || k == "const"
+    );
+    if is_static || (in_struct && !is_local_or_param) {
+        Some((name.clone(), name_sp.line))
+    } else {
+        None
+    }
+}
+
+/// Walk backward from the `.` before an atomic op to the field name:
+/// skips tuple-index projections (`.0`) and balanced index brackets
+/// (`handles[rank]`). Returns `None` for receivers with no field name
+/// (call results, paren expressions).
+fn receiver_name(toks: &[Sp], dot: usize) -> Option<String> {
+    let mut p = dot.checked_sub(1)?;
+    loop {
+        match &toks[p].tok {
+            Tok::Lit
+                // `.0` projection: must itself be preceded by a dot.
+                if p > 0 && matches!(toks[p - 1].tok, Tok::Punct('.')) => {
+                    p = p.checked_sub(2)?;
+                }
+            Tok::Punct(']') => {
+                let mut depth = 1i32;
+                p = p.checked_sub(1)?;
+                while depth > 0 {
+                    match &toks[p].tok {
+                        Tok::Punct(']') => depth += 1,
+                        Tok::Punct('[') => depth -= 1,
+                        _ => {}
+                    }
+                    if depth == 0 {
+                        break;
+                    }
+                    p = p.checked_sub(1)?;
+                }
+                p = p.checked_sub(1)?;
+            }
+            Tok::Ident(name) => {
+                if KEYWORDS.contains(&name.as_str()) {
+                    return None;
+                }
+                return Some(name.clone());
+            }
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        check(&[(PathBuf::from("mem.rs"), src.to_string())], true)
+    }
+
+    #[test]
+    fn missing_contract_is_flagged() {
+        let d = run("struct S {\n    flag: AtomicBool,\n}\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].category, Category::Contract);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn contract_on_line_above_or_same_line_attaches() {
+        let d = run(
+            "struct S {\n    // ordering: seqcst\n    a: AtomicBool,\n    b: AtomicU64, // ordering: counter\n}\n",
+        );
+        assert!(d.is_empty(), "{d:#?}");
+    }
+
+    #[test]
+    fn static_declarations_need_contracts() {
+        let d = run("static NEXT: AtomicUsize = AtomicUsize::new(0);\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].category, Category::Contract);
+    }
+
+    #[test]
+    fn qualified_static_type_resolves() {
+        let d = run(
+            "// ordering: counter\npub static HITS: std::sync::atomic::AtomicU64 =\n    std::sync::atomic::AtomicU64::new(0);\n",
+        );
+        assert!(d.is_empty(), "{d:#?}");
+    }
+
+    #[test]
+    fn locals_params_and_consts_are_ignored() {
+        let d = run(
+            "fn f(x: &AtomicU64) {\n    let y: AtomicBool = AtomicBool::new(false);\n    const Z: AtomicU64 = AtomicU64::new(0);\n}\n",
+        );
+        assert!(d.is_empty(), "{d:#?}");
+    }
+
+    #[test]
+    fn relaxed_contract_requires_reason() {
+        let d = run("struct S {\n    // ordering: relaxed\n    a: AtomicU64,\n}\n");
+        assert_eq!(d.len(), 1);
+        assert!(
+            d[0].message.contains("requires a reason"),
+            "{}",
+            d[0].message
+        );
+    }
+
+    #[test]
+    fn unknown_protocol_is_flagged() {
+        let d = run("struct S {\n    // ordering: sloppy\n    a: AtomicU64,\n}\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("unknown ordering protocol"));
+    }
+
+    #[test]
+    fn acqrel_store_must_release() {
+        let d = run(
+            "struct S {\n    // ordering: acqrel\n    head: AtomicUsize,\n}\nfn f(s: &S) {\n    s.head.store(1, Ordering::Relaxed);\n}\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].category, Category::Ordering);
+        assert_eq!(d[0].line, 6);
+    }
+
+    #[test]
+    fn acqrel_relaxed_with_adjacent_fence_passes() {
+        let d = run(
+            "struct S {\n    // ordering: acqrel\n    head: AtomicUsize,\n}\nfn f(s: &S) {\n    s.head.store(1, Ordering::Relaxed);\n    fence(Ordering::SeqCst);\n}\n",
+        );
+        assert!(d.is_empty(), "{d:#?}");
+    }
+
+    #[test]
+    fn ordering_ok_waiver_applies() {
+        let d = run(
+            "struct S {\n    // ordering: seqcst\n    flag: AtomicBool,\n}\nfn f(s: &S) {\n    // ordering-ok: audited handoff\n    s.flag.store(true, Ordering::Relaxed);\n}\n",
+        );
+        assert!(d.is_empty(), "{d:#?}");
+    }
+
+    #[test]
+    fn seqcst_contract_rejects_acquire() {
+        let d = run(
+            "struct S {\n    // ordering: seqcst\n    flag: AtomicBool,\n}\nfn f(s: &S) {\n    let _ = s.flag.load(Ordering::Acquire);\n}\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].category, Category::Ordering);
+    }
+
+    #[test]
+    fn cas_failure_ordering_is_ignored() {
+        let d = run(
+            "struct S {\n    // ordering: acqrel\n    top: AtomicIsize,\n}\nfn f(s: &S) {\n    let _ = s.top.compare_exchange(0, 1, Ordering::SeqCst, Ordering::Relaxed);\n}\n",
+        );
+        assert!(d.is_empty(), "{d:#?}");
+    }
+
+    #[test]
+    fn cache_aligned_wrapper_and_tuple_projection_resolve() {
+        let d = run(
+            "struct S {\n    // ordering: acqrel\n    top: CacheAligned<AtomicIsize>,\n}\nfn f(s: &S) {\n    s.top.0.store(1, Ordering::Relaxed);\n}\n",
+        );
+        assert_eq!(d.len(), 1, "{d:#?}");
+        assert!(d[0].message.contains("`top"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn indexed_receiver_resolves_to_field() {
+        let d = run(
+            "struct S {\n    // ordering: acqrel\n    handles: Vec<AtomicUsize>,\n}\nfn f(s: &S, r: usize) {\n    s.handles[r].store(1, Ordering::Relaxed);\n}\n",
+        );
+        assert_eq!(d.len(), 1, "{d:#?}");
+    }
+
+    #[test]
+    fn counter_contract_accepts_everything() {
+        let d = run(
+            "struct S {\n    // ordering: counter\n    n: AtomicU64,\n}\nfn f(s: &S) {\n    s.n.fetch_add(1, Ordering::Relaxed);\n    let _ = s.n.load(Ordering::Acquire);\n}\n",
+        );
+        assert!(d.is_empty(), "{d:#?}");
+    }
+
+    #[test]
+    fn test_module_atomics_are_skipped() {
+        let d = run("#[cfg(test)]\nmod tests {\n    struct S {\n        a: AtomicU64,\n    }\n}\n");
+        assert!(d.is_empty(), "{d:#?}");
+    }
+
+    #[test]
+    fn dynamic_ordering_argument_is_skipped() {
+        let d = run(
+            "struct S {\n    // ordering: seqcst\n    flag: AtomicBool,\n}\nfn f(s: &S, o: Ordering) {\n    s.flag.store(true, o);\n}\n",
+        );
+        assert!(d.is_empty(), "{d:#?}");
+    }
+
+    #[test]
+    fn missing_contract_not_enforced_outside_core_by_default() {
+        let d = check(
+            &[(
+                PathBuf::from("crates/sys/src/x.rs"),
+                "struct S {\n    a: AtomicU64,\n}\n".to_string(),
+            )],
+            false,
+        );
+        assert!(d.is_empty(), "{d:#?}");
+        let d = check(
+            &[(
+                PathBuf::from("crates/core/src/x.rs"),
+                "struct S {\n    a: AtomicU64,\n}\n".to_string(),
+            )],
+            false,
+        );
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn model_crate_is_skipped_entirely() {
+        // Even under enforce_all, and even though the site would violate a
+        // same-named core contract: the model crate mirrors protocol names
+        // on purpose and is checked by the model checker instead.
+        let d = check(
+            &[
+                (
+                    PathBuf::from("crates/core/src/x.rs"),
+                    "struct S {\n    // ordering: acqrel claim edge\n    top: AtomicUsize,\n}\n"
+                        .to_string(),
+                ),
+                (
+                    PathBuf::from("crates/model/src/protocols.rs"),
+                    "struct M {\n    top: AtomicUsize,\n}\nfn f(m: &M) {\n    m.top.store(1, Ordering::Relaxed);\n}\n"
+                        .to_string(),
+                ),
+            ],
+            true,
+        );
+        assert!(d.is_empty(), "{d:#?}");
+    }
+}

@@ -1,0 +1,61 @@
+//! Integration tests for the atomics ordering-contract pass: seeded
+//! positive/negative fixtures with pinned `(line, category)` pairs, and
+//! the real tree as a gate.
+
+use std::path::{Path, PathBuf};
+
+use ult_lint::ordering;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+#[test]
+fn violations_fixture_flags_every_class_at_exact_lines() {
+    let d = ordering::check_paths(&[fixture("ordering_violations.rs")], true);
+    let got: Vec<(u32, String)> = d.iter().map(|x| (x.line, x.category.to_string())).collect();
+    let want: Vec<(u32, String)> = [
+        (11, "contract"), // `bottom` has no contract at all
+        (14, "contract"), // `mode`: unknown protocol `sloppy`
+        (17, "contract"), // `hint`: relaxed without a reason
+        (27, "ordering"), // `top`: relaxed publication, no adjacent fence
+        (32, "ordering"), // `idle`: Acquire load of a seqcst Dekker flag
+    ]
+    .iter()
+    .map(|(l, c)| (*l, c.to_string()))
+    .collect();
+    assert_eq!(got, want, "diagnostics: {d:#?}");
+}
+
+#[test]
+fn missing_contract_only_enforced_for_core_by_default() {
+    // Same fixture without `enforce_all`: the missing-contract diagnostic
+    // for `bottom` drops (the fixture is not under crates/core/), but the
+    // malformed contracts and site violations remain.
+    let d = ordering::check_paths(&[fixture("ordering_violations.rs")], false);
+    assert_eq!(d.len(), 4, "diagnostics: {d:#?}");
+    assert!(d.iter().all(|x| x.line != 11), "{d:#?}");
+}
+
+#[test]
+fn clean_fixture_has_no_diagnostics() {
+    let d = ordering::check_paths(&[fixture("ordering_clean.rs")], true);
+    assert!(d.is_empty(), "unexpected diagnostics: {d:#?}");
+}
+
+/// CI gate in test form: every atomic in crates/core carries a contract
+/// and every access site satisfies it (or is explicitly waived in the
+/// source with a reason).
+#[test]
+fn real_tree_passes_ordering() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = ult_lint::find_workspace_root(manifest).expect("workspace root");
+    let files = ult_lint::workspace_sources(&root);
+    let d = ordering::check_paths(&files, false);
+    assert!(
+        d.is_empty(),
+        "the real tree must pass the ordering gate; fix, annotate, or waive:\n{d:#?}"
+    );
+}

@@ -1,0 +1,34 @@
+//! Plain-data slots with happens-before race detection — the model
+//! counterpart of the raw `*mut` slot accesses in the real deque/inbox
+//! code. Any read/write or write/write pair not ordered by the modeled
+//! synchronization is reported as a data race and fails the execution.
+
+use std::sync::Mutex;
+
+use crate::exec;
+
+/// A non-atomic cell whose every access is checked against the modeled
+/// happens-before relation (like loom's `UnsafeCell`, but value-typed).
+pub struct RaceCell<T: Copy> {
+    meta: usize,
+    val: Mutex<T>,
+}
+
+impl<T: Copy> RaceCell<T> {
+    pub fn new(v: T) -> Self {
+        RaceCell {
+            meta: exec::new_cell(),
+            val: Mutex::new(v),
+        }
+    }
+
+    pub fn get(&self) -> T {
+        exec::cell_read(self.meta);
+        *self.val.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn set(&self, v: T) {
+        exec::cell_write(self.meta);
+        *self.val.lock().unwrap_or_else(|e| e.into_inner()) = v;
+    }
+}

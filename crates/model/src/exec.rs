@@ -1,0 +1,813 @@
+//! Explorer core: baton-passing execution over real OS threads, a
+//! vector-clock memory model, and DFS over the recorded decision path.
+//!
+//! Exactly one model thread is *active* at a time; every model-visible
+//! operation (atomic access, fence, cell access, spawn, join, finish)
+//! takes a turn under the single engine mutex, performs its effect,
+//! then picks the next active thread. Scheduling picks and load-value
+//! picks both go through [`Controller::decide`], which records them on a
+//! path; after each execution the path is advanced odometer-style, giving
+//! an exhaustive depth-first sweep with deterministic prefix replay.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+/// Per-thread vector clock (grows on demand as threads spawn).
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    fn get(&self, i: usize) -> u64 {
+        self.0.get(i).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self, i: usize) {
+        if self.0.len() <= i {
+            self.0.resize(i + 1, 0);
+        }
+        self.0[i] += 1;
+    }
+
+    fn join(&mut self, o: &VClock) {
+        if self.0.len() < o.0.len() {
+            self.0.resize(o.0.len(), 0);
+        }
+        for (i, v) in o.0.iter().enumerate() {
+            if *v > self.0[i] {
+                self.0[i] = *v;
+            }
+        }
+    }
+
+    /// `self` happens-before-or-equals `o`.
+    fn leq(&self, o: &VClock) -> bool {
+        self.0.iter().enumerate().all(|(i, v)| *v <= o.get(i))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution state
+// ---------------------------------------------------------------------------
+
+/// One entry in an atomic location's store history.
+#[derive(Clone, Debug)]
+struct StoreEntry {
+    val: u64,
+    /// Writer's clock at the store: visibility/coherence (a reader whose
+    /// clock dominates `when` can no longer read anything older).
+    when: VClock,
+    /// Release clock transferred to acquire readers.
+    rel: VClock,
+}
+
+struct Loc {
+    stores: Vec<StoreEntry>,
+}
+
+/// Happens-before metadata of one [`crate::cell::RaceCell`].
+struct CellMeta {
+    last_write: (usize, VClock),
+    reads: Vec<(usize, VClock)>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    Run,
+    Blocked(usize),
+    Finished,
+}
+
+struct Th {
+    clock: VClock,
+    /// Clock staged by `fence(Release)` for later relaxed stores.
+    fence_rel: VClock,
+    /// Release clocks banked by relaxed loads for `fence(Acquire)`.
+    acq_pending: VClock,
+    /// Per-location coherence floor: minimum readable store index.
+    view: Vec<u64>,
+    state: TState,
+}
+
+impl Th {
+    fn new(clock: VClock) -> Self {
+        Th {
+            clock,
+            fence_rel: VClock::default(),
+            acq_pending: VClock::default(),
+            view: Vec::new(),
+            state: TState::Run,
+        }
+    }
+}
+
+struct Exec {
+    threads: Vec<Th>,
+    locs: Vec<Loc>,
+    cells: Vec<CellMeta>,
+    /// Global SC clock ("SeqCst as strong fence" approximation).
+    sc: VClock,
+    active: usize,
+    steps: usize,
+    live: usize,
+    failure: Option<String>,
+    oplog: Vec<(usize, &'static str)>,
+}
+
+impl Exec {
+    fn new() -> Self {
+        let mut clock = VClock::default();
+        clock.bump(0);
+        Exec {
+            threads: vec![Th::new(clock)],
+            locs: Vec::new(),
+            cells: Vec::new(),
+            sc: VClock::default(),
+            active: 0,
+            steps: 0,
+            live: 1,
+            failure: None,
+            oplog: Vec::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DFS controller
+// ---------------------------------------------------------------------------
+
+/// Recorded decision path: prefix-replayed each execution, advanced
+/// odometer-style between executions. Single-option decisions are not
+/// recorded (they cannot branch).
+struct Controller {
+    path: Vec<(u32, u32)>, // (chosen, options)
+    depth: usize,
+}
+
+impl Controller {
+    fn decide(&mut self, options: usize) -> usize {
+        if options <= 1 {
+            return 0;
+        }
+        if self.depth < self.path.len() {
+            let (c, o) = self.path[self.depth];
+            assert_eq!(
+                o as usize, options,
+                "model replay diverged: a decision point changed arity — \
+                 the checked closure is nondeterministic outside model types"
+            );
+            self.depth += 1;
+            c as usize
+        } else {
+            self.path.push((0, options as u32));
+            self.depth += 1;
+            0
+        }
+    }
+
+    /// Advance to the next unexplored path; `false` when exhausted.
+    fn advance(&mut self) -> bool {
+        self.depth = 0;
+        while let Some(last) = self.path.last_mut() {
+            if last.0 + 1 < last.1 {
+                last.0 += 1;
+                return true;
+            }
+            self.path.pop();
+        }
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+pub(crate) struct Inner {
+    exec: Exec,
+    ctl: Controller,
+    max_steps: usize,
+}
+
+pub(crate) struct Engine {
+    m: Mutex<Inner>,
+    cv: Condvar,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Engine {
+    /// Poison-tolerant lock: a failing execution unwinds through turn
+    /// holders by design, and every datum behind the mutex stays
+    /// consistent (failure is recorded before any such unwind).
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Engine>, usize)>> = const { RefCell::new(None) };
+}
+
+fn ctx() -> (Arc<Engine>, usize) {
+    CTX.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("ult-model type used outside model::check / model::outcomes")
+    })
+}
+
+/// Payload used to unwind a model thread once the execution has failed;
+/// recognized (and swallowed) by the thread wrapper.
+struct Abort;
+
+fn abort_panic() -> ! {
+    std::panic::resume_unwind(Box::new(Abort));
+}
+
+/// Record the first failure with an op-log tail for attribution.
+fn fail(g: &mut Inner, msg: String) {
+    if g.exec.failure.is_none() {
+        let tail: Vec<String> = g
+            .exec
+            .oplog
+            .iter()
+            .rev()
+            .take(40)
+            .rev()
+            .map(|(t, op)| format!("t{t}:{op}"))
+            .collect();
+        g.exec.failure = Some(format!(
+            "{msg}\n  after {} steps; recent ops: [{}]",
+            g.exec.steps,
+            tail.join(" ")
+        ));
+    }
+}
+
+/// Pick the next active thread (or detect deadlock).
+fn schedule_next(g: &mut Inner, current: usize) {
+    let n = g.exec.threads.len();
+    // Rotation puts the current thread first so the leftmost DFS path
+    // keeps the baton (fewer condvar handoffs), deterministically.
+    let runnable: Vec<usize> = (0..n)
+        .map(|i| (current + i) % n)
+        .filter(|&i| g.exec.threads[i].state == TState::Run)
+        .collect();
+    if runnable.is_empty() {
+        if g.exec.live > 0 {
+            fail(
+                g,
+                format!("deadlock: {} live thread(s), none runnable", g.exec.live),
+            );
+        }
+        return;
+    }
+    let k = g.ctl.decide(runnable.len());
+    g.exec.active = runnable[k];
+}
+
+/// Take a turn: wait until this thread is active, apply `f`, pick the
+/// next thread. Every model-visible operation funnels through here. A
+/// panic out of `f` (assertion, race detection) is a model failure: it
+/// unwinds to the thread wrapper, which records the teardown.
+fn with_turn<R>(op: &'static str, f: impl FnOnce(&mut Inner, usize) -> R) -> R {
+    let (eng, tid) = ctx();
+    let mut g = eng.lock();
+    loop {
+        if g.exec.failure.is_some() {
+            drop(g);
+            abort_panic();
+        }
+        if g.exec.active == tid {
+            break;
+        }
+        g = eng.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+    }
+    g.exec.steps += 1;
+    if g.exec.steps > g.max_steps {
+        let cap = g.max_steps;
+        fail(&mut g, format!("livelock: exceeded {cap} steps"));
+        eng.cv.notify_all();
+        drop(g);
+        abort_panic();
+    }
+    if g.exec.oplog.len() < 10_000 {
+        g.exec.oplog.push((tid, op));
+    }
+    g.exec.threads[tid].clock.bump(tid);
+    let r = f(&mut g, tid);
+    schedule_next(&mut g, tid);
+    eng.cv.notify_all();
+    drop(g);
+    r
+}
+
+// ---------------------------------------------------------------------------
+// Thread lifecycle
+// ---------------------------------------------------------------------------
+
+fn spawn_os(eng: Arc<Engine>, tid: usize, body: impl FnOnce() + Send + 'static) {
+    let eng2 = eng.clone();
+    let h = std::thread::Builder::new()
+        .name(format!("model-t{tid}"))
+        .spawn(move || {
+            CTX.with(|c| *c.borrow_mut() = Some((eng2.clone(), tid)));
+            let r = catch_unwind(AssertUnwindSafe(body));
+            let mut g = eng2.lock();
+            match r {
+                Ok(()) => {
+                    // Normal completion: finishing is itself a scheduled
+                    // op, so replay stays deterministic.
+                    while g.exec.failure.is_none() && g.exec.active != tid {
+                        g = eng2.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+                    }
+                    if g.exec.failure.is_none() {
+                        g.exec.steps += 1;
+                        finish_thread(&mut g, tid);
+                        schedule_next(&mut g, tid);
+                    } else {
+                        finish_thread(&mut g, tid);
+                    }
+                }
+                Err(p) => {
+                    if p.downcast_ref::<Abort>().is_none() {
+                        let msg = p
+                            .downcast_ref::<String>()
+                            .cloned()
+                            .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+                            .unwrap_or_else(|| "model thread panicked".to_string());
+                        fail(&mut g, format!("thread t{tid} panicked: {msg}"));
+                    }
+                    finish_thread(&mut g, tid);
+                }
+            }
+            eng2.cv.notify_all();
+        })
+        .expect("spawn model OS thread");
+    eng.handles
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(h);
+}
+
+fn finish_thread(g: &mut Inner, tid: usize) {
+    if g.exec.threads[tid].state == TState::Finished {
+        return;
+    }
+    g.exec.threads[tid].state = TState::Finished;
+    g.exec.live -= 1;
+    for th in g.exec.threads.iter_mut() {
+        if th.state == TState::Blocked(tid) {
+            th.state = TState::Run;
+        }
+    }
+}
+
+/// Register a new model thread and start its OS thread (see
+/// [`crate::thread::spawn`]).
+pub(crate) fn spawn_thread(body: impl FnOnce() + Send + 'static) -> usize {
+    let (eng, _) = ctx();
+    let tid = with_turn("spawn", |g, me| {
+        let tid = g.exec.threads.len();
+        let mut clock = g.exec.threads[me].clock.clone();
+        clock.bump(tid);
+        g.exec.threads.push(Th::new(clock));
+        g.exec.live += 1;
+        tid
+    });
+    spawn_os(eng, tid, body);
+    tid
+}
+
+/// One join attempt; `true` when the target has finished (and its clock
+/// has been joined), `false` after blocking on it.
+pub(crate) fn try_join(target: usize) -> bool {
+    with_turn("join", |g, me| {
+        if g.exec.threads[target].state == TState::Finished {
+            let c = g.exec.threads[target].clock.clone();
+            g.exec.threads[me].clock.join(&c);
+            true
+        } else {
+            g.exec.threads[me].state = TState::Blocked(target);
+            false
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Memory-model operations (called by sync.rs / cell.rs)
+// ---------------------------------------------------------------------------
+
+use std::sync::atomic::Ordering;
+
+pub(crate) fn new_loc(init: u64) -> usize {
+    with_turn("new-atomic", |g, tid| {
+        let when = g.exec.threads[tid].clock.clone();
+        g.exec.locs.push(Loc {
+            stores: vec![StoreEntry {
+                val: init,
+                when,
+                rel: VClock::default(),
+            }],
+        });
+        g.exec.locs.len() - 1
+    })
+}
+
+fn view_of(g: &Inner, tid: usize, loc: usize) -> u64 {
+    g.exec.threads[tid].view.get(loc).copied().unwrap_or(0)
+}
+
+fn set_view(g: &mut Inner, tid: usize, loc: usize, ts: u64) {
+    let v = &mut g.exec.threads[tid].view;
+    if v.len() <= loc {
+        v.resize(loc + 1, 0);
+    }
+    if ts > v[loc] {
+        v[loc] = ts;
+    }
+}
+
+fn sc_pre(g: &mut Inner, tid: usize, ord: Ordering) {
+    if ord == Ordering::SeqCst {
+        let sc = g.exec.sc.clone();
+        g.exec.threads[tid].clock.join(&sc);
+    }
+}
+
+fn sc_post(g: &mut Inner, tid: usize, ord: Ordering) {
+    if ord == Ordering::SeqCst {
+        let c = g.exec.threads[tid].clock.clone();
+        g.exec.sc.join(&c);
+    }
+}
+
+fn acquire_read(g: &mut Inner, tid: usize, rel: &VClock, ord: Ordering) {
+    match ord {
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst => {
+            g.exec.threads[tid].clock.join(rel)
+        }
+        _ => g.exec.threads[tid].acq_pending.join(rel),
+    }
+}
+
+pub(crate) fn op_load(loc: usize, ord: Ordering) -> u64 {
+    assert!(
+        matches!(
+            ord,
+            Ordering::Relaxed | Ordering::Acquire | Ordering::SeqCst
+        ),
+        "invalid load ordering"
+    );
+    with_turn("load", |g, tid| {
+        sc_pre(g, tid, ord);
+        let clock = g.exec.threads[tid].clock.clone();
+        let floor = view_of(g, tid, loc);
+        let stores = &g.exec.locs[loc].stores;
+        // Readable: not below the coherence floor, not superseded by a
+        // store this thread already happens-after. Newest first, so the
+        // leftmost DFS path behaves like a sequential execution.
+        let mut readable: Vec<usize> = (0..stores.len())
+            .filter(|&i| {
+                (i as u64) >= floor && !stores[i + 1..].iter().any(|e2| e2.when.leq(&clock))
+            })
+            .collect();
+        readable.reverse();
+        debug_assert!(!readable.is_empty(), "no readable store (model bug)");
+        let i = readable[g.ctl.decide(readable.len())];
+        let e = g.exec.locs[loc].stores[i].clone();
+        set_view(g, tid, loc, i as u64);
+        acquire_read(g, tid, &e.rel, ord);
+        sc_post(g, tid, ord);
+        e.val
+    })
+}
+
+pub(crate) fn op_store(loc: usize, val: u64, ord: Ordering) {
+    assert!(
+        matches!(
+            ord,
+            Ordering::Relaxed | Ordering::Release | Ordering::SeqCst
+        ),
+        "invalid store ordering"
+    );
+    with_turn("store", |g, tid| {
+        sc_pre(g, tid, ord);
+        let clock = g.exec.threads[tid].clock.clone();
+        let rel = match ord {
+            Ordering::Release | Ordering::SeqCst => clock.clone(),
+            _ => g.exec.threads[tid].fence_rel.clone(),
+        };
+        let ts = g.exec.locs[loc].stores.len() as u64;
+        g.exec.locs[loc].stores.push(StoreEntry {
+            val,
+            when: clock,
+            rel,
+        });
+        set_view(g, tid, loc, ts);
+        sc_post(g, tid, ord);
+    })
+}
+
+/// RMW body, run under an already-taken turn: reads the latest store
+/// (atomicity) and extends its release sequence.
+fn rmw_in_turn(g: &mut Inner, tid: usize, loc: usize, new: u64, ord: Ordering) -> u64 {
+    sc_pre(g, tid, ord);
+    let last = g.exec.locs[loc].stores.last().unwrap().clone();
+    acquire_read(g, tid, &last.rel, ord);
+    let clock = g.exec.threads[tid].clock.clone();
+    let mut rel = match ord {
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst => clock.clone(),
+        _ => g.exec.threads[tid].fence_rel.clone(),
+    };
+    rel.join(&last.rel);
+    let ts = g.exec.locs[loc].stores.len() as u64;
+    g.exec.locs[loc].stores.push(StoreEntry {
+        val: new,
+        when: clock,
+        rel,
+    });
+    set_view(g, tid, loc, ts);
+    sc_post(g, tid, ord);
+    last.val
+}
+
+pub(crate) fn op_rmw(loc: usize, f: impl Fn(u64) -> u64, ord: Ordering) -> u64 {
+    with_turn("rmw", |g, tid| {
+        let cur = g.exec.locs[loc].stores.last().unwrap().val;
+        rmw_in_turn(g, tid, loc, f(cur), ord)
+    })
+}
+
+pub(crate) fn op_cas(
+    loc: usize,
+    expected: u64,
+    new: u64,
+    succ: Ordering,
+    fail_ord: Ordering,
+) -> Result<u64, u64> {
+    with_turn("cas", |g, tid| {
+        let last = g.exec.locs[loc].stores.last().unwrap().clone();
+        if last.val == expected {
+            Ok(rmw_in_turn(g, tid, loc, new, succ))
+        } else {
+            // Failed CAS: a load. Approximation: reads the latest store
+            // only (the retry loops this models re-read anyway).
+            sc_pre(g, tid, fail_ord);
+            acquire_read(g, tid, &last.rel, fail_ord);
+            let ts = g.exec.locs[loc].stores.len() as u64 - 1;
+            set_view(g, tid, loc, ts);
+            sc_post(g, tid, fail_ord);
+            Err(last.val)
+        }
+    })
+}
+
+pub(crate) fn op_fence(ord: Ordering) {
+    assert!(
+        matches!(
+            ord,
+            Ordering::Acquire | Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+        ),
+        "invalid fence ordering"
+    );
+    with_turn("fence", |g, tid| {
+        if matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst) {
+            let p = g.exec.threads[tid].acq_pending.clone();
+            g.exec.threads[tid].clock.join(&p);
+        }
+        if ord == Ordering::SeqCst {
+            let sc = g.exec.sc.clone();
+            g.exec.threads[tid].clock.join(&sc);
+        }
+        if matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst) {
+            let c = g.exec.threads[tid].clock.clone();
+            g.exec.threads[tid].fence_rel.join(&c);
+        }
+        if ord == Ordering::SeqCst {
+            let c = g.exec.threads[tid].clock.clone();
+            g.exec.sc.join(&c);
+        }
+    })
+}
+
+// Cell (plain data) operations: happens-before race detection.
+
+pub(crate) fn new_cell() -> usize {
+    with_turn("new-cell", |g, tid| {
+        let clock = g.exec.threads[tid].clock.clone();
+        g.exec.cells.push(CellMeta {
+            last_write: (tid, clock),
+            reads: Vec::new(),
+        });
+        g.exec.cells.len() - 1
+    })
+}
+
+pub(crate) fn cell_read(cell: usize) {
+    with_turn("cell-read", |g, tid| {
+        let clock = g.exec.threads[tid].clock.clone();
+        let (w, when) = {
+            let m = &g.exec.cells[cell];
+            (m.last_write.0, m.last_write.1.clone())
+        };
+        if !when.leq(&clock) {
+            fail(
+                g,
+                format!("data race: t{tid} reads a cell while t{w}'s write is unordered"),
+            );
+            panic!("model failure (data race)");
+        }
+        g.exec.cells[cell].reads.push((tid, clock));
+    })
+}
+
+pub(crate) fn cell_write(cell: usize) {
+    with_turn("cell-write", |g, tid| {
+        let clock = g.exec.threads[tid].clock.clone();
+        let (w, wwhen) = {
+            let m = &g.exec.cells[cell];
+            (m.last_write.0, m.last_write.1.clone())
+        };
+        if !wwhen.leq(&clock) {
+            fail(
+                g,
+                format!("data race: t{tid} writes a cell while t{w}'s write is unordered"),
+            );
+            panic!("model failure (data race)");
+        }
+        let racy_read = g.exec.cells[cell]
+            .reads
+            .iter()
+            .find(|(_, rc)| !rc.leq(&clock))
+            .map(|(r, _)| *r);
+        if let Some(r) = racy_read {
+            fail(
+                g,
+                format!("data race: t{tid} writes a cell while t{r}'s read is unordered"),
+            );
+            panic!("model failure (data race)");
+        }
+        g.exec.cells[cell].last_write = (tid, clock);
+        g.exec.cells[cell].reads.clear();
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// Exploration limits.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Per-execution step cap (livelock guard).
+    pub max_steps: usize,
+    /// Total execution cap. Exceeding it is an error unless
+    /// `allow_partial` (or `ULT_MODEL_PARTIAL=1`).
+    pub max_executions: u64,
+    /// Stop at the cap with `Report::partial` instead of panicking.
+    pub allow_partial: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let max_executions = std::env::var("ULT_MODEL_MAX_EXECS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2_000_000);
+        let allow_partial = std::env::var("ULT_MODEL_PARTIAL").is_ok_and(|v| v == "1");
+        Config {
+            max_steps: 10_000,
+            max_executions,
+            allow_partial,
+        }
+    }
+}
+
+/// Exploration summary.
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// Executions explored.
+    pub executions: u64,
+    /// True when the execution cap cut the sweep short.
+    pub partial: bool,
+}
+
+/// Explore every interleaving of `f`, collecting its return values.
+/// Panics on the first failing execution (assertion, data race,
+/// deadlock, livelock) with the failure trace and decision path.
+pub fn explore<T, F>(cfg: Config, f: F) -> (Report, BTreeSet<T>)
+where
+    T: Ord + Send + 'static,
+    F: Fn() -> T + Send + Sync + 'static,
+{
+    let eng = Arc::new(Engine {
+        m: Mutex::new(Inner {
+            exec: Exec::new(),
+            ctl: Controller {
+                path: Vec::new(),
+                depth: 0,
+            },
+            max_steps: cfg.max_steps,
+        }),
+        cv: Condvar::new(),
+        handles: Mutex::new(Vec::new()),
+    });
+    let f = Arc::new(f);
+    let mut results = BTreeSet::new();
+    let mut executions: u64 = 0;
+    let mut partial = false;
+
+    loop {
+        if executions >= cfg.max_executions {
+            if cfg.allow_partial {
+                partial = true;
+                eprintln!(
+                    "ult-model: partial exploration ({executions} executions, cap {})",
+                    cfg.max_executions
+                );
+                break;
+            }
+            panic!(
+                "ult-model: state space exceeds max_executions={} — shrink the \
+                 scenario or raise ULT_MODEL_MAX_EXECS / set ULT_MODEL_PARTIAL=1",
+                cfg.max_executions
+            );
+        }
+        executions += 1;
+        {
+            let mut g = eng.lock();
+            g.exec = Exec::new();
+            g.ctl.depth = 0;
+        }
+        let slot: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+        let (slot2, f2) = (slot.clone(), f.clone());
+        spawn_os(eng.clone(), 0, move || {
+            let v = f2();
+            *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+        });
+        // Join every OS thread of this execution. The handle list grows
+        // while model threads spawn, but each handle is pushed before its
+        // spawner can finish, so draining to empty joins them all.
+        loop {
+            let h = eng.handles.lock().unwrap_or_else(|e| e.into_inner()).pop();
+            match h {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+        let advanced = {
+            let mut g = eng.lock();
+            if let Some(failure) = g.exec.failure.take() {
+                let trace: Vec<String> =
+                    g.ctl.path.iter().map(|(c, o)| format!("{c}/{o}")).collect();
+                panic!(
+                    "model check failed on execution {executions}:\n  {failure}\n  \
+                     decision path: [{}]",
+                    trace.join(" ")
+                );
+            }
+            g.ctl.advance()
+        };
+        if let Some(v) = slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            results.insert(v);
+        }
+        if !advanced {
+            break;
+        }
+    }
+    (
+        Report {
+            executions,
+            partial,
+        },
+        results,
+    )
+}
+
+/// Exhaustively check `f` (panics on any failing interleaving).
+pub fn check<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    explore(Config::default(), move || {
+        f();
+    })
+    .0
+}
+
+/// Explore `f` and return the set of observed outcomes.
+pub fn outcomes<T, F>(f: F) -> BTreeSet<T>
+where
+    T: Ord + Send + 'static,
+    F: Fn() -> T + Send + Sync + 'static,
+{
+    explore(Config::default(), f).1
+}

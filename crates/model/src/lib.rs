@@ -1,0 +1,61 @@
+//! `ult-model` — a loom-style bounded model checker for the runtime's
+//! lock-free hot paths (pass 3 of `ult-verify`).
+//!
+//! The static passes in `ult-lint` check *declared* ordering contracts;
+//! this crate checks the *protocols themselves* by exhaustively exploring
+//! every interleaving (and every weak-memory read) of a small bounded
+//! scenario:
+//!
+//! * [`sync`] provides `Atomic*` / [`sync::fence`] shims with the same
+//!   surface as `std::sync::atomic`, and [`cell::RaceCell`] for
+//!   plain-data slots with happens-before race detection.
+//! * [`thread`] provides `spawn`/`join` over model threads.
+//! * [`check`] / [`outcomes`] run a closure under every schedule the
+//!   explorer can reach, using depth-first search over a recorded
+//!   decision path (scheduling choices *and* load-value choices).
+//!
+//! # Memory model
+//!
+//! A vector-clock approximation of C11 release/acquire + SC fences:
+//!
+//! * every atomic location keeps its full store history; a load may read
+//!   any entry that is neither older than the thread's per-location view
+//!   (coherence) nor superseded by a store the thread already
+//!   happens-after — each readable entry is a branch point;
+//! * `Release` stores carry the writer's clock; `Acquire` loads join it.
+//!   `Relaxed` loads bank the clock for a later `fence(Acquire)`;
+//!   `fence(Release)` pre-stages the clock for later `Relaxed` stores;
+//! * RMWs always read the latest store (atomicity) and carry the release
+//!   sequence forward;
+//! * `SeqCst` operations and fences additionally join a global SC clock
+//!   both ways — the "SC as strong fence" approximation. It validates
+//!   the store-buffering litmus (see `tests/litmus.rs`) and is strong
+//!   enough for every protocol modeled here, while staying sound for
+//!   *detecting* the seeded mutations (a weaker model only finds more
+//!   executions, never fewer).
+//!
+//! Deliberate approximations, chosen for state-space economy: a failed
+//! `compare_exchange` reads the latest store only, `compare_exchange_weak`
+//! never fails spuriously, and consume ordering is not modeled.
+//!
+//! # Scope
+//!
+//! Scenarios must be small (two or three threads, a few operations each):
+//! the explorer is exhaustive, not clever — no partial-order reduction.
+//! Executions are capped ([`Config::max_executions`]) and each execution
+//! is step-capped against livelock. `ULT_MODEL_MAX_EXECS` overrides the
+//! cap; `ULT_MODEL_PARTIAL=1` turns cap overflow from an error into a
+//! partial (logged) result, which is what `run_all.sh --quick` uses.
+//!
+//! The protocol ports live in [`protocols`]; `tests/protocols.rs` runs
+//! them, including the mutation test that seeds a fence downgrade in the
+//! Chase–Lev `take_bottom` and asserts the explorer reports the
+//! double-claim.
+
+pub mod cell;
+mod exec;
+pub mod protocols;
+pub mod sync;
+pub mod thread;
+
+pub use exec::{check, explore, outcomes, Config, Report};

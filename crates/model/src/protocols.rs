@@ -1,0 +1,381 @@
+//! Bounded model ports of the runtime's lock-free protocols, with the
+//! exact orderings of the real code in `crates/core`:
+//!
+//! * [`ModelDeque`] — the Chase–Lev owner pop vs steal race of
+//!   `ThreadPool::take_bottom` / `take_top` (`pool.rs`), with a mutation
+//!   hook that downgrades the `take_bottom` SeqCst fence (the seeded bug
+//!   the mutation test must catch: with two elements, a stale `top` read
+//!   lets the owner claim the last slot without the CAS while a stealer's
+//!   stale `bottom` read claims the same slot through it).
+//! * [`ModelInbox`] — the remote-inbox CAS push (`inbox_push_raw`) vs the
+//!   owner's check-then-swap drain (`drain_inbox`). `ThreadPool::retire`
+//!   links retired ring generations with the identical CAS chain, so the
+//!   concurrent-retire scenario reuses this type.
+//! * [`ModelEpoch`] — ring-generation growth (`grow_owner`): copy the
+//!   live window, then Release-publish the new buffer; the stealer's
+//!   Acquire `buf` load is what makes its slot read race-free, which the
+//!   [`RaceCell`] slots verify directly.
+//! * [`ModelTick`] — the tick-elision Dekker pairing (`worker::try_elide`
+//!   vs `sched::rearm_on_push`): flag store, fence, work check — against —
+//!   work publish, fence, flag check. The invariant is that published
+//!   work never ends with the tick still elided.
+//!
+//! Every scenario keeps the concurrent window to a handful of operations
+//! per thread: the explorer is exhaustive and pays for every extra op.
+
+use std::sync::Arc;
+
+use crate::cell::RaceCell;
+use crate::sync::{fence, AtomicBool, AtomicIsize, AtomicUsize, Ordering};
+use crate::thread;
+
+// ---------------------------------------------------------------------------
+// Chase–Lev deque: take_bottom vs take_top
+// ---------------------------------------------------------------------------
+
+/// Fixed-capacity model of the work-stealing deque (`pool.rs`). No
+/// wraparound: bounded scenarios never reuse a slot.
+pub struct ModelDeque {
+    top: AtomicIsize,
+    bottom: AtomicIsize,
+    slots: Vec<RaceCell<u64>>,
+    /// `SeqCst` in the real code (`take_bottom`, pool.rs); the mutation
+    /// test downgrades it to `Acquire`.
+    take_fence: Ordering,
+}
+
+impl ModelDeque {
+    pub fn new(cap: usize, take_fence: Ordering) -> Self {
+        ModelDeque {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            slots: (0..cap).map(|_| RaceCell::new(0)).collect(),
+            take_fence,
+        }
+    }
+
+    /// Owner push (`push_raw_bottom`): slot write, then Release bottom.
+    pub fn push(&self, v: u64) {
+        // ordering mirrors pool.rs: owner-exclusive bottom read
+        let b = self.bottom.load(Ordering::Relaxed);
+        self.slots[b as usize].set(v);
+        self.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Owner pop (`take_bottom`): reserve bottom, fence, read top; the
+    /// last element is raced through the SeqCst top CAS.
+    pub fn take_bottom(&self) -> Option<u64> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        fence(self.take_fence);
+        let t = self.top.load(Ordering::Relaxed);
+        if t > b {
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        let v = self.slots[b as usize].get();
+        if t == b {
+            let won = self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            if !won {
+                return None;
+            }
+        }
+        Some(v)
+    }
+
+    /// One steal attempt (`take_top`, single iteration — the retry loop
+    /// is the caller's business and would blow up the state space).
+    pub fn steal_once(&self) -> Option<u64> {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return None;
+        }
+        let v = self.slots[t as usize].get();
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            Some(v)
+        } else {
+            None
+        }
+    }
+}
+
+/// Two elements, one owner pop racing one stealer doing two attempts:
+/// every element must be claimed at most once. With the faithful SeqCst
+/// take fence this holds in every interleaving; with the downgraded
+/// fence the owner and the stealer can both claim the last slot.
+pub fn deque_take_vs_steal(downgrade_take_fence: bool) {
+    let take_fence = if downgrade_take_fence {
+        Ordering::Acquire
+    } else {
+        Ordering::SeqCst
+    };
+    let d = Arc::new(ModelDeque::new(2, take_fence));
+    d.push(1);
+    d.push(2);
+    let d2 = d.clone();
+    let stealer = thread::spawn(move || {
+        let mut got = Vec::new();
+        for _ in 0..2 {
+            if let Some(v) = d2.steal_once() {
+                got.push(v);
+            }
+        }
+        got
+    });
+    let mut claimed = Vec::new();
+    if let Some(v) = d.take_bottom() {
+        claimed.push(v);
+    }
+    claimed.extend(stealer.join());
+    claimed.sort_unstable();
+    for w in claimed.windows(2) {
+        assert_ne!(w[0], w[1], "double claim: element {} claimed twice", w[0]);
+    }
+    for v in &claimed {
+        assert!(*v == 1 || *v == 2, "claimed a value never pushed: {v}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Remote inbox / retired list: CAS push vs swap drain
+// ---------------------------------------------------------------------------
+
+/// Intrusive CAS-linked list with the inbox orderings (`inbox_push_raw` /
+/// `drain_inbox`, pool.rs). Nodes are ids `0..n`; `head`/`nexts` encode a
+/// pointer as `id + 1` with `0` for null. `ThreadPool::retire` uses the
+/// identical push chain for retired ring generations.
+pub struct ModelInbox {
+    head: AtomicUsize,
+    nexts: Vec<AtomicUsize>,
+}
+
+impl ModelInbox {
+    pub fn new(n: usize) -> Self {
+        ModelInbox {
+            head: AtomicUsize::new(0),
+            nexts: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+
+    /// Any-thread push: link unpublished, Release-CAS the head.
+    pub fn push(&self, id: usize) {
+        loop {
+            // mirrors pool.rs: head revalidated by the release CAS
+            let h = self.head.load(Ordering::Relaxed);
+            self.nexts[id].store(h, Ordering::Relaxed);
+            if self
+                .head
+                .compare_exchange_weak(h, id + 1, Ordering::Release, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Owner drain: Acquire emptiness check, AcqRel swap, relaxed walk.
+    pub fn drain(&self) -> Vec<usize> {
+        if self.head.load(Ordering::Acquire) == 0 {
+            return Vec::new();
+        }
+        let mut h = self.head.swap(0, Ordering::AcqRel);
+        let mut out = Vec::new();
+        while h != 0 {
+            out.push(h - 1);
+            h = self.nexts[h - 1].load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+/// One producer pushing two items against an owner draining twice: after
+/// a final cleanup drain, every item must surface exactly once (the
+/// check-then-swap drain must not lose an item pushed after the swap).
+pub fn inbox_push_vs_drain() {
+    let ib = Arc::new(ModelInbox::new(2));
+    let ib2 = ib.clone();
+    let producer = thread::spawn(move || {
+        ib2.push(0);
+        ib2.push(1);
+    });
+    let mut got = ib.drain();
+    got.extend(ib.drain());
+    producer.join();
+    got.extend(ib.drain());
+    got.sort_unstable();
+    assert_eq!(got, vec![0, 1], "inbox lost or duplicated an item");
+}
+
+/// Two threads concurrently retiring one buffer each (`ThreadPool::retire`
+/// CAS chain): both nodes must be on the list afterwards.
+pub fn concurrent_retires() {
+    let list = Arc::new(ModelInbox::new(2));
+    let l1 = list.clone();
+    let l2 = list.clone();
+    let a = thread::spawn(move || l1.push(0));
+    let b = thread::spawn(move || l2.push(1));
+    a.join();
+    b.join();
+    let mut got = list.drain();
+    got.sort_unstable();
+    assert_eq!(got, vec![0, 1], "retire CAS chain lost a node");
+}
+
+// ---------------------------------------------------------------------------
+// Ring-generation growth: copy, publish, steal
+// ---------------------------------------------------------------------------
+
+/// Two-generation model of `grow_owner` + `take_top`: the owner copies
+/// the live window into the next generation and Release-publishes `buf`;
+/// a stealer reads a slot out of whichever generation its Acquire `buf`
+/// load observes. The `RaceCell` slots make the publication edge load-
+/// bearing: without it the stealer's new-generation read is a data race.
+pub struct ModelEpoch {
+    top: AtomicIsize,
+    bottom: AtomicIsize,
+    /// Generation index (0 or 1); `buf` pointer in the real code.
+    buf: AtomicUsize,
+    gens: [Vec<RaceCell<u64>>; 2],
+}
+
+impl Default for ModelEpoch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModelEpoch {
+    pub fn new() -> Self {
+        ModelEpoch {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            buf: AtomicUsize::new(0),
+            gens: [
+                (0..2).map(|_| RaceCell::new(0)).collect(),
+                (0..4).map(|_| RaceCell::new(0)).collect(),
+            ],
+        }
+    }
+
+    /// Owner push into the current generation (`push_raw_bottom`).
+    pub fn push(&self, v: u64) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        // mirrors pool.rs: owner-exclusive buf read
+        let g = self.buf.load(Ordering::Relaxed);
+        self.gens[g][b as usize].set(v);
+        self.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Owner growth (`grow_owner`): copy the live window by logical
+    /// index, then publish the new generation.
+    pub fn grow(&self) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        let mut i = t;
+        while i < b {
+            self.gens[1][i as usize].set(self.gens[0][i as usize].get());
+            i += 1;
+        }
+        self.buf.store(1, Ordering::Release);
+    }
+
+    /// One steal attempt (`take_top`, single iteration).
+    pub fn steal_once(&self) -> Option<u64> {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return None;
+        }
+        let g = self.buf.load(Ordering::Acquire);
+        let v = self.gens[g][t as usize].get();
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            Some(v)
+        } else {
+            None
+        }
+    }
+}
+
+/// A stealer races the owner's grow-and-push: whichever generation its
+/// `buf` load observes, the slot it reads must hold the value the claim
+/// entitles it to (logical index `t` is generation-invariant), and the
+/// `RaceCell` machinery proves the read is ordered.
+pub fn epoch_growth_vs_steal() {
+    let d = Arc::new(ModelEpoch::new());
+    d.push(10);
+    d.push(20);
+    let d2 = d.clone();
+    let stealer = thread::spawn(move || d2.steal_once());
+    d.grow();
+    d.push(30);
+    let stolen = stealer.join();
+    assert!(
+        stolen.is_none() || stolen == Some(10),
+        "steal claimed logical index 0 but read {stolen:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Tick elision: the elide/rearm Dekker pairing
+// ---------------------------------------------------------------------------
+
+/// One worker's elision state: `work` stands in for its pools' occupancy
+/// (`has_any_work`), `elided` for `Worker::tick_elided`.
+pub struct ModelTick {
+    work: AtomicUsize,
+    elided: AtomicBool,
+}
+
+/// Run the two Dekker halves concurrently and return the final
+/// `(work, elided)` state. `weaken` replaces every SeqCst in the pairing
+/// with Release/Acquire — the classic broken Dekker, which strands
+/// published work with the tick still elided.
+pub fn tick_elide_vs_push(weaken: bool) -> (usize, bool) {
+    let (flag_store, flag_load, fence_ord) = if weaken {
+        (Ordering::Release, Ordering::Acquire, Ordering::AcqRel)
+    } else {
+        (Ordering::SeqCst, Ordering::SeqCst, Ordering::SeqCst)
+    };
+    let s = Arc::new(ModelTick {
+        work: AtomicUsize::new(0),
+        elided: AtomicBool::new(false),
+    });
+    let s2 = s.clone();
+    // Pusher half (`rearm_on_push`, sched.rs): publish work, fence, then
+    // rearm if the flag is up. The publish itself is the deque's Release
+    // bottom store.
+    let pusher = thread::spawn(move || {
+        s2.work.store(1, Ordering::Release);
+        fence(fence_ord);
+        if s2.elided.load(flag_load) {
+            s2.elided.store(false, flag_store);
+        }
+    });
+    // Elider half (`try_elide`, worker.rs): raise the flag, fence, then
+    // back off if work is visible.
+    s.elided.store(true, flag_store);
+    fence(fence_ord);
+    if s.work.load(Ordering::Acquire) > 0 {
+        s.elided.store(false, flag_store);
+    }
+    pusher.join();
+    (
+        s.work.load(Ordering::Acquire),
+        s.elided.load(Ordering::Acquire),
+    )
+}

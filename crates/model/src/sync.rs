@@ -1,0 +1,122 @@
+//! Model atomics: the same surface as `std::sync::atomic`, backed by the
+//! explorer's store-history memory model. Protocol code written against
+//! these types reads exactly like the real code in `crates/core`.
+
+pub use std::sync::atomic::Ordering;
+
+use crate::exec;
+
+macro_rules! model_atomic {
+    ($name:ident, $ty:ty, $to:expr, $from:expr) => {
+        /// Model counterpart of the std atomic of the same name.
+        pub struct $name {
+            loc: usize,
+        }
+
+        impl $name {
+            pub fn new(v: $ty) -> Self {
+                $name {
+                    loc: exec::new_loc(($to)(v)),
+                }
+            }
+
+            pub fn load(&self, ord: Ordering) -> $ty {
+                ($from)(exec::op_load(self.loc, ord))
+            }
+
+            pub fn store(&self, v: $ty, ord: Ordering) {
+                exec::op_store(self.loc, ($to)(v), ord)
+            }
+
+            pub fn swap(&self, v: $ty, ord: Ordering) -> $ty {
+                ($from)(exec::op_rmw(self.loc, |_| ($to)(v), ord))
+            }
+
+            pub fn fetch_add(&self, v: $ty, ord: Ordering) -> $ty {
+                ($from)(exec::op_rmw(
+                    self.loc,
+                    |cur| ($to)(($from)(cur).wrapping_add(v)),
+                    ord,
+                ))
+            }
+
+            pub fn fetch_sub(&self, v: $ty, ord: Ordering) -> $ty {
+                ($from)(exec::op_rmw(
+                    self.loc,
+                    |cur| ($to)(($from)(cur).wrapping_sub(v)),
+                    ord,
+                ))
+            }
+
+            pub fn fetch_max(&self, v: $ty, ord: Ordering) -> $ty {
+                ($from)(exec::op_rmw(
+                    self.loc,
+                    |cur| ($to)(($from)(cur).max(v)),
+                    ord,
+                ))
+            }
+
+            pub fn compare_exchange(
+                &self,
+                expected: $ty,
+                new: $ty,
+                succ: Ordering,
+                fail: Ordering,
+            ) -> Result<$ty, $ty> {
+                exec::op_cas(self.loc, ($to)(expected), ($to)(new), succ, fail)
+                    .map($from)
+                    .map_err($from)
+            }
+
+            /// Model approximation: never fails spuriously (see lib docs).
+            pub fn compare_exchange_weak(
+                &self,
+                expected: $ty,
+                new: $ty,
+                succ: Ordering,
+                fail: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.compare_exchange(expected, new, succ, fail)
+            }
+        }
+    };
+}
+
+model_atomic!(AtomicUsize, usize, |v: usize| v as u64, |v: u64| v as usize);
+model_atomic!(AtomicU64, u64, |v: u64| v, |v: u64| v);
+model_atomic!(
+    AtomicIsize,
+    isize,
+    |v: isize| v as i64 as u64,
+    |v: u64| v as i64 as isize
+);
+
+/// Model counterpart of `std::sync::atomic::AtomicBool` (0/1 encoded).
+pub struct AtomicBool {
+    loc: usize,
+}
+
+impl AtomicBool {
+    pub fn new(v: bool) -> Self {
+        AtomicBool {
+            loc: exec::new_loc(v as u64),
+        }
+    }
+
+    pub fn load(&self, ord: Ordering) -> bool {
+        exec::op_load(self.loc, ord) != 0
+    }
+
+    pub fn store(&self, v: bool, ord: Ordering) {
+        exec::op_store(self.loc, v as u64, ord)
+    }
+
+    pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+        exec::op_rmw(self.loc, |_| v as u64, ord) != 0
+    }
+}
+
+/// Model counterpart of `std::sync::atomic::fence`.
+pub fn fence(ord: Ordering) {
+    exec::op_fence(ord)
+}

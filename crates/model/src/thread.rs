@@ -1,0 +1,42 @@
+//! Model threads: `spawn`/`join` with the same shape as `std::thread`,
+//! running on real OS threads driven one-at-a-time by the explorer.
+
+use std::sync::{Arc, Mutex};
+
+use crate::exec;
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    tid: usize,
+    slot: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Block (in model time) until the thread finishes, then return its
+    /// result. Joining establishes happens-before from everything the
+    /// thread did.
+    pub fn join(self) -> T {
+        while !exec::try_join(self.tid) {}
+        self.slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("joined model thread left no result")
+    }
+}
+
+/// Spawn a model thread. The closure runs under the explorer: every
+/// model-visible operation inside it is a scheduling point.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let slot: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+    let slot2 = slot.clone();
+    let tid = exec::spawn_thread(move || {
+        let v = f();
+        *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+    });
+    JoinHandle { tid, slot }
+}

@@ -1,0 +1,178 @@
+//! Litmus tests for the model's memory model itself: classic two-thread
+//! shapes whose allowed/forbidden outcome sets are known. If these drift,
+//! every protocol result in `tests/protocols.rs` is suspect.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use ult_model::cell::RaceCell;
+use ult_model::sync::{fence, AtomicUsize, Ordering};
+use ult_model::thread;
+
+#[test]
+fn sequential_code_has_exactly_one_execution() {
+    let r = ult_model::check(|| {
+        let a = AtomicUsize::new(0);
+        a.store(1, Ordering::Relaxed);
+        assert_eq!(a.load(Ordering::Relaxed), 1);
+    });
+    assert_eq!(r.executions, 1);
+}
+
+/// Store buffering with SeqCst fences: both threads reading the other's
+/// variable as 0 is forbidden.
+#[test]
+fn store_buffering_with_seqcst_fences_forbids_0_0() {
+    let outs = ult_model::outcomes(|| {
+        let x = Arc::new(AtomicUsize::new(0));
+        let y = Arc::new(AtomicUsize::new(0));
+        let (x2, y2) = (x.clone(), y.clone());
+        let t = thread::spawn(move || {
+            x2.store(1, Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+            y2.load(Ordering::Relaxed)
+        });
+        y.store(1, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let rx = x.load(Ordering::Relaxed);
+        let ry = t.join();
+        (rx, ry)
+    });
+    assert!(
+        !outs.contains(&(0, 0)),
+        "SB with SC fences leaked (0,0): {outs:?}"
+    );
+    assert!(outs.len() >= 2, "suspiciously few SB outcomes: {outs:?}");
+}
+
+/// The same shape without fences must exhibit the weak (0,0) outcome —
+/// the model really explores store buffering.
+#[test]
+fn store_buffering_relaxed_allows_0_0() {
+    let outs = ult_model::outcomes(|| {
+        let x = Arc::new(AtomicUsize::new(0));
+        let y = Arc::new(AtomicUsize::new(0));
+        let (x2, y2) = (x.clone(), y.clone());
+        let t = thread::spawn(move || {
+            x2.store(1, Ordering::Relaxed);
+            y2.load(Ordering::Relaxed)
+        });
+        y.store(1, Ordering::Relaxed);
+        let rx = x.load(Ordering::Relaxed);
+        let ry = t.join();
+        (rx, ry)
+    });
+    assert!(
+        outs.contains(&(0, 0)),
+        "relaxed SB must allow (0,0): {outs:?}"
+    );
+}
+
+/// Message passing: a Release flag store after the data store, an Acquire
+/// flag load before the data load — a raised flag guarantees the data.
+#[test]
+fn message_passing_release_acquire_is_reliable() {
+    let outs = ult_model::outcomes(|| {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (d2, f2) = (data.clone(), flag.clone());
+        let t = thread::spawn(move || {
+            if f2.load(Ordering::Acquire) == 1 {
+                d2.load(Ordering::Relaxed) as i64
+            } else {
+                -1
+            }
+        });
+        data.store(42, Ordering::Relaxed);
+        flag.store(1, Ordering::Release);
+        t.join()
+    });
+    assert!(!outs.contains(&0), "MP leaked stale data: {outs:?}");
+    assert!(outs.contains(&42) && outs.contains(&-1), "{outs:?}");
+}
+
+/// The relaxed-flag variant must exhibit the stale read.
+#[test]
+fn message_passing_relaxed_flag_leaks_stale_data() {
+    let outs = ult_model::outcomes(|| {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (d2, f2) = (data.clone(), flag.clone());
+        let t = thread::spawn(move || {
+            if f2.load(Ordering::Relaxed) == 1 {
+                d2.load(Ordering::Relaxed) as i64
+            } else {
+                -1
+            }
+        });
+        data.store(42, Ordering::Relaxed);
+        flag.store(1, Ordering::Relaxed);
+        t.join()
+    });
+    assert!(
+        outs.contains(&0),
+        "relaxed MP must allow the stale read: {outs:?}"
+    );
+}
+
+/// Coherence: two same-thread stores are never observed backwards.
+#[test]
+fn coherence_forbids_backward_reads() {
+    let outs = ult_model::outcomes(|| {
+        let x = Arc::new(AtomicUsize::new(0));
+        let x2 = x.clone();
+        let t = thread::spawn(move || {
+            let a = x2.load(Ordering::Relaxed);
+            let b = x2.load(Ordering::Relaxed);
+            (a, b)
+        });
+        x.store(1, Ordering::Relaxed);
+        x.store(2, Ordering::Relaxed);
+        t.join()
+    });
+    for (a, b) in &outs {
+        assert!(a <= b, "coherence violation: read {a} then {b}");
+    }
+    assert!(outs.contains(&(0, 0)) && outs.contains(&(2, 2)), "{outs:?}");
+}
+
+/// A release-published `RaceCell` read is race-free…
+#[test]
+fn racecell_behind_release_acquire_is_clean() {
+    ult_model::check(|| {
+        let cell = Arc::new(RaceCell::new(0u64));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (c2, f2) = (cell.clone(), flag.clone());
+        let t = thread::spawn(move || {
+            if f2.load(Ordering::Acquire) == 1 {
+                assert_eq!(c2.get(), 7);
+            }
+        });
+        cell.set(7);
+        flag.store(1, Ordering::Release);
+        t.join();
+    });
+}
+
+/// …and the same access without the synchronization is reported as a
+/// data race (the checker's panic is the detection).
+#[test]
+fn racecell_unsynchronized_access_is_reported() {
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        ult_model::check(|| {
+            let cell = Arc::new(RaceCell::new(0u64));
+            let c2 = cell.clone();
+            let t = thread::spawn(move || c2.get());
+            cell.set(7);
+            t.join();
+        });
+    }));
+    let msg = match r {
+        Ok(_) => panic!("unsynchronized RaceCell access was not reported"),
+        Err(p) => p.downcast_ref::<String>().cloned().unwrap_or_default(),
+    };
+    assert!(
+        msg.contains("data race"),
+        "unexpected failure message: {msg}"
+    );
+}

@@ -1,0 +1,113 @@
+//! Exhaustive model checks of the runtime's three lock-free protocol
+//! families, plus the mutation test: a deliberately seeded fence
+//! downgrade in the Chase–Lev pop must be caught by the explorer, in a
+//! subprocess, in under a minute.
+
+use std::time::{Duration, Instant};
+
+use ult_model::protocols;
+use ult_model::Report;
+
+/// The sweeps must be exhaustive by default; under an explicit budget
+/// (`ULT_MODEL_MAX_EXECS`, as `run_all.sh --quick` sets) a partial sweep
+/// is the point.
+fn assert_exhaustive_unless_budgeted(r: Report) {
+    if std::env::var("ULT_MODEL_MAX_EXECS").is_err() {
+        assert!(!r.partial, "sweep must be exhaustive without a budget");
+    }
+}
+
+#[test]
+fn deque_take_vs_steal_is_exhaustively_safe() {
+    let r = ult_model::check(|| protocols::deque_take_vs_steal(false));
+    assert_exhaustive_unless_budgeted(r);
+    println!("deque take-vs-steal: {} executions", r.executions);
+}
+
+#[test]
+fn inbox_push_vs_drain_loses_nothing() {
+    let r = ult_model::check(protocols::inbox_push_vs_drain);
+    assert_exhaustive_unless_budgeted(r);
+    println!("inbox push-vs-drain: {} executions", r.executions);
+}
+
+#[test]
+fn concurrent_retires_keep_both_nodes() {
+    let r = ult_model::check(protocols::concurrent_retires);
+    assert_exhaustive_unless_budgeted(r);
+    println!("concurrent retires: {} executions", r.executions);
+}
+
+#[test]
+fn epoch_growth_publication_is_race_free() {
+    let r = ult_model::check(protocols::epoch_growth_vs_steal);
+    assert_exhaustive_unless_budgeted(r);
+    println!("epoch growth-vs-steal: {} executions", r.executions);
+}
+
+/// The faithful elide/rearm pairing never strands published work with the
+/// tick elided.
+#[test]
+fn tick_elision_never_strands_work() {
+    let outs = ult_model::outcomes(|| protocols::tick_elide_vs_push(false));
+    assert!(
+        !outs.iter().any(|&(work, elided)| work > 0 && elided),
+        "elided tick with work published: {outs:?}"
+    );
+}
+
+/// The Release/Acquire weakening of the same pairing does strand work —
+/// i.e. the model can represent the failure the SeqCst protocol exists
+/// to prevent, so the test above has teeth.
+#[test]
+fn weakened_tick_elision_strands_work() {
+    let outs = ult_model::outcomes(|| protocols::tick_elide_vs_push(true));
+    assert!(
+        outs.contains(&(1, true)),
+        "weakened Dekker should reach the stranded state: {outs:?}"
+    );
+}
+
+/// Runs only in the mutation subprocess: checking the deque with the
+/// `take_bottom` fence downgraded to Acquire is expected to panic with a
+/// double-claim.
+#[test]
+fn mutant_child() {
+    if std::env::var("ULT_MODEL_MUTATION").as_deref() != Ok("1") {
+        return;
+    }
+    ult_model::check(|| protocols::deque_take_vs_steal(true));
+}
+
+/// The mutation test proper: seed the fence downgrade in a subprocess and
+/// assert the explorer reports the double-claim, quickly.
+#[test]
+fn mutation_is_caught_by_the_explorer() {
+    let start = Instant::now();
+    let out = std::process::Command::new(std::env::current_exe().unwrap())
+        .args(["mutant_child", "--exact", "--nocapture", "--test-threads=1"])
+        .env("ULT_MODEL_MUTATION", "1")
+        // The child must run the unbudgeted DFS: it stops at the first
+        // failing execution anyway, and a quick-mode partial cap would
+        // let the mutant slip through as a truncated success.
+        .env_remove("ULT_MODEL_MAX_EXECS")
+        .env_remove("ULT_MODEL_PARTIAL")
+        .output()
+        .expect("spawn mutation subprocess");
+    let elapsed = start.elapsed();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "the downgraded take fence must be caught by the explorer\n\
+         stdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("double claim") || stderr.contains("double claim"),
+        "expected a double-claim report\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(60),
+        "mutation detection took {elapsed:?} (budget 60s)"
+    );
+}

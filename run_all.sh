@@ -10,6 +10,15 @@ cargo run -p ult-lint --bin sigsafe
 cargo clippy --workspace -- -D warnings
 cargo fmt --check
 
+echo "== model checker: lock-free protocol interleaving sweeps"
+if [ "$MODE" = "--quick" ]; then
+    # Bounded partial sweep: enough to smoke the explorer without paying
+    # for the full state spaces.
+    ULT_MODEL_MAX_EXECS=5000 ULT_MODEL_PARTIAL=1 cargo test -q -p ult-model
+else
+    cargo test -q -p ult-model
+fi
+
 cargo build --workspace --release
 
 mkdir -p results
