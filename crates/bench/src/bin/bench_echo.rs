@@ -1,0 +1,280 @@
+//! Echo-server tail-latency benchmark: the network-facing payoff of
+//! preemptive ULTs (the LibPreemptible request-latency argument, grafted
+//! onto this runtime's reactor).
+//!
+//! One worker runs long CPU-bound ULTs that spin in ~20 ms chunks between
+//! cooperative yields, sharing the worker with short echo-request handler
+//! ULTs blocked on `ult_io` sockets. With preemption **off**
+//! (`TimerStrategy::None`) a request that becomes ready right after a
+//! compute chunk starts waits out the whole chunk — the reactor is only
+//! serviced at dispatch boundaries. With preemption **on** (the 1 ms
+//! default tick) the compute ULT is preempted mid-chunk, the scheduler's
+//! opportunistic poll delivers the readiness, and the handler runs within
+//! a tick or two.
+//!
+//! Emits `results/BENCH_io.json` with request-latency percentiles
+//! (microseconds) for both modes plus `p99_off_over_on` — the headline
+//! ratio, which the io acceptance gate wants ≥ 5.
+//!
+//! Usage:
+//!   bench_echo [--quick] [--out PATH] [--check BASELINE.json]
+//!
+//! `--check` applies the standard 2× perf-smoke tripwire to the *on-mode*
+//! latency metrics only: off-mode numbers are set by the spin-chunk length
+//! (a constant of the experiment, not of the runtime) and the ratio gets
+//! its own ≥ 5 floor rather than the regression check.
+
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use ult_core::{Config, Priority, Runtime, ThreadKind, TimerStrategy};
+
+/// Request/response payload size.
+const MSG: usize = 16;
+/// Compute chunk between cooperative yields.
+const SPIN_CHUNK_MS: u64 = 20;
+
+struct Metric {
+    name: &'static str,
+    value: f64,
+    /// Subject to the 2× regression tripwire under `--check`.
+    checked: bool,
+}
+
+/// Run one echo experiment; returns all request latencies in nanoseconds.
+fn run_echo(preempt: bool, n_clients: usize, reqs_per_client: usize) -> Vec<u64> {
+    let rt = Runtime::start(Config {
+        num_workers: 1,
+        preempt_interval_ns: 1_000_000,
+        timer_strategy: if preempt {
+            TimerStrategy::PerWorkerAligned
+        } else {
+            TimerStrategy::None
+        },
+        ..Config::default()
+    });
+
+    // Long compute ULTs: preemptible spinners that only yield every
+    // SPIN_CHUNK_MS. Two of them keep the single worker saturated even
+    // while one is mid-handoff.
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut compute = Vec::new();
+    for _ in 0..2 {
+        let stop = stop.clone();
+        compute.push(
+            rt.spawn_with(ThreadKind::SignalYield, Priority::High, move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let t0 = Instant::now();
+                    while t0.elapsed().as_millis() < SPIN_CHUNK_MS as u128 {
+                        core::hint::spin_loop();
+                    }
+                    ult_core::yield_now();
+                }
+            }),
+        );
+    }
+
+    // Echo server: accept every client, one handler ULT per connection.
+    let ln = rt
+        .spawn(|| ult_io::TcpListener::bind("127.0.0.1:0").unwrap())
+        .join();
+    let addr = ln.local_addr().unwrap();
+    let server = rt.spawn(move || {
+        let mut handlers = Vec::new();
+        for _ in 0..n_clients {
+            let (s, _) = ln.accept().unwrap();
+            s.set_nodelay(true).ok();
+            handlers.push(ult_core::api::spawn(
+                ThreadKind::Nonpreemptive,
+                Priority::High,
+                move || {
+                    let mut buf = [0u8; MSG];
+                    loop {
+                        match s.read(&mut buf) {
+                            Ok(0) | Err(_) => break,
+                            Ok(n) => {
+                                if s.write_all(&buf[..n]).is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                },
+            ));
+        }
+        for h in handlers {
+            h.join();
+        }
+    });
+
+    // Clients are plain OS threads with blocking std sockets: the system
+    // under test is the server runtime, not the client library.
+    let clients: Vec<_> = (0..n_clients)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut s = std::net::TcpStream::connect(addr).expect("connect");
+                s.set_nodelay(true).ok();
+                let mut lat = Vec::with_capacity(reqs_per_client);
+                let msg = [0x5au8; MSG];
+                let mut back = [0u8; MSG];
+                for _ in 0..reqs_per_client {
+                    let t0 = Instant::now();
+                    s.write_all(&msg).expect("request");
+                    s.read_exact(&mut back).expect("response");
+                    lat.push(t0.elapsed().as_nanos() as u64);
+                }
+                lat
+            })
+        })
+        .collect();
+
+    let mut all = Vec::new();
+    for c in clients {
+        all.extend(c.join().expect("client thread"));
+    }
+    // Closing the client sockets EOFs the handlers; then stop compute.
+    server.join();
+    stop.store(true, Ordering::Relaxed);
+    for c in compute {
+        c.join();
+    }
+    rt.shutdown();
+    all
+}
+
+/// Percentile over a sorted slice (nearest-rank).
+fn pct(sorted: &[u64], p: f64) -> u64 {
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+fn to_json(metrics: &[Metric]) -> String {
+    let mut s = String::from("{\n");
+    for (i, m) in metrics.iter().enumerate() {
+        s.push_str(&format!("  \"{}\": {:.1}", m.name, m.value));
+        s.push_str(if i + 1 == metrics.len() { "\n" } else { ",\n" });
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Minimal extractor for the flat `"name": number` JSON this tool writes.
+fn json_get(src: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let at = src.find(&pat)?;
+    let rest = &src[at + pat.len()..];
+    let colon = rest.find(':')?;
+    let num: String = rest[colon + 1..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+        .collect();
+    num.parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let get_opt = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = get_opt("--out").unwrap_or_else(|| "results/BENCH_io.json".into());
+    let baseline_path = get_opt("--check");
+
+    let (n_clients, reqs) = if quick { (2, 40) } else { (4, 150) };
+
+    eprintln!("bench_echo: preemption ON ({n_clients} clients x {reqs} reqs)");
+    let mut on = run_echo(true, n_clients, reqs);
+    eprintln!("bench_echo: preemption OFF ({n_clients} clients x {reqs} reqs)");
+    let mut off = run_echo(false, n_clients, reqs);
+    on.sort_unstable();
+    off.sort_unstable();
+
+    let us = |ns: u64| ns as f64 / 1_000.0;
+    let p99_on = us(pct(&on, 0.99));
+    let p99_off = us(pct(&off, 0.99));
+    let metrics = [
+        Metric {
+            name: "echo_p50_on_us",
+            value: us(pct(&on, 0.50)),
+            checked: true,
+        },
+        Metric {
+            name: "echo_p99_on_us",
+            value: p99_on,
+            checked: true,
+        },
+        Metric {
+            name: "echo_p999_on_us",
+            value: us(pct(&on, 0.999)),
+            checked: true,
+        },
+        Metric {
+            name: "echo_p50_off_us",
+            value: us(pct(&off, 0.50)),
+            checked: false,
+        },
+        Metric {
+            name: "echo_p99_off_us",
+            value: p99_off,
+            checked: false,
+        },
+        Metric {
+            name: "echo_p999_off_us",
+            value: us(pct(&off, 0.999)),
+            checked: false,
+        },
+        Metric {
+            name: "p99_off_over_on",
+            value: p99_off / p99_on.max(0.001),
+            checked: false,
+        },
+    ];
+
+    let json = to_json(&metrics);
+    print!("{json}");
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out_path, &json).expect("write BENCH_io.json");
+    eprintln!("wrote {out_path}");
+
+    let ratio = p99_off / p99_on.max(0.001);
+    if ratio < 5.0 {
+        eprintln!(
+            "bench_echo: FAIL p99 ratio {ratio:.1}x < 5x (on {p99_on:.0} us, off {p99_off:.0} us)"
+        );
+        std::process::exit(1);
+    }
+    eprintln!("bench_echo: p99 on {p99_on:.0} us vs off {p99_off:.0} us ({ratio:.1}x)");
+
+    if let Some(bp) = baseline_path {
+        let baseline =
+            std::fs::read_to_string(&bp).unwrap_or_else(|e| panic!("read baseline {bp}: {e}"));
+        let mut failed = false;
+        for m in metrics.iter().filter(|m| m.checked) {
+            let Some(base) = json_get(&baseline, m.name) else {
+                eprintln!("perf-smoke: {} missing from baseline, skipping", m.name);
+                continue;
+            };
+            let factor = m.value / base.max(0.1);
+            let verdict = if factor > 2.0 {
+                failed = true;
+                "REGRESSION"
+            } else {
+                "ok"
+            };
+            eprintln!(
+                "perf-smoke: {:>16} {:>10.1} us vs baseline {:>10.1} us ({:.2}x) {}",
+                m.name, m.value, base, factor, verdict
+            );
+        }
+        if failed {
+            eprintln!("perf-smoke: >2x regression against {bp}");
+            std::process::exit(1);
+        }
+    }
+}

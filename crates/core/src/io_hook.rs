@@ -1,0 +1,144 @@
+//! Pluggable reactor hooks: the bridge between the scheduler and `ult-io`.
+//!
+//! `ult-core` cannot depend on the I/O crate (the dependency points the
+//! other way), yet the worker idle loop needs a third park mode — parking in
+//! `epoll_wait` instead of the futex — and the wake paths need to know how
+//! to interrupt it. The reactor registers three function pointers once at
+//! init; until then every hook site is a null-check-and-skip, so runtimes
+//! that never touch I/O pay one predictable branch.
+//!
+//! # The poller slot
+//!
+//! At most one worker process-wide is **the poller**: the worker whose idle
+//! park blocks in `epoll_wait` (with a timeout equal to the timer wheel's
+//! next deadline) rather than on its futex. The slot is a process-global
+//! pointer CAS — first idle worker wins; everyone else futex-parks exactly
+//! as before and is woken by the reactor via the ordinary `on_ready` path
+//! when an fd they were waiting on fires.
+//!
+//! # Lost-wakeup protocol (Dekker pairing, modeled in `ult-model`)
+//!
+//! A pusher that wants worker `w` awake deposits a futex token
+//! (`Worker::unpark`) and *then* checks the poller slot (`unpark_kick`,
+//! with a SeqCst fence between); if `w` is the poller it also rings the
+//! reactor's eventfd doorbell. The poller claims the slot, fences, and
+//! *then* consumes any pending futex token before entering `epoll_wait`.
+//! Whichever side started later sees the other's write: either the pusher
+//! observes the claimed slot (doorbell rings, `epoll_wait` returns
+//! immediately — the eventfd stays readable until drained), or the poller
+//! observes the token (skips the epoll park entirely and rescans). The
+//! doorbell write is a raw `write(2)` on an eventfd, so the kick is
+//! async-signal-safe and `unpark` stays callable from preemption handlers.
+
+use crate::runtime::RuntimeInner;
+use crate::worker::Worker;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+/// Reactor entry points registered by `ult-io`.
+///
+/// All three run on runtime worker KLTs. `park`/`poll` are called from
+/// scheduler context only (never from signal handlers); `wake` must be
+/// async-signal-safe.
+#[derive(Debug)]
+pub struct IoHooks {
+    /// Park in the reactor until an fd fires, the next timer deadline
+    /// passes, or [`IoHooks::wake`] is called. Runs expired timers and
+    /// readiness callbacks (which re-push ULTs) before returning.
+    pub park: fn(),
+    /// Interrupt a concurrent or future `park` (eventfd doorbell).
+    /// Async-signal-safe.
+    pub wake: fn(),
+    /// Opportunistic non-blocking poll from busy scheduler loops, so I/O
+    /// and timers are serviced even when no worker ever goes idle. The
+    /// implementation rate-limits itself; callers invoke it every loop.
+    pub poll: fn(),
+}
+
+/// Registered hook table (null until `ult-io` initializes).
+static HOOKS: AtomicPtr<IoHooks> = AtomicPtr::new(std::ptr::null_mut()); // ordering: acqrel write-once publication
+
+/// The worker currently parked (or committing to park) in the reactor.
+static POLLER: AtomicPtr<Worker> = AtomicPtr::new(std::ptr::null_mut()); // ordering: seqcst Dekker pairing with unpark_kick
+
+/// Register the reactor's hook table. Called once by `ult-io` at reactor
+/// init; `hooks` must live for the rest of the process (the reactor leaks
+/// its singleton). Later calls are ignored.
+pub fn register_io_hooks(hooks: &'static IoHooks) {
+    let _ = HOOKS.compare_exchange(
+        std::ptr::null_mut(),
+        hooks as *const IoHooks as *mut IoHooks,
+        Ordering::AcqRel,
+        Ordering::Acquire,
+    );
+}
+
+/// The registered hook table, if any.
+#[inline]
+// sigsafe
+fn hooks() -> Option<&'static IoHooks> {
+    // SAFETY: registered pointers are 'static by contract.
+    unsafe { HOOKS.load(Ordering::Acquire).as_ref() }
+}
+
+/// Scheduler-loop poll site: service the reactor opportunistically.
+#[inline]
+pub(crate) fn maybe_poll() {
+    if let Some(h) = hooks() {
+        (h.poll)();
+    }
+}
+
+/// Idle-park in the reactor if this worker can claim the poller slot.
+///
+/// Returns `true` if the park round was handled here (the caller rescans
+/// its pools); `false` means no reactor is registered or another worker
+/// holds the slot — fall back to the futex park. The caller has already
+/// advertised `w.idle`, re-checked for work, and elided its tick.
+pub(crate) fn poller_park(rt: &RuntimeInner, w: &Worker) -> bool {
+    let Some(h) = hooks() else { return false };
+    let wp = w as *const Worker as *mut Worker;
+    if POLLER
+        .compare_exchange(
+            std::ptr::null_mut(),
+            wp,
+            Ordering::SeqCst,
+            Ordering::Relaxed,
+        )
+        .is_err()
+    {
+        return false;
+    }
+    // Dekker: claim published above; now observe any pusher that missed it.
+    // A pusher that read the slot before our claim deposited only a futex
+    // token — consume it (and re-check the pools) instead of entering
+    // `epoll_wait`, where that token could never reach us.
+    std::sync::atomic::fence(Ordering::SeqCst);
+    if w.wake.try_park() || crate::sched::has_any_work(rt, w) || rt.shutdown.load(Ordering::Acquire)
+    {
+        POLLER.store(std::ptr::null_mut(), Ordering::SeqCst);
+        return true;
+    }
+    (h.park)();
+    POLLER.store(std::ptr::null_mut(), Ordering::SeqCst);
+    // A doorbell aimed at us may still be in flight; it parks in the
+    // eventfd counter and is drained by the next poll — never lost, at
+    // worst one spurious immediate return for the next poller.
+    true
+}
+
+/// Wake-path kick: if `w` is the current poller, ring the reactor doorbell
+/// so its `epoll_wait` returns. Called from `Worker::unpark` (and thus from
+/// preemption signal handlers); the doorbell is an eventfd write.
+#[inline]
+// sigsafe
+pub(crate) fn unpark_kick(w: &Worker) {
+    // Pairs with the claim-fence-check in `poller_park`: the caller's token
+    // deposit precedes this fence, the load below follows it.
+    std::sync::atomic::fence(Ordering::SeqCst);
+    if std::ptr::eq(POLLER.load(Ordering::SeqCst), w) {
+        if let Some(h) = hooks() {
+            // sigsafe-allow: fn pointer to the registered reactor doorbell (EventFd::signal, a raw eventfd write; audited sigsafe in ult-io)
+            (h.wake)();
+        }
+    }
+}

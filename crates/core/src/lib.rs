@@ -50,6 +50,7 @@
 pub mod api;
 pub mod config;
 pub mod debug_registry;
+pub mod io_hook;
 pub(crate) mod klt;
 pub mod pool;
 pub mod preempt;
@@ -66,6 +67,7 @@ pub use api::{
     yield_now,
 };
 pub use config::{Config, KltParkMode, KltPoolPolicy, SchedPolicy};
+pub use io_hook::{register_io_hooks, IoHooks};
 pub use preempt::timer::TimerStrategy;
 pub use runtime::Runtime;
 pub use stats::RuntimeStats;

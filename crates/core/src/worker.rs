@@ -265,11 +265,13 @@ impl Worker {
         (x.wrapping_mul(0x2545F4914F6CDD1D) >> 32) as usize % n.max(1)
     }
 
-    /// Wake this worker if it is parked (idle, packing or shutdown).
+    /// Wake this worker if it is parked (idle, packing or shutdown) — on
+    /// its futex, or in the reactor if it is the designated poller.
     // sigsafe
     pub(crate) fn unpark(&self) {
         self.stats.unparks.fetch_add(1, Ordering::Relaxed);
         self.wake.unpark();
+        crate::io_hook::unpark_kick(self);
     }
 
     /// Start a fresh timeslice at `now`: record the echo-suppression
@@ -401,6 +403,14 @@ fn scheduler_loop(w: &Worker) -> ! {
             continue;
         }
 
+        // Service the reactor opportunistically (no-op branch until
+        // `ult-io` registers hooks): with every worker busy on compute,
+        // dispatch boundaries are the only points where fd readiness and
+        // timer deadlines can be turned into ready ULTs — under preemption
+        // their spacing is bounded by the tick interval, which is exactly
+        // the serving-latency story bench_echo measures.
+        crate::io_hook::maybe_poll();
+
         // Pick work according to the configured policy.
         match crate::sched::pick(rt, w) {
             Some(t) => run_thread(rt, w, t),
@@ -433,6 +443,13 @@ fn idle_wait(rt: &RuntimeInner, w: &Worker) {
     // parking (re-armed at the next dispatch).
     if rt.tick_elision {
         try_elide(rt, w);
+    }
+    // Third park mode: if a reactor is registered and the poller slot is
+    // free, park in `epoll_wait` (servicing fds and the timer wheel)
+    // instead of the futex. Everyone else futex-parks as before.
+    if crate::io_hook::poller_park(rt, w) {
+        w.idle.store(false, Ordering::Release);
+        return;
     }
     w.wake.park();
     w.idle.store(false, Ordering::Release);

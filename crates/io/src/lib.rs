@@ -1,0 +1,63 @@
+//! # ult-io — epoll reactor and timer wheel for the ULT runtime
+//!
+//! The runtime of `ult-core` can preempt compute, but a ULT that called a
+//! blocking socket syscall would still capture its whole KLT — one rogue
+//! `read(2)` and an entire worker is gone. This crate closes that hole and
+//! turns the runtime into a network server substrate (the ROADMAP's "serve
+//! heavy traffic" north star, and the request-tail-latency argument of
+//! LibPreemptible):
+//!
+//! * **Reactor** ([`reactor`]-internal): one process-wide epoll instance +
+//!   eventfd doorbell, hooked into the worker idle loop via
+//!   [`ult_core::IoHooks`]. When a worker finds no runnable ULT it claims
+//!   the *poller slot* and parks in `epoll_wait` instead of its futex;
+//!   busy workers service the reactor opportunistically at dispatch
+//!   boundaries (rate-limited zero-timeout polls). A ULT blocked on I/O
+//!   therefore never holds a KLT.
+//! * **Sockets** ([`TcpListener`], [`TcpStream`], [`UdpSocket`]): blocking
+//!   `std::net`-shaped APIs over nonblocking fds; `WouldBlock` suspends
+//!   the ULT through the runtime's ordinary block/ready path and fd
+//!   readiness re-pushes it to its home worker.
+//! * **Timer wheel** ([`sleep`], [`block_until`]): hashed-wheel deadlines
+//!   driving `io::sleep`, per-op socket timeouts, and the `wait_timeout`
+//!   variants in `ult-sync`. The [`TimedWaiter`] claim CAS arbitrates
+//!   event-vs-deadline races so a recycled ULT descriptor can never be
+//!   woken twice.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use ult_core::{Config, Runtime};
+//!
+//! let rt = Runtime::start(Config { num_workers: 2, ..Config::default() });
+//! let h = rt.spawn(|| {
+//!     let ln = ult_io::TcpListener::bind("127.0.0.1:0").unwrap();
+//!     let (s, _peer) = ln.accept().unwrap(); // suspends this ULT, not a KLT
+//!     let mut buf = [0u8; 512];
+//!     let n = s.read(&mut buf).unwrap();
+//!     s.write_all(&buf[..n]).unwrap(); // echo
+//! });
+//! h.join();
+//! rt.shutdown();
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod net;
+mod reactor;
+mod time;
+mod waiter;
+mod wheel;
+
+pub use net::{TcpListener, TcpStream, UdpSocket};
+pub use time::{block_for, block_until, sleep};
+pub use waiter::TimedWaiter;
+
+/// Force reactor initialization (epoll/eventfd creation and hook
+/// registration into `ult-core`). Optional — every socket, sleep or timed
+/// wait initializes lazily — but useful to move the one-time setup cost out
+/// of a latency-sensitive path.
+pub fn init() {
+    let _ = reactor::reactor();
+}

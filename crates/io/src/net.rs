@@ -1,0 +1,298 @@
+//! ULT-blocking sockets.
+//!
+//! Thin wrappers over `std::net` sockets switched to nonblocking mode and
+//! registered with the reactor. Every operation runs the nonblocking
+//! syscall first; on `WouldBlock` the calling ULT registers interest and
+//! suspends (`block_current`), its KLT goes on running other ULTs, and fd
+//! readiness re-pushes the ULT to its home worker. From the caller's view
+//! the API is blocking `std::net`; from the kernel's view no runtime thread
+//! ever sleeps in a socket syscall.
+//!
+//! Used outside the runtime (a plain OS thread), the same loops degrade to
+//! sleep-polling — correct, just not efficient; test clients use raw
+//! `std::net` instead.
+
+use crate::reactor::{reactor, wait_readiness, Dir, FdEntry};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Reactor registration handle; deregisters on drop (declared before the
+/// socket in every wrapper so `EPOLL_CTL_DEL` runs while the fd is open).
+struct Registration {
+    entry: Arc<FdEntry>,
+}
+
+impl Registration {
+    fn new(fd: i32) -> io::Result<Registration> {
+        Ok(Registration {
+            entry: reactor().register_fd(fd)?,
+        })
+    }
+}
+
+impl Drop for Registration {
+    fn drop(&mut self) {
+        reactor().deregister_fd(&self.entry);
+    }
+}
+
+/// Absolute deadline for a per-op timeout stored as ns (0 = none).
+fn deadline_from(timeout_ns: &AtomicU64) -> Option<u64> {
+    match timeout_ns.load(Ordering::Relaxed) {
+        0 => None,
+        ns => Some(ult_sys::now_ns().saturating_add(ns)),
+    }
+}
+
+fn store_timeout(slot: &AtomicU64, dur: Option<Duration>) {
+    let ns = dur
+        .map(|d| (d.as_nanos().min(u64::MAX as u128) as u64).max(1))
+        .unwrap_or(0);
+    slot.store(ns, Ordering::Relaxed);
+}
+
+/// Retry `op` until it stops returning `WouldBlock`, suspending the calling
+/// ULT on fd readiness between attempts.
+fn retry<T>(
+    entry: &Arc<FdEntry>,
+    dir: Dir,
+    deadline: Option<u64>,
+    mut op: impl FnMut() -> io::Result<T>,
+) -> io::Result<T> {
+    loop {
+        match op() {
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                wait_readiness(entry, dir, deadline)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            other => return other,
+        }
+    }
+}
+
+/// A ULT-blocking TCP listener.
+pub struct TcpListener {
+    reg: Registration,
+    inner: std::net::TcpListener,
+}
+
+impl TcpListener {
+    /// Bind to `addr` (nonblocking, reactor-registered).
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+        let inner = std::net::TcpListener::bind(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(TcpListener {
+            reg: Registration::new(inner.as_raw_fd())?,
+            inner,
+        })
+    }
+
+    /// Accept one connection, suspending the calling ULT until a peer
+    /// arrives. The returned stream is itself ULT-blocking.
+    pub fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+        let (s, addr) = retry(&self.reg.entry, Dir::Read, None, || self.inner.accept())?;
+        Ok((TcpStream::from_std(s)?, addr))
+    }
+
+    /// Local address of the listener.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+}
+
+/// A ULT-blocking TCP stream.
+pub struct TcpStream {
+    reg: Registration,
+    inner: std::net::TcpStream,
+    read_timeout_ns: AtomicU64,
+    write_timeout_ns: AtomicU64,
+}
+
+impl TcpStream {
+    /// Wrap an accepted/connected std stream (switches it nonblocking).
+    pub fn from_std(inner: std::net::TcpStream) -> io::Result<TcpStream> {
+        inner.set_nonblocking(true)?;
+        Ok(TcpStream {
+            reg: Registration::new(inner.as_raw_fd())?,
+            inner,
+            read_timeout_ns: AtomicU64::new(0),
+            write_timeout_ns: AtomicU64::new(0),
+        })
+    }
+
+    /// Connect to `addr`. The TCP handshake itself uses the brief blocking
+    /// `std` connect (loopback/LAN: microseconds); the established stream
+    /// is then switched to ULT-blocking mode for all I/O.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
+        TcpStream::from_std(std::net::TcpStream::connect(addr)?)
+    }
+
+    /// Read into `buf`, suspending the ULT until data (or EOF) arrives.
+    /// Honors the configured read timeout per call.
+    pub fn read(&self, buf: &mut [u8]) -> io::Result<usize> {
+        let deadline = deadline_from(&self.read_timeout_ns);
+        retry(&self.reg.entry, Dir::Read, deadline, || {
+            (&self.inner).read(buf)
+        })
+    }
+
+    /// Write from `buf`, suspending until the kernel accepts bytes.
+    pub fn write(&self, buf: &[u8]) -> io::Result<usize> {
+        let deadline = deadline_from(&self.write_timeout_ns);
+        retry(&self.reg.entry, Dir::Write, deadline, || {
+            (&self.inner).write(buf)
+        })
+    }
+
+    /// Write the whole buffer (one shared per-call deadline).
+    pub fn write_all(&self, mut buf: &[u8]) -> io::Result<()> {
+        let deadline = deadline_from(&self.write_timeout_ns);
+        while !buf.is_empty() {
+            let n = retry(&self.reg.entry, Dir::Write, deadline, || {
+                (&self.inner).write(buf)
+            })?;
+            if n == 0 {
+                return Err(io::Error::new(io::ErrorKind::WriteZero, "write returned 0"));
+            }
+            buf = &buf[n..];
+        }
+        Ok(())
+    }
+
+    /// Fill the whole buffer (one shared per-call deadline); EOF before the
+    /// buffer is full is `UnexpectedEof`.
+    pub fn read_exact(&self, mut buf: &mut [u8]) -> io::Result<()> {
+        let deadline = deadline_from(&self.read_timeout_ns);
+        while !buf.is_empty() {
+            let n = retry(&self.reg.entry, Dir::Read, deadline, || {
+                (&self.inner).read(buf)
+            })?;
+            if n == 0 {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "early EOF"));
+            }
+            buf = &mut buf[n..];
+        }
+        Ok(())
+    }
+
+    /// Per-op read deadline (None disables; granularity ~1 ms).
+    pub fn set_read_timeout(&self, dur: Option<Duration>) {
+        store_timeout(&self.read_timeout_ns, dur);
+    }
+
+    /// Per-op write deadline (None disables; granularity ~1 ms).
+    pub fn set_write_timeout(&self, dur: Option<Duration>) {
+        store_timeout(&self.write_timeout_ns, dur);
+    }
+
+    /// Peer address.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+
+    /// Local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// Disable Nagle's algorithm (latency benchmarks want this).
+    pub fn set_nodelay(&self, on: bool) -> io::Result<()> {
+        self.inner.set_nodelay(on)
+    }
+
+    /// Shut down one or both directions.
+    pub fn shutdown(&self, how: Shutdown) -> io::Result<()> {
+        self.inner.shutdown(how)
+    }
+}
+
+impl Read for TcpStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        TcpStream::read(self, buf)
+    }
+}
+
+impl Write for TcpStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        TcpStream::write(self, buf)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Read for &TcpStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        TcpStream::read(self, buf)
+    }
+}
+
+impl Write for &TcpStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        TcpStream::write(self, buf)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A ULT-blocking UDP socket.
+pub struct UdpSocket {
+    reg: Registration,
+    inner: std::net::UdpSocket,
+    read_timeout_ns: AtomicU64,
+    write_timeout_ns: AtomicU64,
+}
+
+impl UdpSocket {
+    /// Bind to `addr` (nonblocking, reactor-registered).
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<UdpSocket> {
+        let inner = std::net::UdpSocket::bind(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(UdpSocket {
+            reg: Registration::new(inner.as_raw_fd())?,
+            inner,
+            read_timeout_ns: AtomicU64::new(0),
+            write_timeout_ns: AtomicU64::new(0),
+        })
+    }
+
+    /// Receive one datagram, suspending the ULT until one arrives.
+    pub fn recv_from(&self, buf: &mut [u8]) -> io::Result<(usize, SocketAddr)> {
+        let deadline = deadline_from(&self.read_timeout_ns);
+        retry(&self.reg.entry, Dir::Read, deadline, || {
+            self.inner.recv_from(buf)
+        })
+    }
+
+    /// Send one datagram to `addr`.
+    pub fn send_to<A: ToSocketAddrs>(&self, buf: &[u8], addr: A) -> io::Result<usize> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+        let deadline = deadline_from(&self.write_timeout_ns);
+        retry(&self.reg.entry, Dir::Write, deadline, || {
+            self.inner.send_to(buf, addr)
+        })
+    }
+
+    /// Per-op receive deadline (None disables; granularity ~1 ms).
+    pub fn set_read_timeout(&self, dur: Option<Duration>) {
+        store_timeout(&self.read_timeout_ns, dur);
+    }
+
+    /// Per-op send deadline (None disables; granularity ~1 ms).
+    pub fn set_write_timeout(&self, dur: Option<Duration>) {
+        store_timeout(&self.write_timeout_ns, dur);
+    }
+
+    /// Local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+}

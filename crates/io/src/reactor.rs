@@ -1,0 +1,333 @@
+//! The per-process epoll reactor.
+//!
+//! One lazily-initialized singleton owns the epoll instance, the eventfd
+//! doorbell, the fd registry and the [timer wheel](crate::wheel). It plugs
+//! into `ult-core` through the [`ult_core::IoHooks`] table:
+//!
+//! * **park** — the designated poller worker's third idle-park mode: block
+//!   in `epoll_wait` with a timeout equal to the wheel's next deadline,
+//!   then turn readiness events and due timers into `make_ready` calls.
+//! * **wake** — ring the doorbell (an async-signal-safe eventfd write);
+//!   called by `Worker::unpark` when its target is the parked poller, and
+//!   by deadline inserts that become the new earliest.
+//! * **poll** — a rate-limited zero-timeout service pass from busy
+//!   scheduler loops, so fds and timers make progress even when no worker
+//!   ever idles. Under preemption its cadence is bounded by the tick
+//!   interval — the mechanism behind bench_echo's tail-latency story.
+//!
+//! # Interest registration vs. readiness (no lost wakeup)
+//!
+//! Interest is level-triggered + one-shot (see `ult_sys::epoll`). A waiter
+//! stores itself into the fd's direction slot and *then* re-arms with
+//! `EPOLL_CTL_MOD`, both under the entry lock; the service pass takes the
+//! slot under the same lock before notifying. Readiness that predates the
+//! `MOD` is re-reported by level-triggered semantics, so the only ordering
+//! that matters is slot-store-before-arm — a fired event always finds its
+//! waiter. The waiter claim CAS (see [`crate::TimedWaiter`]) arbitrates
+//! the race against a concurrent deadline expiry.
+
+use crate::waiter::TimedWaiter;
+use crate::wheel::TimerWheel;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use ult_sys::epoll::{Epoll, Event, EV_READ, EV_WRITE};
+use ult_sys::eventfd::EventFd;
+
+/// Doorbell token (fd registrations start at 1).
+const DOORBELL: u64 = 0;
+/// Minimum spacing between opportunistic polls from busy workers.
+const POLL_INTERVAL_NS: u64 = 200_000;
+/// Events drained per service pass.
+const EVENTS_PER_PASS: usize = 64;
+
+/// Wait direction on an fd.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Dir {
+    /// Readable (accept / read / recv).
+    Read,
+    /// Writable (write / send).
+    Write,
+}
+
+#[derive(Default)]
+struct FdWait {
+    read: Option<Arc<TimedWaiter>>,
+    write: Option<Arc<TimedWaiter>>,
+}
+
+/// One registered fd: epoll token plus per-direction waiter slots.
+pub(crate) struct FdEntry {
+    fd: i32,
+    token: u64,
+    st: Mutex<FdWait>,
+}
+
+pub(crate) struct Reactor {
+    ep: Epoll,
+    doorbell: EventFd,
+    registry: Mutex<HashMap<u64, Arc<FdEntry>>>,
+    next_token: AtomicU64,
+    pub(crate) wheel: TimerWheel,
+    /// Earliest monotonic-ns instant the next opportunistic poll may run.
+    next_poll_ns: AtomicU64,
+}
+
+static REACTOR: OnceLock<Reactor> = OnceLock::new();
+
+static HOOKS: ult_core::IoHooks = ult_core::IoHooks {
+    park: park_hook,
+    wake: wake_hook,
+    poll: poll_hook,
+};
+
+/// The process reactor, initialized (and hooked into `ult-core`) on first
+/// use.
+pub(crate) fn reactor() -> &'static Reactor {
+    REACTOR.get_or_init(|| {
+        let ep = Epoll::new().expect("epoll_create1");
+        let doorbell = EventFd::new().expect("eventfd");
+        ep.add(doorbell.raw_fd(), libc::EPOLLIN, DOORBELL)
+            .expect("register doorbell");
+        let r = Reactor {
+            ep,
+            doorbell,
+            registry: Mutex::new(HashMap::new()),
+            next_token: AtomicU64::new(1),
+            wheel: TimerWheel::new(),
+            next_poll_ns: AtomicU64::new(0),
+        };
+        // Publish the hook table last: nothing invokes the hooks before
+        // this call returns, and the hooks' own `reactor()` calls block on
+        // this OnceLock until initialization completes.
+        ult_core::register_io_hooks(&HOOKS);
+        r
+    })
+}
+
+fn park_hook() {
+    let r = reactor();
+    r.service(r.wheel.next_timeout_ms(ult_sys::now_ns()));
+}
+
+// The doorbell write is a raw eventfd `write(2)`; reading the OnceLock is a
+// single acquire load (initialization is complete before the hook table is
+// ever published, so the slow init path is unreachable here).
+// sigsafe
+fn wake_hook() {
+    if let Some(r) = REACTOR.get() {
+        r.doorbell.signal();
+    }
+}
+
+fn poll_hook() {
+    let r = reactor();
+    let now = ult_sys::now_ns();
+    let next = r.next_poll_ns.load(Ordering::Relaxed);
+    if now < next
+        || r.next_poll_ns
+            .compare_exchange(
+                next,
+                now + POLL_INTERVAL_NS,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            )
+            .is_err()
+    {
+        return; // too soon, or another worker took this poll slot
+    }
+    r.service(0);
+}
+
+impl Reactor {
+    /// One service pass: wait up to `timeout_ms` for events, deliver them,
+    /// then fire due timers.
+    fn service(&self, timeout_ms: i32) {
+        let mut evs = [Event {
+            events: 0,
+            token: 0,
+        }; EVENTS_PER_PASS];
+        match self.ep.wait(&mut evs, timeout_ms) {
+            Ok(n) => {
+                for ev in &evs[..n] {
+                    self.deliver(ev);
+                }
+            }
+            Err(e) => panic!("epoll_wait failed: {e}"),
+        }
+        self.wheel.advance(ult_sys::now_ns());
+    }
+
+    /// Route one readiness event to its waiters. No allocation: the waiter
+    /// Arcs move out of the slots and into `notify`.
+    fn deliver(&self, ev: &Event) {
+        if ev.token == DOORBELL {
+            // Drain, then re-arm: registration is one-shot like every other
+            // fd (`Epoll::add` forces it), so without the `MOD` the next
+            // `signal()` — an unpark kick or a new-earliest deadline — would
+            // be lost and a poller parked with an infinite timeout would
+            // never wake. Draining before re-arming keeps the level-trigger
+            // honest: a signal landing in between is re-reported by the MOD.
+            self.doorbell.drain();
+            let _ = self
+                .ep
+                .modify(self.doorbell.raw_fd(), libc::EPOLLIN, DOORBELL);
+            return;
+        }
+        let Some(entry) = self.registry.lock().get(&ev.token).cloned() else {
+            return; // raced with deregistration
+        };
+        let (r_w, w_w);
+        {
+            let mut st = entry.st.lock();
+            r_w = if ev.events & EV_READ != 0 {
+                st.read.take()
+            } else {
+                None
+            };
+            w_w = if ev.events & EV_WRITE != 0 {
+                st.write.take()
+            } else {
+                None
+            };
+            // One-shot disarmed the whole fd; re-arm for any direction that
+            // still has a waiter (e.g. writable fired while a reader waits).
+            let mut want = 0;
+            if st.read.is_some() {
+                want |= EV_READ;
+            }
+            if st.write.is_some() {
+                want |= EV_WRITE;
+            }
+            if want != 0 {
+                let _ = self.ep.modify(entry.fd, want, entry.token);
+            }
+        }
+        if let Some(w) = r_w {
+            w.notify();
+        }
+        if let Some(w) = w_w {
+            w.notify();
+        }
+    }
+
+    /// Register `fd` with the reactor (interest armed per-wait).
+    pub(crate) fn register_fd(&self, fd: i32) -> io::Result<Arc<FdEntry>> {
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        let entry = Arc::new(FdEntry {
+            fd,
+            token,
+            st: Mutex::new(FdWait::default()),
+        });
+        self.registry.lock().insert(token, entry.clone());
+        if let Err(e) = self.ep.add(fd, 0, token) {
+            self.registry.lock().remove(&token);
+            return Err(e);
+        }
+        Ok(entry)
+    }
+
+    /// Remove `fd` from the reactor. Must run before the fd is closed.
+    pub(crate) fn deregister_fd(&self, entry: &FdEntry) {
+        self.registry.lock().remove(&entry.token);
+        let _ = self.ep.delete(entry.fd);
+    }
+
+    /// Add a deadline for `w`, ringing the doorbell when it becomes the
+    /// wheel's new earliest (a parked poller must shorten its timeout).
+    pub(crate) fn add_deadline(&self, deadline_ns: u64, w: Arc<TimedWaiter>) {
+        if self.wheel.insert(deadline_ns, w) {
+            self.doorbell.signal();
+        }
+    }
+}
+
+/// Block the current ULT until `entry`'s fd is ready in direction `dir`, or
+/// until `deadline_ns` (absolute monotonic) passes.
+///
+/// The calling KLT is never held: the ULT suspends through
+/// `block_current` and the worker goes on running other ULTs; readiness
+/// re-pushes the ULT to its home worker's pool via `make_ready`.
+///
+/// Outside the runtime (plain OS thread) this degrades to a short sleep —
+/// the caller's nonblocking-retry loop becomes a poll loop.
+pub(crate) fn wait_readiness(
+    entry: &Arc<FdEntry>,
+    dir: Dir,
+    deadline_ns: Option<u64>,
+) -> io::Result<()> {
+    if !ult_core::in_ult() {
+        if let Some(d) = deadline_ns {
+            if ult_sys::now_ns() >= d {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "I/O deadline elapsed",
+                ));
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_micros(500));
+        return Ok(());
+    }
+    let r = reactor();
+    let waiter = TimedWaiter::new();
+    let mut armed = true;
+    ult_core::block_current(|me| {
+        waiter.bind(me);
+        {
+            let mut st = entry.st.lock();
+            match dir {
+                Dir::Read => st.read = Some(waiter.clone()),
+                Dir::Write => st.write = Some(waiter.clone()),
+            }
+            let mut want = 0;
+            if st.read.is_some() {
+                want |= EV_READ;
+            }
+            if st.write.is_some() {
+                want |= EV_WRITE;
+            }
+            if r.ep.modify(entry.fd, want, entry.token).is_err() {
+                // Arm failed (fd went bad): abort the block; the caller's
+                // retry surfaces the real error from the actual syscall.
+                match dir {
+                    Dir::Read => st.read = None,
+                    Dir::Write => st.write = None,
+                }
+                armed = false;
+                return false;
+            }
+        }
+        if let Some(d) = deadline_ns {
+            r.add_deadline(d, waiter.clone());
+        }
+        true
+    });
+    if !armed {
+        return Ok(());
+    }
+    if waiter.timed_out() {
+        // Clear our stale slot so a later readiness edge is not spent on a
+        // dead waiter (notify on it would just return false, but it would
+        // also consume the one-shot edge for a future waiter on this fd).
+        let mut st = entry.st.lock();
+        match dir {
+            Dir::Read => {
+                if st.read.as_ref().is_some_and(|w| Arc::ptr_eq(w, &waiter)) {
+                    st.read = None;
+                }
+            }
+            Dir::Write => {
+                if st.write.as_ref().is_some_and(|w| Arc::ptr_eq(w, &waiter)) {
+                    st.write = None;
+                }
+            }
+        }
+        return Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            "I/O deadline elapsed",
+        ));
+    }
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Timed blocking: `sleep` and the generic deadline-block primitive that
+//! `ult-sync`'s `wait_timeout` variants are built on.
+
+use crate::reactor::reactor;
+use crate::waiter::TimedWaiter;
+use std::sync::Arc;
+use std::time::Duration;
+use ult_core::Ult;
+
+/// Suspend the current ULT for at least `dur` without holding its KLT.
+///
+/// The worker keeps running other ULTs; the timer wheel re-pushes this
+/// thread to its home pool when the deadline passes. Accuracy is the wheel
+/// granularity (~1 ms) plus reactor service latency — bounded by the
+/// preemption interval while compute ULTs keep all workers busy. Outside
+/// the runtime this is `std::thread::sleep`.
+pub fn sleep(dur: Duration) {
+    if !ult_core::in_ult() {
+        std::thread::sleep(dur);
+        return;
+    }
+    let deadline = ult_sys::now_ns().saturating_add(dur.as_nanos().min(u64::MAX as u128) as u64);
+    block_until(deadline, |_| true);
+}
+
+/// Block the current ULT until `register` hands the waiter to some wake
+/// source and that source [`TimedWaiter::notify`]s it, or until
+/// `deadline_ns` (absolute `CLOCK_MONOTONIC` ns) passes — whichever claims
+/// the waiter first. Returns `true` if the wait **timed out**.
+///
+/// `register` runs inside the suspension critical section (the thread is
+/// already committed to blocking, under `block_current`): it should publish
+/// the waiter (e.g. push it onto a wait list) and return `true`, or return
+/// `false` to abort blocking (condition already satisfied). The waiter is
+/// additionally scheduled on the timer wheel; whichever of
+/// notify/expiry wins the claim CAS wakes the thread, the loser's
+/// reference goes stale and is pruned lazily.
+///
+/// # Panics
+/// Panics outside a ULT (as `block_current` does) — `ult-sync` falls back
+/// to its OS-thread paths before calling this.
+pub fn block_until<F>(deadline_ns: u64, register: F) -> bool
+where
+    F: FnOnce(&Arc<TimedWaiter>) -> bool,
+{
+    let r = reactor();
+    let waiter = TimedWaiter::new();
+    let mut armed = true;
+    ult_core::block_current(|me: &Arc<Ult>| {
+        waiter.bind(me);
+        if !register(&waiter) {
+            armed = false;
+            return false;
+        }
+        r.add_deadline(deadline_ns, waiter.clone());
+        true
+    });
+    armed && waiter.timed_out()
+}
+
+/// [`block_until`] with a relative timeout.
+pub fn block_for<F>(timeout: Duration, register: F) -> bool
+where
+    F: FnOnce(&Arc<TimedWaiter>) -> bool,
+{
+    let deadline =
+        ult_sys::now_ns().saturating_add(timeout.as_nanos().min(u64::MAX as u128) as u64);
+    block_until(deadline, register)
+}

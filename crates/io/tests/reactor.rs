@@ -1,0 +1,146 @@
+//! Functional tests of the reactor, sockets and timer wheel from inside
+//! the runtime.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use ult_core::{Config, Runtime};
+
+fn rt(workers: usize) -> Runtime {
+    Runtime::start(Config {
+        num_workers: workers,
+        ..Config::default()
+    })
+}
+
+#[test]
+fn sleep_suspends_without_holding_the_worker() {
+    let rt = rt(1);
+    let progressed = Arc::new(AtomicBool::new(false));
+    let p2 = progressed.clone();
+    // Sleeper parks on the wheel; the second ULT must run meanwhile on the
+    // single worker — impossible if sleep held the KLT.
+    let sleeper = rt.spawn(move || {
+        let t0 = ult_sys::now_ns();
+        ult_io::sleep(Duration::from_millis(50));
+        let elapsed = ult_sys::now_ns() - t0;
+        assert!(
+            elapsed >= 50_000_000,
+            "sleep returned after {elapsed} ns < 50 ms"
+        );
+        assert!(p2.load(Ordering::SeqCst), "worker was held during sleep");
+    });
+    let marker = rt.spawn(move || {
+        progressed.store(true, Ordering::SeqCst);
+    });
+    marker.join();
+    sleeper.join();
+    rt.shutdown();
+}
+
+#[test]
+fn tcp_echo_between_ults() {
+    let rt = rt(2);
+    let ln = rt
+        .spawn(|| ult_io::TcpListener::bind("127.0.0.1:0").unwrap())
+        .join();
+    let addr = ln.local_addr().unwrap();
+    let server = rt.spawn(move || {
+        let (s, _) = ln.accept().unwrap();
+        let mut buf = [0u8; 64];
+        loop {
+            let n = s.read(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            s.write_all(&buf[..n]).unwrap();
+        }
+    });
+    let client = rt.spawn(move || {
+        let s = ult_io::TcpStream::connect(addr).unwrap();
+        for i in 0..32u8 {
+            let msg = [i; 16];
+            s.write_all(&msg).unwrap();
+            let mut back = [0u8; 16];
+            s.read_exact(&mut back).unwrap();
+            assert_eq!(back, msg);
+        }
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+    });
+    client.join();
+    server.join();
+    rt.shutdown();
+}
+
+#[test]
+fn udp_round_trip() {
+    let rt = rt(1);
+    rt.spawn(|| {
+        let a = ult_io::UdpSocket::bind("127.0.0.1:0").unwrap();
+        let b = ult_io::UdpSocket::bind("127.0.0.1:0").unwrap();
+        let addr_b = b.local_addr().unwrap();
+        assert_eq!(a.send_to(b"ping", addr_b).unwrap(), 4);
+        let mut buf = [0u8; 16];
+        let (n, from) = b.recv_from(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping");
+        assert_eq!(from, a.local_addr().unwrap());
+    })
+    .join();
+    rt.shutdown();
+}
+
+#[test]
+fn read_timeout_fires_and_connection_survives() {
+    let rt = rt(2);
+    let ln = rt
+        .spawn(|| ult_io::TcpListener::bind("127.0.0.1:0").unwrap())
+        .join();
+    let addr = ln.local_addr().unwrap();
+    let server = rt.spawn(move || {
+        let (s, _) = ln.accept().unwrap();
+        // Say nothing for a while, then answer.
+        ult_io::sleep(Duration::from_millis(80));
+        s.write_all(b"late").unwrap();
+        let mut buf = [0u8; 4];
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"done");
+    });
+    let client = rt.spawn(move || {
+        let s = ult_io::TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_millis(10)));
+        let mut buf = [0u8; 4];
+        let t0 = ult_sys::now_ns();
+        let err = s.read(&mut buf).unwrap_err();
+        let waited = ult_sys::now_ns() - t0;
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+        assert!(waited >= 9_000_000, "timed out after only {waited} ns");
+        // A timed-out read must not poison the stream.
+        s.set_read_timeout(None);
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"late");
+        s.write_all(b"done").unwrap();
+    });
+    client.join();
+    server.join();
+    rt.shutdown();
+}
+
+#[test]
+fn many_concurrent_sleepers_fire_in_order() {
+    let rt = rt(2);
+    let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let mut handles = Vec::new();
+    // Spawn in shuffled deadline order to exercise wheel hashing.
+    for &ms in &[40u64, 10, 30, 20, 50] {
+        let order = order.clone();
+        handles.push(rt.spawn(move || {
+            ult_io::sleep(Duration::from_millis(ms));
+            order.lock().push(ms);
+        }));
+    }
+    for h in handles {
+        h.join();
+    }
+    assert_eq!(*order.lock(), vec![10, 20, 30, 40, 50]);
+    rt.shutdown();
+}

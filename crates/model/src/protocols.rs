@@ -19,6 +19,11 @@
 //!   vs `sched::rearm_on_push`): flag store, fence, work check — against —
 //!   work publish, fence, flag check. The invariant is that published
 //!   work never ends with the tick still elided.
+//! * [`ModelReactor`] / [`ModelInterest`] — the `ult-io` reactor wake
+//!   protocol (`io_hook::poller_park` claiming the poller slot vs a waker
+//!   ringing the eventfd doorbell) and the interest-registration path
+//!   (slot-store-before-arm, `MOD` re-report, `TimedWaiter` claim CAS
+//!   arbitrating readiness against deadline expiry).
 //!
 //! Every scenario keeps the concurrent window to a handful of operations
 //! per thread: the explorer is exhaustive and pays for every extra op.
@@ -328,6 +333,181 @@ pub fn epoch_growth_vs_steal() {
         stolen.is_none() || stolen == Some(10),
         "steal claimed logical index 0 but read {stolen:?}"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Reactor: poller park vs doorbell wake, interest arm vs readiness
+// ---------------------------------------------------------------------------
+
+/// The reactor wake protocol (`io_hook::poller_park` vs `Worker::unpark`
+/// followed by `io_hook::unpark_kick`, with `ult-io`'s eventfd doorbell as
+/// the wake channel). `claim` is the process-wide `POLLER` slot, `token` the
+/// counted futex, `work` the ready-pool occupancy, `doorbell` the eventfd
+/// counter — a rung doorbell is never lost, because the counter stays
+/// readable until drained, waking an `epoll_wait` already in progress or
+/// one entered later.
+pub struct ModelReactor {
+    claim: AtomicBool,
+    token: AtomicUsize,
+    work: AtomicUsize,
+    doorbell: AtomicUsize,
+}
+
+/// Run the two halves concurrently; returns
+/// `(entered_epoll, doorbell, work)` at quiescence. The stranded outcome
+/// — poller inside `epoll_wait`, work published, doorbell silent — must
+/// be unreachable with the faithful SeqCst claim/fence pairing, and is
+/// reachable under the Release/Acquire weakening (the same broken Dekker
+/// as the tick-elision model, one layer down the park stack).
+pub fn poller_park_vs_wake(weaken: bool) -> (bool, usize, usize) {
+    let (claim_store, claim_load, token_store, fence_ord) = if weaken {
+        (
+            Ordering::Release,
+            Ordering::Acquire,
+            Ordering::Release,
+            Ordering::AcqRel,
+        )
+    } else {
+        (
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        )
+    };
+    let s = Arc::new(ModelReactor {
+        claim: AtomicBool::new(false),
+        token: AtomicUsize::new(0),
+        work: AtomicUsize::new(0),
+        doorbell: AtomicUsize::new(0),
+    });
+    let s2 = s.clone();
+    // Waker half (`sched::on_ready` → `Worker::unpark` → `unpark_kick`):
+    // publish work, deposit the futex token, fence, then ring the doorbell
+    // if the poller slot is claimed.
+    let waker = thread::spawn(move || {
+        s2.work.store(1, Ordering::Release);
+        s2.token.store(1, token_store);
+        fence(fence_ord);
+        if s2.claim.load(claim_load) {
+            s2.doorbell.fetch_add(1, Ordering::AcqRel);
+        }
+    });
+    // Poller half (`poller_park`): claim the slot, fence, then consume a
+    // deposited token / re-check the pools; only if both come up empty does
+    // it commit to `epoll_wait`, where futex tokens can no longer reach it.
+    s.claim.store(true, claim_store);
+    fence(fence_ord);
+    let parked = if s.token.swap(0, Ordering::AcqRel) == 0 && s.work.load(Ordering::Acquire) == 0 {
+        true
+    } else {
+        s.claim.store(false, claim_store);
+        false
+    };
+    waker.join();
+    (
+        parked,
+        s.doorbell.load(Ordering::Acquire),
+        s.work.load(Ordering::Acquire),
+    )
+}
+
+/// One registered fd of the reactor: `ready` is the kernel's
+/// level-triggered readiness latch, `armed` the one-shot epoll interest,
+/// `slot` the per-direction waiter slot, `state`/`wakes` the
+/// `TimedWaiter` claim (0 = waiting, 1 = notified, 2 = timed out).
+pub struct ModelInterest {
+    ready: AtomicBool,
+    armed: AtomicBool,
+    slot: AtomicUsize,
+    state: AtomicUsize,
+    wakes: AtomicUsize,
+}
+
+impl ModelInterest {
+    fn new() -> Self {
+        ModelInterest {
+            ready: AtomicBool::new(false),
+            armed: AtomicBool::new(false),
+            slot: AtomicUsize::new(0),
+            state: AtomicUsize::new(0),
+            wakes: AtomicUsize::new(0),
+        }
+    }
+
+    /// One event delivery (`Reactor::deliver`): consume the one-shot arm,
+    /// take the waiter slot, and wake through the claim CAS — which is
+    /// what makes a double delivery harmless.
+    fn deliver(&self) {
+        if self.armed.swap(false, Ordering::AcqRel) {
+            let w = self.slot.swap(0, Ordering::AcqRel);
+            if w != 0
+                && self
+                    .state
+                    .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                self.wakes.fetch_add(1, Ordering::AcqRel);
+            }
+        }
+    }
+
+    /// Deadline expiry (`TimedWaiter::expire`): the other claimant.
+    fn expire(&self) {
+        if self
+            .state
+            .compare_exchange(0, 2, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            self.wakes.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+}
+
+/// Interest registration racing fd readiness: the kernel publishes
+/// readiness and delivers if interest is armed; the registrar stores the
+/// waiter slot, arms, and then — modeling `EPOLL_CTL_MOD`'s re-report of
+/// level-triggered readiness — delivers again if readiness is already
+/// visible. Returns the final wake count: exactly 1 when `rereport` is
+/// true (slot-store-before-arm + re-report + claim dedupe), while
+/// `rereport = false` (edge-triggered-style arming) can strand the waiter
+/// at 0 — the lost-wakeup this design exists to exclude.
+pub fn interest_registration_vs_readiness(rereport: bool) -> usize {
+    let s = Arc::new(ModelInterest::new());
+    let s2 = s.clone();
+    // Kernel half: readiness latches, then the pending service pass runs.
+    // The latch and the re-report check below are SeqCst because both sides
+    // of the real race are *kernel-serialized* (the readiness update and the
+    // `epoll_ctl` syscall hit the same ep->lock); modeling them weaker would
+    // invent a reordering the syscall boundary forbids.
+    let kernel = thread::spawn(move || {
+        s2.ready.store(true, Ordering::SeqCst);
+        s2.deliver();
+    });
+    // Registrar half (`wait_readiness`): slot before arm, then the MOD
+    // re-report.
+    s.slot.store(1, Ordering::Release);
+    s.armed.store(true, Ordering::Release);
+    if rereport && s.ready.load(Ordering::SeqCst) {
+        s.deliver();
+    }
+    kernel.join();
+    s.wakes.load(Ordering::Acquire)
+}
+
+/// Readiness delivery racing deadline expiry on an armed, registered
+/// waiter: the claim CAS must produce exactly one wake — a recycled ULT
+/// descriptor woken twice is use-after-free in the real runtime.
+pub fn readiness_vs_deadline_single_wake() -> usize {
+    let s = Arc::new(ModelInterest::new());
+    s.slot.store(1, Ordering::Relaxed);
+    s.armed.store(true, Ordering::Relaxed);
+    s.ready.store(true, Ordering::Relaxed);
+    let s2 = s.clone();
+    let service = thread::spawn(move || s2.deliver());
+    s.expire();
+    service.join();
+    s.wakes.load(Ordering::Acquire)
 }
 
 // ---------------------------------------------------------------------------

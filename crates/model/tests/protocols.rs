@@ -68,6 +68,68 @@ fn weakened_tick_elision_strands_work() {
     );
 }
 
+/// The faithful poller-park/doorbell-wake pairing never leaves the poller
+/// inside `epoll_wait` with work published and the doorbell silent.
+#[test]
+fn reactor_poller_is_never_stranded() {
+    let outs = ult_model::outcomes(|| protocols::poller_park_vs_wake(false));
+    assert!(
+        !outs
+            .iter()
+            .any(|&(parked, doorbell, work)| parked && doorbell == 0 && work > 0),
+        "poller stranded in epoll_wait with work queued: {outs:?}"
+    );
+}
+
+/// The Release/Acquire weakening of the same pairing does strand the
+/// poller — the model can represent the lost wakeup, so the test above
+/// has teeth.
+#[test]
+fn weakened_reactor_wake_strands_poller() {
+    let outs = ult_model::outcomes(|| protocols::poller_park_vs_wake(true));
+    assert!(
+        outs.contains(&(true, 0, 1)),
+        "weakened Dekker should reach the stranded state: {outs:?}"
+    );
+}
+
+/// Slot-store-before-arm plus the `EPOLL_CTL_MOD` level-triggered
+/// re-report delivers exactly one wake in every interleaving of
+/// registration against fd readiness.
+#[test]
+fn interest_registration_never_loses_readiness() {
+    let outs = ult_model::outcomes(|| protocols::interest_registration_vs_readiness(true));
+    assert!(
+        outs.iter().all(|&wakes| wakes == 1),
+        "registration vs readiness must wake exactly once: {outs:?}"
+    );
+}
+
+/// Arming without the re-report (edge-triggered style) can lose a
+/// readiness edge that fired before the arm — the failure mode the
+/// level-triggered design exists to exclude.
+#[test]
+fn interest_without_rereport_can_strand_the_waiter() {
+    let outs = ult_model::outcomes(|| protocols::interest_registration_vs_readiness(false));
+    assert!(
+        outs.contains(&0),
+        "without the MOD re-report a pre-arm readiness edge should be lost: {outs:?}"
+    );
+}
+
+/// Readiness delivery racing deadline expiry: the `TimedWaiter` claim CAS
+/// yields exactly one wake in every interleaving (a double wake of a
+/// recycled descriptor would be use-after-free in the real runtime).
+#[test]
+fn readiness_vs_deadline_wakes_exactly_once() {
+    let r = ult_model::check(|| {
+        let wakes = protocols::readiness_vs_deadline_single_wake();
+        assert_eq!(wakes, 1, "claim CAS must produce exactly one wake");
+    });
+    assert_exhaustive_unless_budgeted(r);
+    println!("readiness-vs-deadline: {} executions", r.executions);
+}
+
 /// Runs only in the mutation subprocess: checking the deque with the
 /// `take_bottom` fence downgraded to Acquire is expected to panic with a
 /// double-claim.

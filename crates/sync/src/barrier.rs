@@ -51,8 +51,8 @@ impl Barrier {
             // SAFETY: under lock.
             let all = unsafe { (*self.waiters.get()).drain() };
             self.lock.unlock();
-            for t in all {
-                ult_core::make_ready(&t);
+            for w in all {
+                w.wake();
             }
             return true;
         }

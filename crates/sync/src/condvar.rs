@@ -63,6 +63,73 @@ impl Condvar {
         mutex.lock()
     }
 
+    /// Like [`Condvar::wait`], but give up once `dur` elapses. Returns the
+    /// re-acquired guard and `true` if the wait **timed out** (no
+    /// notification claimed this waiter before its deadline).
+    ///
+    /// Backed by `ult-io`'s timer wheel: the waiter is pushed onto the wait
+    /// list *and* scheduled on the wheel; whichever of notify/expiry wins
+    /// the claim CAS wakes the ULT, and the loser's list entry is pruned
+    /// lazily by the next `notify_one`. Spurious wakeups are possible, as
+    /// with `wait`; callers loop on their predicate (or use
+    /// [`Condvar::wait_timeout_while`]).
+    pub fn wait_timeout<'a, T: ?Sized>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let mutex: &'a Mutex<T> = MutexGuard::mutex(&guard);
+        let timed_out = if ult_core::in_ult() {
+            ult_io::block_for(dur, |w| {
+                self.lock.lock();
+                // SAFETY: under lock.
+                unsafe { (*self.waiters.get()).push_timed(w.clone()) };
+                self.lock.unlock();
+                // Release the mutex only after registration (same
+                // missed-notify argument as `wait`).
+                drop(guard);
+                true
+            })
+        } else {
+            use std::sync::atomic::Ordering;
+            let e = self.epoch.load(Ordering::Acquire);
+            drop(guard);
+            let deadline = std::time::Instant::now() + dur;
+            loop {
+                if self.epoch.load(Ordering::Acquire) != e {
+                    break false;
+                }
+                if std::time::Instant::now() >= deadline {
+                    break true;
+                }
+                std::thread::yield_now();
+            }
+        };
+        (mutex.lock(), timed_out)
+    }
+
+    /// Wait with a timeout until `pred` stops holding. Returns `true` in
+    /// the flag position if the deadline passed with `pred` still true.
+    pub fn wait_timeout_while<'a, T: ?Sized, F>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        dur: std::time::Duration,
+        mut pred: F,
+    ) -> (MutexGuard<'a, T>, bool)
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        let deadline = std::time::Instant::now() + dur;
+        while pred(&mut *guard) {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return (guard, true);
+            }
+            guard = self.wait_timeout(guard, deadline - now).0;
+        }
+        (guard, false)
+    }
+
     /// Wait until `pred` holds.
     pub fn wait_while<'a, T: ?Sized, F>(
         &self,
@@ -79,15 +146,26 @@ impl Condvar {
     }
 
     /// Wake one waiter.
+    ///
+    /// A popped `wait_timeout` entry may already belong to its deadline; a
+    /// dead entry absorbs no notification — the pop loop moves on to the
+    /// next live waiter (and prunes the corpse as a side effect).
     pub fn notify_one(&self) {
         use std::sync::atomic::Ordering;
         self.epoch.fetch_add(1, Ordering::AcqRel);
-        self.lock.lock();
-        // SAFETY: under lock.
-        let t = unsafe { (*self.waiters.get()).pop() };
-        self.lock.unlock();
-        if let Some(t) = t {
-            ult_core::make_ready(&t);
+        loop {
+            self.lock.lock();
+            // SAFETY: under lock.
+            let w = unsafe { (*self.waiters.get()).pop() };
+            self.lock.unlock();
+            match w {
+                Some(w) => {
+                    if w.wake() {
+                        return;
+                    }
+                }
+                None => return,
+            }
         }
     }
 
@@ -99,8 +177,8 @@ impl Condvar {
         // SAFETY: under lock.
         let all = unsafe { (*self.waiters.get()).drain() };
         self.lock.unlock();
-        for t in all {
-            ult_core::make_ready(&t);
+        for w in all {
+            w.wake(); // dead timed entries are simply discarded
         }
     }
 

@@ -41,11 +41,41 @@ pub(crate) mod waitlist {
     use std::collections::VecDeque;
     use std::sync::Arc;
     use ult_core::thread::Ult;
+    use ult_io::TimedWaiter;
 
-    /// FIFO list of parked ULTs, protected by the caller's lock.
+    /// One parked waiter.
+    ///
+    /// Untimed waiters are plain ULTs: waking them always succeeds. Timed
+    /// waiters (`wait_timeout` / `acquire_timeout`) race the timer wheel:
+    /// the wake can lose the claim CAS to a concurrent deadline expiry, in
+    /// which case the entry is dead and the wake must fall through to the
+    /// next waiter. Dead entries left behind by an expiry are pruned lazily
+    /// by exactly this skip.
+    pub enum Waiter {
+        /// A plain parked ULT.
+        Ult(Arc<Ult>),
+        /// A deadline-racing waiter (registered on the timer wheel too).
+        Timed(Arc<TimedWaiter>),
+    }
+
+    impl Waiter {
+        /// Wake this waiter. Returns `false` when the entry was already
+        /// claimed by its deadline — the caller should wake the next one.
+        pub fn wake(self) -> bool {
+            match self {
+                Waiter::Ult(t) => {
+                    ult_core::make_ready(&t);
+                    true
+                }
+                Waiter::Timed(w) => w.notify(),
+            }
+        }
+    }
+
+    /// FIFO list of parked waiters, protected by the caller's lock.
     #[derive(Default)]
     pub struct WaitList {
-        queue: VecDeque<Arc<Ult>>,
+        queue: VecDeque<Waiter>,
     }
 
     impl WaitList {
@@ -56,22 +86,28 @@ pub(crate) mod waitlist {
             }
         }
 
-        /// Register a waiter.
+        /// Register an untimed waiter.
         pub fn push(&mut self, t: Arc<Ult>) {
-            self.queue.push_back(t);
+            self.queue.push_back(Waiter::Ult(t));
         }
 
-        /// Pop the oldest waiter.
-        pub fn pop(&mut self) -> Option<Arc<Ult>> {
+        /// Register a timed waiter.
+        pub fn push_timed(&mut self, w: Arc<TimedWaiter>) {
+            self.queue.push_back(Waiter::Timed(w));
+        }
+
+        /// Pop the oldest waiter (possibly a dead timed entry — check
+        /// [`Waiter::wake`]'s return).
+        pub fn pop(&mut self) -> Option<Waiter> {
             self.queue.pop_front()
         }
 
         /// Take everything (broadcast).
-        pub fn drain(&mut self) -> Vec<Arc<Ult>> {
+        pub fn drain(&mut self) -> Vec<Waiter> {
             self.queue.drain(..).collect()
         }
 
-        /// Number of waiters.
+        /// Number of waiters (dead timed entries included until pruned).
         pub fn len(&self) -> usize {
             self.queue.len()
         }

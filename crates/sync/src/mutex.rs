@@ -119,8 +119,8 @@ impl<T: ?Sized> Mutex<T> {
         // SAFETY: under wait_lock.
         let next = unsafe { (*self.waiters.get()).pop() };
         self.wait_lock.unlock();
-        if let Some(t) = next {
-            ult_core::make_ready(&t);
+        if let Some(w) = next {
+            w.wake();
         }
     }
 }

@@ -192,10 +192,10 @@ impl<T: ?Sized> RwLock<T> {
         };
         self.lock.unlock();
         if let Some(wt) = writer {
-            ult_core::make_ready(&wt);
+            wt.wake();
         }
         for r in readers {
-            ult_core::make_ready(&r);
+            r.wake();
         }
     }
 }

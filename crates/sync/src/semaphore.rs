@@ -70,15 +70,75 @@ impl Semaphore {
         }
     }
 
-    /// Return one permit, waking a parked waiter if any.
+    /// Take one permit or give up after `timeout`. Returns `false` on
+    /// timeout (no permit taken).
+    ///
+    /// Backed by the `ult-io` timer wheel: the waiter sits on the wait list
+    /// and the wheel simultaneously; a [`Semaphore::release`] that loses
+    /// the claim race to the deadline simply wakes the next waiter, so no
+    /// permit is ever spent on a corpse.
+    pub fn acquire_timeout(&self, timeout: std::time::Duration) -> bool {
+        if self.try_acquire() {
+            return true;
+        }
+        if !ult_core::in_ult() {
+            let deadline = std::time::Instant::now() + timeout;
+            loop {
+                if self.try_acquire() {
+                    return true;
+                }
+                if std::time::Instant::now() >= deadline {
+                    return false;
+                }
+                std::thread::yield_now();
+            }
+        }
+        let deadline_ns =
+            ult_sys::now_ns().saturating_add(timeout.as_nanos().min(u64::MAX as u128) as u64);
+        loop {
+            let mut got = false;
+            let timed_out = ult_io::block_until(deadline_ns, |w| {
+                self.lock.lock();
+                if self.try_acquire() {
+                    self.lock.unlock();
+                    got = true;
+                    return false;
+                }
+                // SAFETY: under lock.
+                unsafe { (*self.waiters.get()).push_timed(w.clone()) };
+                self.lock.unlock();
+                true
+            });
+            if got || self.try_acquire() {
+                return true;
+            }
+            if timed_out || ult_sys::now_ns() >= deadline_ns {
+                // Either our deadline claimed us, or we were notified but a
+                // barger stole the permit and the deadline has since passed.
+                return false;
+            }
+            // Notified but outraced: go around with the same deadline.
+        }
+    }
+
+    /// Return one permit, waking a parked waiter if any. A waiter whose
+    /// `acquire_timeout` deadline already claimed it is dead — skip it and
+    /// wake the next, so the permit's wakeup is never lost.
     pub fn release(&self) {
         self.permits.fetch_add(1, Ordering::Release);
-        self.lock.lock();
-        // SAFETY: under lock.
-        let t = unsafe { (*self.waiters.get()).pop() };
-        self.lock.unlock();
-        if let Some(t) = t {
-            ult_core::make_ready(&t);
+        loop {
+            self.lock.lock();
+            // SAFETY: under lock.
+            let w = unsafe { (*self.waiters.get()).pop() };
+            self.lock.unlock();
+            match w {
+                Some(w) => {
+                    if w.wake() {
+                        return;
+                    }
+                }
+                None => return,
+            }
         }
     }
 

@@ -52,8 +52,8 @@ impl WaitGroup {
             // SAFETY: under lock.
             let all = unsafe { (*self.waiters.get()).drain() };
             self.lock.unlock();
-            for t in all {
-                ult_core::make_ready(&t);
+            for w in all {
+                w.wake();
             }
         }
     }

@@ -1,0 +1,216 @@
+//! Timed blocking: `Condvar::wait_timeout` / `Semaphore::acquire_timeout`
+//! backed by the `ult-io` timer wheel. Deadlines must fire in order, a
+//! notification must beat a later deadline, and stale timed entries must
+//! never absorb a wakeup meant for a live waiter.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use ult_core::{Config, Runtime};
+use ult_sync::{Condvar, Mutex, Semaphore};
+
+fn rt(workers: usize) -> Runtime {
+    Runtime::start(Config {
+        num_workers: workers,
+        ..Config::default()
+    })
+}
+
+#[test]
+fn condvar_wait_timeout_expires() {
+    let r = rt(2);
+    let pair = Arc::new((Mutex::new(false), Condvar::new()));
+    let p = pair.clone();
+    r.spawn(move || {
+        let (m, cv) = &*p;
+        let g = m.lock();
+        let t0 = ult_sys::now_ns();
+        let (_g, timed_out) = cv.wait_timeout(g, Duration::from_millis(20));
+        let waited = ult_sys::now_ns() - t0;
+        assert!(timed_out, "nobody notified; must time out");
+        assert!(waited >= 19_000_000, "woke after only {waited} ns");
+    })
+    .join();
+    r.shutdown();
+}
+
+#[test]
+fn condvar_notify_beats_deadline() {
+    let r = rt(2);
+    let pair = Arc::new((Mutex::new(false), Condvar::new()));
+    let p = pair.clone();
+    let waiter = r.spawn(move || {
+        let (m, cv) = &*p;
+        let mut g = m.lock();
+        let mut timed_out = false;
+        while !*g && !timed_out {
+            (g, timed_out) = cv.wait_timeout(g, Duration::from_millis(500));
+        }
+        assert!(
+            !timed_out,
+            "notify came at 10 ms; 500 ms deadline must lose"
+        );
+    });
+    let p = pair.clone();
+    let notifier = r.spawn(move || {
+        ult_io::sleep(Duration::from_millis(10));
+        let (m, cv) = &*p;
+        *m.lock() = true;
+        cv.notify_one();
+    });
+    let t0 = std::time::Instant::now();
+    waiter.join();
+    notifier.join();
+    assert!(
+        t0.elapsed() < Duration::from_millis(400),
+        "waiter should have woken on the notify, not the deadline"
+    );
+    r.shutdown();
+}
+
+#[test]
+fn condvar_deadlines_fire_in_order() {
+    let r = rt(2);
+    let pair = Arc::new((Mutex::new(()), Condvar::new()));
+    let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let mut handles = Vec::new();
+    // Shuffled registration order; expiry order must follow the deadlines.
+    for &ms in &[60u64, 20, 40] {
+        let pair = pair.clone();
+        let order = order.clone();
+        handles.push(r.spawn(move || {
+            let (m, cv) = &*pair;
+            let g = m.lock();
+            let (_g, timed_out) = cv.wait_timeout(g, Duration::from_millis(ms));
+            assert!(timed_out);
+            order.lock().push(ms);
+        }));
+    }
+    for h in handles {
+        h.join();
+    }
+    assert_eq!(*order.lock(), vec![20, 40, 60]);
+    r.shutdown();
+}
+
+#[test]
+fn stale_timed_entry_does_not_eat_notify() {
+    let r = rt(2);
+    let pair = Arc::new((Mutex::new(false), Condvar::new()));
+
+    // First waiter times out, leaving a dead entry at the list head.
+    let p = pair.clone();
+    r.spawn(move || {
+        let (m, cv) = &*p;
+        let (_g, timed_out) = cv.wait_timeout(m.lock(), Duration::from_millis(10));
+        assert!(timed_out);
+    })
+    .join();
+
+    // Second waiter (untimed) sits behind the corpse; notify_one must skip
+    // the dead entry and wake it.
+    let p = pair.clone();
+    let live = r.spawn(move || {
+        let (m, cv) = &*p;
+        let mut g = m.lock();
+        while !*g {
+            g = cv.wait(g);
+        }
+    });
+    let p = pair.clone();
+    r.spawn(move || {
+        ult_io::sleep(Duration::from_millis(10));
+        let (m, cv) = &*p;
+        *m.lock() = true;
+        cv.notify_one();
+    })
+    .join();
+    live.join();
+    r.shutdown();
+}
+
+#[test]
+fn semaphore_acquire_timeout_expires_without_permit() {
+    let r = rt(2);
+    let s = Arc::new(Semaphore::new(0));
+    let s2 = s.clone();
+    r.spawn(move || {
+        let t0 = ult_sys::now_ns();
+        assert!(!s2.acquire_timeout(Duration::from_millis(20)));
+        let waited = ult_sys::now_ns() - t0;
+        assert!(waited >= 19_000_000, "gave up after only {waited} ns");
+    })
+    .join();
+    assert_eq!(s.available(), 0, "timed-out acquire must not take a permit");
+    r.shutdown();
+}
+
+#[test]
+fn semaphore_release_beats_deadline() {
+    let r = rt(2);
+    let s = Arc::new(Semaphore::new(0));
+    let s2 = s.clone();
+    let taker = r.spawn(move || {
+        assert!(s2.acquire_timeout(Duration::from_millis(500)));
+    });
+    let s2 = s.clone();
+    r.spawn(move || {
+        ult_io::sleep(Duration::from_millis(10));
+        s2.release();
+    })
+    .join();
+    let t0 = std::time::Instant::now();
+    taker.join();
+    assert!(t0.elapsed() < Duration::from_millis(400));
+    r.shutdown();
+}
+
+#[test]
+fn semaphore_permit_not_lost_to_dead_waiter() {
+    let r = rt(2);
+    let s = Arc::new(Semaphore::new(0));
+
+    // Leave a timed-out corpse on the wait list.
+    let s2 = s.clone();
+    r.spawn(move || {
+        assert!(!s2.acquire_timeout(Duration::from_millis(10)));
+    })
+    .join();
+
+    // A live untimed acquirer behind it must still get the released permit.
+    let got = Arc::new(AtomicUsize::new(0));
+    let s2 = s.clone();
+    let g2 = got.clone();
+    let live = r.spawn(move || {
+        s2.acquire();
+        g2.fetch_add(1, Ordering::SeqCst);
+    });
+    let s2 = s.clone();
+    r.spawn(move || {
+        ult_io::sleep(Duration::from_millis(10));
+        s2.release();
+    })
+    .join();
+    live.join();
+    assert_eq!(got.load(Ordering::SeqCst), 1);
+    r.shutdown();
+}
+
+#[test]
+fn wait_timeout_while_respects_total_deadline() {
+    let r = rt(2);
+    let pair = Arc::new((Mutex::new(0u32), Condvar::new()));
+    let p = pair.clone();
+    r.spawn(move || {
+        let (m, cv) = &*p;
+        let t0 = std::time::Instant::now();
+        let (_g, timed_out) =
+            cv.wait_timeout_while(m.lock(), Duration::from_millis(30), |v| *v < 10);
+        assert!(timed_out, "predicate never satisfied");
+        assert!(t0.elapsed() >= Duration::from_millis(29));
+        // The total budget is shared across re-waits, not per-wait.
+        assert!(t0.elapsed() < Duration::from_millis(300));
+    })
+    .join();
+    r.shutdown();
+}

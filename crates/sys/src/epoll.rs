@@ -1,0 +1,190 @@
+//! `epoll(7)` instance wrapper.
+//!
+//! The reactor (crate `ult-io`) multiplexes every nonblocking socket the
+//! runtime owns onto one epoll instance per process. The designated poller
+//! worker parks in [`Epoll::wait`] instead of its futex (the third park mode
+//! of `idle_wait`), so a ULT blocked on I/O never holds a KLT: the KLT either
+//! runs other ULTs or sleeps in the kernel until an fd fires.
+//!
+//! All interest is registered **level-triggered with `EPOLLONESHOT`**: after
+//! an fd fires it reports nothing until re-armed with [`Epoll::modify`].
+//! One-shot keeps the wake path single-consumer (exactly one poller observes
+//! each readiness edge, so exactly one waiter claim happens per edge) and
+//! level-triggered semantics at `EPOLL_CTL_MOD` time close the
+//! register-after-ready race: if the fd became ready *before* the waiter
+//! armed interest, the kernel reports it on the next wait anyway.
+
+use std::io;
+
+/// Event bit: fd readable (or peer hung up — read returns 0/err promptly).
+pub const EV_READ: u32 = libc::EPOLLIN | libc::EPOLLRDHUP | libc::EPOLLHUP | libc::EPOLLERR;
+/// Event bit: fd writable (or errored — write surfaces the error promptly).
+pub const EV_WRITE: u32 = libc::EPOLLOUT | libc::EPOLLHUP | libc::EPOLLERR;
+
+/// A single readiness event returned by [`Epoll::wait`].
+///
+/// Plain-old-data mirror of the kernel struct; copied out field-by-field so
+/// callers never touch the packed layout directly.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// `EPOLL*` readiness bits.
+    pub events: u32,
+    /// The token supplied at [`Epoll::add`] time.
+    pub token: u64,
+}
+
+/// An owned epoll instance. Closed on drop.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: i32,
+}
+
+impl Epoll {
+    /// Create a new epoll instance (`EPOLL_CLOEXEC`).
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: plain syscall, no pointers.
+        let fd = unsafe { libc::epoll_create1(libc::EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: i32, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = libc::epoll_event { events, u64: token };
+        // SAFETY: self.fd is a live epoll fd; `ev` is a valid event struct
+        // (ignored by the kernel for DEL).
+        if unsafe { libc::epoll_ctl(self.fd, op, fd, &mut ev) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Register `fd` with interest `events` (pass 0 to register without
+    /// arming; error/hangup conditions may still be reported). `token` comes
+    /// back verbatim in [`Event::token`].
+    pub fn add(&self, fd: i32, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(libc::EPOLL_CTL_ADD, fd, events | libc::EPOLLONESHOT, token)
+    }
+
+    /// Re-arm a registered fd with a (possibly new) interest set. This is the
+    /// one-shot rearm: called every time a waiter registers interest.
+    pub fn modify(&self, fd: i32, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(libc::EPOLL_CTL_MOD, fd, events | libc::EPOLLONESHOT, token)
+    }
+
+    /// Remove `fd` from the interest set (before the fd is closed).
+    pub fn delete(&self, fd: i32) -> io::Result<()> {
+        self.ctl(libc::EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Block for up to `timeout_ms` milliseconds (`-1` = forever, `0` =
+    /// non-blocking poll) and copy up to `out.len()` events into `out`.
+    /// Returns the number filled; `EINTR` is absorbed as 0 events so callers
+    /// re-evaluate their predicates (preemption signals land on workers).
+    pub fn wait(&self, out: &mut [Event], timeout_ms: i32) -> io::Result<usize> {
+        const MAX: usize = 64;
+        let cap = out.len().min(MAX) as i32;
+        if cap == 0 {
+            return Ok(0);
+        }
+        let mut raw = [libc::epoll_event { events: 0, u64: 0 }; MAX];
+        // SAFETY: raw buffer is valid for `cap` entries; self.fd is live.
+        let n = unsafe { libc::epoll_wait(self.fd, raw.as_mut_ptr(), cap, timeout_ms) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.raw_os_error() == Some(libc::EINTR) {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        for (i, r) in raw.iter().take(n as usize).enumerate() {
+            out[i] = Event {
+                events: r.events,
+                token: { r.u64 },
+            };
+        }
+        Ok(n as usize)
+    }
+
+    /// The raw epoll fd.
+    pub fn raw_fd(&self) -> i32 {
+        self.fd
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: closing a live fd exactly once.
+        unsafe {
+            libc::close(self.fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eventfd::EventFd;
+
+    #[test]
+    fn oneshot_fires_once_until_rearmed() {
+        let ep = Epoll::new().unwrap();
+        let efd = EventFd::new().unwrap();
+        ep.add(efd.raw_fd(), libc::EPOLLIN, 42).unwrap();
+        efd.signal();
+        let mut evs = [Event {
+            events: 0,
+            token: 0,
+        }; 8];
+        let n = ep.wait(&mut evs, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(evs[0].token, 42);
+        assert!(evs[0].events & libc::EPOLLIN != 0);
+        // Still readable (not drained), but one-shot: no event until MOD.
+        let n = ep.wait(&mut evs, 20).unwrap();
+        assert_eq!(n, 0);
+        ep.modify(efd.raw_fd(), libc::EPOLLIN, 42).unwrap();
+        let n = ep.wait(&mut evs, 1000).unwrap();
+        assert_eq!(n, 1, "level-triggered MOD re-reports pending readiness");
+    }
+
+    #[test]
+    fn ready_before_register_is_not_lost() {
+        let ep = Epoll::new().unwrap();
+        let efd = EventFd::new().unwrap();
+        efd.signal(); // readiness precedes registration
+        ep.add(efd.raw_fd(), libc::EPOLLIN, 7).unwrap();
+        let mut evs = [Event {
+            events: 0,
+            token: 0,
+        }; 8];
+        let n = ep.wait(&mut evs, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(evs[0].token, 7);
+    }
+
+    #[test]
+    fn delete_stops_events() {
+        let ep = Epoll::new().unwrap();
+        let efd = EventFd::new().unwrap();
+        ep.add(efd.raw_fd(), libc::EPOLLIN, 1).unwrap();
+        ep.delete(efd.raw_fd()).unwrap();
+        efd.signal();
+        let mut evs = [Event {
+            events: 0,
+            token: 0,
+        }; 8];
+        assert_eq!(ep.wait(&mut evs, 20).unwrap(), 0);
+    }
+
+    #[test]
+    fn zero_timeout_polls() {
+        let ep = Epoll::new().unwrap();
+        let mut evs = [Event {
+            events: 0,
+            token: 0,
+        }; 8];
+        assert_eq!(ep.wait(&mut evs, 0).unwrap(), 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! `eventfd(2)` wake channel.
+//!
+//! The reactor's cross-thread (and signal-handler → poller) doorbell: any
+//! thread writes the counter to make the poller's `epoll_wait` return.
+//! `write(2)` on an eventfd is a raw syscall with no library state, so
+//! [`EventFd::signal`] is async-signal-safe — `Worker::unpark` calls it from
+//! the preemption signal handler when the target worker is parked in epoll
+//! rather than on its futex.
+//!
+//! The counter is created `EFD_NONBLOCK`: a `signal` that would overflow the
+//! counter fails with `EAGAIN`, which is fine — the counter being non-zero
+//! already keeps the fd readable, i.e. the wakeup is already pending.
+
+use std::io;
+
+/// An owned eventfd. Closed on drop.
+#[derive(Debug)]
+pub struct EventFd {
+    fd: i32,
+}
+
+impl EventFd {
+    /// Create a new counter at 0 (`EFD_CLOEXEC | EFD_NONBLOCK`).
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: plain syscall, no pointers.
+        let fd = unsafe { libc::eventfd(0, libc::EFD_CLOEXEC | libc::EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(EventFd { fd })
+    }
+
+    /// Make the fd readable, waking any `epoll_wait` watching it.
+    /// Async-signal-safe; errors are deliberately ignored (`EAGAIN` on a
+    /// saturated counter means a wakeup is already pending).
+    // sigsafe
+    pub fn signal(&self) {
+        let one: u64 = 1;
+        // SAFETY: writing 8 bytes from a valid local to a live fd.
+        unsafe {
+            libc::write(self.fd, (&one as *const u64).cast(), 8);
+        }
+    }
+
+    /// Consume all pending wakeups, making the fd unreadable again until the
+    /// next [`EventFd::signal`]. Returns the number of coalesced signals.
+    pub fn drain(&self) -> u64 {
+        let mut buf: u64 = 0;
+        // SAFETY: reading 8 bytes into a valid local from a live fd.
+        let n = unsafe { libc::read(self.fd, (&mut buf as *mut u64).cast(), 8) };
+        if n == 8 {
+            buf
+        } else {
+            0 // EAGAIN: nothing pending
+        }
+    }
+
+    /// The raw fd, for epoll registration.
+    pub fn raw_fd(&self) -> i32 {
+        self.fd
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        // SAFETY: closing a live fd exactly once.
+        unsafe {
+            libc::close(self.fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_then_drain() {
+        let e = EventFd::new().unwrap();
+        assert_eq!(e.drain(), 0);
+        e.signal();
+        e.signal();
+        e.signal();
+        assert_eq!(e.drain(), 3, "signals coalesce into the counter");
+        assert_eq!(e.drain(), 0);
+    }
+
+    #[test]
+    fn signal_is_cross_thread() {
+        let e = std::sync::Arc::new(EventFd::new().unwrap());
+        let e2 = e.clone();
+        std::thread::spawn(move || e2.signal()).join().unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        while e.drain() == 0 {
+            assert!(std::time::Instant::now() < deadline);
+            std::thread::yield_now();
+        }
+    }
+}

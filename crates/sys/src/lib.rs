@@ -10,6 +10,9 @@
 //!   `SIGEV_THREAD_ID` extension for per-worker timers (paper §3.2.1).
 //! * [`futex`] — 32-bit futex wait/wake, the async-signal-safe KLT
 //!   suspend/resume primitive of optimized KLT-switching (paper §3.3.1).
+//! * [`epoll`] / [`eventfd`] — the reactor substrate: one-shot
+//!   level-triggered readiness multiplexing plus an async-signal-safe
+//!   doorbell for waking a worker parked in `epoll_wait`.
 //! * [`tid`] — kernel thread ids.
 //! * [`clock`] — monotonic nanosecond clock (async-signal-safe), used for
 //!   all interruption-time statistics.
@@ -24,12 +27,16 @@
 
 pub mod affinity;
 pub mod clock;
+pub mod epoll;
+pub mod eventfd;
 pub mod futex;
 pub mod signal;
 pub mod tid;
 pub mod timer;
 
 pub use clock::{coarse_resolution_ns, now_coarse_ns, now_ns};
+pub use epoll::{Epoll, Event as EpollEvent, EV_READ, EV_WRITE};
+pub use eventfd::EventFd;
 pub use futex::Futex;
 pub use signal::{
     block_signal, install_handler, install_handler_info, preempt_signum, send_signal,

@@ -1,0 +1,97 @@
+//! Echo server quickstart: `ult-io` sockets blocking at ULT granularity,
+//! sharing a preemptive runtime with CPU-bound work.
+//!
+//! A listener ULT accepts connections and spawns one handler ULT per
+//! client; a compute ULT spins flat out on the same workers. Preemption
+//! keeps the spinner from starving the request path, and the reactor keeps
+//! blocked handlers from holding kernel threads — `read` suspends the ULT,
+//! not the worker.
+//!
+//! Run with: `cargo run --release -p repro-examples --bin echo_server`
+//! then e.g.: `printf 'hello\n' | nc 127.0.0.1 <printed port>`
+//! (the demo also runs one loopback client against itself).
+
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use ult_core::{Config, Priority, Runtime, ThreadKind};
+
+fn main() {
+    // Two workers, the 1 ms default preemption tick.
+    let rt = Runtime::start(Config {
+        num_workers: 2,
+        ..Config::default()
+    });
+
+    // CPU-bound company: a preemptible ULT that never yields voluntarily.
+    let stop = Arc::new(AtomicBool::new(false));
+    let s2 = stop.clone();
+    let spinner = rt.spawn_with(ThreadKind::SignalYield, Priority::High, move || {
+        while !s2.load(Ordering::Relaxed) {
+            core::hint::spin_loop();
+        }
+    });
+
+    // The server: accept loop + one handler ULT per connection. Every
+    // `accept`/`read`/`write_all` here parks only the calling ULT.
+    let ln = rt
+        .spawn(|| ult_io::TcpListener::bind("127.0.0.1:0").unwrap())
+        .join();
+    let addr = ln.local_addr().unwrap();
+    println!("echo server listening on {addr}");
+
+    const CLIENTS: usize = 3;
+    let server = rt.spawn(move || {
+        let mut handlers = Vec::new();
+        for _ in 0..CLIENTS {
+            let (s, peer) = ln.accept().unwrap();
+            println!("accepted {peer}");
+            handlers.push(ult_core::api::spawn(
+                ThreadKind::Nonpreemptive,
+                Priority::High,
+                move || {
+                    let mut buf = [0u8; 512];
+                    loop {
+                        match s.read(&mut buf) {
+                            Ok(0) | Err(_) => break,
+                            Ok(n) => {
+                                if s.write_all(&buf[..n]).is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    println!("{peer} disconnected");
+                },
+            ));
+        }
+        for h in handlers {
+            h.join();
+        }
+    });
+
+    // Loopback clients (plain OS threads) prove the path end to end while
+    // the spinner hogs a worker.
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut s = std::net::TcpStream::connect(addr).unwrap();
+                let msg = format!("ping {i}");
+                s.write_all(msg.as_bytes()).unwrap();
+                let mut back = vec![0u8; msg.len()];
+                s.read_exact(&mut back).unwrap();
+                assert_eq!(back, msg.as_bytes());
+                println!("client {i}: echoed {:?}", String::from_utf8_lossy(&back));
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    server.join();
+    stop.store(true, Ordering::Relaxed);
+    spinner.join();
+    rt.shutdown();
+    println!("done");
+}

@@ -19,6 +19,11 @@ else
     cargo test -q -p ult-model
 fi
 
+echo "== io: reactor, sockets, timer wheel (functional + cross-crate)"
+cargo test -q -p ult-io
+cargo test -q -p ult-sync --test timeout
+cargo test -q -p integration-tests --test io
+
 cargo build --workspace --release
 
 mkdir -p results
@@ -30,6 +35,10 @@ echo "== perf smoke: spawn/join hot paths vs committed baseline (2x tripwire)"
 echo "== perf smoke: preemption fast path vs committed baseline (2x tripwire)"
 ./target/release/bench_preempt --quick --out results/BENCH_preempt.json \
     --check results/BENCH_preempt_baseline.json
+
+echo "== perf smoke: echo tail latency, preemption on vs off (5x ratio floor + 2x tripwire)"
+./target/release/bench_echo --quick --out results/BENCH_io.json \
+    --check results/BENCH_io_baseline.json
 run() {
     local name="$1"; shift
     echo "== $name"

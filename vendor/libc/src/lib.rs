@@ -68,6 +68,24 @@ pub const SYS_gettid: c_long = 186;
 pub const SYS_futex: c_long = 202;
 pub const SYS_tgkill: c_long = 234;
 
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+pub const EPOLLONESHOT: u32 = 1 << 30;
+
+pub const EPOLL_CTL_ADD: c_int = 1;
+pub const EPOLL_CTL_DEL: c_int = 2;
+pub const EPOLL_CTL_MOD: c_int = 3;
+pub const EPOLL_CLOEXEC: c_int = 0x80000;
+
+pub const EFD_CLOEXEC: c_int = 0x80000;
+pub const EFD_NONBLOCK: c_int = 0x800;
+
+pub const EAGAIN: c_int = 11;
+pub const EINTR: c_int = 4;
+
 pub const _SC_PAGESIZE: c_int = 30;
 pub const _SC_NPROCESSORS_ONLN: c_int = 84;
 
@@ -170,6 +188,18 @@ pub struct ucontext_t {
     __ssp: [u64; 4],
 }
 
+/// Kernel `epoll_event`. On x86_64 the kernel ABI packs this to 12 bytes
+/// (no padding between `events` and the 64-bit payload), which glibc
+/// mirrors with `__attribute__((packed))` — hence `repr(C, packed)` here.
+/// The payload field really is named `u64` in the real crate (it is the
+/// `data.u64` union member flattened out).
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+pub struct epoll_event {
+    pub events: u32,
+    pub u64: u64,
+}
+
 /// glibc `cpu_set_t`: 1024 bits.
 #[repr(C)]
 #[derive(Clone, Copy)]
@@ -216,6 +246,18 @@ extern "C" {
     pub fn _exit(status: c_int) -> !;
     pub fn pipe(fds: *mut c_int) -> c_int;
     pub fn write(fd: c_int, buf: *const c_void, count: size_t) -> ssize_t;
+    pub fn read(fd: c_int, buf: *mut c_void, count: size_t) -> ssize_t;
+    pub fn close(fd: c_int) -> c_int;
+
+    pub fn epoll_create1(flags: c_int) -> c_int;
+    pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    pub fn epoll_wait(
+        epfd: c_int,
+        events: *mut epoll_event,
+        maxevents: c_int,
+        timeout: c_int,
+    ) -> c_int;
+    pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
 
     pub fn sysconf(name: c_int) -> c_long;
 
@@ -274,6 +316,37 @@ mod tests {
         assert_eq!(core::mem::size_of::<cpu_set_t>(), 128);
         assert_eq!(core::mem::size_of::<ucontext_t>(), 968);
         assert_eq!(core::mem::offset_of!(ucontext_t, uc_mcontext), 40);
+        // Kernel ABI: epoll_event is packed to 12 bytes on x86_64.
+        assert_eq!(core::mem::size_of::<epoll_event>(), 12);
+        assert_eq!(core::mem::offset_of!(epoll_event, u64), 4);
+    }
+
+    #[test]
+    fn epoll_eventfd_roundtrip() {
+        // SAFETY: plain fd lifecycle; all pointers are valid locals.
+        unsafe {
+            let ep = epoll_create1(EPOLL_CLOEXEC);
+            assert!(ep >= 0);
+            let efd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+            assert!(efd >= 0);
+            let mut ev = epoll_event {
+                events: EPOLLIN,
+                u64: 7,
+            };
+            assert_eq!(epoll_ctl(ep, EPOLL_CTL_ADD, efd, &mut ev), 0);
+            let one: u64 = 1;
+            assert_eq!(write(efd, (&one as *const u64).cast(), 8), 8);
+            let mut out = [epoll_event { events: 0, u64: 0 }; 4];
+            let n = epoll_wait(ep, out.as_mut_ptr(), 4, 1000);
+            assert_eq!(n, 1);
+            assert_eq!({ out[0].u64 }, 7);
+            assert!(out[0].events & EPOLLIN != 0);
+            let mut buf: u64 = 0;
+            assert_eq!(read(efd, (&mut buf as *mut u64).cast(), 8), 8);
+            assert_eq!(buf, 1);
+            assert_eq!(close(efd), 0);
+            assert_eq!(close(ep), 0);
+        }
     }
 
     #[test]
