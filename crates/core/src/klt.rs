@@ -57,6 +57,7 @@ thread_local! {
 /// `fs`-register maintenance is the same issue seen from the C side.
 #[inline(never)]
 // sigsafe
+// blocking: never thread-local pointer read; no syscall
 pub(crate) fn current_klt() -> Option<&'static Klt> {
     let p = CURRENT_KLT.with(|c| c.get());
     // SAFETY: Klt objects are kept alive by the runtime registry until
@@ -212,6 +213,7 @@ impl Klt {
 /// type. **Pops are async-signal-safe** (no allocation); pushes happen only
 /// in home-loop context and may grow the backing storage.
 pub(crate) struct KltPool {
+    // lock-order: 10 klt_pool
     lock: SpinLock,
     stack: UnsafeCell<Vec<Arc<Klt>>>,
     len_hint: AtomicUsize, // ordering: acqrel lock-free emptiness peek; exact value only under the lock

@@ -127,6 +127,7 @@ pub struct Ult {
     // ordering: relaxed intrusive link written while unpublished; the inbox-head CAS publishes it
     pub(crate) pool_next: AtomicPtr<Ult>,
     /// ULTs parked on this thread's completion.
+    // lock-order: 20 joiners
     joiners_lock: crate::pool::SpinLock,
     joiners: UnsafeCell<Vec<Arc<Ult>>>,
     /// ULT-local storage (see [`crate::tls::UltLocal`]); touched only by

@@ -83,6 +83,7 @@ pub struct TcpListener {
 impl TcpListener {
     /// Bind to `addr` (nonblocking, reactor-registered).
     pub fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+        // blocking-ok: one-time setup before the fd joins the reactor; bind does not wait on peers
         let inner = std::net::TcpListener::bind(addr)?;
         inner.set_nonblocking(true)?;
         Ok(TcpListener {
@@ -128,6 +129,7 @@ impl TcpStream {
     /// `std` connect (loopback/LAN: microseconds); the established stream
     /// is then switched to ULT-blocking mode for all I/O.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
+        // blocking-ok: documented brief blocking handshake; stream is nonblocking from then on
         TcpStream::from_std(std::net::TcpStream::connect(addr)?)
     }
 
@@ -251,6 +253,7 @@ pub struct UdpSocket {
 impl UdpSocket {
     /// Bind to `addr` (nonblocking, reactor-registered).
     pub fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<UdpSocket> {
+        // blocking-ok: one-time setup before the fd joins the reactor; bind does not wait on peers
         let inner = std::net::UdpSocket::bind(addr)?;
         inner.set_nonblocking(true)?;
         Ok(UdpSocket {

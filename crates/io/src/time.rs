@@ -16,6 +16,7 @@ use ult_core::Ult;
 /// the runtime this is `std::thread::sleep`.
 pub fn sleep(dur: Duration) {
     if !ult_core::in_ult() {
+        // blocking-ok: plain-KLT fallback path, only taken outside the runtime
         std::thread::sleep(dur);
         return;
     }

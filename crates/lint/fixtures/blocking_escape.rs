@@ -1,0 +1,38 @@
+//! Seeded blocking-escape fixture.
+//!
+//! A ULT-context entry point reaches a KLT-blocking leaf through an
+//! innocuous-looking helper. Nothing here is `// sigsafe` and no signal
+//! handler is installed, so the closure and call-graph passes are blind to
+//! it; only the blocking pass's ULT-root BFS can see the escape.
+//!
+//! Line numbers are pinned by `tests/blocking.rs` — edit with care.
+
+/// ULT-context root: runs on a worker, must never block the KLT.
+// ult-context
+pub fn poll_inbox(q: &Inbox) {
+    refill(q); // line 13: the flagged escape enters here
+}
+
+/// Looks pure, but drops to a raw `recv(2)` three frames down.
+fn refill(q: &Inbox) {
+    slow_fill(q);
+}
+
+fn slow_fill(q: &Inbox) {
+    // SAFETY: fixture; never executed. (The flagged KLT-blocking leaf.)
+    unsafe { libc::recv(q.fd, q.buf, q.cap, 0) };
+}
+
+/// Same shape, but audited and waived at the call site: must NOT flag.
+// ult-context
+pub fn poll_inbox_waived(q: &Inbox) {
+    // SAFETY: fixture; never executed.
+    // blocking-ok: fixture twin; fd is nonblocking by construction
+    unsafe { libc::recv(q.fd, q.buf, q.cap, 0) };
+}
+
+pub struct Inbox {
+    fd: i32,
+    buf: *mut u8,
+    cap: usize,
+}

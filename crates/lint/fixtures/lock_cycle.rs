@@ -1,0 +1,38 @@
+//! Seeded lock-order fixture: an AB/BA deadlock pair, a level inversion,
+//! and an uncontracted lock.
+//!
+//! The two acquisition paths (`transfer_up` takes ALPHA→BETA,
+//! `transfer_down` takes BETA→ALPHA) can deadlock two workers; the static
+//! graph has the cycle even though each function looks locally fine. No
+//! handler roots, no `// sigsafe`, no atomics — only the lock-order pass
+//! sees any of this.
+//!
+//! Line numbers are pinned by `tests/lockorder.rs` — edit with care.
+
+// lock-order: 1 alpha
+static ALPHA: SpinLock = SpinLock::new();
+// lock-order: 2 beta
+static BETA: SpinLock = SpinLock::new();
+
+/// Follows the declared order: no level finding (but feeds the A→B edge).
+pub fn transfer_up() {
+    ALPHA.lock();
+    BETA.lock();
+    BETA.unlock();
+    ALPHA.unlock();
+}
+
+/// Inverts it: flagged at the nested acquire, and closes the A↔B cycle.
+pub fn transfer_down() {
+    BETA.lock();
+    ALPHA.lock(); // line 28: flagged — level inversion + cycle edge
+    ALPHA.unlock();
+    BETA.unlock();
+}
+
+// line 34: flagged — a SpinLock with no lock-order contract
+static ORPHAN: SpinLock = SpinLock::new();
+
+/// Contract waiver: must NOT flag.
+// lock-order-ok: fixture twin; test-only lock never nested
+static WAIVED: SpinLock = SpinLock::new();

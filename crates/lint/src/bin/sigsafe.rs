@@ -2,12 +2,13 @@
 //!
 //! Usage:
 //! ```text
-//! sigsafe [--root <dir>] [--list] [--json] [--pass <name>]...
+//! sigsafe [--root <dir>] [--list] [--json] [--report <path>] [--pass <name>]...
 //!         [--waivers <file>] [--enforce-all-ordering] [FILE...]
 //! ```
 //!
-//! Runs three passes (all by default; `--pass closure|callgraph|ordering`
-//! selects a subset):
+//! Runs six passes (all by default; `--pass
+//! closure|callgraph|ordering|blocking|pindiscipline|lockorder` selects a
+//! subset):
 //!
 //! * **closure** — the annotation-local check: every call from a
 //!   `// sigsafe` function must target the audited set or a denylist-free
@@ -20,10 +21,22 @@
 //!   `crates/core` must declare `// ordering: <protocol>` and every access
 //!   site must satisfy it. `--enforce-all-ordering` extends the
 //!   missing-contract requirement to all scanned files (used by fixtures).
+//! * **blocking** — KLT-block escape analysis: BFS from ULT-context roots
+//!   to KLT-blocking leaves (`// blocking:` contracts on `crates/sys`
+//!   wrappers plus a libc/std deny-list); only the `crates/io` reactor may
+//!   block the kernel thread. Waivers from
+//!   `crates/lint/blocking_waivers.txt`.
+//! * **pindiscipline** — flags calls that may suspend the ULT while a
+//!   preemption pin or spin guard is lexically live. Waivers from
+//!   `crates/lint/pindiscipline_waivers.txt`.
+//! * **lockorder** — `// lock-order: <level> <name>` contracts on every
+//!   `SpinLock`; nested acquires must strictly increase the level, and the
+//!   static acquisition graph must be acyclic.
 //!
 //! With no file arguments, scans every `crates/*/src/**/*.rs` under the
 //! workspace root (found by walking up from the current directory),
-//! excluding `fixtures/` directories.
+//! excluding `fixtures/` directories. Per-pass default waiver files apply
+//! only to such full-workspace runs; explicit FILE invocations get none.
 //!
 //! Exit-code contract (stable, for CI):
 //! * `0` — clean: no diagnostics.
@@ -36,6 +49,10 @@
 //! human `file:line: [category] message` lines. The summary always goes
 //! to stderr.
 //!
+//! `--report <path>` appends one JSON line per run (files scanned, total
+//! diagnostics, per-category counts, waiver entries in force) so the
+//! trajectory tooling can track diagnostic/waiver counts across PRs.
+//!
 //! `--list` additionally prints the annotated sigsafe set, which is the
 //! audited surface a reviewer must re-check when the preemption handler
 //! changes.
@@ -43,10 +60,20 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use ult_lint::{callgraph, ordering, Diagnostic};
+use ult_lint::waivers::Waivers;
+use ult_lint::{blocking, callgraph, lockorder, ordering, pindiscipline, Diagnostic};
 
-const USAGE: &str = "usage: sigsafe [--root <dir>] [--list] [--json] [--pass <name>]... \
-                     [--waivers <file>] [--enforce-all-ordering] [FILE...]";
+const USAGE: &str = "usage: sigsafe [--root <dir>] [--list] [--json] [--report <path>] \
+                     [--pass <name>]... [--waivers <file>] [--enforce-all-ordering] [FILE...]";
+
+const PASSES: &[&str] = &[
+    "closure",
+    "callgraph",
+    "ordering",
+    "blocking",
+    "pindiscipline",
+    "lockorder",
+];
 
 const EXIT_FINDINGS: u8 = 1;
 const EXIT_INTERNAL: u8 = 2;
@@ -68,6 +95,7 @@ fn run() -> Result<ExitCode, String> {
     let mut enforce_all_ordering = false;
     let mut passes: Vec<String> = Vec::new();
     let mut waivers_path: Option<PathBuf> = None;
+    let mut report_path: Option<PathBuf> = None;
     let mut files: Vec<PathBuf> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -78,14 +106,20 @@ fn run() -> Result<ExitCode, String> {
             "--enforce-all-ordering" => enforce_all_ordering = true,
             "--pass" => {
                 let p = args.next().ok_or("--pass needs an argument")?;
-                match p.as_str() {
-                    "closure" | "callgraph" | "ordering" => passes.push(p),
-                    _ => return Err(format!("unknown pass `{p}` (closure|callgraph|ordering)")),
+                if PASSES.contains(&p.as_str()) {
+                    passes.push(p);
+                } else {
+                    return Err(format!("unknown pass `{p}` ({})", PASSES.join("|")));
                 }
             }
             "--waivers" => {
                 waivers_path = Some(PathBuf::from(
                     args.next().ok_or("--waivers needs an argument")?,
+                ))
+            }
+            "--report" => {
+                report_path = Some(PathBuf::from(
+                    args.next().ok_or("--report needs an argument")?,
                 ))
             }
             "--help" | "-h" => {
@@ -99,7 +133,7 @@ fn run() -> Result<ExitCode, String> {
         }
     }
     if passes.is_empty() {
-        passes = vec!["closure".into(), "callgraph".into(), "ordering".into()];
+        passes = PASSES.iter().map(|p| p.to_string()).collect();
     }
     let enabled = |p: &str| passes.iter().any(|q| q == p);
 
@@ -148,29 +182,46 @@ fn run() -> Result<ExitCode, String> {
         }
     }
 
+    // Default waiver file only applies to full-workspace runs; explicit
+    // FILE invocations (fixture tests) get none.
+    let default_waivers = |name: &str| -> Result<Waivers, String> {
+        let default = root_dir
+            .as_deref()
+            .map(|r| r.join("crates/lint").join(name));
+        match default {
+            Some(p) if !explicit && p.is_file() => ult_lint::waivers::load_waivers(&p),
+            _ => Ok(Waivers::empty()),
+        }
+    };
+
     let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut waiver_counts: Vec<(String, usize)> = Vec::new();
     if enabled("closure") {
         diags.extend(ult_lint::analyze(&scans));
     }
     if enabled("callgraph") {
         let waivers = match &waivers_path {
             Some(p) => callgraph::load_waivers(p)?,
-            None => {
-                // Default waiver file only applies to full-workspace runs;
-                // explicit FILE invocations (fixture tests) get none.
-                let default = root_dir
-                    .as_deref()
-                    .map(|r| r.join("crates/lint/callgraph_waivers.txt"));
-                match default {
-                    Some(p) if !explicit && p.is_file() => callgraph::load_waivers(&p)?,
-                    _ => callgraph::Waivers::empty(),
-                }
-            }
+            None => default_waivers("callgraph_waivers.txt")?,
         };
+        waiver_counts.push(("callgraph".into(), waivers.entries.len()));
         diags.extend(callgraph::check(&scans, &waivers));
     }
     if enabled("ordering") {
         diags.extend(ordering::check(&sources, enforce_all_ordering));
+    }
+    if enabled("blocking") {
+        let waivers = default_waivers("blocking_waivers.txt")?;
+        waiver_counts.push(("blocking".into(), waivers.entries.len()));
+        diags.extend(blocking::check(&sources, &waivers));
+    }
+    if enabled("pindiscipline") {
+        let waivers = default_waivers("pindiscipline_waivers.txt")?;
+        waiver_counts.push(("pindiscipline".into(), waivers.entries.len()));
+        diags.extend(pindiscipline::check(&sources, &waivers));
+    }
+    if enabled("lockorder") {
+        diags.extend(lockorder::check(&sources));
     }
     diags.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
 
@@ -182,6 +233,10 @@ fn run() -> Result<ExitCode, String> {
         }
     }
     let nfiles = files.len();
+    if let Some(p) = &report_path {
+        append_report(p, nfiles, &passes, &diags, &waiver_counts)
+            .map_err(|e| format!("cannot write report `{}`: {e}", p.display()))?;
+    }
     if diags.is_empty() {
         eprintln!("sigsafe: OK ({nfiles} files, 0 violations)");
         Ok(ExitCode::SUCCESS)
@@ -189,6 +244,52 @@ fn run() -> Result<ExitCode, String> {
         eprintln!("sigsafe: {} violation(s) in {nfiles} files", diags.len());
         Ok(ExitCode::from(EXIT_FINDINGS))
     }
+}
+
+/// Append one JSON summary line: files scanned, passes run, per-category
+/// diagnostic counts, and waiver entries in force per pass.
+fn append_report(
+    path: &std::path::Path,
+    nfiles: usize,
+    passes: &[String],
+    diags: &[Diagnostic],
+    waiver_counts: &[(String, usize)],
+) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut by_cat: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    for d in diags {
+        *by_cat.entry(d.category.to_string()).or_default() += 1;
+    }
+    let cats = by_cat
+        .iter()
+        .map(|(c, n)| format!("{}: {n}", json_str(c)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let waived = waiver_counts
+        .iter()
+        .map(|(p, n)| format!("{}: {n}", json_str(p)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let pass_list = passes
+        .iter()
+        .map(|p| json_str(p))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let line = format!(
+        "{{\"files\": {nfiles}, \"passes\": [{pass_list}], \"total\": {}, \
+         \"categories\": {{{cats}}}, \"waiver_entries\": {{{waived}}}}}\n",
+        diags.len()
+    );
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    f.write_all(line.as_bytes())
 }
 
 fn to_json(diags: &[Diagnostic]) -> String {

@@ -1,0 +1,563 @@
+//! Blocking-escape analysis (pass 4 of `ult-verify`).
+//!
+//! The paper's invariant: a ULT may block *itself*, never its kernel
+//! thread. Everything reachable from ULT context must therefore either be
+//! KLT-nonblocking or route through the one audited boundary — the
+//! `crates/io` reactor, which parks a ULT and hands the fd to the epoll
+//! thread.
+//!
+//! The pass classifies leaves with a two-sided contract:
+//!
+//! * **`crates/sys` wrappers must declare themselves.** Any `sys` function
+//!   making a denylisted `libc` call without a `// blocking: klt` or
+//!   `// blocking: never <reason>` annotation is a `contract` finding, so
+//!   new syscall wrappers cannot silently join the tree unaudited.
+//! * **A built-in deny-list** catches raw `libc::…` and `std` blocking
+//!   calls (`std::fs`, `std::net`, `std::thread::sleep`, thread parking)
+//!   made outside `crates/sys`, plus `.lock()`/`.wait()` on KLT-parking
+//!   mutexes (`parking_lot`, `std::sync`) recognized by receiver name via
+//!   [`crate::locks`].
+//!
+//! Roots are `// ult-context` functions plus — by API contract — every
+//! function in `crates/sync` and `crates/io` (their callers are ULTs),
+//! except the reactor itself. BFS descends same-crate and uniquely-named
+//! workspace callees exactly like the signal-safety call graph; a
+//! `// blocking: never` definition is trusted and not descended; the
+//! reactor file is neither rooted nor descended. Findings carry the full
+//! root-to-leaf path. `// blocking-ok: <reason>` waives a call site;
+//! waiver-file entries (`blocking_waivers.txt`) waive by containing
+//! function or target, with the shared budget/staleness hygiene.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::path::{Path, PathBuf};
+
+use crate::callgraph::same_crate;
+use crate::locks::scan_locks;
+use crate::waivers::{key_of, Waivers};
+use crate::{scan_file, Blocking, CallSite, Category, Diagnostic, FileScan};
+
+/// libc calls that can block the calling kernel thread.
+pub(crate) const LIBC_DENY: &[&str] = &[
+    "read",
+    "write",
+    "recv",
+    "send",
+    "recvfrom",
+    "sendto",
+    "recvmsg",
+    "sendmsg",
+    "accept",
+    "accept4",
+    "connect",
+    "epoll_wait",
+    "epoll_pwait",
+    "nanosleep",
+    "clock_nanosleep",
+    "poll",
+    "ppoll",
+    "select",
+    "pselect",
+    "sleep",
+    "usleep",
+    "sigtimedwait",
+    "sigwaitinfo",
+    "sigsuspend",
+    "pause",
+    "waitpid",
+    "wait4",
+    "syscall",
+    "flock",
+    "fsync",
+    "fdatasync",
+];
+
+/// `std` call paths that can block the calling kernel thread.
+pub(crate) const STD_DENY: &[&[&str]] = &[
+    &["std", "fs"],
+    &["std", "net"],
+    &["std", "process"],
+    &["std", "io", "stdin"],
+    &["std", "thread", "sleep"],
+    &["std", "thread", "park"],
+    &["std", "thread", "park_timeout"],
+    &["std", "thread", "spawn"],
+    &["thread", "sleep"],
+    &["thread", "park"],
+];
+
+/// Methods that park the kernel thread when the receiver is a KLT lock.
+pub(crate) const KLT_LOCK_METHODS: &[&str] = &[
+    "lock",
+    "wait",
+    "wait_while",
+    "wait_timeout",
+    "read",
+    "write",
+];
+
+/// Methods that bind to `SpinLock` when the receiver is a spin lock —
+/// bounded spinning, excluded from blocking/suspension propagation.
+pub(crate) const SPIN_METHODS: &[&str] = &["lock", "unlock", "try_lock", "with"];
+
+/// Method names that in practice bind to std containers/options — a
+/// `q.pop()` must not resolve to a workspace `fn pop` on another type.
+/// Name-level resolution has no receiver types; this list trades a known
+/// false-negative class for the dominant false-positive class.
+pub(crate) const CONTAINER_METHODS: &[&str] = &[
+    "push",
+    "push_back",
+    "push_front",
+    "pop",
+    "pop_front",
+    "pop_back",
+    "len",
+    "is_empty",
+    "clone",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "take",
+    "replace",
+    "clear",
+    "drain",
+    "next",
+    "iter",
+    "iter_mut",
+    "extend",
+    "contains",
+    "contains_key",
+    "entry",
+    "retain",
+    "split_off",
+    "swap_remove",
+    "first",
+    "last",
+    "front",
+    "back",
+    "keys",
+    "values",
+];
+
+/// Should this file participate in the ULT-context passes at all? The
+/// model checker (`crates/model`) replaces every primitive with modeled
+/// twins that share names with the real tree; resolving into it is pure
+/// noise, and its code never runs in ULT context.
+/// Path heads naming std prelude/container types: calls like `Box::new`
+/// or `Vec::with_capacity` are std associated functions and must never
+/// resolve to a same-named workspace definition.
+pub(crate) const STD_TYPE_HEADS: &[&str] = &[
+    "Box",
+    "Arc",
+    "Rc",
+    "Weak",
+    "Vec",
+    "VecDeque",
+    "String",
+    "HashMap",
+    "HashSet",
+    "BTreeMap",
+    "BTreeSet",
+    "Cell",
+    "RefCell",
+    "UnsafeCell",
+    "MaybeUninit",
+    "Duration",
+    "Instant",
+    "PathBuf",
+];
+
+/// Whether a qualified call path points outside the workspace (std/libc
+/// modules or std prelude types) and must not be name-resolved.
+pub(crate) fn external_path(call: &crate::CallSite) -> bool {
+    call.path.len() > 1
+        && (crate::EXTERNAL_HEADS.contains(&call.path[0].as_str())
+            || STD_TYPE_HEADS.contains(&call.path[0].as_str()))
+}
+
+pub(crate) fn pass_scoped(p: &Path) -> bool {
+    crate_dir(p).as_deref() != Some("model")
+}
+
+/// Crate name of a source path (the component after `crates/`), if any.
+pub(crate) fn crate_dir(p: &Path) -> Option<String> {
+    let comps: Vec<String> = p
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    comps
+        .iter()
+        .position(|c| c == "crates")
+        .and_then(|i| comps.get(i + 1).cloned())
+}
+
+/// The whitelisted KLT-blocking boundary: the epoll reactor in `crates/io`.
+pub(crate) fn is_reactor(p: &Path) -> bool {
+    p.file_name().is_some_and(|f| f == "reactor.rs") && crate_dir(p).as_deref() == Some("io")
+}
+
+/// Does a `// blocking-ok:` waiver cover this call site (either line of a
+/// split path, or the line above)?
+pub(crate) fn line_waived(map: &HashMap<u32, String>, call: &CallSite) -> bool {
+    [call.line, call.name_line]
+        .iter()
+        .any(|&l| map.contains_key(&l) || (l > 1 && map.contains_key(&(l - 1))))
+}
+
+/// Graph node: `(is_macro, file index, def index)`.
+type Node = (bool, usize, usize);
+
+/// Run the blocking-escape pass over raw sources, applying `waivers`.
+pub fn check(sources: &[(PathBuf, String)], waivers: &Waivers) -> Vec<Diagnostic> {
+    let scans: Vec<FileScan> = sources.iter().map(|(p, s)| scan_file(p, s)).collect();
+    let locks = scan_locks(sources);
+
+    let mut fn_index: HashMap<&str, Vec<(usize, usize)>> = HashMap::new();
+    let mut mac_index: HashMap<&str, Vec<(usize, usize)>> = HashMap::new();
+    for (fi, f) in scans.iter().enumerate() {
+        if !pass_scoped(&f.path) {
+            continue;
+        }
+        for (di, d) in f.fns.iter().enumerate() {
+            fn_index.entry(&d.name).or_default().push((fi, di));
+        }
+        for (mi, m) in f.macros.iter().enumerate() {
+            mac_index.entry(&m.name).or_default().push((fi, mi));
+        }
+    }
+    let def = |n: Node| {
+        let (is_macro, fi, di) = n;
+        if is_macro {
+            &scans[fi].macros[di]
+        } else {
+            &scans[fi].fns[di]
+        }
+    };
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut matched: HashSet<usize> = HashSet::new();
+
+    // Side 1: the `crates/sys` annotation contract. Every sys function
+    // making a denylisted libc call must classify itself.
+    for f in &scans {
+        if crate_dir(&f.path).as_deref() != Some("sys") {
+            continue;
+        }
+        for d in &f.fns {
+            if d.blocking != Blocking::Unmarked {
+                continue;
+            }
+            for call in &d.calls {
+                let direct_libc = call.path.len() >= 2
+                    && call.path[0] == "libc"
+                    && LIBC_DENY.contains(&call.name());
+                if !direct_libc || line_waived(&f.blocking_ok, call) {
+                    continue;
+                }
+                if !waivers.waive(&[key_of(&f.path, &d.name)], &mut matched) {
+                    diags.push(Diagnostic {
+                        file: f.path.clone(),
+                        line: call.name_line,
+                        category: Category::Contract,
+                        message: format!(
+                            "`{}` wraps KLT-blocking `{}` but declares no blocking \
+                             contract (`// blocking: klt` or `// blocking: never <reason>`)",
+                            d.name,
+                            call.joined()
+                        ),
+                    });
+                }
+                break; // one contract finding per function
+            }
+        }
+    }
+
+    // Side 2: BFS from ULT-context roots.
+    let mut queue: VecDeque<Node> = VecDeque::new();
+    let mut parent: HashMap<Node, Option<Node>> = HashMap::new();
+    for (fi, f) in scans.iter().enumerate() {
+        let api_file = matches!(crate_dir(&f.path).as_deref(), Some("sync") | Some("io"))
+            && !is_reactor(&f.path);
+        for (di, d) in f.fns.iter().enumerate() {
+            if d.ult_context || (api_file && d.blocking == Blocking::Unmarked) {
+                let n = (false, fi, di);
+                if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(n) {
+                    e.insert(None);
+                    queue.push_back(n);
+                }
+            }
+        }
+    }
+
+    let path_of = |parent: &HashMap<Node, Option<Node>>, mut n: Node| {
+        let mut names = vec![def(n).name.clone()];
+        while let Some(&Some(p)) = parent.get(&n) {
+            names.push(def(p).name.clone());
+            n = p;
+        }
+        names.reverse();
+        names.join(" → ")
+    };
+
+    while let Some(n) = queue.pop_front() {
+        let (_, fi, _) = n;
+        let f = &scans[fi];
+        let d = def(n);
+        let here = path_of(&parent, n);
+        for call in &d.calls {
+            let name = call.name();
+            let lw = line_waived(&f.blocking_ok, call);
+            let enqueue =
+                |queue: &mut VecDeque<Node>, parent: &mut HashMap<Node, Option<Node>>, t: Node| {
+                    if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(t) {
+                        e.insert(Some(n));
+                        queue.push_back(t);
+                    }
+                };
+            let emit = |diags: &mut Vec<Diagnostic>,
+                        matched: &mut HashSet<usize>,
+                        keys: &[String],
+                        message: String| {
+                if !lw && !waivers.waive(keys, matched) {
+                    diags.push(Diagnostic {
+                        file: f.path.clone(),
+                        line: call.name_line,
+                        category: Category::Blocking,
+                        message,
+                    });
+                }
+            };
+
+            if call.mac {
+                if let Some(defs) = mac_index.get(name) {
+                    for &(mfi, mdi) in defs {
+                        enqueue(&mut queue, &mut parent, (true, mfi, mdi));
+                    }
+                }
+                continue;
+            }
+
+            // Direct denylisted leaves.
+            if call.path.len() >= 2 && call.path[0] == "libc" && LIBC_DENY.contains(&name) {
+                emit(
+                    &mut diags,
+                    &mut matched,
+                    &[key_of(&f.path, &d.name)],
+                    format!(
+                        "{here}: KLT-blocking `{}` outside the io reactor",
+                        call.joined()
+                    ),
+                );
+                continue;
+            }
+            if STD_DENY.iter().any(|p| {
+                call.path.len() >= p.len() && p.iter().zip(&call.path).all(|(a, b)| a == b)
+            }) {
+                emit(
+                    &mut diags,
+                    &mut matched,
+                    &[key_of(&f.path, &d.name)],
+                    format!(
+                        "{here}: KLT-blocking `{}` outside the io reactor",
+                        call.joined()
+                    ),
+                );
+                continue;
+            }
+
+            // KLT-parking lock acquisition by receiver name.
+            if call.method {
+                if let Some(r) = &call.recv {
+                    if locks.spin_names.contains(r) && SPIN_METHODS.contains(&name) {
+                        continue; // bounded spin, never parks the KLT
+                    }
+                    if locks.klt_names.contains(r) && KLT_LOCK_METHODS.contains(&name) {
+                        emit(
+                            &mut diags,
+                            &mut matched,
+                            &[key_of(&f.path, &d.name)],
+                            format!("{here}: `.{name}()` on KLT-parking lock `{r}`"),
+                        );
+                        continue;
+                    }
+                }
+            }
+
+            // Workspace resolution: same-crate defs always, cross-crate
+            // only when the name is unique (see callgraph module docs).
+            // External paths and container-shaped method names never
+            // resolve to workspace definitions.
+            if external_path(call) {
+                continue;
+            }
+            if call.method && CONTAINER_METHODS.contains(&name) {
+                continue;
+            }
+            if let Some(defs) = fn_index.get(name) {
+                let unique = defs.len() == 1;
+                for &(tfi, tdi) in defs {
+                    if !unique && !same_crate(&f.path, &scans[tfi].path) {
+                        continue;
+                    }
+                    let td = &scans[tfi].fns[tdi];
+                    match td.blocking {
+                        Blocking::Never => {}
+                        Blocking::Klt => emit(
+                            &mut diags,
+                            &mut matched,
+                            &[key_of(&f.path, &d.name), key_of(&scans[tfi].path, &td.name)],
+                            format!(
+                                "{here}: reaches `{}` ({}:{}) declared `// blocking: klt` \
+                                 outside the io reactor",
+                                td.name,
+                                scans[tfi].path.display(),
+                                td.line
+                            ),
+                        ),
+                        Blocking::Unmarked => {
+                            if !is_reactor(&scans[tfi].path) {
+                                enqueue(&mut queue, &mut parent, (false, tfi, tdi));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    waivers.hygiene(&matched, &mut diags);
+    diags.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn srcs(src: &str) -> Vec<(PathBuf, String)> {
+        vec![(PathBuf::from("mem.rs"), src.to_string())]
+    }
+
+    #[test]
+    fn ult_context_root_reaches_klt_leaf() {
+        let d = check(
+            &srcs(
+                "// ult-context\nfn handle() { stage(); }\n\
+                 fn stage() { raw_wait(); }\n\
+                 // blocking: klt\nfn raw_wait() { }\n",
+            ),
+            &Waivers::empty(),
+        );
+        assert_eq!(d.len(), 1, "{d:#?}");
+        assert_eq!(d[0].category, Category::Blocking);
+        assert_eq!(d[0].line, 3);
+        assert!(d[0].message.contains("handle → stage"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn blocking_never_is_trusted() {
+        let d = check(
+            &srcs(
+                "// ult-context\nfn handle() { wake(); }\n\
+                 // blocking: never eventfd write on a nonblocking fd\n\
+                 fn wake() { libc::write(1, p, 8); }\n",
+            ),
+            &Waivers::empty(),
+        );
+        assert!(d.is_empty(), "{d:#?}");
+    }
+
+    #[test]
+    fn direct_libc_and_std_leaves_flag() {
+        let d = check(
+            &srcs(
+                "// ult-context\nfn a() { libc::nanosleep(t, r); }\n\
+                 // ult-context\nfn b() { std::thread::sleep(d); }\n",
+            ),
+            &Waivers::empty(),
+        );
+        assert_eq!(d.len(), 2, "{d:#?}");
+    }
+
+    #[test]
+    fn blocking_ok_line_waiver_is_honored() {
+        let d = check(
+            &srcs(
+                "// ult-context\nfn a() {\n    // blocking-ok: startup only\n    \
+                 std::thread::sleep(d);\n}\n",
+            ),
+            &Waivers::empty(),
+        );
+        assert!(d.is_empty(), "{d:#?}");
+    }
+
+    #[test]
+    fn sys_wrapper_without_contract_flags() {
+        let d = check(&srcs(""), &Waivers::empty());
+        assert!(d.is_empty());
+        let d = check(
+            &[(
+                PathBuf::from("crates/sys/src/x.rs"),
+                "pub fn wrapper() { unsafe { libc::epoll_wait(e, v, n, t); } }\n".to_string(),
+            )],
+            &Waivers::empty(),
+        );
+        assert_eq!(d.len(), 1, "{d:#?}");
+        assert_eq!(d[0].category, Category::Contract);
+    }
+
+    #[test]
+    fn klt_mutex_receiver_flags_and_spin_does_not() {
+        let d = check(
+            &[(
+                PathBuf::from("mem.rs"),
+                "use parking_lot::Mutex;\n\
+                 struct S { cache: Mutex<u8>, fast: SpinLock<u8> }\n\
+                 impl S {\n\
+                 // ult-context\nfn a(&self) { self.cache.lock(); }\n\
+                 // ult-context\nfn b(&self) { self.fast.lock(); self.fast.unlock(); }\n\
+                 }\n"
+                .to_string(),
+            )],
+            &Waivers::empty(),
+        );
+        assert_eq!(d.len(), 1, "{d:#?}");
+        assert!(d[0].message.contains("cache"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn reactor_file_is_not_descended() {
+        let a = (
+            PathBuf::from("crates/io/src/net.rs"),
+            "// ult-context\nfn read_ult() { wait_readiness(); }\n".to_string(),
+        );
+        let b = (
+            PathBuf::from("crates/io/src/reactor.rs"),
+            "pub fn wait_readiness() { libc::epoll_wait(e, v, n, t); }\n".to_string(),
+        );
+        let d = check(&[a, b], &Waivers::empty());
+        assert!(d.is_empty(), "{d:#?}");
+    }
+
+    #[test]
+    fn file_waiver_and_hygiene() {
+        let w = Waivers {
+            budget: 1,
+            budget_line: 1,
+            entries: vec![crate::waivers::WaiverEntry {
+                key: "mem.rs:raw_wait".into(),
+                reason: "audited".into(),
+                line: 2,
+            }],
+            path: PathBuf::from("blocking_waivers.txt"),
+        };
+        let d = check(
+            &srcs(
+                "// ult-context\nfn handle() { raw_wait(); }\n\
+                 // blocking: klt\nfn raw_wait() { }\n",
+            ),
+            &w,
+        );
+        assert!(d.is_empty(), "{d:#?}");
+    }
+}

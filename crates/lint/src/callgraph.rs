@@ -44,105 +44,14 @@
 //! in the closure check.
 
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
 use crate::{
     Category, Diagnostic, FileScan, BARE_ALLOW, EXTERNAL_HEADS, LOCK_SEGMENTS, MACRO_ALLOW,
     MACRO_DENY, METHOD_ALLOW, NAME_DENY, PATH_DENY,
 };
 
-/// One parsed waiver entry.
-#[derive(Debug, Clone)]
-pub struct WaiverEntry {
-    /// `<file-basename>:<fn-name>`.
-    pub key: String,
-    /// Mandatory justification.
-    pub reason: String,
-    /// 1-based line in the waiver file.
-    pub line: u32,
-}
-
-/// Parsed waiver file with its pinned budget.
-#[derive(Debug, Clone)]
-pub struct Waivers {
-    /// Maximum number of entries the gate tolerates.
-    pub budget: usize,
-    /// Line of the `budget:` directive.
-    pub budget_line: u32,
-    /// Entries, in file order.
-    pub entries: Vec<WaiverEntry>,
-    /// Waiver file path (for diagnostics about the file itself).
-    pub path: PathBuf,
-}
-
-impl Waivers {
-    /// An empty waiver set (no file): budget 0, nothing waived.
-    pub fn empty() -> Self {
-        Waivers {
-            budget: 0,
-            budget_line: 0,
-            entries: Vec::new(),
-            path: PathBuf::new(),
-        }
-    }
-}
-
-/// Parse a waiver file. Errors are returned as strings so the CLI can map
-/// them to its internal-error exit code.
-pub fn load_waivers(path: &Path) -> Result<Waivers, String> {
-    let src = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read waiver file {}: {e}", path.display()))?;
-    let mut w = Waivers {
-        budget: 0,
-        budget_line: 0,
-        entries: Vec::new(),
-        path: path.to_path_buf(),
-    };
-    let mut saw_budget = false;
-    for (idx, raw) in src.lines().enumerate() {
-        let line = raw.trim();
-        let lno = idx as u32 + 1;
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        if let Some(rest) = line.strip_prefix("budget:") {
-            w.budget = rest
-                .trim()
-                .parse()
-                .map_err(|_| format!("{}:{lno}: malformed budget", path.display()))?;
-            w.budget_line = lno;
-            saw_budget = true;
-            continue;
-        }
-        let mut it = line.splitn(2, char::is_whitespace);
-        let key = it.next().unwrap_or("").to_string();
-        let reason = it.next().unwrap_or("").trim().to_string();
-        if !key.contains(':') {
-            return Err(format!(
-                "{}:{lno}: waiver key must be `<file-basename>:<fn-name>`",
-                path.display()
-            ));
-        }
-        if reason.is_empty() {
-            return Err(format!(
-                "{}:{lno}: waiver `{key}` needs a reason",
-                path.display()
-            ));
-        }
-        w.entries.push(WaiverEntry {
-            key,
-            reason,
-            line: lno,
-        });
-    }
-    if !saw_budget {
-        return Err(format!(
-            "{}: missing `budget: <n>` directive",
-            path.display()
-        ));
-    }
-    Ok(w)
-}
+pub use crate::waivers::{load_waivers, WaiverEntry, Waivers};
 
 /// Graph node: `(is_macro, file index, def index)`.
 type Node = (bool, usize, usize);
@@ -214,14 +123,7 @@ pub fn check(files: &[FileScan], waivers: &Waivers) -> Vec<Diagnostic> {
                 line: u32,
                 category: Category,
                 message: String| {
-        let mut waived = false;
-        for (i, e) in waivers.entries.iter().enumerate() {
-            if keys.contains(&e.key) {
-                matched.insert(i);
-                waived = true;
-            }
-        }
-        if !waived {
+        if !waivers.waive(keys, matched) {
             diags.push(Diagnostic {
                 file: file.to_path_buf(),
                 line,
@@ -388,28 +290,7 @@ pub fn check(files: &[FileScan], waivers: &Waivers) -> Vec<Diagnostic> {
     }
 
     // Waiver hygiene: stale entries and budget.
-    for (i, e) in waivers.entries.iter().enumerate() {
-        if !matched.contains(&i) {
-            diags.push(Diagnostic {
-                file: waivers.path.clone(),
-                line: e.line,
-                category: Category::Waiver,
-                message: format!("stale waiver `{}`: no finding matches it", e.key),
-            });
-        }
-    }
-    if waivers.entries.len() > waivers.budget {
-        diags.push(Diagnostic {
-            file: waivers.path.clone(),
-            line: waivers.budget_line,
-            category: Category::Waiver,
-            message: format!(
-                "waiver budget exceeded: {} entries > budget {}",
-                waivers.entries.len(),
-                waivers.budget
-            ),
-        });
-    }
+    waivers.hygiene(&matched, &mut diags);
 
     diags.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
     diags
@@ -417,7 +298,7 @@ pub fn check(files: &[FileScan], waivers: &Waivers) -> Vec<Diagnostic> {
 
 /// Crate identity of a source path: the path component after `crates/`,
 /// falling back to the parent directory (fixtures, ad-hoc files).
-fn same_crate(a: &Path, b: &Path) -> bool {
+pub(crate) fn same_crate(a: &Path, b: &Path) -> bool {
     fn crate_of(p: &Path) -> String {
         let comps: Vec<String> = p
             .components()
@@ -439,6 +320,7 @@ fn same_crate(a: &Path, b: &Path) -> bool {
 mod tests {
     use super::*;
     use crate::scan_file;
+    use std::path::PathBuf;
 
     fn scan(src: &str) -> FileScan {
         scan_file(Path::new("mem.rs"), src)

@@ -37,7 +37,7 @@
 //!
 //! # Passes
 //!
-//! Three passes share the lexer/scanner in this file:
+//! Six passes share the lexer/scanner in this file:
 //!
 //! 1. The **annotation closure check** ([`analyze`]): the original pass.
 //!    Roots plus every `// sigsafe` function must form a transitively safe
@@ -52,6 +52,20 @@
 //! 3. The **atomics ordering lint** ([`ordering`]): every atomic field
 //!    declares a `// ordering: <protocol>` contract; each load/store/RMW
 //!    site is checked against the declared protocol.
+//! 4. The **blocking-escape analysis** ([`blocking`]): KLT-blocking leaf
+//!    functions are classified by a `// blocking: klt` annotation contract
+//!    on `crates/sys` wrappers plus a built-in libc/std deny-list; a BFS
+//!    from ULT-context roots reports any path that reaches such a leaf
+//!    without going through the whitelisted `crates/io` reactor.
+//! 5. The **pin/guard suspension lint** ([`pindiscipline`]): lexically
+//!    tracks preemption-pin and spinlock-guard live ranges per function and
+//!    flags calls that may suspend the ULT (or block the KLT) while one is
+//!    live — the shape of the historical PR 2 spawn-path bug.
+//! 6. The **lock-order graph** ([`lockorder`]): every `SpinLock`
+//!    declaration carries a `// lock-order: <level> <name>` contract; the
+//!    static acquisition graph built from nested-acquire sites must only
+//!    move to strictly higher levels, which makes acquisition cycles
+//!    unrepresentable.
 //!
 //! # Known limitations (by design — this is a linter, not a verifier)
 //!
@@ -75,8 +89,13 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+pub mod blocking;
 pub mod callgraph;
+pub mod lockorder;
+pub(crate) mod locks;
 pub mod ordering;
+pub mod pindiscipline;
+pub mod waivers;
 
 // ---------------------------------------------------------------------------
 // Diagnostics
@@ -107,6 +126,11 @@ pub enum Category {
     Ordering,
     /// Call-graph waiver-file problem (stale entry, budget exceeded).
     Waiver,
+    /// Call that may suspend while a preemption pin or spin guard is live.
+    Pin,
+    /// Lock-order contract problem (missing annotation, level inversion,
+    /// acquisition cycle).
+    LockOrder,
 }
 
 impl fmt::Display for Category {
@@ -123,6 +147,8 @@ impl fmt::Display for Category {
             Category::Contract => "contract",
             Category::Ordering => "ordering",
             Category::Waiver => "waiver",
+            Category::Pin => "pin",
+            Category::LockOrder => "lockorder",
         };
         f.write_str(s)
     }
@@ -158,14 +184,27 @@ impl fmt::Display for Diagnostic {
 // Lexer
 // ---------------------------------------------------------------------------
 
+/// Which function-annotation comment a [`Tok::Mark`] token carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MarkKind {
+    /// `// sigsafe`.
+    Sigsafe,
+    /// `// ult-context` — a root for the blocking-escape analysis.
+    UltContext,
+    /// `// blocking: klt` — the function can block its kernel thread.
+    BlockingKlt,
+    /// `// blocking: never <reason>` — audited as never KLT-blocking.
+    BlockingNever,
+}
+
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) enum Tok {
     Ident(String),
     Punct(char),
     /// Any literal (string, char, number) — opaque, breaks ident runs.
     Lit,
-    /// A `// sigsafe` annotation comment; attaches to the next `fn`.
-    Mark,
+    /// An annotation comment; attaches to the next `fn`.
+    Mark(MarkKind),
 }
 
 #[derive(Debug, Clone)]
@@ -184,6 +223,14 @@ pub(crate) struct Lexed {
     pub(crate) ordering: HashMap<u32, String>,
     /// `// ordering-ok: <reason>` site waivers, by line.
     pub(crate) ordering_ok: HashMap<u32, String>,
+    /// `// blocking-ok: <reason>` site waivers, by line.
+    pub(crate) blocking_ok: HashMap<u32, String>,
+    /// `// pin-ok: <reason>` site waivers, by line.
+    pub(crate) pin_ok: HashMap<u32, String>,
+    /// `// lock-order: <level> <name>` lock contracts, by line.
+    pub(crate) lock_order: HashMap<u32, String>,
+    /// `// lock-order-ok: <reason>` site waivers, by line.
+    pub(crate) lock_order_ok: HashMap<u32, String>,
 }
 
 pub(crate) fn lex(src: &str) -> Lexed {
@@ -193,6 +240,10 @@ pub(crate) fn lex(src: &str) -> Lexed {
     let mut safety = HashSet::new();
     let mut ordering = HashMap::new();
     let mut ordering_ok = HashMap::new();
+    let mut blocking_ok = HashMap::new();
+    let mut pin_ok = HashMap::new();
+    let mut lock_order = HashMap::new();
+    let mut lock_order_ok = HashMap::new();
     let mut i = 0usize;
     let mut line = 1u32;
     while i < b.len() {
@@ -224,9 +275,38 @@ pub(crate) fn lex(src: &str) -> Lexed {
                         ordering_ok.insert(line, reason);
                     } else if let Some(rest) = body.strip_prefix("ordering:") {
                         ordering.insert(line, rest.trim().to_string());
+                    } else if let Some(rest) = body.strip_prefix("blocking-ok") {
+                        let reason = rest.trim_start_matches(':').trim().to_string();
+                        blocking_ok.insert(line, reason);
+                    } else if let Some(rest) = body.strip_prefix("blocking:") {
+                        let spec = rest.trim();
+                        if spec == "klt" {
+                            toks.push(Sp {
+                                tok: Tok::Mark(MarkKind::BlockingKlt),
+                                line,
+                            });
+                        } else if spec.starts_with("never") {
+                            toks.push(Sp {
+                                tok: Tok::Mark(MarkKind::BlockingNever),
+                                line,
+                            });
+                        }
+                    } else if let Some(rest) = body.strip_prefix("pin-ok") {
+                        let reason = rest.trim_start_matches(':').trim().to_string();
+                        pin_ok.insert(line, reason);
+                    } else if let Some(rest) = body.strip_prefix("lock-order-ok") {
+                        let reason = rest.trim_start_matches(':').trim().to_string();
+                        lock_order_ok.insert(line, reason);
+                    } else if let Some(rest) = body.strip_prefix("lock-order:") {
+                        lock_order.insert(line, rest.trim().to_string());
+                    } else if body == "ult-context" {
+                        toks.push(Sp {
+                            tok: Tok::Mark(MarkKind::UltContext),
+                            line,
+                        });
                     } else if body == "sigsafe" || body.starts_with("sigsafe:") {
                         toks.push(Sp {
-                            tok: Tok::Mark,
+                            tok: Tok::Mark(MarkKind::Sigsafe),
                             line,
                         });
                     }
@@ -346,6 +426,10 @@ pub(crate) fn lex(src: &str) -> Lexed {
         safety,
         ordering,
         ordering_ok,
+        blocking_ok,
+        pin_ok,
+        lock_order,
+        lock_order_ok,
     }
 }
 
@@ -415,6 +499,10 @@ pub struct CallSite {
     pub method: bool,
     /// `name!(..)` macro invocation.
     pub mac: bool,
+    /// For method calls, the receiver's final named component
+    /// (`self.wait_lock.lock()` → `wait_lock`), when one resolves.
+    /// Computed lexically; call results and index expressions yield `None`.
+    pub recv: Option<String>,
 }
 
 impl CallSite {
@@ -426,6 +514,18 @@ impl CallSite {
     }
 }
 
+/// KLT-blocking classification of a function (`// blocking:` contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Blocking {
+    /// No `// blocking:` annotation.
+    #[default]
+    Unmarked,
+    /// `// blocking: klt` — may block its kernel thread.
+    Klt,
+    /// `// blocking: never <reason>` — audited as never KLT-blocking.
+    Never,
+}
+
 /// A function definition found in a scanned file.
 #[derive(Debug)]
 pub struct FnDef {
@@ -435,6 +535,11 @@ pub struct FnDef {
     pub line: u32,
     /// Whether a `// sigsafe` annotation precedes the definition.
     pub sigsafe: bool,
+    /// Whether a `// ult-context` annotation precedes the definition
+    /// (blocking-escape root).
+    pub ult_context: bool,
+    /// `// blocking:` contract on the definition.
+    pub blocking: Blocking,
     /// Calls made in the body.
     pub calls: Vec<CallSite>,
 }
@@ -452,6 +557,14 @@ pub struct FileScan {
     pub macros: Vec<FnDef>,
     /// `// sigsafe-allow` waivers by line.
     pub allow: HashMap<u32, String>,
+    /// `// blocking-ok: <reason>` site waivers by line.
+    pub blocking_ok: HashMap<u32, String>,
+    /// `// pin-ok: <reason>` site waivers by line.
+    pub pin_ok: HashMap<u32, String>,
+    /// `// lock-order: <level> <name>` lock contracts by line.
+    pub lock_order: HashMap<u32, String>,
+    /// `// lock-order-ok: <reason>` site waivers by line.
+    pub lock_order_ok: HashMap<u32, String>,
     /// Function names passed to `install_handler(..)` — handler roots.
     pub handler_roots: Vec<(String, u32)>,
     /// Lines of `unsafe {` blocks with no nearby `SAFETY:` comment.
@@ -471,6 +584,10 @@ pub fn scan_file(path: &Path, src: &str) -> FileScan {
         toks,
         allow,
         safety,
+        blocking_ok,
+        pin_ok,
+        lock_order,
+        lock_order_ok,
         ..
     } = lex(src);
     let mut fns: Vec<FnDef> = Vec::new();
@@ -483,6 +600,8 @@ pub fn scan_file(path: &Path, src: &str) -> FileScan {
     let mut fn_stack: Vec<(bool, usize, i32)> = Vec::new();
     let mut depth: i32 = 0;
     let mut pending_sigsafe = false;
+    let mut pending_ult_context = false;
+    let mut pending_blocking = Blocking::Unmarked;
     let mut i = 0usize;
 
     fn ident(s: &Sp) -> Option<&str> {
@@ -495,8 +614,13 @@ pub fn scan_file(path: &Path, src: &str) -> FileScan {
 
     while i < toks.len() {
         match &toks[i].tok {
-            Tok::Mark => {
-                pending_sigsafe = true;
+            Tok::Mark(kind) => {
+                match kind {
+                    MarkKind::Sigsafe => pending_sigsafe = true,
+                    MarkKind::UltContext => pending_ult_context = true,
+                    MarkKind::BlockingKlt => pending_blocking = Blocking::Klt,
+                    MarkKind::BlockingNever => pending_blocking = Blocking::Never,
+                }
                 i += 1;
             }
             Tok::Punct('#') => {
@@ -528,6 +652,8 @@ pub fn scan_file(path: &Path, src: &str) -> FileScan {
                 if is_test {
                     i = skip_item(&toks, i);
                     pending_sigsafe = false;
+                    pending_ult_context = false;
+                    pending_blocking = Blocking::Unmarked;
                 }
             }
             Tok::Punct('{') => {
@@ -560,6 +686,8 @@ pub fn scan_file(path: &Path, src: &str) -> FileScan {
             }
             Tok::Ident(id) if id == "fn" => {
                 let sigsafe = std::mem::take(&mut pending_sigsafe);
+                let ult_context = std::mem::take(&mut pending_ult_context);
+                let blocking = std::mem::take(&mut pending_blocking);
                 // `fn(` is a function-pointer type, not a definition.
                 let Some(name) = toks.get(i + 1).and_then(ident) else {
                     i += 1;
@@ -589,6 +717,8 @@ pub fn scan_file(path: &Path, src: &str) -> FileScan {
                         name: name.to_string(),
                         line,
                         sigsafe,
+                        ult_context,
+                        blocking,
                         calls: Vec::new(),
                     });
                     depth += 1; // consume the body `{`
@@ -604,6 +734,8 @@ pub fn scan_file(path: &Path, src: &str) -> FileScan {
                 // transcriber arms contain real code). Other outer
                 // delimiters are not traversed (see module docs).
                 pending_sigsafe = false;
+                pending_ult_context = false;
+                pending_blocking = Blocking::Unmarked;
                 let bang = toks.get(i + 1).is_some_and(|s| punct(s, '!'));
                 let name = toks.get(i + 2).and_then(ident);
                 let brace = toks.get(i + 3).is_some_and(|s| punct(s, '{'));
@@ -613,6 +745,8 @@ pub fn scan_file(path: &Path, src: &str) -> FileScan {
                             name: name.to_string(),
                             line: toks[i].line,
                             sigsafe: false,
+                            ult_context: false,
+                            blocking: Blocking::Unmarked,
                             calls: Vec::new(),
                         });
                         depth += 1; // consume the body `{`
@@ -626,6 +760,18 @@ pub fn scan_file(path: &Path, src: &str) -> FileScan {
             Tok::Ident(id) if !KEYWORDS.contains(&id.as_str()) => {
                 // Possible call: collect `A::B::name`, then look for `(`/`!`.
                 let method = i > 0 && punct(&toks[i - 1], '.');
+                // Receiver name for method calls: the ident immediately
+                // before the `.` (`self.wait_lock.lock()` → `wait_lock`).
+                // Call results (`)` before the `.`) and index expressions
+                // (`]`) have no named receiver.
+                let recv = if method && i >= 2 {
+                    match &toks[i - 2].tok {
+                        Tok::Ident(r) if !KEYWORDS.contains(&r.as_str()) => Some(r.clone()),
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
                 let call_line = toks[i].line;
                 let mut name_line = toks[i].line;
                 let mut path = vec![id.clone()];
@@ -675,6 +821,7 @@ pub fn scan_file(path: &Path, src: &str) -> FileScan {
                             name_line,
                             method,
                             mac,
+                            recv: recv.clone(),
                         };
                         if is_macro {
                             macros[fi].calls.push(site);
@@ -731,6 +878,10 @@ pub fn scan_file(path: &Path, src: &str) -> FileScan {
         fns,
         macros,
         allow,
+        blocking_ok,
+        pin_ok,
+        lock_order,
+        lock_order_ok,
         handler_roots,
         unsafe_without_safety,
     }

@@ -1,0 +1,138 @@
+//! Integration tests for the blocking-escape pass: the seeded fixture
+//! (invisible to the closure/call-graph/ordering passes, flagged by the
+//! ULT-root BFS at the exact leaf line), waiver suppression and hygiene,
+//! and the real tree as a CI gate.
+
+use std::path::{Path, PathBuf};
+
+use ult_lint::waivers::{WaiverEntry, Waivers};
+use ult_lint::{blocking, callgraph, ordering};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn sources(path: &Path) -> Vec<(PathBuf, String)> {
+    let src = std::fs::read_to_string(path).expect("fixture readable");
+    vec![(path.to_path_buf(), src)]
+}
+
+/// The escape has no `// sigsafe` annotation and no handler root, so
+/// every pre-existing pass is blind to it.
+#[test]
+fn blocking_fixture_is_invisible_to_the_older_passes() {
+    let srcs = sources(&fixture("blocking_escape.rs"));
+    let scans: Vec<_> = srcs
+        .iter()
+        .map(|(p, s)| ult_lint::scan_file(p, s))
+        .collect();
+    let mut d = ult_lint::analyze(&scans);
+    d.extend(callgraph::check(&scans, &Waivers::empty()));
+    d.extend(ordering::check(&srcs, false));
+    assert!(d.is_empty(), "older passes must miss the escape: {d:#?}");
+}
+
+/// The blocking pass flags exactly the seeded chain, at the leaf line,
+/// with the full root→leaf path; the `// blocking-ok` twin stays quiet.
+#[test]
+fn blocking_flags_the_seeded_escape_at_the_leaf_line() {
+    let d = blocking::check(&sources(&fixture("blocking_escape.rs")), &Waivers::empty());
+    assert_eq!(d.len(), 1, "{d:#?}");
+    assert_eq!(d[0].category.to_string(), "blocking");
+    assert_eq!(d[0].line, 23, "should pin the KLT-blocking leaf call");
+    assert!(
+        d[0].message.contains("poll_inbox → refill → slow_fill")
+            && d[0].message.contains("libc::recv"),
+        "message should carry the escape path and the leaf call: {}",
+        d[0].message
+    );
+}
+
+/// A waiver keyed on the leaf function suppresses the finding.
+#[test]
+fn waiver_file_suppresses_the_fixture_escape() {
+    let w = Waivers {
+        budget: 1,
+        budget_line: 1,
+        entries: vec![WaiverEntry {
+            key: "blocking_escape.rs:slow_fill".into(),
+            reason: "seeded fixture leaf".into(),
+            line: 2,
+        }],
+        path: PathBuf::from("waivers.txt"),
+    };
+    let d = blocking::check(&sources(&fixture("blocking_escape.rs")), &w);
+    assert!(d.is_empty(), "{d:#?}");
+}
+
+/// An over-budget waiver file is itself a diagnostic, even when every
+/// entry matches a real finding: the budget is a ratchet, not a shrug.
+#[test]
+fn over_budget_waiver_file_is_a_diagnostic() {
+    let w = Waivers {
+        budget: 0,
+        budget_line: 1,
+        entries: vec![WaiverEntry {
+            key: "blocking_escape.rs:slow_fill".into(),
+            reason: "seeded fixture leaf".into(),
+            line: 2,
+        }],
+        path: PathBuf::from("waivers.txt"),
+    };
+    let d = blocking::check(&sources(&fixture("blocking_escape.rs")), &w);
+    assert_eq!(d.len(), 1, "{d:#?}");
+    assert_eq!(d[0].category.to_string(), "waiver");
+    assert!(d[0].message.contains("budget exceeded"), "{}", d[0].message);
+}
+
+/// A stale entry (matching nothing) in the blocking waiver file is a
+/// diagnostic at the entry's own line.
+#[test]
+fn stale_blocking_waiver_is_a_diagnostic() {
+    let w = Waivers {
+        budget: 2,
+        budget_line: 1,
+        entries: vec![WaiverEntry {
+            key: "blocking_escape.rs:no_such_fn".into(),
+            reason: "obsolete".into(),
+            line: 3,
+        }],
+        path: PathBuf::from("waivers.txt"),
+    };
+    let d = blocking::check(&sources(&fixture("blocking_escape.rs")), &w);
+    // The unwaived escape plus the stale-entry hygiene finding.
+    assert_eq!(d.len(), 2, "{d:#?}");
+    assert!(d.iter().any(|x| x.category.to_string() == "waiver"
+        && x.line == 3
+        && x.message.contains("stale waiver")));
+}
+
+/// CI gate in test form: the real tree must pass the blocking pass with
+/// the checked-in waiver file, inside its pinned budget.
+#[test]
+fn real_tree_passes_blocking_within_waiver_budget() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = ult_lint::find_workspace_root(manifest).expect("workspace root");
+    let waivers = ult_lint::waivers::load_waivers(&root.join("crates/lint/blocking_waivers.txt"))
+        .expect("waiver file parses");
+    assert!(
+        waivers.entries.len() <= waivers.budget,
+        "waiver list ({}) exceeds its pinned budget ({})",
+        waivers.entries.len(),
+        waivers.budget
+    );
+    let srcs: Vec<(PathBuf, String)> = ult_lint::workspace_sources(&root)
+        .into_iter()
+        .filter_map(|p| {
+            let src = std::fs::read_to_string(&p).ok()?;
+            Some((p, src))
+        })
+        .collect();
+    let d = blocking::check(&srcs, &waivers);
+    assert!(
+        d.is_empty(),
+        "the real tree must pass the blocking gate; fix or waive:\n{d:#?}"
+    );
+}

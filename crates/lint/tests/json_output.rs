@@ -1,0 +1,113 @@
+//! Golden-file test for the `--json` output schema, plus the CLI
+//! exit-code contract the CI stanza in `run_all.sh` depends on.
+//!
+//! The golden file (`tests/golden_fixture_diagnostics.json`) pins the
+//! exact byte-for-byte output of the three new passes over the three
+//! seeded fixtures: field names, ordering (file, then line), and message
+//! wording are all part of the schema. Regenerate deliberately with:
+//!
+//! ```text
+//! cd crates/lint && cargo run --bin sigsafe -- --json \
+//!     --pass blocking --pass pindiscipline --pass lockorder \
+//!     fixtures/blocking_escape.rs fixtures/pin_suspend.rs \
+//!     fixtures/lock_cycle.rs > tests/golden_fixture_diagnostics.json
+//! ```
+
+use std::path::Path;
+use std::process::Command;
+
+fn sigsafe() -> Command {
+    let mut c = Command::new(env!("CARGO_BIN_EXE_sigsafe"));
+    // Fixture paths are passed relative so the golden file is
+    // machine-independent.
+    c.current_dir(env!("CARGO_MANIFEST_DIR"));
+    c
+}
+
+#[test]
+fn json_output_matches_the_golden_file() {
+    let out = sigsafe()
+        .args([
+            "--json",
+            "--pass",
+            "blocking",
+            "--pass",
+            "pindiscipline",
+            "--pass",
+            "lockorder",
+            "fixtures/blocking_escape.rs",
+            "fixtures/pin_suspend.rs",
+            "fixtures/lock_cycle.rs",
+        ])
+        .output()
+        .expect("sigsafe runs");
+    assert_eq!(out.status.code(), Some(1), "findings exit with code 1");
+    let golden_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden_fixture_diagnostics.json");
+    let golden = std::fs::read_to_string(&golden_path).expect("golden file readable");
+    let got = String::from_utf8(out.stdout).expect("utf8 json");
+    assert_eq!(
+        got, golden,
+        "--json output drifted from the golden schema; if intentional, \
+         regenerate per the header of this test file"
+    );
+}
+
+/// Every diagnostic-free run prints an empty JSON array and exits 0.
+#[test]
+fn json_output_is_an_empty_array_when_clean() {
+    let out = sigsafe()
+        .args([
+            "--json",
+            "--pass",
+            "blocking",
+            "--pass",
+            "pindiscipline",
+            "--pass",
+            "lockorder",
+            "fixtures/clean.rs",
+        ])
+        .output()
+        .expect("sigsafe runs");
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "[]");
+}
+
+/// Exit-code contract per pass and fixture: each seeded fixture makes
+/// exactly its own pass exit 1.
+#[test]
+fn each_fixture_fails_exactly_its_own_pass() {
+    let cases = [
+        ("blocking", "fixtures/blocking_escape.rs"),
+        ("pindiscipline", "fixtures/pin_suspend.rs"),
+        ("lockorder", "fixtures/lock_cycle.rs"),
+    ];
+    for (pass, fixt) in cases {
+        let code = |p: &str, f: &str| {
+            sigsafe()
+                .args(["--pass", p, f])
+                .output()
+                .expect("sigsafe runs")
+                .status
+                .code()
+        };
+        assert_eq!(code(pass, fixt), Some(1), "{pass} must flag {fixt}");
+        for (other, _) in cases.iter().filter(|(p, _)| *p != pass) {
+            assert_eq!(
+                code(other, fixt),
+                Some(0),
+                "{other} must stay quiet on {fixt}"
+            );
+        }
+    }
+}
+
+/// Malformed input (a missing file) is an internal error, not findings.
+#[test]
+fn missing_file_is_an_internal_error() {
+    let out = sigsafe()
+        .args(["--pass", "blocking", "fixtures/no_such_file.rs"])
+        .output()
+        .expect("sigsafe runs");
+    assert_eq!(out.status.code(), Some(2));
+}

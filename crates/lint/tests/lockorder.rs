@@ -1,0 +1,94 @@
+//! Integration tests for the lock-order pass: the seeded AB/BA deadlock
+//! fixture (level inversion at the exact acquire, the acquisition cycle,
+//! an uncontracted lock), the `// lock-order-ok` waiver, and the real
+//! tree — every `SpinLock` contracted, levels respected, graph acyclic.
+
+use std::path::{Path, PathBuf};
+
+use ult_lint::waivers::Waivers;
+use ult_lint::{callgraph, lockorder, ordering};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn sources(path: &Path) -> Vec<(PathBuf, String)> {
+    let src = std::fs::read_to_string(path).expect("fixture readable");
+    vec![(path.to_path_buf(), src)]
+}
+
+/// Each function is locally well-nested, so nothing pre-existing flags:
+/// only the cross-function acquisition graph exposes the deadlock.
+#[test]
+fn lock_fixture_is_invisible_to_the_older_passes() {
+    let srcs = sources(&fixture("lock_cycle.rs"));
+    let scans: Vec<_> = srcs
+        .iter()
+        .map(|(p, s)| ult_lint::scan_file(p, s))
+        .collect();
+    let mut d = ult_lint::analyze(&scans);
+    d.extend(callgraph::check(&scans, &Waivers::empty()));
+    d.extend(ordering::check(&srcs, false));
+    assert!(
+        d.is_empty(),
+        "older passes must miss the AB/BA pair: {d:#?}"
+    );
+}
+
+/// The pass reports the level inversion at the nested acquire, the A↔B
+/// cycle, and the contract-less lock; the `// lock-order-ok` twin stays
+/// quiet.
+#[test]
+fn lock_pass_reports_inversion_cycle_and_missing_contract() {
+    let d = lockorder::check(&sources(&fixture("lock_cycle.rs")));
+    assert_eq!(d.len(), 3, "{d:#?}");
+    assert!(d.iter().all(|x| x.category.to_string() == "lockorder"));
+    let inv = d
+        .iter()
+        .find(|x| x.message.contains("strictly increase"))
+        .expect("level inversion finding");
+    assert_eq!(inv.line, 28, "the nested BETA→ALPHA acquire");
+    assert!(
+        inv.message
+            .contains("acquiring `alpha` (level 1) while holding `beta` (level 2)"),
+        "{}",
+        inv.message
+    );
+    let cycle = d
+        .iter()
+        .find(|x| x.message.contains("cycle"))
+        .expect("cycle finding");
+    assert!(
+        cycle.message.contains("alpha") && cycle.message.contains("beta"),
+        "{}",
+        cycle.message
+    );
+    let orphan = d
+        .iter()
+        .find(|x| x.message.contains("no `// lock-order:"))
+        .expect("missing-contract finding");
+    assert_eq!(orphan.line, 34);
+    assert!(orphan.message.contains("`ORPHAN`"), "{}", orphan.message);
+}
+
+/// CI gate in test form: every real-tree `SpinLock` declares its level
+/// and the whole-program acquisition graph is clean.
+#[test]
+fn real_tree_passes_lockorder() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = ult_lint::find_workspace_root(manifest).expect("workspace root");
+    let srcs: Vec<(PathBuf, String)> = ult_lint::workspace_sources(&root)
+        .into_iter()
+        .filter_map(|p| {
+            let src = std::fs::read_to_string(&p).ok()?;
+            Some((p, src))
+        })
+        .collect();
+    let d = lockorder::check(&srcs);
+    assert!(
+        d.is_empty(),
+        "the real tree must pass the lock-order gate; annotate or fix:\n{d:#?}"
+    );
+}

@@ -15,6 +15,7 @@ use ult_core::pool::SpinLock;
 /// A reusable blocking barrier for a fixed party count.
 pub struct Barrier {
     parties: usize,
+    // lock-order: 43 barrier_waiters
     lock: SpinLock,
     waiters: UnsafeCell<WaitList>,
     arrived: AtomicUsize,

@@ -9,6 +9,7 @@ use ult_core::pool::SpinLock;
 /// `notify_one`/`notify_all` reschedule waiters. Callable from outside the
 /// runtime too (falls back to an epoch-watch spin with OS yields).
 pub struct Condvar {
+    // lock-order: 30 condvar_waiters
     lock: SpinLock,
     waiters: UnsafeCell<WaitList>,
     /// Bumped on every notify; non-ULT waiters watch it.

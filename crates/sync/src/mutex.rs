@@ -15,6 +15,7 @@ pub struct Mutex<T: ?Sized> {
     /// 0 = unlocked, 1 = locked.
     state: AtomicU32,
     /// Internal short lock protecting the waiter list.
+    // lock-order: 40 mutex_waiters
     wait_lock: SpinLock,
     waiters: UnsafeCell<WaitList>,
     data: UnsafeCell<T>,

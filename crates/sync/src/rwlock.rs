@@ -13,6 +13,7 @@ use ult_core::pool::SpinLock;
 pub struct RwLock<T: ?Sized> {
     /// >0: reader count; 0: free; -1: write-locked.
     state: AtomicI64,
+    // lock-order: 41 rwlock_waiters
     lock: SpinLock,
     read_waiters: UnsafeCell<WaitList>,
     write_waiters: UnsafeCell<WaitList>,

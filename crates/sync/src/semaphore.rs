@@ -8,6 +8,7 @@ use ult_core::pool::SpinLock;
 /// Counting semaphore: `acquire` parks the ULT when no permits remain.
 pub struct Semaphore {
     permits: AtomicIsize,
+    // lock-order: 42 semaphore_waiters
     lock: SpinLock,
     waiters: UnsafeCell<WaitList>,
 }

@@ -14,6 +14,7 @@ use ult_core::pool::SpinLock;
 /// parks until the count returns to zero.
 pub struct WaitGroup {
     count: AtomicIsize,
+    // lock-order: 44 waitgroup_waiters
     lock: SpinLock,
     waiters: UnsafeCell<WaitList>,
 }

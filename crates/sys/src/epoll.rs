@@ -82,6 +82,7 @@ impl Epoll {
     /// non-blocking poll) and copy up to `out.len()` events into `out`.
     /// Returns the number filled; `EINTR` is absorbed as 0 events so callers
     /// re-evaluate their predicates (preemption signals land on workers).
+    // blocking: klt
     pub fn wait(&self, out: &mut [Event], timeout_ms: i32) -> io::Result<usize> {
         const MAX: usize = 64;
         let cap = out.len().min(MAX) as i32;

@@ -34,6 +34,7 @@ impl EventFd {
     /// Async-signal-safe; errors are deliberately ignored (`EAGAIN` on a
     /// saturated counter means a wakeup is already pending).
     // sigsafe
+    // blocking: never eventfd is created with EFD_NONBLOCK; write never parks
     pub fn signal(&self) {
         let one: u64 = 1;
         // SAFETY: writing 8 bytes from a valid local to a live fd.
@@ -44,6 +45,7 @@ impl EventFd {
 
     /// Consume all pending wakeups, making the fd unreadable again until the
     /// next [`EventFd::signal`]. Returns the number of coalesced signals.
+    // blocking: never eventfd is created with EFD_NONBLOCK; read returns EAGAIN when empty
     pub fn drain(&self) -> u64 {
         let mut buf: u64 = 0;
         // SAFETY: reading 8 bytes into a valid local from a live fd.

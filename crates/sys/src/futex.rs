@@ -19,6 +19,7 @@ use core::sync::atomic::{AtomicU32, Ordering};
 /// `EAGAIN`/`EINTR` — callers must re-check their predicate.
 #[inline]
 // sigsafe
+// blocking: klt
 pub fn futex_wait(addr: &AtomicU32, expected: u32) {
     // SAFETY: addr is a valid, live atomic word; FUTEX_WAIT with a null
     // timeout blocks until woken or EINTR/EAGAIN.
@@ -37,6 +38,7 @@ pub fn futex_wait(addr: &AtomicU32, expected: u32) {
 /// Returns the number of threads woken.
 #[inline]
 // sigsafe
+// blocking: never FUTEX_WAKE returns immediately; it never waits
 pub fn futex_wake(addr: &AtomicU32, n: i32) -> i32 {
     // SAFETY: addr is a valid atomic word.
     unsafe {
@@ -117,6 +119,7 @@ impl Futex {
     /// `wake_sig` must be a signal number reserved for this purpose and the
     /// releaser must pair it with [`Futex::unpark_with_signal`].
     // sigsafe
+    // blocking: klt
     pub fn wait_sigsuspend_style(&self, wake_sig: i32) {
         loop {
             if self.try_park() {

@@ -138,6 +138,7 @@ fn set_mask(how: i32, signum: i32) {
 /// Async-signal-safe. Returns false if the thread no longer exists.
 #[inline]
 // sigsafe
+// blocking: never tgkill delivers asynchronously and returns without waiting
 pub fn send_signal(tid: Tid, signum: i32) -> bool {
     // SAFETY: tgkill is a raw syscall; stale tids yield ESRCH, reported as
     // false.

@@ -6,6 +6,7 @@ pub type Tid = libc::pid_t;
 
 /// The calling thread's kernel tid. Async-signal-safe.
 #[inline]
+// blocking: never gettid is a register read in the kernel; it cannot wait
 pub fn gettid() -> Tid {
     // SAFETY: gettid has no failure modes.
     unsafe { libc::syscall(libc::SYS_gettid) as Tid }

@@ -5,8 +5,10 @@ set -euo pipefail
 cd "$(dirname "$0")"
 MODE="${1:-}"
 
-echo "== lint gates"
-cargo run -p ult-lint --bin sigsafe
+echo "== lint gates: all six ult-verify passes (closure, callgraph, ordering,"
+echo "==             blocking, pindiscipline, lockorder), JSON + trend report"
+mkdir -p results
+cargo run -p ult-lint --bin sigsafe -- --json --report results/lint_report.json
 cargo clippy --workspace -- -D warnings
 cargo fmt --check
 
