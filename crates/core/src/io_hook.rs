@@ -3,66 +3,107 @@
 //! `ult-core` cannot depend on the I/O crate (the dependency points the
 //! other way), yet the worker idle loop needs a third park mode — parking in
 //! `epoll_wait` instead of the futex — and the wake paths need to know how
-//! to interrupt it. The reactor registers three function pointers once at
+//! to interrupt it. The reactor registers its function pointers once at
 //! init; until then every hook site is a null-check-and-skip, so runtimes
 //! that never touch I/O pay one predictable branch.
 //!
-//! # The poller slot
+//! # Sharded parking: every idle worker polls its own shard
 //!
-//! At most one worker process-wide is **the poller**: the worker whose idle
-//! park blocks in `epoll_wait` (with a timeout equal to the timer wheel's
-//! next deadline) rather than on its futex. The slot is a process-global
-//! pointer CAS — first idle worker wins; everyone else futex-parks exactly
-//! as before and is woken by the reactor via the ordinary `on_ready` path
-//! when an fd they were waiting on fires.
+//! The reactor is sharded per CPU: each shard owns its own epoll
+//! instance, doorbell eventfd and timer wheel, and worker ranks map onto
+//! shards modulo the shard count (a private shard per worker when workers
+//! ≤ CPUs). A worker going idle parks in **its own shard's** `epoll_wait`
+//! — there is no process-global poller slot to claim and no CAS to lose,
+//! so the old futex-vs-poller branching collapses to "shard-park if a
+//! reactor is registered and the hook accepts, else futex-park". The hook
+//! declines for an empty shard and for ranks that are not their shard's
+//! canonical owner (when workers exceed CPUs); those workers futex-park,
+//! and the reactor keeps them honest by kicking the owner rank through
+//! [`kick_worker`] whenever a foreign rank arms a shard's first waiter or
+//! earliest deadline. Packing-suspended workers shard-park too (with no
+//! work recheck — they must not pick up work), so fds bound to a
+//! suspended worker's shard keep getting serviced and readiness is
+//! re-routed through the ordinary `on_ready` path to an active worker.
 //!
-//! # Lost-wakeup protocol (Dekker pairing, modeled in `ult-model`)
+//! # Lost-wakeup protocol (per-worker Dekker pairing, modeled in `ult-model`)
 //!
 //! A pusher that wants worker `w` awake deposits a futex token
-//! (`Worker::unpark`) and *then* checks the poller slot (`unpark_kick`,
-//! with a SeqCst fence between); if `w` is the poller it also rings the
-//! reactor's eventfd doorbell. The poller claims the slot, fences, and
-//! *then* consumes any pending futex token before entering `epoll_wait`.
-//! Whichever side started later sees the other's write: either the pusher
-//! observes the claimed slot (doorbell rings, `epoll_wait` returns
-//! immediately — the eventfd stays readable until drained), or the poller
-//! observes the token (skips the epoll park entirely and rescans). The
-//! doorbell write is a raw `write(2)` on an eventfd, so the kick is
+//! (`Worker::unpark`) and *then* reads `w.reactor_park` (`unpark_kick`,
+//! with a SeqCst fence between); if set it also rings shard `w.rank`'s
+//! eventfd doorbell. The parking worker stores `reactor_park = true`,
+//! fences, and *then* consumes any pending futex token before entering
+//! `epoll_wait`. Whichever side started later sees the other's write:
+//! either the pusher observes the flag (doorbell rings, `epoll_wait`
+//! returns immediately — the eventfd stays readable until drained), or the
+//! parker observes the token (skips the epoll park entirely and rescans).
+//! The doorbell write is a raw `write(2)` on an eventfd, so the kick is
 //! async-signal-safe and `unpark` stays callable from preemption handlers.
 
 use crate::runtime::RuntimeInner;
 use crate::worker::Worker;
 use std::sync::atomic::{AtomicPtr, Ordering};
 
-/// Reactor entry points registered by `ult-io`.
+/// Per-shard reactor counters, surfaced through `Runtime::stats()`.
 ///
-/// All three run on runtime worker KLTs. `park`/`poll` are called from
+/// Returned by the [`IoHooks::shard_stats`] hook so the core crate can fold
+/// reactor activity into the same snapshot as the scheduler counters
+/// without depending on `ult-io`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IoShardStats {
+    /// `epoll_wait` passes (blocking parks + opportunistic polls).
+    pub polls: u64,
+    /// Blocking parks in this shard's `epoll_wait`.
+    pub parks: u64,
+    /// Doorbell eventfd rings aimed at this shard.
+    pub doorbell_rings: u64,
+    /// Readiness deliveries that woke a ULT now homed on another worker.
+    pub cross_shard_wakes: u64,
+    /// fds migrated into this shard by the affinity rebind path.
+    pub fd_rebinds: u64,
+    /// Batched-accept drains (one per listener readiness, ≥1 conn each).
+    pub batched_accepts: u64,
+    /// Connections accepted via the batched `accept4` loop.
+    pub accepted: u64,
+    /// Buffer-pool acquisitions served from a free list.
+    pub bufpool_hits: u64,
+    /// Buffer-pool acquisitions that had to allocate.
+    pub bufpool_misses: u64,
+}
+
+/// Reactor entry points registered by `ult-io`. All take the worker rank
+/// they operate on behalf of; the reactor maps ranks to shards.
+///
+/// All of these run on runtime worker KLTs. `park`/`poll` are called from
 /// scheduler context only (never from signal handlers); `wake` must be
 /// async-signal-safe.
 #[derive(Debug)]
 pub struct IoHooks {
-    /// Park in the reactor until an fd fires, the next timer deadline
-    /// passes, or [`IoHooks::wake`] is called. Runs expired timers and
-    /// readiness callbacks (which re-push ULTs) before returning.
-    pub park: fn(),
-    /// Interrupt a concurrent or future `park` (eventfd doorbell).
-    /// Async-signal-safe.
-    pub wake: fn(),
-    /// Opportunistic non-blocking poll from busy scheduler loops, so I/O
-    /// and timers are serviced even when no worker ever goes idle. The
-    /// implementation rate-limits itself; callers invoke it every loop.
-    pub poll: fn(),
+    /// Park in shard `r`'s `epoll_wait` until an fd fires, the shard's next
+    /// timer deadline passes, or [`IoHooks::wake`] is called for `r`. Runs
+    /// expired timers and readiness callbacks (which re-push ULTs) before
+    /// returning. Returns `false` without parking when the shard has
+    /// nothing to wait for (no armed fd interest, no pending deadlines) —
+    /// the caller falls back to the much cheaper futex park, and the
+    /// shard's doorbell is only paid for by workers whose shards are live.
+    pub park: fn(r: usize) -> bool,
+    /// Interrupt a concurrent or future `park` on shard `r` (eventfd
+    /// doorbell). Async-signal-safe.
+    pub wake: fn(r: usize),
+    /// Opportunistic non-blocking poll of shard `r` from busy scheduler
+    /// loops, so I/O and timers are serviced even when no worker ever goes
+    /// idle. The implementation rate-limits itself; callers invoke it every
+    /// loop.
+    pub poll: fn(r: usize),
+    /// Counter snapshot for shard `r` (zeros for a never-touched shard).
+    pub shard_stats: fn(r: usize) -> IoShardStats,
 }
 
 /// Registered hook table (null until `ult-io` initializes).
 static HOOKS: AtomicPtr<IoHooks> = AtomicPtr::new(std::ptr::null_mut()); // ordering: acqrel write-once publication
 
-/// The worker currently parked (or committing to park) in the reactor.
-static POLLER: AtomicPtr<Worker> = AtomicPtr::new(std::ptr::null_mut()); // ordering: seqcst Dekker pairing with unpark_kick
-
 /// Register the reactor's hook table. Called once by `ult-io` at reactor
 /// init; `hooks` must live for the rest of the process (the reactor leaks
-/// its singleton). Later calls are ignored.
+/// its shards). Later calls are ignored.
 pub fn register_io_hooks(hooks: &'static IoHooks) {
     let _ = HOOKS.compare_exchange(
         std::ptr::null_mut(),
@@ -80,65 +121,103 @@ fn hooks() -> Option<&'static IoHooks> {
     unsafe { HOOKS.load(Ordering::Acquire).as_ref() }
 }
 
-/// Scheduler-loop poll site: service the reactor opportunistically.
+/// Scheduler-loop poll site: service this worker's shard opportunistically.
 #[inline]
-pub(crate) fn maybe_poll() {
+pub(crate) fn maybe_poll(w: &Worker) {
     if let Some(h) = hooks() {
-        (h.poll)();
+        (h.poll)(w.rank);
     }
 }
 
-/// Idle-park in the reactor if this worker can claim the poller slot.
+/// Reactor stats for shard `r`, if a reactor is registered.
+pub(crate) fn shard_stats(r: usize) -> IoShardStats {
+    hooks().map(|h| (h.shard_stats)(r)).unwrap_or_default()
+}
+
+/// Idle-park in this worker's own reactor shard.
 ///
 /// Returns `true` if the park round was handled here (the caller rescans
-/// its pools); `false` means no reactor is registered or another worker
-/// holds the slot — fall back to the futex park. The caller has already
-/// advertised `w.idle`, re-checked for work, and elided its tick.
-pub(crate) fn poller_park(rt: &RuntimeInner, w: &Worker) -> bool {
+/// its pools); `false` means no reactor is registered — fall back to the
+/// futex park. The caller has already advertised `w.idle`, re-checked for
+/// work, and elided its tick.
+///
+/// `pick_work` distinguishes the ordinary idle park (recheck the pools
+/// before committing — an fd-less worker must not sleep on queued ULTs)
+/// from the packing-suspended park (the worker must *not* scan for work; it
+/// parks solely so its shard's fds and timers stay serviced, and readiness
+/// it delivers is routed to active workers by `on_ready`).
+pub(crate) fn shard_park(rt: &RuntimeInner, w: &Worker, pick_work: bool) -> bool {
     let Some(h) = hooks() else { return false };
-    let wp = w as *const Worker as *mut Worker;
-    if POLLER
-        .compare_exchange(
-            std::ptr::null_mut(),
-            wp,
-            Ordering::SeqCst,
-            Ordering::Relaxed,
-        )
-        .is_err()
-    {
-        return false;
-    }
-    // Dekker: claim published above; now observe any pusher that missed it.
-    // A pusher that read the slot before our claim deposited only a futex
+    w.reactor_park.store(true, Ordering::SeqCst);
+    // Dekker: flag published above; now observe any pusher that missed it.
+    // A pusher that read the flag before our store deposited only a futex
     // token — consume it (and re-check the pools) instead of entering
     // `epoll_wait`, where that token could never reach us.
     std::sync::atomic::fence(Ordering::SeqCst);
-    if w.wake.try_park() || crate::sched::has_any_work(rt, w) || rt.shutdown.load(Ordering::Acquire)
+    if w.wake.try_park()
+        || (pick_work && crate::sched::has_any_work(rt, w))
+        || rt.shutdown.load(Ordering::Acquire)
     {
-        POLLER.store(std::ptr::null_mut(), Ordering::SeqCst);
+        w.reactor_park.store(false, Ordering::SeqCst);
         return true;
     }
-    (h.park)();
-    POLLER.store(std::ptr::null_mut(), Ordering::SeqCst);
+    let parked = (h.park)(w.rank);
+    w.reactor_park.store(false, Ordering::SeqCst);
     // A doorbell aimed at us may still be in flight; it parks in the
     // eventfd counter and is drained by the next poll — never lost, at
-    // worst one spurious immediate return for the next poller.
-    true
+    // worst one spurious immediate return from the next park. When the
+    // hook declined (`parked == false`, empty shard), the caller futex
+    // parks: a pusher that raced the flag window deposited its futex token
+    // before ringing, so that park returns immediately too.
+    parked
 }
 
-/// Wake-path kick: if `w` is the current poller, ring the reactor doorbell
-/// so its `epoll_wait` returns. Called from `Worker::unpark` (and thus from
-/// preemption signal handlers); the doorbell is an eventfd write.
+/// Reactor callback: the blocking wait phase of a shard park has returned
+/// and the worker is about to process deliveries. Clearing `reactor_park`
+/// *before* delivery means a `make_ready` → `unpark` aimed at this same
+/// worker (the common case: readiness for a ULT homed here) sees the flag
+/// down and skips the doorbell — the worker is awake and rescans its pools
+/// when the park returns, so the self-ring would only buy a wasted
+/// `epoll_wait` pass and two eventfd syscalls per delivery.
+///
+/// No-op off runtime workers.
+pub fn reactor_wait_done() {
+    if let Some(w) = crate::api::current_worker() {
+        w.reactor_park.store(false, Ordering::SeqCst);
+    }
+}
+
+/// Reactor callback: make sure worker `r` of the calling thread's runtime
+/// is (or is about to be) awake. The reactor calls this when a worker arms
+/// the first waiter or earliest deadline on a shard whose canonical owner
+/// is some *other* worker: that owner may be futex-parked (it declined the
+/// epoll park while its shard was empty), where a doorbell ring cannot
+/// reach it. `Worker::unpark` deposits a futex token — making a concurrent
+/// or imminent futex park return immediately — and rings the shard
+/// doorbell if the owner is epoll-parked instead, so the kick covers both
+/// park modes. No-op off runtime workers and for out-of-range ranks.
+pub fn kick_worker(r: usize) {
+    if let Some(me) = crate::api::current_worker() {
+        if let Some(w) = me.runtime().workers.get(r) {
+            w.unpark();
+        }
+    }
+}
+
+/// Wake-path kick: if `w` is parked (or committing to park) in its reactor
+/// shard, ring that shard's doorbell so its `epoll_wait` returns. Called
+/// from `Worker::unpark` (and thus from preemption signal handlers); the
+/// doorbell is an eventfd write.
 #[inline]
 // sigsafe
 pub(crate) fn unpark_kick(w: &Worker) {
-    // Pairs with the claim-fence-check in `poller_park`: the caller's token
+    // Pairs with the store-fence-check in `shard_park`: the caller's token
     // deposit precedes this fence, the load below follows it.
     std::sync::atomic::fence(Ordering::SeqCst);
-    if std::ptr::eq(POLLER.load(Ordering::SeqCst), w) {
+    if w.reactor_park.load(Ordering::SeqCst) {
         if let Some(h) = hooks() {
             // sigsafe-allow: fn pointer to the registered reactor doorbell (EventFd::signal, a raw eventfd write; audited sigsafe in ult-io)
-            (h.wake)();
+            (h.wake)(w.rank);
         }
     }
 }

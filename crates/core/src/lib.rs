@@ -67,7 +67,7 @@ pub use api::{
     yield_now,
 };
 pub use config::{Config, KltParkMode, KltPoolPolicy, SchedPolicy};
-pub use io_hook::{register_io_hooks, IoHooks};
+pub use io_hook::{kick_worker, reactor_wait_done, register_io_hooks, IoHooks, IoShardStats};
 pub use preempt::timer::TimerStrategy;
 pub use runtime::Runtime;
 pub use stats::RuntimeStats;

@@ -641,6 +641,16 @@ impl Runtime {
             s.unparks += w.stats.unparks.load(Ordering::Relaxed);
             s.interrupt_samples_ns
                 .extend(w.stats.interrupt_ns.snapshot());
+            let io = crate::io_hook::shard_stats(w.rank);
+            s.io_polls += io.polls;
+            s.io_parks += io.parks;
+            s.io_doorbell_rings += io.doorbell_rings;
+            s.io_cross_shard_wakes += io.cross_shard_wakes;
+            s.io_fd_rebinds += io.fd_rebinds;
+            s.io_batched_accepts += io.batched_accepts;
+            s.io_accepted += io.accepted;
+            s.io_bufpool_hits += io.bufpool_hits;
+            s.io_bufpool_misses += io.bufpool_misses;
         }
         s.klts_created = self.inner.creator.created.load(Ordering::Relaxed) as u64;
         s

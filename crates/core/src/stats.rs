@@ -206,6 +206,24 @@ pub struct RuntimeStats {
     pub unparks: u64,
     /// KLTs created on demand by the creator thread.
     pub klts_created: u64,
+    /// Reactor: `epoll_wait` passes summed over all shards (parks + polls).
+    pub io_polls: u64,
+    /// Reactor: blocking parks in a shard's `epoll_wait`.
+    pub io_parks: u64,
+    /// Reactor: doorbell eventfd rings.
+    pub io_doorbell_rings: u64,
+    /// Reactor: readiness deliveries that woke a ULT homed on another worker.
+    pub io_cross_shard_wakes: u64,
+    /// Reactor: fds migrated between shards by the affinity rebind path.
+    pub io_fd_rebinds: u64,
+    /// Reactor: batched-accept drains (one per listener readiness).
+    pub io_batched_accepts: u64,
+    /// Reactor: connections accepted via the batched `accept4` loop.
+    pub io_accepted: u64,
+    /// Reactor: I/O buffer acquisitions served from a free list.
+    pub io_bufpool_hits: u64,
+    /// Reactor: I/O buffer acquisitions that had to allocate.
+    pub io_bufpool_misses: u64,
     /// All interruption samples (ns), concatenated across workers.
     pub interrupt_samples_ns: Vec<u64>,
 }

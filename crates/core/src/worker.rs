@@ -101,6 +101,12 @@ pub(crate) struct Worker {
     pub wake: Futex,
     /// Set while parked idle (lets push paths find sleepers to wake).
     pub idle: AtomicBool, // ordering: acqrel
+    /// Set while parked (or committing to park) in this worker's reactor
+    /// shard instead of on the futex. Dekker-paired with `unpark_kick`: the
+    /// parker stores the flag, fences, then consumes any futex token; the
+    /// pusher deposits its token, fences, then reads the flag and rings the
+    /// shard doorbell if set.
+    pub reactor_park: AtomicBool, // ordering: seqcst Dekker pairing with io_hook::unpark_kick
     /// The worker's preemption timer needs re-targeting to the current KLT
     /// (set by the KLT-switching handler; consumed by the scheduler loop).
     pub timer_rebind: AtomicBool, // ordering: acqrel
@@ -171,6 +177,7 @@ impl Worker {
             local_klts: crate::klt::KltPool::new(local_klt_cap),
             wake: Futex::new(),
             idle: AtomicBool::new(false),
+            reactor_park: AtomicBool::new(false),
             timer_rebind: AtomicBool::new(false),
             last_preempt_ns: AtomicU64::new(0),
             tick_elided: AtomicBool::new(false),
@@ -266,7 +273,7 @@ impl Worker {
     }
 
     /// Wake this worker if it is parked (idle, packing or shutdown) — on
-    /// its futex, or in the reactor if it is the designated poller.
+    /// its futex, or in its reactor shard's `epoll_wait`.
     // sigsafe
     pub(crate) fn unpark(&self) {
         self.stats.unparks.fetch_add(1, Ordering::Relaxed);
@@ -396,9 +403,16 @@ fn scheduler_loop(w: &Worker) -> ! {
         }
 
         // Thread packing: ranks >= active park until reactivated (§4.2).
+        // A suspended worker still owns its reactor shard, so it parks in
+        // the shard's `epoll_wait` (no work recheck — it must not pick up
+        // ULTs) rather than the futex: fds bound to its shard stay
+        // serviced, and `on_ready` routes any readiness it delivers to an
+        // active worker.
         if w.rank >= rt.active_workers.load(Ordering::Acquire) {
             w.idle.store(true, Ordering::Release);
-            w.wake.park();
+            if !crate::io_hook::shard_park(rt, w, false) {
+                w.wake.park();
+            }
             w.idle.store(false, Ordering::Release);
             continue;
         }
@@ -409,7 +423,7 @@ fn scheduler_loop(w: &Worker) -> ! {
         // timer deadlines can be turned into ready ULTs — under preemption
         // their spacing is bounded by the tick interval, which is exactly
         // the serving-latency story bench_echo measures.
-        crate::io_hook::maybe_poll();
+        crate::io_hook::maybe_poll(w);
 
         // Pick work according to the configured policy.
         match crate::sched::pick(rt, w) {
@@ -444,10 +458,11 @@ fn idle_wait(rt: &RuntimeInner, w: &Worker) {
     if rt.tick_elision {
         try_elide(rt, w);
     }
-    // Third park mode: if a reactor is registered and the poller slot is
-    // free, park in `epoll_wait` (servicing fds and the timer wheel)
-    // instead of the futex. Everyone else futex-parks as before.
-    if crate::io_hook::poller_park(rt, w) {
+    // Third park mode: if a reactor is registered, park in this worker's
+    // own shard's `epoll_wait` (servicing its fds and timer wheel) instead
+    // of the futex. Every idle worker shard-parks — shards are per-worker,
+    // so there is no poller slot to contend for.
+    if crate::io_hook::shard_park(rt, w, true) {
         w.idle.store(false, Ordering::Release);
         return;
     }

@@ -7,22 +7,31 @@
 //! heavy traffic" north star, and the request-tail-latency argument of
 //! LibPreemptible):
 //!
-//! * **Reactor** ([`reactor`]-internal): one process-wide epoll instance +
-//!   eventfd doorbell, hooked into the worker idle loop via
-//!   [`ult_core::IoHooks`]. When a worker finds no runnable ULT it claims
-//!   the *poller slot* and parks in `epoll_wait` instead of its futex;
-//!   busy workers service the reactor opportunistically at dispatch
-//!   boundaries (rate-limited zero-timeout polls). A ULT blocked on I/O
-//!   therefore never holds a KLT.
+//! * **Sharded reactor** ([`reactor`]-internal): one epoll instance +
+//!   eventfd doorbell + timer wheel **per worker**, hooked into the worker
+//!   idle loop via [`ult_core::IoHooks`]. When a worker finds no runnable
+//!   ULT it parks in *its own shard's* `epoll_wait` instead of its futex —
+//!   no global poller slot, no CAS to claim it — and busy workers service
+//!   their shard opportunistically at dispatch boundaries (rate-limited
+//!   zero-timeout polls). A ULT blocked on I/O therefore never holds a
+//!   KLT, and fds follow the ULTs that wait on them: a socket registers
+//!   with the shard of the worker that first blocks on it and cheaply
+//!   rebinds after a migration, so readiness fires where it is consumed.
 //! * **Sockets** ([`TcpListener`], [`TcpStream`], [`UdpSocket`]): blocking
 //!   `std::net`-shaped APIs over nonblocking fds; `WouldBlock` suspends
 //!   the ULT through the runtime's ordinary block/ready path and fd
-//!   readiness re-pushes it to its home worker.
+//!   readiness re-pushes it to its home worker. Listeners drain bursty
+//!   backlogs in one park via [`TcpListener::accept_batch`]; streams do
+//!   scatter/gather I/O via [`TcpStream::read_vectored`] /
+//!   [`TcpStream::write_vectored`].
+//! * **Buffer pool** ([`IoBuf`]): per-worker recycled scratch buffers with
+//!   a bounded global overflow list — request handlers get allocation-free
+//!   buffers in steady state.
 //! * **Timer wheel** ([`sleep`], [`block_until`]): hashed-wheel deadlines
-//!   driving `io::sleep`, per-op socket timeouts, and the `wait_timeout`
-//!   variants in `ult-sync`. The [`TimedWaiter`] claim CAS arbitrates
-//!   event-vs-deadline races so a recycled ULT descriptor can never be
-//!   woken twice.
+//!   (one wheel per shard, serviced by its owner) driving `io::sleep`,
+//!   per-op socket timeouts, and the `wait_timeout` variants in
+//!   `ult-sync`. The [`TimedWaiter`] claim CAS arbitrates event-vs-deadline
+//!   races so a recycled ULT descriptor can never be woken twice.
 //!
 //! ## Quick start
 //!
@@ -44,20 +53,24 @@
 #![deny(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+mod bufpool;
 mod net;
 mod reactor;
 mod time;
 mod waiter;
 mod wheel;
 
+pub use bufpool::{IoBuf, BUF_CAPACITY};
 pub use net::{TcpListener, TcpStream, UdpSocket};
+pub use reactor::{configure_shards, MAX_SHARDS};
 pub use time::{block_for, block_until, sleep};
 pub use waiter::TimedWaiter;
 
 /// Force reactor initialization (epoll/eventfd creation and hook
-/// registration into `ult-core`). Optional — every socket, sleep or timed
-/// wait initializes lazily — but useful to move the one-time setup cost out
-/// of a latency-sensitive path.
+/// registration into `ult-core`) for the calling worker's shard — other
+/// shards materialize lazily as their workers park or poll. Optional —
+/// every socket, sleep or timed wait initializes lazily — but useful to
+/// move the one-time setup cost out of a latency-sensitive path.
 pub fn init() {
-    let _ = reactor::reactor();
+    let _ = reactor::current_shard();
 }

@@ -12,10 +12,10 @@
 //! sleep-polling — correct, just not efficient; test clients use raw
 //! `std::net` instead.
 
-use crate::reactor::{reactor, wait_readiness, Dir, FdEntry};
-use std::io::{self, Read, Write};
+use crate::reactor::{self, wait_readiness, Dir, FdEntry};
+use std::io::{self, IoSlice, IoSliceMut, Read, Write};
 use std::net::{Shutdown, SocketAddr, ToSocketAddrs};
-use std::os::unix::io::AsRawFd;
+use std::os::unix::io::{AsRawFd, FromRawFd};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -29,14 +29,14 @@ struct Registration {
 impl Registration {
     fn new(fd: i32) -> io::Result<Registration> {
         Ok(Registration {
-            entry: reactor().register_fd(fd)?,
+            entry: reactor::register_fd(fd)?,
         })
     }
 }
 
 impl Drop for Registration {
     fn drop(&mut self) {
-        reactor().deregister_fd(&self.entry);
+        reactor::deregister_fd(&self.entry);
     }
 }
 
@@ -99,6 +99,44 @@ impl TcpListener {
         Ok((TcpStream::from_std(s)?, addr))
     }
 
+    /// Accept every connection the kernel has queued, in one drain.
+    ///
+    /// Suspends until at least one peer is pending, then loops `accept4`
+    /// until `WouldBlock` (or `max` connections), paying one readiness
+    /// park for the whole backlog instead of one per connection — the
+    /// win under bursty connect storms. Streams come out of `accept4`
+    /// already nonblocking (no extra `fcntl` per connection) and register
+    /// with the accepting worker's reactor shard, so handler ULTs spawned
+    /// by the caller start life with their fd already affined.
+    pub fn accept_batch(&self, max: usize) -> io::Result<Vec<(TcpStream, SocketAddr)>> {
+        let mut out = Vec::new();
+        while out.len() < max.max(1) {
+            match ult_sys::sockio::accept4(self.inner.as_raw_fd()) {
+                Ok((fd, addr)) => {
+                    // SAFETY: freshly accepted fd, exclusively owned here.
+                    // blocking-ok: from_raw_fd is a pure ownership wrapper around an already-open fd; no syscall, nothing to wait on
+                    let s = unsafe { std::net::TcpStream::from_raw_fd(fd) };
+                    out.push((TcpStream::from_accept4(s)?, addr));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if !out.is_empty() {
+                        break; // backlog drained
+                    }
+                    wait_readiness(&self.reg.entry, Dir::Read, None)?;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    if out.is_empty() {
+                        return Err(e);
+                    }
+                    break; // deliver what we have; the error will recur
+                }
+            }
+        }
+        reactor::note_accept_batch(out.len());
+        Ok(out)
+    }
+
     /// Local address of the listener.
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.inner.local_addr()
@@ -117,6 +155,13 @@ impl TcpStream {
     /// Wrap an accepted/connected std stream (switches it nonblocking).
     pub fn from_std(inner: std::net::TcpStream) -> io::Result<TcpStream> {
         inner.set_nonblocking(true)?;
+        TcpStream::from_accept4(inner)
+    }
+
+    /// Wrap a stream that is already nonblocking (`accept4` with
+    /// `SOCK_NONBLOCK` inherits nothing from the listener), skipping the
+    /// redundant `fcntl` on the batched-accept hot path.
+    fn from_accept4(inner: std::net::TcpStream) -> io::Result<TcpStream> {
         Ok(TcpStream {
             reg: Registration::new(inner.as_raw_fd())?,
             inner,
@@ -179,6 +224,25 @@ impl TcpStream {
             buf = &mut buf[n..];
         }
         Ok(())
+    }
+
+    /// Scatter-read into `bufs` with one `readv` syscall, suspending the
+    /// ULT until data (or EOF) arrives. Honors the read timeout per call.
+    pub fn read_vectored(&self, bufs: &mut [IoSliceMut<'_>]) -> io::Result<usize> {
+        let deadline = deadline_from(&self.read_timeout_ns);
+        retry(&self.reg.entry, Dir::Read, deadline, || {
+            ult_sys::sockio::readv(self.inner.as_raw_fd(), bufs)
+        })
+    }
+
+    /// Gather-write from `bufs` with one `writev` syscall — header +
+    /// payload without a copy or two writes. Suspends until the kernel
+    /// accepts bytes; honors the write timeout per call.
+    pub fn write_vectored(&self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+        let deadline = deadline_from(&self.write_timeout_ns);
+        retry(&self.reg.entry, Dir::Write, deadline, || {
+            ult_sys::sockio::writev(self.inner.as_raw_fd(), bufs)
+        })
     }
 
     /// Per-op read deadline (None disables; granularity ~1 ms).

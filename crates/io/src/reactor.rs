@@ -1,47 +1,126 @@
-//! The per-process epoll reactor.
+//! Sharded epoll reactors, one per CPU.
 //!
-//! One lazily-initialized singleton owns the epoll instance, the eventfd
-//! doorbell, the fd registry and the [timer wheel](crate::wheel). It plugs
-//! into `ult-core` through the [`ult_core::IoHooks`] table:
+//! The reactor is split into **shards**: each owns its own epoll instance,
+//! eventfd doorbell and [timer wheel](crate::wheel). The shard count is the
+//! machine's available parallelism (capped at [`MAX_SHARDS`], overridable
+//! via [`configure_shards`]) and worker rank `r` maps to shard
+//! `r % shard_count()`. When workers ≤ CPUs that is a private shard per
+//! worker — every idle worker parks in its *own* `epoll_wait`, there is no
+//! process-global poller slot to claim, and wakeups never funnel through
+//! one shared doorbell. When workers exceed CPUs (including the 1-CPU
+//! degenerate case) several ranks share a shard: only the **canonical
+//! owner** (the rank equal to the shard index) parks in its `epoll_wait`;
+//! the other ranks take the one-syscall futex park and rely on the owner —
+//! kicked awake through `ult_core::kick_worker` whenever a non-owner arms
+//! the first waiter or earliest deadline on the shard — plus every busy
+//! worker's opportunistic polls to service their fds. That keeps the
+//! epoll-parked population at one KLT per shard instead of a thundering
+//! herd. The shards plug into `ult-core` through the [`ult_core::IoHooks`]
+//! table:
 //!
-//! * **park** — the designated poller worker's third idle-park mode: block
-//!   in `epoll_wait` with a timeout equal to the wheel's next deadline,
-//!   then turn readiness events and due timers into `make_ready` calls.
-//! * **wake** — ring the doorbell (an async-signal-safe eventfd write);
-//!   called by `Worker::unpark` when its target is the parked poller, and
-//!   by deadline inserts that become the new earliest.
-//! * **poll** — a rate-limited zero-timeout service pass from busy
-//!   scheduler loops, so fds and timers make progress even when no worker
-//!   ever idles. Under preemption its cadence is bounded by the tick
-//!   interval — the mechanism behind bench_echo's tail-latency story.
+//! * **park(r)** — block in shard `r`'s `epoll_wait` with a timeout equal
+//!   to that shard's next wheel deadline, then turn readiness events and
+//!   due timers into `make_ready` calls.
+//! * **wake(r)** — ring shard `r`'s doorbell (an async-signal-safe eventfd
+//!   write); called by `Worker::unpark` when its target is shard-parked,
+//!   and by deadline inserts that become a shard's new earliest.
+//! * **poll(r)** — a rate-limited zero-timeout service pass of shard `r`
+//!   from busy scheduler loops, so fds and timers make progress even when
+//!   worker `r` never idles. Under preemption its cadence is bounded by
+//!   the tick interval — the mechanism behind bench_echo's tail-latency
+//!   story.
+//!
+//! # fd-to-shard affinity
+//!
+//! An fd registers with the shard of the worker that first blocks on it and
+//! **rebinds** when a later wait runs on a different worker: the fd follows
+//! the ULT, so after a migration readiness fires on the epoll instance of
+//! the worker that will consume it and cross-shard wakes stay the
+//! exception, not the rule. The rebind is a sequential (never-nested)
+//! old-registry remove → old `EPOLL_CTL_DEL` → new-registry insert → owner
+//! store → fresh `EPOLL_CTL_ADD`, all under the fd's `st` lock; an event
+//! already queued on the old shard either misses that shard's registry
+//! (dropped) or re-arms through the owner index — both benign, because the
+//! level-triggered re-arm the new waiter issues re-reports anything still
+//! pending.
 //!
 //! # Interest registration vs. readiness (no lost wakeup)
 //!
-//! Interest is level-triggered + one-shot (see `ult_sys::epoll`). A waiter
-//! stores itself into the fd's direction slot and *then* re-arms with
-//! `EPOLL_CTL_MOD`, both under the entry lock; the service pass takes the
-//! slot under the same lock before notifying. Readiness that predates the
-//! `MOD` is re-reported by level-triggered semantics, so the only ordering
-//! that matters is slot-store-before-arm — a fired event always finds its
-//! waiter. The waiter claim CAS (see [`crate::TimedWaiter`]) arbitrates
-//! the race against a concurrent deadline expiry.
+//! Interest is level-triggered and **sticky** (no one-shot): a waiter
+//! stores itself into the fd's direction slot and *then* makes sure the
+//! wanted set is armed, both under the entry lock — but when the previous
+//! wait on this fd wanted the same set (the echo-loop steady state), the
+//! interest is still armed from last time and the `EPOLL_CTL_MOD` syscall
+//! is skipped entirely. The service pass takes the slot under the same
+//! lock before notifying and leaves a claimed direction armed; a direction
+//! that fires with no waiter is disarmed (one-shot for an empty set, since
+//! `EPOLLHUP`/`EPOLLERR` ignore the requested mask) so a ready-but-idle fd
+//! cannot spin the shard. Level-triggered persistence re-reports any
+//! readiness that predates the arm, so the only ordering that matters is
+//! slot-store-before-arm — a fired event always finds its waiter. The
+//! waiter claim CAS (see [`crate::TimedWaiter`]) arbitrates the race
+//! against a concurrent deadline expiry. Doorbells follow the same no-MOD
+//! rule: draining the eventfd clears readiness at the source.
 
 use crate::waiter::TimedWaiter;
 use crate::wheel::TimerWheel;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use ult_sys::epoll::{Epoll, Event, EV_READ, EV_WRITE};
 use ult_sys::eventfd::EventFd;
 
 /// Doorbell token (fd registrations start at 1).
 const DOORBELL: u64 = 0;
-/// Minimum spacing between opportunistic polls from busy workers.
+/// Minimum spacing between opportunistic polls of one shard.
 const POLL_INTERVAL_NS: u64 = 200_000;
 /// Events drained per service pass.
 const EVENTS_PER_PASS: usize = 64;
+/// Shard table capacity; the effective shard count never exceeds this.
+pub const MAX_SHARDS: usize = 64;
+
+/// Effective shard count: 0 until first use, then fixed for the process.
+/// Read from the sigsafe wake path, hence an atomic rather than a OnceLock.
+static NSHARDS: AtomicUsize = AtomicUsize::new(0); // ordering: acqrel write-once publication
+
+/// Pin the shard count to `n` (clamped to `1..=`[`MAX_SHARDS`]) instead of
+/// the default — the machine's available parallelism. Returns `false` if
+/// the count was already fixed (by an earlier call or first reactor use);
+/// the first decision wins for the life of the process.
+///
+/// One reactor shard per CPU is right for throughput: more shards than
+/// CPUs just multiplies epoll instances that time-share the same cores.
+/// Raising the count (e.g. to one shard per worker) is useful in tests
+/// that exercise the cross-shard paths deterministically.
+pub fn configure_shards(n: usize) -> bool {
+    let n = n.clamp(1, MAX_SHARDS);
+    NSHARDS
+        .compare_exchange(0, n, Ordering::AcqRel, Ordering::Acquire)
+        .is_ok()
+}
+
+/// The fixed shard count, deciding it on first use.
+pub(crate) fn shard_count() -> usize {
+    let n = NSHARDS.load(Ordering::Acquire);
+    if n != 0 {
+        return n;
+    }
+    let cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(MAX_SHARDS);
+    match NSHARDS.compare_exchange(0, cpus, Ordering::AcqRel, Ordering::Acquire) {
+        Ok(_) => cpus,
+        Err(prev) => prev,
+    }
+}
+
+/// The shard index worker rank `r` maps to.
+pub(crate) fn shard_index(rank: usize) -> usize {
+    rank % shard_count()
+}
 
 /// Wait direction on an fd.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -56,78 +135,188 @@ pub(crate) enum Dir {
 struct FdWait {
     read: Option<Arc<TimedWaiter>>,
     write: Option<Arc<TimedWaiter>>,
+    /// Interest currently armed in the owning shard's epoll (sticky,
+    /// level-triggered, no one-shot): consecutive waits wanting the same
+    /// set skip the `EPOLL_CTL_MOD` syscall entirely. 0 after a rebind or
+    /// an unclaimed-delivery disarm.
+    armed_interest: u32,
 }
 
-/// One registered fd: epoll token plus per-direction waiter slots.
+/// One registered fd: epoll token, owning shard, per-direction waiter slots.
 pub(crate) struct FdEntry {
     fd: i32,
     token: u64,
+    /// Index of the shard whose epoll instance holds this fd. Rewritten
+    /// only by the rebind path, under `st`'s lock.
+    shard: AtomicUsize, // ordering: acqrel owner index, stores serialized by `st`
     st: Mutex<FdWait>,
 }
 
-pub(crate) struct Reactor {
+/// One per-worker reactor shard.
+pub(crate) struct Shard {
+    idx: usize,
     ep: Epoll,
     doorbell: EventFd,
     registry: Mutex<HashMap<u64, Arc<FdEntry>>>,
-    next_token: AtomicU64,
     pub(crate) wheel: TimerWheel,
+    /// Occupied waiter slots on fds this shard owns, deciding whether the
+    /// canonical owner's idle park is an epoll park (count nonzero) or the
+    /// cheap futex park. Any rank mapped to this shard may arm; the 0→1
+    /// transition by a non-owner kicks the owner (`note_armed`), closing
+    /// the decline-then-futex-park race under SeqCst total order. Stale
+    /// nonzero counts (cross-worker decrements racing a park decision) at
+    /// worst buy one spurious epoll park.
+    armed: AtomicUsize, // ordering: seqcst park-decision count (see note_armed)
     /// Earliest monotonic-ns instant the next opportunistic poll may run.
-    next_poll_ns: AtomicU64,
+    next_poll_ns: AtomicU64, // ordering: relaxed rate-limit slot
+    polls: AtomicU64,             // ordering: counter
+    parks: AtomicU64,             // ordering: counter
+    doorbell_rings: AtomicU64,    // ordering: counter
+    cross_shard_wakes: AtomicU64, // ordering: counter
+    fd_rebinds: AtomicU64,        // ordering: counter
+    batched_accepts: AtomicU64,   // ordering: counter
+    accepted: AtomicU64,          // ordering: counter
 }
 
-static REACTOR: OnceLock<Reactor> = OnceLock::new();
+/// Lazily-created shard table, indexed by worker rank (mod [`MAX_SHARDS`]);
+/// callers outside the runtime use shard 0. Entries are write-once leaked
+/// boxes so the async-signal-safe wake hook reaches a shard with one load.
+static SHARDS: [AtomicPtr<Shard>; MAX_SHARDS] =
+    [const { AtomicPtr::new(std::ptr::null_mut()) }; MAX_SHARDS]; // ordering: acqrel write-once publication
+/// Serializes shard creation (double-checked against `SHARDS`).
+static SHARD_INIT: Mutex<()> = Mutex::new(());
+/// fd tokens are process-global so an entry keeps its token across rebinds.
+static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1); // ordering: counter
 
 static HOOKS: ult_core::IoHooks = ult_core::IoHooks {
     park: park_hook,
     wake: wake_hook,
     poll: poll_hook,
+    shard_stats: stats_hook,
 };
 
-/// The process reactor, initialized (and hooked into `ult-core`) on first
-/// use.
-pub(crate) fn reactor() -> &'static Reactor {
-    REACTOR.get_or_init(|| {
-        let ep = Epoll::new().expect("epoll_create1");
-        let doorbell = EventFd::new().expect("eventfd");
-        ep.add(doorbell.raw_fd(), libc::EPOLLIN, DOORBELL)
-            .expect("register doorbell");
-        let r = Reactor {
-            ep,
-            doorbell,
-            registry: Mutex::new(HashMap::new()),
-            next_token: AtomicU64::new(1),
-            wheel: TimerWheel::new(),
-            next_poll_ns: AtomicU64::new(0),
-        };
-        // Publish the hook table last: nothing invokes the hooks before
-        // this call returns, and the hooks' own `reactor()` calls block on
-        // this OnceLock until initialization completes.
-        ult_core::register_io_hooks(&HOOKS);
-        r
-    })
+/// Shard `i`, created (and the hook table registered) on first use. Never
+/// called from signal context — the sigsafe wake path does a bare load.
+pub(crate) fn shard(i: usize) -> &'static Shard {
+    shard_tracking_creation(i).0
 }
 
-fn park_hook() {
-    let r = reactor();
-    r.service(r.wheel.next_timeout_ms(ult_sys::now_ns()));
+fn shard_tracking_creation(i: usize) -> (&'static Shard, bool) {
+    let i = i % MAX_SHARDS;
+    let p = SHARDS[i].load(Ordering::Acquire);
+    // SAFETY: published pointers are leaked boxes, valid for the process.
+    if let Some(sh) = unsafe { p.as_ref() } {
+        return (sh, false);
+    }
+    (init_shard(i), true)
 }
 
-// The doorbell write is a raw eventfd `write(2)`; reading the OnceLock is a
-// single acquire load (initialization is complete before the hook table is
-// ever published, so the slow init path is unreachable here).
+#[cold]
+fn init_shard(i: usize) -> &'static Shard {
+    let _g = SHARD_INIT.lock();
+    let p = SHARDS[i].load(Ordering::Acquire);
+    // SAFETY: as above — shard pointers are write-once leaked boxes.
+    if let Some(sh) = unsafe { p.as_ref() } {
+        return sh;
+    }
+    let ep = Epoll::new().expect("epoll_create1");
+    let doorbell = EventFd::new().expect("eventfd");
+    // Level-triggered, NOT one-shot: a doorbell must never need an
+    // `EPOLL_CTL_MOD` on the wake path (wake_hook runs in signal handlers);
+    // draining the eventfd counter clears readiness at the source instead.
+    ep.add_level(doorbell.raw_fd(), libc::EPOLLIN, DOORBELL)
+        .expect("register doorbell");
+    let sh: &'static Shard = Box::leak(Box::new(Shard {
+        idx: i,
+        ep,
+        doorbell,
+        registry: Mutex::new(HashMap::new()),
+        wheel: TimerWheel::new(),
+        armed: AtomicUsize::new(0),
+        next_poll_ns: AtomicU64::new(0),
+        polls: AtomicU64::new(0),
+        parks: AtomicU64::new(0),
+        doorbell_rings: AtomicU64::new(0),
+        cross_shard_wakes: AtomicU64::new(0),
+        fd_rebinds: AtomicU64::new(0),
+        batched_accepts: AtomicU64::new(0),
+        accepted: AtomicU64::new(0),
+    }));
+    SHARDS[i].store(sh as *const Shard as *mut Shard, Ordering::Release);
+    // Idempotent (write-once CAS inside): publish the hooks as soon as any
+    // shard exists; other shards keep materializing lazily through them.
+    ult_core::register_io_hooks(&HOOKS);
+    sh
+}
+
+/// The calling worker's shard (shard 0 outside the runtime).
+pub(crate) fn current_shard() -> &'static Shard {
+    shard(shard_index(ult_core::current_worker_rank().unwrap_or(0)))
+}
+
+fn park_hook(r: usize) -> bool {
+    let idx = shard_index(r);
+    if idx != r {
+        // Not this shard's canonical owner (more workers than shards):
+        // futex-park and leave the epoll to the owner. Waiters this worker
+        // armed are safe — arming kicked the owner if it was the shard's
+        // first, and busy workers' opportunistic polls cover the rest.
+        return false;
+    }
+    let (sh, created) = shard_tracking_creation(idx);
+    if created {
+        // First park on a fresh shard: a wake kick aimed at this rank may
+        // have raced with creation (wake_hook saw a null slot and skipped
+        // the doorbell). One non-blocking pass instead of committing to a
+        // possibly-unbounded sleep; the caller rescans its pools and the
+        // next park round sees the published shard.
+        sh.parks.fetch_add(1, Ordering::Relaxed);
+        sh.service(0);
+        return true;
+    }
+    let timeout = sh.wheel.next_timeout_ms(ult_sys::now_ns());
+    if timeout < 0 && sh.armed.load(Ordering::SeqCst) == 0 {
+        // Nothing armed and no deadlines: decline, and let the caller take
+        // the one-syscall futex park instead of the eventfd-write +
+        // epoll-return + eventfd-drain wake path. Safe against a racing
+        // cross-worker arm: whoever takes `armed` from 0 to 1 kicks this
+        // worker (`ult_core::kick_worker` deposits a futex token), so the
+        // futex park the caller falls into returns immediately and the
+        // next round sees the nonzero count (SeqCst total order on
+        // `armed`: had the increment come first, this read would have
+        // seen it).
+        return false;
+    }
+    sh.parks.fetch_add(1, Ordering::Relaxed);
+    sh.service(timeout);
+    true
+}
+
+// A bare pointer load plus a raw eventfd `write(2)`. Never creates a shard:
+// a worker can only be *parked* in a shard that already exists (so NSHARDS
+// is already fixed), and the creation race loses at most one blocking park
+// (see `park_hook`).
 // sigsafe
-fn wake_hook() {
-    if let Some(r) = REACTOR.get() {
-        r.doorbell.signal();
+fn wake_hook(r: usize) {
+    let n = NSHARDS.load(Ordering::Acquire);
+    if n == 0 {
+        return; // no shard exists yet, so nobody is epoll-parked
+    }
+    let p = SHARDS[(r % n) % MAX_SHARDS].load(Ordering::Acquire);
+    // SAFETY: published shard pointers are leaked boxes, valid forever.
+    if let Some(sh) = unsafe { p.as_ref() } {
+        sh.doorbell_rings.fetch_add(1, Ordering::Relaxed);
+        sh.doorbell.signal();
     }
 }
 
-fn poll_hook() {
-    let r = reactor();
+fn poll_hook(r: usize) {
+    let sh = shard(shard_index(r));
     let now = ult_sys::now_ns();
-    let next = r.next_poll_ns.load(Ordering::Relaxed);
+    let next = sh.next_poll_ns.load(Ordering::Relaxed);
     if now < next
-        || r.next_poll_ns
+        || sh
+            .next_poll_ns
             .compare_exchange(
                 next,
                 now + POLL_INTERVAL_NS,
@@ -136,21 +325,61 @@ fn poll_hook() {
             )
             .is_err()
     {
-        return; // too soon, or another worker took this poll slot
+        return; // too soon (racing workers of a shared shard: one wins per slot)
     }
-    r.service(0);
+    sh.service(0);
 }
 
-impl Reactor {
+fn stats_hook(r: usize) -> ult_core::IoShardStats {
+    let (bufpool_hits, bufpool_misses) = crate::bufpool::shard_counters(r);
+    // Shard counters are reported by the canonical rank alone, so summing
+    // the snapshot across worker ranks (as `Runtime::stats` does) counts a
+    // shared shard once. Buffer-pool counters are per-rank regardless.
+    if shard_index(r) != r {
+        return ult_core::IoShardStats {
+            bufpool_hits,
+            bufpool_misses,
+            ..Default::default()
+        };
+    }
+    let p = SHARDS[r % MAX_SHARDS].load(Ordering::Acquire);
+    // SAFETY: published shard pointers are leaked boxes, valid forever.
+    let Some(sh) = (unsafe { p.as_ref() }) else {
+        return ult_core::IoShardStats {
+            bufpool_hits,
+            bufpool_misses,
+            ..Default::default()
+        };
+    };
+    ult_core::IoShardStats {
+        polls: sh.polls.load(Ordering::Relaxed),
+        parks: sh.parks.load(Ordering::Relaxed),
+        doorbell_rings: sh.doorbell_rings.load(Ordering::Relaxed),
+        cross_shard_wakes: sh.cross_shard_wakes.load(Ordering::Relaxed),
+        fd_rebinds: sh.fd_rebinds.load(Ordering::Relaxed),
+        batched_accepts: sh.batched_accepts.load(Ordering::Relaxed),
+        accepted: sh.accepted.load(Ordering::Relaxed),
+        bufpool_hits,
+        bufpool_misses,
+    }
+}
+
+impl Shard {
     /// One service pass: wait up to `timeout_ms` for events, deliver them,
     /// then fire due timers.
     fn service(&self, timeout_ms: i32) {
+        self.polls.fetch_add(1, Ordering::Relaxed);
         let mut evs = [Event {
             events: 0,
             token: 0,
         }; EVENTS_PER_PASS];
         match self.ep.wait(&mut evs, timeout_ms) {
             Ok(n) => {
+                // The blocking wait is over: drop the worker's park flag
+                // *before* delivering, so wakes this pass produces for ULTs
+                // homed right here skip the self-aimed doorbell ring (the
+                // worker rescans its pools when the park returns anyway).
+                ult_core::reactor_wait_done();
                 for ev in &evs[..n] {
                     self.deliver(ev);
                 }
@@ -164,20 +393,13 @@ impl Reactor {
     /// Arcs move out of the slots and into `notify`.
     fn deliver(&self, ev: &Event) {
         if ev.token == DOORBELL {
-            // Drain, then re-arm: registration is one-shot like every other
-            // fd (`Epoll::add` forces it), so without the `MOD` the next
-            // `signal()` — an unpark kick or a new-earliest deadline — would
-            // be lost and a poller parked with an infinite timeout would
-            // never wake. Draining before re-arming keeps the level-trigger
-            // honest: a signal landing in between is re-reported by the MOD.
+            // Non-one-shot level-triggered registration: draining the
+            // eventfd counter is all it takes; no re-arm syscall.
             self.doorbell.drain();
-            let _ = self
-                .ep
-                .modify(self.doorbell.raw_fd(), libc::EPOLLIN, DOORBELL);
             return;
         }
         let Some(entry) = self.registry.lock().get(&ev.token).cloned() else {
-            return; // raced with deregistration
+            return; // raced with deregistration or a rebind away from us
         };
         let (r_w, w_w);
         {
@@ -192,17 +414,42 @@ impl Reactor {
             } else {
                 None
             };
-            // One-shot disarmed the whole fd; re-arm for any direction that
-            // still has a waiter (e.g. writable fired while a reader waits).
-            let mut want = 0;
-            if st.read.is_some() {
-                want |= EV_READ;
+            // Release on the entry's *current* owner (stable under `st`):
+            // a rebind between the registry lookup above and this lock
+            // moved the armed counts along with the fd.
+            let taken = r_w.is_some() as usize + w_w.is_some() as usize;
+            if taken != 0 {
+                shard(entry.shard.load(Ordering::Acquire))
+                    .armed
+                    .fetch_sub(taken, Ordering::SeqCst);
             }
-            if st.write.is_some() {
-                want |= EV_WRITE;
+            // Sticky interest: a direction whose waiter claimed this event
+            // stays armed — the overwhelmingly common next step is the same
+            // ULT re-waiting the same direction, which then skips its
+            // `EPOLL_CTL_MOD`. A direction that fired with *no* waiter is
+            // disarmed so a ready-but-unclaimed fd cannot spin the shard.
+            let mut keep = st.armed_interest;
+            if ev.events & EV_READ != 0 && r_w.is_none() {
+                keep &= !EV_READ;
             }
-            if want != 0 {
-                let _ = self.ep.modify(entry.fd, want, entry.token);
+            if ev.events & EV_WRITE != 0 && w_w.is_none() {
+                keep &= !EV_WRITE;
+            }
+            if keep != st.armed_interest || (taken == 0 && keep == 0) {
+                // The fd may have been rebound since this event was queued;
+                // disarm on its *current* owner, stable while `st` is held.
+                // An empty keep set uses the one-shot MOD: `EPOLLHUP`/
+                // `EPOLLERR` are reported regardless of the requested mask,
+                // so only one-shot actually silences a hung-up idle fd.
+                let owner = shard(entry.shard.load(Ordering::Acquire));
+                let ok = if keep == 0 {
+                    owner.ep.modify(entry.fd, 0, entry.token)
+                } else {
+                    owner.ep.modify_level(entry.fd, keep, entry.token)
+                };
+                if ok.is_ok() {
+                    st.armed_interest = keep;
+                }
             }
         }
         if let Some(w) = r_w {
@@ -213,35 +460,115 @@ impl Reactor {
         }
     }
 
-    /// Register `fd` with the reactor (interest armed per-wait).
-    pub(crate) fn register_fd(&self, fd: i32) -> io::Result<Arc<FdEntry>> {
-        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
-        let entry = Arc::new(FdEntry {
-            fd,
-            token,
-            st: Mutex::new(FdWait::default()),
-        });
-        self.registry.lock().insert(token, entry.clone());
-        if let Err(e) = self.ep.add(fd, 0, token) {
-            self.registry.lock().remove(&token);
-            return Err(e);
-        }
-        Ok(entry)
-    }
-
-    /// Remove `fd` from the reactor. Must run before the fd is closed.
-    pub(crate) fn deregister_fd(&self, entry: &FdEntry) {
-        self.registry.lock().remove(&entry.token);
-        let _ = self.ep.delete(entry.fd);
-    }
-
-    /// Add a deadline for `w`, ringing the doorbell when it becomes the
-    /// wheel's new earliest (a parked poller must shorten its timeout).
+    /// Add a deadline for `w`, ringing this shard's doorbell when it
+    /// becomes the wheel's new earliest (the shard's owner may be parked
+    /// with a now-too-long timeout).
     pub(crate) fn add_deadline(&self, deadline_ns: u64, w: Arc<TimedWaiter>) {
         if self.wheel.insert(deadline_ns, w) {
+            self.doorbell_rings.fetch_add(1, Ordering::Relaxed);
             self.doorbell.signal();
+            // The doorbell only reaches an *epoll*-parked owner. If the
+            // owner is another worker it may be futex-parked (it declined
+            // the epoll park on an empty shard), where only a futex token
+            // gets through — same pairing as `note_armed`.
+            if ult_core::current_worker_rank() != Some(self.idx) {
+                ult_core::kick_worker(self.idx);
+            }
         }
     }
+}
+
+/// Raise `sh.armed` by `n` occupied waiter slots. Taking the count from 0
+/// on a shard whose canonical owner is some *other* worker kicks that
+/// worker: it may just have read 0, declined the epoll park, and be
+/// committing to a futex park — the kick's futex token (deposited by
+/// `Worker::unpark`) makes that park return immediately, and the retry
+/// sees the nonzero count (SeqCst: had our increment come first, the
+/// owner's read would have returned it). Owners arming their own shard
+/// are awake by definition and skip the kick.
+fn note_armed(sh: &'static Shard, n: usize) {
+    if n != 0
+        && sh.armed.fetch_add(n, Ordering::SeqCst) == 0
+        && ult_core::current_worker_rank() != Some(sh.idx)
+    {
+        ult_core::kick_worker(sh.idx);
+    }
+}
+
+/// Register `fd` with the current worker's shard (interest armed per-wait).
+pub(crate) fn register_fd(fd: i32) -> io::Result<Arc<FdEntry>> {
+    let sh = current_shard();
+    let token = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
+    let entry = Arc::new(FdEntry {
+        fd,
+        token,
+        shard: AtomicUsize::new(sh.idx),
+        st: Mutex::new(FdWait::default()),
+    });
+    sh.registry.lock().insert(token, entry.clone());
+    // Level-triggered, no one-shot: interest stays armed across deliveries
+    // (see `FdWait::armed_interest`); always-on `EPOLLHUP`/`EPOLLERR`
+    // strays with no waiter are silenced by `deliver`'s one-shot disarm.
+    if let Err(e) = sh.ep.add_level(fd, 0, token) {
+        sh.registry.lock().remove(&token);
+        return Err(e);
+    }
+    Ok(entry)
+}
+
+/// Remove `fd` from its owning shard. Must run before the fd is closed.
+pub(crate) fn deregister_fd(entry: &FdEntry) {
+    // Taking `st` first serializes against a concurrent rebind, pinning
+    // the owner for the registry removal and the DEL (lock nesting is
+    // always `st` → `registry`, matching the rebind path).
+    let st = entry.st.lock();
+    let sh = shard(entry.shard.load(Ordering::Acquire));
+    // Any slot still occupied is a stale (timed-out, not yet self-cleared)
+    // waiter; release its armed count so the owner's park heuristic stays
+    // honest.
+    let stale = st.read.is_some() as usize + st.write.is_some() as usize;
+    if stale != 0 {
+        sh.armed.fetch_sub(stale, Ordering::SeqCst);
+    }
+    sh.registry.lock().remove(&entry.token);
+    let _ = sh.ep.delete(entry.fd);
+    drop(st);
+}
+
+/// Move `entry` onto `to`'s epoll instance. Caller holds `entry.st` and
+/// passes the locked state in as `st` (any armed waiters migrate with the
+/// fd, so their counts move between the shards' `armed` tallies).
+///
+/// Old-registry remove → old DEL → new-registry insert → owner store →
+/// fresh ADD with interest 0 (the caller arms its interest right after,
+/// covering any still-waiting other direction). The registry locks are
+/// taken one at a time — never nested with each other.
+fn rebind_locked(entry: &Arc<FdEntry>, st: &mut FdWait, to: &'static Shard) -> io::Result<()> {
+    let from = shard(entry.shard.load(Ordering::Acquire));
+    if from.idx == to.idx {
+        return Ok(());
+    }
+    let moved = st.read.is_some() as usize + st.write.is_some() as usize;
+    if moved != 0 {
+        from.armed.fetch_sub(moved, Ordering::SeqCst);
+        note_armed(to, moved);
+    }
+    from.registry.lock().remove(&entry.token);
+    let _ = from.ep.delete(entry.fd);
+    to.registry.lock().insert(entry.token, entry.clone());
+    entry.shard.store(to.idx, Ordering::Release);
+    to.fd_rebinds.fetch_add(1, Ordering::Relaxed);
+    // Fresh epoll instance: nothing armed yet; the caller re-arms right
+    // after (its wanted set never matches 0, so the MOD always happens).
+    st.armed_interest = 0;
+    to.ep.add_level(entry.fd, 0, entry.token)
+}
+
+/// Record one batched-accept drain of `n` connections on the current shard.
+pub(crate) fn note_accept_batch(n: usize) {
+    let sh = current_shard();
+    sh.batched_accepts.fetch_add(1, Ordering::Relaxed);
+    sh.accepted.fetch_add(n as u64, Ordering::Relaxed);
 }
 
 /// Block the current ULT until `entry`'s fd is ready in direction `dir`, or
@@ -249,7 +576,9 @@ impl Reactor {
 ///
 /// The calling KLT is never held: the ULT suspends through
 /// `block_current` and the worker goes on running other ULTs; readiness
-/// re-pushes the ULT to its home worker's pool via `make_ready`.
+/// re-pushes the ULT to its home worker's pool via `make_ready`. The fd is
+/// rebound to the calling worker's shard first, so readiness fires on the
+/// epoll instance of the worker that will consume it.
 ///
 /// Outside the runtime (plain OS thread) this degrades to a short sleep —
 /// the caller's nonblocking-retry loop becomes a poll loop.
@@ -270,17 +599,23 @@ pub(crate) fn wait_readiness(
         std::thread::sleep(std::time::Duration::from_micros(500));
         return Ok(());
     }
-    let r = reactor();
+    // The shard we arm on. A preemption may migrate this ULT between here
+    // and the block, leaving the fd affined one worker behind — benign (the
+    // wake crosses shards once and the next wait rebinds).
+    let sh = current_shard();
     let waiter = TimedWaiter::new();
     let mut armed = true;
     ult_core::block_current(|me| {
         waiter.bind(me);
         {
             let mut st = entry.st.lock();
-            match dir {
-                Dir::Read => st.read = Some(waiter.clone()),
-                Dir::Write => st.write = Some(waiter.clone()),
-            }
+            // Affinity: follow the ULT. An error here surfaces through the
+            // arm below (same fd, same epoll instance).
+            let _ = rebind_locked(entry, &mut st, sh);
+            let prior = match dir {
+                Dir::Read => st.read.replace(waiter.clone()),
+                Dir::Write => st.write.replace(waiter.clone()),
+            };
             let mut want = 0;
             if st.read.is_some() {
                 want |= EV_READ;
@@ -288,19 +623,36 @@ pub(crate) fn wait_readiness(
             if st.write.is_some() {
                 want |= EV_WRITE;
             }
-            if r.ep.modify(entry.fd, want, entry.token).is_err() {
-                // Arm failed (fd went bad): abort the block; the caller's
-                // retry surfaces the real error from the actual syscall.
-                match dir {
-                    Dir::Read => st.read = None,
-                    Dir::Write => st.write = None,
+            // Sticky-interest fast path: the previous wait on this fd
+            // wanted the same set and delivery kept it armed, so the MOD
+            // is already done. Level-triggered persistence re-reports any
+            // readiness that predates this wait either way.
+            if want != st.armed_interest {
+                if sh.ep.modify_level(entry.fd, want, entry.token).is_err() {
+                    // Arm failed (fd went bad): abort the block; the
+                    // caller's retry surfaces the real error from the
+                    // actual syscall.
+                    match dir {
+                        Dir::Read => st.read = None,
+                        Dir::Write => st.write = None,
+                    }
+                    if prior.is_some() {
+                        sh.armed.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    st.armed_interest = 0;
+                    armed = false;
+                    return false;
                 }
-                armed = false;
-                return false;
+                st.armed_interest = want;
+            }
+            if prior.is_none() {
+                // A displaced `prior` is this same ULT's stale timed-out
+                // waiter, already counted: occupancy is unchanged then.
+                note_armed(sh, 1);
             }
         }
         if let Some(d) = deadline_ns {
-            r.add_deadline(d, waiter.clone());
+            sh.add_deadline(d, waiter.clone());
         }
         true
     });
@@ -312,22 +664,27 @@ pub(crate) fn wait_readiness(
         // dead waiter (notify on it would just return false, but it would
         // also consume the one-shot edge for a future waiter on this fd).
         let mut st = entry.st.lock();
-        match dir {
-            Dir::Read => {
-                if st.read.as_ref().is_some_and(|w| Arc::ptr_eq(w, &waiter)) {
-                    st.read = None;
-                }
-            }
-            Dir::Write => {
-                if st.write.as_ref().is_some_and(|w| Arc::ptr_eq(w, &waiter)) {
-                    st.write = None;
-                }
-            }
+        let slot = match dir {
+            Dir::Read => &mut st.read,
+            Dir::Write => &mut st.write,
+        };
+        if slot.as_ref().is_some_and(|w| Arc::ptr_eq(w, &waiter)) {
+            *slot = None;
+            // Decrement the *current* owner: a rebind since we armed moved
+            // our count along with the fd (`st` is held, owner is stable).
+            shard(entry.shard.load(Ordering::Acquire))
+                .armed
+                .fetch_sub(1, Ordering::SeqCst);
         }
         return Err(io::Error::new(
             io::ErrorKind::TimedOut,
             "I/O deadline elapsed",
         ));
+    }
+    // Delivered on `sh` but resumed on a different worker: the wake crossed
+    // shards (migration between arm and resume, or stolen afterwards).
+    if ult_core::current_worker_rank() != Some(sh.idx) {
+        sh.cross_shard_wakes.fetch_add(1, Ordering::Relaxed);
     }
     Ok(())
 }

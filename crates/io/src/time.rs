@@ -1,7 +1,7 @@
 //! Timed blocking: `sleep` and the generic deadline-block primitive that
 //! `ult-sync`'s `wait_timeout` variants are built on.
 
-use crate::reactor::reactor;
+use crate::reactor::current_shard;
 use crate::waiter::TimedWaiter;
 use std::sync::Arc;
 use std::time::Duration;
@@ -44,7 +44,9 @@ pub fn block_until<F>(deadline_ns: u64, register: F) -> bool
 where
     F: FnOnce(&Arc<TimedWaiter>) -> bool,
 {
-    let r = reactor();
+    // Deadlines land on the calling worker's own shard wheel; the shard's
+    // owner services it while parked or via its opportunistic polls.
+    let sh = current_shard();
     let waiter = TimedWaiter::new();
     let mut armed = true;
     ult_core::block_current(|me: &Arc<Ult>| {
@@ -53,7 +55,7 @@ where
             armed = false;
             return false;
         }
-        r.add_deadline(deadline_ns, waiter.clone());
+        sh.add_deadline(deadline_ns, waiter.clone());
         true
     });
     armed && waiter.timed_out()

@@ -48,6 +48,8 @@ pub(crate) const LIBC_DENY: &[&str] = &[
     "sendmsg",
     "accept",
     "accept4",
+    "readv",
+    "writev",
     "connect",
     "epoll_wait",
     "epoll_pwait",

@@ -19,11 +19,17 @@
 //!   vs `sched::rearm_on_push`): flag store, fence, work check — against —
 //!   work publish, fence, flag check. The invariant is that published
 //!   work never ends with the tick still elided.
-//! * [`ModelReactor`] / [`ModelInterest`] — the `ult-io` reactor wake
-//!   protocol (`io_hook::poller_park` claiming the poller slot vs a waker
-//!   ringing the eventfd doorbell) and the interest-registration path
-//!   (slot-store-before-arm, `MOD` re-report, `TimedWaiter` claim CAS
-//!   arbitrating readiness against deadline expiry).
+//! * [`ModelShard`] / [`ModelInterest`] — the `ult-io` sharded-reactor
+//!   wake protocol (`io_hook::shard_park` publishing the per-worker
+//!   `reactor_park` flag vs a waker ringing that worker's eventfd
+//!   doorbell, including the cross-shard delivery case) and the
+//!   interest-registration path (slot-store-before-arm, `MOD` re-report,
+//!   `TimedWaiter` claim CAS arbitrating readiness against deadline
+//!   expiry, and the affinity rebind racing a stale old-shard delivery).
+//! * [`ModelArmed`] — the shared-shard park heuristic (workers exceeding
+//!   reactor shards): the owner's empty-count decline into a futex park
+//!   vs a non-owner publishing the shard's first armed waiter and kicking
+//!   (`reactor::note_armed` / `ult_core::kick_worker`).
 //!
 //! Every scenario keeps the concurrent window to a handful of operations
 //! per thread: the explorer is exhaustive and pays for every extra op.
@@ -336,31 +342,65 @@ pub fn epoch_growth_vs_steal() {
 }
 
 // ---------------------------------------------------------------------------
-// Reactor: poller park vs doorbell wake, interest arm vs readiness
+// Sharded reactor: per-worker shard park vs doorbell wake, arm vs readiness
 // ---------------------------------------------------------------------------
 
-/// The reactor wake protocol (`io_hook::poller_park` vs `Worker::unpark`
-/// followed by `io_hook::unpark_kick`, with `ult-io`'s eventfd doorbell as
-/// the wake channel). `claim` is the process-wide `POLLER` slot, `token` the
-/// counted futex, `work` the ready-pool occupancy, `doorbell` the eventfd
-/// counter — a rung doorbell is never lost, because the counter stays
-/// readable until drained, waking an `epoll_wait` already in progress or
-/// one entered later.
-pub struct ModelReactor {
-    claim: AtomicBool,
+/// One worker's slice of the sharded-reactor wake protocol
+/// (`io_hook::shard_park` vs `Worker::unpark` followed by
+/// `io_hook::unpark_kick`). `flag` is the worker's `reactor_park`
+/// advertisement, `token` its counted futex, `work` its ready-pool
+/// occupancy, `doorbell` its own shard's eventfd counter — a rung doorbell
+/// is never lost, because the counter stays readable until drained, waking
+/// an `epoll_wait` already in progress or one entered later. There is no
+/// process-wide poller slot: each worker runs this pairing against its own
+/// shard, independently of every other worker.
+pub struct ModelShard {
+    flag: AtomicBool,
     token: AtomicUsize,
     work: AtomicUsize,
     doorbell: AtomicUsize,
 }
 
-/// Run the two halves concurrently; returns
-/// `(entered_epoll, doorbell, work)` at quiescence. The stranded outcome
-/// — poller inside `epoll_wait`, work published, doorbell silent — must
-/// be unreachable with the faithful SeqCst claim/fence pairing, and is
-/// reachable under the Release/Acquire weakening (the same broken Dekker
-/// as the tick-elision model, one layer down the park stack).
-pub fn poller_park_vs_wake(weaken: bool) -> (bool, usize, usize) {
-    let (claim_store, claim_load, token_store, fence_ord) = if weaken {
+impl ModelShard {
+    fn new() -> Self {
+        ModelShard {
+            flag: AtomicBool::new(false),
+            token: AtomicUsize::new(0),
+            work: AtomicUsize::new(0),
+            doorbell: AtomicUsize::new(0),
+        }
+    }
+
+    /// Waker half (`sched::on_ready` → `Worker::unpark` → `unpark_kick`):
+    /// publish work, deposit the futex token, fence, then ring this
+    /// worker's shard doorbell if its park flag is up.
+    fn wake(&self, token_store: Ordering, flag_load: Ordering, fence_ord: Ordering) {
+        self.work.store(1, Ordering::Release);
+        self.token.store(1, token_store);
+        fence(fence_ord);
+        if self.flag.load(flag_load) {
+            self.doorbell.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Parker half (`shard_park`): advertise the flag, fence, then consume
+    /// a deposited token / re-check the pools; only if both come up empty
+    /// does it commit to its own shard's `epoll_wait`, where futex tokens
+    /// can no longer reach it. Returns whether it entered `epoll_wait`.
+    fn park(&self, flag_store: Ordering, fence_ord: Ordering) -> bool {
+        self.flag.store(true, flag_store);
+        fence(fence_ord);
+        if self.token.swap(0, Ordering::AcqRel) == 0 && self.work.load(Ordering::Acquire) == 0 {
+            true
+        } else {
+            self.flag.store(false, flag_store);
+            false
+        }
+    }
+}
+
+fn shard_orderings(weaken: bool) -> (Ordering, Ordering, Ordering, Ordering) {
+    if weaken {
         (
             Ordering::Release,
             Ordering::Acquire,
@@ -374,42 +414,136 @@ pub fn poller_park_vs_wake(weaken: bool) -> (bool, usize, usize) {
             Ordering::SeqCst,
             Ordering::SeqCst,
         )
-    };
-    let s = Arc::new(ModelReactor {
-        claim: AtomicBool::new(false),
-        token: AtomicUsize::new(0),
-        work: AtomicUsize::new(0),
-        doorbell: AtomicUsize::new(0),
-    });
+    }
+}
+
+/// Run the two halves concurrently on one worker's shard; returns
+/// `(entered_epoll, doorbell, work)` at quiescence. The stranded outcome
+/// — worker inside its shard's `epoll_wait`, work published, doorbell
+/// silent — must be unreachable with the faithful SeqCst flag/fence
+/// pairing, and is reachable under the Release/Acquire weakening (the
+/// same broken Dekker as the tick-elision model, one layer down the park
+/// stack).
+pub fn shard_park_vs_wake(weaken: bool) -> (bool, usize, usize) {
+    let (flag_store, flag_load, token_store, fence_ord) = shard_orderings(weaken);
+    let s = Arc::new(ModelShard::new());
     let s2 = s.clone();
-    // Waker half (`sched::on_ready` → `Worker::unpark` → `unpark_kick`):
-    // publish work, deposit the futex token, fence, then ring the doorbell
-    // if the poller slot is claimed.
-    let waker = thread::spawn(move || {
-        s2.work.store(1, Ordering::Release);
-        s2.token.store(1, token_store);
-        fence(fence_ord);
-        if s2.claim.load(claim_load) {
-            s2.doorbell.fetch_add(1, Ordering::AcqRel);
-        }
-    });
-    // Poller half (`poller_park`): claim the slot, fence, then consume a
-    // deposited token / re-check the pools; only if both come up empty does
-    // it commit to `epoll_wait`, where futex tokens can no longer reach it.
-    s.claim.store(true, claim_store);
-    fence(fence_ord);
-    let parked = if s.token.swap(0, Ordering::AcqRel) == 0 && s.work.load(Ordering::Acquire) == 0 {
-        true
-    } else {
-        s.claim.store(false, claim_store);
-        false
-    };
+    let waker = thread::spawn(move || s2.wake(token_store, flag_load, fence_ord));
+    let parked = s.park(flag_store, fence_ord);
     waker.join();
     (
         parked,
         s.doorbell.load(Ordering::Acquire),
         s.work.load(Ordering::Acquire),
     )
+}
+
+/// Cross-shard wake: worker A's service pass delivers readiness for a ULT
+/// homed on worker B (the fd was affined to A's shard, the thread since
+/// migrated — `Reactor::deliver` → `notify` → `make_ready` → `on_ready`
+/// targets B). The kick must aim at **B's** flag and **B's** doorbell;
+/// B's own park pairing is what keeps it from stranding, and A's state
+/// never enters the protocol. Returns `(b_parked, b_doorbell, b_work)`;
+/// the stranded outcome `(true, 0, 1)` must be unreachable faithful and
+/// reachable weakened — proving the pairing still has teeth when the wake
+/// originates on a foreign shard.
+pub fn cross_shard_wake(weaken: bool) -> (bool, usize, usize) {
+    let (flag_store, flag_load, token_store, fence_ord) = shard_orderings(weaken);
+    let b = Arc::new(ModelShard::new());
+    let b2 = b.clone();
+    // Worker A: deliver the readiness event for B's ULT, then park on its
+    // own (eventless) shard — A's park must neither consume B's token nor
+    // absorb B's doorbell.
+    let a_shard = Arc::new(ModelShard::new());
+    let a2 = a_shard.clone();
+    let worker_a = thread::spawn(move || {
+        b2.wake(token_store, flag_load, fence_ord);
+        a2.park(flag_store, fence_ord)
+    });
+    let b_parked = b.park(flag_store, fence_ord);
+    let a_parked = worker_a.join();
+    // A has no work and nobody woke it: it must be allowed to sleep.
+    assert!(a_parked, "worker A's own empty shard park was disturbed");
+    (
+        b_parked,
+        b.doorbell.load(Ordering::Acquire),
+        b.work.load(Ordering::Acquire),
+    )
+}
+
+/// The shared-shard park heuristic (`reactor::park_hook`'s empty-shard
+/// decline paired with `note_armed`'s cross-worker kick): `armed` is the
+/// shard's occupied-waiter-slot count, `token` the owner worker's futex
+/// token. The owner reads the count and — finding it zero — declines the
+/// epoll park in favor of the futex park, where only a token can reach
+/// it; a non-owner arming the shard's first waiter must therefore
+/// *publish the count, then kick* (`Worker::unpark` deposits the token),
+/// both SeqCst, so that an owner whose decline raced the arm either
+/// consumes the token (and re-reads the now-nonzero count) or was never
+/// going to miss the count in the first place.
+pub struct ModelArmed {
+    armed: AtomicUsize,
+    token: AtomicUsize,
+}
+
+impl ModelArmed {
+    fn new() -> Self {
+        ModelArmed {
+            armed: AtomicUsize::new(0),
+            token: AtomicUsize::new(0),
+        }
+    }
+
+    /// Owner half (`park_hook` → `shard_park` fallthrough): read the
+    /// count; zero sends it to the futex park, which consumes any pending
+    /// token before committing to sleep. A consumed token re-runs the
+    /// decision. Returns `(slept_in_futex, polled_epoll)`.
+    fn owner(&self) -> (bool, bool) {
+        for _ in 0..2 {
+            if self.armed.load(Ordering::SeqCst) != 0 {
+                return (false, true); // epoll park: the shard gets polled
+            }
+            if self.token.swap(0, Ordering::SeqCst) == 0 {
+                return (true, false); // committed to the futex sleep
+            }
+            // Token consumed: woken, re-evaluate from the top.
+        }
+        // A single armer deposits a single token: with the count still
+        // zero after consuming it, the real owner would sleep — under the
+        // faithful order this arm (token seen but count not) is
+        // unreachable, and reaching it weakened counts as stranded.
+        (true, false)
+    }
+
+    /// Armer half (`note_armed` on a 0→1 transition from a non-owner
+    /// rank). `faithful` is the shipped order — publish the count, then
+    /// kick; the weakened variant kicks first, the refactor-sized bug
+    /// this protocol exists to forbid.
+    fn arm(&self, faithful: bool) {
+        if faithful {
+            if self.armed.fetch_add(1, Ordering::SeqCst) == 0 {
+                self.token.store(1, Ordering::SeqCst);
+            }
+        } else {
+            self.token.store(1, Ordering::SeqCst);
+            self.armed.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Run the decline against a concurrent first arm; returns
+/// `(slept, polled, token_left)` at quiescence. The stranded outcome —
+/// owner asleep in its futex, no token pending, count nonzero, so nobody
+/// ever polls the shard's epoll — is `(true, _, 0)`: it must be
+/// unreachable with the faithful publish-then-kick order and reachable
+/// with the kick-then-publish weakening.
+pub fn armed_publish_vs_decline(faithful: bool) -> (bool, bool, usize) {
+    let s = Arc::new(ModelArmed::new());
+    let s2 = s.clone();
+    let armer = thread::spawn(move || s2.arm(faithful));
+    let (slept, polled) = s.owner();
+    armer.join();
+    (slept, polled, s.token.load(Ordering::SeqCst))
 }
 
 /// One registered fd of the reactor: `ready` is the kernel's
@@ -507,6 +641,91 @@ pub fn readiness_vs_deadline_single_wake() -> usize {
     let service = thread::spawn(move || s2.deliver());
     s.expire();
     service.join();
+    s.wakes.load(Ordering::Acquire)
+}
+
+/// One fd mid-rebind (`reactor::rebind_locked` racing a stale old-shard
+/// event). `in_old_registry` is the old shard's registry entry, `armed`
+/// the new shard's one-shot interest, `ready` the kernel's level-triggered
+/// latch (the fd has been readable throughout), `slot`/`state`/`wakes` the
+/// waiter as in [`ModelInterest`].
+pub struct ModelRebind {
+    in_old_registry: AtomicBool,
+    armed: AtomicBool,
+    ready: AtomicBool,
+    slot: AtomicUsize,
+    state: AtomicUsize,
+    wakes: AtomicUsize,
+}
+
+impl ModelRebind {
+    fn new() -> Self {
+        ModelRebind {
+            in_old_registry: AtomicBool::new(true),
+            armed: AtomicBool::new(false),
+            ready: AtomicBool::new(true),
+            slot: AtomicUsize::new(0),
+            state: AtomicUsize::new(0),
+            wakes: AtomicUsize::new(0),
+        }
+    }
+
+    /// A stale event already dequeued by the *old* shard's `epoll_wait`
+    /// before the rebind's `EPOLL_CTL_DEL`: delivery starts with the
+    /// registry lookup and silently drops the event once the entry has
+    /// moved away (`Reactor::deliver`'s raced-with-rebind arm).
+    fn deliver_old(&self) {
+        if self.in_old_registry.load(Ordering::SeqCst) {
+            self.claim_wake();
+        }
+    }
+
+    /// The new shard's service pass: consume the one-shot arm, wake.
+    fn deliver_new(&self) {
+        if self.armed.swap(false, Ordering::AcqRel) {
+            self.claim_wake();
+        }
+    }
+
+    fn claim_wake(&self) {
+        let w = self.slot.swap(0, Ordering::AcqRel);
+        if w != 0
+            && self
+                .state
+                .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        {
+            self.wakes.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+}
+
+/// The affinity rebind racing a stale delivery on the fd's old shard: the
+/// rebinder removes the old registry entry (DEL), publishes the waiter
+/// slot, arms the new shard and — `EPOLL_CTL_MOD`'s level-triggered
+/// re-report, the fd never stopped being readable — delivers. The old
+/// shard's stale event and the new shard's service pass race it. Returns
+/// the final wake count, which must be exactly 1: the registry removal
+/// keeps the stale event from double-delivering (slot is published only
+/// after it), and the re-report keeps the waiter from stranding.
+pub fn rebind_vs_stale_delivery() -> usize {
+    let s = Arc::new(ModelRebind::new());
+    let s2 = s.clone();
+    // Old and new shards' service passes, in their real temporal order
+    // (the stale event was dequeued before the rebind re-armed anything).
+    let services = thread::spawn(move || {
+        s2.deliver_old();
+        s2.deliver_new();
+    });
+    // Rebinder half (`wait_readiness` + `rebind_locked`, under `st`):
+    // old-registry remove → slot publish → new-shard arm → MOD re-report.
+    s.in_old_registry.store(false, Ordering::SeqCst);
+    s.slot.store(1, Ordering::Release);
+    s.armed.store(true, Ordering::Release);
+    if s.ready.load(Ordering::SeqCst) {
+        s.deliver_new();
+    }
+    services.join();
     s.wakes.load(Ordering::Acquire)
 }
 

@@ -68,28 +68,79 @@ fn weakened_tick_elision_strands_work() {
     );
 }
 
-/// The faithful poller-park/doorbell-wake pairing never leaves the poller
+/// The faithful shard-park/doorbell-wake pairing never leaves a worker
 /// inside `epoll_wait` with work published and the doorbell silent.
 #[test]
-fn reactor_poller_is_never_stranded() {
-    let outs = ult_model::outcomes(|| protocols::poller_park_vs_wake(false));
+fn reactor_shard_parker_is_never_stranded() {
+    let outs = ult_model::outcomes(|| protocols::shard_park_vs_wake(false));
     assert!(
         !outs
             .iter()
             .any(|&(parked, doorbell, work)| parked && doorbell == 0 && work > 0),
-        "poller stranded in epoll_wait with work queued: {outs:?}"
+        "worker stranded in its shard's epoll_wait with work queued: {outs:?}"
     );
 }
 
 /// The Release/Acquire weakening of the same pairing does strand the
-/// poller — the model can represent the lost wakeup, so the test above
+/// parker — the model can represent the lost wakeup, so the test above
 /// has teeth.
 #[test]
-fn weakened_reactor_wake_strands_poller() {
-    let outs = ult_model::outcomes(|| protocols::poller_park_vs_wake(true));
+fn weakened_reactor_wake_strands_shard_parker() {
+    let outs = ult_model::outcomes(|| protocols::shard_park_vs_wake(true));
     assert!(
         outs.contains(&(true, 0, 1)),
         "weakened Dekker should reach the stranded state: {outs:?}"
+    );
+}
+
+/// A readiness delivery on worker A's shard waking a ULT homed on worker
+/// B kicks B's flag and B's doorbell: B never strands, and A's own empty
+/// shard park is undisturbed (asserted inside the scenario).
+#[test]
+fn cross_shard_wake_never_strands_the_target() {
+    let outs = ult_model::outcomes(|| protocols::cross_shard_wake(false));
+    assert!(
+        !outs
+            .iter()
+            .any(|&(parked, doorbell, work)| parked && doorbell == 0 && work > 0),
+        "cross-shard wake stranded the target worker: {outs:?}"
+    );
+}
+
+/// The weakened cross-shard pairing reaches the stranded state — same
+/// Dekker, wake originating on a foreign shard.
+#[test]
+fn weakened_cross_shard_wake_strands_the_target() {
+    let outs = ult_model::outcomes(|| protocols::cross_shard_wake(true));
+    assert!(
+        outs.contains(&(true, 0, 1)),
+        "weakened cross-shard Dekker should reach the stranded state: {outs:?}"
+    );
+}
+
+/// The shared-shard empty-decline heuristic (more workers than reactor
+/// shards): publish-the-count-then-kick means an owner that declines the
+/// epoll park on a momentarily-empty shard always ends up either woken
+/// (token pending) or re-routed to the epoll park — never asleep with
+/// armed waiters and no poller.
+#[test]
+fn armed_publish_never_strands_declining_owner() {
+    let outs = ult_model::outcomes(|| protocols::armed_publish_vs_decline(true));
+    assert!(
+        !outs.iter().any(|&(slept, _, token)| slept && token == 0),
+        "owner slept with armed waiters and no pending kick: {outs:?}"
+    );
+}
+
+/// Kicking before publishing the count lets the owner consume the kick,
+/// re-read a still-zero count and sleep — the model reaches the stranded
+/// state, so the test above has teeth.
+#[test]
+fn weakened_kick_before_publish_strands_declining_owner() {
+    let outs = ult_model::outcomes(|| protocols::armed_publish_vs_decline(false));
+    assert!(
+        outs.contains(&(true, false, 0)),
+        "kick-before-publish should reach the stranded state: {outs:?}"
     );
 }
 
@@ -128,6 +179,20 @@ fn readiness_vs_deadline_wakes_exactly_once() {
     });
     assert_exhaustive_unless_budgeted(r);
     println!("readiness-vs-deadline: {} executions", r.executions);
+}
+
+/// The affinity rebind racing a stale old-shard delivery and the new
+/// shard's service pass: exactly one wake in every interleaving — the
+/// old-registry removal prevents the double, the `MOD` re-report prevents
+/// the strand.
+#[test]
+fn rebind_vs_stale_delivery_wakes_exactly_once() {
+    let r = ult_model::check(|| {
+        let wakes = protocols::rebind_vs_stale_delivery();
+        assert_eq!(wakes, 1, "rebind must neither strand nor double-wake");
+    });
+    assert_exhaustive_unless_budgeted(r);
+    println!("rebind-vs-stale-delivery: {} executions", r.executions);
 }
 
 /// Runs only in the mutation subprocess: checking the deque with the

@@ -1,18 +1,22 @@
 //! `epoll(7)` instance wrapper.
 //!
-//! The reactor (crate `ult-io`) multiplexes every nonblocking socket the
-//! runtime owns onto one epoll instance per process. The designated poller
-//! worker parks in [`Epoll::wait`] instead of its futex (the third park mode
-//! of `idle_wait`), so a ULT blocked on I/O never holds a KLT: the KLT either
-//! runs other ULTs or sleeps in the kernel until an fd fires.
+//! The reactor (crate `ult-io`) multiplexes the runtime's nonblocking
+//! sockets onto per-shard epoll instances (one shard per CPU). A shard's
+//! owning worker parks in [`Epoll::wait`] instead of its futex (the third
+//! park mode of `idle_wait`), so a ULT blocked on I/O never holds a KLT:
+//! the KLT either runs other ULTs or sleeps in the kernel until an fd
+//! fires.
 //!
-//! All interest is registered **level-triggered with `EPOLLONESHOT`**: after
-//! an fd fires it reports nothing until re-armed with [`Epoll::modify`].
-//! One-shot keeps the wake path single-consumer (exactly one poller observes
-//! each readiness edge, so exactly one waiter claim happens per edge) and
-//! level-triggered semantics at `EPOLL_CTL_MOD` time close the
-//! register-after-ready race: if the fd became ready *before* the waiter
-//! armed interest, the kernel reports it on the next wait anyway.
+//! Interest comes in two flavors. [`Epoll::add`]/[`Epoll::modify`] register
+//! **level-triggered with `EPOLLONESHOT`**: after the fd fires it reports
+//! nothing until re-armed, keeping the wake path single-consumer.
+//! [`Epoll::add_level`]/[`Epoll::modify_level`] omit the one-shot flag: the
+//! interest stays armed across deliveries, which is what the reactor's
+//! sticky-interest fast path (skip the re-arm `MOD` when consecutive waits
+//! want the same set) and its eventfd doorbells rely on. Either way,
+//! level-triggered semantics close the register-after-ready race: if the fd
+//! became ready *before* interest was armed, the kernel reports it on the
+//! next wait anyway.
 
 use std::io;
 
@@ -67,10 +71,29 @@ impl Epoll {
         self.ctl(libc::EPOLL_CTL_ADD, fd, events | libc::EPOLLONESHOT, token)
     }
 
+    /// Register `fd` level-triggered **without** `EPOLLONESHOT`: the fd keeps
+    /// reporting readiness on every wait until the condition is cleared at the
+    /// source (e.g. an eventfd counter drained). Used for reactor doorbells,
+    /// which are single-reader by construction and must never need a re-arm
+    /// syscall on the wake path.
+    pub fn add_level(&self, fd: i32, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(libc::EPOLL_CTL_ADD, fd, events, token)
+    }
+
     /// Re-arm a registered fd with a (possibly new) interest set. This is the
     /// one-shot rearm: called every time a waiter registers interest.
     pub fn modify(&self, fd: i32, events: u32, token: u64) -> io::Result<()> {
         self.ctl(libc::EPOLL_CTL_MOD, fd, events | libc::EPOLLONESHOT, token)
+    }
+
+    /// Change a registered fd's interest level-triggered **without**
+    /// `EPOLLONESHOT`: the interest stays armed across deliveries, so a
+    /// waiter whose wanted set matches what is already armed skips the
+    /// `EPOLL_CTL_MOD` syscall entirely (the reactor's sticky-interest hot
+    /// path). The kernel re-reports readiness on every wait while the
+    /// condition holds, so a pre-existing edge is never lost.
+    pub fn modify_level(&self, fd: i32, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(libc::EPOLL_CTL_MOD, fd, events, token)
     }
 
     /// Remove `fd` from the interest set (before the fd is closed).

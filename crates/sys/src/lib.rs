@@ -13,6 +13,8 @@
 //! * [`epoll`] / [`eventfd`] — the reactor substrate: one-shot
 //!   level-triggered readiness multiplexing plus an async-signal-safe
 //!   doorbell for waking a worker parked in `epoll_wait`.
+//! * [`sockio`] — batched `accept4` and vectored `readv`/`writev` for the
+//!   reactor's data paths; nonblocking by contract.
 //! * [`tid`] — kernel thread ids.
 //! * [`clock`] — monotonic nanosecond clock (async-signal-safe), used for
 //!   all interruption-time statistics.
@@ -31,6 +33,7 @@ pub mod epoll;
 pub mod eventfd;
 pub mod futex;
 pub mod signal;
+pub mod sockio;
 pub mod tid;
 pub mod timer;
 

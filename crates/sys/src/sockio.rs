@@ -1,0 +1,229 @@
+//! Batched-accept and vectored socket I/O syscall wrappers.
+//!
+//! These back the reactor's hot data paths: [`accept4`] lets a listener
+//! drain its backlog until `EAGAIN` with one syscall per connection and no
+//! separate `fcntl` round-trips (the accepted socket is born nonblocking),
+//! and [`readv`]/[`writev`] move scattered buffers in one syscall each.
+//!
+//! Every wrapper here is nonblocking by contract: callers hand in fds in
+//! `O_NONBLOCK` mode (the reactor registers nothing else), so the syscalls
+//! return `EAGAIN`/`EWOULDBLOCK` instead of parking the KLT. The `//
+//! blocking: never` annotations below encode exactly that for the
+//! blocking-discipline lint.
+
+use std::io::{self, IoSlice, IoSliceMut};
+use std::mem;
+use std::net::SocketAddr;
+
+/// Accept one pending connection from nonblocking listener `fd` via
+/// `accept4(2)`, returning the new socket fd (born `SOCK_NONBLOCK |
+/// SOCK_CLOEXEC`) and the peer address. `Err(WouldBlock)` means the backlog
+/// is drained — the caller's batched-accept loop stops there.
+// blocking: never callers pass O_NONBLOCK listener fds; a drained backlog returns EAGAIN instead of parking
+pub fn accept4(fd: i32) -> io::Result<(i32, SocketAddr)> {
+    // SAFETY: sockaddr_storage is plain bytes; all-zeroes is a valid value.
+    let mut storage: libc::sockaddr_storage = unsafe { mem::zeroed() };
+    let mut len = mem::size_of::<libc::sockaddr_storage>() as libc::socklen_t;
+    // SAFETY: storage is a valid sockaddr_storage-sized buffer and len its
+    // true size; the kernel writes at most that many bytes.
+    let conn = unsafe {
+        libc::accept4(
+            fd,
+            (&mut storage as *mut libc::sockaddr_storage).cast(),
+            &mut len,
+            libc::SOCK_NONBLOCK | libc::SOCK_CLOEXEC,
+        )
+    };
+    if conn < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    match sockaddr_to_addr(&storage) {
+        Some(addr) => Ok((conn, addr)),
+        None => {
+            // Unknown family (shouldn't happen for TCP listeners): don't
+            // leak the accepted fd.
+            // SAFETY: closing the fd we just received, exactly once.
+            unsafe { libc::close(conn) };
+            Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "accept4: unsupported address family",
+            ))
+        }
+    }
+}
+
+/// Decode a kernel `sockaddr_storage` into a std `SocketAddr`.
+fn sockaddr_to_addr(storage: &libc::sockaddr_storage) -> Option<SocketAddr> {
+    match storage.ss_family as i32 {
+        libc::AF_INET => {
+            // SAFETY: family says the storage holds a sockaddr_in.
+            let v4: &libc::sockaddr_in =
+                unsafe { &*(storage as *const libc::sockaddr_storage).cast() };
+            let ip = std::net::Ipv4Addr::from(u32::from_be(v4.sin_addr.s_addr));
+            Some(SocketAddr::new(ip.into(), u16::from_be(v4.sin_port)))
+        }
+        libc::AF_INET6 => {
+            // SAFETY: family says the storage holds a sockaddr_in6.
+            let v6: &libc::sockaddr_in6 =
+                unsafe { &*(storage as *const libc::sockaddr_storage).cast() };
+            let ip = std::net::Ipv6Addr::from(v6.sin6_addr.s6_addr);
+            Some(SocketAddr::new(ip.into(), u16::from_be(v6.sin6_port)))
+        }
+        _ => None,
+    }
+}
+
+/// Scatter-read from nonblocking `fd` into `bufs` via `readv(2)`. Returns
+/// the total bytes read (0 = EOF); `Err(WouldBlock)` when nothing is ready.
+// blocking: never callers pass O_NONBLOCK socket fds; an empty buffer returns EAGAIN instead of parking
+pub fn readv(fd: i32, bufs: &mut [IoSliceMut<'_>]) -> io::Result<usize> {
+    // SAFETY: IoSliceMut is ABI-compatible with iovec (guaranteed by std);
+    // the slice outlives the call and the kernel writes only within it.
+    let n = unsafe {
+        libc::readv(
+            fd,
+            bufs.as_mut_ptr().cast::<libc::iovec>(),
+            bufs.len().min(libc::c_int::MAX as usize) as libc::c_int,
+        )
+    };
+    if n < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(n as usize)
+}
+
+/// Gather-write `bufs` to nonblocking `fd` via `writev(2)`. Returns the
+/// total bytes written (possibly a short write); `Err(WouldBlock)` when the
+/// send buffer is full.
+// blocking: never callers pass O_NONBLOCK socket fds; a full send buffer returns EAGAIN instead of parking
+pub fn writev(fd: i32, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+    // SAFETY: IoSlice is ABI-compatible with iovec (guaranteed by std); the
+    // slice outlives the call and the kernel only reads from it.
+    let n = unsafe {
+        libc::writev(
+            fd,
+            bufs.as_ptr().cast::<libc::iovec>(),
+            bufs.len().min(libc::c_int::MAX as usize) as libc::c_int,
+        )
+    };
+    if n < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(n as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::{AsRawFd, FromRawFd};
+
+    fn nonblocking_listener() -> std::net::TcpListener {
+        let ln = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        ln.set_nonblocking(true).unwrap();
+        ln
+    }
+
+    #[test]
+    fn accept4_drains_backlog_then_wouldblock() {
+        let ln = nonblocking_listener();
+        let addr = ln.local_addr().unwrap();
+        let c1 = std::net::TcpStream::connect(addr).unwrap();
+        let c2 = std::net::TcpStream::connect(addr).unwrap();
+        // Loopback connects complete synchronously, but poll for robustness.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        let mut got = Vec::new();
+        while got.len() < 2 {
+            match accept4(ln.as_raw_fd()) {
+                Ok((fd, peer)) => {
+                    assert!(peer.ip().is_loopback());
+                    got.push(fd);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "accepts never arrived"
+                    );
+                    std::thread::yield_now();
+                }
+                Err(e) => panic!("accept4: {e}"),
+            }
+        }
+        assert_eq!(
+            accept4(ln.as_raw_fd()).unwrap_err().kind(),
+            io::ErrorKind::WouldBlock,
+            "drained backlog reports WouldBlock"
+        );
+        for fd in got {
+            // SAFETY: fds freshly returned by accept4, owned here.
+            unsafe { libc::close(fd) };
+        }
+        drop((c1, c2));
+    }
+
+    #[test]
+    fn vectored_roundtrip() {
+        let ln = nonblocking_listener();
+        let addr = ln.local_addr().unwrap();
+        let mut client = std::net::TcpStream::connect(addr).unwrap();
+        let (fd, _) = loop {
+            match accept4(ln.as_raw_fd()) {
+                Ok(pair) => break pair,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::yield_now(),
+                Err(e) => panic!("accept4: {e}"),
+            }
+        };
+        // SAFETY: fd is a fresh socket owned by this test.
+        let server = unsafe { std::net::TcpStream::from_raw_fd(fd) };
+
+        let (a, b) = (*b"hello ", *b"world");
+        let n = writev(server.as_raw_fd(), &[IoSlice::new(&a), IoSlice::new(&b)]).unwrap();
+        assert_eq!(n, a.len() + b.len());
+        let mut back = [0u8; 11];
+        client.read_exact(&mut back).unwrap();
+        assert_eq!(&back, b"hello world");
+
+        client.write_all(b"0123456789A").unwrap();
+        let (mut lo, mut hi) = ([0u8; 4], [0u8; 7]);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        loop {
+            match readv(
+                server.as_raw_fd(),
+                &mut [IoSliceMut::new(&mut lo), IoSliceMut::new(&mut hi)],
+            ) {
+                Ok(11) => break,
+                Ok(n) => panic!("partial vectored read of a flushed 11-byte write: {n}"),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    assert!(std::time::Instant::now() < deadline, "data never arrived");
+                    std::thread::yield_now();
+                }
+                Err(e) => panic!("readv: {e}"),
+            }
+        }
+        assert_eq!(&lo, b"0123");
+        assert_eq!(&hi, b"456789A");
+    }
+
+    #[test]
+    fn readv_wouldblock_on_empty_socket() {
+        let ln = nonblocking_listener();
+        let addr = ln.local_addr().unwrap();
+        let _client = std::net::TcpStream::connect(addr).unwrap();
+        let (fd, _) = loop {
+            match accept4(ln.as_raw_fd()) {
+                Ok(pair) => break pair,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::yield_now(),
+                Err(e) => panic!("accept4: {e}"),
+            }
+        };
+        // SAFETY: fd is a fresh socket owned by this test.
+        let server = unsafe { std::net::TcpStream::from_raw_fd(fd) };
+        let mut buf = [0u8; 8];
+        assert_eq!(
+            readv(server.as_raw_fd(), &mut [IoSliceMut::new(&mut buf)])
+                .unwrap_err()
+                .kind(),
+            io::ErrorKind::WouldBlock
+        );
+    }
+}

@@ -41,6 +41,10 @@ echo "== perf smoke: preemption fast path vs committed baseline (2x tripwire)"
 echo "== perf smoke: echo tail latency, preemption on vs off (5x ratio floor + 2x tripwire)"
 ./target/release/bench_echo --quick --out results/BENCH_io.json \
     --check results/BENCH_io_baseline.json
+
+echo "== perf smoke: multi-worker echo throughput sweep vs committed baseline (2x tripwire)"
+./target/release/bench_echo --tput --quick --out results/BENCH_echo.json \
+    --check results/BENCH_echo_baseline.json
 run() {
     local name="$1"; shift
     echo "== $name"

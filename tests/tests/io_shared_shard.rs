@@ -1,0 +1,104 @@
+//! Shared-shard reactor integration: more workers than reactor shards.
+//!
+//! This binary deliberately does NOT call `ult_io::configure_shards`, so
+//! the shard count defaults to the machine's available parallelism — on a
+//! small CI box that collapses a multi-worker runtime onto one (or few)
+//! shared shards. The claims under test are the shared-shard liveness
+//! protocol: a non-owner worker arming the first waiter (or earliest
+//! deadline) on another rank's shard must kick that owner out of its futex
+//! park (`ult_core::kick_worker`), so no blocked ULT or timer is ever
+//! stranded behind an owner that declined the epoll park on a
+//! then-empty shard.
+
+use std::io::{Read, Write};
+use std::time::Duration;
+use ult_core::{Config, Priority, Runtime, ThreadKind, TimerStrategy};
+
+fn preemptive(workers: usize, interval_us: u64) -> Config {
+    Config {
+        num_workers: workers,
+        preempt_interval_ns: interval_us * 1000,
+        timer_strategy: TimerStrategy::PerWorkerAligned,
+        ..Config::default()
+    }
+}
+
+/// Handlers homed on every rank of a 4-worker runtime block in `read`
+/// while their fds all live on shared shards. Each must wake promptly when
+/// its peer writes — even the ones whose rank is not a canonical shard
+/// owner, whose arming went through the cross-worker kick path.
+#[test]
+fn blocked_readers_on_shared_shards_all_wake() {
+    let rt = Runtime::start(preemptive(4, 1_000));
+    let ln = rt
+        .spawn(|| ult_io::TcpListener::bind("127.0.0.1:0").unwrap())
+        .join();
+    let addr = ln.local_addr().unwrap();
+
+    let server = rt.spawn(move || (0..4).map(|_| ln.accept().unwrap().0).collect::<Vec<_>>());
+    let mut clients: Vec<_> = (0..4)
+        .map(|_| std::net::TcpStream::connect(addr).expect("connect"))
+        .collect();
+    let handlers: Vec<_> = server
+        .join()
+        .into_iter()
+        .enumerate()
+        .map(|(k, s)| {
+            rt.spawn_on(k, ThreadKind::Nonpreemptive, Priority::High, move || {
+                let mut buf = [0u8; 4];
+                s.read_exact(&mut buf).unwrap();
+                s.write_all(&buf).unwrap();
+                buf
+            })
+        })
+        .collect();
+
+    // Let every handler reach its read (arming on whatever shard its rank
+    // maps to) and every worker go idle — the owner may now be deciding
+    // between the epoll and futex park each round.
+    std::thread::sleep(Duration::from_millis(100));
+    for (i, c) in clients.iter_mut().enumerate() {
+        let t0 = ult_sys::now_ns();
+        c.write_all(b"ping").unwrap();
+        let mut back = [0u8; 4];
+        c.read_exact(&mut back).unwrap();
+        assert_eq!(&back, b"ping");
+        assert!(
+            ult_sys::now_ns() - t0 < 2_000_000_000,
+            "reader {i} stranded on a shared shard"
+        );
+    }
+    for h in handlers {
+        assert_eq!(&h.join(), b"ping");
+    }
+    rt.shutdown();
+}
+
+/// Timers inserted from every rank land on shared shard wheels; each must
+/// fire near its deadline even when the shard's owner was futex-parked at
+/// insert time (the deadline-insert kick).
+#[test]
+fn timers_from_every_rank_fire_on_shared_shards() {
+    let rt = Runtime::start(preemptive(4, 1_000));
+    let handles: Vec<_> = (0..4)
+        .map(|k| {
+            rt.spawn_on(k, ThreadKind::Nonpreemptive, Priority::High, move || {
+                let t0 = ult_sys::now_ns();
+                ult_io::sleep(Duration::from_millis(20));
+                ult_sys::now_ns() - t0
+            })
+        })
+        .collect();
+    for (k, h) in handles.into_iter().enumerate() {
+        let elapsed = h.join();
+        assert!(
+            elapsed >= 20_000_000,
+            "rank {k} sleep returned early: {elapsed} ns"
+        );
+        assert!(
+            elapsed < 500_000_000,
+            "rank {k} sleep stranded on a shared shard wheel: {elapsed} ns"
+        );
+    }
+    rt.shutdown();
+}

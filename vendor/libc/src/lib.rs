@@ -86,6 +86,11 @@ pub const EFD_NONBLOCK: c_int = 0x800;
 pub const EAGAIN: c_int = 11;
 pub const EINTR: c_int = 4;
 
+pub const AF_INET: c_int = 2;
+pub const AF_INET6: c_int = 10;
+pub const SOCK_NONBLOCK: c_int = 0x800;
+pub const SOCK_CLOEXEC: c_int = 0x80000;
+
 pub const _SC_PAGESIZE: c_int = 30;
 pub const _SC_NPROCESSORS_ONLN: c_int = 84;
 
@@ -200,6 +205,65 @@ pub struct epoll_event {
     pub u64: u64,
 }
 
+pub type socklen_t = u32;
+pub type sa_family_t = u16;
+
+#[repr(C)]
+pub struct sockaddr {
+    pub sa_family: sa_family_t,
+    pub sa_data: [c_char; 14],
+}
+
+/// glibc `sockaddr_storage`: 128 bytes, 8-aligned (`__ss_align` forces it).
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sockaddr_storage {
+    pub ss_family: sa_family_t,
+    __ss_padding: [u8; 118],
+    __ss_align: c_ulong,
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct in_addr {
+    /// IPv4 address in network byte order.
+    pub s_addr: u32,
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sockaddr_in {
+    pub sin_family: sa_family_t,
+    /// Port in network byte order.
+    pub sin_port: u16,
+    pub sin_addr: in_addr,
+    pub sin_zero: [u8; 8],
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct in6_addr {
+    pub s6_addr: [u8; 16],
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sockaddr_in6 {
+    pub sin6_family: sa_family_t,
+    /// Port in network byte order.
+    pub sin6_port: u16,
+    pub sin6_flowinfo: u32,
+    pub sin6_addr: in6_addr,
+    pub sin6_scope_id: u32,
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct iovec {
+    pub iov_base: *mut c_void,
+    pub iov_len: size_t,
+}
+
 /// glibc `cpu_set_t`: 1024 bits.
 #[repr(C)]
 #[derive(Clone, Copy)]
@@ -258,6 +322,15 @@ extern "C" {
         timeout: c_int,
     ) -> c_int;
     pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+
+    pub fn accept4(
+        sockfd: c_int,
+        addr: *mut sockaddr,
+        addrlen: *mut socklen_t,
+        flags: c_int,
+    ) -> c_int;
+    pub fn readv(fd: c_int, iov: *const iovec, iovcnt: c_int) -> ssize_t;
+    pub fn writev(fd: c_int, iov: *const iovec, iovcnt: c_int) -> ssize_t;
 
     pub fn sysconf(name: c_int) -> c_long;
 
@@ -319,6 +392,11 @@ mod tests {
         // Kernel ABI: epoll_event is packed to 12 bytes on x86_64.
         assert_eq!(core::mem::size_of::<epoll_event>(), 12);
         assert_eq!(core::mem::offset_of!(epoll_event, u64), 4);
+        assert_eq!(core::mem::size_of::<sockaddr_storage>(), 128);
+        assert_eq!(core::mem::align_of::<sockaddr_storage>(), 8);
+        assert_eq!(core::mem::size_of::<sockaddr_in>(), 16);
+        assert_eq!(core::mem::size_of::<sockaddr_in6>(), 28);
+        assert_eq!(core::mem::size_of::<iovec>(), 16);
     }
 
     #[test]
