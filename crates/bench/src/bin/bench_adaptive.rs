@@ -1,0 +1,298 @@
+//! Adaptive-quantum benchmark: tail latency of a `Latency`-class ULT
+//! arriving behind `Throughput`-class spinners, with the adaptive quantum
+//! on vs off, on one worker.
+//!
+//! The scenario is the motivating one for per-ULT scheduling classes: two
+//! CPU-bound spinners keep the worker's timer armed at the base tick
+//! (4 ms here), and an external pinger wakes a channel-blocked
+//! `Latency` ULT at an uncorrelated period. With a fixed tick the wake
+//! waits for whatever is left of the current 4 ms slice; with
+//! `adaptive_quantum` the push side shrinks the worker's quantum to the
+//! floor (base/4 = 1 ms) and re-phases the armed timer, so the dispatch
+//! happens within ~1 ms — while the spinners' completion time for the
+//! same fixed amount of work stays within a few percent (the quantum
+//! stretches back once only `Throughput` work runs).
+//!
+//! Emits `BENCH_adaptive.json` and enforces two hard floors (exit 1):
+//!
+//! * `fixed_over_adaptive_p99 ≥ 2` — the adaptive tick must at least
+//!   halve the p99 wake-to-dispatch latency;
+//! * `adaptive_complete_ms ≤ 1.10 × fixed_complete_ms` — bought with at
+//!   most 10% throughput loss on the fixed spinner workload.
+//!
+//! The usual `--check` regression tripwire (2×, run_all.sh) applies to
+//! the adaptive-side metrics; the fixed-side numbers are a property of
+//! the 4 ms base tick, not of the code under test.
+//!
+//! Usage:
+//!   bench_adaptive [--quick] [--out PATH] [--check BASELINE.json]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use ult_core::{Config, Runtime, SchedClass, SpawnAttrs, ThreadKind, TimerStrategy};
+
+/// Base preemption tick: 4 ms, so the adaptive floor (base/4) is 1 ms.
+const BASE_TICK_NS: u64 = 4_000_000;
+/// Ping period, deliberately not a multiple of the tick so wakes sample
+/// the slice phase uniformly.
+const PING_PERIOD: Duration = Duration::from_millis(13);
+
+struct Metric {
+    name: &'static str,
+    value: f64,
+    /// Whether the 2× regression tripwire applies (adaptive-side numbers).
+    checked: bool,
+}
+
+/// One work unit: ~tens of microseconds of pure arithmetic.
+fn work_unit() {
+    let mut acc = 0u64;
+    for i in 0..60_000u64 {
+        acc = acc.wrapping_mul(3).wrapping_add(i);
+    }
+    std::hint::black_box(acc);
+}
+
+/// Run one phase: two `Throughput` spinners burn `units` work units while
+/// the main thread pings a channel-blocked `Latency` ULT every
+/// [`PING_PERIOD`]. Returns (sorted wake-to-dispatch latencies in ns,
+/// spinner completion seconds).
+fn run_phase(adaptive: bool, units: u64) -> (Vec<u64>, f64) {
+    let rt = Runtime::start(Config {
+        num_workers: 1,
+        preempt_interval_ns: BASE_TICK_NS,
+        timer_strategy: TimerStrategy::PerWorkerAligned,
+        adaptive_quantum: adaptive,
+        ..Config::default()
+    });
+    let (tx, rx) = ult_sync::channel::<u64>(64);
+    let epoch = Instant::now();
+
+    // The latency side: block on the channel, stamp the wake-to-dispatch
+    // delta for every ping, return the samples.
+    let lat_ult = rt.spawn_attrs(
+        SpawnAttrs::new()
+            .kind(ThreadKind::SignalYield)
+            .class(SchedClass::Latency),
+        move || {
+            let mut samples = Vec::new();
+            while let Ok(sent_ns) = rx.recv() {
+                let now_ns = epoch.elapsed().as_nanos() as u64;
+                samples.push(now_ns.saturating_sub(sent_ns));
+            }
+            samples
+        },
+    );
+    // Give the latency ULT time to park on the channel before the
+    // spinners monopolize the worker.
+    std::thread::sleep(Duration::from_millis(20));
+
+    let remaining = Arc::new(AtomicU64::new(units));
+    let t0 = Instant::now();
+    let spinners: Vec<_> = (0..2)
+        .map(|_| {
+            let remaining = remaining.clone();
+            rt.spawn_attrs(
+                SpawnAttrs::new()
+                    .kind(ThreadKind::SignalYield)
+                    .class(SchedClass::Throughput),
+                move || loop {
+                    let prev = remaining.fetch_sub(1, Ordering::Relaxed);
+                    if prev == 0 {
+                        // Over-claimed past zero: undo and stop.
+                        remaining.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                    work_unit();
+                },
+            )
+        })
+        .collect();
+
+    // Ping until the spinners run out of work.
+    while remaining.load(Ordering::Relaxed) > 0 {
+        let _ = tx.send(epoch.elapsed().as_nanos() as u64);
+        std::thread::sleep(PING_PERIOD);
+    }
+    for s in spinners {
+        s.join();
+    }
+    let complete = t0.elapsed().as_secs_f64();
+    drop(tx); // closes the channel; the latency ULT drains and returns
+    let mut samples = lat_ult.join();
+    let stats = rt.stats();
+    rt.shutdown();
+    eprintln!(
+        "bench_adaptive: {} pings={} complete={:.2}s shrinks={} stretches={} lat_dispatch={}",
+        if adaptive { "adaptive" } else { "fixed" },
+        samples.len(),
+        complete,
+        stats.quantum_shrinks,
+        stats.quantum_stretches,
+        stats.latency_dispatches,
+    );
+    samples.sort_unstable();
+    (samples, complete)
+}
+
+/// Percentile over a sorted slice (nearest-rank).
+fn pct(sorted: &[u64], p: f64) -> u64 {
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+fn to_json(metrics: &[Metric]) -> String {
+    let mut s = String::from("{\n");
+    for (i, m) in metrics.iter().enumerate() {
+        s.push_str(&format!("  \"{}\": {:.1}", m.name, m.value));
+        s.push_str(if i + 1 == metrics.len() { "\n" } else { ",\n" });
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Minimal extractor for the flat `"name": number` JSON this tool writes.
+fn json_get(src: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let at = src.find(&pat)?;
+    let rest = &src[at + pat.len()..];
+    let colon = rest.find(':')?;
+    let num: String = rest[colon + 1..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+        .collect();
+    num.parse().ok()
+}
+
+fn check_against_baseline(metrics: &[Metric], bp: &str) {
+    let baseline =
+        std::fs::read_to_string(bp).unwrap_or_else(|e| panic!("read baseline {bp}: {e}"));
+    let mut failed = false;
+    for m in metrics.iter().filter(|m| m.checked) {
+        let Some(base) = json_get(&baseline, m.name) else {
+            eprintln!("perf-smoke: {} missing from baseline, skipping", m.name);
+            continue;
+        };
+        let factor = m.value / base.max(0.1);
+        let verdict = if factor > 2.0 {
+            failed = true;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "perf-smoke: {:>22} {:>10.1} vs baseline {:>10.1} ({:.2}x) {}",
+            m.name, m.value, base, factor, verdict
+        );
+    }
+    if failed {
+        eprintln!("perf-smoke: >2x regression against {bp}");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let get_opt = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = get_opt("--out").unwrap_or_else(|| "results/BENCH_adaptive.json".into());
+    let baseline_path = get_opt("--check");
+
+    // Fixed work for the throughput-completion comparison; sized so the
+    // full run collects a three-digit ping sample count.
+    let units = if quick { 15_000 } else { 100_000 };
+
+    eprintln!("bench_adaptive: fixed tick ({units} work units, 2 spinners)");
+    let (fixed, fixed_complete) = run_phase(false, units);
+    eprintln!("bench_adaptive: adaptive quantum ({units} work units, 2 spinners)");
+    let (adaptive, adaptive_complete) = run_phase(true, units);
+
+    let us = |ns: u64| ns as f64 / 1_000.0;
+    let p99_fixed = us(pct(&fixed, 0.99));
+    let p99_adaptive = us(pct(&adaptive, 0.99));
+    let ratio = p99_fixed / p99_adaptive.max(0.001);
+    let tput_factor = adaptive_complete / fixed_complete.max(1e-9);
+    let metrics = [
+        Metric {
+            name: "adaptive_p50_us",
+            value: us(pct(&adaptive, 0.50)),
+            checked: true,
+        },
+        Metric {
+            name: "adaptive_p99_us",
+            value: p99_adaptive,
+            checked: true,
+        },
+        Metric {
+            name: "fixed_p50_us",
+            value: us(pct(&fixed, 0.50)),
+            checked: false,
+        },
+        Metric {
+            name: "fixed_p99_us",
+            value: p99_fixed,
+            checked: false,
+        },
+        Metric {
+            name: "fixed_over_adaptive_p99",
+            value: ratio,
+            checked: false,
+        },
+        Metric {
+            name: "adaptive_complete_ms",
+            value: adaptive_complete * 1e3,
+            checked: false,
+        },
+        Metric {
+            name: "fixed_complete_ms",
+            value: fixed_complete * 1e3,
+            checked: false,
+        },
+        Metric {
+            name: "adaptive_over_fixed_complete",
+            value: tput_factor,
+            checked: false,
+        },
+    ];
+
+    let json = to_json(&metrics);
+    print!("{json}");
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out_path, &json).expect("write BENCH_adaptive.json");
+    eprintln!("wrote {out_path}");
+
+    // Hard floors: the acceptance gates of the adaptive-quantum design.
+    if ratio < 2.0 {
+        eprintln!(
+            "bench_adaptive: FAIL p99 ratio {ratio:.1}x < 2x \
+             (fixed {p99_fixed:.0} us, adaptive {p99_adaptive:.0} us)"
+        );
+        std::process::exit(1);
+    }
+    if tput_factor > 1.10 {
+        eprintln!(
+            "bench_adaptive: FAIL completion {:.0} ms adaptive vs {:.0} ms fixed \
+             ({:.2}x > 1.10x budget)",
+            adaptive_complete * 1e3,
+            fixed_complete * 1e3,
+            tput_factor
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "bench_adaptive: p99 fixed {p99_fixed:.0} us vs adaptive {p99_adaptive:.0} us \
+         ({ratio:.1}x), completion {tput_factor:.3}x"
+    );
+
+    if let Some(bp) = baseline_path {
+        check_against_baseline(&metrics, &bp);
+    }
+}

@@ -227,6 +227,71 @@ pub(crate) fn block_on_join(target: &Arc<Ult>) {
     block_current(|me| target.register_joiner(me));
 }
 
+/// Spawn attributes: kind, priority, scheduling class and placement, with
+/// chainable setters.
+///
+/// ```
+/// use ult_core::{SpawnAttrs, SchedClass, ThreadKind};
+/// let attrs = SpawnAttrs::new()
+///     .kind(ThreadKind::SignalYield)
+///     .class(SchedClass::Latency);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SpawnAttrs {
+    /// Preemption mechanism for the thread (default
+    /// [`ThreadKind::Nonpreemptive`], the cheapest kind).
+    pub kind: crate::thread::ThreadKind,
+    /// Scheduling priority (default [`Priority::High`] — the common pool).
+    pub priority: crate::thread::Priority,
+    /// Latency class for adaptive quanta (default [`SchedClass::Normal`]).
+    pub class: crate::thread::SchedClass,
+    /// Pin to a specific worker's pool (`rank % num_workers`); `None` uses
+    /// the default placement (spawner-local or round-robin).
+    pub home_pool: Option<usize>,
+}
+
+impl Default for SpawnAttrs {
+    fn default() -> SpawnAttrs {
+        SpawnAttrs {
+            kind: crate::thread::ThreadKind::Nonpreemptive,
+            priority: crate::thread::Priority::High,
+            class: crate::thread::SchedClass::Normal,
+            home_pool: None,
+        }
+    }
+}
+
+impl SpawnAttrs {
+    /// Default attributes: nonpreemptive, high priority, Normal class.
+    pub fn new() -> SpawnAttrs {
+        SpawnAttrs::default()
+    }
+
+    /// Set the preemption kind.
+    pub fn kind(mut self, kind: crate::thread::ThreadKind) -> SpawnAttrs {
+        self.kind = kind;
+        self
+    }
+
+    /// Set the priority.
+    pub fn priority(mut self, priority: crate::thread::Priority) -> SpawnAttrs {
+        self.priority = priority;
+        self
+    }
+
+    /// Set the scheduling class.
+    pub fn class(mut self, class: crate::thread::SchedClass) -> SpawnAttrs {
+        self.class = class;
+        self
+    }
+
+    /// Pin to worker `rank`'s pool.
+    pub fn on(mut self, rank: usize) -> SpawnAttrs {
+        self.home_pool = Some(rank);
+        self
+    }
+}
+
 /// Spawn a new ULT on the ambient runtime (the one executing the caller).
 ///
 /// This is how nested parallelism works in the application kernels: an
@@ -254,7 +319,36 @@ where
         Arc::from_raw(rt as *const crate::runtime::RuntimeInner)
     };
     let stack = rt.config.stack_size;
-    rt.spawn_ult(kind, priority, None, stack, f)
+    rt.spawn_ult(
+        kind,
+        priority,
+        crate::thread::SchedClass::Normal,
+        None,
+        stack,
+        f,
+    )
+}
+
+/// Spawn on the ambient runtime with a full attribute set — the ambient
+/// counterpart of [`crate::runtime::Runtime::spawn_attrs`].
+///
+/// # Panics
+/// Panics when called outside a runtime worker.
+pub fn spawn_attrs<T, F>(attrs: SpawnAttrs, f: F) -> crate::thread::JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let w = current_worker().expect("ambient spawn outside the runtime");
+    let rt = w.runtime();
+    // SAFETY: as in `spawn` above.
+    let rt = unsafe {
+        Arc::increment_strong_count(rt as *const crate::runtime::RuntimeInner);
+        Arc::from_raw(rt as *const crate::runtime::RuntimeInner)
+    };
+    let stack = rt.config.stack_size;
+    let home = attrs.home_pool.map(|r| r % rt.workers.len());
+    rt.spawn_ult(attrs.kind, attrs.priority, attrs.class, home, stack, f)
 }
 
 #[cfg(test)]

@@ -66,6 +66,18 @@ pub struct Config {
     /// Per-worker capacity of interruption-time sample buffers (Figure 4 /
     /// Table 1 instrumentation; 0 disables sampling).
     pub stat_samples: usize,
+    /// Adaptive preemption quanta (LibPreemptible-style): when enabled,
+    /// each worker scales its own timer interval between
+    /// `preempt_interval_ns / quantum_floor_div` and
+    /// `preempt_interval_ns * quantum_ceil_mul`, shrinking when
+    /// latency-class work is queued (or dispatch delay exceeds the current
+    /// quantum) and stretching while only throughput-class work runs.
+    /// Disabled by default: the fixed tick reproduces the paper.
+    pub adaptive_quantum: bool,
+    /// Divisor for the adaptive quantum floor (floor = base / this).
+    pub quantum_floor_div: u32,
+    /// Multiplier for the adaptive quantum ceiling (ceiling = base * this).
+    pub quantum_ceil_mul: u32,
 }
 
 impl Default for Config {
@@ -82,6 +94,9 @@ impl Default for Config {
             pin_workers: false,
             spare_klts: 2,
             stat_samples: 0,
+            adaptive_quantum: false,
+            quantum_floor_div: 4,
+            quantum_ceil_mul: 4,
         }
     }
 }
@@ -100,6 +115,12 @@ impl Config {
         }
         if self.initial_pool_capacity < 64 {
             self.initial_pool_capacity = 64;
+        }
+        if self.quantum_floor_div == 0 {
+            self.quantum_floor_div = 1;
+        }
+        if self.quantum_ceil_mul == 0 {
+            self.quantum_ceil_mul = 1;
         }
         Ok(self)
     }
@@ -133,6 +154,19 @@ mod tests {
         };
         let c = c.validated().unwrap();
         assert!(c.stack_size >= ult_arch::stack::MIN_STACK_SIZE);
+    }
+
+    #[test]
+    fn adaptive_knobs_normalized() {
+        let c = Config {
+            adaptive_quantum: true,
+            quantum_floor_div: 0,
+            quantum_ceil_mul: 0,
+            ..Config::default()
+        };
+        let c = c.validated().unwrap();
+        assert_eq!(c.quantum_floor_div, 1);
+        assert_eq!(c.quantum_ceil_mul, 1);
     }
 
     #[test]

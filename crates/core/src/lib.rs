@@ -64,14 +64,14 @@ pub(crate) mod worker;
 
 pub use api::{
     block_current, current_thread_id, current_thread_kind, current_worker_rank, in_ult, make_ready,
-    yield_now,
+    yield_now, SpawnAttrs,
 };
 pub use config::{Config, KltParkMode, KltPoolPolicy, SchedPolicy};
 pub use io_hook::{kick_worker, reactor_wait_done, register_io_hooks, IoHooks, IoShardStats};
 pub use preempt::timer::TimerStrategy;
 pub use runtime::Runtime;
 pub use stats::RuntimeStats;
-pub use thread::{JoinHandle, Priority, ThreadKind, Ult, UltState};
+pub use thread::{JoinHandle, Priority, SchedClass, ThreadKind, Ult, UltState};
 
 /// Number of CPUs available to this process.
 pub fn sys_cpus() -> usize {

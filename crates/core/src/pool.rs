@@ -44,7 +44,7 @@
 //! they are reclaimed when the pool drops. `push` panics (rather than
 //! allocating) if no staged buffer exists — the reservation invariant.
 
-use crate::thread::Ult;
+use crate::thread::{SchedClass, Ult};
 use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Arc;
 use ult_arch::CacheAligned;
@@ -196,6 +196,13 @@ pub struct ThreadPool {
     /// producers increment before linking, consumers decrement after the
     /// items are visible elsewhere (or handed out).
     inbox_count: AtomicUsize, // ordering: acqrel
+    /// Approximate count of queued `SchedClass::Latency` ULTs anywhere in
+    /// this pool (deque + inbox). Same discipline as `inbox_count`:
+    /// producers increment before linking, consumers decrement after the
+    /// item is handed out — so it never understates while latency work is
+    /// queued. Drives the adaptive quantum and class-aware victim
+    /// selection.
+    lat_count: AtomicUsize, // ordering: acqrel
 }
 
 // SAFETY: slots hold raw pointers managed under the owner/stealer protocol
@@ -216,6 +223,7 @@ impl ThreadPool {
             reserved: AtomicUsize::new(cap),
             inbox_head: CacheAligned::new(AtomicPtr::new(std::ptr::null_mut())),
             inbox_count: AtomicUsize::new(0),
+            lat_count: AtomicUsize::new(0),
         }
     }
 
@@ -286,6 +294,10 @@ impl ThreadPool {
             "ULT {} double-enqueued (push)",
             t.id
         );
+        if t.class == SchedClass::Latency {
+            // Count before linking (see `lat_count`).
+            self.lat_count.fetch_add(1, Ordering::Release);
+        }
         let p = Arc::into_raw(t) as *mut Ult;
         self.push_raw_bottom(p);
     }
@@ -384,6 +396,10 @@ impl ThreadPool {
             "ULT {} double-enqueued (push_remote)",
             t.id
         );
+        if t.class == SchedClass::Latency {
+            // Count before linking (see `lat_count`).
+            self.lat_count.fetch_add(1, Ordering::Release);
+        }
         let p = Arc::into_raw(t) as *mut Ult;
         // Count first so `len` never understates a linked item.
         self.inbox_count.fetch_add(1, Ordering::Release);
@@ -491,6 +507,76 @@ impl ThreadPool {
         self.inbox_count.fetch_sub(1, Ordering::Release);
         // SAFETY: `taken` came from `Arc::into_raw` in a push.
         let t = unsafe { Arc::from_raw(taken as *const Ult) };
+        self.note_taken(&t);
+        t.in_pool.store(false, Ordering::Release);
+        Some(t)
+    }
+
+    /// Balance `lat_count` after handing out `t` (see the field docs).
+    #[inline]
+    fn note_taken(&self, t: &Ult) {
+        if t.class == SchedClass::Latency {
+            self.lat_count.fetch_sub(1, Ordering::Release);
+        }
+    }
+
+    /// Whether any latency-class ULT is (approximately) queued here. May
+    /// transiently overstate around a concurrent take, never understates
+    /// while a latency item is linked.
+    #[inline]
+    // sigsafe
+    pub fn has_latency(&self) -> bool {
+        self.lat_count.load(Ordering::Acquire) > 0
+    }
+
+    /// Take the oldest latency-class ULT from the remote inbox, relinking
+    /// everything else in order (any thread) — the class-aware dispatch
+    /// preference: latency arrivals jump the inbox, but never reorder work
+    /// already in the deque. Returns `None` when the inbox holds no latency
+    /// item (e.g. the counted item sits in the deque or was claimed).
+    pub fn take_latency_inbox(&self) -> Option<Arc<Ult>> {
+        if self.lat_count.load(Ordering::Acquire) == 0
+            || self.inbox_head.0.load(Ordering::Acquire).is_null()
+        {
+            return None;
+        }
+        let mut head = self
+            .inbox_head
+            .0
+            .swap(std::ptr::null_mut(), Ordering::AcqRel);
+        if head.is_null() {
+            return None;
+        }
+        // Reverse to oldest-first.
+        let mut rev: *mut Ult = std::ptr::null_mut();
+        while !head.is_null() {
+            // SAFETY: exclusively unlinked chain of live Arcs.
+            let next = unsafe { (*head).pool_next.load(Ordering::Relaxed) };
+            // SAFETY: as above.
+            unsafe { (*head).pool_next.store(rev, Ordering::Relaxed) };
+            rev = head;
+            head = next;
+        }
+        // Walk oldest-first: keep the first latency node, relink the rest
+        // in order (so the head ends newest-first again).
+        let mut taken: *mut Ult = std::ptr::null_mut();
+        let mut cur = rev;
+        while !cur.is_null() {
+            // SAFETY: as above.
+            let next = unsafe { (*cur).pool_next.load(Ordering::Relaxed) };
+            // SAFETY: `class` is immutable while the descriptor is queued.
+            if taken.is_null() && unsafe { (*cur).class } == SchedClass::Latency {
+                taken = cur;
+            } else {
+                self.inbox_push_raw(cur);
+            }
+            cur = next;
+        }
+        let taken = std::ptr::NonNull::new(taken)?;
+        self.inbox_count.fetch_sub(1, Ordering::Release);
+        self.lat_count.fetch_sub(1, Ordering::Release);
+        // SAFETY: `taken` came from `Arc::into_raw` in a push.
+        let t = unsafe { Arc::from_raw(taken.as_ptr() as *const Ult) };
         t.in_pool.store(false, Ordering::Release);
         Some(t)
     }
@@ -519,6 +605,7 @@ impl ThreadPool {
                 // SAFETY: the CAS makes us the unique claimant of index
                 // `t`; `p` came from `Arc::into_raw` in a push.
                 let ult = unsafe { Arc::from_raw(p as *const Ult) };
+                self.note_taken(&ult);
                 ult.in_pool.store(false, Ordering::Release);
                 return Some(ult);
             }
@@ -561,6 +648,7 @@ impl ThreadPool {
         // SAFETY: unique claim (either b > t, unreachable by stealers, or
         // the CAS above); `p` came from `Arc::into_raw` in a push.
         let ult = unsafe { Arc::from_raw(p as *const Ult) };
+        self.note_taken(&ult);
         ult.in_pool.store(false, Ordering::Release);
         Some(ult)
     }
@@ -641,6 +729,53 @@ mod tests {
 
     fn mk(id: u64) -> Arc<Ult> {
         Ult::test_ult(id)
+    }
+
+    fn mk_latency(id: u64) -> Arc<Ult> {
+        Ult::new(
+            id,
+            crate::thread::ThreadKind::Nonpreemptive,
+            crate::thread::Priority::High,
+            SchedClass::Latency,
+            0,
+            ult_arch::Stack::new(ult_arch::stack::MIN_STACK_SIZE).unwrap(),
+            Box::new(|| {}),
+        )
+    }
+
+    #[test]
+    fn latency_inbox_preference() {
+        let p = ThreadPool::with_capacity(8);
+        assert!(!p.has_latency());
+        p.push_remote(mk(1));
+        p.push_remote(mk_latency(2));
+        p.push_remote(mk(3));
+        assert!(p.has_latency());
+        // The latency item jumps the inbox…
+        let t = p.take_latency_inbox().unwrap();
+        assert_eq!(t.id, 2);
+        assert!(!p.has_latency());
+        // …while the others keep their relative order.
+        assert_eq!(p.pop().unwrap().id, 1);
+        assert_eq!(p.pop().unwrap().id, 3);
+        assert!(p.take_latency_inbox().is_none());
+    }
+
+    #[test]
+    fn latency_count_tracks_deque_and_inbox() {
+        let p = ThreadPool::with_capacity(8);
+        p.push(mk_latency(1));
+        assert!(p.has_latency());
+        // In the deque, not the inbox: no preference take possible…
+        assert!(p.take_latency_inbox().is_none());
+        assert!(p.has_latency());
+        // …but a plain pop balances the count.
+        assert_eq!(p.pop().unwrap().id, 1);
+        assert!(!p.has_latency());
+        // Steals balance it too.
+        p.push_remote(mk_latency(2));
+        assert_eq!(p.steal().unwrap().id, 2);
+        assert!(!p.has_latency());
     }
 
     #[test]

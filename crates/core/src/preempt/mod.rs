@@ -303,7 +303,9 @@ fn maybe_preempt(rt: &RuntimeInner, w: &Worker, klt: &Klt, t_enter: u64, uc: *mu
     // this decides the ties inside the coarse clock's error band.
     let now = t_enter;
     let last = w.last_preempt_ns.load(Ordering::Acquire);
-    let interval = rt.config.preempt_interval_ns.max(1);
+    // Quantum-aware: with adaptive quanta a shrunk quantum must not have
+    // its floor ticks bounced by a filter sized for the base tick.
+    let interval = w.quantum_ns(rt).max(1);
     if now.saturating_sub(last) < interval / 2 {
         w.stats.suppressed_ticks.fetch_add(1, Ordering::Relaxed);
         return;

@@ -174,13 +174,15 @@ impl TimerSet {
         }
     }
 
-    /// Restore worker `w`'s periodic tick after elision (work arrived).
+    /// Restore worker `w`'s periodic tick after elision (work arrived), at
+    /// the worker's *current* quantum — an elided timer re-arms at the
+    /// class-appropriate interval, not necessarily the base tick.
     /// Scheduler context only — signal handlers re-arm via
     /// [`TimerSet::raw_handle`] + `ult_sys::timer::arm_raw` instead.
     pub(crate) fn rearm_worker(&self, rt: &RuntimeInner, w: &Worker) {
         if rt.config.timer_strategy.is_per_worker() {
             if let Some(t) = self.slots[w.rank].lock().as_ref() {
-                let _ = t.arm(t.interval_ns(), 0);
+                let _ = t.arm(w.quantum_ns(rt), 0);
             }
         }
     }

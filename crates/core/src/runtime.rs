@@ -11,7 +11,7 @@ use crate::config::{Config, KltPoolPolicy};
 use crate::klt::{bind_current_klt, unbind_current_klt, Directive, Klt, KltCreator, KltPool};
 use crate::preempt::timer::TimerSet;
 use crate::stats::RuntimeStats;
-use crate::thread::{JoinHandle, Priority, ResultCell, ThreadKind, Ult};
+use crate::thread::{JoinHandle, Priority, ResultCell, SchedClass, ThreadKind, Ult};
 use crate::worker::Worker;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -230,6 +230,7 @@ impl RuntimeInner {
         self: &Arc<Self>,
         kind: ThreadKind,
         priority: Priority,
+        class: SchedClass,
         home_pool: Option<usize>,
         stack_size: usize,
         f: F,
@@ -302,15 +303,15 @@ impl RuntimeInner {
         let ult = match slot {
             Some(mut slot) => match Arc::get_mut(&mut slot) {
                 Some(inner) => {
-                    Ult::reset_for_spawn(inner, id, kind, priority, home, stack, entry);
+                    Ult::reset_for_spawn(inner, id, kind, priority, class, home, stack, entry);
                     slot
                 }
                 // Not uniquely ours after all (a Weak<Ult> slipped past the
                 // slab check): discard the slot and allocate fresh rather
                 // than panicking.
-                None => Ult::new(id, kind, priority, home, stack, entry),
+                None => Ult::new(id, kind, priority, class, home, stack, entry),
             },
-            None => Ult::new(id, kind, priority, home, stack, entry),
+            None => Ult::new(id, kind, priority, class, home, stack, entry),
         };
         ult.set_runtime(Arc::as_ptr(self));
         ult.set_state(crate::thread::UltState::Ready);
@@ -569,8 +570,32 @@ impl Runtime {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
-        self.inner
-            .spawn_ult(kind, priority, None, self.inner.config.stack_size, f)
+        self.inner.spawn_ult(
+            kind,
+            priority,
+            SchedClass::Normal,
+            None,
+            self.inner.config.stack_size,
+            f,
+        )
+    }
+
+    /// Spawn with a full attribute set (see [`crate::api::SpawnAttrs`]) —
+    /// the only spawn flavor that can set a non-default scheduling class.
+    pub fn spawn_attrs<T, F>(&self, attrs: crate::api::SpawnAttrs, f: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let home = attrs.home_pool.map(|r| r % self.inner.workers.len());
+        self.inner.spawn_ult(
+            attrs.kind,
+            attrs.priority,
+            attrs.class,
+            home,
+            self.inner.config.stack_size,
+            f,
+        )
     }
 
     /// Spawn a nonpreemptive thread (the cheapest kind; paper §3.4).
@@ -595,8 +620,14 @@ impl Runtime {
         F: FnOnce() -> T + Send + 'static,
     {
         let rank = rank % self.inner.workers.len();
-        self.inner
-            .spawn_ult(kind, priority, Some(rank), self.inner.config.stack_size, f)
+        self.inner.spawn_ult(
+            kind,
+            priority,
+            SchedClass::Normal,
+            Some(rank),
+            self.inner.config.stack_size,
+            f,
+        )
     }
 
     /// Thread packing (paper §4.2): reduce or restore the number of active
@@ -639,6 +670,10 @@ impl Runtime {
             s.completed += w.stats.completed.load(Ordering::Relaxed);
             s.steals += w.stats.steals.load(Ordering::Relaxed);
             s.unparks += w.stats.unparks.load(Ordering::Relaxed);
+            s.quantum_shrinks += w.stats.quantum_shrinks.load(Ordering::Relaxed);
+            s.quantum_stretches += w.stats.quantum_stretches.load(Ordering::Relaxed);
+            s.latency_dispatches += w.stats.latency_dispatches.load(Ordering::Relaxed);
+            s.throughput_dispatches += w.stats.throughput_dispatches.load(Ordering::Relaxed);
             s.interrupt_samples_ns
                 .extend(w.stats.interrupt_ns.snapshot());
             let io = crate::io_hook::shard_stats(w.rank);
@@ -653,6 +688,11 @@ impl Runtime {
             s.io_bufpool_misses += io.bufpool_misses;
         }
         s.klts_created = self.inner.creator.created.load(Ordering::Relaxed) as u64;
+        // Process-global (ult-sync sits above ult-core, so its primitives
+        // cannot reach per-worker stats): monotonic, shared by all runtimes.
+        let sc = crate::stats::sync_counters();
+        s.mcs_handoffs = sc.mcs_handoffs.load(Ordering::Relaxed);
+        s.mcs_suspends = sc.mcs_suspends.load(Ordering::Relaxed);
         s
     }
 

@@ -16,7 +16,7 @@
 
 use crate::config::SchedPolicy;
 use crate::runtime::RuntimeInner;
-use crate::thread::{Priority, Ult};
+use crate::thread::{Priority, SchedClass, Ult};
 use crate::worker::Worker;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -45,12 +45,21 @@ pub(crate) fn pick(rt: &RuntimeInner, w: &Worker) -> Option<Arc<Ult>> {
 /// never drain). Unconditional unparks are tokens: a non-parked owner
 /// absorbs them with one extra scheduler-loop iteration.
 pub(crate) fn on_ready(rt: &RuntimeInner, w: &Worker, t: Arc<Ult>, wake: bool, local: bool) {
+    // Queue-delay stamp for the adaptive quantum (coarse clock; lossy).
+    t.ready_at_ns
+        .store(ult_sys::clock::now_coarse_ns(), Ordering::Relaxed);
+    let latency = t.class == SchedClass::Latency;
     match rt.config.sched_policy {
         SchedPolicy::WorkStealing => {
             if local {
                 w.pool.push(t);
             } else {
                 w.pool.push_remote(t);
+            }
+            if latency {
+                // Shrink before the rearm below so an elided timer re-arms
+                // at the floor, not the old quantum.
+                w.note_latency_push(rt);
             }
             if wake {
                 w.unpark();
@@ -66,6 +75,9 @@ pub(crate) fn on_ready(rt: &RuntimeInner, w: &Worker, t: Arc<Ult>, wake: bool, l
                 hw.pool.push(t);
             } else {
                 hw.pool.push_remote(t);
+            }
+            if latency {
+                hw.note_latency_push(rt);
             }
             if wake {
                 rearm_on_push(rt, hw, self_push);
@@ -115,6 +127,9 @@ pub(crate) fn on_ready(rt: &RuntimeInner, w: &Worker, t: Arc<Ult>, wake: bool, l
                         w.lo_pool.push_remote(t);
                     }
                 }
+            }
+            if latency {
+                w.note_latency_push(rt);
             }
             if wake {
                 w.unpark();
@@ -207,11 +222,18 @@ fn nudge_elided(target: &Worker) {
 /// without the unpark the push would be a lost wakeup.
 // sigsafe
 pub(crate) fn on_preempted(rt: &RuntimeInner, w: &Worker, t: Arc<Ult>) {
+    // Queue-delay stamp for the adaptive quantum (coarse clock; lossy).
+    t.ready_at_ns
+        .store(ult_sys::clock::now_coarse_ns(), Ordering::Relaxed);
+    let latency = t.class == SchedClass::Latency;
     match rt.config.sched_policy {
         // BOLT default: "upon preemption, the scheduler pushes the
         // preempted thread into its local FIFO queue" (§4.1).
         SchedPolicy::WorkStealing => {
             w.pool.push(t);
+            if latency {
+                w.note_latency_push(rt);
+            }
             w.unpark();
         }
         // Packing: return to the home pool so the round-robin slicing over
@@ -225,6 +247,9 @@ pub(crate) fn on_preempted(rt: &RuntimeInner, w: &Worker, t: Arc<Ult>) {
                 hw.pool.push_remote(t);
                 rearm_on_remote_push(rt, hw);
             }
+            if latency {
+                hw.note_latency_push(rt);
+            }
             hw.unpark();
             w.unpark();
         }
@@ -234,6 +259,9 @@ pub(crate) fn on_preempted(rt: &RuntimeInner, w: &Worker, t: Arc<Ult>) {
             match t.priority {
                 Priority::High => w.pool.push(t),
                 Priority::Low => w.lo_pool.push(t),
+            }
+            if latency {
+                w.note_latency_push(rt);
             }
             w.unpark();
         }
@@ -251,12 +279,32 @@ pub(crate) fn has_any_work(rt: &RuntimeInner, w: &Worker) -> bool {
 }
 
 fn pick_work_stealing(rt: &RuntimeInner, w: &Worker) -> Option<Arc<Ult>> {
+    // Class preference: latency arrivals jump the local remote inbox.
+    if let Some(t) = w.pool.take_latency_inbox() {
+        return Some(t);
+    }
     if let Some(t) = w.pool.pop() {
         return Some(t);
     }
-    // A few random steal attempts (paper cites Blumofe–Leiserson stealing).
     let n = rt.workers.len();
     if n > 1 {
+        // Victim preference: drain victims holding queued latency work
+        // before falling back to random selection.
+        for v in 0..n {
+            if v == w.rank || !rt.workers[v].pool.has_latency() {
+                continue;
+            }
+            if let Some(t) = rt.workers[v]
+                .pool
+                .take_latency_inbox()
+                .or_else(|| rt.workers[v].pool.steal())
+            {
+                w.stats.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(t);
+            }
+        }
+        // A few random steal attempts (paper cites Blumofe–Leiserson
+        // stealing).
         for _ in 0..2 * n {
             let v = w.next_victim(n);
             if v == w.rank {
@@ -281,6 +329,12 @@ fn pick_packing(rt: &RuntimeInner, w: &Worker) -> Option<Arc<Ult>> {
     // N_private = N_active * floor(N_total / N_active)  (Algorithm 1 line 6)
     let n_private = n_active * (n_total / n_active);
 
+    // Class preference: before the private/shared alternation, serve any
+    // pool in this worker's coverage that holds queued latency work.
+    if let Some(t) = pick_packing_latency(rt, w, n_private, n_active, n_total) {
+        return Some(t);
+    }
+
     let shared_first = w.pack_toggle();
     if shared_first {
         pick_packing_shared(rt, w, n_private, n_total)
@@ -289,6 +343,43 @@ fn pick_packing(rt: &RuntimeInner, w: &Worker) -> Option<Arc<Ult>> {
         pick_packing_private(rt, w, n_private, n_active)
             .or_else(|| pick_packing_shared(rt, w, n_private, n_total))
     }
+}
+
+/// Packing victim preference: scan the same private stride and shared range
+/// as the regular passes, but only touching pools with queued latency-class
+/// work, taking the latency item directly when it sits in the inbox.
+fn pick_packing_latency(
+    rt: &RuntimeInner,
+    w: &Worker,
+    n_private: usize,
+    n_active: usize,
+    n_total: usize,
+) -> Option<Arc<Ult>> {
+    let mut i = w.rank;
+    while i < n_private {
+        if rt.workers[i].pool.has_latency() {
+            if let Some(t) = rt.workers[i]
+                .pool
+                .take_latency_inbox()
+                .or_else(|| take_from(rt, w, i))
+            {
+                return Some(t);
+            }
+        }
+        i += n_active;
+    }
+    for i in n_private..n_total {
+        if rt.workers[i].pool.has_latency() {
+            if let Some(t) = rt.workers[i]
+                .pool
+                .take_latency_inbox()
+                .or_else(|| take_from(rt, w, i))
+            {
+                return Some(t);
+            }
+        }
+    }
+    None
 }
 
 /// Take from pool `i` on behalf of worker `w`: the owner pop (which may
@@ -337,6 +428,12 @@ fn pick_packing_shared(
 }
 
 fn pick_priority(rt: &RuntimeInner, w: &Worker) -> Option<Arc<Ult>> {
+    // Class preference within the high level: latency arrivals jump the
+    // inbox (never across priority levels — the §4.3 invariant that
+    // simulation work precedes analysis work stays intact).
+    if let Some(t) = w.pool.take_latency_inbox() {
+        return Some(t);
+    }
     // High-priority: local FIFO then steal — simulation threads must never
     // wait behind analysis threads (§4.3).
     if let Some(t) = w.pool.pop() {
@@ -344,6 +441,20 @@ fn pick_priority(rt: &RuntimeInner, w: &Worker) -> Option<Arc<Ult>> {
     }
     let n = rt.workers.len();
     if n > 1 {
+        // Victim preference: latency-holding victims first.
+        for v in 0..n {
+            if v == w.rank || !rt.workers[v].pool.has_latency() {
+                continue;
+            }
+            if let Some(t) = rt.workers[v]
+                .pool
+                .take_latency_inbox()
+                .or_else(|| rt.workers[v].pool.steal())
+            {
+                w.stats.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(t);
+            }
+        }
         for _ in 0..n {
             let v = w.next_victim(n);
             if v != w.rank {

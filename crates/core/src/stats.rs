@@ -108,6 +108,16 @@ pub struct WorkerStats {
     /// the Packing scheduler used to unpark *every* active worker per
     /// ready event).
     pub unparks: AtomicU64, // ordering: counter
+    /// Adaptive-quantum shrinks (queued latency work or excessive dispatch
+    /// delay drove the interval toward the floor).
+    pub quantum_shrinks: AtomicU64, // ordering: counter
+    /// Adaptive-quantum stretches (only throughput work running drove the
+    /// interval toward the ceiling).
+    pub quantum_stretches: AtomicU64, // ordering: counter
+    /// Dispatches of `SchedClass::Latency` ULTs on this worker.
+    pub latency_dispatches: AtomicU64, // ordering: counter
+    /// Dispatches of `SchedClass::Throughput` ULTs on this worker.
+    pub throughput_dispatches: AtomicU64, // ordering: counter
     /// Interruption-time samples (handler entry → switch/return), ns.
     pub interrupt_ns: SampleRing,
 }
@@ -133,6 +143,10 @@ impl WorkerStats {
             completed: AtomicU64::new(0),
             steals: AtomicU64::new(0),
             unparks: AtomicU64::new(0),
+            quantum_shrinks: AtomicU64::new(0),
+            quantum_stretches: AtomicU64::new(0),
+            latency_dispatches: AtomicU64::new(0),
+            throughput_dispatches: AtomicU64::new(0),
             interrupt_ns: SampleRing::new(samples),
         }
     }
@@ -167,6 +181,30 @@ impl WorkerStats {
     pub fn record_interrupt(&self, ns: u64) {
         self.interrupt_ns.push(ns);
     }
+}
+
+/// Process-global counters reported by ULT-aware sync primitives.
+///
+/// `ult-sync` sits above `ult-core` in the crate graph, so its primitives
+/// cannot reach a specific runtime's `WorkerStats`; instead they bump these
+/// process-wide counters, which [`crate::Runtime::stats`] folds into its
+/// snapshot. Monotonic over the process lifetime (never reset), shared by
+/// all runtimes in the process.
+pub struct SyncCounters {
+    /// MCS mutex: handoffs published to a queued successor.
+    pub mcs_handoffs: AtomicU64, // ordering: counter
+    /// MCS mutex: waiters that gave up spinning and suspended as ULTs.
+    pub mcs_suspends: AtomicU64, // ordering: counter
+}
+
+static SYNC_COUNTERS: SyncCounters = SyncCounters {
+    mcs_handoffs: AtomicU64::new(0),
+    mcs_suspends: AtomicU64::new(0),
+};
+
+/// The process-global sync-primitive counters (see [`SyncCounters`]).
+pub fn sync_counters() -> &'static SyncCounters {
+    &SYNC_COUNTERS
 }
 
 /// Aggregated snapshot across all workers (public API).
@@ -204,6 +242,20 @@ pub struct RuntimeStats {
     pub steals: u64,
     /// Worker unparks issued (wake-storm regression metric).
     pub unparks: u64,
+    /// Adaptive-quantum shrinks across all workers.
+    pub quantum_shrinks: u64,
+    /// Adaptive-quantum stretches across all workers.
+    pub quantum_stretches: u64,
+    /// Dispatches of latency-class ULTs.
+    pub latency_dispatches: u64,
+    /// Dispatches of throughput-class ULTs.
+    pub throughput_dispatches: u64,
+    /// MCS mutex: lock handoffs published to a queued successor
+    /// (process-global; see [`sync_counters`]).
+    pub mcs_handoffs: u64,
+    /// MCS mutex: waiters that gave up spinning and suspended as ULTs
+    /// (process-global; see [`sync_counters`]).
+    pub mcs_suspends: u64,
     /// KLTs created on demand by the creator thread.
     pub klts_created: u64,
     /// Reactor: `epoll_wait` passes summed over all shards (parks + polls).

@@ -8,7 +8,7 @@
 
 use crate::klt::Klt;
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use ult_arch::{Context, Stack};
 use ult_sys::futex::{futex_wait, futex_wake};
@@ -44,6 +44,30 @@ pub enum Priority {
     /// Drained only when no high-priority work exists, LIFO for locality
     /// (the paper's analysis threads).
     Low,
+}
+
+/// Latency class of a ULT, driving the adaptive preemption quantum
+/// (LibPreemptible-style, arxiv 2308.02896) and class-aware dispatch.
+///
+/// Orthogonal to [`Priority`] (which selects a queue under the priority
+/// scheduler): the class tells the *preemption* machinery how urgently
+/// queued work of this thread must reach a worker. Workers shrink their
+/// timer quantum toward a floor while `Latency` work waits behind an
+/// occupant and stretch it toward a ceiling while only `Throughput` work
+/// runs (see `Config::adaptive_quantum`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedClass {
+    /// Tail-latency-critical: queued work of this class shrinks the
+    /// holding worker's preemption quantum and is preferred by dispatch
+    /// and steal-victim selection.
+    Latency,
+    /// The default: no quantum pressure either way.
+    #[default]
+    Normal,
+    /// Batch/compute work: a worker running only this class stretches its
+    /// quantum toward the ceiling, trading preemption overhead for
+    /// throughput.
+    Throughput,
 }
 
 /// Life-cycle states of a ULT.
@@ -92,8 +116,15 @@ pub struct Ult {
     pub kind: ThreadKind,
     /// Scheduling class for the priority scheduler.
     pub priority: Priority,
+    /// Latency class driving adaptive quanta and class-aware dispatch.
+    pub class: SchedClass,
     /// Home pool index hint (the pool it is pushed to when made ready).
     pub home_pool: usize,
+    /// Coarse-clock timestamp of the most recent push into a ready pool
+    /// (0 = never pushed); sampled at dispatch to observe queue delay for
+    /// the adaptive quantum. Lossy by design.
+    // ordering: relaxed lossy queue-delay sample; a torn/stale read only skews one quantum decision
+    pub(crate) ready_at_ns: AtomicU64,
     /// Saved machine context (valid when state is Ready-with-started or the
     /// thread is suspended at a yield/preemption point).
     pub(crate) ctx: UnsafeCell<Context>,
@@ -164,6 +195,7 @@ impl Ult {
         id: u64,
         kind: ThreadKind,
         priority: Priority,
+        class: SchedClass,
         home_pool: usize,
         stack: Stack,
         entry: Box<dyn FnOnce() + Send + 'static>,
@@ -172,7 +204,9 @@ impl Ult {
             id,
             kind,
             priority,
+            class,
             home_pool,
+            ready_at_ns: AtomicU64::new(0),
             ctx: UnsafeCell::new(Context::empty()),
             stack: UnsafeCell::new(Some(stack)),
             entry: UnsafeCell::new(Some(entry)),
@@ -197,11 +231,13 @@ impl Ult {
     ///
     /// The caller proves exclusive ownership by going through
     /// `Arc::get_mut`, which is what makes the plain-field writes sound.
+    #[allow(clippy::too_many_arguments)] // mirrors `Ult::new`; internal only
     pub(crate) fn reset_for_spawn(
         this: &mut Ult,
         id: u64,
         kind: ThreadKind,
         priority: Priority,
+        class: SchedClass,
         home_pool: usize,
         stack: Stack,
         entry: Box<dyn FnOnce() + Send + 'static>,
@@ -210,7 +246,9 @@ impl Ult {
         this.id = id;
         this.kind = kind;
         this.priority = priority;
+        this.class = class;
         this.home_pool = home_pool;
+        this.ready_at_ns.store(0, Ordering::Relaxed);
         *this.ctx.get_mut() = Context::empty();
         *this.stack.get_mut() = Some(stack);
         *this.entry.get_mut() = Some(entry);
@@ -314,6 +352,7 @@ impl Ult {
             id,
             ThreadKind::Nonpreemptive,
             Priority::High,
+            SchedClass::Normal,
             0,
             Stack::new(ult_arch::stack::MIN_STACK_SIZE).expect("test stack"),
             Box::new(|| {}),
@@ -418,6 +457,7 @@ mod tests {
             1,
             kind,
             Priority::High,
+            SchedClass::Normal,
             0,
             Stack::new(32 * 1024).unwrap(),
             Box::new(|| {}),

@@ -32,7 +32,7 @@ use crate::klt::{Directive, Klt};
 use crate::pool::ThreadPool;
 use crate::runtime::RuntimeInner;
 use crate::stats::WorkerStats;
-use crate::thread::{ThreadKind, Ult, UltState};
+use crate::thread::{SchedClass, ThreadKind, Ult, UltState};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
@@ -130,6 +130,15 @@ pub(crate) struct Worker {
     /// precise clock read or any scheduler-state access.
     // ordering: relaxed same-KLT deadline cache; a stale cross-KLT read only misclassifies one tick
     pub preempt_deadline_ns: AtomicU64,
+    /// The worker's current adaptive preemption quantum in ns (0 = use the
+    /// configured base tick; fixed-tick configs never write it). Written by
+    /// the dispatch path and the push-side latency shrink; read by the
+    /// signal handler for its echo window and elision re-arm interval.
+    /// Writers order the quantum store *before* the deadline store so a
+    /// handler that observes the cleared/updated deadline also observes the
+    /// matching quantum (model: `quantum_publish_vs_handler`).
+    // ordering: acqrel quantum published before the deadline store; the handler reads deadline then quantum
+    pub cur_quantum_ns: AtomicU64,
     /// Per-worker statistics (interruption samples, counts).
     pub stats: WorkerStats,
     /// RNG state for steal-victim selection (xorshift; scheduler-only).
@@ -182,6 +191,7 @@ impl Worker {
             last_preempt_ns: AtomicU64::new(0),
             tick_elided: AtomicBool::new(false),
             preempt_deadline_ns: AtomicU64::new(0),
+            cur_quantum_ns: AtomicU64::new(0),
             stats: WorkerStats::new(stat_samples),
             steal_seed: AtomicU64::new(0x9E3779B97F4A7C15 ^ (rank as u64 + 1)),
             pack_phase: AtomicBool::new(false),
@@ -291,13 +301,57 @@ impl Worker {
     // sigsafe
     pub(crate) fn publish_timeslice(&self, rt: &RuntimeInner, now: u64) {
         self.last_preempt_ns.store(now, Ordering::Release);
-        let horizon = rt.config.preempt_interval_ns / 2;
+        let horizon = self.quantum_ns(rt) / 2;
         let deadline = if horizon > rt.coarse_slack_ns {
             now.saturating_add(horizon)
         } else {
             0
         };
         self.preempt_deadline_ns.store(deadline, Ordering::Release);
+    }
+
+    /// The worker's effective preemption interval: the adaptive quantum if
+    /// one has been published, else the configured base tick.
+    #[inline]
+    // sigsafe
+    pub(crate) fn quantum_ns(&self, rt: &RuntimeInner) -> u64 {
+        let q = self.cur_quantum_ns.load(Ordering::Acquire);
+        if q == 0 {
+            rt.config.preempt_interval_ns
+        } else {
+            q
+        }
+    }
+
+    /// Push-side half of the adaptive quantum: a latency-class ULT was just
+    /// queued for this worker. Collapse the quantum to the floor, cut the
+    /// premature-tick deadline so the next tick acts instead of bouncing
+    /// off the coarse filter, and re-phase an armed per-worker timer so
+    /// that tick lands within the floor rather than the old (possibly
+    /// stretched) period. Async-signal-safe — the Packing `on_preempted`
+    /// path runs inside the handler: atomics plus `timer_settime` on the
+    /// published raw handle only.
+    // sigsafe
+    pub(crate) fn note_latency_push(&self, rt: &RuntimeInner) {
+        if !rt.config.adaptive_quantum || rt.config.preempt_interval_ns == 0 {
+            return;
+        }
+        let floor = quantum_floor(rt);
+        if self.quantum_ns(rt) <= floor {
+            return;
+        }
+        self.stats.quantum_shrinks.fetch_add(1, Ordering::Relaxed);
+        // Quantum before deadline: a handler observing the cleared deadline
+        // must also observe the shrunk quantum (the quantum-publish
+        // protocol; model: `quantum_publish_vs_handler`).
+        self.cur_quantum_ns.store(floor, Ordering::Release);
+        self.preempt_deadline_ns.store(0, Ordering::Release);
+        if rt.config.timer_strategy.is_per_worker() && !self.tick_elided.load(Ordering::SeqCst) {
+            let h = rt.timers.raw_handle(self.rank);
+            if h != 0 {
+                ult_sys::timer::arm_raw(h as libc::timer_t, floor);
+            }
+        }
     }
 
     /// Handler-side rearm after elision: a tick (nudge) reached this worker
@@ -318,9 +372,85 @@ impl Worker {
         self.tick_elided.store(false, Ordering::SeqCst);
         let h = rt.timers.raw_handle(self.rank);
         if h != 0 {
-            ult_sys::timer::arm_raw(h as libc::timer_t, rt.config.preempt_interval_ns);
+            // Class-appropriate interval: an elided timer re-arms at the
+            // worker's current quantum (shrunk if latency work queued).
+            ult_sys::timer::arm_raw(h as libc::timer_t, self.quantum_ns(rt));
         }
         self.stats.tick_rearms.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The adaptive quantum floor (base tick / `quantum_floor_div`).
+#[inline]
+// sigsafe
+pub(crate) fn quantum_floor(rt: &RuntimeInner) -> u64 {
+    (rt.config.preempt_interval_ns / rt.config.quantum_floor_div as u64).max(1)
+}
+
+/// The adaptive quantum ceiling (base tick × `quantum_ceil_mul`).
+#[inline]
+fn quantum_ceil(rt: &RuntimeInner) -> u64 {
+    rt.config
+        .preempt_interval_ns
+        .saturating_mul(rt.config.quantum_ceil_mul as u64)
+}
+
+/// Dispatch-side half of the adaptive quantum, run right before
+/// `publish_timeslice` at every dispatch. Samples the dispatched thread's
+/// queue delay (coarse clock: stamped at push by the scheduler's ready
+/// paths, read here) and the local latency backlog, then moves the quantum
+/// one step: halve toward the floor under latency pressure or congestion,
+/// double toward the ceiling while only throughput work runs, snap back to
+/// the base tick otherwise. A change re-phases the worker's armed periodic
+/// timer at the new interval (elided timers pick it up at re-arm).
+fn update_quantum(rt: &RuntimeInner, w: &Worker, t: &Ult) {
+    match t.class {
+        SchedClass::Latency => {
+            w.stats.latency_dispatches.fetch_add(1, Ordering::Relaxed);
+        }
+        SchedClass::Throughput => {
+            w.stats
+                .throughput_dispatches
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        SchedClass::Normal => {}
+    }
+    if !rt.config.adaptive_quantum || rt.config.preempt_interval_ns == 0 {
+        return;
+    }
+    let base = rt.config.preempt_interval_ns;
+    let cur = w.quantum_ns(rt);
+    let ready_at = t.ready_at_ns.load(Ordering::Relaxed);
+    let delay = if ready_at == 0 {
+        0
+    } else {
+        ult_sys::clock::now_coarse_ns().saturating_sub(ready_at)
+    };
+    let lat_waiting = w.pool.has_latency() || w.lo_pool.has_latency();
+    let next = if lat_waiting || (t.class == SchedClass::Latency && delay > cur) {
+        (cur / 2).max(quantum_floor(rt))
+    } else if t.class == SchedClass::Throughput && delay <= base {
+        cur.saturating_mul(2).min(quantum_ceil(rt))
+    } else {
+        base
+    };
+    if next == cur {
+        return;
+    }
+    if next < cur {
+        w.stats.quantum_shrinks.fetch_add(1, Ordering::Relaxed);
+    } else {
+        w.stats.quantum_stretches.fetch_add(1, Ordering::Relaxed);
+    }
+    // Quantum before deadline: `publish_timeslice` runs right after this
+    // and derives the deadline from the new quantum (the quantum-publish
+    // protocol; model: `quantum_publish_vs_handler`).
+    w.cur_quantum_ns.store(next, Ordering::Release);
+    if rt.config.timer_strategy.is_per_worker() && !w.tick_elided.load(Ordering::SeqCst) {
+        let h = rt.timers.raw_handle(w.rank);
+        if h != 0 {
+            ult_sys::timer::arm_raw(h as libc::timer_t, next);
+        }
     }
 }
 
@@ -520,7 +650,9 @@ fn normal_run(rt: &RuntimeInner, w: &Worker, t: Arc<Ult>) {
     // accumulated during a long captivity re-preempts immediately on every
     // resume, nesting one ~11 KB signal frame per round until the ULT
     // stack's guard page is hit). Also publishes the handler's cached
-    // early-tick deadline.
+    // early-tick deadline. The quantum update must precede it: the
+    // published deadline is derived from the (possibly changed) quantum.
+    update_quantum(rt, w, &t);
     w.publish_timeslice(rt, ult_sys::clock::now_ns());
     update_tick_state(rt, w, &t);
 
@@ -622,6 +754,7 @@ fn resume_captive(rt: &RuntimeInner, w: &Worker, t: Arc<Ult>) {
     // queued many stale ticks at the captive KLT; they deliver as soon as
     // the handler's sigreturn unmasks, and must be absorbed by the echo
     // filter rather than re-preempting instantly.
+    update_quantum(rt, w, &t);
     w.publish_timeslice(rt, ult_sys::clock::now_ns());
     update_tick_state(rt, w, &t);
     // Re-point the worker at the captive KLT. The captive will decrement

@@ -191,3 +191,143 @@ fn no_preemption_while_disabled() {
         st.timer_ticks
     );
 }
+
+// ---------------------------------------------------------------------------
+// Adaptive quanta (scheduling classes)
+// ---------------------------------------------------------------------------
+
+fn start_adaptive(workers: usize) -> Runtime {
+    Runtime::start(Config {
+        num_workers: workers,
+        preempt_interval_ns: INTERVAL_NS,
+        timer_strategy: TimerStrategy::PerWorkerAligned,
+        adaptive_quantum: true,
+        ..Config::default()
+    })
+}
+
+/// With adaptive quanta on, a `Latency` ULT pushed behind a `Throughput`
+/// spinner is dispatched within the same 10-tick bound as the base latency
+/// test — and the push demonstrably shrank the worker's quantum (the
+/// floor re-arm path, not luck).
+#[test]
+fn latency_class_preempts_spinner_quickly() {
+    use ult_core::{SchedClass, SpawnAttrs};
+    let rt = start_adaptive(1);
+    let stop = Arc::new(AtomicBool::new(false));
+    let spinner = {
+        let stop = stop.clone();
+        rt.spawn_attrs(
+            SpawnAttrs::new()
+                .kind(ThreadKind::SignalYield)
+                .class(SchedClass::Throughput),
+            move || {
+                while !stop.load(Ordering::Acquire) {
+                    core::hint::spin_loop();
+                }
+            },
+        )
+    };
+    std::thread::sleep(Duration::from_millis(50));
+
+    let latency_ns = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+    let second = {
+        let latency_ns = latency_ns.clone();
+        rt.spawn_attrs(
+            SpawnAttrs::new()
+                .kind(ThreadKind::SignalYield)
+                .class(SchedClass::Latency)
+                .on(0),
+            move || {
+                latency_ns.store(t0.elapsed().as_nanos() as u64, Ordering::Release);
+            },
+        )
+    };
+    second.join();
+    stop.store(true, Ordering::Release);
+    spinner.join();
+    let st = rt.stats();
+    rt.shutdown();
+
+    let lat = latency_ns.load(Ordering::Acquire);
+    assert!(
+        lat <= 10 * INTERVAL_NS,
+        "Latency ULT waited {:.1} ms behind the Throughput spinner \
+         (bound: {:.1} ms = 10 ticks)",
+        lat as f64 / 1e6,
+        (10 * INTERVAL_NS) as f64 / 1e6
+    );
+    assert!(
+        st.quantum_shrinks >= 1,
+        "latency push never shrank the quantum (shrinks = 0)"
+    );
+    assert!(
+        st.latency_dispatches >= 1,
+        "the Latency ULT was never dispatched as such"
+    );
+}
+
+/// Throughput-only workers stretch their quantum toward the ceiling, but a
+/// stretched quantum must never starve a later `Normal` arrival: it still
+/// completes within a generous bound, because a Normal dispatch snaps the
+/// quantum back to base.
+#[test]
+fn quantum_stretch_never_starves_normal() {
+    use ult_core::{SchedClass, SpawnAttrs};
+    let rt = start_adaptive(1);
+    let stop = Arc::new(AtomicBool::new(false));
+    // TWO spinners: a sole spinner elides its tick entirely, which would
+    // bypass the stretch machinery; two keep the timer armed and the
+    // round-robin dispatching (and stretching) continuously.
+    let spinners: Vec<_> = (0..2)
+        .map(|_| {
+            let stop = stop.clone();
+            rt.spawn_attrs(
+                SpawnAttrs::new()
+                    .kind(ThreadKind::SignalYield)
+                    .class(SchedClass::Throughput),
+                move || {
+                    while !stop.load(Ordering::Acquire) {
+                        core::hint::spin_loop();
+                    }
+                },
+            )
+        })
+        .collect();
+    // Let the quantum stretch toward the ceiling (4× base by default).
+    std::thread::sleep(Duration::from_millis(100));
+
+    let latency_ns = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+    let normal = {
+        let latency_ns = latency_ns.clone();
+        rt.spawn_attrs(
+            SpawnAttrs::new().kind(ThreadKind::SignalYield).on(0),
+            move || {
+                latency_ns.store(t0.elapsed().as_nanos() as u64, Ordering::Release);
+            },
+        )
+    };
+    normal.join();
+    stop.store(true, Ordering::Release);
+    for s in spinners {
+        s.join();
+    }
+    let st = rt.stats();
+    rt.shutdown();
+
+    assert!(
+        st.quantum_stretches >= 1,
+        "throughput-only worker never stretched its quantum"
+    );
+    let lat = latency_ns.load(Ordering::Acquire);
+    // Generous: ceiling is 4× base, so 50 base ticks ≫ any legal wait.
+    assert!(
+        lat <= 50 * INTERVAL_NS,
+        "Normal ULT starved {:.1} ms behind stretched Throughput spinners \
+         (bound: {:.1} ms)",
+        lat as f64 / 1e6,
+        (50 * INTERVAL_NS) as f64 / 1e6
+    );
+}

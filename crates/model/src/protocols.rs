@@ -778,3 +778,134 @@ pub fn tick_elide_vs_push(weaken: bool) -> (usize, bool) {
         s.elided.load(Ordering::Acquire),
     )
 }
+
+// ---------------------------------------------------------------------------
+// Adaptive quantum: quantum publish vs handler read
+// ---------------------------------------------------------------------------
+
+/// Base quantum before the shrink (stands in for `preempt_interval_ns`).
+pub const QP_BASE: usize = 4;
+/// The shrunk floor quantum.
+pub const QP_FLOOR: usize = 1;
+/// Initial (far-future) deadline derived from the base quantum.
+pub const QP_FAR: usize = 8;
+
+/// The quantum-publish pairing (`worker::note_latency_push` vs the signal
+/// handler's deadline filter + re-arm): the writer stores the shrunk
+/// `cur_quantum_ns` *before* clearing `preempt_deadline_ns`, both Release;
+/// the handler loads the deadline then the quantum, both Acquire. The
+/// invariant is that a handler observing the cleared deadline also
+/// observes the matching floor quantum — otherwise an elided-timer re-arm
+/// uses the stale stretched quantum and the latency ULT waits up to a full
+/// ceiling interval. `weaken` downgrades all four to Relaxed.
+pub fn quantum_publish_vs_handler(weaken: bool) -> (usize, usize) {
+    let (st, ld) = if weaken {
+        (Ordering::Relaxed, Ordering::Relaxed)
+    } else {
+        (Ordering::Release, Ordering::Acquire)
+    };
+    let quantum = Arc::new(AtomicUsize::new(QP_BASE));
+    let deadline = Arc::new(AtomicUsize::new(QP_FAR));
+    let (q2, d2) = (quantum.clone(), deadline.clone());
+    // Writer half (`note_latency_push`): quantum before deadline.
+    let pusher = thread::spawn(move || {
+        q2.store(QP_FLOOR, st);
+        d2.store(0, st);
+    });
+    // Handler half (`maybe_preempt` coarse filter → `rearm_from_handler`):
+    // deadline first, then the quantum the re-arm would use.
+    let dl = deadline.load(ld);
+    let q = quantum.load(ld);
+    pusher.join();
+    (dl, q)
+}
+
+// ---------------------------------------------------------------------------
+// ULT-aware MCS mutex: handoff vs park, release vs enqueue
+// ---------------------------------------------------------------------------
+
+/// Sentinel for "this side never performed the read" in
+/// [`mcs_handoff_vs_park`] outcomes.
+pub const MCS_UNREAD: usize = 2;
+
+const MCS_WAITING: usize = 0;
+const MCS_GRANTED: usize = 1;
+const MCS_PARKED: usize = 2;
+
+/// One MCS queue node's waiter/granter race (`mcs.rs::wait_for_grant` vs
+/// `McsGuard::unlock`): the waiter publishes its `Arc<Ult>` into the `ult`
+/// slot (Release) then CASes WAITING→PARKED (AcqRel); the granter writes
+/// the protected data (Release, standing in for the critical section),
+/// swaps `state` to GRANTED (AcqRel) and — seeing PARKED — loads the slot
+/// (Acquire). Returns `(waiter_parked, data_seen, got_ult)` where the
+/// latter two are [`MCS_UNREAD`] when that side's read never ran:
+///
+/// * waiter lost the CAS (grant landed first) → it proceeds holding the
+///   lock and `data_seen` must be 1 (no torn critical section);
+/// * granter saw PARKED → `got_ult` must be 1 (no lost wakeup: the slot
+///   publication is ordered before the PARKED transition).
+///
+/// `weaken` downgrades the whole protocol — the slot/data publication
+/// *and* the state RMWs — to Relaxed; both invariants then break. (RMW
+/// atomicity still holds — model RMWs always read the latest store — but a
+/// Relaxed RMW no longer synchronizes, so the plain-store publications it
+/// was ordering come unmoored.)
+pub fn mcs_handoff_vs_park(weaken: bool) -> (bool, usize, usize) {
+    let (st, ld, rmw) = if weaken {
+        (Ordering::Relaxed, Ordering::Relaxed, Ordering::Relaxed)
+    } else {
+        (Ordering::Release, Ordering::Acquire, Ordering::AcqRel)
+    };
+    let state = Arc::new(AtomicUsize::new(MCS_WAITING));
+    let ult = Arc::new(AtomicUsize::new(0));
+    let data = Arc::new(AtomicUsize::new(0));
+    let (s2, u2, d2) = (state.clone(), ult.clone(), data.clone());
+    // Granter half (`McsGuard::unlock`): critical-section write, grant,
+    // slot read if the waiter parked.
+    let granter = thread::spawn(move || {
+        d2.store(1, st);
+        if s2.swap(MCS_GRANTED, rmw) == MCS_PARKED {
+            u2.load(ld)
+        } else {
+            MCS_UNREAD
+        }
+    });
+    // Waiter half (`wait_for_grant`'s park attempt): publish the ULT,
+    // then try to transition to PARKED.
+    ult.store(1, st);
+    let (parked, data_seen) = match state.compare_exchange(MCS_WAITING, MCS_PARKED, rmw, ld) {
+        Ok(_) => (true, MCS_UNREAD),
+        // Grant already landed: abort the park and enter the critical
+        // section, reading the protected data.
+        Err(_) => (false, data.load(ld)),
+    };
+    let got_ult = granter.join();
+    (parked, data_seen, got_ult)
+}
+
+/// The release-vs-enqueue tail race (`McsGuard::unlock`'s
+/// tail CAS vs `McsMutex::lock`'s tail swap), run exhaustively: the
+/// releaser (node 1, no successor linked yet) CASes the tail back to null
+/// while a contender swaps its node (2) in. Exactly one order exists per
+/// execution — the tail RMWs are totally ordered — and the invariant is
+/// that the two sides agree on it: the releaser's CAS succeeds **iff** the
+/// contender observed an empty queue. Disagreement in either direction is
+/// fatal in the real lock: CAS-won *and* predecessor-seen is a lost
+/// handoff (the contender waits forever on a node nobody owns); CAS-lost
+/// *and* null-predecessor-seen is a double claim (both sides think they
+/// hold the lock).
+pub fn mcs_release_vs_enqueue() {
+    let tail = Arc::new(AtomicUsize::new(1));
+    let t2 = tail.clone();
+    let enqueuer = thread::spawn(move || t2.swap(2, Ordering::AcqRel));
+    let released = tail
+        .compare_exchange(1, 0, Ordering::AcqRel, Ordering::Acquire)
+        .is_ok();
+    let pred = enqueuer.join();
+    assert_eq!(
+        released,
+        pred == 0,
+        "tail race disagreement: released={released} pred={pred} \
+         (lost handoff or double claim)"
+    );
+}

@@ -238,3 +238,68 @@ fn mutation_is_caught_by_the_explorer() {
         "mutation detection took {elapsed:?} (budget 60s)"
     );
 }
+
+/// The faithful quantum-publish pairing: a handler observing the cleared
+/// deadline always observes the shrunk floor quantum.
+#[test]
+fn quantum_publish_is_ordered_before_deadline() {
+    let outs = ult_model::outcomes(|| protocols::quantum_publish_vs_handler(false));
+    assert!(
+        !outs
+            .iter()
+            .any(|&(dl, q)| dl == 0 && q != protocols::QP_FLOOR),
+        "handler saw the cleared deadline with a stale quantum: {outs:?}"
+    );
+}
+
+/// The Relaxed weakening of the same pairing lets the handler pair the
+/// cleared deadline with the stale base quantum — the model can represent
+/// the stale re-arm, so the test above has teeth.
+#[test]
+fn weakened_quantum_publish_rearms_stale() {
+    let outs = ult_model::outcomes(|| protocols::quantum_publish_vs_handler(true));
+    assert!(
+        outs.contains(&(0, protocols::QP_BASE)),
+        "weakened publish should reach the stale-quantum re-arm: {outs:?}"
+    );
+}
+
+/// The faithful MCS handoff: a granter that saw PARKED always sees the
+/// published ULT (no lost wakeup), and a waiter whose park lost to the
+/// grant always sees the critical-section data (no torn handoff).
+#[test]
+fn mcs_handoff_never_loses_the_parked_ult() {
+    let outs = ult_model::outcomes(|| protocols::mcs_handoff_vs_park(false));
+    assert!(
+        !outs.iter().any(|&(_, _, got_ult)| got_ult == 0),
+        "granter saw PARKED but an empty ult slot (lost wakeup): {outs:?}"
+    );
+    assert!(
+        !outs.iter().any(|&(parked, data, _)| !parked && data == 0),
+        "abort-path waiter entered the critical section with stale data: {outs:?}"
+    );
+}
+
+/// The Relaxed weakening of the slot/data publication reaches both
+/// failure states — the invariants above have teeth.
+#[test]
+fn weakened_mcs_handoff_loses_ult_or_data() {
+    let outs = ult_model::outcomes(|| protocols::mcs_handoff_vs_park(true));
+    assert!(
+        outs.iter().any(|&(_, _, got_ult)| got_ult == 0),
+        "weakened publication should reach the empty-slot grant: {outs:?}"
+    );
+    assert!(
+        outs.iter().any(|&(parked, data, _)| !parked && data == 0),
+        "weakened publication should reach the stale-data abort: {outs:?}"
+    );
+}
+
+/// The MCS tail race, exhaustively: releaser and enqueuer always agree on
+/// who owns the lock next (no lost handoff, no double claim).
+#[test]
+fn mcs_release_vs_enqueue_agrees_on_ownership() {
+    let r = ult_model::check(protocols::mcs_release_vs_enqueue);
+    assert_exhaustive_unless_budgeted(r);
+    println!("mcs release-vs-enqueue: {} executions", r.executions);
+}

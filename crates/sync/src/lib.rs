@@ -20,6 +20,7 @@
 pub mod barrier;
 pub mod channel;
 pub mod condvar;
+pub mod mcs;
 pub mod mutex;
 pub mod once;
 pub mod rwlock;
@@ -29,6 +30,7 @@ pub mod waitgroup;
 pub use barrier::{Barrier, SpinBarrier, SpinMode};
 pub use channel::{channel, Receiver, Sender};
 pub use condvar::Condvar;
+pub use mcs::{McsGuard, McsMutex};
 pub use mutex::{Mutex, MutexGuard};
 pub use once::Once;
 pub use rwlock::{ReadGuard, RwLock, WriteGuard};

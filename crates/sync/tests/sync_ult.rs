@@ -298,3 +298,104 @@ fn preemptive_threads_with_sync_primitives() {
     assert_eq!(*m.lock(), 400);
     r.shutdown();
 }
+
+#[test]
+fn mcs_mutual_exclusion_many_ults() {
+    let r = rt(4);
+    let m = Arc::new(ult_sync::McsMutex::new(0u64));
+    let handles: Vec<_> = (0..32)
+        .map(|_| {
+            let m = m.clone();
+            r.spawn(move || {
+                for _ in 0..100 {
+                    let mut g = m.lock();
+                    let v = *g;
+                    // A yield inside the critical section stresses
+                    // cross-worker handoff of the lock owner.
+                    ult_core::yield_now();
+                    *g = v + 1;
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join();
+    }
+    assert_eq!(*m.lock(), 3200);
+    r.shutdown();
+}
+
+#[test]
+fn mcs_blocks_ult_not_worker() {
+    // One worker: A takes the MCS lock and yields; B exhausts its spin
+    // budget and parks as a ULT; C must still run (the worker is free);
+    // A releases, handing off to B.
+    let suspends_before = ult_core::stats::sync_counters()
+        .mcs_suspends
+        .load(Ordering::SeqCst);
+    let r = rt(1);
+    let m = Arc::new(ult_sync::McsMutex::new(()));
+    let c_ran = Arc::new(AtomicUsize::new(0));
+    let m1 = m.clone();
+    let a = r.spawn(move || {
+        let g = m1.lock();
+        for _ in 0..10 {
+            ult_core::yield_now();
+        }
+        drop(g);
+    });
+    let m2 = m.clone();
+    let b = r.spawn(move || {
+        let _g = m2.lock();
+    });
+    let cr = c_ran.clone();
+    let c = r.spawn(move || {
+        cr.store(1, Ordering::SeqCst);
+    });
+    c.join();
+    assert_eq!(c_ran.load(Ordering::SeqCst), 1);
+    a.join();
+    b.join();
+    // B demonstrably suspended as a ULT (not a spinning KLT).
+    let suspends_after = ult_core::stats::sync_counters()
+        .mcs_suspends
+        .load(Ordering::SeqCst);
+    assert!(
+        suspends_after > suspends_before,
+        "waiter never parked as a ULT"
+    );
+    let stats = r.stats();
+    assert!(stats.mcs_handoffs >= 1, "release never handed off");
+    r.shutdown();
+}
+
+#[test]
+fn mcs_fifo_handoff_order() {
+    // Waiters are granted in arrival order: the holder releases and each
+    // queued ULT appends its token FIFO.
+    let r = rt(1);
+    let m = Arc::new(ult_sync::McsMutex::new(Vec::new()));
+    let g = m.lock();
+    let handles: Vec<_> = (0..4u64)
+        .map(|i| {
+            let m = m.clone();
+            r.spawn_on(
+                0,
+                ult_core::ThreadKind::Nonpreemptive,
+                ult_core::Priority::High,
+                move || {
+                    m.lock().push(i);
+                },
+            )
+        })
+        .collect();
+    // Let all four enqueue behind the held lock (each parks after its spin
+    // budget, freeing the single worker for the next spawner).
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    drop(g);
+    for h in handles {
+        h.join();
+    }
+    assert_eq!(*m.lock(), vec![0, 1, 2, 3]);
+    r.shutdown();
+}

@@ -45,6 +45,10 @@ echo "== perf smoke: echo tail latency, preemption on vs off (5x ratio floor + 2
 echo "== perf smoke: multi-worker echo throughput sweep vs committed baseline (2x tripwire)"
 ./target/release/bench_echo --tput --quick --out results/BENCH_echo.json \
     --check results/BENCH_echo_baseline.json
+
+echo "== perf smoke: adaptive quantum tail latency (2x ratio floor, 10% tput budget, 2x tripwire)"
+./target/release/bench_adaptive --quick --out results/BENCH_adaptive.json \
+    --check results/BENCH_adaptive_baseline.json
 run() {
     local name="$1"; shift
     echo "== $name"
