@@ -326,6 +326,10 @@ fn check_against_baseline(metrics: &[Metric], bp: &str) {
         let verdict = if factor > 2.0 {
             failed = true;
             "REGRESSION"
+        } else if factor > 1.25 {
+            // Soft warning: below the hard tripwire but creeping — flag
+            // it in the log without failing the run.
+            "WARN (>1.25x)"
         } else {
             "ok"
         };

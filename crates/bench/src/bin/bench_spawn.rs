@@ -231,6 +231,10 @@ fn main() {
             let verdict = if factor > 2.0 {
                 failed = true;
                 "REGRESSION"
+            } else if factor > 1.25 {
+                // Soft warning: below the hard tripwire but creeping — flag
+                // it in the log without failing the run.
+                "WARN (>1.25x)"
             } else {
                 "ok"
             };

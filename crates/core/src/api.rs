@@ -221,6 +221,17 @@ pub fn make_ready(t: &Arc<Ult>) {
     }
 }
 
+/// Blocking-offload pool limits `(max_blocking_threads,
+/// blocking_keep_alive_ms)` of the ambient runtime, if the caller runs
+/// inside one. `ult-future`'s elastic `spawn_blocking` pool snapshots these
+/// on submission so its growth cap and idle-harvest timeout follow the
+/// [`crate::Config`] of the runtime doing the submitting.
+pub fn blocking_pool_limits() -> Option<(usize, u64)> {
+    let w = current_worker()?;
+    let cfg = &w.runtime().config;
+    Some((cfg.max_blocking_threads, cfg.blocking_keep_alive_ms))
+}
+
 /// Park the current ULT until `target` finishes (one round; the caller
 /// re-checks in a loop to absorb spurious wakeups).
 pub(crate) fn block_on_join(target: &Arc<Ult>) {

@@ -78,6 +78,15 @@ pub struct Config {
     pub quantum_floor_div: u32,
     /// Multiplier for the adaptive quantum ceiling (ceiling = base * this).
     pub quantum_ceil_mul: u32,
+    /// Hard cap on the elastic blocking-offload pool (`ult-future`'s
+    /// `spawn_blocking`): plain KLTs that absorb unavoidable blocking
+    /// syscalls so they never occupy a preemption-capable worker. The pool
+    /// grows on demand up to this many KLTs and harvests idle ones after
+    /// [`Config::blocking_keep_alive_ms`].
+    pub max_blocking_threads: usize,
+    /// Idle lifetime of an offload-pool KLT in milliseconds: a pool thread
+    /// that draws no work for this long exits (elastic shrink).
+    pub blocking_keep_alive_ms: u64,
 }
 
 impl Default for Config {
@@ -97,6 +106,8 @@ impl Default for Config {
             adaptive_quantum: false,
             quantum_floor_div: 4,
             quantum_ceil_mul: 4,
+            max_blocking_threads: 64,
+            blocking_keep_alive_ms: 2_000,
         }
     }
 }
@@ -121,6 +132,15 @@ impl Config {
         }
         if self.quantum_ceil_mul == 0 {
             self.quantum_ceil_mul = 1;
+        }
+        if self.max_blocking_threads == 0 {
+            self.max_blocking_threads = 1;
+        }
+        if self.max_blocking_threads > 4096 {
+            return Err("max_blocking_threads too large (max 4096)".into());
+        }
+        if self.blocking_keep_alive_ms == 0 {
+            self.blocking_keep_alive_ms = 1;
         }
         Ok(self)
     }
@@ -167,6 +187,23 @@ mod tests {
         let c = c.validated().unwrap();
         assert_eq!(c.quantum_floor_div, 1);
         assert_eq!(c.quantum_ceil_mul, 1);
+    }
+
+    #[test]
+    fn blocking_pool_knobs_normalized() {
+        let c = Config {
+            max_blocking_threads: 0,
+            blocking_keep_alive_ms: 0,
+            ..Config::default()
+        };
+        let c = c.validated().unwrap();
+        assert_eq!(c.max_blocking_threads, 1);
+        assert_eq!(c.blocking_keep_alive_ms, 1);
+        let c = Config {
+            max_blocking_threads: 1 << 16,
+            ..Config::default()
+        };
+        assert!(c.validated().is_err());
     }
 
     #[test]

@@ -86,6 +86,14 @@ pub mod ev {
     pub const SCHEDRET: u64 = 14;
     /// Handler acquired a replacement KLT (ult=thread, aux=new klt).
     pub const KSGRAB: u64 = 15;
+    /// Tick-elision state machine transition (ult=site id, aux=worker
+    /// rank). Sites: 1 = elide at `try_elide`, 2 = `try_elide` Dekker
+    /// abort (work raced in), 3 = `try_elide` post-disarm handler repair,
+    /// 4 = dispatch-time rearm, 5 = nonpreemptive-occupant elide, 6 =
+    /// handler-side rearm, 7 = self-push rearm, 8 = remote nudge sent.
+    /// These are low-frequency state changes (not per-tick) and made the
+    /// elided-flag/disarmed-timer divergence diagnosable from the ring.
+    pub const TICKOP: u64 = 16;
 }
 
 const EN: usize = 4096;

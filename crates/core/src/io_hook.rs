@@ -96,6 +96,14 @@ pub struct IoHooks {
     pub poll: fn(r: usize),
     /// Counter snapshot for shard `r` (zeros for a never-touched shard).
     pub shard_stats: fn(r: usize) -> IoShardStats,
+    /// Does shard `r` hold armed fd interest or pending timer deadlines?
+    /// The tick-elision state machine consults this before disarming a
+    /// busy worker's timer: with the tick gone there are no dispatch
+    /// boundaries, so a shard with live waiters would never be serviced
+    /// again while compute monopolizes the worker (the waiter's wake is
+    /// itself the only thing that could end the monopoly — a deadlock).
+    /// Cheap (two atomic loads) and never creates a shard.
+    pub pending: fn(r: usize) -> bool,
 }
 
 /// Registered hook table (null until `ult-io` initializes).
@@ -132,6 +140,13 @@ pub(crate) fn maybe_poll(w: &Worker) {
 /// Reactor stats for shard `r`, if a reactor is registered.
 pub(crate) fn shard_stats(r: usize) -> IoShardStats {
     hooks().map(|h| (h.shard_stats)(r)).unwrap_or_default()
+}
+
+/// Does this worker's reactor shard have armed waiters (fd interest or
+/// wheel deadlines)? `false` when no reactor is registered.
+#[inline]
+pub(crate) fn shard_pending(w: &Worker) -> bool {
+    hooks().map(|h| (h.pending)(w.rank)).unwrap_or(false)
 }
 
 /// Idle-park in this worker's own reactor shard.
@@ -200,6 +215,12 @@ pub fn kick_worker(r: usize) {
     if let Some(me) = crate::api::current_worker() {
         if let Some(w) = me.runtime().workers.get(r) {
             w.unpark();
+            // The owner may instead be *busy* with an elided tick (it ran
+            // out of other work before this waiter was armed). Restore its
+            // tick so dispatch boundaries — the only place a busy worker
+            // services its shard — keep happening; without this the waiter
+            // just armed could go unserviced indefinitely.
+            crate::sched::rearm_on_push(me.runtime(), w, false);
         }
     }
 }

@@ -63,8 +63,8 @@ pub mod tls;
 pub(crate) mod worker;
 
 pub use api::{
-    block_current, current_thread_id, current_thread_kind, current_worker_rank, in_ult, make_ready,
-    yield_now, SpawnAttrs,
+    block_current, blocking_pool_limits, current_thread_id, current_thread_kind,
+    current_worker_rank, in_ult, make_ready, yield_now, SpawnAttrs,
 };
 pub use config::{Config, KltParkMode, KltPoolPolicy, SchedPolicy};
 pub use io_hook::{kick_worker, reactor_wait_done, register_io_hooks, IoHooks, IoShardStats};

@@ -316,9 +316,8 @@ fn maybe_preempt(rt: &RuntimeInner, w: &Worker, klt: &Klt, t_enter: u64, uc: *mu
     // handler cost) is measured rather than silently absorbed. Skipped when
     // no timer handle is published (e.g. `TimerStrategy::None` with raised
     // ticks).
-    let h = rt.timers.raw_handle(w.rank);
-    if h != 0 {
-        let ov = ult_sys::timer::overrun_raw(h as libc::timer_t);
+    if let Some(h) = rt.timers.raw_handle(w.rank) {
+        let ov = ult_sys::timer::overrun_raw(h);
         if ov > 0 {
             w.stats.timer_overruns.fetch_add(ov, Ordering::Relaxed);
         }

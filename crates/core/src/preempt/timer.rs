@@ -59,27 +59,44 @@ impl TimerStrategy {
 /// used by per-process strategies).
 pub(crate) struct TimerSet {
     slots: Vec<Mutex<Option<IntervalTimer>>>,
-    /// Published raw `timer_t` handles (`0` = none), one per worker. Signal
-    /// handlers may *re-arm* or query a published handle lock-free
-    /// (`timer_settime`/`timer_getoverrun` are async-signal-safe;
+    /// Published raw `timer_t` handles ([`NO_HANDLE`] = none), one per
+    /// worker. Signal handlers may *re-arm* or query a published handle
+    /// lock-free (`timer_settime`/`timer_getoverrun` are async-signal-safe;
     /// `timer_create` is not). The slot is cleared *before* the backing
     /// timer is deleted, so the worst race is arming a just-deleted handle —
     /// which `arm_raw` ignores by design.
+    ///
+    /// The none-sentinel must NOT be `0`: kernel POSIX timer ids are
+    /// allocated per-process starting at zero and glibc hands the id back
+    /// verbatim as the `timer_t`, so the *first* timer in the process — in
+    /// practice exactly worker 0's — is the literal handle `0`. With a zero
+    /// sentinel every handler-side raw op on that worker silently no-ops;
+    /// `rearm_from_handler` then clears `tick_elided` without arming
+    /// anything, wedging the worker in a flag-says-armed / timer-disarmed
+    /// state that no pusher will ever repair.
     handles: Vec<AtomicUsize>, // ordering: acqrel handle published before arming, cleared before deletion
 }
+
+/// "No raw handle published" sentinel (see `TimerSet::handles`).
+pub(crate) const NO_HANDLE: usize = usize::MAX;
 
 impl TimerSet {
     pub(crate) fn new(n_workers: usize) -> TimerSet {
         TimerSet {
             slots: (0..n_workers).map(|_| Mutex::new(None)).collect(),
-            handles: (0..n_workers).map(|_| AtomicUsize::new(0)).collect(),
+            handles: (0..n_workers)
+                .map(|_| AtomicUsize::new(NO_HANDLE))
+                .collect(),
         }
     }
 
-    /// The published raw timer handle for worker `rank` (0 = none).
+    /// The published raw timer handle for worker `rank`, if any.
     // sigsafe
-    pub(crate) fn raw_handle(&self, rank: usize) -> usize {
-        self.handles[rank].load(Ordering::Acquire)
+    pub(crate) fn raw_handle(&self, rank: usize) -> Option<libc::timer_t> {
+        match self.handles[rank].load(Ordering::Acquire) {
+            NO_HANDLE => None,
+            h => Some(h as libc::timer_t),
+        }
     }
 
     /// Arm (or re-arm) worker `w`'s timer targeting KLT `tid`, according to
@@ -154,7 +171,7 @@ impl TimerSet {
         // (SIGEV_THREAD_ID is fixed at creation; re-targeting requires
         // re-creation.) Unpublish the raw handle *first* so no handler arms
         // a handle mid-deletion.
-        self.handles[w.rank].store(0, Ordering::Release);
+        self.handles[w.rank].store(NO_HANDLE, Ordering::Release);
         *self.slots[w.rank].lock() = None;
         self.bind_worker(rt, w, tid);
     }
@@ -195,7 +212,7 @@ impl TimerSet {
     /// Disarm everything (shutdown).
     pub(crate) fn disarm_all(&self) {
         for (s, h) in self.slots.iter().zip(&self.handles) {
-            h.store(0, Ordering::Release);
+            h.store(NO_HANDLE, Ordering::Release);
             *s.lock() = None;
         }
     }

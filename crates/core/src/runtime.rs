@@ -650,6 +650,19 @@ impl Runtime {
         self.inner.active_workers.load(Ordering::Acquire)
     }
 
+    /// Debug probe: `(tick_elided, timer_value_ns, timer_interval_ns)` for
+    /// worker `rank`. Diagnostic only — racy by nature.
+    #[doc(hidden)]
+    pub fn debug_tick_state(&self, rank: usize) -> (bool, u64, u64) {
+        let w = &self.inner.workers[rank];
+        let elided = w.tick_elided.load(Ordering::SeqCst);
+        let (v, i) = match self.inner.timers.raw_handle(rank) {
+            Some(h) => ult_sys::timer::gettime_raw(h),
+            None => (0, 0),
+        };
+        (elided, v, i)
+    }
+
     /// Aggregate statistics snapshot.
     pub fn stats(&self) -> RuntimeStats {
         let mut s = RuntimeStats::default();
@@ -693,6 +706,11 @@ impl Runtime {
         let sc = crate::stats::sync_counters();
         s.mcs_handoffs = sc.mcs_handoffs.load(Ordering::Relaxed);
         s.mcs_suspends = sc.mcs_suspends.load(Ordering::Relaxed);
+        s.async_tasks = sc.async_tasks.load(Ordering::Relaxed);
+        s.async_unparks = sc.async_unparks.load(Ordering::Relaxed);
+        s.blocking_jobs = sc.blocking_jobs.load(Ordering::Relaxed);
+        s.blocking_klts_spawned = sc.blocking_klts_spawned.load(Ordering::Relaxed);
+        s.blocking_klts_harvested = sc.blocking_klts_harvested.load(Ordering::Relaxed);
         s
     }
 

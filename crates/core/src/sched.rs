@@ -149,7 +149,7 @@ pub(crate) fn on_ready(rt: &RuntimeInner, w: &Worker, t: Arc<Ult>, wake: bool, l
 /// Not called on the scheduler's own yield re-enqueue (`wake == false`) —
 /// that path dispatches again immediately and the dispatch-time state
 /// machine re-arms there.
-fn rearm_on_push(rt: &RuntimeInner, target: &Worker, is_self: bool) {
+pub(crate) fn rearm_on_push(rt: &RuntimeInner, target: &Worker, is_self: bool) {
     if !rt.tick_elision {
         return;
     }
@@ -166,8 +166,10 @@ fn rearm_on_push(rt: &RuntimeInner, target: &Worker, is_self: bool) {
         // Our own worker (pinned spawner / own scheduler): re-arm directly.
         target.tick_elided.store(false, Ordering::SeqCst);
         rt.timers.rearm_worker(rt, target);
+        crate::debug_registry::event(crate::debug_registry::ev::TICKOP, 7, target.rank as u64);
         target.stats.tick_rearms.fetch_add(1, Ordering::Relaxed);
     } else {
+        crate::debug_registry::event(crate::debug_registry::ev::TICKOP, 8, target.rank as u64);
         nudge_elided(target);
     }
 }

@@ -195,11 +195,26 @@ pub struct SyncCounters {
     pub mcs_handoffs: AtomicU64, // ordering: counter
     /// MCS mutex: waiters that gave up spinning and suspended as ULTs.
     pub mcs_suspends: AtomicU64, // ordering: counter
+    /// `ult-future`: async tasks spawned (each rides one ULT).
+    pub async_tasks: AtomicU64, // ordering: counter
+    /// `ult-future`: task wakes that claimed a parked ULT (`make_ready`).
+    pub async_unparks: AtomicU64, // ordering: counter
+    /// `ult-future`: `spawn_blocking` jobs submitted to the offload pool.
+    pub blocking_jobs: AtomicU64, // ordering: counter
+    /// `ult-future`: offload-pool KLTs spawned (elastic growth).
+    pub blocking_klts_spawned: AtomicU64, // ordering: counter
+    /// `ult-future`: offload-pool KLTs harvested after idling out.
+    pub blocking_klts_harvested: AtomicU64, // ordering: counter
 }
 
 static SYNC_COUNTERS: SyncCounters = SyncCounters {
     mcs_handoffs: AtomicU64::new(0),
     mcs_suspends: AtomicU64::new(0),
+    async_tasks: AtomicU64::new(0),
+    async_unparks: AtomicU64::new(0),
+    blocking_jobs: AtomicU64::new(0),
+    blocking_klts_spawned: AtomicU64::new(0),
+    blocking_klts_harvested: AtomicU64::new(0),
 };
 
 /// The process-global sync-primitive counters (see [`SyncCounters`]).
@@ -256,6 +271,16 @@ pub struct RuntimeStats {
     /// MCS mutex: waiters that gave up spinning and suspended as ULTs
     /// (process-global; see [`sync_counters`]).
     pub mcs_suspends: u64,
+    /// Async tasks spawned by `ult-future` (process-global).
+    pub async_tasks: u64,
+    /// Async task wakes that resumed a parked ULT (process-global).
+    pub async_unparks: u64,
+    /// `spawn_blocking` jobs submitted to the offload pool (process-global).
+    pub blocking_jobs: u64,
+    /// Offload-pool KLTs spawned (process-global).
+    pub blocking_klts_spawned: u64,
+    /// Offload-pool KLTs harvested after idling out (process-global).
+    pub blocking_klts_harvested: u64,
     /// KLTs created on demand by the creator thread.
     pub klts_created: u64,
     /// Reactor: `epoll_wait` passes summed over all shards (parks + polls).

@@ -347,9 +347,8 @@ impl Worker {
         self.cur_quantum_ns.store(floor, Ordering::Release);
         self.preempt_deadline_ns.store(0, Ordering::Release);
         if rt.config.timer_strategy.is_per_worker() && !self.tick_elided.load(Ordering::SeqCst) {
-            let h = rt.timers.raw_handle(self.rank);
-            if h != 0 {
-                ult_sys::timer::arm_raw(h as libc::timer_t, floor);
+            if let Some(h) = rt.timers.raw_handle(self.rank) {
+                ult_sys::timer::arm_raw(h, floor);
             }
         }
     }
@@ -369,13 +368,19 @@ impl Worker {
         if !self.stats.current_kind_preemptive() {
             return;
         }
+        // Clear the flag only together with an actual arm: with no handle
+        // published (mid-rebind window) the flag must stay set so a later
+        // push or dispatch repairs the timer — clearing it without arming
+        // would wedge the worker in a flag-clear/timer-disarmed state that
+        // no pusher ever re-checks.
+        let Some(h) = rt.timers.raw_handle(self.rank) else {
+            return;
+        };
         self.tick_elided.store(false, Ordering::SeqCst);
-        let h = rt.timers.raw_handle(self.rank);
-        if h != 0 {
-            // Class-appropriate interval: an elided timer re-arms at the
-            // worker's current quantum (shrunk if latency work queued).
-            ult_sys::timer::arm_raw(h as libc::timer_t, self.quantum_ns(rt));
-        }
+        // Class-appropriate interval: an elided timer re-arms at the
+        // worker's current quantum (shrunk if latency work queued).
+        ult_sys::timer::arm_raw(h, self.quantum_ns(rt));
+        crate::debug_registry::event(crate::debug_registry::ev::TICKOP, 6, self.rank as u64);
         self.stats.tick_rearms.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -447,9 +452,8 @@ fn update_quantum(rt: &RuntimeInner, w: &Worker, t: &Ult) {
     // protocol; model: `quantum_publish_vs_handler`).
     w.cur_quantum_ns.store(next, Ordering::Release);
     if rt.config.timer_strategy.is_per_worker() && !w.tick_elided.load(Ordering::SeqCst) {
-        let h = rt.timers.raw_handle(w.rank);
-        if h != 0 {
-            ult_sys::timer::arm_raw(h as libc::timer_t, next);
+        if let Some(h) = rt.timers.raw_handle(w.rank) {
+            ult_sys::timer::arm_raw(h, next);
         }
     }
 }
@@ -467,14 +471,17 @@ fn try_elide(rt: &RuntimeInner, w: &Worker) {
     if crate::sched::has_any_work(rt, w) {
         // Work raced in between the pick and the flag store; keep ticking.
         w.tick_elided.store(false, Ordering::SeqCst);
+        crate::debug_registry::event(crate::debug_registry::ev::TICKOP, 2, w.rank as u64);
         return;
     }
     rt.timers.elide_worker(rt, w);
+    crate::debug_registry::event(crate::debug_registry::ev::TICKOP, 1, w.rank as u64);
     w.stats.tick_elisions.fetch_add(1, Ordering::Relaxed);
     // A handler on this KLT may have re-armed between our flag store and
     // the disarm (nudge from a remote pusher); honor it.
     if !w.tick_elided.load(Ordering::SeqCst) {
         rt.timers.rearm_worker(rt, w);
+        crate::debug_registry::event(crate::debug_registry::ev::TICKOP, 3, w.rank as u64);
         w.stats.tick_rearms.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -487,9 +494,19 @@ fn update_tick_state(rt: &RuntimeInner, w: &Worker, t: &Ult) {
         return;
     }
     let preemptive = t.kind != ThreadKind::Nonpreemptive;
-    if preemptive && crate::sched::has_any_work(rt, w) {
+    // A reactor shard holding armed waiters (fd interest or wheel
+    // deadlines) counts as work: dispatch boundaries are the only place a
+    // busy worker services its shard, and the waiter's own wake is the
+    // only other event that could ever end the occupant's monopoly.
+    // Eliding (or staying elided) here would deadlock e.g. a solo spinner
+    // plus a ULT sleeping on this shard's wheel — the block that armed the
+    // waiter caused this very dispatch, so checking at every dispatch
+    // closes the arm-after-elide window. (An idle worker still elides: its
+    // epoll park serves the shard with a kernel timeout.)
+    if preemptive && (crate::sched::has_any_work(rt, w) || crate::io_hook::shard_pending(w)) {
         if w.tick_elided.swap(false, Ordering::SeqCst) {
             rt.timers.rearm_worker(rt, w);
+            crate::debug_registry::event(crate::debug_registry::ev::TICKOP, 4, w.rank as u64);
             w.stats.tick_rearms.fetch_add(1, Ordering::Relaxed);
         }
     } else if preemptive {
@@ -500,6 +517,7 @@ fn update_tick_state(rt: &RuntimeInner, w: &Worker, t: &Ult) {
         // the next dispatch re-arms if work is waiting.
         w.tick_elided.store(true, Ordering::SeqCst);
         rt.timers.elide_worker(rt, w);
+        crate::debug_registry::event(crate::debug_registry::ev::TICKOP, 5, w.rank as u64);
         w.stats.tick_elisions.fetch_add(1, Ordering::Relaxed);
     }
 }

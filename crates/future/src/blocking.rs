@@ -1,0 +1,251 @@
+//! The elastic blocking-syscall offload pool behind `spawn_blocking`.
+//!
+//! Unavoidably-blocking work (file I/O, DNS, legacy libraries) must never
+//! occupy a preemption-capable worker: one blocked `read(2)` would capture
+//! a whole KLT and its worker. `spawn_blocking` shunts such jobs to a pool
+//! of plain KLTs instead:
+//!
+//! * **Submission is lock-free and never blocks the submitting ULT**: one
+//!   CAS pushes the job onto an intrusive Treiber inbox (the same shape as
+//!   the scheduler's remote-push inboxes), one futex token wakes an idle
+//!   pool KLT. Pool KLTs drain the inbox into a FIFO behind a consumer-side
+//!   lock, so jobs run in submission order.
+//! * **Elastic growth, nio-threadpool style**: a submission finding no
+//!   idle KLT grows the pool toward `ceil(pending / LOAD_FACTOR)`, capped
+//!   by [`ult_core::Config::max_blocking_threads`] of the submitting
+//!   runtime (process-wide defaults apply outside one).
+//! * **Idle harvest**: a pool KLT that draws no work for the configured
+//!   keep-alive exits. The exit path re-checks `pending` after
+//!   decrementing `live` (all occupancy counters are SeqCst), so a job
+//!   submitted while the last KLT is dying is re-covered — either the
+//!   dying KLT reclaims its slot or the submitter's growth rule sees the
+//!   decremented `live` and spawns a replacement.
+//! * **Panic isolation**: jobs run under `catch_unwind`; the payload
+//!   travels through the job's `JoinHandle` and the pool KLT lives on.
+
+use crate::JoinHandle;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use ult_sys::futex::Futex;
+
+/// Pending jobs one pool KLT is expected to cover before growth adds
+/// another (the nio-threadpool load factor).
+const LOAD_FACTOR: usize = 1;
+/// Pool limits used when the submitter runs outside any runtime.
+const DEFAULT_CAP: usize = 64;
+const DEFAULT_KEEP_ALIVE_MS: u64 = 2_000;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Node {
+    job: Job,
+    next: *mut Node,
+}
+
+/// The process-global pool. Jobs from every runtime share it; the cap and
+/// keep-alive follow the most recent submitter's `Config`.
+struct Pool {
+    /// Intrusive Treiber inbox head (multi-producer, single CAS per push).
+    inbox: AtomicPtr<Node>, // ordering: acqrel push/drain handoff
+    /// Consumer-side FIFO; pool KLTs drain the inbox into it. Never
+    /// touched by submitters.
+    fifo: Mutex<VecDeque<Job>>,
+    /// Jobs submitted and not yet taken by a KLT.
+    pending: AtomicUsize, // ordering: seqcst pool occupancy (see harvest note)
+    /// Pool KLTs alive (including busy ones).
+    live: AtomicUsize, // ordering: seqcst pool occupancy
+    /// Pool KLTs parked waiting for work.
+    idle: AtomicUsize, // ordering: seqcst pool occupancy
+    /// Counted wake tokens: one per submission, consumed by parked KLTs.
+    gate: Futex,
+    /// Snapshot of the governing cap / keep-alive (latest submitter wins).
+    cap: AtomicUsize, // ordering: relaxed advisory knob
+    keep_alive_ms: AtomicU64, // ordering: relaxed advisory knob
+}
+
+// SAFETY: `inbox` nodes are heap-allocated and handed off through the CAS
+// push / swap drain; the raw pointers never alias across threads.
+unsafe impl Send for Pool {}
+// SAFETY: as above.
+unsafe impl Sync for Pool {}
+
+static POOL: Pool = Pool {
+    inbox: AtomicPtr::new(std::ptr::null_mut()),
+    fifo: Mutex::new(VecDeque::new()),
+    pending: AtomicUsize::new(0),
+    live: AtomicUsize::new(0),
+    idle: AtomicUsize::new(0),
+    gate: Futex::new(),
+    cap: AtomicUsize::new(DEFAULT_CAP),
+    keep_alive_ms: AtomicU64::new(DEFAULT_KEEP_ALIVE_MS),
+};
+
+/// Run `f` on the offload pool and return a handle to its result.
+///
+/// The call itself never blocks: a lock-free push, a futex token, and at
+/// most one KLT spawn. The returned [`JoinHandle`] is awaitable from async
+/// tasks and joinable from ULTs or external threads; a panicking `f`
+/// surfaces its payload there (the pool KLT survives).
+// ult-context
+pub fn spawn_blocking<T, F>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (tx, rx) = ult_sync::oneshot::oneshot();
+    submit(Box::new(move || {
+        tx.send(catch_unwind(AssertUnwindSafe(f)));
+    }));
+    JoinHandle { rx }
+}
+
+// ult-context
+fn submit(job: Job) {
+    // Follow the submitting runtime's Config (advisory: the latest
+    // submitter's limits govern growth and harvest from here on).
+    if let Some((cap, keep_alive)) = ult_core::blocking_pool_limits() {
+        POOL.cap.store(cap, Ordering::Relaxed);
+        POOL.keep_alive_ms.store(keep_alive, Ordering::Relaxed);
+    }
+    ult_core::stats::sync_counters()
+        .blocking_jobs
+        .fetch_add(1, Ordering::Relaxed);
+    // Occupancy before visibility: a KLT that observes the pushed node is
+    // always covered by a nonzero `pending` (the harvest re-check relies
+    // on the SeqCst total order of pending/live/idle).
+    POOL.pending.fetch_add(1, Ordering::SeqCst);
+    let node = Box::into_raw(Box::new(Node {
+        job,
+        next: std::ptr::null_mut(),
+    }));
+    let mut head = POOL.inbox.load(Ordering::Acquire);
+    loop {
+        // SAFETY: `node` is unpublished until the CAS below succeeds.
+        unsafe { (*node).next = head };
+        match POOL
+            .inbox
+            .compare_exchange_weak(head, node, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => break,
+            Err(now) => head = now,
+        }
+    }
+    // Tokens are counted, so an unpark racing a not-yet-parked KLT is
+    // banked rather than lost.
+    POOL.gate.unpark();
+    maybe_grow();
+}
+
+/// The nio-style growth rule: with nobody idle, add KLTs toward
+/// `ceil(pending / LOAD_FACTOR)`, hard-capped.
+fn maybe_grow() {
+    loop {
+        if POOL.idle.load(Ordering::SeqCst) > 0 {
+            return; // an idle KLT will take the banked token
+        }
+        let live = POOL.live.load(Ordering::SeqCst);
+        let cap = POOL.cap.load(Ordering::Relaxed).max(1);
+        let target = POOL
+            .pending
+            .load(Ordering::SeqCst)
+            .div_ceil(LOAD_FACTOR)
+            .min(cap);
+        if live >= target {
+            return;
+        }
+        // Claim the slot first so concurrent submitters don't overshoot.
+        if POOL
+            .live
+            .compare_exchange(live, live + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            spawn_worker();
+            return;
+        }
+    }
+}
+
+fn spawn_worker() {
+    ult_core::stats::sync_counters()
+        .blocking_klts_spawned
+        .fetch_add(1, Ordering::Relaxed);
+    // blocking-ok: deliberate plain-KLT creation — the pool exists precisely to absorb blocking work on non-worker KLTs; bounded by max_blocking_threads
+    let spawned = std::thread::Builder::new()
+        .name("ult-blocking".into())
+        .spawn(worker_loop);
+    if spawned.is_err() {
+        // Roll the claimed slot back; pending work falls to existing KLTs
+        // (or the next submission's retry).
+        POOL.live.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Pop the oldest job: consumer FIFO first, else drain the Treiber inbox
+/// into it (reversing the LIFO stack restores submission order).
+fn take_job() -> Option<Job> {
+    let mut fifo = POOL.fifo.lock();
+    if let Some(j) = fifo.pop_front() {
+        POOL.pending.fetch_sub(1, Ordering::SeqCst);
+        return Some(j);
+    }
+    let mut p = POOL.inbox.swap(std::ptr::null_mut(), Ordering::AcqRel);
+    while !p.is_null() {
+        // SAFETY: the swap made this drain the exclusive owner of the
+        // detached list; each node came from `Box::into_raw` in `submit`.
+        let node = unsafe { Box::from_raw(p) };
+        p = node.next;
+        fifo.push_front(node.job); // newest-first walk → oldest at front
+    }
+    let j = fifo.pop_front();
+    if j.is_some() {
+        POOL.pending.fetch_sub(1, Ordering::SeqCst);
+    }
+    j
+}
+
+/// One pool KLT: run jobs until the keep-alive expires with nothing to do,
+/// then exit (elastic shrink). Parking and job bodies block this plain
+/// KLT by design — it is not a runtime worker.
+// blocking: klt
+fn worker_loop() {
+    loop {
+        while let Some(job) = take_job() {
+            // The job wrapper already catches panics for the handle; this
+            // outer catch keeps a send/teardown panic from killing the KLT.
+            let _ = catch_unwind(AssertUnwindSafe(job));
+        }
+        POOL.idle.fetch_add(1, Ordering::SeqCst);
+        let keep_alive_ns = POOL.keep_alive_ms.load(Ordering::Relaxed).max(1) * 1_000_000;
+        let woken = POOL.gate.park_timeout(keep_alive_ns);
+        POOL.idle.fetch_sub(1, Ordering::SeqCst);
+        if woken || POOL.pending.load(Ordering::SeqCst) > 0 {
+            continue;
+        }
+        // Idle timeout: leave the pool, then re-check for a submission
+        // that raced our exit. SeqCst totally orders our `live` decrement
+        // and re-read against the submitter's `pending` increment and
+        // `live` read: either we see its job (and reclaim the slot) or it
+        // sees the shrunken pool (and grows it back).
+        POOL.live.fetch_sub(1, Ordering::SeqCst);
+        if POOL.pending.load(Ordering::SeqCst) > 0 {
+            POOL.live.fetch_add(1, Ordering::SeqCst);
+            continue;
+        }
+        ult_core::stats::sync_counters()
+            .blocking_klts_harvested
+            .fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+}
+
+/// Test/bench hook: current pool shape `(live, idle, pending)`.
+#[doc(hidden)]
+pub fn pool_shape() -> (usize, usize, usize) {
+    (
+        POOL.live.load(Ordering::SeqCst),
+        POOL.idle.load(Ordering::SeqCst),
+        POOL.pending.load(Ordering::SeqCst),
+    )
+}

@@ -53,6 +53,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+mod anet;
 mod bufpool;
 mod net;
 mod reactor;
@@ -60,10 +61,11 @@ mod time;
 mod waiter;
 mod wheel;
 
+pub use anet::{AsyncTcpListener, AsyncTcpStream};
 pub use bufpool::{IoBuf, BUF_CAPACITY};
 pub use net::{TcpListener, TcpStream, UdpSocket};
 pub use reactor::{configure_shards, MAX_SHARDS};
-pub use time::{block_for, block_until, sleep};
+pub use time::{block_for, block_until, sleep, sleep_future, sleep_until_ns, Sleep};
 pub use waiter::TimedWaiter;
 
 /// Force reactor initialization (epoll/eventfd creation and hook

@@ -22,12 +22,12 @@ use std::time::Duration;
 
 /// Reactor registration handle; deregisters on drop (declared before the
 /// socket in every wrapper so `EPOLL_CTL_DEL` runs while the fd is open).
-struct Registration {
-    entry: Arc<FdEntry>,
+pub(crate) struct Registration {
+    pub(crate) entry: Arc<FdEntry>,
 }
 
 impl Registration {
-    fn new(fd: i32) -> io::Result<Registration> {
+    pub(crate) fn new(fd: i32) -> io::Result<Registration> {
         Ok(Registration {
             entry: reactor::register_fd(fd)?,
         })

@@ -193,6 +193,7 @@ static HOOKS: ult_core::IoHooks = ult_core::IoHooks {
     wake: wake_hook,
     poll: poll_hook,
     shard_stats: stats_hook,
+    pending: pending_hook,
 };
 
 /// Shard `i`, created (and the hook table registered) on first use. Never
@@ -328,6 +329,27 @@ fn poll_hook(r: usize) {
         return; // too soon (racing workers of a shared shard: one wins per slot)
     }
     sh.service(0);
+}
+
+/// Armed fd interest or pending wheel deadlines on rank `r`'s shard?
+/// Consulted by the core's tick-elision state machine at every dispatch
+/// (see `IoHooks::pending`): a busy worker must keep its tick while its
+/// shard has live waiters, because opportunistic polls at dispatch
+/// boundaries are the only way those waiters ever fire. Never creates a
+/// shard — a null slot means nothing was ever armed there.
+fn pending_hook(r: usize) -> bool {
+    let n = NSHARDS.load(Ordering::Acquire);
+    if n == 0 {
+        return false;
+    }
+    let p = SHARDS[(r % n) % MAX_SHARDS].load(Ordering::Acquire);
+    // SAFETY: published shard pointers are leaked boxes, valid forever.
+    match unsafe { p.as_ref() } {
+        Some(sh) => {
+            sh.armed.load(Ordering::SeqCst) > 0 || sh.wheel.next_timeout_ms(ult_sys::now_ns()) >= 0
+        }
+        None => false,
+    }
 }
 
 fn stats_hook(r: usize) -> ult_core::IoShardStats {
@@ -685,6 +707,64 @@ pub(crate) fn wait_readiness(
     // shards (migration between arm and resume, or stolen afterwards).
     if ult_core::current_worker_rank() != Some(sh.idx) {
         sh.cross_shard_wakes.fetch_add(1, Ordering::Relaxed);
+    }
+    Ok(())
+}
+
+/// Async counterpart of [`wait_readiness`]: store a waker-bound waiter in
+/// the fd's direction slot and arm interest, then *return* — the calling
+/// future reports `Poll::Pending` instead of parking a ULT. Readiness (the
+/// service pass's `notify`) claims the waiter and `Waker::wake` reschedules
+/// the task, which re-runs its nonblocking syscall on the next poll.
+///
+/// The no-lost-wakeup argument is the same slot-store-before-arm one as the
+/// blocking path, plus level-triggered persistence: readiness that predates
+/// the arm is re-reported, so registering *after* a `WouldBlock` and then
+/// returning `Pending` cannot strand the task. A re-poll that finds
+/// `WouldBlock` again simply replaces the slot (fresh waker, same
+/// occupancy). An arm failure surfaces here; the caller propagates it.
+pub(crate) fn register_readiness(
+    entry: &Arc<FdEntry>,
+    dir: Dir,
+    waker: &std::task::Waker,
+) -> io::Result<()> {
+    let sh = current_shard();
+    let waiter = TimedWaiter::new_with_waker(waker.clone());
+    let mut st = entry.st.lock();
+    // Affinity: follow the polling task. An error here surfaces through
+    // the arm below (same fd, same epoll instance).
+    let _ = rebind_locked(entry, &mut st, sh);
+    let prior = match dir {
+        Dir::Read => st.read.replace(waiter),
+        Dir::Write => st.write.replace(waiter),
+    };
+    let mut want = 0;
+    if st.read.is_some() {
+        want |= EV_READ;
+    }
+    if st.write.is_some() {
+        want |= EV_WRITE;
+    }
+    if want != st.armed_interest {
+        if let Err(e) = sh.ep.modify_level(entry.fd, want, entry.token) {
+            // Arm failed (fd went bad): clear our slot and report; the
+            // caller's future surfaces the error.
+            match dir {
+                Dir::Read => st.read = None,
+                Dir::Write => st.write = None,
+            }
+            if prior.is_some() {
+                sh.armed.fetch_sub(1, Ordering::SeqCst);
+            }
+            st.armed_interest = 0;
+            return Err(e);
+        }
+        st.armed_interest = want;
+    }
+    if prior.is_none() {
+        // A displaced `prior` is this task's previous still-armed
+        // registration (stale waker): occupancy is unchanged then.
+        note_armed(sh, 1);
     }
     Ok(())
 }

@@ -1,9 +1,13 @@
 //! Timed blocking: `sleep` and the generic deadline-block primitive that
-//! `ult-sync`'s `wait_timeout` variants are built on.
+//! `ult-sync`'s `wait_timeout` variants are built on — plus the [`Sleep`]
+//! future, the same timer wheel surfaced to async tasks.
 
 use crate::reactor::current_shard;
 use crate::waiter::TimedWaiter;
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
 use std::time::Duration;
 use ult_core::Ult;
 
@@ -69,4 +73,64 @@ where
     let deadline =
         ult_sys::now_ns().saturating_add(timeout.as_nanos().min(u64::MAX as u128) as u64);
     block_until(deadline, register)
+}
+
+/// A future that completes once `dur` has elapsed — the async counterpart
+/// of [`sleep`], riding the same sharded timer wheel (accuracy: wheel
+/// granularity ~1 ms plus reactor service latency). See [`Sleep`].
+pub fn sleep_future(dur: Duration) -> Sleep {
+    sleep_until_ns(ult_sys::now_ns().saturating_add(dur.as_nanos().min(u64::MAX as u128) as u64))
+}
+
+/// A future that completes at `deadline_ns` (absolute `CLOCK_MONOTONIC`).
+pub fn sleep_until_ns(deadline_ns: u64) -> Sleep {
+    Sleep {
+        deadline_ns,
+        registered: None,
+    }
+}
+
+/// Timer-wheel sleep as a [`Future`].
+///
+/// Each pending poll keeps one waker-bound [`TimedWaiter`] on the polling
+/// worker's wheel; the wheel's expiry claims it and `Waker::wake`
+/// reschedules the task, whose re-poll observes the passed deadline. A
+/// re-poll with the *same* still-armed registration (waiter unclaimed,
+/// waker unchanged) is free; a migrated or waker-swapped task re-registers,
+/// and the stale wheel entry dies by the ordinary claim CAS.
+///
+/// Timers are serviced by runtime workers — on a plain OS thread with no
+/// runtime active in the process, this future never completes.
+#[derive(Debug)]
+pub struct Sleep {
+    deadline_ns: u64,
+    registered: Option<(Arc<TimedWaiter>, Waker)>,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        if ult_sys::now_ns() >= this.deadline_ns {
+            this.registered = None;
+            return Poll::Ready(());
+        }
+        let fresh = match &this.registered {
+            // Claimed (spurious wake before the deadline — e.g. a stale
+            // waiter reused slotwise) or re-polled under a different waker:
+            // the old entry can no longer wake the current task.
+            Some((w, wk)) => !w.is_waiting() || !wk.will_wake(cx.waker()),
+            None => true,
+        };
+        if fresh {
+            let wk = cx.waker().clone();
+            let w = TimedWaiter::new_with_waker(wk.clone());
+            // An already-passed deadline (raced the clock check above) is
+            // fired by the wheel's very next advance; no wake is lost.
+            current_shard().add_deadline(this.deadline_ns, w.clone());
+            this.registered = Some((w, wk));
+        }
+        Poll::Pending
+    }
 }

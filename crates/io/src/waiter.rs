@@ -12,26 +12,42 @@
 //! stale and is dropped lazily wherever it is next encountered (wheel
 //! advance, fd slot swap, waitlist pop) — cancellation is never chased.
 
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicPtr, AtomicU8, Ordering};
 use std::sync::Arc;
+use std::task::Waker;
 use ult_core::Ult;
 
 const WAITING: u8 = 0;
 const NOTIFIED: u8 = 1;
 const TIMED_OUT: u8 = 2;
 
-/// A one-shot claimable parking slip for one blocked ULT.
+/// A one-shot claimable parking slip for one blocked ULT — or, for the
+/// async front end, for one registered task [`Waker`].
 ///
 /// Created per wait, bound to the blocking thread inside its
-/// `block_current` registration, then published to up to two wake sources.
-/// See the module docs for the protocol.
+/// `block_current` registration (or carrying a waker from birth via
+/// [`TimedWaiter::new_with_waker`]), then published to up to two wake
+/// sources. See the module docs for the protocol.
 #[derive(Debug)]
 pub struct TimedWaiter {
     /// `Waiting → Notified | TimedOut`, decided by one CAS.
-    state: AtomicU8,
+    state: AtomicU8, // ordering: acqrel one-shot claim CAS (module docs)
     /// The parked thread (`Arc::into_raw`), taken by the claim winner.
-    ult: AtomicPtr<Ult>,
+    ult: AtomicPtr<Ult>, // ordering: acqrel bind-before-publish, swap by claim winner
+    /// Async alternative to `ult`: a task waker, written once at
+    /// construction (before the waiter is shared) and taken by the claim
+    /// winner when no ULT is bound. The claim CAS is the exclusive-taker
+    /// guarantee; publication of the construction write rides whatever
+    /// synchronized handover gave the wake source its `Arc`.
+    waker: UnsafeCell<Option<Waker>>,
 }
+
+// SAFETY: `waker` is written only before the waiter is shared and taken
+// only by the single claim-CAS winner; all other fields are atomics.
+unsafe impl Send for TimedWaiter {}
+// SAFETY: as above — no concurrent access to `waker` can exist.
+unsafe impl Sync for TimedWaiter {}
 
 impl TimedWaiter {
     /// A fresh unclaimed waiter.
@@ -39,6 +55,19 @@ impl TimedWaiter {
         Arc::new(TimedWaiter {
             state: AtomicU8::new(WAITING),
             ult: AtomicPtr::new(std::ptr::null_mut()),
+            waker: UnsafeCell::new(None),
+        })
+    }
+
+    /// A fresh waiter that wakes `waker` when claimed (the async leaf
+    /// resources register these instead of parking a ULT). `Waker::wake`
+    /// on a `ult-future` task reduces to `make_ready`, so both claim paths
+    /// stay reactor-service-context safe.
+    pub fn new_with_waker(waker: Waker) -> Arc<TimedWaiter> {
+        Arc::new(TimedWaiter {
+            state: AtomicU8::new(WAITING),
+            ult: AtomicPtr::new(std::ptr::null_mut()),
+            waker: UnsafeCell::new(Some(waker)),
         })
     }
 
@@ -65,6 +94,12 @@ impl TimedWaiter {
             // guarantees exactly one taker.
             let t = unsafe { Arc::from_raw(raw as *const Ult) };
             ult_core::make_ready(&t);
+        } else {
+            // SAFETY: winning the claim CAS makes us the sole taker of the
+            // construction-time waker (see the field docs).
+            if let Some(w) = unsafe { (*self.waker.get()).take() } {
+                w.wake();
+            }
         }
         true
     }

@@ -909,3 +909,94 @@ pub fn mcs_release_vs_enqueue() {
          (lost handoff or double claim)"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Async task waker: poll retire/park vs wake (ult-future's task.rs)
+// ---------------------------------------------------------------------------
+
+/// Sentinel for "this side never performed the read" in
+/// [`waker_park_vs_wake`] outcomes.
+pub const WK_UNREAD: usize = 9;
+
+const WK_IDLE: usize = 0;
+const WK_POLLING: usize = 1;
+const WK_NOTIFIED: usize = 2;
+const WK_PARKED: usize = 3;
+
+/// One round of the `TaskCore` claim machine (`ult-future` `task::drive`
+/// vs `TaskCore::wake`): the executor retires a Pending poll
+/// (POLLING→IDLE), publishes the host ULT into the waker slot (Release),
+/// and commits to PARKED (AcqRel CAS); the waker walks the state to
+/// NOTIFIED and — having claimed the PARKED→NOTIFIED edge — takes the
+/// slot (the read half of the real code's `slot.swap`, modeled as an
+/// Acquire load since model RMWs always read the latest store).
+///
+/// Returns `(parked, waker_got, reclaimed)`:
+///
+/// * `parked` — the executor committed to PARKED (the host ULT blocked);
+/// * `waker_got` — what the PARKED-claim winner found in the slot
+///   ([`WK_UNREAD`] if the waker returned on an earlier edge);
+/// * `reclaimed` — what the executor's poll-abort reclaim found
+///   ([`WK_UNREAD`] if it parked or never published).
+///
+/// Faithful invariants: a PARKED claim always finds the published ULT
+/// (`parked ⇒ waker_got == 1` — otherwise the task sleeps forever while
+/// the wake walks away empty-handed), and an abort reclaim always finds
+/// it too. `weaken` downgrades every ordering to Relaxed; the publication
+/// comes unmoored from the PARKED commit and the lost wakeup is
+/// reachable.
+pub fn waker_park_vs_wake(weaken: bool) -> (bool, usize, usize) {
+    let (st, ld, rmw) = if weaken {
+        (Ordering::Relaxed, Ordering::Relaxed, Ordering::Relaxed)
+    } else {
+        (Ordering::Release, Ordering::Acquire, Ordering::AcqRel)
+    };
+    let state = Arc::new(AtomicUsize::new(WK_POLLING));
+    let slot = Arc::new(AtomicUsize::new(0));
+    let (s2, sl2) = (state.clone(), slot.clone());
+    // Waker half (`TaskCore::wake`): claim an edge to NOTIFIED. The state
+    // only ever advances POLLING→IDLE→PARKED under a single concurrent
+    // executor, and a failed CAS reports the latest value, so four
+    // attempts bound the walk.
+    let waker = thread::spawn(move || {
+        let mut cur = s2.load(ld);
+        for _ in 0..4 {
+            match cur {
+                WK_NOTIFIED => return WK_UNREAD,
+                WK_IDLE | WK_POLLING => {
+                    // Executor is awake (mid-poll or between poll and
+                    // park): flagging NOTIFIED makes its park attempt
+                    // fail into a repoll — nothing to push here.
+                    match s2.compare_exchange(cur, WK_NOTIFIED, rmw, ld) {
+                        Ok(_) => return WK_UNREAD,
+                        Err(now) => cur = now,
+                    }
+                }
+                _ => {
+                    // Parked: claim the wake and take the published ULT.
+                    match s2.compare_exchange(WK_PARKED, WK_NOTIFIED, rmw, ld) {
+                        Ok(_) => return sl2.load(ld),
+                        Err(now) => cur = now,
+                    }
+                }
+            }
+        }
+        unreachable!("state walk exceeded its bound")
+    });
+    // Executor half (`drive`'s Pending arm): retire the poll, publish the
+    // host ULT, commit to PARKED. Either CAS failing means a wake landed
+    // mid-window: reclaim the slot (if published) and poll again instead
+    // of blocking.
+    let (parked, reclaimed) = if state.compare_exchange(WK_POLLING, WK_IDLE, rmw, ld).is_ok() {
+        slot.store(1, st);
+        match state.compare_exchange(WK_IDLE, WK_PARKED, rmw, ld) {
+            Ok(_) => (true, WK_UNREAD),
+            // The read half of the abort path's `slot.swap` reclaim.
+            Err(_) => (false, slot.load(ld)),
+        }
+    } else {
+        (false, WK_UNREAD)
+    };
+    let waker_got = waker.join();
+    (parked, waker_got, reclaimed)
+}

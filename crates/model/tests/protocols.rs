@@ -303,3 +303,34 @@ fn mcs_release_vs_enqueue_agrees_on_ownership() {
     assert_exhaustive_unless_budgeted(r);
     println!("mcs release-vs-enqueue: {} executions", r.executions);
 }
+
+/// The async-task waker pairing (`ult-future`'s `task.rs`): the slot
+/// publication is ordered before the IDLE→PARKED commit, so the waker
+/// that claims the PARKED→NOTIFIED edge always finds the published host
+/// ULT, and a poll-abort reclaim always finds it too — no interleaving
+/// parks the task with the wake walking away empty-handed.
+#[test]
+fn waker_parked_claim_always_finds_the_ult() {
+    let outs = ult_model::outcomes(|| protocols::waker_park_vs_wake(false));
+    assert!(
+        !outs.iter().any(|&(parked, got, _)| parked && got != 1),
+        "PARKED claimed without the published ULT: {outs:?}"
+    );
+    assert!(
+        !outs.iter().any(|&(_, _, reclaimed)| reclaimed == 0),
+        "poll-abort reclaim missed the published slot: {outs:?}"
+    );
+}
+
+/// The all-Relaxed weakening of the same pairing provably reaches the
+/// lost wakeup — the executor commits to PARKED while the PARKED-claim
+/// winner reads an empty slot, stranding the task forever — so the test
+/// above has teeth.
+#[test]
+fn weakened_waker_reaches_the_lost_wakeup() {
+    let outs = ult_model::outcomes(|| protocols::waker_park_vs_wake(true));
+    assert!(
+        outs.iter().any(|&(parked, got, _)| parked && got == 0),
+        "weakened waker should reach the lost wakeup: {outs:?}"
+    );
+}

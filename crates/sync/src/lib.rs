@@ -23,6 +23,7 @@ pub mod condvar;
 pub mod mcs;
 pub mod mutex;
 pub mod once;
+pub mod oneshot;
 pub mod rwlock;
 pub mod semaphore;
 pub mod waitgroup;
@@ -33,6 +34,7 @@ pub use condvar::Condvar;
 pub use mcs::{McsGuard, McsMutex};
 pub use mutex::{Mutex, MutexGuard};
 pub use once::Once;
+pub use oneshot::{oneshot, RecvError};
 pub use rwlock::{ReadGuard, RwLock, WriteGuard};
 pub use semaphore::Semaphore;
 pub use waitgroup::WaitGroup;

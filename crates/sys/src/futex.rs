@@ -34,6 +34,32 @@ pub fn futex_wait(addr: &AtomicU32, expected: u32) {
     }
 }
 
+/// Raw `futex(2)` syscall wrapper with a relative timeout: wait while
+/// `*addr == expected`, for at most `timeout_ns`.
+///
+/// Returns on wake, timeout, or a spurious `EAGAIN`/`EINTR` alike —
+/// callers must re-check their predicate and their clock.
+#[inline]
+// sigsafe
+// blocking: klt
+pub fn futex_wait_timeout(addr: &AtomicU32, expected: u32, timeout_ns: u64) {
+    let ts = libc::timespec {
+        tv_sec: (timeout_ns / 1_000_000_000) as libc::time_t,
+        tv_nsec: (timeout_ns % 1_000_000_000) as libc::c_long,
+    };
+    // SAFETY: addr is a valid, live atomic word; FUTEX_WAIT with a relative
+    // timespec blocks until woken, expired, or EINTR/EAGAIN.
+    unsafe {
+        libc::syscall(
+            libc::SYS_futex,
+            addr.as_ptr(),
+            libc::FUTEX_WAIT | libc::FUTEX_PRIVATE_FLAG,
+            expected,
+            &ts as *const libc::timespec,
+        );
+    }
+}
+
 /// Raw `futex(2)` wake: wake up to `n` waiters parked on `addr`.
 /// Returns the number of threads woken.
 #[inline]
@@ -75,6 +101,7 @@ impl Futex {
     /// Block until a token is available, then consume it.
     /// Async-signal-safe. Spurious futex wakes are absorbed by the loop.
     // sigsafe
+    // blocking: klt
     pub fn park(&self) {
         loop {
             let cur = self.word.load(Ordering::Acquire);
@@ -97,6 +124,26 @@ impl Futex {
     pub fn unpark(&self) {
         self.word.fetch_add(1, Ordering::Release);
         futex_wake(&self.word, 1);
+    }
+
+    /// Block until a token is available or `timeout_ns` has elapsed.
+    /// Returns `true` if a token was consumed, `false` on timeout.
+    /// Spurious futex wakes are absorbed by the deadline loop.
+    // blocking: klt
+    pub fn park_timeout(&self, timeout_ns: u64) -> bool {
+        let deadline = crate::now_ns().saturating_add(timeout_ns);
+        loop {
+            if self.try_park() {
+                return true;
+            }
+            let now = crate::now_ns();
+            if now >= deadline {
+                // One last racy grab: a token deposited right at the
+                // deadline should not be stranded until the next park.
+                return self.try_park();
+            }
+            futex_wait_timeout(&self.word, 0, deadline - now);
+        }
     }
 
     /// Non-blocking attempt to consume a token.
@@ -210,6 +257,33 @@ mod tests {
             f.unpark();
         }
         h.join().unwrap();
+    }
+
+    #[test]
+    fn park_timeout_expires_without_token() {
+        let f = Futex::new();
+        let t0 = std::time::Instant::now();
+        assert!(!f.park_timeout(5_000_000)); // 5 ms
+        assert!(t0.elapsed() >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn park_timeout_consumes_early_token() {
+        let f = Futex::new();
+        f.unpark();
+        let t0 = std::time::Instant::now();
+        assert!(f.park_timeout(1_000_000_000));
+        assert!(t0.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn park_timeout_woken_by_unpark() {
+        let f = Arc::new(Futex::new());
+        let f2 = f.clone();
+        let h = std::thread::spawn(move || f2.park_timeout(10_000_000_000));
+        std::thread::sleep(Duration::from_millis(20));
+        f.unpark();
+        assert!(h.join().unwrap());
     }
 
     #[test]

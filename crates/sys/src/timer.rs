@@ -145,6 +145,27 @@ pub fn arm_raw(handle: libc::timer_t, interval_ns: u64) {
     }
 }
 
+/// `timer_gettime` by raw handle: `(value_ns, interval_ns)` — `(0, 0)` for
+/// a disarmed or stale handle. Diagnostic only.
+#[doc(hidden)]
+#[allow(clippy::not_unsafe_ptr_arg_deref)]
+pub fn gettime_raw(handle: libc::timer_t) -> (u64, u64) {
+    // Vendored libc doesn't declare `timer_gettime`; bind it directly.
+    extern "C" {
+        fn timer_gettime(timerid: libc::timer_t, curr: *mut libc::itimerspec) -> libc::c_int;
+    }
+    let mut its = libc::itimerspec {
+        it_interval: ns_to_timespec(0),
+        it_value: ns_to_timespec(0),
+    };
+    // SAFETY: raw syscall; stale handles fail with EINVAL, leaving zeros.
+    unsafe {
+        timer_gettime(handle, &mut its);
+    }
+    let ns = |t: libc::timespec| t.tv_sec as u64 * 1_000_000_000 + t.tv_nsec as u64;
+    (ns(its.it_value), ns(its.it_interval))
+}
+
 /// `timer_getoverrun` by raw handle, clamped to 0 on error (stale handle).
 /// Async-signal-safe.
 // sigsafe

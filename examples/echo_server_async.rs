@@ -1,0 +1,104 @@
+//! Async echo server: `ult-future` tasks riding preemptive ULTs.
+//!
+//! The async twin of `echo_server.rs`: one task accepts connections and
+//! spawns a handler task per client, every task's `await` parking only its
+//! host ULT. A `spawn_blocking` job stands in for a blocking syscall
+//! (resolved off-runtime on the elastic offload pool), and a SignalYield
+//! spinner hogs a worker the whole time — preemption keeps the request
+//! path live regardless.
+//!
+//! Run with: `cargo run --release -p repro-examples --bin echo_server_async`
+//! then e.g.: `printf 'hello\n' | nc 127.0.0.1 <printed port>`
+//! (the demo also runs loopback clients against itself).
+
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use ult_core::{Config, Priority, Runtime, ThreadKind};
+use ult_future::AsyncTcpListener;
+
+fn main() {
+    // Two workers, the 1 ms default preemption tick.
+    let rt = Runtime::start(Config {
+        num_workers: 2,
+        ..Config::default()
+    });
+
+    // CPU-bound company: a preemptible ULT that never yields voluntarily.
+    let stop = Arc::new(AtomicBool::new(false));
+    let s2 = stop.clone();
+    let spinner = rt.spawn_with(ThreadKind::SignalYield, Priority::High, move || {
+        while !s2.load(Ordering::Relaxed) {
+            core::hint::spin_loop();
+        }
+    });
+
+    const CLIENTS: usize = 3;
+
+    // The server: an async accept loop, one async handler task per
+    // connection. `block_on` drives the root future on a plain ULT; each
+    // `.await` below suspends only the task's host ULT.
+    let (ln, addr) = rt
+        .spawn(|| {
+            let ln = AsyncTcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = ln.local_addr().unwrap();
+            (ln, addr)
+        })
+        .join();
+    println!("async echo server listening on {addr}");
+
+    let server = rt.spawn(move || {
+        ult_future::block_on(async move {
+            let mut handlers = Vec::new();
+            for _ in 0..CLIENTS {
+                let (s, peer) = ln.accept().await.unwrap();
+                println!("accepted {peer}");
+                handlers.push(ult_future::spawn(async move {
+                    // A blocking stand-in (name lookup, file read, …):
+                    // shipped to the offload pool so no worker KLT blocks.
+                    let tag = ult_future::spawn_blocking(move || format!("[{peer}] ")).await;
+                    let mut buf = [0u8; 512];
+                    loop {
+                        match s.read(&mut buf).await {
+                            Ok(0) | Err(_) => break,
+                            Ok(n) => {
+                                if s.write_all(&buf[..n]).await.is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    println!("{tag}disconnected");
+                }));
+            }
+            for h in handlers {
+                h.await;
+            }
+        });
+    });
+
+    // Loopback clients (plain OS threads) prove the path end to end while
+    // the spinner hogs a worker.
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut s = std::net::TcpStream::connect(addr).unwrap();
+                let msg = format!("ping {i}");
+                s.write_all(msg.as_bytes()).unwrap();
+                let mut back = vec![0u8; msg.len()];
+                s.read_exact(&mut back).unwrap();
+                assert_eq!(back, msg.as_bytes());
+                println!("client {i}: echoed {:?}", String::from_utf8_lossy(&back));
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    server.join();
+    stop.store(true, Ordering::Relaxed);
+    spinner.join();
+    rt.shutdown();
+    println!("done");
+}

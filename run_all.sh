@@ -26,6 +26,13 @@ cargo test -q -p ult-io
 cargo test -q -p ult-sync --test timeout
 cargo test -q -p integration-tests --test io
 
+echo "== async: future executor, waker edge cases, offload pool"
+cargo test -q -p ult-future
+cargo test -q -p integration-tests --test future
+# Waker park-vs-wake claim machine: the faithful protocol never loses a
+# wake; the all-Relaxed weakening must provably reach the lost wakeup.
+cargo test -q -p ult-model --test protocols waker_
+
 cargo build --workspace --release
 
 mkdir -p results
@@ -49,6 +56,10 @@ echo "== perf smoke: multi-worker echo throughput sweep vs committed baseline (2
 echo "== perf smoke: adaptive quantum tail latency (2x ratio floor, 10% tput budget, 2x tripwire)"
 ./target/release/bench_adaptive --quick --out results/BENCH_adaptive.json \
     --check results/BENCH_adaptive_baseline.json
+
+echo "== perf smoke: async task tax + offload-pool saturation ping (2x tripwire)"
+./target/release/bench_async --quick --out results/BENCH_async.json \
+    --check results/BENCH_async_baseline.json
 run() {
     local name="$1"; shift
     echo "== $name"
